@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``benchmarks/test_*`` module regenerates one table or figure of
+the paper: it runs the corresponding driver under pytest-benchmark,
+prints the paper-style rows (visible with ``pytest -s`` or in the
+captured output), and asserts the acceptance shape from DESIGN.md §3.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import figures
+
+
+@pytest.fixture
+def run_artifact(benchmark):
+    """Run a figure driver once under the benchmark timer.
+
+    The simulator is deterministic, so a single round is exact; the
+    benchmark timing reports the harness cost of regenerating the
+    artifact.
+    """
+
+    def _run(artifact_id: str, **params):
+        result = benchmark.pedantic(
+            lambda: figures.run(artifact_id, **params),
+            rounds=1,
+            iterations=1,
+        )
+        text = figures.report(artifact_id, result)
+        print()
+        print(text)
+        return result
+
+    return _run

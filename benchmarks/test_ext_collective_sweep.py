@@ -1,0 +1,45 @@
+"""Extension study: collective latency across message sizes.
+
+The paper fixes collectives at 1 MiB (Fig. 11/12).  This study sweeps
+the message size for allreduce on all eight GCDs and locates the
+MPI/RCCL crossover: MPI's lean eager path wins tiny messages, RCCL's
+launch overhead amortizes and its ring wins from tens of KiB up.
+"""
+
+import pytest
+
+from repro.bench_suites.osu import osu_collective_latency
+from repro.bench_suites.rccl_tests import rccl_collective_latency
+from repro.units import KiB, MiB, to_us
+
+
+def test_allreduce_size_sweep(benchmark):
+    sizes = [1 * KiB, 16 * KiB, 128 * KiB, 1 * MiB, 16 * MiB]
+
+    def run():
+        table = {}
+        for size in sizes:
+            mpi = osu_collective_latency("allreduce", 8, message_bytes=size)
+            rccl = rccl_collective_latency("allreduce", 8, message_bytes=size)
+            table[size] = (mpi, rccl)
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nallreduce on 8 GCDs (us):")
+    print(f"{'size':>10s} {'MPI':>10s} {'RCCL':>10s}  winner")
+    for size, (mpi, rccl) in table.items():
+        winner = "RCCL" if rccl < mpi else "MPI"
+        print(
+            f"{size:>10d} {to_us(mpi):>10.1f} {to_us(rccl):>10.1f}  {winner}"
+        )
+
+    # The paper's operating point: RCCL wins at 1 MiB.
+    assert table[1 * MiB][1] < table[1 * MiB][0]
+    # Bandwidth-bound regime: the ring's advantage grows with size.
+    mpi_16m, rccl_16m = table[16 * MiB]
+    assert rccl_16m < 0.8 * mpi_16m
+    # Both implementations scale sanely: latency increases with size.
+    mpi_values = [table[s][0] for s in sizes]
+    rccl_values = [table[s][1] for s in sizes]
+    assert mpi_values == sorted(mpi_values)
+    assert rccl_values == sorted(rccl_values)

@@ -1,0 +1,31 @@
+"""Extension study: MPI small-message latency (osu_latency).
+
+Not a paper artifact — the paper measures bandwidth and collective
+latency — but the OSU suite's latency tool completes the picture: it
+exposes the eager/rendezvous protocol switch and the GPU-pointer
+handling cost that also drives the Fig. 11 MPI overhead.
+"""
+
+import pytest
+
+from repro.bench_suites.osu import osu_latency
+from repro.units import KiB, MiB, to_us
+
+
+def test_osu_latency_sweep(benchmark):
+    sizes = [8, 1 * KiB, 8 * KiB, 16 * KiB, 256 * KiB, 4 * MiB]
+
+    def run():
+        return {size: osu_latency(0, 1, message_bytes=size) for size in sizes}
+
+    latencies = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nosu_latency GCD0->GCD1 (us):")
+    for size, value in latencies.items():
+        print(f"  {size:>8d} B: {to_us(value):7.2f}")
+
+    # Small messages are host-overhead-bound and size-insensitive.
+    assert latencies[1 * KiB] == pytest.approx(latencies[8], rel=0.2)
+    # The rendezvous handshake appears beyond the 8 KiB eager threshold.
+    assert latencies[16 * KiB] > latencies[8 * KiB]
+    # Large messages become bandwidth-bound: ~ size / 50 GB/s.
+    assert to_us(latencies[4 * MiB]) > 40

@@ -1,0 +1,11 @@
+"""Regenerates Figure 1: the node topology inventory."""
+
+
+def test_figure_1(run_artifact):
+    result = run_artifact("fig01")
+    census = {
+        m.meta["tier"]: m.value
+        for m in result.measurements
+        if not str(m.meta["tier"]).startswith("edge:")
+    }
+    assert census == {"quad": 4.0, "dual": 2.0, "single": 6.0, "cpu": 8.0}

@@ -1,0 +1,53 @@
+"""Regenerates Figure 3: H2D bandwidth vs transfer size (4 KiB-1 GiB).
+
+Acceptance: the four interface curves with the paper's ordering at
+large sizes and the pinned/managed separation beyond the 32 MB LLC.
+"""
+
+import pytest
+
+from repro.units import GiB, KiB, MiB
+
+
+def test_figure_3(run_artifact):
+    result = run_artifact("fig03")
+    assert len(result) == 4 * 19  # 4 interfaces x 19 power-of-two sizes
+
+    big = 1 * GiB
+    at_big = {
+        m.meta["interface"]: m.value
+        for m in result.measurements
+        if m.x == big
+    }
+    assert (
+        at_big["pinned_memcpy"]
+        > at_big["managed_zerocopy"]
+        > at_big["pageable_memcpy"]
+        > at_big["managed_migration"]
+    )
+
+    # Zero-copy tracks pinned up to 32 MiB, then pinned pulls ahead.
+    for size in (4 * MiB, 16 * MiB, 32 * MiB):
+        pinned = next(
+            m.value
+            for m in result.series(interface="pinned_memcpy")
+            if m.x == size
+        )
+        managed = next(
+            m.value
+            for m in result.series(interface="managed_zerocopy")
+            if m.x == size
+        )
+        assert managed == pytest.approx(pinned, rel=0.12)
+    pinned_1g = at_big["pinned_memcpy"]
+    managed_1g = at_big["managed_zerocopy"]
+    assert pinned_1g > 1.08 * managed_1g
+
+    # Small transfers are latency-bound: far below peak at 4 KiB.
+    for interface in ("pinned_memcpy", "managed_zerocopy"):
+        small = next(
+            m.value
+            for m in result.series(interface=interface)
+            if m.x == 4 * KiB
+        )
+        assert small < 0.1 * at_big[interface]

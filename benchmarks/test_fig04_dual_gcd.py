@@ -1,0 +1,15 @@
+"""Regenerates Figure 4: dual-GCD CPU-GPU STREAM placements.
+
+Acceptance: spread doubles the single-GCD bandwidth; same-GPU does not
+improve on it.
+"""
+
+import pytest
+
+
+def test_figure_4(run_artifact):
+    result = run_artifact("fig04")
+    by_case = {m.meta["case"]: m.value for m in result.measurements}
+    one = by_case["1 GCD"]
+    assert by_case["2 GCDs (same GPU)"] == pytest.approx(one, rel=0.05)
+    assert by_case["2 GCDs (spread)"] == pytest.approx(2 * one, rel=0.05)

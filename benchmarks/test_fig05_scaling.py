@@ -1,0 +1,14 @@
+"""Regenerates Figure 5: CPU-GPU STREAM scaling (1-8 GCDs, spread).
+
+Acceptance: proportional scaling 1→4; eight GCDs equal four.
+"""
+
+import pytest
+
+
+def test_figure_5(run_artifact):
+    result = run_artifact("fig05")
+    by_count = {int(m.x): m.value for m in result.measurements}
+    assert by_count[2] == pytest.approx(2 * by_count[1], rel=0.05)
+    assert by_count[4] == pytest.approx(4 * by_count[1], rel=0.05)
+    assert by_count[8] == pytest.approx(by_count[4], rel=0.05)

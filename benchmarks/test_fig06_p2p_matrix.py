@@ -1,0 +1,35 @@
+"""Regenerates Figure 6: p2pBandwidthLatencyTest matrices.
+
+Acceptance (paper §V-A): shortest paths ≤ 2 hops; latency window
+8.7-18.2 us with the single-link/sub-10, same-GPU 10.5-10.8 and
+detour ~18 us classes; exactly two bandwidth tiers (37-38, 50 GB/s).
+"""
+
+import pytest
+
+from repro.core.analysis import cluster_tiers
+from repro.units import to_gbps, to_us
+
+
+def test_figure_6(run_artifact):
+    result = run_artifact("fig06")
+
+    hops = {(m.meta["src"], m.meta["dst"]): m.value for m in result.series(panel="a")}
+    assert max(hops.values()) == 2
+
+    latency = {
+        (m.meta["src"], m.meta["dst"]): m.value for m in result.series(panel="b")
+    }
+    values_us = [to_us(v) for v in latency.values()]
+    assert min(values_us) == pytest.approx(8.7, abs=0.05)
+    assert max(values_us) <= 18.2
+    for pair in ((1, 7), (7, 1), (3, 5), (5, 3)):
+        assert 17.8 <= to_us(latency[pair]) <= 18.2
+    for base in (0, 2, 4, 6):
+        assert 10.5 <= to_us(latency[(base, base + 1)]) <= 10.8
+
+    bandwidth = [m.value for m in result.series(panel="c")]
+    tiers = cluster_tiers([to_gbps(v) for v in bandwidth])
+    assert len(tiers) == 2
+    low, high = sorted(t.center for t in tiers)
+    assert 37 <= low <= 38 and high == pytest.approx(50, abs=0.5)

@@ -1,0 +1,24 @@
+"""Regenerates Figure 7: hipMemcpyPeer bandwidth sweep, GCD0→{1,2,6}.
+
+Acceptance: plateaus at 75 % / 50 % / 25 % of single/dual/quad link
+peaks (the SDMA ceiling), with a latency-bound ramp at small sizes.
+"""
+
+import pytest
+
+from repro.units import GiB
+
+
+def test_figure_7(run_artifact):
+    result = run_artifact("fig07")
+    theoretical = {1: 200e9, 2: 50e9, 6: 100e9}
+    expected_util = {1: 0.25, 2: 0.755, 6: 0.50}
+    for dst, peak_link in theoretical.items():
+        peak = result.peak(dst=dst)
+        assert peak.value / peak_link == pytest.approx(
+            expected_util[dst], abs=0.01
+        )
+        # Ramp: the smallest size is far below the plateau.
+        series = result.series(dst=dst)
+        smallest = min(series, key=lambda m: m.x)
+        assert smallest.value < 0.05 * peak.value

@@ -1,0 +1,19 @@
+"""Regenerates Figure 8: bidirectional STREAM copy, remote placement.
+
+Acceptance: three bandwidth tiers mirroring the three link tiers.
+"""
+
+import pytest
+
+from repro.core.analysis import cluster_tiers
+from repro.units import to_gbps
+
+
+def test_figure_8(run_artifact):
+    result = run_artifact("fig08")
+    peaks = [result.peak(data_gcd=d).value for d in (1, 2, 6)]
+    tiers = cluster_tiers([to_gbps(v) for v in peaks])
+    assert len(tiers) == 3
+    assert sorted(t.center for t in tiers) == pytest.approx(
+        [43.5, 87.0, 174.0], rel=0.02
+    )

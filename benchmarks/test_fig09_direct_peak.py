@@ -1,0 +1,12 @@
+"""Regenerates Figure 9: peak direct-access bandwidth + utilization.
+
+Acceptance: 43-44 % of the theoretical bidirectional peak on all tiers,
+as the paper reports.
+"""
+
+
+def test_figure_9(run_artifact):
+    result = run_artifact("fig09")
+    for m in result.measurements:
+        ratio = m.value / m.meta["theoretical"]
+        assert 0.43 <= ratio <= 0.44

@@ -1,0 +1,29 @@
+"""Regenerates Figure 10: OSU MPI p2p bandwidth vs direct P2P.
+
+Acceptance: SDMA-enabled MPI ≤ 50 GB/s everywhere; SDMA-disabled MPI
+10-15 % below the direct copy kernel; non-neighbour targets match the
+neighbour with the same bottleneck link.
+"""
+
+import pytest
+
+from repro.units import to_gbps
+
+
+def test_figure_10(run_artifact):
+    result = run_artifact("fig10")
+    by = {
+        (m.meta["series"], m.meta["dst"]): m.value
+        for m in result.measurements
+    }
+    for dst in range(1, 8):
+        assert to_gbps(by[("MPI (SDMA)", dst)]) <= 50.0 + 0.1
+        ratio = by[("MPI (no SDMA)", dst)] / by[("direct P2P", dst)]
+        assert 0.85 <= ratio <= 0.90
+    # Single-link bottleneck class: GCD2 (neighbour) vs 3, 4, 5.
+    for dst in (3, 4, 5):
+        assert by[("direct P2P", dst)] == pytest.approx(
+            by[("direct P2P", 2)], rel=0.05
+        )
+    # Quad link benefits only the kernel paths, never SDMA.
+    assert by[("MPI (no SDMA)", 1)] > 2.5 * by[("MPI (SDMA)", 1)]

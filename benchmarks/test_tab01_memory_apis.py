@@ -1,0 +1,8 @@
+"""Regenerates Table I: HIP memory allocation methods."""
+
+
+def test_table_i(run_artifact):
+    result = run_artifact("tab01")
+    # Every registry row allocates and matches its declared coherence.
+    assert len(result) == 5
+    assert all(m.value == 1.0 for m in result.measurements)

@@ -1,0 +1,7 @@
+"""Regenerates Table II: evaluated benchmarks and interfaces."""
+
+
+def test_table_ii(run_artifact):
+    result = run_artifact("tab02")
+    assert len(result) == 12
+    assert all(m.value == 1.0 for m in result.measurements)

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Porting workflow: hipify a CUDA benchmark, then run its HIP twin.
+
+The paper ports Nvidia's p2pBandwidthLatencyTest to HIP with the
+``hipify`` tool (§II-B, §III).  This example replays that workflow on
+the simulator: it translates an embedded CUDA source of the latency
+loop with :mod:`repro.hip.hipify`, prints the translation summary, and
+then executes the equivalent measurement through the simulated HIP
+runtime — producing the Fig. 6b latency classes.
+
+Run:
+    python examples/port_benchmark.py
+"""
+
+from repro.bench_suites.p2p_matrix import measure_pair_latency
+from repro.hip.hipify import hipify_source
+from repro.units import to_us
+
+CUDA_LATENCY_LOOP = """
+#include <cuda_runtime.h>
+
+// p2pBandwidthLatencyTest latency kernel loop (abridged)
+float measure_latency(int src, int dst, void *src_buf, void *dst_buf,
+                      cudaStream_t stream, int repeat) {
+    cudaSetDevice(src);
+    cudaDeviceEnablePeerAccess(dst, 0);
+    cudaEvent_t start, stop;
+    cudaEventCreate(&start);
+    cudaEventCreate(&stop);
+    cudaEventRecord(start, stream);
+    for (int r = 0; r < repeat; r++)
+        cudaMemcpyPeerAsync(dst_buf, dst, src_buf, src, 16, stream);
+    cudaEventRecord(stop, stream);
+    cudaStreamSynchronize(stream);
+    float ms;
+    cudaEventElapsedTime(&ms, start, stop);
+    cudaEventDestroy(start);
+    cudaEventDestroy(stop);
+    return ms * 1000.0f / repeat;  // microseconds per copy
+}
+"""
+
+
+def main() -> None:
+    print("=== step 1: hipify the CUDA source ===")
+    result = hipify_source(CUDA_LATENCY_LOOP)
+    print(result.summary())
+    assert result.clean, "translation left CUDA identifiers behind"
+    print("\ntranslated excerpt:")
+    for line in result.translated.splitlines():
+        if "hip" in line:
+            print(f"  {line.strip()}")
+
+    print("\n=== step 2: run the ported measurement on the simulator ===")
+    cases = [
+        (0, 2, "single link"),
+        (0, 1, "quad link (same GPU)"),
+        (1, 7, "3-hop routed pair"),
+    ]
+    for src, dst, label in cases:
+        latency = measure_pair_latency(src, dst)
+        print(f"  GCD{src}->GCD{dst} ({label:22s}): {to_us(latency):5.1f} us")
+    print(
+        "\nSame classes as the paper's Fig. 6b: <10 us on single links,\n"
+        "10.5-10.8 us within a package, ~18 us on the detour pairs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: measure the headline numbers of the paper in ~a second.
+
+Builds the Frontier-style MI250X node (Fig. 1), runs one measurement
+per data-movement interface, and prints the measured value next to the
+number the paper reports.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.bench_suites import comm_scope, p2p_matrix, stream
+from repro.topology.presets import frontier_node
+from repro.units import GiB, MiB, to_gbps, to_us
+
+
+def main() -> None:
+    topology = frontier_node()
+    print(topology.describe())
+    print()
+
+    print("=== CPU-GPU data movement (paper §IV) ===")
+    rows = [
+        ("pinned hipMemcpy H2D", comm_scope.measure_h2d("pinned_memcpy", 1 * GiB), 28.3),
+        ("managed zero-copy H2D", comm_scope.measure_h2d("managed_zerocopy", 1 * GiB), 25.5),
+        ("managed page migration", comm_scope.measure_h2d("managed_migration", 256 * MiB), 2.8),
+    ]
+    for label, rate, paper in rows:
+        print(f"  {label:28s} {to_gbps(rate):7.1f} GB/s   (paper: {paper} GB/s)")
+
+    print()
+    print("=== GPU-GPU peer-to-peer (paper §V) ===")
+    print(
+        f"  {'local HBM STREAM copy':28s} "
+        f"{to_gbps(stream.local_stream_copy(0, 1 * GiB)):7.0f} GB/s   (paper: 1400 GB/s)"
+    )
+    for dst, tier, paper in ((2, "single", 37.75), (6, "dual", 50.0), (1, "quad", 50.0)):
+        rate = comm_scope.measure_peer_copy(0, dst, 1 * GiB)
+        print(
+            f"  hipMemcpyPeer 0->{dst} ({tier:6s})   "
+            f"{to_gbps(rate):7.1f} GB/s   (paper: ~{paper} GB/s, SDMA-capped)"
+        )
+    lat_single = p2p_matrix.measure_pair_latency(0, 2)
+    lat_detour = p2p_matrix.measure_pair_latency(1, 7)
+    print(f"  {'p2p latency 0-2 (single)':28s} {to_us(lat_single):7.1f} us     (paper: 8.7 us)")
+    print(f"  {'p2p latency 1-7 (3-hop)':28s} {to_us(lat_detour):7.1f} us     (paper: 17.8-18.2 us)")
+
+    print()
+    print("=== Collectives (paper §VI) ===")
+    from repro.bench_suites import osu, rccl_tests
+
+    for name in ("allreduce", "broadcast"):
+        mpi = osu.osu_collective_latency(name, 8)
+        rccl = rccl_tests.rccl_collective_latency(name, 8)
+        winner = "RCCL" if rccl < mpi else "MPI"
+        print(
+            f"  {name:14s} 8 GCDs, 1 MiB:  MPI {to_us(mpi):6.1f} us,  "
+            f"RCCL {to_us(rccl):6.1f} us   -> {winner} wins"
+        )
+    print(
+        "  (paper: RCCL wins every collective except Broadcast)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Domain example: halo-exchange stencil across the eight GCDs.
+
+A CFD-style 1-D decomposition updates slabs and exchanges halos every
+iteration.  This example sweeps decomposition orders and halo sizes,
+showing (a) the emergent ring-friendliness of the Fig. 1 mesh, (b) the
+cost of a package-interleaving order, and (c) when hipMemcpyPeer vs
+zero-copy kernel exchange matters.
+
+Run:
+    python examples/stencil_halo.py [halo_mib]
+"""
+
+import sys
+
+from repro.apps.stencil import (
+    TOPOLOGY_AWARE_ORDER,
+    StencilConfig,
+    order_comparison,
+    run_stencil,
+)
+from repro.units import MiB
+
+
+def main() -> None:
+    halo = (int(sys.argv[1]) if len(sys.argv) > 1 else 8) * MiB
+
+    print(f"Stencil: 8 slabs of 256 MiB, halos of {halo // MiB} MiB, 4 iterations\n")
+    print("--- decomposition order ---")
+    results = order_comparison(halo_bytes=halo)
+    baseline = results["topology-aware ring"].exchange_seconds
+    for label, result in results.items():
+        delta = result.exchange_seconds / baseline - 1
+        print(
+            f"  {label:26s} exchange {result.exchange_seconds * 1e3:7.3f} ms"
+            f"  ({delta:+.0%} vs ring)   total {result.total_seconds * 1e3:7.2f} ms"
+        )
+    print(
+        "\n  -> the mesh serves any package-contiguous ring at full\n"
+        "     speed; interleaving packages forces routed exchanges that\n"
+        "     contend on shared single links."
+    )
+
+    print("\n--- exchange interface (topology-aware order) ---")
+    for exchange in ("kernel", "memcpy"):
+        result = run_stencil(
+            StencilConfig(
+                gcd_order=TOPOLOGY_AWARE_ORDER,
+                halo_bytes=halo,
+                exchange=exchange,  # type: ignore[arg-type]
+            )
+        )
+        print(
+            f"  {exchange:8s} exchange {result.exchange_seconds * 1e3:7.3f} ms"
+            f"  ({result.exchange_fraction:.0%} of step time)"
+        )
+    print(
+        "\n  -> zero-copy kernels beat hipMemcpyPeer on the halo path\n"
+        "     (44 vs 37.75 GB/s on single links, paper §V); prefer the\n"
+        "     engine path only when overlap with compute is needed."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Trace timeline: *why* same-GPU placement doesn't scale.
+
+Runs the dual-GCD STREAM experiment of Fig. 4 twice with tracing
+enabled, prints the resulting timelines, and shows the NUMA-port
+utilization that explains the flat same-GPU result.
+
+Run:
+    python examples/trace_timeline.py
+"""
+
+from repro.hardware.node import HardwareNode
+from repro.hip.runtime import HipRuntime
+from repro.units import MiB, to_gbps
+
+
+def traced_run(placement, size=256 * MiB):
+    node = HardwareNode(trace=True)
+    hip = HipRuntime(node)
+
+    def run():
+        buffers = {}
+        for gcd in placement:
+            hip.set_device(gcd)
+            a = hip.host_malloc(size, device=gcd, label=f"a{gcd}")
+            b = hip.host_malloc(size, device=gcd, label=f"b{gcd}")
+            buffers[gcd] = (a, b)
+        t0 = hip.now
+        # Sample the port share shortly after both kernels start.
+        events = [
+            hip.launch_stream_copy(b, a, device=gcd)
+            for gcd, (a, b) in buffers.items()
+        ]
+        yield hip.engine.timeout(50e-6)
+        port = node.cpu.port_channel(node.topology.numa_of_gcd(placement[0]))
+        utilization = node.network.utilization(port)
+        flows = [
+            (flow.label, to_gbps(flow.rate))
+            for flow in node.network.active_flows()
+        ]
+        yield hip.engine.all_of(events)
+        total = len(placement) * 2 * size / (hip.now - t0)
+        return total, utilization, flows
+
+    total, utilization, flows = hip.run(run())
+    return node, total, utilization, flows
+
+
+def main() -> None:
+    for label, placement in (
+        ("same GPU (GCD0 + GCD1)", [0, 1]),
+        ("spread (GCD0 + GCD2)", [0, 2]),
+    ):
+        node, total, utilization, flows = traced_run(placement)
+        print(f"=== {label} ===")
+        print(f"total bidirectional bandwidth: {to_gbps(total):.1f} GB/s")
+        print(
+            f"NUMA0 Infinity Fabric port utilization while both kernels "
+            f"run: {utilization:.0%}"
+        )
+        print("concurrent flows (label, allocated GB/s):")
+        for flow_label, rate in flows:
+            print(f"  {flow_label:28s} {rate:6.1f}")
+        print("kernel timeline:")
+        for record in node.tracer.records("kernel"):
+            print(f"  {record.format()}")
+        print()
+
+    print(
+        "Same-GPU: four flows squeeze through one 45 GB/s NUMA port\n"
+        "(11.25 GB/s each).  Spread: each GCD has its own port, every\n"
+        "flow runs at its 22.5 GB/s share — twice the total (Fig. 4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Domain example: one data-parallel training step on the MI250X node.
+
+Sweeps worker placement, input-loading interface and allreduce library
+for a training step (batch load → compute → gradient allreduce) and
+prints the per-phase breakdown — the §VI AI workload, configured by
+the paper's findings.
+
+Run:
+    python examples/training_step.py [batch_mib] [gradient_kib]
+"""
+
+import sys
+
+from repro.apps.data_parallel import TrainStepConfig, run_train_step
+from repro.units import KiB, MiB
+
+
+def main() -> None:
+    batch = (int(sys.argv[1]) if len(sys.argv) > 1 else 64) * MiB
+    gradient = (int(sys.argv[2]) if len(sys.argv) > 2 else 1024) * KiB
+
+    print(
+        f"Training step: {batch // MiB} MiB batch/worker, "
+        f"{gradient // KiB} KiB gradient, 2 ms compute\n"
+    )
+    header = (
+        f"{'workers':>7s} {'placement':>10s} {'loader':>15s} {'library':>8s}"
+        f" {'load':>9s} {'allreduce':>10s} {'total':>9s}"
+    )
+    print(header)
+    best = None
+    for workers in (4, 8):
+        for placement in ("spread", "same_gpu"):
+            for loader in ("pinned_memcpy", "managed_xnack"):
+                for library in ("rccl", "mpi"):
+                    config = TrainStepConfig(
+                        num_workers=workers,
+                        placement_strategy=placement,  # type: ignore[arg-type]
+                        loader=loader,  # type: ignore[arg-type]
+                        library=library,  # type: ignore[arg-type]
+                        batch_bytes=batch,
+                        gradient_bytes=gradient,
+                    )
+                    result = run_train_step(config)
+                    print(
+                        f"{workers:>7d} {placement:>10s} {loader:>15s} "
+                        f"{library:>8s} {result.load_seconds * 1e3:8.2f}ms "
+                        f"{result.allreduce_seconds * 1e6:8.1f}us "
+                        f"{result.total_seconds * 1e3:8.2f}ms"
+                    )
+                    key = (workers, placement, loader, library)
+                    if workers == 8 and (
+                        best is None or result.total_seconds < best[1]
+                    ):
+                        best = (key, result.total_seconds)
+
+    assert best is not None
+    (workers, placement, loader, library), total = best
+    print(
+        f"\nBest 8-worker configuration: {placement} placement, {loader}, "
+        f"{library} ({total * 1e3:.2f} ms/step)"
+    )
+    print(
+        "Takeaways (all from the paper): spread workers across packages\n"
+        "(shared NUMA ports), load via pinned copies (XNACK migration is\n"
+        "10x slower), allreduce with RCCL (MPI pays pointer-mapping\n"
+        "overhead per message)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""repro — simulator-based reproduction of *Understanding Data Movement
+in AMD Multi-GPU Systems with Infinity Fabric* (Schieffer et al.,
+SC 2024).
+
+The package models an MI250X multi-GPU node — Infinity Fabric link
+mesh, SDMA engines, NUMA domains, HBM, page migration — as a
+deterministic discrete-event simulation, layers HIP-, MPI- and
+RCCL-like runtimes on top, and reimplements every benchmark suite of
+the paper's Table II against them.  ``repro.figures`` regenerates each
+table and figure of the evaluation.
+
+Quickstart::
+
+    from repro import figures
+    result, text = figures.run_and_report("fig06")
+    print(text)
+
+Layering (bottom → top):
+
+``units/errors/config`` → ``topology`` → ``sim`` → ``core.calibration``
+→ ``hardware`` → ``memory`` → ``hip`` → ``mpi``/``rccl`` →
+``bench_suites`` → ``figures`` → ``core.methodology``.
+"""
+
+from . import config, errors, units
+from .config import SimEnvironment
+from .core.calibration import CalibrationProfile, DEFAULT_CALIBRATION
+from .hardware.node import HardwareNode, frontier_hardware
+from .hip.runtime import HipRuntime
+from .topology.presets import frontier_node
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "config",
+    "errors",
+    "units",
+    "SimEnvironment",
+    "CalibrationProfile",
+    "DEFAULT_CALIBRATION",
+    "HardwareNode",
+    "frontier_hardware",
+    "HipRuntime",
+    "frontier_node",
+    "__version__",
+]

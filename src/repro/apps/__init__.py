@@ -1,0 +1,34 @@
+"""Application workload models.
+
+The paper's introduction motivates the study with multi-GPU scientific
+and ML workloads (CFD, molecular dynamics, plasma simulation, training).
+This package models three such workloads *on top of the public API* —
+they allocate through the HIP layer, communicate through MPI/RCCL, and
+therefore inherit every effect the paper characterizes:
+
+- :mod:`repro.apps.stencil` — an iterative halo-exchange stencil
+  (CFD/weather-style domain decomposition): sensitive to GCD ordering
+  vs the xGMI ring.
+- :mod:`repro.apps.data_parallel` — a data-parallel training step
+  (input H2D load + compute + gradient allreduce): sensitive to NUMA
+  placement and the MPI/RCCL choice.
+- :mod:`repro.apps.transpose` — a distributed matrix transpose
+  (spectral-method style alltoall): bandwidth-bound all-to-all traffic
+  over the heterogeneous mesh.
+
+Each model returns a per-phase time breakdown so the examples can show
+*where* a configuration loses its time.
+"""
+
+from .stencil import StencilConfig, run_stencil
+from .data_parallel import TrainStepConfig, run_train_step
+from .transpose import TransposeConfig, run_transpose
+
+__all__ = [
+    "StencilConfig",
+    "run_stencil",
+    "TrainStepConfig",
+    "run_train_step",
+    "TransposeConfig",
+    "run_transpose",
+]

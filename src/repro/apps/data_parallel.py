@@ -1,0 +1,180 @@
+"""Data-parallel training step (the §VI AI workload).
+
+One optimization step on ``k`` GCDs: each worker loads its micro-batch
+from host memory (H2D), runs a fixed amount of compute, and the
+gradient is allreduced across workers.  Decisions the model exposes —
+all informed by the paper:
+
+- worker placement (*spread* vs *same-GPU-first*): governs the H2D
+  phase via the shared NUMA ports (Fig. 4/5);
+- input loading interface (pinned memcpy vs managed+XNACK): Fig. 3;
+- allreduce library (MPI vs RCCL): Fig. 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Literal, Sequence
+
+from ..config import SimEnvironment, placement_for_strategy
+from ..errors import BenchmarkError
+from ..hardware.node import HardwareNode
+from ..hip.enums import HostMallocFlags
+from ..hip.runtime import HipRuntime
+from ..mpi.collectives import allreduce as mpi_allreduce
+from ..mpi.comm import MpiWorld
+from ..rccl.communicator import RcclCommunicator
+from ..units import MiB
+
+
+@dataclass(frozen=True)
+class TrainStepConfig:
+    """One training-step configuration."""
+
+    num_workers: int = 8
+    placement_strategy: Literal["spread", "same_gpu"] = "spread"
+    batch_bytes: int = 64 * MiB
+    gradient_bytes: int = 1 * MiB
+    compute_seconds: float = 2e-3
+    loader: Literal["pinned_memcpy", "managed_xnack"] = "pinned_memcpy"
+    library: Literal["rccl", "mpi"] = "rccl"
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.num_workers <= 8:
+            raise BenchmarkError("num_workers must be 1..8")
+        if self.batch_bytes <= 0 or self.gradient_bytes <= 0:
+            raise BenchmarkError("sizes must be positive")
+        if self.compute_seconds < 0:
+            raise BenchmarkError("compute time must be non-negative")
+
+    @property
+    def placement(self) -> tuple[int, ...]:
+        """GCD indices selected by the placement strategy."""
+        return tuple(
+            placement_for_strategy(self.placement_strategy, self.num_workers)
+        )
+
+
+@dataclass
+class TrainStepResult:
+    """Per-phase timing of one step."""
+
+    config: TrainStepConfig
+    load_seconds: float = 0.0
+    compute_seconds: float = 0.0
+    allreduce_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of the three phases."""
+        return self.load_seconds + self.compute_seconds + self.allreduce_seconds
+
+    def breakdown(self) -> dict[str, float]:
+        """``{phase: seconds}`` mapping."""
+        return {
+            "load": self.load_seconds,
+            "compute": self.compute_seconds,
+            "allreduce": self.allreduce_seconds,
+        }
+
+
+def _input_load_phase(
+    hip: HipRuntime, config: TrainStepConfig
+) -> Generator:
+    """All workers pull their micro-batch from host memory concurrently."""
+    events = []
+    for gcd in config.placement:
+        hip.set_device(gcd)
+        device_batch = hip.malloc(config.batch_bytes, label=f"batch@{gcd}")
+        if config.loader == "pinned_memcpy":
+            host = hip.host_malloc(
+                config.batch_bytes, HostMallocFlags.NON_COHERENT, device=gcd
+            )
+            events.append(
+                hip.memcpy_async(device_batch, host, stream=hip.stream_create(device=gcd))
+            )
+        else:
+            managed = hip.malloc_managed(config.batch_bytes, device=gcd)
+            events.append(
+                hip.launch_stream_copy(
+                    device_batch,
+                    managed,
+                    device=gcd,
+                    stream=hip.stream_create(device=gcd),
+                )
+            )
+    yield hip.engine.all_of(events)
+
+
+def run_train_step(config: TrainStepConfig) -> TrainStepResult:
+    """Execute one step on a fresh node; returns the phase breakdown."""
+    env = SimEnvironment(xnack_enabled=(config.loader == "managed_xnack"))
+    node = HardwareNode()
+    result = TrainStepResult(config)
+
+    # Phase 1 + 2 run under a single runtime (one driver process per
+    # node, as frameworks do); the allreduce runs on the chosen library.
+    hip = HipRuntime(node, env)
+
+    def phases() -> Generator:
+        t0 = hip.now
+        yield from _input_load_phase(hip, config)
+        result.load_seconds = hip.now - t0
+        t0 = hip.now
+        yield hip.engine.timeout(config.compute_seconds)
+        result.compute_seconds = hip.now - t0
+
+    hip.run(phases())
+
+    if config.num_workers == 1:
+        return result
+
+    if config.library == "rccl":
+        comm = RcclCommunicator(node, list(config.placement), env=env)
+
+        def collective() -> Generator:
+            t0 = node.now
+            yield from comm.allreduce(config.gradient_bytes)
+            return node.now - t0
+
+        result.allreduce_seconds = node.engine.run_process(collective())
+    else:
+        world = MpiWorld(
+            HardwareNode(), env, rank_gcds=list(config.placement)
+        )
+
+        def rank_main(ctx) -> Generator:
+            send = ctx.hip.malloc(config.gradient_bytes)
+            recv = ctx.hip.malloc(config.gradient_bytes)
+            # Warm-up maps IPC handles, as a real framework's first
+            # iteration does.
+            yield from mpi_allreduce(ctx, send, recv, config.gradient_bytes)
+            yield from ctx.barrier()
+            t0 = ctx.now
+            yield from mpi_allreduce(ctx, send, recv, config.gradient_bytes)
+            return ctx.now - t0
+
+        result.allreduce_seconds = max(world.run(rank_main))
+    return result
+
+
+def configuration_sweep(
+    *,
+    num_workers: Sequence[int] = (2, 4, 8),
+    batch_bytes: int = 64 * MiB,
+    gradient_bytes: int = 1 * MiB,
+) -> list[TrainStepResult]:
+    """The example's grid: placements × loaders × libraries."""
+    results = []
+    for workers in num_workers:
+        for strategy in ("spread", "same_gpu"):
+            for library in ("rccl", "mpi"):
+                config = TrainStepConfig(
+                    num_workers=workers,
+                    placement_strategy=strategy,
+                    batch_bytes=batch_bytes,
+                    gradient_bytes=gradient_bytes,
+                    library=library,
+                )
+                results.append(run_train_step(config))
+    return results

@@ -1,0 +1,21 @@
+"""Reimplementations of the paper's benchmark suites (Table II).
+
+Each module mirrors one of the tools the paper runs, with the same
+measurement logic (allocation kinds, sweep ranges, timing loops),
+driving the simulated HIP/MPI/RCCL stack instead of hardware:
+
+- :mod:`repro.bench_suites.comm_scope` — CommScope [12]: host-to-
+  device bandwidth per interface, NUMA-pinned variants, peer copies.
+- :mod:`repro.bench_suites.stream` — the STREAM-copy-based benchmarks,
+  including Listing 1's multi-GPU CPU-GPU variant.
+- :mod:`repro.bench_suites.p2p_matrix` — the HIPified
+  p2pBandwidthLatencyTest [13]: all-pairs latency/bandwidth matrices.
+- :mod:`repro.bench_suites.osu` — OSU micro-benchmarks [14]: MPI
+  point-to-point bandwidth and collective latency.
+- :mod:`repro.bench_suites.rccl_tests` — rccl-tests: RCCL collective
+  latency with one thread per GPU.
+"""
+
+from . import comm_scope, osu, p2p_matrix, rccl_tests, stream
+
+__all__ = ["comm_scope", "stream", "p2p_matrix", "osu", "rccl_tests"]

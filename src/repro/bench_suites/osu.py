@@ -1,0 +1,332 @@
+"""OSU micro-benchmarks (MVAPICH suite, version 7.4 in the paper).
+
+Two tools are reproduced:
+
+- ``osu_bw`` — point-to-point bandwidth: rank 0 posts a window of
+  non-blocking sends of one message size to rank 1 and waits; the
+  paper runs it GPU-to-GPU at 1 GiB (Fig. 10).
+- ``osu_<collective>`` — collective latency: iterations of a
+  collective at a fixed message size with barriers between, reporting
+  the average per-iteration latency (Fig. 11's MPI series).
+
+Both bind one MPI rank per GCD, as the paper's Slurm scripts do.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Sequence
+
+from ..config import SimEnvironment
+from ..core.calibration import CalibrationProfile
+from ..core.experiment import ExperimentResult
+from ..core.sweep import OSU_COLLECTIVE_BYTES, OSU_P2P_BYTES, PARTNER_COUNTS
+from ..errors import BenchmarkError
+from ..hardware.node import HardwareNode
+from ..mpi.collectives import COLLECTIVES
+from ..mpi.comm import MpiWorld, RankContext
+from ..topology.node import NodeTopology
+from ..topology.presets import frontier_node
+
+#: osu_bw window size (number of in-flight sends per iteration).
+BW_WINDOW = 4
+#: Measured iterations (deterministic simulator: small counts suffice).
+BW_ITERATIONS = 2
+COLLECTIVE_ITERATIONS = 3
+COLLECTIVE_WARMUP = 1
+
+
+def _world(
+    rank_gcds: Sequence[int],
+    topology: NodeTopology | None,
+    calibration: CalibrationProfile | None,
+    env: SimEnvironment | None,
+) -> MpiWorld:
+    node = HardwareNode(
+        topology if topology is not None else frontier_node(), calibration
+    )
+    return MpiWorld(node, env if env is not None else SimEnvironment(), rank_gcds=rank_gcds)
+
+
+def osu_bw(
+    src_gcd: int,
+    dst_gcd: int,
+    *,
+    message_bytes: int = OSU_P2P_BYTES,
+    sdma_enabled: bool = True,
+    topology: NodeTopology | None = None,
+    calibration: CalibrationProfile | None = None,
+) -> float:
+    """GPU-to-GPU MPI bandwidth (bytes/s), MPI_Isend/MPI_Recv."""
+    if src_gcd == dst_gcd:
+        raise BenchmarkError("osu_bw requires two distinct GCDs")
+    env = SimEnvironment(sdma_enabled=sdma_enabled)
+    world = _world([src_gcd, dst_gcd], topology, calibration, env)
+
+    def rank_main(ctx: RankContext) -> Generator:
+        buffer = ctx.hip.malloc(message_bytes, label=f"osu-bw-r{ctx.rank}")
+        # Warm-up exchange: first-touch IPC mapping happens here, as in
+        # the real benchmark's skipped iterations.
+        if ctx.rank == 0:
+            yield from ctx.send(buffer, 1, tag=99)
+        else:
+            yield from ctx.recv(buffer, 0, tag=99)
+        yield from ctx.barrier()
+        t0 = ctx.now
+        total = 0
+        for _iteration in range(BW_ITERATIONS):
+            if ctx.rank == 0:
+                requests = [
+                    ctx.isend(buffer, 1, tag=i) for i in range(BW_WINDOW)
+                ]
+                for request in requests:
+                    yield from request.wait()
+            else:
+                requests = [
+                    ctx.irecv(buffer, 0, tag=i) for i in range(BW_WINDOW)
+                ]
+                for request in requests:
+                    yield from request.wait()
+            total += BW_WINDOW * message_bytes
+        elapsed = ctx.now - t0
+        return total / elapsed
+
+    return world.run(rank_main)[0]
+
+
+def osu_latency(
+    src_gcd: int,
+    dst_gcd: int,
+    *,
+    message_bytes: int = 8,
+    iterations: int = 10,
+    topology: NodeTopology | None = None,
+    calibration: CalibrationProfile | None = None,
+) -> float:
+    """``osu_latency``: half round-trip time of a ping-pong (seconds).
+
+    Small messages ride the eager path; large ones pay the rendezvous
+    handshake — the crossover at ``mpi_eager_threshold`` is visible in
+    a size sweep.
+    """
+    if src_gcd == dst_gcd:
+        raise BenchmarkError("osu_latency requires two distinct GCDs")
+    world = _world([src_gcd, dst_gcd], topology, calibration, None)
+
+    def rank_main(ctx: RankContext) -> Generator:
+        buffer = ctx.hip.malloc(max(message_bytes, 1), label=f"lat-r{ctx.rank}")
+        # Warm-up ping-pong (maps IPC handles).
+        if ctx.rank == 0:
+            yield from ctx.send(buffer, 1, tag=0, nbytes=message_bytes)
+            yield from ctx.recv(buffer, 1, tag=0, nbytes=message_bytes)
+        else:
+            yield from ctx.recv(buffer, 0, tag=0, nbytes=message_bytes)
+            yield from ctx.send(buffer, 0, tag=0, nbytes=message_bytes)
+        yield from ctx.barrier()
+        t0 = ctx.now
+        for i in range(iterations):
+            if ctx.rank == 0:
+                yield from ctx.send(buffer, 1, tag=i + 1, nbytes=message_bytes)
+                yield from ctx.recv(buffer, 1, tag=i + 1, nbytes=message_bytes)
+            else:
+                yield from ctx.recv(buffer, 0, tag=i + 1, nbytes=message_bytes)
+                yield from ctx.send(buffer, 0, tag=i + 1, nbytes=message_bytes)
+        return (ctx.now - t0) / (2 * iterations)
+
+    return world.run(rank_main)[0]
+
+
+def osu_bibw(
+    src_gcd: int,
+    dst_gcd: int,
+    *,
+    message_bytes: int = OSU_P2P_BYTES,
+    topology: NodeTopology | None = None,
+    calibration: CalibrationProfile | None = None,
+    sdma_enabled: bool = True,
+) -> float:
+    """``osu_bibw``: bidirectional bandwidth (bytes/s, both directions).
+
+    Both ranks send simultaneously; with per-direction SDMA engines the
+    two streams overlap and the sum approaches twice ``osu_bw``.
+    """
+    if src_gcd == dst_gcd:
+        raise BenchmarkError("osu_bibw requires two distinct GCDs")
+    env = SimEnvironment(sdma_enabled=sdma_enabled)
+    world = _world([src_gcd, dst_gcd], topology, calibration, env)
+
+    def rank_main(ctx: RankContext) -> Generator:
+        send = ctx.hip.malloc(message_bytes, label=f"bibw-s{ctx.rank}")
+        recv = ctx.hip.malloc(message_bytes, label=f"bibw-r{ctx.rank}")
+        partner = 1 - ctx.rank
+        yield from ctx.sendrecv(send, partner, recv, partner, tag=99)
+        yield from ctx.barrier()
+        t0 = ctx.now
+        yield from ctx.sendrecv(send, partner, recv, partner, tag=1)
+        return 2 * message_bytes / (ctx.now - t0)
+
+    return max(world.run(rank_main))
+
+
+def osu_mbw_mr(
+    pairs: Sequence[tuple[int, int]],
+    *,
+    message_bytes: int = 256 * 2**20,
+    topology: NodeTopology | None = None,
+    calibration: CalibrationProfile | None = None,
+) -> float:
+    """``osu_mbw_mr``: aggregate bandwidth of concurrent rank pairs.
+
+    Exercises fabric contention: pairs whose routes share links split
+    the capacity, pairs on disjoint links scale linearly.
+    """
+    if not pairs:
+        raise BenchmarkError("need at least one pair")
+    rank_gcds: list[int] = []
+    for a, b in pairs:
+        rank_gcds.extend((a, b))
+    if len(set(rank_gcds)) != len(rank_gcds):
+        raise BenchmarkError("pairs must use distinct GCDs")
+    world = _world(rank_gcds, topology, calibration, None)
+    num_pairs = len(pairs)
+
+    def rank_main(ctx: RankContext) -> Generator:
+        buffer = ctx.hip.malloc(message_bytes, label=f"mbw-r{ctx.rank}")
+        partner = ctx.rank + 1 if ctx.rank % 2 == 0 else ctx.rank - 1
+        # Warm-up.
+        if ctx.rank % 2 == 0:
+            yield from ctx.send(buffer, partner, tag=0)
+        else:
+            yield from ctx.recv(buffer, partner, tag=0)
+        yield from ctx.barrier()
+        t0 = ctx.now
+        if ctx.rank % 2 == 0:
+            yield from ctx.send(buffer, partner, tag=1)
+        else:
+            yield from ctx.recv(buffer, partner, tag=1)
+        yield from ctx.barrier()
+        return ctx.now - t0
+
+    elapsed = max(world.run(rank_main))
+    return num_pairs * message_bytes / elapsed
+
+
+def osu_bw_sweep(
+    src_gcd: int = 0,
+    dst_gcds: Sequence[int] = (1, 2, 3, 4, 5, 6, 7),
+    *,
+    message_bytes: int = OSU_P2P_BYTES,
+    topology: NodeTopology | None = None,
+    calibration: CalibrationProfile | None = None,
+) -> ExperimentResult:
+    """Fig. 10's MPI series: both SDMA settings, GCD0 → all others."""
+    result = ExperimentResult(
+        "fig10_mpi", f"OSU MPI p2p bandwidth from GCD{src_gcd} (1 GiB)"
+    )
+    for dst in dst_gcds:
+        for sdma in (True, False):
+            bandwidth = osu_bw(
+                src_gcd,
+                dst,
+                message_bytes=message_bytes,
+                sdma_enabled=sdma,
+                topology=topology,
+                calibration=calibration,
+            )
+            result.add(
+                dst,
+                bandwidth,
+                "B/s",
+                sdma="enabled" if sdma else "disabled",
+                dst=dst,
+            )
+    return result
+
+
+def osu_collective_latency(
+    collective: str,
+    num_partners: int,
+    *,
+    message_bytes: int = OSU_COLLECTIVE_BYTES,
+    iterations: int = COLLECTIVE_ITERATIONS,
+    warmup: int = COLLECTIVE_WARMUP,
+    topology: NodeTopology | None = None,
+    calibration: CalibrationProfile | None = None,
+) -> float:
+    """Average latency (seconds) of one MPI collective.
+
+    One rank per GCD, GCDs 0..n-1 (rccl-tests and the paper's OSU runs
+    enumerate devices in order).  Latency is the max across ranks per
+    iteration, averaged over iterations — OSU's reporting convention.
+    """
+    if collective not in COLLECTIVES:
+        raise BenchmarkError(
+            f"unknown collective {collective!r}; known: {sorted(COLLECTIVES)}"
+        )
+    if num_partners < 2:
+        raise BenchmarkError("collectives need at least two partners")
+    fn = COLLECTIVES[collective]
+    world = _world(list(range(num_partners)), topology, calibration, None)
+
+    def rank_main(ctx: RankContext) -> Generator:
+        send = ctx.hip.malloc(message_bytes, label=f"osu-send-r{ctx.rank}")
+        recv = ctx.hip.malloc(message_bytes, label=f"osu-recv-r{ctx.rank}")
+
+        def invoke() -> Generator:
+            if collective == "broadcast":
+                yield from fn(ctx, send, message_bytes)
+            else:
+                yield from fn(ctx, send, recv, message_bytes)
+
+        for _ in range(warmup):
+            yield from invoke()
+        total = 0.0
+        for _ in range(iterations):
+            yield from ctx.barrier()
+            t0 = ctx.now
+            yield from invoke()
+            total += ctx.now - t0
+        return total / iterations
+
+    per_rank = world.run(rank_main)
+    return max(per_rank)
+
+
+def collective_latency_sweep(
+    collectives: Sequence[str] | None = None,
+    partner_counts: Sequence[int] = PARTNER_COUNTS,
+    *,
+    message_bytes: int = OSU_COLLECTIVE_BYTES,
+    topology: NodeTopology | None = None,
+    calibration: CalibrationProfile | None = None,
+) -> ExperimentResult:
+    """Fig. 11's MPI series: five collectives × 2–8 partners."""
+    if collectives is None:
+        # The paper's five; alltoall is an extension outside Fig. 11.
+        collectives = [
+            "allgather",
+            "allreduce",
+            "broadcast",
+            "reduce",
+            "reduce_scatter",
+        ]
+    result = ExperimentResult(
+        "fig11_mpi", "OSU MPI collective latency (1 MiB)"
+    )
+    for collective in collectives:
+        for partners in partner_counts:
+            latency = osu_collective_latency(
+                collective,
+                partners,
+                message_bytes=message_bytes,
+                topology=topology,
+                calibration=calibration,
+            )
+            result.add(
+                partners,
+                latency,
+                "s",
+                collective=collective,
+                partners=partners,
+                library="MPI",
+            )
+    return result

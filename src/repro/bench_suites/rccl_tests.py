@@ -1,0 +1,97 @@
+"""rccl-tests: RCCL collective latency, one CPU thread per GPU.
+
+Mirrors the rccl-tests harness the paper uses for Fig. 11/12: a
+communicator over GCDs 0..n-1, warm-up iterations, then timed
+iterations of one collective at a fixed message size.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..config import SimEnvironment
+from ..core.calibration import CalibrationProfile
+from ..core.experiment import ExperimentResult
+from ..core.sweep import OSU_COLLECTIVE_BYTES, PARTNER_COUNTS
+from ..errors import BenchmarkError
+from ..hardware.node import HardwareNode
+from ..rccl.collectives import RCCL_COLLECTIVES
+from ..rccl.communicator import RcclCommunicator
+from ..topology.node import NodeTopology
+from ..topology.presets import frontier_node
+
+ITERATIONS = 3
+WARMUP = 1
+
+
+def rccl_collective_latency(
+    collective: str,
+    num_threads: int,
+    *,
+    message_bytes: int = OSU_COLLECTIVE_BYTES,
+    iterations: int = ITERATIONS,
+    warmup: int = WARMUP,
+    topology: NodeTopology | None = None,
+    calibration: CalibrationProfile | None = None,
+) -> float:
+    """Average latency (seconds) of one RCCL collective.
+
+    ``num_threads`` CPU threads drive GCDs 0..n-1, one GPU per thread,
+    all in a single communicator — the rccl-tests setup of §VI.
+    """
+    if collective not in RCCL_COLLECTIVES:
+        raise BenchmarkError(
+            f"unknown collective {collective!r}; known: "
+            f"{sorted(RCCL_COLLECTIVES)}"
+        )
+    if num_threads < 2:
+        raise BenchmarkError("rccl-tests needs at least two threads")
+    node = HardwareNode(
+        topology if topology is not None else frontier_node(), calibration
+    )
+    comm = RcclCommunicator(node, list(range(num_threads)), env=SimEnvironment())
+    fn = RCCL_COLLECTIVES[collective]
+
+    def harness():
+        for _ in range(warmup):
+            yield from fn(comm, message_bytes)
+        total = 0.0
+        for _ in range(iterations):
+            t0 = node.now
+            yield from fn(comm, message_bytes)
+            total += node.now - t0
+        return total / iterations
+
+    return node.engine.run_process(harness(), name=f"rccl-{collective}")
+
+
+def rccl_latency_sweep(
+    collectives: Sequence[str] | None = None,
+    thread_counts: Sequence[int] = PARTNER_COUNTS,
+    *,
+    message_bytes: int = OSU_COLLECTIVE_BYTES,
+    topology: NodeTopology | None = None,
+    calibration: CalibrationProfile | None = None,
+) -> ExperimentResult:
+    """Fig. 12: five collectives × 2–8 threads."""
+    if collectives is None:
+        collectives = sorted(RCCL_COLLECTIVES)
+    result = ExperimentResult("fig12", "RCCL collective latency (1 MiB)")
+    for collective in collectives:
+        for threads in thread_counts:
+            latency = rccl_collective_latency(
+                collective,
+                threads,
+                message_bytes=message_bytes,
+                topology=topology,
+                calibration=calibration,
+            )
+            result.add(
+                threads,
+                latency,
+                "s",
+                collective=collective,
+                partners=threads,
+                library="RCCL",
+            )
+    return result

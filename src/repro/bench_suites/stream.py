@@ -1,0 +1,233 @@
+"""STREAM-copy-based benchmarks.
+
+Three variants the paper uses (Table II):
+
+- **local** — ``hipMalloc`` buffers, local kernel access: the
+  1400 GB/s HBM reference of §V-B.
+- **remote (zero-copy)** — kernel on one GCD, both buffers on a peer
+  (Fig. 8/9) or on the host (Table II's pinned zero-copy row).
+- **multi-GPU CPU-GPU** — Listing 1: one kernel per GCD over
+  host-pinned buffers, total bidirectional bandwidth (Fig. 4/5).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Sequence
+
+from ..config import SimEnvironment, placement_for_strategy
+from ..core.calibration import CalibrationProfile
+from ..core.experiment import ExperimentResult
+from ..core.sweep import MULTI_GPU_STREAM_BYTES, STREAM_REMOTE
+from ..errors import BenchmarkError
+from ..hardware.node import HardwareNode
+from ..hip.runtime import HipRuntime
+from ..topology.node import NodeTopology
+from ..topology.presets import frontier_node
+
+
+def _runtime(
+    topology: NodeTopology | None,
+    calibration: CalibrationProfile | None,
+    env: SimEnvironment | None = None,
+) -> HipRuntime:
+    node = HardwareNode(
+        topology if topology is not None else frontier_node(), calibration
+    )
+    return HipRuntime(node, env if env is not None else SimEnvironment())
+
+
+def local_stream_copy(
+    gcd: int = 0,
+    size: int = MULTI_GPU_STREAM_BYTES,
+    *,
+    topology: NodeTopology | None = None,
+    calibration: CalibrationProfile | None = None,
+) -> float:
+    """Local STREAM copy bandwidth, counted as 2·S/t (bytes/s)."""
+    hip = _runtime(topology, calibration)
+    hip.set_device(gcd)
+
+    def run() -> Generator:
+        a = hip.malloc(size)
+        b = hip.malloc(size)
+        t0 = hip.now
+        yield hip.launch_stream_copy(b, a)
+        return 2 * size / (hip.now - t0)
+
+    return hip.run(run())
+
+
+def remote_stream_copy(
+    executor_gcd: int,
+    data_gcd: int,
+    size: int,
+    *,
+    topology: NodeTopology | None = None,
+    calibration: CalibrationProfile | None = None,
+) -> float:
+    """Bidirectional zero-copy bandwidth: kernel on ``executor_gcd``,
+    both buffers on ``data_gcd`` (Fig. 8's setup), as 2·S/t."""
+    if executor_gcd == data_gcd:
+        raise BenchmarkError("remote stream requires distinct GCDs")
+    hip = _runtime(topology, calibration)
+    hip.enable_all_peer_access()
+
+    def run() -> Generator:
+        a = hip.malloc(size, device=data_gcd)
+        b = hip.malloc(size, device=data_gcd)
+        t0 = hip.now
+        yield hip.launch_stream_copy(b, a, device=executor_gcd)
+        return 2 * size / (hip.now - t0)
+
+    return hip.run(run())
+
+
+def remote_stream_sweep(
+    executor_gcd: int = 0,
+    data_gcds: Sequence[int] = (1, 2, 6),
+    sizes: Sequence[int] | None = None,
+    *,
+    topology: NodeTopology | None = None,
+    calibration: CalibrationProfile | None = None,
+) -> ExperimentResult:
+    """The Fig. 8 sweep: three link tiers, sizes up to 8 GB."""
+    if sizes is None:
+        sizes = STREAM_REMOTE.sizes()
+    result = ExperimentResult(
+        "fig08",
+        f"Bidirectional STREAM copy on GCD{executor_gcd}, remote placement",
+    )
+    for data_gcd in data_gcds:
+        for size in sizes:
+            bandwidth = remote_stream_copy(
+                executor_gcd,
+                data_gcd,
+                size,
+                topology=topology,
+                calibration=calibration,
+            )
+            result.add(size, bandwidth, "B/s", data_gcd=data_gcd)
+    return result
+
+
+def direct_p2p_read(
+    executor_gcd: int,
+    peer_gcd: int,
+    size: int,
+    *,
+    topology: NodeTopology | None = None,
+    calibration: CalibrationProfile | None = None,
+) -> float:
+    """Unidirectional direct-P2P: copy *from peer to local* memory.
+
+    The "direct P2P" reference series of Fig. 10: the kernel reads the
+    peer buffer over the fabric and writes locally, so the link carries
+    payload in one direction only.  Counted as S/t.
+    """
+    if executor_gcd == peer_gcd:
+        raise BenchmarkError("direct P2P requires distinct GCDs")
+    hip = _runtime(topology, calibration)
+    hip.enable_all_peer_access()
+
+    def run() -> Generator:
+        src = hip.malloc(size, device=peer_gcd)
+        dst = hip.malloc(size, device=executor_gcd)
+        t0 = hip.now
+        yield hip.launch_stream_copy(dst, src, device=executor_gcd)
+        return size / (hip.now - t0)
+
+    return hip.run(run())
+
+
+def host_zero_copy_stream(
+    gcd: int = 0,
+    size: int = MULTI_GPU_STREAM_BYTES,
+    *,
+    topology: NodeTopology | None = None,
+    calibration: CalibrationProfile | None = None,
+) -> float:
+    """Single-GCD CPU-GPU zero-copy STREAM (Table II row), 2·S/t."""
+    return multi_gpu_cpu_stream(
+        [gcd], size, topology=topology, calibration=calibration
+    )
+
+
+def multi_gpu_cpu_stream(
+    placement: Sequence[int],
+    size: int = MULTI_GPU_STREAM_BYTES,
+    *,
+    topology: NodeTopology | None = None,
+    calibration: CalibrationProfile | None = None,
+) -> float:
+    """Listing 1: one STREAM copy kernel per GCD over host-pinned
+    buffers; total bidirectional bandwidth ``N_GPU · 2N / t``."""
+    if not placement:
+        raise BenchmarkError("placement must select at least one GCD")
+    if len(set(placement)) != len(placement):
+        raise BenchmarkError("duplicate GCDs in placement")
+    hip = _runtime(topology, calibration)
+
+    def run() -> Generator:
+        buffers = {}
+        for gcd in placement:
+            hip.set_device(gcd)
+            a = hip.host_malloc(size, device=gcd, label=f"a{gcd}")
+            b = hip.host_malloc(size, device=gcd, label=f"b{gcd}")
+            # init_array on the GPU, as in Listing 1 (not timed).
+            yield hip.launch_init_array(a, device=gcd)
+            buffers[gcd] = (a, b)
+        t0 = hip.now
+        events = [
+            hip.launch_stream_copy(b, a, device=gcd)
+            for gcd, (a, b) in buffers.items()
+        ]
+        yield hip.engine.all_of(events)
+        elapsed = hip.now - t0
+        return len(placement) * 2 * size / elapsed
+
+    return hip.run(run())
+
+
+def dual_gcd_experiment(
+    size: int = MULTI_GPU_STREAM_BYTES,
+    *,
+    topology: NodeTopology | None = None,
+    calibration: CalibrationProfile | None = None,
+) -> ExperimentResult:
+    """Fig. 4: one GCD vs two GCDs, same-GPU vs spread placement."""
+    result = ExperimentResult(
+        "fig04", "CPU-GPU STREAM: 1 GCD vs 2 GCDs (same GPU / spread)"
+    )
+    cases = {
+        "1 GCD": (0,),
+        "2 GCDs (same GPU)": tuple(placement_for_strategy("same_gpu", 2)),
+        "2 GCDs (spread)": tuple(placement_for_strategy("spread", 2)),
+    }
+    for label, placement in cases.items():
+        bandwidth = multi_gpu_cpu_stream(
+            placement, size, topology=topology, calibration=calibration
+        )
+        result.add(
+            len(placement), bandwidth, "B/s", case=label, placement=placement
+        )
+    return result
+
+
+def scaling_experiment(
+    gcd_counts: Sequence[int] = (1, 2, 4, 8),
+    size: int = MULTI_GPU_STREAM_BYTES,
+    *,
+    topology: NodeTopology | None = None,
+    calibration: CalibrationProfile | None = None,
+) -> ExperimentResult:
+    """Fig. 5: spread-placement scaling from 1 to 8 GCDs."""
+    result = ExperimentResult(
+        "fig05", "CPU-GPU STREAM scaling, spread placement"
+    )
+    for count in gcd_counts:
+        placement = tuple(placement_for_strategy("spread", count))
+        bandwidth = multi_gpu_cpu_stream(
+            placement, size, topology=topology, calibration=calibration
+        )
+        result.add(count, bandwidth, "B/s", placement=placement)
+    return result

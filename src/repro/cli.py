@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    List the reproducible artifacts (tables/figures).
+``run <artifact> [...]``
+    Run one or more artifact drivers and print the paper-style report.
+``methodology [steps...]``
+    Run the three-step methodology (default: all steps).
+``topology``
+    Print the Fig. 1 node description and link inventory.
+``calibration``
+    Print the calibration profile with provenance summary.
+``scenarios``
+    List the what-if scenarios available for ablations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .core.calibration import DEFAULT_CALIBRATION
+from .core.methodology import STEPS, Methodology
+from .core.whatif import SCENARIOS, get_scenario
+from .topology.presets import frontier_node
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Understanding Data Movement in AMD "
+            "Multi-GPU Systems with Infinity Fabric' (SC 2024)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible artifacts")
+
+    run = sub.add_parser("run", help="run artifact drivers")
+    run.add_argument(
+        "artifacts",
+        nargs="+",
+        metavar="ARTIFACT",
+        help="artifact ids (fig01..fig12, tab01, tab02) or 'all'",
+    )
+    run.add_argument(
+        "-o",
+        "--output-dir",
+        default=None,
+        help="also write each report to <dir>/<artifact>.txt",
+    )
+    run.add_argument(
+        "--plot",
+        action="store_true",
+        help="append an ASCII chart to each report where applicable",
+    )
+
+    methodology = sub.add_parser(
+        "methodology", help="run the three-step methodology"
+    )
+    methodology.add_argument(
+        "steps",
+        nargs="*",
+        choices=list(STEPS) + [[]],
+        metavar="STEP",
+        help=f"subset of {sorted(STEPS)} (default: all)",
+    )
+
+    sub.add_parser("topology", help="print the node topology")
+    sub.add_parser("calibration", help="print the calibration profile")
+    sub.add_parser("scenarios", help="list what-if scenarios")
+    sub.add_parser("claims", help="list the paper claims and their tests")
+
+    validate = sub.add_parser(
+        "validate", help="run the system-validation battery"
+    )
+    validate.add_argument(
+        "scenario",
+        nargs="?",
+        default="baseline",
+        choices=sorted(SCENARIOS),
+        help="what-if scenario to validate (default: baseline)",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    from . import figures
+
+    for artifact_id in figures.all_ids():
+        experiment = figures.SUITE.get(artifact_id)
+        print(f"{artifact_id:8s} {experiment.paper_artifact:10s} {experiment.title}")
+    return 0
+
+
+def _cmd_run(
+    artifact_ids: Sequence[str],
+    output_dir: str | None = None,
+    show_plot: bool = False,
+) -> int:
+    from . import figures
+    from .errors import BenchmarkError
+    from .figures.plots import plot
+
+    if "all" in artifact_ids:
+        artifact_ids = figures.all_ids()
+    directory = None
+    if output_dir is not None:
+        import pathlib
+
+        directory = pathlib.Path(output_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+    status = 0
+    for artifact_id in artifact_ids:
+        try:
+            result, text = figures.run_and_report(artifact_id)
+        except BenchmarkError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            status = 2
+            continue
+        if show_plot:
+            chart = plot(artifact_id, result)
+            if chart is not None:
+                text = text + "\n\n" + chart
+        print(text)
+        print()
+        if directory is not None:
+            (directory / f"{artifact_id}.txt").write_text(text + "\n")
+    return status
+
+
+def _cmd_methodology(steps: Sequence[str]) -> int:
+    methodology = Methodology(list(steps) or None)
+    report = methodology.run()
+    print(report.text())
+    return 0
+
+
+def _cmd_topology() -> int:
+    topology = frontier_node()
+    print(topology.describe())
+    print()
+    print("GCD-GCD bundles:")
+    for link in topology.xgmi_links():
+        print(
+            f"  {link.a.index}-{link.b.index}: {link.tier.name.lower():7s}"
+            f" ({link.capacity_per_direction / 1e9:.0f}+"
+            f"{link.capacity_per_direction / 1e9:.0f} GB/s)"
+        )
+    print("GCD -> NUMA affinity:", dict(
+        (g.index, g.numa_domain) for g in topology.gcds()
+    ))
+    return 0
+
+
+def _cmd_calibration() -> int:
+    print(DEFAULT_CALIBRATION.describe())
+    return 0
+
+
+def _cmd_scenarios() -> int:
+    for name in sorted(SCENARIOS):
+        scenario = get_scenario(name)
+        print(f"{name:24s} {scenario.description}")
+    return 0
+
+
+def _cmd_validate(scenario_name: str) -> int:
+    from .core.validation import validate_node
+
+    scenario = get_scenario(scenario_name)
+    print(f"validating scenario {scenario.name!r}: {scenario.description}")
+    report = validate_node(scenario.topology, scenario.calibration)
+    print(report.text())
+    return 0 if report.passed else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.artifacts, args.output_dir, args.plot)
+    if args.command == "methodology":
+        return _cmd_methodology(args.steps)
+    if args.command == "topology":
+        return _cmd_topology()
+    if args.command == "calibration":
+        return _cmd_calibration()
+    if args.command == "scenarios":
+        return _cmd_scenarios()
+    if args.command == "claims":
+        from .core.claims import format_claims
+
+        print(format_claims())
+        return 0
+    if args.command == "validate":
+        return _cmd_validate(args.scenario)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

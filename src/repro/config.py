@@ -1,0 +1,228 @@
+"""Environment model for the simulated ROCm/HIP software stack.
+
+On a real MI250X node the behaviour studied by the paper is steered by
+environment variables: ``HSA_XNACK`` selects page-fault-and-migrate
+semantics for managed memory (§II-C), ``HSA_ENABLE_SDMA`` /
+``HSA_ENABLE_PEER_SDMA`` select the SDMA copy engines versus blit
+kernels for ``hipMemcpy`` paths (§V-A2), ``HIP_VISIBLE_DEVICES``
+restricts which GCDs a process sees (§IV-C), and
+``MPICH_GPU_SUPPORT_ENABLED`` turns on GPU-aware MPI (§III).
+
+The simulator reproduces those exact switches.  A
+:class:`SimEnvironment` is an explicit object rather than global state,
+so tests can run many configurations side by side; the
+:func:`SimEnvironment.from_environ` constructor reads the real process
+environment for users who want shell-level parity with the paper's
+scripts.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Sequence
+
+from .errors import ConfigurationError
+
+_TRUE_STRINGS = {"1", "true", "yes", "on"}
+_FALSE_STRINGS = {"0", "false", "no", "off"}
+
+
+def _parse_bool(name: str, raw: str) -> bool:
+    lowered = raw.strip().lower()
+    if lowered in _TRUE_STRINGS:
+        return True
+    if lowered in _FALSE_STRINGS:
+        return False
+    raise ConfigurationError(f"{name}={raw!r} is not a boolean value")
+
+
+def parse_visible_devices(raw: str, num_physical: int) -> tuple[int, ...]:
+    """Parse a ``HIP_VISIBLE_DEVICES`` string into physical ordinals.
+
+    The string is a comma-separated list of physical device indices; the
+    *position* in the list becomes the logical device ordinal, exactly as
+    the HIP runtime does.  Duplicates and out-of-range entries are
+    rejected.
+    """
+    raw = raw.strip()
+    if raw == "":
+        return ()
+    entries = [entry.strip() for entry in raw.split(",")]
+    ordinals: list[int] = []
+    for entry in entries:
+        if not entry or not entry.lstrip("-").isdigit():
+            raise ConfigurationError(
+                f"HIP_VISIBLE_DEVICES entry {entry!r} is not an integer"
+            )
+        ordinal = int(entry)
+        if ordinal < 0 or ordinal >= num_physical:
+            raise ConfigurationError(
+                f"HIP_VISIBLE_DEVICES entry {ordinal} outside [0, {num_physical})"
+            )
+        if ordinal in ordinals:
+            raise ConfigurationError(
+                f"HIP_VISIBLE_DEVICES entry {ordinal} listed twice"
+            )
+        ordinals.append(ordinal)
+    return tuple(ordinals)
+
+
+@dataclass(frozen=True)
+class SimEnvironment:
+    """Immutable snapshot of the runtime-steering environment.
+
+    Attributes
+    ----------
+    xnack_enabled:
+        ``HSA_XNACK=1``: GPU page faults on managed memory are resolved
+        by migrating the page and retrying (paper §II-C).  When
+        disabled, managed memory is accessed zero-copy over the
+        interconnect instead.
+    sdma_enabled:
+        ``HSA_ENABLE_SDMA=1``: host-device ``hipMemcpy`` uses the SDMA
+        engines; otherwise a blit copy kernel is used.
+    peer_sdma_enabled:
+        ``HSA_ENABLE_PEER_SDMA=1``: peer-to-peer ``hipMemcpyPeer`` uses
+        the SDMA engines (the default the paper measures in Fig. 6c);
+        setting it to 0 switches to blit kernels (§V-A2).
+    visible_devices:
+        Logical→physical GCD mapping from ``HIP_VISIBLE_DEVICES``;
+        ``None`` means all devices visible in natural order.
+    mpich_gpu_support:
+        ``MPICH_GPU_SUPPORT_ENABLED=1``: the MPI layer is GPU-aware and
+        may move device buffers directly (paper §III).
+    """
+
+    xnack_enabled: bool = False
+    sdma_enabled: bool = True
+    peer_sdma_enabled: bool = True
+    visible_devices: tuple[int, ...] | None = None
+    mpich_gpu_support: bool = True
+
+    def with_(self, **changes: object) -> "SimEnvironment":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    def map_logical_device(self, logical: int, num_physical: int) -> int:
+        """Map a logical device ordinal to a physical GCD index."""
+        if self.visible_devices is None:
+            if 0 <= logical < num_physical:
+                return logical
+            raise ConfigurationError(
+                f"logical device {logical} outside [0, {num_physical})"
+            )
+        try:
+            return self.visible_devices[logical]
+        except IndexError:
+            raise ConfigurationError(
+                f"logical device {logical} outside visible set "
+                f"{self.visible_devices}"
+            ) from None
+
+    def num_visible_devices(self, num_physical: int) -> int:
+        """Number of devices a process sees under this environment."""
+        if self.visible_devices is None:
+            return num_physical
+        return len(self.visible_devices)
+
+    @classmethod
+    def from_environ(
+        cls,
+        environ: Mapping[str, str] | None = None,
+        *,
+        num_physical: int = 8,
+    ) -> "SimEnvironment":
+        """Build an environment from a mapping (default ``os.environ``)."""
+        if environ is None:
+            environ = os.environ
+        kwargs: dict[str, object] = {}
+        if "HSA_XNACK" in environ:
+            kwargs["xnack_enabled"] = _parse_bool("HSA_XNACK", environ["HSA_XNACK"])
+        if "HSA_ENABLE_SDMA" in environ:
+            kwargs["sdma_enabled"] = _parse_bool(
+                "HSA_ENABLE_SDMA", environ["HSA_ENABLE_SDMA"]
+            )
+        if "HSA_ENABLE_PEER_SDMA" in environ:
+            kwargs["peer_sdma_enabled"] = _parse_bool(
+                "HSA_ENABLE_PEER_SDMA", environ["HSA_ENABLE_PEER_SDMA"]
+            )
+        if "HIP_VISIBLE_DEVICES" in environ:
+            kwargs["visible_devices"] = parse_visible_devices(
+                environ["HIP_VISIBLE_DEVICES"], num_physical
+            )
+        if "MPICH_GPU_SUPPORT_ENABLED" in environ:
+            kwargs["mpich_gpu_support"] = _parse_bool(
+                "MPICH_GPU_SUPPORT_ENABLED", environ["MPICH_GPU_SUPPORT_ENABLED"]
+            )
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class ToolchainInfo:
+    """Static description of the software stack the paper used (§III).
+
+    Purely informational: reports embed it so outputs are traceable to
+    the configuration they model.
+    """
+
+    rocm_version: str = "5.7.0"
+    rccl_version: str = "2.17.1"
+    mpi_implementation: str = "cray-mpich/8.1.28 (simulated)"
+    osu_version: str = "7.4"
+    compiler: str = "LLVM/Clang 17 (simulated)"
+    extra: Mapping[str, str] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """Human-readable toolchain summary for report headers."""
+        lines = [
+            f"ROCm {self.rocm_version}, RCCL {self.rccl_version}",
+            f"MPI: {self.mpi_implementation}",
+            f"OSU micro-benchmarks {self.osu_version}",
+            f"Compiler: {self.compiler}",
+        ]
+        lines.extend(f"{key}: {value}" for key, value in self.extra.items())
+        return "\n".join(lines)
+
+
+DEFAULT_TOOLCHAIN = ToolchainInfo()
+
+
+def spread_placement(num_gcds: int, total_gcds: int = 8) -> tuple[int, ...]:
+    """GCD selection for the paper's *spread* strategy (§IV-C).
+
+    Chooses at most one GCD per physical GPU before doubling up, i.e.
+    even GCDs first: 1→(0,), 2→(0, 2), 4→(0, 2, 4, 6), 8→all.
+    """
+    if not 1 <= num_gcds <= total_gcds:
+        raise ConfigurationError(
+            f"num_gcds={num_gcds} outside [1, {total_gcds}]"
+        )
+    evens = [g for g in range(total_gcds) if g % 2 == 0]
+    odds = [g for g in range(total_gcds) if g % 2 == 1]
+    order = evens + odds
+    return tuple(sorted(order[:num_gcds]))
+
+
+def same_gpu_placement(num_gcds: int, total_gcds: int = 8) -> tuple[int, ...]:
+    """GCD selection for the paper's *same GPU* strategy (§IV-C).
+
+    Fills both GCDs of a physical GPU before moving to the next:
+    2→(0, 1), 4→(0, 1, 2, 3).
+    """
+    if not 1 <= num_gcds <= total_gcds:
+        raise ConfigurationError(
+            f"num_gcds={num_gcds} outside [1, {total_gcds}]"
+        )
+    return tuple(range(num_gcds))
+
+
+def placement_for_strategy(
+    strategy: str, num_gcds: int, total_gcds: int = 8
+) -> Sequence[int]:
+    """Dispatch ``"spread"`` / ``"same_gpu"`` to the helpers above."""
+    if strategy == "spread":
+        return spread_placement(num_gcds, total_gcds)
+    if strategy == "same_gpu":
+        return same_gpu_placement(num_gcds, total_gcds)
+    raise ConfigurationError(f"unknown placement strategy {strategy!r}")

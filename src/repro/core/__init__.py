@@ -1,0 +1,18 @@
+"""The paper's primary contribution: the test & evaluation methodology.
+
+- :mod:`repro.core.calibration` — every empirical constant of the
+  performance model, each traced to the paper statement it reproduces.
+- :mod:`repro.core.bounds` — theoretical peaks and the collective
+  latency lower bounds of §VI.
+- :mod:`repro.core.experiment` / :mod:`repro.core.sweep` — experiment
+  descriptions, runners and parameter sweeps.
+- :mod:`repro.core.analysis` — utilization ratios, bandwidth-tier
+  clustering, outlier detection.
+- :mod:`repro.core.report` — paper-style tables and series.
+- :mod:`repro.core.registry` — Tables I and II as data.
+- :mod:`repro.core.methodology` — the three-step methodology driver.
+"""
+
+from .calibration import CalibrationProfile, DEFAULT_CALIBRATION
+
+__all__ = ["CalibrationProfile", "DEFAULT_CALIBRATION"]

@@ -1,0 +1,155 @@
+"""Experiment abstractions: descriptions, results, and the runner.
+
+The paper's methodology (§III) is a structured sweep over
+(link, interface, allocation, size) combinations.  These classes give
+that structure a machine-readable form: an :class:`Experiment` binds a
+measurement function to its metadata (which paper artifact it
+reproduces, what the parameters were), and an :class:`ExperimentResult`
+carries the series plus provenance, ready for the report layer and for
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from ..errors import BenchmarkError
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """A single measured point.
+
+    ``x`` is the swept coordinate (transfer size, GCD count, partner
+    count…); ``value`` the measured quantity; ``unit`` its unit
+    (``"GB/s"`` or ``"us"``); ``meta`` free-form labels (interface,
+    placement, target GCD…).
+    """
+
+    x: float
+    value: float
+    unit: str
+    meta: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ExperimentResult:
+    """All measurements of one experiment run."""
+
+    experiment_id: str
+    title: str
+    measurements: list[Measurement] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def add(
+        self, x: float, value: float, unit: str, **meta: Any
+    ) -> Measurement:
+        """Record one measurement and return it."""
+        m = Measurement(x, value, unit, meta)
+        self.measurements.append(m)
+        return m
+
+    def note(self, text: str) -> None:
+        """Attach a free-form annotation to the result."""
+        self.notes.append(text)
+
+    def series(self, **filters: Any) -> list[Measurement]:
+        """Measurements whose meta matches all ``filters``."""
+        out = []
+        for m in self.measurements:
+            if all(m.meta.get(k) == v for k, v in filters.items()):
+                out.append(m)
+        return out
+
+    def values(self, **filters: Any) -> list[float]:
+        """Measured values whose meta matches the filters."""
+        return [m.value for m in self.series(**filters)]
+
+    def xs(self, **filters: Any) -> list[float]:
+        """Swept coordinates whose meta matches the filters."""
+        return [m.x for m in self.series(**filters)]
+
+    def peak(self, **filters: Any) -> Measurement:
+        """Highest-valued measurement matching the filters."""
+        candidates = self.series(**filters)
+        if not candidates:
+            raise BenchmarkError(
+                f"no measurements match {filters!r} in {self.experiment_id}"
+            )
+        return max(candidates, key=lambda m: m.value)
+
+    def labels(self, key: str) -> list[Any]:
+        """Distinct meta values for ``key``, in first-seen order."""
+        seen: list[Any] = []
+        for m in self.measurements:
+            if key in m.meta and m.meta[key] not in seen:
+                seen.append(m.meta[key])
+        return seen
+
+    def __len__(self) -> int:
+        return len(self.measurements)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A reproducible experiment bound to a paper artifact."""
+
+    experiment_id: str  # e.g. "fig03"
+    title: str
+    paper_artifact: str  # e.g. "Figure 3"
+    runner: Callable[..., ExperimentResult]
+    default_params: Mapping[str, Any] = field(default_factory=dict)
+
+    def run(self, **overrides: Any) -> ExperimentResult:
+        """Execute the runner with defaults merged under overrides."""
+        params = dict(self.default_params)
+        params.update(overrides)
+        started = time.perf_counter()
+        result = self.runner(**params)
+        result.wall_seconds = time.perf_counter() - started
+        if result.experiment_id != self.experiment_id:
+            raise BenchmarkError(
+                f"runner returned id {result.experiment_id!r}, "
+                f"expected {self.experiment_id!r}"
+            )
+        return result
+
+
+class ExperimentSuite:
+    """Registry of experiments keyed by id (the per-figure drivers)."""
+
+    def __init__(self) -> None:
+        self._experiments: dict[str, Experiment] = {}
+
+    def register(self, experiment: Experiment) -> Experiment:
+        """Add an experiment; duplicate ids are rejected."""
+        if experiment.experiment_id in self._experiments:
+            raise BenchmarkError(
+                f"duplicate experiment id {experiment.experiment_id!r}"
+            )
+        self._experiments[experiment.experiment_id] = experiment
+        return experiment
+
+    def get(self, experiment_id: str) -> Experiment:
+        """Look up an experiment by id."""
+        try:
+            return self._experiments[experiment_id]
+        except KeyError:
+            raise BenchmarkError(
+                f"unknown experiment {experiment_id!r}; known: "
+                f"{sorted(self._experiments)}"
+            ) from None
+
+    def ids(self) -> Sequence[str]:
+        """Sorted registered experiment ids."""
+        return sorted(self._experiments)
+
+    def run_all(self, **overrides: Any) -> dict[str, ExperimentResult]:
+        """Run every experiment; returns ``{id: result}``."""
+        return {eid: self.get(eid).run(**overrides) for eid in self.ids()}
+
+    def __len__(self) -> int:
+        return len(self._experiments)

@@ -1,0 +1,75 @@
+"""The three-step testing methodology (paper §III).
+
+The paper's contribution is a *methodology*: characterize CPU-GPU data
+movement first, then GPU-GPU point-to-point, then multi-GPU
+collectives, comparing every interface against the theoretical
+capability of the link it uses.  :class:`Methodology` packages that
+pipeline so a user can point it at a topology/calibration (their
+"system") and get the full validation report — the intended use of
+the paper's artifact on new machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import BenchmarkError
+from .experiment import ExperimentResult
+
+#: The three steps and the artifacts each reproduces.
+STEPS: dict[str, tuple[str, ...]] = {
+    "cpu_gpu": ("fig02", "fig03", "fig04", "fig05"),
+    "gpu_p2p": ("fig06", "fig07", "fig08", "fig09", "fig10"),
+    "collectives": ("fig11", "fig12"),
+}
+
+
+@dataclass
+class MethodologyReport:
+    """Results of a full methodology run."""
+
+    results: dict[str, ExperimentResult] = field(default_factory=dict)
+    reports: dict[str, str] = field(default_factory=dict)
+
+    def text(self) -> str:
+        """Assembled multi-step report text."""
+        blocks = []
+        for step, artifact_ids in STEPS.items():
+            blocks.append(f"{'=' * 60}\nSTEP {step}\n{'=' * 60}")
+            for artifact_id in artifact_ids:
+                if artifact_id in self.reports:
+                    blocks.append(self.reports[artifact_id])
+        return "\n\n".join(blocks)
+
+
+class Methodology:
+    """Runs the three-step evaluation end to end."""
+
+    def __init__(self, steps: Sequence[str] | None = None) -> None:
+        if steps is None:
+            steps = list(STEPS)
+        unknown = set(steps) - set(STEPS)
+        if unknown:
+            raise BenchmarkError(f"unknown methodology steps: {sorted(unknown)}")
+        self.steps = list(steps)
+
+    def artifact_ids(self) -> list[str]:
+        """Artifact ids covered by the selected steps, in order."""
+        ids: list[str] = []
+        for step in self.steps:
+            ids.extend(STEPS[step])
+        return ids
+
+    def run(self, **params: object) -> MethodologyReport:
+        # Imported here: the figures package imports bench_suites which
+        # import core — a top-level import would be circular.
+        """Run every selected artifact driver; returns the report."""
+        from .. import figures
+
+        report = MethodologyReport()
+        for artifact_id in self.artifact_ids():
+            result, text = figures.run_and_report(artifact_id, **params)
+            report.results[artifact_id] = result
+            report.reports[artifact_id] = text
+        return report

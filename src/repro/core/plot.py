@@ -1,0 +1,159 @@
+"""ASCII plotting for terminal reports.
+
+The environment has no plotting stack, and the paper's figures are
+log-x bandwidth curves, grouped bars and matrices — all of which
+render fine as text.  These helpers are used by the CLI's ``--plot``
+mode and the examples; the core reports stay tabular.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from ..errors import BenchmarkError
+
+#: Glyph ramp for heat shading, light to dark.
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_series(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = True,
+    y_label: str = "",
+) -> str:
+    """Multi-series scatter/line chart with one glyph per series.
+
+    ``xs`` is shared by all series (missing points: pass ``nan``).
+    X is log-scaled by default — the paper's size sweeps span 4 KiB to
+    8 GiB.
+    """
+    if not xs or not series:
+        raise BenchmarkError("ascii_series needs data")
+    for name, values in series.items():
+        if len(values) != len(xs):
+            raise BenchmarkError(f"series {name!r} length mismatch")
+    glyphs = "ox+*sd^v"
+    if len(series) > len(glyphs):
+        raise BenchmarkError(f"at most {len(glyphs)} series supported")
+
+    def x_pos(x: float) -> int:
+        if log_x:
+            lo, hi = math.log(min(xs)), math.log(max(xs))
+            value = math.log(x)
+        else:
+            lo, hi = min(xs), max(xs)
+            value = x
+        if hi == lo:
+            return 0
+        return round((value - lo) / (hi - lo) * (width - 1))
+
+    finite = [
+        v
+        for values in series.values()
+        for v in values
+        if not math.isnan(v)
+    ]
+    if not finite:
+        raise BenchmarkError("no finite values to plot")
+    y_max = max(finite)
+    y_min = min(0.0, min(finite))
+
+    def y_pos(y: float) -> int:
+        if y_max == y_min:
+            return height - 1
+        return round((y - y_min) / (y_max - y_min) * (height - 1))
+
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, (name, values) in zip(glyphs, series.items()):
+        for x, y in zip(xs, values):
+            if math.isnan(y):
+                continue
+            row = height - 1 - y_pos(y)
+            grid[row][x_pos(x)] = glyph
+
+    lines = []
+    if y_label:
+        lines.append(f"{y_label} (max {y_max:.4g})")
+    for index, row in enumerate(grid):
+        marker = f"{y_max:9.3g} |" if index == 0 else (
+            f"{y_min:9.3g} |" if index == height - 1 else "          |"
+        )
+        lines.append(marker + "".join(row))
+    lines.append("          +" + "-" * width)
+    lines.append(
+        f"           {min(xs):.3g}"
+        + " " * max(1, width - 20)
+        + f"{max(xs):.3g}"
+        + ("  (log x)" if log_x else "")
+    )
+    legend = "  ".join(
+        f"{glyph}={name}" for glyph, name in zip(glyphs, series.keys())
+    )
+    lines.append("           " + legend)
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    rows: Mapping[str, float],
+    *,
+    width: int = 48,
+    unit_scale: float = 1e9,
+    unit: str = "GB/s",
+) -> str:
+    """Horizontal bar chart (the Fig. 2/9-style summaries)."""
+    if not rows:
+        raise BenchmarkError("ascii_bars needs data")
+    peak = max(rows.values())
+    if peak <= 0:
+        raise BenchmarkError("bar values must include a positive maximum")
+    label_width = max(len(label) for label in rows)
+    lines = []
+    for label, value in rows.items():
+        bar = "#" * max(1, round(value / peak * width)) if value > 0 else ""
+        lines.append(
+            f"{label:<{label_width}s} |{bar:<{width}s}| "
+            f"{value / unit_scale:8.2f} {unit}"
+        )
+    return "\n".join(lines)
+
+
+def ascii_heatmap(
+    values: Mapping[tuple[int, int], float],
+    *,
+    invert: bool = False,
+) -> str:
+    """Shaded GCD×GCD matrix (Fig. 6-style), darker = larger.
+
+    ``invert=True`` makes darker = smaller (useful for latency, where
+    small is good and should stand out lightly).
+    """
+    if not values:
+        raise BenchmarkError("ascii_heatmap needs data")
+    indices = sorted({i for pair in values for i in pair})
+    lo = min(values.values())
+    hi = max(values.values())
+    span = hi - lo
+
+    def shade(value: float) -> str:
+        fraction = 0.0 if span == 0 else (value - lo) / span
+        if invert:
+            fraction = 1.0 - fraction
+        index = min(len(_SHADES) - 1, int(fraction * (len(_SHADES) - 1) + 0.5))
+        return _SHADES[index]
+
+    lines = ["    " + " ".join(f"{d}" for d in indices)]
+    for src in indices:
+        cells = []
+        for dst in indices:
+            if (src, dst) in values:
+                cells.append(shade(values[(src, dst)]))
+            else:
+                cells.append("·")
+        lines.append(f"  {src} " + " ".join(cells))
+    lines.append(f"  scale: {lo:.3g} '{_SHADES[0]}' .. {hi:.3g} '{_SHADES[-1]}'")
+    return "\n".join(lines)

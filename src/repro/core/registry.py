@@ -1,0 +1,220 @@
+"""Tables I and II of the paper as machine-readable registries.
+
+Table I enumerates the HIP memory-allocation methods and their data-
+movement strategies; Table II maps each evaluated link/category to the
+benchmark, allocation and movement interface used.  Keeping them as
+data lets the harness print them (`benchmarks/test_tab01/02`) and lets
+tests assert that every registry row is actually implemented by the
+simulator (the registry ↔ implementation cross-checks in
+``tests/core/test_registry.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..memory.buffer import MemoryKind
+
+
+@dataclass(frozen=True)
+class MemoryApiRow:
+    """One row of Table I."""
+
+    memory: str
+    data_movement: str  # explicit | zero-copy | implicit
+    coherent: bool
+    allocation_api: str
+    movement_api: str
+    kind: MemoryKind
+    xnack: bool | None = None  # None: not applicable
+
+
+#: Table I, verbatim structure.
+TABLE_I: tuple[MemoryApiRow, ...] = (
+    MemoryApiRow(
+        memory="Pinned",
+        data_movement="explicit",
+        coherent=False,
+        allocation_api="hipHostMalloc(flag=hipHostMallocNonCoherent)",
+        movement_api="hipMemcpy(Async)",
+        kind=MemoryKind.PINNED_NONCOHERENT,
+    ),
+    MemoryApiRow(
+        memory="Pageable",
+        data_movement="explicit",
+        coherent=False,
+        allocation_api="malloc",
+        movement_api="hipMemcpy",
+        kind=MemoryKind.PAGEABLE,
+    ),
+    MemoryApiRow(
+        memory="Pinned",
+        data_movement="zero-copy",
+        coherent=True,
+        allocation_api="hipHostMalloc([flag=hipHostMallocCoherent])",
+        movement_api="(GPU kernel access)",
+        kind=MemoryKind.PINNED_COHERENT,
+    ),
+    MemoryApiRow(
+        memory="Unified",
+        data_movement="zero-copy",
+        coherent=True,
+        allocation_api="hipMallocManaged(); HSA_XNACK=0",
+        movement_api="(GPU kernel access)",
+        kind=MemoryKind.MANAGED,
+        xnack=False,
+    ),
+    MemoryApiRow(
+        memory="Unified",
+        data_movement="implicit",
+        coherent=True,
+        allocation_api="hipMallocManaged(); HSA_XNACK=1",
+        movement_api="(page migration)",
+        kind=MemoryKind.MANAGED,
+        xnack=True,
+    ),
+)
+
+
+@dataclass(frozen=True)
+class BenchmarkRow:
+    """One row of Table II."""
+
+    link: str  # "CPU-GPU" | "GPU-GPU"
+    category: str
+    benchmark: str
+    allocation: str
+    data_movement: str
+    suite_module: str  # repro module implementing it
+
+
+#: Table II, verbatim structure, with implementation pointers.
+TABLE_II: tuple[BenchmarkRow, ...] = (
+    BenchmarkRow(
+        "CPU-GPU",
+        "Local GPU memory",
+        "STREAM (Copy)",
+        "hipMalloc",
+        "local access (GPU kernel)",
+        "repro.bench_suites.stream",
+    ),
+    BenchmarkRow(
+        "CPU-GPU",
+        "CPU-GPU",
+        "CommScope",
+        "pageable (malloc)",
+        "hipMemcpy",
+        "repro.bench_suites.comm_scope",
+    ),
+    BenchmarkRow(
+        "CPU-GPU",
+        "CPU-GPU",
+        "CommScope",
+        "pinned (hipHostMalloc)",
+        "hipMemcpy",
+        "repro.bench_suites.comm_scope",
+    ),
+    BenchmarkRow(
+        "CPU-GPU",
+        "CPU-GPU",
+        "CommScope",
+        "managed (hipMallocManaged)",
+        "zero-copy (GPU kernel)",
+        "repro.bench_suites.comm_scope",
+    ),
+    BenchmarkRow(
+        "CPU-GPU",
+        "CPU-GPU",
+        "CommScope",
+        "managed (hipMallocManaged)",
+        "page migration (XNACK)",
+        "repro.bench_suites.comm_scope",
+    ),
+    BenchmarkRow(
+        "CPU-GPU",
+        "CPU-GPU",
+        "STREAM (copy)",
+        "pinned (hipHostMalloc)",
+        "zero-copy (GPU kernel)",
+        "repro.bench_suites.stream",
+    ),
+    BenchmarkRow(
+        "GPU-GPU",
+        "GPU peer-to-peer",
+        "CommScope",
+        "hipMalloc",
+        "hipMemcpyPeer",
+        "repro.bench_suites.comm_scope",
+    ),
+    BenchmarkRow(
+        "GPU-GPU",
+        "GPU peer-to-peer",
+        "p2pBandwidthLatencyTest",
+        "hipMalloc",
+        "hipMemcpyPeer",
+        "repro.bench_suites.p2p_matrix",
+    ),
+    BenchmarkRow(
+        "GPU-GPU",
+        "GPU peer-to-peer",
+        "STREAM (copy)",
+        "hipMalloc",
+        "zero-copy (GPU kernel)",
+        "repro.bench_suites.stream",
+    ),
+    BenchmarkRow(
+        "GPU-GPU",
+        "MPI GPU point-to-point",
+        "OSU micro-benchmarks",
+        "hipMalloc",
+        "MPI_ISend, MPI_Recv",
+        "repro.bench_suites.osu",
+    ),
+    BenchmarkRow(
+        "GPU-GPU",
+        "MPI GPU Collectives",
+        "OSU micro-benchmarks",
+        "hipMalloc",
+        "MPI collectives",
+        "repro.bench_suites.osu",
+    ),
+    BenchmarkRow(
+        "GPU-GPU",
+        "GPU Collectives",
+        "RCCL-tests",
+        "hipMalloc",
+        "RCCL collectives",
+        "repro.bench_suites.rccl_tests",
+    ),
+)
+
+
+def format_table_i() -> str:
+    """Table I rendered as aligned text."""
+    lines = [
+        "# Table I: Memory allocation methods in HIP (CPU-side)",
+        f"{'Memory':10s} {'Movement':10s} {'Coherent':8s} "
+        f"{'Allocation API':48s} {'Movement API':20s}",
+    ]
+    for row in TABLE_I:
+        lines.append(
+            f"{row.memory:10s} {row.data_movement:10s} "
+            f"{('yes' if row.coherent else 'no'):8s} "
+            f"{row.allocation_api:48s} {row.movement_api:20s}"
+        )
+    return "\n".join(lines)
+
+
+def format_table_ii() -> str:
+    """Table II rendered as aligned text."""
+    lines = [
+        "# Table II: Evaluated memory types, benchmarks and interfaces",
+        f"{'Link':8s} {'Category':24s} {'Benchmark':26s} "
+        f"{'Allocation':30s} {'Data movement':28s}",
+    ]
+    for row in TABLE_II:
+        lines.append(
+            f"{row.link:8s} {row.category:24s} {row.benchmark:26s} "
+            f"{row.allocation:30s} {row.data_movement:28s}"
+        )
+    return "\n".join(lines)

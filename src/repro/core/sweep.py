@@ -1,0 +1,74 @@
+"""Parameter sweeps.
+
+The benchmark suites sweep transfer sizes (CommScope: 4 KiB–1 GiB,
+peer tests: 256 B–8 GiB), device counts (1–8 GCDs) and partner counts
+(2–8).  :class:`SizeSweep` and friends centralize those grids so every
+figure uses exactly the ranges the paper states.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping, Sequence
+
+from ..errors import BenchmarkError
+from ..units import GiB, KiB, MiB, pow2_sizes
+
+
+@dataclass(frozen=True)
+class SizeSweep:
+    """A power-of-two transfer-size grid."""
+
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.start <= 0 or self.stop < self.start:
+            raise BenchmarkError(
+                f"invalid sweep [{self.start}, {self.stop}]"
+            )
+
+    def sizes(self) -> list[int]:
+        """The power-of-two sizes of this sweep, ascending."""
+        return list(pow2_sizes(self.start, self.stop))
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.sizes())
+
+    def __len__(self) -> int:
+        return len(self.sizes())
+
+
+#: CommScope host-to-device sweep (paper §IV-A: "4 KB to 1 GB").
+COMM_SCOPE_H2D = SizeSweep(4 * KiB, 1 * GiB)
+#: CommScope peer-to-peer sweep (paper §V-A2: "256 bytes to 8 GB").
+COMM_SCOPE_P2P = SizeSweep(256, 8 * GiB)
+#: STREAM direct-access sweep (paper §V-B: "up to 8 GB").
+STREAM_REMOTE = SizeSweep(1 * MiB, 8 * GiB)
+#: OSU collective message size (paper Fig. 11/12: 1 MiB).
+OSU_COLLECTIVE_BYTES = 1 * MiB
+#: OSU point-to-point bandwidth message (paper Fig. 10: 1 GiB).
+OSU_P2P_BYTES = 1 * GiB
+#: Multi-GPU STREAM buffer size (paper §IV-C: N = 8 GB).  The
+#: simulator's fluid model is size-invariant above the ramp, so the
+#: default benchmark config uses 1 GiB per buffer for speed; the
+#: figure driver accepts the paper's full 8 GB too.
+MULTI_GPU_STREAM_BYTES = 1 * GiB
+#: Partner counts for collective experiments (paper Fig. 11/12: 2–8).
+PARTNER_COUNTS = tuple(range(2, 9))
+#: GCD counts for the CPU-GPU scaling experiment (paper Fig. 5).
+SCALING_GCD_COUNTS = (1, 2, 4, 8)
+
+
+def grid(**axes: Sequence[Any]) -> Iterator[Mapping[str, Any]]:
+    """Cartesian sweep over named axes.
+
+    >>> list(grid(a=[1, 2], b=["x"]))
+    [{'a': 1, 'b': 'x'}, {'a': 2, 'b': 'x'}]
+    """
+    if not axes:
+        raise BenchmarkError("grid needs at least one axis")
+    names = sorted(axes)
+    for values in itertools.product(*(axes[n] for n in names)):
+        yield dict(zip(names, values))

@@ -1,0 +1,114 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without catching unrelated bugs.
+The hierarchy mirrors the subsystems: simulation engine, topology,
+memory system, and the HIP/MPI/RCCL runtime layers.  HIP-layer errors
+additionally carry a ``hipError_t``-style status code so benchmark code
+ported from the C APIs can branch on status the same way the originals
+do.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An environment/configuration value is invalid or inconsistent."""
+
+
+class TopologyError(ReproError):
+    """The node topology is malformed or a query cannot be satisfied."""
+
+
+class RoutingError(TopologyError):
+    """No route exists between the requested endpoints."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or on a stopped engine."""
+
+
+class MemoryError_(ReproError):
+    """Base class for memory-system errors.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`MemoryError`.
+    """
+
+
+class AllocationError(MemoryError_):
+    """An allocation could not be satisfied (OOM, bad size, bad device)."""
+
+
+class InvalidAddressError(MemoryError_):
+    """An operation referenced memory outside any live allocation."""
+
+
+class PageFaultError(MemoryError_):
+    """A GPU access faulted and XNACK retry is disabled (fatal fault)."""
+
+
+class CoherenceError(MemoryError_):
+    """An access violated the coherence rules of its allocation."""
+
+
+class HipError(ReproError):
+    """A HIP API call failed.
+
+    Parameters
+    ----------
+    status:
+        Symbolic status name, mirroring ``hipError_t`` enumerators
+        (e.g. ``"hipErrorInvalidDevice"``).
+    message:
+        Human-readable description.
+    """
+
+    def __init__(self, status: str, message: str = "") -> None:
+        self.status = status
+        super().__init__(f"{status}: {message}" if message else status)
+
+
+class InvalidDeviceError(HipError):
+    """Device ordinal out of range for the current visibility mask."""
+
+    def __init__(self, message: str = "") -> None:
+        super().__init__("hipErrorInvalidDevice", message)
+
+
+class PeerAccessError(HipError):
+    """Peer access used without being enabled, or enabled twice."""
+
+    def __init__(self, message: str = "") -> None:
+        super().__init__("hipErrorPeerAccessNotEnabled", message)
+
+
+class StreamError(HipError):
+    """Invalid stream operation (e.g. use after destroy)."""
+
+    def __init__(self, message: str = "") -> None:
+        super().__init__("hipErrorInvalidHandle", message)
+
+
+class MpiError(ReproError):
+    """An MPI-layer operation failed."""
+
+
+class RcclError(ReproError):
+    """An RCCL-layer operation failed."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark harness was misused or produced inconsistent output."""
+
+
+class CalibrationError(ReproError):
+    """A calibration profile is incomplete or out of its valid range."""

@@ -1,0 +1,82 @@
+"""Per-artifact reproduction drivers: one module per table/figure.
+
+Each module exposes ``run(**params) -> ExperimentResult`` and
+``report(result) -> str`` (the paper-style text rendering).  The
+:data:`SUITE` registry binds them to experiment ids so
+``repro.figures.run("fig06")`` works uniformly — that is what the
+``benchmarks/`` harness and the examples call.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.experiment import Experiment, ExperimentResult, ExperimentSuite
+from . import (
+    fig01_topology,
+    fig02_peak_h2d,
+    fig03_h2d_sweep,
+    fig04_dual_gcd,
+    fig05_scaling,
+    fig06_p2p_matrix,
+    fig07_peer_sweep,
+    fig08_direct_access,
+    fig09_direct_peak,
+    fig10_mpi_p2p,
+    fig11_collectives,
+    fig12_rccl,
+    tab01_memory_apis,
+    tab02_benchmarks,
+)
+
+_MODULES = {
+    "tab01": tab01_memory_apis,
+    "tab02": tab02_benchmarks,
+    "fig01": fig01_topology,
+    "fig02": fig02_peak_h2d,
+    "fig03": fig03_h2d_sweep,
+    "fig04": fig04_dual_gcd,
+    "fig05": fig05_scaling,
+    "fig06": fig06_p2p_matrix,
+    "fig07": fig07_peer_sweep,
+    "fig08": fig08_direct_access,
+    "fig09": fig09_direct_peak,
+    "fig10": fig10_mpi_p2p,
+    "fig11": fig11_collectives,
+    "fig12": fig12_rccl,
+}
+
+SUITE = ExperimentSuite()
+for _eid, _module in _MODULES.items():
+    SUITE.register(
+        Experiment(
+            experiment_id=_eid,
+            title=_module.TITLE,
+            paper_artifact=_module.ARTIFACT,
+            runner=_module.run,
+        )
+    )
+
+
+def run(experiment_id: str, **params: Any) -> ExperimentResult:
+    """Run one reproduction by id (``"fig06"``, ``"tab01"``, …)."""
+    return SUITE.get(experiment_id).run(**params)
+
+
+def report(experiment_id: str, result: ExperimentResult) -> str:
+    """Paper-style text rendering of a result."""
+    return _MODULES[experiment_id].report(result)
+
+
+def run_and_report(experiment_id: str, **params: Any) -> tuple[ExperimentResult, str]:
+    """Run an artifact and return ``(result, report text)``."""
+    result = run(experiment_id, **params)
+    return result, report(experiment_id, result)
+
+
+def all_ids() -> list[str]:
+    """Every reproducible artifact id, sorted."""
+    return list(SUITE.ids())
+
+
+__all__ = ["SUITE", "run", "report", "run_and_report", "all_ids"]

@@ -1,0 +1,38 @@
+"""Figure 3: host-to-device bandwidth vs transfer size.
+
+CommScope sweep, 4 KiB – 1 GiB, four interfaces: explicit copies from
+pageable and pinned memory, managed-memory zero-copy, and managed-
+memory page migration (XNACK).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..bench_suites.comm_scope import H2D_INTERFACES, h2d_sweep
+from ..core.experiment import ExperimentResult
+from ..core.report import peak_summary, series_table
+
+TITLE = "Host-to-device bandwidth vs transfer size (Figure 3)"
+ARTIFACT = "Figure 3"
+
+
+def run(
+    interfaces: Sequence[str] = H2D_INTERFACES,
+    sizes: Sequence[int] | None = None,
+) -> ExperimentResult:
+    """Run the reproduction; returns its :class:`ExperimentResult`."""
+    result = h2d_sweep(interfaces, sizes)
+    result.title = TITLE
+    return result
+
+
+def report(result: ExperimentResult) -> str:
+    """Paper-style text rendering of a result."""
+    return "\n".join(
+        [
+            series_table(result, series_key="interface"),
+            "",
+            peak_summary(result, "interface"),
+        ]
+    )

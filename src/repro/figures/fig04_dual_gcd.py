@@ -1,0 +1,34 @@
+"""Figure 4: dual-GCD CPU-GPU STREAM, same-GPU vs spread placement."""
+
+from __future__ import annotations
+
+from ..bench_suites.stream import dual_gcd_experiment
+from ..core.bounds import cpu_gpu_peak_bidirectional
+from ..core.experiment import ExperimentResult
+from ..core.report import bar_table
+from ..core.sweep import MULTI_GPU_STREAM_BYTES
+from ..topology.presets import frontier_node
+
+TITLE = "CPU-GPU STREAM: one vs two GCDs (Figure 4)"
+ARTIFACT = "Figure 4"
+
+
+def run(size: int = MULTI_GPU_STREAM_BYTES) -> ExperimentResult:
+    """Run the reproduction; returns its :class:`ExperimentResult`."""
+    result = dual_gcd_experiment(size)
+    result.title = TITLE
+    return result
+
+
+def report(result: ExperimentResult) -> str:
+    """Paper-style text rendering of a result."""
+    topology = frontier_node()
+    rows = []
+    reference = {}
+    for m in result.measurements:
+        label = str(m.meta["case"])
+        rows.append((label, m.value))
+        reference[label] = cpu_gpu_peak_bidirectional(
+            topology, m.meta["placement"]
+        )
+    return bar_table(rows, title=TITLE, reference=reference)

@@ -1,0 +1,39 @@
+"""Figure 5: CPU-GPU STREAM scaling from one to eight GCDs (spread)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..bench_suites.stream import scaling_experiment
+from ..core.bounds import cpu_gpu_peak_bidirectional
+from ..core.experiment import ExperimentResult
+from ..core.report import bar_table
+from ..core.sweep import MULTI_GPU_STREAM_BYTES, SCALING_GCD_COUNTS
+from ..topology.presets import frontier_node
+
+TITLE = "CPU-GPU STREAM scaling, spread placement (Figure 5)"
+ARTIFACT = "Figure 5"
+
+
+def run(
+    gcd_counts: Sequence[int] = SCALING_GCD_COUNTS,
+    size: int = MULTI_GPU_STREAM_BYTES,
+) -> ExperimentResult:
+    """Run the reproduction; returns its :class:`ExperimentResult`."""
+    result = scaling_experiment(gcd_counts, size)
+    result.title = TITLE
+    return result
+
+
+def report(result: ExperimentResult) -> str:
+    """Paper-style text rendering of a result."""
+    topology = frontier_node()
+    rows = []
+    reference = {}
+    for m in result.measurements:
+        label = f"{int(m.x)} GCD(s)"
+        rows.append((label, m.value))
+        reference[label] = cpu_gpu_peak_bidirectional(
+            topology, m.meta["placement"]
+        )
+    return bar_table(rows, title=TITLE, reference=reference)

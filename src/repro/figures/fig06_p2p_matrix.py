@@ -1,0 +1,50 @@
+"""Figure 6: p2pBandwidthLatencyTest matrices (hops, latency, bandwidth)."""
+
+from __future__ import annotations
+
+from ..bench_suites.p2p_matrix import full_experiment
+from ..core.experiment import ExperimentResult
+from ..core.report import matrix_table
+
+TITLE = "Peer-to-peer hop/latency/bandwidth matrices (Figure 6)"
+ARTIFACT = "Figure 6"
+
+
+def run() -> ExperimentResult:
+    """Run the reproduction; returns its :class:`ExperimentResult`."""
+    result = full_experiment()
+    result.title = TITLE
+    return result
+
+
+def _panel(result: ExperimentResult, panel: str) -> dict[tuple[int, int], float]:
+    return {
+        (m.meta["src"], m.meta["dst"]): m.value
+        for m in result.series(panel=panel)
+    }
+
+
+def report(result: ExperimentResult) -> str:
+    """Paper-style text rendering of a result."""
+    parts = [
+        matrix_table(
+            _panel(result, "a"),
+            title="(a) shortest-path length [hops]",
+            digits=0,
+        ),
+        "",
+        matrix_table(
+            _panel(result, "b"),
+            title="(b) hipMemcpyPeerAsync latency",
+            scale=1e-6,
+            unit="us",
+        ),
+        "",
+        matrix_table(
+            _panel(result, "c"),
+            title="(c) unidirectional bandwidth",
+            scale=1e9,
+            unit="GB/s",
+        ),
+    ]
+    return "\n".join(parts)

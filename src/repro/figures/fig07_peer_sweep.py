@@ -1,0 +1,43 @@
+"""Figure 7: hipMemcpyPeer bandwidth vs size, GCD0 → adjacent GCDs."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..bench_suites.comm_scope import peer_sweep
+from ..core.experiment import ExperimentResult
+from ..core.report import peak_summary, series_table
+from ..topology.presets import frontier_node
+
+TITLE = "hipMemcpyPeer bandwidth from GCD0 to adjacent GCDs (Figure 7)"
+ARTIFACT = "Figure 7"
+
+
+def run(
+    dst_gcds: Sequence[int] = (1, 2, 6),
+    sizes: Sequence[int] | None = None,
+) -> ExperimentResult:
+    """Run the reproduction; returns its :class:`ExperimentResult`."""
+    result = peer_sweep(0, dst_gcds, sizes)
+    result.title = TITLE
+    topology = frontier_node()
+    for dst in dst_gcds:
+        tier = topology.peer_tier(0, dst)
+        if tier is not None:
+            result.note(
+                f"GCD0-GCD{dst}: {tier.name.lower()} link, theoretical "
+                f"{tier.peak_unidirectional / 1e9:.0f} GB/s per direction"
+            )
+    return result
+
+
+def report(result: ExperimentResult) -> str:
+    """Paper-style text rendering of a result."""
+    return "\n".join(
+        [
+            series_table(result, series_key="dst"),
+            "",
+            peak_summary(result, "dst"),
+            *result.notes,
+        ]
+    )

@@ -1,0 +1,40 @@
+"""Figure 8: bidirectional STREAM copy with remote data placement."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..bench_suites.stream import local_stream_copy, remote_stream_sweep
+from ..core.experiment import ExperimentResult
+from ..core.report import peak_summary, series_table
+from ..units import GiB, to_gbps
+
+TITLE = "Bidirectional STREAM copy, remote placement (Figure 8)"
+ARTIFACT = "Figure 8"
+
+
+def run(
+    data_gcds: Sequence[int] = (1, 2, 6),
+    sizes: Sequence[int] | None = None,
+) -> ExperimentResult:
+    """Run the reproduction; returns its :class:`ExperimentResult`."""
+    result = remote_stream_sweep(0, data_gcds, sizes)
+    result.title = TITLE
+    local = local_stream_copy(0, 1 * GiB)
+    result.note(
+        f"local-memory reference: {to_gbps(local):.0f} GB/s "
+        f"({local / 1.6e12:.0%} of the 1.6 TB/s HBM peak)"
+    )
+    return result
+
+
+def report(result: ExperimentResult) -> str:
+    """Paper-style text rendering of a result."""
+    return "\n".join(
+        [
+            series_table(result, series_key="data_gcd"),
+            "",
+            peak_summary(result, "data_gcd"),
+            *result.notes,
+        ]
+    )

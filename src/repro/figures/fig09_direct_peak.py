@@ -1,0 +1,50 @@
+"""Figure 9: peak bidirectional direct-access bandwidth + utilization.
+
+The maxima of the Figure 8 sweep against the theoretical bidirectional
+link peaks — the paper reports 43–44 % for all three tiers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..bench_suites.stream import remote_stream_copy
+from ..core.experiment import ExperimentResult
+from ..core.report import bar_table
+from ..topology.presets import frontier_node
+from ..units import GiB
+
+TITLE = "Peak bidirectional direct-access bandwidth (Figure 9)"
+ARTIFACT = "Figure 9"
+
+
+def run(
+    data_gcds: Sequence[int] = (1, 2, 6), size: int = 4 * GiB
+) -> ExperimentResult:
+    """Run the reproduction; returns its :class:`ExperimentResult`."""
+    topology = frontier_node()
+    result = ExperimentResult("fig09", TITLE)
+    for data_gcd in data_gcds:
+        bandwidth = remote_stream_copy(0, data_gcd, size)
+        tier = topology.peer_tier(0, data_gcd)
+        assert tier is not None
+        result.add(
+            data_gcd,
+            bandwidth,
+            "B/s",
+            data_gcd=data_gcd,
+            tier=tier.name.lower(),
+            theoretical=tier.peak_bidirectional,
+        )
+    return result
+
+
+def report(result: ExperimentResult) -> str:
+    """Paper-style text rendering of a result."""
+    rows = []
+    reference = {}
+    for m in result.measurements:
+        label = f"GCD0 <-> GCD{m.meta['data_gcd']} ({m.meta['tier']})"
+        rows.append((label, m.value))
+        reference[label] = m.meta["theoretical"]
+    return bar_table(rows, title=TITLE, reference=reference)

@@ -1,0 +1,46 @@
+"""Figure 10: MPI point-to-point bandwidth (OSU, 1 GiB) vs direct P2P.
+
+Three series per destination GCD: MPI with SDMA engines (the default),
+MPI with SDMA disabled (blit copy kernels), and the direct
+peer-to-peer copy-kernel reference.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..bench_suites.osu import osu_bw
+from ..bench_suites.stream import direct_p2p_read
+from ..core.experiment import ExperimentResult
+from ..core.report import series_table
+from ..core.sweep import OSU_P2P_BYTES
+from ..units import GiB
+
+TITLE = "MPI p2p bandwidth vs direct P2P, from GCD0 (Figure 10)"
+ARTIFACT = "Figure 10"
+
+
+def run(
+    dst_gcds: Sequence[int] = (1, 2, 3, 4, 5, 6, 7),
+    message_bytes: int = OSU_P2P_BYTES,
+) -> ExperimentResult:
+    """Run the reproduction; returns its :class:`ExperimentResult`."""
+    result = ExperimentResult("fig10", TITLE)
+    for dst in dst_gcds:
+        for sdma, label in ((True, "MPI (SDMA)"), (False, "MPI (no SDMA)")):
+            bandwidth = osu_bw(
+                0, dst, message_bytes=message_bytes, sdma_enabled=sdma
+            )
+            result.add(dst, bandwidth, "B/s", series=label, dst=dst)
+        direct = direct_p2p_read(0, dst, min(message_bytes, 1 * GiB))
+        result.add(dst, direct, "B/s", series="direct P2P", dst=dst)
+    return result
+
+
+def report(result: ExperimentResult) -> str:
+    """Paper-style text rendering of a result."""
+    return series_table(
+        result,
+        series_key="series",
+        x_formatter=lambda x: f"GCD0->{int(x)}",
+    )

@@ -1,0 +1,66 @@
+"""Figure 11: five collectives, MPI vs RCCL, 2–8 partners, 1 MiB."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..bench_suites.osu import osu_collective_latency
+from ..bench_suites.rccl_tests import rccl_collective_latency
+from ..core.experiment import ExperimentResult
+from ..core.report import latency_table
+from ..core.sweep import OSU_COLLECTIVE_BYTES, PARTNER_COUNTS
+from ..mpi.collectives import COLLECTIVES
+
+TITLE = "Collective latency, MPI vs RCCL (Figure 11)"
+ARTIFACT = "Figure 11"
+
+#: Panel order as in the paper: (a) Reduce … (e) AllGather.
+PANEL_ORDER = ("reduce", "broadcast", "allreduce", "reduce_scatter", "allgather")
+
+
+def run(
+    collectives: Sequence[str] = PANEL_ORDER,
+    partner_counts: Sequence[int] = PARTNER_COUNTS,
+    message_bytes: int = OSU_COLLECTIVE_BYTES,
+) -> ExperimentResult:
+    """Run the reproduction; returns its :class:`ExperimentResult`."""
+    result = ExperimentResult("fig11", TITLE)
+    for collective in collectives:
+        if collective not in COLLECTIVES:
+            raise KeyError(f"unknown collective {collective!r}")
+        for partners in partner_counts:
+            mpi = osu_collective_latency(
+                collective, partners, message_bytes=message_bytes
+            )
+            result.add(
+                partners,
+                mpi,
+                "s",
+                collective=collective,
+                partners=partners,
+                library="MPI",
+            )
+            rccl = rccl_collective_latency(
+                collective, partners, message_bytes=message_bytes
+            )
+            result.add(
+                partners,
+                rccl,
+                "s",
+                collective=collective,
+                partners=partners,
+                library="RCCL",
+            )
+    return result
+
+
+def report(result: ExperimentResult) -> str:
+    """Paper-style text rendering of a result."""
+    parts = []
+    for collective in PANEL_ORDER:
+        sub = ExperimentResult("fig11", f"{collective} latency (1 MiB)")
+        sub.measurements = result.series(collective=collective)
+        if sub.measurements:
+            parts.append(latency_table(sub))
+            parts.append("")
+    return "\n".join(parts).rstrip()

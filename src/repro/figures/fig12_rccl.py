@@ -1,0 +1,44 @@
+"""Figure 12: RCCL collective latency with two to eight CPU threads."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..bench_suites.rccl_tests import rccl_latency_sweep
+from ..core.bounds import collective_latency_bound
+from ..core.experiment import ExperimentResult
+from ..core.report import latency_table
+from ..core.sweep import OSU_COLLECTIVE_BYTES, PARTNER_COUNTS
+
+TITLE = "RCCL collective latency, 2-8 threads (Figure 12)"
+ARTIFACT = "Figure 12"
+
+
+def run(
+    collectives: Sequence[str] | None = None,
+    thread_counts: Sequence[int] = PARTNER_COUNTS,
+    message_bytes: int = OSU_COLLECTIVE_BYTES,
+) -> ExperimentResult:
+    """Run the reproduction; returns its :class:`ExperimentResult`."""
+    result = rccl_latency_sweep(
+        collectives, thread_counts, message_bytes=message_bytes
+    )
+    result.experiment_id = "fig12"
+    result.title = TITLE
+    for name in ("reduce", "broadcast", "allreduce", "reduce_scatter", "allgather"):
+        result.note(collective_latency_bound(name).describe())
+    return result
+
+
+def report(result: ExperimentResult) -> str:
+    """Paper-style text rendering of a result."""
+    sub = ExperimentResult("fig12", result.title)
+    sub.measurements = result.measurements
+    return "\n".join(
+        [
+            latency_table(sub, row_key="partners", col_key="collective"),
+            "",
+            "analytical lower bounds (paper §VI):",
+            *(f"  {note}" for note in result.notes),
+        ]
+    )

@@ -1,0 +1,98 @@
+"""ASCII-chart renderings of the figure results (CLI ``--plot``).
+
+Maps artifact ids to chart builders over their
+:class:`~repro.core.experiment.ExperimentResult`.  Artifacts without a
+natural chart (the tables, fig01) simply have no entry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.experiment import ExperimentResult
+from ..core.plot import ascii_bars, ascii_heatmap, ascii_series
+from ..units import to_gbps, to_us
+
+
+def _series_chart(result: ExperimentResult, key: str) -> str:
+    labels = result.labels(key)
+    xs = sorted({m.x for m in result.measurements})
+    series = {}
+    for label in labels:
+        by_x = {m.x: to_gbps(m.value) for m in result.series(**{key: label})}
+        series[str(label)] = [by_x.get(x, float("nan")) for x in xs]
+    return ascii_series(xs, series, y_label="GB/s")
+
+
+def _bar_chart(result: ExperimentResult, key: str) -> str:
+    rows = {}
+    for m in result.measurements:
+        rows[str(m.meta[key])] = m.value
+    return ascii_bars(rows)
+
+
+def _fig06_heatmaps(result: ExperimentResult) -> str:
+    latency = {
+        (m.meta["src"], m.meta["dst"]): to_us(m.value)
+        for m in result.series(panel="b")
+    }
+    bandwidth = {
+        (m.meta["src"], m.meta["dst"]): to_gbps(m.value)
+        for m in result.series(panel="c")
+    }
+    return "\n".join(
+        [
+            "latency [us] (darker = slower):",
+            ascii_heatmap(latency),
+            "",
+            "bandwidth [GB/s] (darker = faster):",
+            ascii_heatmap(bandwidth),
+        ]
+    )
+
+
+def _collective_chart(result: ExperimentResult) -> str:
+    xs = sorted({float(m.meta["partners"]) for m in result.measurements})
+    series: dict[str, list[float]] = {}
+    for m in result.measurements:
+        collective = m.meta.get("collective", "latency")
+        library = m.meta.get("library", "")
+        name = f"{collective}/{library}" if library else str(collective)
+        series.setdefault(name, [float("nan")] * len(xs))
+        series[name][xs.index(float(m.meta["partners"]))] = to_us(m.value)
+    # Keep at most 8 series (glyph limit): prefer allreduce + broadcast.
+    if len(series) > 8:
+        keep = [
+            n
+            for n in series
+            if n.startswith(("allreduce", "broadcast", "reduce/"))
+        ][:8]
+        series = {n: series[n] for n in keep}
+    return ascii_series(xs, series, log_x=False, y_label="us")
+
+
+PLOTTERS: dict[str, Callable[[ExperimentResult], str]] = {
+    "fig02": lambda r: _bar_chart(r, "interface"),
+    "fig03": lambda r: _series_chart(r, "interface"),
+    "fig04": lambda r: _bar_chart(r, "case"),
+    "fig05": lambda r: ascii_bars(
+        {f"{int(m.x)} GCDs": m.value for m in r.measurements}
+    ),
+    "fig06": _fig06_heatmaps,
+    "fig07": lambda r: _series_chart(r, "dst"),
+    "fig08": lambda r: _series_chart(r, "data_gcd"),
+    "fig09": lambda r: ascii_bars(
+        {f"GCD0<->{m.meta['data_gcd']}": m.value for m in r.measurements}
+    ),
+    "fig10": lambda r: _series_chart(r, "series"),
+    "fig11": _collective_chart,
+    "fig12": _collective_chart,
+}
+
+
+def plot(artifact_id: str, result: ExperimentResult) -> str | None:
+    """ASCII chart for an artifact, or ``None`` if it has no chart."""
+    plotter = PLOTTERS.get(artifact_id)
+    if plotter is None:
+        return None
+    return plotter(result)

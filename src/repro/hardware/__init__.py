@@ -1,0 +1,35 @@
+"""Hardware device models.
+
+These modules turn the static :mod:`repro.topology` description into
+live simulation resources:
+
+- :mod:`repro.hardware.xgmi` — directional channel naming for links.
+- :mod:`repro.hardware.hbm` — HBM2e stack model per GCD.
+- :mod:`repro.hardware.cache` — GPU cache hierarchy (L2 + 32 MB LLC).
+- :mod:`repro.hardware.sdma` — SDMA copy engines.
+- :mod:`repro.hardware.cpu` — EPYC socket: DRAM per NUMA domain,
+  socket fabric, Infinity Fabric NUMA ports.
+- :mod:`repro.hardware.gcd` — one Graphics Compute Die.
+- :mod:`repro.hardware.node` — the assembled :class:`HardwareNode`,
+  the object every runtime layer (HIP/MPI/RCCL) runs against.
+"""
+
+from .xgmi import link_channel, channels_for_route
+from .hbm import HbmStack
+from .cache import CacheHierarchy, AccessClass
+from .sdma import SdmaEngines
+from .cpu import CpuSocket
+from .gcd import GcdDevice
+from .node import HardwareNode
+
+__all__ = [
+    "link_channel",
+    "channels_for_route",
+    "HbmStack",
+    "CacheHierarchy",
+    "AccessClass",
+    "SdmaEngines",
+    "CpuSocket",
+    "GcdDevice",
+    "HardwareNode",
+]

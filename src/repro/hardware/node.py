@@ -1,0 +1,203 @@
+"""The assembled hardware node: devices + channels + routes.
+
+:class:`HardwareNode` is the root simulation object.  It owns the DES
+engine and flow network, instantiates every device model from a
+:class:`~repro.topology.node.NodeTopology`, registers all channels,
+and provides the route/channel primitives the runtime layers (HIP,
+MPI, RCCL) compose their transfers from.
+
+One :class:`HardwareNode` == one simulated machine.  Benchmarks create
+a fresh node per measurement run, so runs are fully isolated and
+deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable, Sequence
+
+from ..core.calibration import CalibrationProfile, DEFAULT_CALIBRATION
+from ..errors import TopologyError
+from ..sim.engine import SimEngine
+from ..sim.flow import Flow, FlowNetwork
+from ..sim.trace import Tracer
+from ..topology.link import LinkEndpoint, LinkTier
+from ..topology.node import NodeTopology
+from ..topology.presets import frontier_node
+from ..topology.routing import Route, RoutingPolicy, route_between
+from .cpu import CpuSocket
+from .gcd import GcdDevice
+from .xgmi import channels_for_route, link_channel, register_link_channels
+
+
+class HardwareNode:
+    """A live simulated multi-GPU node."""
+
+    def __init__(
+        self,
+        topology: NodeTopology | None = None,
+        calibration: CalibrationProfile | None = None,
+        *,
+        engine: SimEngine | None = None,
+        trace: bool = False,
+    ) -> None:
+        self.topology = topology if topology is not None else frontier_node()
+        self.calibration = (
+            calibration if calibration is not None else DEFAULT_CALIBRATION
+        )
+        self.engine = engine if engine is not None else SimEngine()
+        self.network = FlowNetwork(self.engine)
+        self.tracer = Tracer(enabled=trace)
+
+        register_link_channels(self.network, self.topology.links())
+        self.cpu = CpuSocket(self.topology, self.calibration, self.network)
+        self.gcds: dict[int, GcdDevice] = {
+            info.index: GcdDevice(info, self.calibration, self.network)
+            for info in self.topology.gcds()
+        }
+        self._route_cache: dict[
+            tuple[LinkEndpoint, LinkEndpoint, RoutingPolicy], Route
+        ] = {}
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def num_gcds(self) -> int:
+        """Number of GCDs on this node."""
+        return self.topology.num_gcds
+
+    def gcd(self, index: int) -> GcdDevice:
+        """The live device object of a GCD index."""
+        try:
+            return self.gcds[index]
+        except KeyError:
+            raise TopologyError(f"no GCD {index} on this node") from None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self.engine.now
+
+    # -- routing -----------------------------------------------------------------
+
+    def route(
+        self,
+        src: LinkEndpoint,
+        dst: LinkEndpoint,
+        policy: RoutingPolicy = RoutingPolicy.BANDWIDTH_MAX,
+    ) -> Route:
+        """Cached route lookup (routes are static per topology)."""
+        key = (src, dst, policy)
+        cached = self._route_cache.get(key)
+        if cached is None:
+            cached = route_between(self.topology, src, dst, policy)
+            self._route_cache[key] = cached
+        return cached
+
+    def gcd_route(
+        self,
+        src_gcd: int,
+        dst_gcd: int,
+        policy: RoutingPolicy = RoutingPolicy.BANDWIDTH_MAX,
+    ) -> Route:
+        """Route between two GCDs under a policy (cached)."""
+        return self.route(
+            LinkEndpoint.gcd(src_gcd), LinkEndpoint.gcd(dst_gcd), policy
+        )
+
+    def cpu_link_route(self, gcd_index: int, *, to_gcd: bool) -> Route:
+        """The one-hop route over a GCD's own CPU link.
+
+        Buffer NUMA placement is handled separately via
+        :meth:`CpuSocket.host_side_channels`; the Infinity Fabric hop
+        is always the GCD's own link (the socket fabric carries any
+        cross-NUMA leg).
+        """
+        numa = LinkEndpoint.numa(self.topology.numa_of_gcd(gcd_index))
+        gcd = LinkEndpoint.gcd(gcd_index)
+        if to_gcd:
+            return self.route(numa, gcd)
+        return self.route(gcd, numa)
+
+    def bottleneck_tier(self, route: Route) -> LinkTier:
+        """Tier of the narrowest link along a non-local route."""
+        if route.is_local:
+            raise TopologyError("local route has no bottleneck link")
+        return min(route.links, key=lambda l: l.capacity_per_direction).tier
+
+    # -- channel composition ----------------------------------------------------
+
+    def fabric_channels(self, route: Route) -> list[Hashable]:
+        """Directional link channels for a route (delegates to xgmi)."""
+        return channels_for_route(route)
+
+    def host_to_gcd_channels(
+        self, buffer_numa: int, gcd_index: int
+    ) -> list[Hashable]:
+        """All channels of a host→GCD data path (excluding engines)."""
+        route = self.cpu_link_route(gcd_index, to_gcd=True)
+        return (
+            self.cpu.host_side_channels(buffer_numa, gcd_index)
+            + self.fabric_channels(route)
+            + [self.gcd(gcd_index).hbm.channel]
+        )
+
+    def gcd_to_host_channels(
+        self, gcd_index: int, buffer_numa: int
+    ) -> list[Hashable]:
+        """All channels of a GCD→host data path (excluding engines)."""
+        route = self.cpu_link_route(gcd_index, to_gcd=False)
+        return (
+            [self.gcd(gcd_index).hbm.channel]
+            + self.fabric_channels(route)
+            + self.cpu.host_side_channels(buffer_numa, gcd_index)
+        )
+
+    def gcd_to_gcd_channels(
+        self,
+        src_gcd: int,
+        dst_gcd: int,
+        policy: RoutingPolicy = RoutingPolicy.BANDWIDTH_MAX,
+    ) -> list[Hashable]:
+        """All channels of a GCD→GCD data path (excluding engines)."""
+        route = self.gcd_route(src_gcd, dst_gcd, policy)
+        channels: list[Hashable] = [self.gcd(src_gcd).hbm.channel]
+        channels.extend(self.fabric_channels(route))
+        if dst_gcd != src_gcd:
+            channels.append(self.gcd(dst_gcd).hbm.channel)
+        return channels
+
+    # -- flow helpers --------------------------------------------------------------
+
+    def start_flow(
+        self,
+        channels: Iterable[Hashable],
+        size: float,
+        *,
+        cap: float = math.inf,
+        label: str = "",
+    ) -> Flow:
+        """Start a flow on the node's network; returns it live."""
+        return self.network.transfer(channels, size, cap=cap, label=label)
+
+    def run_all(self) -> float:
+        """Drain the event queue; returns the final simulated time."""
+        return self.engine.run()
+
+    def describe(self) -> str:
+        """Topology plus calibration summary text."""
+        return "\n".join(
+            [
+                self.topology.describe(),
+                self.calibration.describe(),
+            ]
+        )
+
+
+def frontier_hardware(
+    *,
+    calibration: CalibrationProfile | None = None,
+    trace: bool = False,
+) -> HardwareNode:
+    """Convenience: a fresh Fig. 1 node with default calibration."""
+    return HardwareNode(frontier_node(), calibration, trace=trace)

@@ -1,0 +1,43 @@
+"""Simulated HIP runtime.
+
+This package mirrors the HIP C API surface the paper's benchmarks use,
+as a Python API over the simulated :class:`~repro.hardware.node.
+HardwareNode`:
+
+========================  =============================================
+HIP                        here
+========================  =============================================
+``hipSetDevice``           :meth:`HipRuntime.set_device`
+``hipMalloc``              :meth:`HipRuntime.malloc`
+``hipHostMalloc``          :meth:`HipRuntime.host_malloc`
+``hipMallocManaged``       :meth:`HipRuntime.malloc_managed`
+``malloc`` (pageable)      :meth:`HipRuntime.pageable_malloc`
+``hipMemcpy``              :meth:`HipRuntime.memcpy` (DES process)
+``hipMemcpyAsync``         :meth:`HipRuntime.memcpy_async`
+``hipMemcpyPeer``          :meth:`HipRuntime.memcpy_peer`
+``hipMemcpyPeerAsync``     :meth:`HipRuntime.memcpy_peer_async`
+``hipDeviceEnablePeerAccess``  :meth:`HipRuntime.enable_peer_access`
+``hipDeviceSynchronize``   :meth:`HipRuntime.device_synchronize`
+``hipStreamCreate``        :meth:`HipRuntime.stream_create`
+``hipEventRecord`` etc.    :class:`repro.hip.event.HipEvent`
+kernel launch              :mod:`repro.hip.kernel`
+========================  =============================================
+
+Synchronous calls are DES *processes*: invoke them from a simulation
+process with ``yield from`` (or drive them with
+:meth:`HipRuntime.run`).  Async calls enqueue onto a
+:class:`~repro.hip.stream.Stream` and return immediately.
+"""
+
+from .enums import MemcpyKind, HostMallocFlags
+from .stream import Stream
+from .event import HipEvent
+from .runtime import HipRuntime
+
+__all__ = [
+    "MemcpyKind",
+    "HostMallocFlags",
+    "Stream",
+    "HipEvent",
+    "HipRuntime",
+]

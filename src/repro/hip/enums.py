@@ -1,0 +1,39 @@
+"""HIP enum mirrors used by the simulated runtime."""
+
+from __future__ import annotations
+
+import enum
+
+
+class MemcpyKind(enum.Enum):
+    """``hipMemcpyKind``."""
+
+    HOST_TO_HOST = "hipMemcpyHostToHost"
+    HOST_TO_DEVICE = "hipMemcpyHostToDevice"
+    DEVICE_TO_HOST = "hipMemcpyDeviceToHost"
+    DEVICE_TO_DEVICE = "hipMemcpyDeviceToDevice"
+    DEFAULT = "hipMemcpyDefault"
+
+
+class HostMallocFlags(enum.Flag):
+    """``hipHostMalloc`` flags relevant to the paper (Table I).
+
+    ``COHERENT`` is the default behaviour when no flag is given —
+    "In HIP, by default, host-pinned memory is marked as coherent."
+    ``NUMA_USER`` defers NUMA placement to the caller's policy
+    (§IV-B).
+    """
+
+    DEFAULT = 0
+    COHERENT = enum.auto()
+    NON_COHERENT = enum.auto()
+    NUMA_USER = enum.auto()
+
+
+class DeviceAttribute(enum.Enum):
+    """Subset of ``hipDeviceAttribute_t`` used by benchmarks."""
+
+    MULTIPROCESSOR_COUNT = "hipDeviceAttributeMultiprocessorCount"
+    L2_CACHE_SIZE = "hipDeviceAttributeL2CacheSize"
+    TOTAL_GLOBAL_MEM = "hipDeviceAttributeTotalGlobalMem"
+    MEMORY_BUS_PEAK = "memoryBusPeakBandwidth"  # simulator extension

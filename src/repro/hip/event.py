@@ -1,0 +1,69 @@
+"""HIP events for GPU-side timing.
+
+The paper times ``hipMemcpyPeerAsync`` with the HIP Event API
+(§V-A1): record an event before and after the operation on the same
+stream, synchronize, and read the elapsed time.  :class:`HipEvent`
+reproduces those semantics on the simulated clock — including the
+rule that an event's timestamp is taken when the *stream* reaches it,
+not when the host records it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Generator
+
+from ..errors import HipError
+from ..sim.engine import SimEngine
+from .stream import Stream
+
+_event_ids = itertools.count()
+
+
+class HipEvent:
+    """``hipEvent_t`` equivalent."""
+
+    def __init__(self, engine: SimEngine, *, name: str = "") -> None:
+        self.engine = engine
+        self.event_id = next(_event_ids)
+        self.name = name or f"hipEvent{self.event_id}"
+        self._timestamp: float | None = None
+        self._pending = None  # completion Event of the recording marker
+
+    @property
+    def recorded(self) -> bool:
+        """Whether the stream has reached the most recent record marker."""
+        return self._timestamp is not None
+
+    @property
+    def timestamp(self) -> float:
+        """Simulated time at which the stream reached the marker."""
+        if self._timestamp is None:
+            raise HipError(
+                "hipErrorNotReady", f"event {self.name} not yet reached"
+            )
+        return self._timestamp
+
+    def record(self, stream: Stream) -> None:
+        """Enqueue a timestamp marker onto ``stream`` (hipEventRecord)."""
+        self._timestamp = None
+
+        def marker() -> Generator:
+            self._timestamp = self.engine.now
+            return
+            yield  # pragma: no cover - makes this a generator
+
+        self._pending = stream.enqueue(marker, label=self.name)
+
+    def synchronize(self) -> Generator:
+        """DES process: wait until the marker has executed."""
+        if self._pending is None:
+            raise HipError(
+                "hipErrorInvalidHandle", f"event {self.name} never recorded"
+            )
+        if not self._pending.processed:
+            yield self._pending
+
+    def elapsed_since(self, start: "HipEvent") -> float:
+        """Seconds between two reached events (hipEventElapsedTime)."""
+        return self.timestamp - start.timestamp

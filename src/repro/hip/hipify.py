@@ -1,0 +1,147 @@
+"""A miniature ``hipify-perl``: CUDA→HIP source translation.
+
+The paper ports Nvidia's p2pBandwidthLatencyTest to HIP with AMD's
+``hipify`` tool (§II-B, §III).  This module implements the subset of
+that translation the ported benchmarks need — the API-name and type
+mapping plus the ``<<<...>>>`` kernel-launch rewrite — so the
+repository can demonstrate the same porting flow on benchmark sources.
+
+Like the real tool, translation is purely lexical: identifiers are
+replaced on word boundaries, launches are rewritten to
+``hipLaunchKernelGGL``, and anything unrecognized is reported rather
+than silently altered.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+#: CUDA → HIP identifier map (the subset used by the paper's tools).
+API_MAP: dict[str, str] = {
+    # runtime & device management
+    "cudaError_t": "hipError_t",
+    "cudaSuccess": "hipSuccess",
+    "cudaGetErrorString": "hipGetErrorString",
+    "cudaGetDeviceCount": "hipGetDeviceCount",
+    "cudaSetDevice": "hipSetDevice",
+    "cudaGetDevice": "hipGetDevice",
+    "cudaDeviceProp": "hipDeviceProp_t",
+    "cudaGetDeviceProperties": "hipGetDeviceProperties",
+    "cudaDeviceSynchronize": "hipDeviceSynchronize",
+    "cudaDeviceReset": "hipDeviceReset",
+    # memory
+    "cudaMalloc": "hipMalloc",
+    "cudaMallocHost": "hipHostMalloc",
+    "cudaHostAlloc": "hipHostMalloc",
+    "cudaMallocManaged": "hipMallocManaged",
+    "cudaFree": "hipFree",
+    "cudaFreeHost": "hipHostFree",
+    "cudaMemcpy": "hipMemcpy",
+    "cudaMemcpyAsync": "hipMemcpyAsync",
+    "cudaMemcpyPeer": "hipMemcpyPeer",
+    "cudaMemcpyPeerAsync": "hipMemcpyPeerAsync",
+    "cudaMemcpyHostToDevice": "hipMemcpyHostToDevice",
+    "cudaMemcpyDeviceToHost": "hipMemcpyDeviceToHost",
+    "cudaMemcpyDeviceToDevice": "hipMemcpyDeviceToDevice",
+    "cudaMemcpyDefault": "hipMemcpyDefault",
+    "cudaMemset": "hipMemset",
+    "cudaMemPrefetchAsync": "hipMemPrefetchAsync",
+    # peer access
+    "cudaDeviceCanAccessPeer": "hipDeviceCanAccessPeer",
+    "cudaDeviceEnablePeerAccess": "hipDeviceEnablePeerAccess",
+    "cudaDeviceDisablePeerAccess": "hipDeviceDisablePeerAccess",
+    # streams & events
+    "cudaStream_t": "hipStream_t",
+    "cudaStreamCreate": "hipStreamCreate",
+    "cudaStreamCreateWithFlags": "hipStreamCreateWithFlags",
+    "cudaStreamDestroy": "hipStreamDestroy",
+    "cudaStreamSynchronize": "hipStreamSynchronize",
+    "cudaStreamNonBlocking": "hipStreamNonBlocking",
+    "cudaEvent_t": "hipEvent_t",
+    "cudaEventCreate": "hipEventCreate",
+    "cudaEventDestroy": "hipEventDestroy",
+    "cudaEventRecord": "hipEventRecord",
+    "cudaEventSynchronize": "hipEventSynchronize",
+    "cudaEventElapsedTime": "hipEventElapsedTime",
+    # headers
+    "cuda_runtime.h": "hip/hip_runtime.h",
+    "cuda.h": "hip/hip_runtime.h",
+}
+
+_LAUNCH_RE = re.compile(
+    r"(?P<kernel>[A-Za-z_]\w*)\s*<<<\s*(?P<grid>[^,>]+)\s*,\s*"
+    r"(?P<block>[^,>]+?)\s*(?:,\s*(?P<shmem>[^,>]+?)\s*)?"
+    r"(?:,\s*(?P<stream>[^>]+?)\s*)?>>>\s*\((?P<args>[^;]*)\)",
+)
+
+_UNKNOWN_CUDA_RE = re.compile(r"\bcuda[A-Za-z_]\w*\b")
+
+
+@dataclass
+class HipifyResult:
+    """Outcome of translating one source text."""
+
+    source: str
+    translated: str
+    replacements: dict[str, int] = field(default_factory=dict)
+    kernel_launches: int = 0
+    unresolved: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing CUDA-flavoured survived the translation."""
+        return not self.unresolved
+
+    def summary(self) -> str:
+        """Human-readable translation summary with warnings."""
+        lines = [
+            f"hipify: {sum(self.replacements.values())} replacement(s), "
+            f"{self.kernel_launches} kernel launch(es) rewritten"
+        ]
+        for name, count in sorted(self.replacements.items()):
+            lines.append(f"  {name} -> {API_MAP[name]} x{count}")
+        if self.unresolved:
+            lines.append(
+                "  WARNING unresolved CUDA identifiers: "
+                + ", ".join(sorted(set(self.unresolved)))
+            )
+        return "\n".join(lines)
+
+
+def _rewrite_launch(match: re.Match) -> str:
+    kernel = match.group("kernel")
+    grid = match.group("grid").strip()
+    block = match.group("block").strip()
+    shmem = (match.group("shmem") or "0").strip()
+    stream = (match.group("stream") or "0").strip()
+    args = match.group("args").strip()
+    call = f"hipLaunchKernelGGL({kernel}, {grid}, {block}, {shmem}, {stream}"
+    if args:
+        call += f", {args}"
+    return call + ")"
+
+
+def hipify_source(source: str) -> HipifyResult:
+    """Translate CUDA source text to HIP.
+
+    Returns a :class:`HipifyResult` with the translated text, the
+    per-identifier replacement counts, and any CUDA identifiers that
+    had no mapping (left untouched, reported for manual porting — the
+    behaviour of the real tool).
+    """
+    result = HipifyResult(source=source, translated=source)
+    text = source
+
+    text, launches = _LAUNCH_RE.subn(_rewrite_launch, text)
+    result.kernel_launches = launches
+
+    for cuda_name in sorted(API_MAP, key=len, reverse=True):
+        pattern = re.compile(rf"(?<![\w.]){re.escape(cuda_name)}(?!\w)")
+        text, count = pattern.subn(API_MAP[cuda_name], text)
+        if count:
+            result.replacements[cuda_name] = count
+
+    result.unresolved = _UNKNOWN_CUDA_RE.findall(text)
+    result.translated = text
+    return result

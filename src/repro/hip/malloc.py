@@ -1,0 +1,150 @@
+"""Allocation APIs: hipMalloc, hipHostMalloc, hipMallocManaged, malloc.
+
+Implements the Table I allocation landscape against the simulated
+address space, including the NUMA placement behaviour of §IV-B
+(pinned memory lands on the active GPU's NUMA node unless the user
+overrides it).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import AllocationError
+from ..memory.allocator import AddressSpace
+from ..memory.buffer import Buffer, Location, MemoryKind
+from ..memory.placement import ClosestNumaPolicy, PlacementPolicy
+from ..topology.numa import NumaMap
+from .enums import HostMallocFlags
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hardware.node import HardwareNode
+
+
+class AllocApi:
+    """Allocation interface of the simulated runtime."""
+
+    def __init__(self, node: "HardwareNode", address_space: AddressSpace) -> None:
+        self.node = node
+        self.space = address_space
+        self.numa_map = NumaMap.from_topology(node.topology)
+        self.default_policy: PlacementPolicy = ClosestNumaPolicy()
+
+    # -- device memory -----------------------------------------------------
+
+    def malloc(self, device_index: int, size: int, *, label: str = "") -> Buffer:
+        """``hipMalloc``: device HBM on ``device_index``."""
+        hbm = self.node.gcd(device_index).hbm
+        return self.space.allocate(
+            size,
+            MemoryKind.DEVICE,
+            Location.gcd(device_index),
+            owner_device=device_index,
+            label=label or f"hipMalloc@gcd{device_index}",
+            reserve=hbm.reserve,
+        )
+
+    # -- host memory ------------------------------------------------------------
+
+    def host_malloc(
+        self,
+        active_device: int,
+        size: int,
+        flags: HostMallocFlags = HostMallocFlags.DEFAULT,
+        *,
+        policy: Optional[PlacementPolicy] = None,
+        label: str = "",
+    ) -> Buffer:
+        """``hipHostMalloc``: pinned host memory.
+
+        Coherent unless ``NON_COHERENT`` is passed (Table I).  NUMA
+        placement follows the active device unless ``NUMA_USER`` (and a
+        policy) overrides it.
+        """
+        if (
+            HostMallocFlags.COHERENT in flags
+            and HostMallocFlags.NON_COHERENT in flags
+        ):
+            raise AllocationError(
+                "hipHostMallocCoherent and hipHostMallocNonCoherent are exclusive"
+            )
+        kind = (
+            MemoryKind.PINNED_NONCOHERENT
+            if HostMallocFlags.NON_COHERENT in flags
+            else MemoryKind.PINNED_COHERENT
+        )
+        if HostMallocFlags.NUMA_USER in flags and policy is not None:
+            chosen = policy
+        elif HostMallocFlags.NUMA_USER in flags:
+            raise AllocationError("hipHostMallocNumaUser requires a NUMA policy")
+        else:
+            chosen = self.default_policy
+        numa = chosen.numa_for(active_gcd=active_device, numa_map=self.numa_map)
+        return self.space.allocate(
+            size,
+            kind,
+            Location.host(numa),
+            owner_device=active_device,
+            label=label or f"hipHostMalloc@numa{numa}",
+        )
+
+    def pageable_malloc(
+        self, size: int, *, numa_index: int = 0, label: str = ""
+    ) -> Buffer:
+        """Plain ``malloc``: pageable memory, first-touch NUMA placement."""
+        self.node.topology.numa_domain(numa_index)  # validate
+        return self.space.allocate(
+            size,
+            MemoryKind.PAGEABLE,
+            Location.host(numa_index),
+            label=label or f"malloc@numa{numa_index}",
+        )
+
+    def malloc_managed(
+        self, active_device: int, size: int, *, label: str = ""
+    ) -> Buffer:
+        """``hipMallocManaged``: unified memory, host-resident initially.
+
+        HIP first-touches managed memory on the host; pages migrate (or
+        are accessed zero-copy) per the XNACK configuration.
+        """
+        numa = self.numa_map.default_host_numa_for(active_device)
+        return self.space.allocate(
+            size,
+            MemoryKind.MANAGED,
+            Location.host(numa),
+            owner_device=active_device,
+            label=label or f"hipMallocManaged@numa{numa}",
+        )
+
+    def register_host_buffer(self, buffer: Buffer) -> Buffer:
+        """``hipHostRegister``: pin an existing pageable allocation.
+
+        Returns a pinned-view of the same storage (same address/size);
+        models the numa_alloc_onnode + hipHostRegister path of §IV-B.
+        """
+        buffer.check_live()
+        if buffer.kind is not MemoryKind.PAGEABLE:
+            raise AllocationError("hipHostRegister expects pageable memory")
+        # Re-type in place: registration pins the existing pages.
+        object.__setattr__  # no-op reference; Buffer uses __slots__, not frozen
+        new = Buffer(
+            buffer.address,
+            buffer.size,
+            MemoryKind.PINNED_COHERENT,
+            buffer.home,
+            owner_device=buffer.owner_device,
+            label=buffer.label + "+registered",
+        )
+        # Swap the registry entry so resolve() sees the pinned view.
+        self.space._buffers[buffer.address] = new  # noqa: SLF001 - deliberate
+        return new
+
+    # -- free -----------------------------------------------------------------------
+
+    def free(self, buffer: Buffer) -> None:
+        """``hipFree`` / ``hipHostFree`` / ``free``."""
+        release = None
+        if buffer.kind is MemoryKind.DEVICE:
+            release = self.node.gcd(buffer.home.index).hbm.release
+        self.space.free(buffer, release=release)

@@ -1,0 +1,60 @@
+"""Peer access management: hipDeviceCanAccessPeer / EnablePeerAccess.
+
+On the MI250X node every GCD can reach every other over the fabric, so
+``hipDeviceCanAccessPeer`` is uniformly true; what the API actually
+gates is *kernel-level* direct access to a peer's ``hipMalloc`` memory
+(the Fig. 8 experiments call it before launching copy kernels).
+``hipMemcpyPeer`` works without it, as on real hardware.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import PeerAccessError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hardware.node import HardwareNode
+
+
+class PeerApi:
+    """Peer-access interface of the simulated runtime."""
+
+    def __init__(self, node: "HardwareNode") -> None:
+        self.node = node
+
+    def can_access_peer(self, device_index: int, peer_index: int) -> bool:
+        """``hipDeviceCanAccessPeer``: fabric reachability."""
+        self.node.gcd(device_index)
+        self.node.gcd(peer_index)
+        return device_index != peer_index
+
+    def enable_peer_access(self, device_index: int, peer_index: int) -> None:
+        """``hipDeviceEnablePeerAccess``; errors if already enabled."""
+        if device_index == peer_index:
+            raise PeerAccessError("a device cannot peer with itself")
+        if not self.node.gcd(device_index).enable_peer_access(peer_index):
+            raise PeerAccessError(
+                f"peer access {device_index}->{peer_index} already enabled "
+                "(hipErrorPeerAccessAlreadyEnabled)"
+            )
+
+    def disable_peer_access(self, device_index: int, peer_index: int) -> None:
+        """``hipDeviceDisablePeerAccess``; errors if not enabled."""
+        if not self.node.gcd(device_index).disable_peer_access(peer_index):
+            raise PeerAccessError(
+                f"peer access {device_index}->{peer_index} was not enabled"
+            )
+
+    def enable_all_pairs(self) -> int:
+        """Enable peer access between every GCD pair (benchmark setup).
+
+        Returns the number of (ordered) pairs enabled.
+        """
+        enabled = 0
+        indices = [g.index for g in self.node.topology.gcds()]
+        for a in indices:
+            for b in indices:
+                if a != b and self.node.gcd(a).enable_peer_access(b):
+                    enabled += 1
+        return enabled

@@ -1,0 +1,92 @@
+"""HIP streams: in-order work queues on the DES engine.
+
+A :class:`Stream` serializes the operations enqueued on it, exactly
+like a HIP stream: each operation starts when the previous one
+completes.  Operations are DES process factories (callables returning
+generators), so any runtime operation — copies, kernels, event
+records — can be enqueued uniformly.
+
+Every device owns a *null stream* (the legacy default stream);
+``hipDeviceSynchronize`` waits for the tails of all of a device's
+streams.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Generator
+
+from ..errors import StreamError
+from ..sim.engine import Event, SimEngine
+
+_stream_ids = itertools.count()
+
+OperationFactory = Callable[[], Generator]
+
+
+class Stream:
+    """An in-order queue of simulated GPU operations."""
+
+    def __init__(self, engine: SimEngine, device_index: int, *, name: str = "") -> None:
+        self.engine = engine
+        self.device_index = device_index
+        self.stream_id = next(_stream_ids)
+        self.name = name or f"stream{self.stream_id}"
+        self._destroyed = False
+        # The tail event: triggered when the most recently enqueued
+        # operation has completed.  Starts pre-triggered (empty queue).
+        self._tail: Event = engine.event()
+        self._tail.succeed(None)
+        self._depth = 0
+
+    @property
+    def destroyed(self) -> bool:
+        """Whether ``destroy()`` was called."""
+        return self._destroyed
+
+    @property
+    def pending_operations(self) -> int:
+        """Operations enqueued but not yet completed."""
+        return self._depth
+
+    def _check_live(self) -> None:
+        if self._destroyed:
+            raise StreamError(f"operation on destroyed stream {self.name!r}")
+
+    def enqueue(self, operation: OperationFactory, *, label: str = "") -> Event:
+        """Enqueue an operation; returns its completion event."""
+        self._check_live()
+        previous_tail = self._tail
+        done = self.engine.event()
+        self._tail = done
+        self._depth += 1
+
+        def runner() -> Generator:
+            yield previous_tail
+            result = yield from operation()
+            self._depth -= 1
+            done.succeed(result)
+
+        self.engine.process(runner(), name=f"{self.name}:{label or 'op'}")
+        return done
+
+    def synchronize(self) -> Generator:
+        """DES process: wait until all enqueued work has completed."""
+        self._check_live()
+        tail = self._tail
+        if not tail.processed:
+            yield tail
+
+    @property
+    def tail_event(self) -> Event:
+        """Completion event of the most recently enqueued operation."""
+        return self._tail
+
+    def destroy(self) -> None:
+        """Destroy the stream.  Pending work still drains (HIP semantics:
+        hipStreamDestroy waits asynchronously), but new enqueues fail."""
+        self._check_live()
+        self._destroyed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Stream {self.name} dev{self.device_index} depth={self._depth}>"

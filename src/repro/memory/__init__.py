@@ -1,0 +1,43 @@
+"""Memory system: allocations, placement, coherence, page migration.
+
+Models §II-C of the paper — the HIP memory-management landscape that
+Table I enumerates:
+
+- :mod:`repro.memory.buffer` — buffer objects and memory kinds
+  (device, pinned coherent/non-coherent, pageable, managed).
+- :mod:`repro.memory.allocator` — a virtual address space with
+  non-overlap invariants and per-device accounting.
+- :mod:`repro.memory.pages` — page tables and the XNACK
+  fault-and-migrate engine behind `hipMallocManaged` + ``HSA_XNACK=1``.
+- :mod:`repro.memory.coherence` — the coherent/non-coherent rules,
+  including the MI250X "coherent ⇒ GPU caching disabled" behaviour.
+- :mod:`repro.memory.placement` — NUMA placement policies for host
+  allocations (default-closest, user-directed, interleave).
+"""
+
+from .buffer import Buffer, Location, MemoryKind
+from .allocator import AddressSpace
+from .pages import PageTable, MigrationEngine
+from .coherence import CoherencePolicy, is_coherent, is_gpu_cacheable
+from .placement import (
+    PlacementPolicy,
+    ClosestNumaPolicy,
+    ExplicitNumaPolicy,
+    InterleavePolicy,
+)
+
+__all__ = [
+    "Buffer",
+    "Location",
+    "MemoryKind",
+    "AddressSpace",
+    "PageTable",
+    "MigrationEngine",
+    "CoherencePolicy",
+    "is_coherent",
+    "is_gpu_cacheable",
+    "PlacementPolicy",
+    "ClosestNumaPolicy",
+    "ExplicitNumaPolicy",
+    "InterleavePolicy",
+]

@@ -1,0 +1,126 @@
+"""A virtual address space with allocation bookkeeping.
+
+The simulator hands out :class:`~repro.memory.buffer.Buffer` objects
+instead of raw pointers, but it still maintains a real address map:
+addresses are unique, page-aligned, non-overlapping, and resolvable
+back to their buffer — the invariants the hypothesis suite checks.
+Device allocations additionally debit the owning GCD's HBM ledger
+through a caller-provided hook, so device OOM surfaces realistically.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Iterator, Optional
+
+from ..errors import AllocationError, InvalidAddressError
+from .buffer import Buffer, Location, MemoryKind
+from .pages import PageTable
+
+#: Allocation alignment; matches the simulator's default page size.
+_ALIGNMENT = 4096
+#: Base of the simulated unified virtual address space.
+_BASE_ADDRESS = 0x7F00_0000_0000
+
+
+class AddressSpace:
+    """The unified virtual address space of one simulated node."""
+
+    def __init__(self, *, page_size: int = _ALIGNMENT) -> None:
+        if page_size <= 0 or page_size & (page_size - 1):
+            raise AllocationError("page size must be a positive power of two")
+        self.page_size = page_size
+        self._next_address = _BASE_ADDRESS
+        self._buffers: dict[int, Buffer] = {}
+        self._sorted_addresses: list[int] = []
+
+    # -- allocation -------------------------------------------------------
+
+    def allocate(
+        self,
+        size: int,
+        kind: MemoryKind,
+        home: Location,
+        *,
+        owner_device: Optional[int] = None,
+        label: str = "",
+        reserve: Optional[Callable[[int], None]] = None,
+    ) -> Buffer:
+        """Create a buffer; ``reserve`` debits physical capacity first."""
+        if size <= 0:
+            raise AllocationError(f"allocation size must be positive, got {size}")
+        if reserve is not None:
+            reserve(size)
+        aligned = -(-size // self.page_size) * self.page_size
+        address = self._next_address
+        self._next_address += aligned + self.page_size  # guard page
+        buffer = Buffer(
+            address, size, kind, home, owner_device=owner_device, label=label
+        )
+        if kind is MemoryKind.MANAGED:
+            buffer.page_table = PageTable(size, self.page_size, home)
+        self._buffers[address] = buffer
+        bisect.insort(self._sorted_addresses, address)
+        return buffer
+
+    def free(
+        self,
+        buffer: Buffer,
+        *,
+        release: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        """Free a buffer; ``release`` credits physical capacity back."""
+        if buffer.address not in self._buffers:
+            raise InvalidAddressError(
+                f"freeing unknown buffer @{buffer.address:#x}"
+            )
+        buffer.mark_freed()
+        del self._buffers[buffer.address]
+        index = bisect.bisect_left(self._sorted_addresses, buffer.address)
+        del self._sorted_addresses[index]
+        if release is not None:
+            release(buffer.size)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def resolve(self, address: int) -> Buffer:
+        """Buffer containing ``address`` (pointer-arithmetic support)."""
+        index = bisect.bisect_right(self._sorted_addresses, address) - 1
+        if index >= 0:
+            buffer = self._buffers[self._sorted_addresses[index]]
+            if buffer.contains(address):
+                return buffer
+        raise InvalidAddressError(f"address {address:#x} is not mapped")
+
+    def live_buffers(self) -> Iterator[Buffer]:
+        """Iterate live buffers in address order."""
+        for address in self._sorted_addresses:
+            yield self._buffers[address]
+
+    @property
+    def num_live(self) -> int:
+        """Count of live allocations."""
+        return len(self._buffers)
+
+    def total_live_bytes(self, kind: MemoryKind | None = None) -> int:
+        """Total live bytes, optionally filtered by kind."""
+        return sum(
+            b.size
+            for b in self._buffers.values()
+            if kind is None or b.kind is kind
+        )
+
+    def check_invariants(self) -> None:
+        """Assert the non-overlap invariant (used by property tests)."""
+        previous_end = 0
+        for address in self._sorted_addresses:
+            buffer = self._buffers[address]
+            if buffer.address < previous_end:
+                raise AllocationError(
+                    f"overlapping buffers at {buffer.address:#x}"
+                )
+            if buffer.address % self.page_size:
+                raise AllocationError(
+                    f"misaligned buffer at {buffer.address:#x}"
+                )
+            previous_end = buffer.end_address

@@ -1,0 +1,233 @@
+"""Buffer objects and memory kinds.
+
+A :class:`Buffer` is the simulator's stand-in for a pointer returned
+by an allocation API.  It records what Table I of the paper encodes:
+the allocation kind, its coherence, where the bytes physically live
+(a :class:`Location`), and — for managed memory — the page table that
+lets pages migrate between locations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import AllocationError, InvalidAddressError
+
+
+@dataclass(frozen=True, order=True)
+class Location:
+    """A physical memory location: a GCD's HBM or a host NUMA domain."""
+
+    kind: str  # "gcd" | "host"
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("gcd", "host"):
+            raise AllocationError(f"unknown location kind {self.kind!r}")
+        if self.index < 0:
+            raise AllocationError("location index must be non-negative")
+
+    @classmethod
+    def gcd(cls, index: int) -> "Location":
+        return cls("gcd", index)
+
+    @classmethod
+    def host(cls, numa_index: int) -> "Location":
+        return cls("host", numa_index)
+
+    @property
+    def is_device(self) -> bool:
+        """True for GCD HBM locations."""
+        return self.kind == "gcd"
+
+    @property
+    def is_host(self) -> bool:
+        """True for host NUMA locations."""
+        return self.kind == "host"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind}{self.index}"
+
+
+class MemoryKind(enum.Enum):
+    """Allocation kinds of Table I (plus plain device memory)."""
+
+    #: ``hipMalloc`` — device HBM, explicit movement.
+    DEVICE = "device"
+    #: ``hipHostMalloc(hipHostMallocNonCoherent)`` — pinned, explicit.
+    PINNED_NONCOHERENT = "pinned_noncoherent"
+    #: ``hipHostMalloc()`` default — pinned, coherent, zero-copy capable.
+    PINNED_COHERENT = "pinned_coherent"
+    #: ``malloc`` — pageable host memory, explicit movement only.
+    PAGEABLE = "pageable"
+    #: ``hipMallocManaged`` — unified; zero-copy (XNACK=0) or
+    #: fault-migrated (XNACK=1).
+    MANAGED = "managed"
+
+    @property
+    def is_host_kind(self) -> bool:
+        """True for host-only allocation kinds."""
+        return self in (
+            MemoryKind.PINNED_NONCOHERENT,
+            MemoryKind.PINNED_COHERENT,
+            MemoryKind.PAGEABLE,
+        )
+
+    @property
+    def is_pinned(self) -> bool:
+        """True for the pinned host kinds."""
+        return self in (
+            MemoryKind.PINNED_NONCOHERENT,
+            MemoryKind.PINNED_COHERENT,
+        )
+
+
+class Buffer:
+    """A live allocation.
+
+    ``home`` is where the allocation was created; for managed buffers
+    the *current* residency is per page (see ``page_table``) and
+    ``home`` is the preferred location.  Buffers compare by identity —
+    two allocations are never the same buffer.
+
+    **Functional payload mode**: a buffer normally carries no bytes
+    (performance simulation only).  Calling :meth:`ensure_data`
+    materializes a real ``numpy`` byte array; transfer operations then
+    move actual contents alongside the simulated timing, which lets
+    tests verify copies and collectives *numerically*.  Payloads are
+    lazy and opt-in so large sweeps stay allocation-free.
+    """
+
+    __slots__ = (
+        "address",
+        "size",
+        "kind",
+        "home",
+        "owner_device",
+        "page_table",
+        "label",
+        "_freed",
+        "data",
+    )
+
+    def __init__(
+        self,
+        address: int,
+        size: int,
+        kind: MemoryKind,
+        home: Location,
+        *,
+        owner_device: Optional[int] = None,
+        label: str = "",
+    ) -> None:
+        if size <= 0:
+            raise AllocationError("buffer size must be positive")
+        if kind is MemoryKind.DEVICE and not home.is_device:
+            raise AllocationError("device buffers must live on a GCD")
+        if kind.is_host_kind and not home.is_host:
+            raise AllocationError(f"{kind.value} buffers must live on the host")
+        self.address = address
+        self.size = size
+        self.kind = kind
+        self.home = home
+        self.owner_device = owner_device
+        self.page_table = None  # set by the allocator for managed buffers
+        self.label = label
+        self._freed = False
+        self.data = None  # materialized by ensure_data()
+
+    # -- functional payload ------------------------------------------------
+
+    def ensure_data(self):
+        """Materialize (and return) the buffer's byte payload."""
+        import numpy as np
+
+        self.check_live()
+        if self.data is None:
+            self.data = np.zeros(self.size, dtype=np.uint8)
+        return self.data
+
+    @property
+    def has_data(self) -> bool:
+        """Whether a payload array has been materialized."""
+        return self.data is not None
+
+    def copy_payload_from(self, source: "Buffer", nbytes: int) -> None:
+        """Move payload bytes if either side is materialized.
+
+        Copying *to* a materialized destination materializes the
+        source (reading uninitialized memory yields zeros, like real
+        fresh allocations); copying *from* a materialized source
+        materializes the destination.  Purely-simulated transfers
+        (neither side materialized) remain free.
+        """
+        if nbytes < 0 or nbytes > self.size or nbytes > source.size:
+            raise InvalidAddressError(
+                f"payload copy of {nbytes} bytes exceeds a buffer"
+            )
+        if not (self.has_data or source.has_data):
+            return
+        src = source.ensure_data()
+        dst = self.ensure_data()
+        dst[:nbytes] = src[:nbytes]
+
+    # -- state ----------------------------------------------------------
+
+    @property
+    def freed(self) -> bool:
+        """Whether the buffer has been freed."""
+        return self._freed
+
+    def mark_freed(self) -> None:
+        """Transition to freed; double frees raise."""
+        if self._freed:
+            raise InvalidAddressError(f"double free of buffer @{self.address:#x}")
+        self._freed = True
+
+    def check_live(self) -> None:
+        """Raise on use-after-free."""
+        if self._freed:
+            raise InvalidAddressError(
+                f"use-after-free of buffer @{self.address:#x} ({self.label!r})"
+            )
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def end_address(self) -> int:
+        """One past the last byte of the allocation."""
+        return self.address + self.size
+
+    def contains(self, address: int, size: int = 1) -> bool:
+        """Whether ``[address, address+size)`` lies inside the buffer."""
+        return self.address <= address and address + size <= self.end_address
+
+    def overlaps(self, other: "Buffer") -> bool:
+        """Whether two buffers' address ranges intersect."""
+        return self.address < other.end_address and other.address < self.end_address
+
+    # -- residency ---------------------------------------------------------------
+
+    def residency(self, offset: int = 0) -> Location:
+        """Where the byte at ``offset`` currently lives."""
+        self.check_live()
+        if not 0 <= offset < self.size:
+            raise InvalidAddressError(
+                f"offset {offset} outside buffer of {self.size} bytes"
+            )
+        if self.page_table is not None:
+            return self.page_table.location_of(offset)
+        return self.home
+
+    @property
+    def is_managed(self) -> bool:
+        """True for ``hipMallocManaged`` allocations."""
+        return self.kind is MemoryKind.MANAGED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Buffer {self.label or hex(self.address)} {self.kind.value} "
+            f"{self.size}B @{self.home}>"
+        )

@@ -1,0 +1,79 @@
+"""Coherence rules (paper §II-C, Table I).
+
+The rules the simulator enforces:
+
+- Pinned host memory is **coherent by default** ("In HIP, by default,
+  host-pinned memory is marked as coherent").
+- ``hipHostMallocNonCoherent`` opts out; such memory is intended for
+  explicit ``hipMemcpy`` staging.
+- Managed memory is coherent.
+- Device memory (``hipMalloc``) is non-coherent from the host's view;
+  peers access it through enabled peer mappings.
+- **Coherent ⇒ GPU caching disabled on MI250X**: every GPU access to
+  remote coherent memory crosses the fabric.  This is the property
+  that makes zero-copy bandwidth *link-efficiency-bound* rather than
+  cache-assisted, and it is why the calibrated kernel efficiencies are
+  what they are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CoherenceError
+from .buffer import Buffer, MemoryKind
+
+
+def is_coherent(kind: MemoryKind) -> bool:
+    """Whether an allocation kind is coherent (Table I's third column)."""
+    return kind in (
+        MemoryKind.PINNED_COHERENT,
+        MemoryKind.MANAGED,
+    )
+
+
+def is_gpu_cacheable(kind: MemoryKind, *, mi300_coherent_fabric: bool = False) -> bool:
+    """Whether GPU caches may hold lines of this allocation.
+
+    ``mi300_coherent_fabric`` models the paper's note that MI300A's
+    cache-coherent interconnect lifts the no-caching restriction; on
+    the MI250X profile it stays ``False``.
+    """
+    if not is_coherent(kind):
+        return True
+    return mi300_coherent_fabric
+
+
+@dataclass(frozen=True)
+class CoherencePolicy:
+    """Per-node coherence configuration.
+
+    ``mi300_coherent_fabric`` is the single knob; everything else
+    follows from the allocation kind.
+    """
+
+    mi300_coherent_fabric: bool = False
+
+    def gpu_cacheable(self, buffer: Buffer) -> bool:
+        """Whether GPU caches may hold this buffer's lines."""
+        return is_gpu_cacheable(
+            buffer.kind, mi300_coherent_fabric=self.mi300_coherent_fabric
+        )
+
+    def validate_cpu_visibility(self, buffer: Buffer) -> None:
+        """CPU-side access rules: device memory is not CPU-addressable."""
+        if buffer.kind is MemoryKind.DEVICE:
+            raise CoherenceError(
+                "CPU access to hipMalloc device memory requires an explicit "
+                "copy or managed/pinned memory"
+            )
+
+    def requires_fabric_roundtrip(self, buffer: Buffer, *, local: bool) -> bool:
+        """Whether each GPU access generates interconnect traffic.
+
+        True exactly for remote coherent memory with GPU caching
+        disabled — the zero-copy regime of Fig. 3 and Fig. 8.
+        """
+        if local:
+            return False
+        return not self.gpu_cacheable(buffer)

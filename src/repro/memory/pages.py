@@ -1,0 +1,296 @@
+"""Page tables and the XNACK fault-and-migrate engine.
+
+Paper §II-C: with ``HSA_XNACK=1``, a GPU access to a managed page that
+is not GPU-resident triggers a retryable page fault; the driver
+migrates the whole page and the access retries.  "Migration [is]
+performed at the page granularity, where an entire page is migrated,
+independent of the size of the data being accessed."
+
+Fig. 3 shows the consequence: streaming a large host-resident managed
+array from the GPU achieves only ≈ 2.8 GB/s, because each page pays a
+fault-service round trip before its (fast) transfer.
+
+Two execution modes are provided:
+
+- **fluid** (default): a contiguous access range migrates as one flow
+  whose rate cap is the analytic fault-bound bandwidth
+  ``page / (t_fault + page/link_rate)``.  O(1) DES events per access;
+  exact for the steady state the benchmarks measure.
+- **discrete**: every page is an individual fault event + transfer
+  flow.  O(pages) events; used by the unit tests to validate that the
+  fluid cap equals the discrete engine's asymptotic rate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Callable, Generator, Iterable
+
+from ..errors import InvalidAddressError, PageFaultError
+from .buffer import Location
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hardware.node import HardwareNode
+    from .buffer import Buffer
+
+
+class PageTable:
+    """Residency map of one managed buffer.
+
+    Pages are fixed-size; the final page may be partial.  Residency is
+    tracked per page index; all pages start at the buffer's home
+    location (first-touch by the allocating processor, as HIP does).
+    """
+
+    def __init__(self, size: int, page_size: int, home: Location) -> None:
+        if size <= 0:
+            raise InvalidAddressError("page table needs a positive size")
+        if page_size <= 0 or page_size & (page_size - 1):
+            raise InvalidAddressError("page size must be a positive power of two")
+        self.size = size
+        self.page_size = page_size
+        self.num_pages = -(-size // page_size)
+        self._residency: list[Location] = [home] * self.num_pages
+        #: Migration counters, for tests and traces.
+        self.migrations_in: int = 0
+        self.migrations_out: int = 0
+
+    def page_of(self, offset: int) -> int:
+        """Page index containing a byte offset."""
+        if not 0 <= offset < self.size:
+            raise InvalidAddressError(
+                f"offset {offset} outside managed range of {self.size} bytes"
+            )
+        return offset // self.page_size
+
+    def location_of(self, offset: int) -> Location:
+        """Current residency of the page holding an offset."""
+        return self._residency[self.page_of(offset)]
+
+    def page_location(self, page_index: int) -> Location:
+        """Current residency of a page index."""
+        try:
+            return self._residency[page_index]
+        except IndexError:
+            raise InvalidAddressError(
+                f"page {page_index} outside table of {self.num_pages} pages"
+            ) from None
+
+    def pages_in_range(self, offset: int, length: int) -> range:
+        """Page indices touched by ``[offset, offset+length)``."""
+        if length <= 0:
+            raise InvalidAddressError("range length must be positive")
+        if offset < 0 or offset + length > self.size:
+            raise InvalidAddressError(
+                f"range [{offset}, {offset + length}) outside managed buffer"
+            )
+        return range(offset // self.page_size, (offset + length - 1) // self.page_size + 1)
+
+    def nonresident_pages(
+        self, offset: int, length: int, target: Location
+    ) -> list[int]:
+        """Pages of a range not currently at ``target``."""
+        return [
+            p
+            for p in self.pages_in_range(offset, length)
+            if self._residency[p] != target
+        ]
+
+    def migrate(self, page_index: int, target: Location) -> None:
+        """Move one page to a target location (idempotent)."""
+        current = self.page_location(page_index)
+        if current == target:
+            return
+        self._residency[page_index] = target
+        if target.is_device:
+            self.migrations_in += 1
+        else:
+            self.migrations_out += 1
+
+    def migrate_range(self, offset: int, length: int, target: Location) -> int:
+        """Migrate all pages of a range; returns pages moved."""
+        moved = 0
+        for page in self.pages_in_range(offset, length):
+            if self._residency[page] != target:
+                self.migrate(page, target)
+                moved += 1
+        return moved
+
+    def resident_fraction(self, target: Location) -> float:
+        """Fraction of pages currently at a location."""
+        at_target = sum(1 for loc in self._residency if loc == target)
+        return at_target / self.num_pages
+
+    def page_bytes(self, page_index: int) -> int:
+        """Size of a page (the last page may be partial)."""
+        self.page_location(page_index)  # bounds check
+        start = page_index * self.page_size
+        return min(self.page_size, self.size - start)
+
+
+class MigrationEngine:
+    """Executes fault-driven migrations on a :class:`HardwareNode`."""
+
+    def __init__(self, node: "HardwareNode", *, discrete: bool = False) -> None:
+        self.node = node
+        self.discrete = discrete
+        self._calibration = node.calibration
+
+    # -- channel/rate helpers ------------------------------------------------
+
+    def _transfer_channels(self, source: Location, gcd_index: int) -> list:
+        if source.is_host:
+            return self.node.host_to_gcd_channels(source.index, gcd_index)
+        return self.node.gcd_to_gcd_channels(source.index, gcd_index)
+
+    def _link_rate(self, source: Location, gcd_index: int) -> float:
+        """Rate at which one page's bytes move once the fault is serviced."""
+        from ..topology.link import LinkTier
+
+        if source.is_host:
+            return self._calibration.sdma_cap_for_tier(LinkTier.CPU)
+        route = self.node.gcd_route(source.index, gcd_index)
+        tier = self.node.bottleneck_tier(route)
+        return self._calibration.sdma_cap_for_tier(tier)
+
+    def fault_bound_rate(self, source: Location, gcd_index: int) -> float:
+        """Analytic fault-limited migration bandwidth (the 2.8 GB/s)."""
+        return self._calibration.page_migration_bw(
+            self._link_rate(source, gcd_index)
+        )
+
+    # -- migration processes ------------------------------------------------------
+
+    def migrate_for_access(
+        self,
+        buffer: "Buffer",
+        offset: int,
+        length: int,
+        gcd_index: int,
+        *,
+        xnack_enabled: bool,
+    ) -> Generator:
+        """DES process: make ``[offset, offset+length)`` GPU-resident.
+
+        Yields engine events; on completion the page table reflects the
+        new residency.  Raises :class:`PageFaultError` when pages are
+        non-resident and XNACK is off (a real fatal GPU fault).
+        """
+        table = buffer.page_table
+        if table is None:
+            raise PageFaultError("buffer has no page table (not managed)")
+        target = Location.gcd(gcd_index)
+        pending = table.nonresident_pages(offset, length, target)
+        if not pending:
+            return
+        if not xnack_enabled:
+            raise PageFaultError(
+                f"GPU fault on non-resident managed page (HSA_XNACK=0); "
+                f"buffer {buffer.label!r} page {pending[0]}"
+            )
+        if self.discrete:
+            yield from self._migrate_discrete(table, pending, target, gcd_index)
+        else:
+            yield from self._migrate_fluid(table, pending, target, gcd_index)
+
+    def _migrate_fluid(
+        self, table: PageTable, pages: list[int], target: Location, gcd_index: int
+    ) -> Generator:
+        # Group pages by their current source so each group is one flow.
+        by_source: dict[Location, list[int]] = {}
+        for page in pages:
+            by_source.setdefault(table.page_location(page), []).append(page)
+        flows = []
+        for source, group in by_source.items():
+            total = sum(table.page_bytes(p) for p in group)
+            cap = self.fault_bound_rate(source, gcd_index)
+            flow = self.node.start_flow(
+                self._transfer_channels(source, gcd_index),
+                total,
+                cap=cap,
+                label=f"xnack-migrate x{len(group)}",
+            )
+            flows.append(flow)
+        start = self.node.now
+        yield self.node.engine.all_of([f.done for f in flows])
+        for source, group in by_source.items():
+            for page in group:
+                table.migrate(page, target)
+        self.node.tracer.record(
+            start,
+            self.node.now,
+            "fault",
+            "migrate-fluid",
+            pages=len(pages),
+            gcd=gcd_index,
+        )
+
+    def _migrate_discrete(
+        self, table: PageTable, pages: list[int], target: Location, gcd_index: int
+    ) -> Generator:
+        """Page-at-a-time faults, serialized like the real retry loop."""
+        start = self.node.now
+        for page in pages:
+            source = table.page_location(page)
+            # Fault service: interrupt, driver handling, PT update.
+            yield self.node.engine.timeout(self._calibration.xnack_fault_service)
+            flow = self.node.start_flow(
+                self._transfer_channels(source, gcd_index),
+                table.page_bytes(page),
+                cap=self._link_rate(source, gcd_index),
+                label=f"xnack-page{page}",
+            )
+            yield flow.done
+            table.migrate(page, target)
+        self.node.tracer.record(
+            start,
+            self.node.now,
+            "fault",
+            "migrate-discrete",
+            pages=len(pages),
+            gcd=gcd_index,
+        )
+
+    def prefetch(
+        self, buffer: "Buffer", target: Location
+    ) -> Generator:
+        """DES process modelling ``hipMemPrefetchAsync``: bulk migration.
+
+        Prefetch skips the fault path entirely, so it runs at SDMA rate
+        — the remedy HIP offers for the 2.8 GB/s fault-bound rate.
+        """
+        table = buffer.page_table
+        if table is None:
+            raise PageFaultError("prefetch needs a managed buffer")
+        by_source: dict[Location, int] = {}
+        pages_by_source: dict[Location, list[int]] = {}
+        for page in range(table.num_pages):
+            source = table.page_location(page)
+            if source == target:
+                continue
+            by_source[source] = by_source.get(source, 0) + table.page_bytes(page)
+            pages_by_source.setdefault(source, []).append(page)
+        if not by_source:
+            return
+        flows = []
+        for source, total in by_source.items():
+            if target.is_device:
+                channels = self._transfer_channels(source, target.index)
+                cap = self._link_rate(source, target.index)
+            elif source.is_device:
+                channels = self.node.gcd_to_host_channels(source.index, target.index)
+                from ..topology.link import LinkTier
+
+                cap = self._calibration.sdma_cap_for_tier(LinkTier.CPU)
+            else:
+                channels = self.node.cpu.host_memcpy_channels(
+                    source.index, target.index
+                )
+                cap = math.inf
+            flows.append(
+                self.node.start_flow(channels, total, cap=cap, label="prefetch")
+            )
+        yield self.node.engine.all_of([f.done for f in flows])
+        for source, group in pages_by_source.items():
+            for page in group:
+                table.migrate(page, target)

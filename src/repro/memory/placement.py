@@ -1,0 +1,78 @@
+"""NUMA placement policies for host allocations (paper §IV-B).
+
+``hipHostMalloc`` places pinned memory on the NUMA node closest to the
+current device by default; ``hipHostMallocNumaUser`` defers to the
+caller's NUMA policy; tools like ``numa_alloc_onnode`` +
+``hipHostRegister`` pin user-placed memory.  These policies reproduce
+those behaviours for the CommScope NUMA-to-GPU benchmark.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+
+from ..errors import ConfigurationError
+from ..topology.numa import NumaMap
+
+
+class PlacementPolicy(abc.ABC):
+    """Chooses the NUMA domain of a new host allocation."""
+
+    @abc.abstractmethod
+    def numa_for(self, *, active_gcd: int, numa_map: NumaMap) -> int:
+        """NUMA domain for an allocation while ``active_gcd`` is current."""
+
+    def describe(self) -> str:
+        """Short human-readable policy name."""
+        return type(self).__name__
+
+
+class ClosestNumaPolicy(PlacementPolicy):
+    """HIP's default: the NUMA node attached to the active GPU."""
+
+    def numa_for(self, *, active_gcd: int, numa_map: NumaMap) -> int:
+        """The NUMA domain attached to the active GPU."""
+        return numa_map.default_host_numa_for(active_gcd)
+
+    def describe(self) -> str:
+        """Short human-readable policy name."""
+        return "closest (hipHostMalloc default)"
+
+
+class ExplicitNumaPolicy(PlacementPolicy):
+    """User-directed placement (hipHostMallocNumaUser / numa_alloc)."""
+
+    def __init__(self, numa_index: int) -> None:
+        if numa_index < 0:
+            raise ConfigurationError("NUMA index must be non-negative")
+        self.numa_index = numa_index
+
+    def numa_for(self, *, active_gcd: int, numa_map: NumaMap) -> int:
+        """The user-chosen NUMA domain (validated)."""
+        if self.numa_index >= numa_map.num_numa_domains:
+            raise ConfigurationError(
+                f"NUMA {self.numa_index} not present "
+                f"({numa_map.num_numa_domains} domains)"
+            )
+        return self.numa_index
+
+    def describe(self) -> str:
+        """Short human-readable policy name."""
+        return f"explicit NUMA {self.numa_index}"
+
+
+class InterleavePolicy(PlacementPolicy):
+    """Round-robin across domains (numactl --interleave)."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+
+    def numa_for(self, *, active_gcd: int, numa_map: NumaMap) -> int:
+        """Next domain in round-robin order."""
+        domains = sorted({numa_map.default_host_numa_for(g) for g in range(numa_map.num_gcds)})
+        return domains[next(self._counter) % len(domains)]
+
+    def describe(self) -> str:
+        """Short human-readable policy name."""
+        return "interleave"

@@ -1,0 +1,51 @@
+"""MPI collective algorithms (paper §VI).
+
+Five collectives, the ones the paper measures with the OSU suite:
+Reduce, Broadcast, AllReduce, ReduceScatter, AllGather.  Algorithms
+follow MPICH's choices for intra-node communicators:
+
+==============  ==========================================
+collective       algorithm
+==============  ==========================================
+Broadcast        binomial tree
+Reduce           binomial tree (commutative reduction)
+AllReduce        recursive doubling (power-of-two ranks),
+                 reduce + broadcast otherwise
+ReduceScatter    pairwise exchange
+AllGather        ring
+==============  ==========================================
+
+Each is a *distributed* implementation: every rank runs its own
+process and communicates only through isend/recv over the simulated
+fabric, so contention, link tiers and IPC-mapping overheads all shape
+the resulting latencies — that is what makes Fig. 11 come out with
+RCCL ahead of MPI everywhere except Broadcast.
+"""
+
+from .broadcast import broadcast
+from .reduce import reduce
+from .allreduce import allreduce
+from .reduce_scatter import reduce_scatter
+from .allgather import allgather
+from .alltoall import alltoall
+
+#: Name → implementation registry used by the OSU-style harness.
+#: (alltoall is an extension; the paper measures the first five.)
+COLLECTIVES = {
+    "reduce": reduce,
+    "broadcast": broadcast,
+    "allreduce": allreduce,
+    "reduce_scatter": reduce_scatter,
+    "allgather": allgather,
+    "alltoall": alltoall,
+}
+
+__all__ = [
+    "broadcast",
+    "reduce",
+    "allreduce",
+    "reduce_scatter",
+    "allgather",
+    "alltoall",
+    "COLLECTIVES",
+]

@@ -1,0 +1,52 @@
+"""AllGather (MPI_Allgather).
+
+Ring algorithm (MPICH's long-message choice): ``n-1`` steps; at each
+step every rank forwards the chunk it received in the previous step to
+its right neighbour while receiving a new chunk from its left
+neighbour.  Total traffic per rank: ``(n-1)/n × nbytes``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from ...errors import MpiError
+from ...memory.buffer import Buffer
+from .algorithms import check_collective_args, chunk_sizes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..comm import RankContext
+
+
+def allgather(
+    ctx: "RankContext",
+    sendbuf: Buffer,
+    recvbuf: Buffer,
+    nbytes: int | None = None,
+) -> Generator:
+    """Distributed ring allgather; ``nbytes`` is the *total* result.
+
+    ``sendbuf`` holds this rank's ``nbytes/n`` contribution; ``recvbuf``
+    collects the full ``nbytes``.
+    """
+    if nbytes is None:
+        nbytes = recvbuf.size
+    check_collective_args(ctx, nbytes)
+    size, rank = ctx.size, ctx.rank
+    chunks = chunk_sizes(nbytes, size)
+    if sendbuf.size < max(chunks):
+        raise MpiError("allgather send buffer smaller than one chunk")
+    if recvbuf.size < nbytes:
+        raise MpiError("allgather recv buffer smaller than the result")
+    if size == 1:
+        return
+    tag = ctx.next_collective_tag()
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    for step in range(size - 1):
+        # Chunk we forward this step originated at (rank - step) mod n.
+        send_origin = (rank - step) % size
+        recv_origin = (rank - step - 1) % size
+        send_req = ctx.isend(recvbuf if step else sendbuf, right, tag, chunks[send_origin])
+        recv_req = ctx.irecv(recvbuf, left, tag, chunks[recv_origin])
+        yield ctx.engine.all_of([send_req.event, recv_req.event])

@@ -1,0 +1,59 @@
+"""AllReduce (MPI_Allreduce).
+
+Recursive doubling for power-of-two communicators: ``log2 n`` rounds
+of full-message pairwise exchange, each followed by a local GPU
+combine.  Non-power-of-two communicators (the 3/5/6/7-partner points
+of Fig. 11) fall back to reduce + broadcast, as MPICH does for the
+general case.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from ...memory.buffer import Buffer
+from .algorithms import (
+    alloc_scratch,
+    check_collective_args,
+    is_power_of_two,
+    local_reduce,
+)
+from .broadcast import broadcast
+from .reduce import reduce
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..comm import RankContext
+
+
+def allreduce(
+    ctx: "RankContext",
+    sendbuf: Buffer,
+    recvbuf: Buffer,
+    nbytes: int | None = None,
+) -> Generator:
+    """Distributed allreduce; call from every rank."""
+    if nbytes is None:
+        nbytes = min(sendbuf.size, recvbuf.size)
+    check_collective_args(ctx, nbytes)
+    size, rank = ctx.size, ctx.rank
+    if size == 1:
+        return
+    if not is_power_of_two(size):
+        yield from reduce(ctx, sendbuf, recvbuf, nbytes, root=0)
+        yield from broadcast(ctx, recvbuf, nbytes, root=0)
+        return
+
+    tag = ctx.next_collective_tag()
+    scratch = alloc_scratch(ctx, nbytes, f"allreduce-scratch-r{rank}")
+    # Accumulator starts as this rank's contribution.
+    recvbuf.copy_payload_from(sendbuf, nbytes)
+    try:
+        mask = 1
+        while mask < size:
+            partner = rank ^ mask
+            # Exchange current accumulators.
+            yield from ctx.sendrecv(recvbuf, partner, scratch, partner, tag, nbytes)
+            yield from local_reduce(ctx, nbytes, recvbuf, scratch)
+            mask <<= 1
+    finally:
+        ctx.hip.free(scratch)

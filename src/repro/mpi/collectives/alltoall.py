@@ -1,0 +1,51 @@
+"""Alltoall (MPI_Alltoall) — extension beyond the paper's five.
+
+Pairwise-exchange algorithm (MPICH's long-message choice): ``n-1``
+steps; at step ``s`` every rank exchanges its block with rank
+``rank XOR s`` when n is a power of two, else with ``(rank ± s) mod
+n``.  Total traffic per rank: ``(n-1)/n × nbytes`` each way.
+
+Used by the transpose application model
+(:mod:`repro.apps.transpose`); the paper itself does not measure
+alltoall, so no figure depends on this.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from ...errors import MpiError
+from ...memory.buffer import Buffer
+from .algorithms import check_collective_args, chunk_sizes, is_power_of_two
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..comm import RankContext
+
+
+def alltoall(
+    ctx: "RankContext",
+    sendbuf: Buffer,
+    recvbuf: Buffer,
+    nbytes: int | None = None,
+) -> Generator:
+    """Distributed pairwise alltoall; ``nbytes`` is the total per-rank
+    send volume (each peer receives ``nbytes / n``)."""
+    if nbytes is None:
+        nbytes = sendbuf.size
+    check_collective_args(ctx, nbytes)
+    size, rank = ctx.size, ctx.rank
+    chunks = chunk_sizes(nbytes, size)
+    if sendbuf.size < nbytes or recvbuf.size < nbytes:
+        raise MpiError("alltoall buffers smaller than the message")
+    if size == 1:
+        return
+    tag = ctx.next_collective_tag()
+    for step in range(1, size):
+        if is_power_of_two(size):
+            partner = rank ^ step
+        else:
+            partner = (rank + step) % size
+        send_req = ctx.isend(sendbuf, partner, tag, chunks[partner])
+        recv_source = partner if is_power_of_two(size) else (rank - step) % size
+        recv_req = ctx.irecv(recvbuf, recv_source, tag, chunks[rank])
+        yield ctx.engine.all_of([send_req.event, recv_req.event])

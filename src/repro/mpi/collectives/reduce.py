@@ -1,0 +1,60 @@
+"""Binomial-tree reduce (MPI_Reduce, commutative op).
+
+Mirror image of the broadcast tree: leaves send first, interior ranks
+receive, combine on the GPU, and forward the partial result toward
+the root.  ``ceil(log2 n)`` rounds of full-message traffic plus one
+local reduction per received message.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from ...memory.buffer import Buffer
+from .algorithms import alloc_scratch, check_collective_args, local_reduce
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..comm import RankContext
+
+
+def reduce(
+    ctx: "RankContext",
+    sendbuf: Buffer,
+    recvbuf: Buffer,
+    nbytes: int | None = None,
+    root: int = 0,
+) -> Generator:
+    """Distributed binomial reduce; call from every rank.
+
+    ``recvbuf`` is used as the accumulator on every rank (MPICH does
+    the same with its temporary); only the root's result is meaningful.
+    """
+    if nbytes is None:
+        nbytes = min(sendbuf.size, recvbuf.size)
+    check_collective_args(ctx, nbytes, root)
+    tag = ctx.next_collective_tag()
+    size, rank = ctx.size, ctx.rank
+    if size == 1:
+        return
+    relative = (rank - root) % size
+    scratch = alloc_scratch(ctx, nbytes, f"reduce-scratch-r{rank}")
+    # The accumulator starts as this rank's contribution (MPICH copies
+    # sendbuf into its temporary before the tree; the copy cost is
+    # folded into the per-message reduction kernels charged below).
+    recvbuf.copy_payload_from(sendbuf, nbytes)
+    try:
+        mask = 1
+        while mask < size:
+            if relative & mask:
+                parent = ((relative & ~mask) + root) % size
+                yield from ctx.send(recvbuf, parent, tag, nbytes)
+                break
+            source_rel = relative | mask
+            if source_rel < size:
+                source = (source_rel + root) % size
+                yield from ctx.recv(scratch, source, tag, nbytes)
+                # Combine incoming partial with our accumulator.
+                yield from local_reduce(ctx, nbytes, recvbuf, scratch)
+            mask <<= 1
+    finally:
+        ctx.hip.free(scratch)

@@ -1,0 +1,63 @@
+"""ReduceScatter (MPI_Reduce_scatter_block).
+
+Pairwise-exchange algorithm (MPICH's choice for long messages and
+commutative ops): ``n-1`` steps; at step ``s`` every rank sends the
+chunk destined for rank ``(rank+s) mod n`` and receives its own chunk
+contribution from ``(rank-s) mod n``, combining as it goes.  Total
+traffic per rank: ``(n-1)/n × nbytes``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from ...errors import MpiError
+from ...memory.buffer import Buffer
+from .algorithms import (
+    alloc_scratch,
+    check_collective_args,
+    chunk_sizes,
+    local_reduce,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..comm import RankContext
+
+
+def reduce_scatter(
+    ctx: "RankContext",
+    sendbuf: Buffer,
+    recvbuf: Buffer,
+    nbytes: int | None = None,
+) -> Generator:
+    """Distributed reduce-scatter; ``nbytes`` is the *total* message.
+
+    Each rank ends with its ``nbytes/n`` chunk; ``recvbuf`` must hold
+    at least one chunk.
+    """
+    if nbytes is None:
+        nbytes = sendbuf.size
+    check_collective_args(ctx, nbytes)
+    size, rank = ctx.size, ctx.rank
+    chunks = chunk_sizes(nbytes, size)
+    if recvbuf.size < max(chunks):
+        raise MpiError(
+            f"reduce_scatter recv buffer of {recvbuf.size} bytes cannot "
+            f"hold a {max(chunks)}-byte chunk"
+        )
+    if size == 1:
+        return
+    tag = ctx.next_collective_tag()
+    scratch = alloc_scratch(ctx, max(chunks), f"rs-scratch-r{rank}")
+    try:
+        for step in range(1, size):
+            dst = (rank + step) % size
+            src = (rank - step) % size
+            send_chunk = chunks[dst]
+            recv_chunk = chunks[rank]
+            send_req = ctx.isend(sendbuf, dst, tag, send_chunk)
+            recv_req = ctx.irecv(scratch, src, tag, recv_chunk)
+            yield ctx.engine.all_of([send_req.event, recv_req.event])
+            yield from local_reduce(ctx, recv_chunk, recvbuf, scratch)
+    finally:
+        ctx.hip.free(scratch)

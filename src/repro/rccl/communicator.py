@@ -1,0 +1,112 @@
+"""RCCL communicator setup (ncclCommInitAll-style).
+
+The rccl-tests harness the paper uses drives one CPU thread per GPU;
+all threads join one communicator whose ring is fixed at init time.
+:class:`RcclCommunicator` reproduces that: it owns the ring over the
+selected GCDs and exposes the five collectives as DES processes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..config import SimEnvironment
+from ..errors import RcclError
+from ..hardware.node import HardwareNode
+from .ring import Ring, build_greedy_ring
+
+
+class RcclCommunicator:
+    """One RCCL communicator over a set of GCDs."""
+
+    def __init__(
+        self,
+        node: HardwareNode | None = None,
+        gcds: Sequence[int] | None = None,
+        *,
+        env: SimEnvironment | None = None,
+        ring_builder: Callable[..., Ring] = build_greedy_ring,
+    ) -> None:
+        self.node = node if node is not None else HardwareNode()
+        self.env = env if env is not None else SimEnvironment()
+        if gcds is None:
+            gcds = [g.index for g in self.node.topology.gcds()]
+        if len(gcds) < 1:
+            raise RcclError("communicator needs at least one GCD")
+        self.gcds = tuple(gcds)
+        if len(self.gcds) >= 2:
+            self.ring = ring_builder(self.node.topology, self.gcds)
+        else:
+            self.ring = None
+
+    @property
+    def size(self) -> int:
+        """Number of communicator members."""
+        return len(self.gcds)
+
+    @property
+    def engine(self):
+        """The node's DES engine."""
+        return self.node.engine
+
+    @property
+    def calibration(self):
+        """The node's calibration profile."""
+        return self.node.calibration
+
+    def segment_rate(self, segment) -> float:
+        """Sustained bytes/s of one ring segment's kernel pipeline.
+
+        Direct segments run at the unidirectional kernel rate of the
+        link; relayed segments (no direct link between the members)
+        sustain only ``rccl_relay_efficiency`` of the path's kernel
+        rate (the ring FIFO's flow-control window cannot cover the
+        doubled round trip).
+        """
+        tier = self.node.bottleneck_tier(segment.route)
+        rate = self.calibration.kernel_remote_cap(tier, bidirectional=False)
+        if segment.is_relayed:
+            rate *= self.calibration.rccl_relay_efficiency
+        return rate
+
+    def describe(self) -> str:
+        """Ring summary (order, relays, bottleneck)."""
+        if self.ring is None:
+            return f"RcclCommunicator(single GCD {self.gcds[0]})"
+        return (
+            f"RcclCommunicator({self.size} GCDs, ring {self.ring.describe()}, "
+            f"{self.ring.num_relayed} relayed segment(s), bottleneck "
+            f"{self.ring.bottleneck_capacity / 1e9:.0f} GB/s)"
+        )
+
+    # Collective entry points are attached from .collectives to keep
+    # algorithm code in one place.
+    def allreduce(self, nbytes: int):
+        """Ring allreduce (see :mod:`repro.rccl.collectives`)."""
+        from .collectives import allreduce
+
+        return allreduce(self, nbytes)
+
+    def reduce(self, nbytes: int, root: int = 0):
+        """Ring reduce toward ``root``."""
+        from .collectives import reduce
+
+        return reduce(self, nbytes, root)
+
+    def broadcast(self, nbytes: int, root: int = 0):
+        """LL-protocol pipelined ring broadcast from ``root``."""
+        from .collectives import broadcast
+
+        return broadcast(self, nbytes, root)
+
+    def reduce_scatter(self, nbytes: int):
+        """Single-pass ring reduce-scatter."""
+        from .collectives import reduce_scatter
+
+        return reduce_scatter(self, nbytes)
+
+    def allgather(self, nbytes: int):
+        """Single-pass ring allgather."""
+        from .collectives import allgather
+
+        return allgather(self, nbytes)

@@ -1,0 +1,130 @@
+"""RCCL tree algorithm (extension beyond the paper's measurements).
+
+RCCL, like NCCL, implements a second allreduce algorithm next to the
+ring: a (double) binary tree, selected for small messages where the
+ring's ``2(n-1)`` serialized steps dominate (``NCCL_ALGO=Tree``).  The
+paper measures the default selection only; this module implements the
+tree so the ablation benchmarks can quantify the ring/tree crossover
+on the Fig. 1 topology.
+
+The tree is built over the communicator's GCDs in index order (RCCL
+builds its trees from the ring order); each tree edge is routed over
+the fabric like a ring segment.  An allreduce is a reduce pass up the
+tree followed by a broadcast pass down, pipelined in chunks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Sequence
+
+from ..errors import RcclError
+from ..topology.routing import bandwidth_maximizing_path
+from .communicator import RcclCommunicator
+from .ring import RingSegment
+
+
+@dataclass(frozen=True)
+class TreeNode:
+    """One communicator member's position in the binary tree."""
+
+    gcd: int
+    parent: int | None
+    children: tuple[int, ...]
+
+
+def build_binary_tree(members: Sequence[int]) -> dict[int, TreeNode]:
+    """In-order binary tree over ``members`` (index order).
+
+    Node ``i``'s children are ``2i+1`` and ``2i+2`` in member order —
+    the classic array-heap layout RCCL derives its trees from.
+    """
+    members = list(members)
+    if len(members) < 1:
+        raise RcclError("tree needs at least one member")
+    nodes: dict[int, TreeNode] = {}
+    for i, gcd in enumerate(members):
+        parent = members[(i - 1) // 2] if i > 0 else None
+        children = tuple(
+            members[c] for c in (2 * i + 1, 2 * i + 2) if c < len(members)
+        )
+        nodes[gcd] = TreeNode(gcd, parent, children)
+    return nodes
+
+
+def tree_depth(nodes: dict[int, TreeNode]) -> int:
+    """Longest leaf-to-root path length (edges)."""
+    def depth_of(gcd: int) -> int:
+        node = nodes[gcd]
+        if not node.children:
+            return 0
+        return 1 + max(depth_of(c) for c in node.children)
+
+    roots = [g for g, n in nodes.items() if n.parent is None]
+    return depth_of(roots[0])
+
+
+def _edge_segment(comm: RcclCommunicator, src: int, dst: int) -> RingSegment:
+    route = bandwidth_maximizing_path(comm.node.topology, src, dst)
+    return RingSegment(src, dst, route)
+
+
+def tree_allreduce(comm: RcclCommunicator, nbytes: int) -> Generator:
+    """Binary-tree allreduce: chunked reduce-up + broadcast-down.
+
+    Pipeline stages: ``2 × depth + (chunks - 1)`` levels, each level
+    moving one chunk over every tree edge concurrently.  Latency scales
+    with ``log2 n`` instead of the ring's ``n`` — the small-message
+    regime where RCCL's tuner picks the tree.
+    """
+    if nbytes <= 0:
+        raise RcclError("collective size must be positive")
+    if comm.size == 1:
+        return
+    nodes = build_binary_tree(sorted(comm.gcds))
+    depth = tree_depth(nodes)
+    engine = comm.engine
+    calibration = comm.calibration
+    chunk = min(nbytes, calibration.rccl_chunk_bytes)
+    num_chunks = -(-nbytes // chunk)
+
+    # Every tree edge, used in both directions (up for reduce, down for
+    # broadcast); built once.
+    up_edges = [
+        _edge_segment(comm, node.gcd, node.parent)
+        for node in nodes.values()
+        if node.parent is not None
+    ]
+    down_edges = [
+        _edge_segment(comm, node.parent, node.gcd)
+        for node in nodes.values()
+        if node.parent is not None
+    ]
+
+    yield engine.timeout(calibration.rccl_launch_overhead)
+    num_stages = 2 * depth + num_chunks - 1
+    for _stage in range(num_stages):
+        flows = []
+        for segment in up_edges + down_edges:
+            if segment.is_relayed:
+                # Relay penalty charged as added latency per stage.
+                pass
+            flows.append(
+                comm.node.start_flow(
+                    comm.node.gcd_to_gcd_channels(segment.src, segment.dst),
+                    chunk,
+                    cap=comm.segment_rate(segment),
+                    label=f"rccl-tree:{segment.src}->{segment.dst}",
+                )
+            )
+        yield engine.all_of([f.done for f in flows])
+        relayed = any(s.is_relayed for s in up_edges + down_edges)
+        extra = calibration.rccl_relay_penalty if relayed else 0.0
+        yield engine.timeout(calibration.rccl_step_overhead + extra)
+
+
+def tree_edge_count(num_members: int) -> int:
+    """Edges in a binary tree of n members (n - 1)."""
+    if num_members < 1:
+        raise RcclError("tree needs at least one member")
+    return num_members - 1

@@ -1,0 +1,361 @@
+"""A minimal, deterministic process-based discrete-event kernel.
+
+The design follows the SimPy model but is intentionally small: events
+carry callbacks, processes are Python generators that *yield* events,
+and the engine advances a simulated clock over a binary heap of
+scheduled events.  Determinism is guaranteed by a monotonically
+increasing sequence number that breaks timestamp ties in FIFO order.
+
+Typical use::
+
+    engine = SimEngine()
+
+    def worker(engine):
+        yield engine.timeout(1e-6)          # sleep 1 us
+        done = engine.event()
+        engine.call_after(2e-6, done.succeed, "payload")
+        value = yield done                  # wait for a signal
+        return value
+
+    proc = engine.process(worker(engine))
+    engine.run()
+    assert proc.value == "payload"
+
+Only the features the library needs are implemented; unsupported uses
+raise :class:`repro.errors.SimulationError` rather than misbehaving.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..errors import SchedulingError, SimulationError
+
+ProcessGenerator = Generator["Event", Any, Any]
+
+
+class Event:
+    """A one-shot occurrence with a value and subscriber callbacks.
+
+    Events start *pending*; exactly one of :meth:`succeed` or
+    :meth:`fail` transitions them to *triggered*, after which the engine
+    delivers them to subscribers at the current simulation time.
+    """
+
+    __slots__ = ("engine", "_callbacks", "_triggered", "_delivered", "value", "_failure")
+
+    def __init__(self, engine: "SimEngine") -> None:
+        self.engine = engine
+        self._callbacks: list[Callable[["Event"], None]] = []
+        self._triggered = False
+        self._delivered = False
+        self.value: Any = None
+        self._failure: BaseException | None = None
+
+    @property
+    def triggered(self) -> bool:
+        """Whether succeed()/fail() has been called."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """Whether callbacks have been delivered."""
+        return self._delivered
+
+    @property
+    def ok(self) -> bool:
+        """Triggered successfully (no failure)."""
+        return self._triggered and self._failure is None
+
+    @property
+    def failure(self) -> BaseException | None:
+        """The failure exception, or ``None``."""
+        return self._failure
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self.value = value
+        self.engine._schedule_delivery(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters see the exception raised."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._triggered = True
+        self._failure = exception
+        self.engine._schedule_delivery(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Subscribe; fires immediately (at delivery) if already delivered."""
+        if self._delivered:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _deliver(self) -> None:
+        if self._delivered:
+            raise SimulationError("event delivered twice")
+        self._delivered = True
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: "SimEngine", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SchedulingError(f"negative timeout {delay}")
+        super().__init__(engine)
+        self.delay = delay
+        self._triggered = True
+        self.value = value
+        engine._schedule_delivery(self, delay=delay)
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running generator; also an event that triggers on return.
+
+    The generator yields :class:`Event` instances and is resumed with
+    the event's value (or the failure exception thrown in).  The
+    process's own event value is the generator's return value.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(
+        self, engine: "SimEngine", generator: ProcessGenerator, name: str = ""
+    ) -> None:
+        super().__init__(engine)
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Start the process at the current time, but via the event queue
+        # so creation order is preserved deterministically.
+        bootstrap = Timeout(engine, 0.0)
+        bootstrap.add_callback(self._resume)
+        self._waiting_on = bootstrap
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the generator is still running."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        waiting = self._waiting_on
+        self._waiting_on = None
+        # Detach from whatever we were waiting on: the stale callback
+        # must become a no-op.
+        if waiting is not None:
+            try:
+                waiting._callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        wakeup = Timeout(self.engine, 0.0)
+        wakeup.add_callback(lambda _evt: self._step(throw=Interrupt(cause)))
+
+    def _resume(self, event: Event) -> None:
+        if self._waiting_on is not event:
+            return  # stale wake-up after an interrupt
+        self._waiting_on = None
+        if event._failure is not None:
+            self._step(throw=event._failure)
+        else:
+            self._step(send=event.value)
+
+    def _step(self, send: Any = None, throw: BaseException | None = None) -> None:
+        try:
+            if throw is not None:
+                target = self._generator.throw(throw)
+            else:
+                target = self._generator.send(send)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # An unhandled interrupt terminates the process quietly.
+            self.succeed(None)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, not an Event"
+            )
+        if target.engine is not self.engine:
+            raise SimulationError("process yielded an event from another engine")
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class AllOf(Event):
+    """Triggers when all component events have triggered.
+
+    Value is the list of component values in input order.  Fails fast
+    on the first component failure.
+    """
+
+    __slots__ = ("_pending", "_events")
+
+    def __init__(self, engine: "SimEngine", events: Iterable[Event]) -> None:
+        super().__init__(engine)
+        self._events = list(events)
+        self._pending = len(self._events)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for event in self._events:
+            event.add_callback(self._on_component)
+
+    def _on_component(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._failure is not None:
+            self.fail(event._failure)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([e.value for e in self._events])
+
+
+class AnyOf(Event):
+    """Triggers when the first component event triggers.
+
+    Value is ``(index, value)`` of the winning component.
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, engine: "SimEngine", events: Iterable[Event]) -> None:
+        super().__init__(engine)
+        self._events = list(events)
+        if not self._events:
+            raise SimulationError("AnyOf requires at least one event")
+        for index, event in enumerate(self._events):
+            event.add_callback(lambda evt, i=index: self._on_component(i, evt))
+
+    def _on_component(self, index: int, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._failure is not None:
+            self.fail(event._failure)
+            return
+        self.succeed((index, event.value))
+
+
+class SimEngine:
+    """The event loop: a clock plus a deterministic event heap."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._sequence = itertools.count()
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time, seconds."""
+        return self._now
+
+    # -- event construction -------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start a generator as a process; returns its handle."""
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all components have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires with the first component."""
+        return AnyOf(self, events)
+
+    def call_after(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> None:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        self.timeout(delay).add_callback(lambda _evt: callback(*args))
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _schedule_delivery(self, event: Event, *, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay}")
+        heapq.heappush(self._heap, (self._now + delay, next(self._sequence), event))
+
+    # -- execution -------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Deliver the next event.  Returns False when the heap is empty."""
+        if not self._heap:
+            return False
+        when, _seq, event = heapq.heappop(self._heap)
+        if when < self._now - 1e-18:
+            raise SchedulingError(
+                f"event scheduled in the past ({when} < {self._now})"
+            )
+        self._now = max(self._now, when)
+        event._deliver()
+        return True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains (or the clock passes ``until``).
+
+        Returns the final simulated time.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run)")
+        self._running = True
+        try:
+            while self._heap:
+                when = self._heap[0][0]
+                if until is not None and when > until:
+                    self._now = until
+                    break
+                if not self.step():  # pragma: no cover - guarded by loop cond
+                    break
+        finally:
+            self._running = False
+        return self._now
+
+    def run_process(self, generator: ProcessGenerator, name: str = "") -> Any:
+        """Convenience: start a process, run to completion, return its value."""
+        proc = self.process(generator, name)
+        self.run()
+        if not proc.triggered:
+            raise SimulationError(
+                f"process {proc.name!r} did not finish (deadlock?)"
+            )
+        if proc.failure is not None:
+            raise proc.failure
+        return proc.value

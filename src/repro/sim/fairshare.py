@@ -1,0 +1,173 @@
+"""Max-min fair rate allocation with per-flow caps ("water-filling").
+
+Infinity Fabric links are modeled as independent directional channels
+of fixed capacity.  Several flows may cross a channel simultaneously —
+e.g. the eight CPU→GCD STREAM kernels of Fig. 5 each push a flow
+through their NUMA domain's port — and the fabric arbitrates them
+fairly.  We model that arbitration with the classic *progressive
+filling* algorithm:
+
+1. All unfrozen flows grow at the same rate.
+2. The first constraint to bind — a channel reaching capacity or a
+   flow reaching its own cap (SDMA engine limit, protocol-efficiency
+   limit) — freezes the affected flows.
+3. Repeat with the survivors until all flows are frozen.
+
+The result is the unique max-min fair allocation.  The function is
+pure (no engine state), which lets the test suite verify its
+invariants exhaustively with hypothesis:
+
+- no channel is over capacity,
+- no flow exceeds its cap,
+- every flow is bottlenecked somewhere (work conservation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+from ..errors import SimulationError
+
+ChannelId = Hashable
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One flow's demand: the channels it crosses and its private cap.
+
+    ``channels`` lists every directional channel the flow occupies
+    (one per hop of its route).  ``cap`` bounds the flow's rate
+    regardless of how much share the channels would give it —
+    ``math.inf`` means unbounded.  A flow with no channels is rate-
+    limited only by its cap (e.g. a purely local HBM copy whose cap is
+    the achievable memory bandwidth).
+    """
+
+    flow_id: Hashable
+    channels: tuple[ChannelId, ...]
+    cap: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.cap <= 0:
+            raise SimulationError(f"flow {self.flow_id!r} cap must be positive")
+
+
+def max_min_fair_rates(
+    flows: Sequence[FlowSpec],
+    capacities: Mapping[ChannelId, float],
+) -> dict[Hashable, float]:
+    """Solve the max-min fair allocation.
+
+    Parameters
+    ----------
+    flows:
+        Flow demands.  Flow ids must be unique.
+    capacities:
+        Capacity (bytes/s) of every channel referenced by a flow.
+
+    Returns
+    -------
+    dict mapping flow id to its allocated rate.
+
+    Raises
+    ------
+    SimulationError
+        On duplicate flow ids, unknown channels, or non-positive
+        capacities.
+    """
+    if not flows:
+        return {}
+    ids = [f.flow_id for f in flows]
+    if len(set(ids)) != len(ids):
+        raise SimulationError("duplicate flow ids in fair-share problem")
+    for flow in flows:
+        for channel in flow.channels:
+            if channel not in capacities:
+                raise SimulationError(
+                    f"flow {flow.flow_id!r} uses unknown channel {channel!r}"
+                )
+    for channel, capacity in capacities.items():
+        if capacity <= 0:
+            raise SimulationError(f"channel {channel!r} capacity must be positive")
+
+    rate: dict[Hashable, float] = {f.flow_id: 0.0 for f in flows}
+    unfrozen: set[Hashable] = set(ids)
+    flows_by_id = {f.flow_id: f for f in flows}
+
+    # Channel occupancy among unfrozen flows.
+    members: dict[ChannelId, set[Hashable]] = {}
+    for flow in flows:
+        for channel in flow.channels:
+            members.setdefault(channel, set()).add(flow.flow_id)
+    residual: dict[ChannelId, float] = {
+        channel: capacities[channel] for channel in members
+    }
+
+    # Progressive filling.  Each iteration freezes at least one flow, so
+    # the loop runs at most len(flows) times.
+    while unfrozen:
+        # Step size: smallest increment at which a constraint binds.
+        delta = math.inf
+        for channel, group in members.items():
+            active = group & unfrozen
+            if active:
+                delta = min(delta, residual[channel] / len(active))
+        for flow_id in unfrozen:
+            flow = flows_by_id[flow_id]
+            if flow.cap is not math.inf:
+                delta = min(delta, flow.cap - rate[flow_id])
+
+        if delta is math.inf:
+            # Only uncapped, channel-less flows remain: they are
+            # unconstrained, which is a modelling error.
+            raise SimulationError(
+                "unconstrained flows (no channels and no cap): "
+                f"{sorted(map(repr, unfrozen))}"
+            )
+        delta = max(delta, 0.0)
+
+        for flow_id in unfrozen:
+            rate[flow_id] += delta
+        for channel, group in members.items():
+            active = group & unfrozen
+            if active:
+                residual[channel] -= delta * len(active)
+
+        # Freeze flows at binding constraints.
+        frozen_now: set[Hashable] = set()
+        for channel, group in members.items():
+            if residual[channel] <= 1e-6 * capacities[channel]:
+                frozen_now |= group & unfrozen
+        for flow_id in unfrozen:
+            flow = flows_by_id[flow_id]
+            if flow.cap is not math.inf and rate[flow_id] >= flow.cap - 1e-9 * flow.cap:
+                rate[flow_id] = flow.cap
+                frozen_now.add(flow_id)
+        if not frozen_now:
+            raise SimulationError("progressive filling made no progress")
+        unfrozen -= frozen_now
+
+    return rate
+
+
+def allocation_is_feasible(
+    flows: Sequence[FlowSpec],
+    capacities: Mapping[ChannelId, float],
+    rates: Mapping[Hashable, float],
+    *,
+    rel_tol: float = 1e-6,
+) -> bool:
+    """Check capacity and cap feasibility of an allocation (for tests)."""
+    load: dict[ChannelId, float] = {}
+    for flow in flows:
+        r = rates[flow.flow_id]
+        if r < -rel_tol or r > flow.cap * (1 + rel_tol):
+            return False
+        for channel in flow.channels:
+            load[channel] = load.get(channel, 0.0) + r
+    for channel, total in load.items():
+        if total > capacities[channel] * (1 + rel_tol):
+            return False
+    return True

@@ -1,0 +1,267 @@
+"""Fluid-flow network on top of the DES engine.
+
+A :class:`FlowNetwork` owns a set of directional :class:`Channel`\\ s
+(one per Infinity Fabric link direction, per SDMA engine, per HBM
+port…) and simulates concurrent transfers as *fluid flows*: each flow
+moves bytes at a rate determined by the max-min fair allocation over
+the channels it crosses, re-solved whenever a flow starts or finishes.
+Between rate changes flows progress linearly, so completion times are
+exact, not time-stepped.
+
+This is the standard fluid approximation used in interconnect
+modelling; it captures precisely the phenomena the paper measures —
+bandwidth sharing on oversubscribed links (Fig. 4/5), bottleneck links
+on multi-hop paths (Fig. 6c/10), and engine throughput caps (SDMA's
+~50 GB/s plateau).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+from ..errors import SimulationError
+from .engine import Event, SimEngine
+from .fairshare import FlowSpec, max_min_fair_rates
+
+#: Completion slop, in bytes: flows within this of zero are done.  Keeps
+#: float accumulation from scheduling infinitesimal residual transfers.
+_EPSILON_BYTES = 1e-6
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A directional transport resource with fixed capacity (bytes/s)."""
+
+    channel_id: Hashable
+    capacity: float
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise SimulationError(
+                f"channel {self.channel_id!r} capacity must be positive"
+            )
+
+
+class Flow:
+    """A live transfer: ``size`` bytes across ``channels`` at ≤ ``cap``.
+
+    ``done`` is an engine event that triggers (with the flow) when the
+    last byte arrives.  ``rate`` is the currently allocated rate and is
+    only meaningful while the flow is active.
+    """
+
+    __slots__ = (
+        "flow_id",
+        "channels",
+        "cap",
+        "size",
+        "remaining",
+        "rate",
+        "done",
+        "start_time",
+        "finish_time",
+        "label",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        channels: tuple[Hashable, ...],
+        cap: float,
+        size: float,
+        done: Event,
+        start_time: float,
+        label: str = "",
+    ) -> None:
+        self.flow_id = flow_id
+        self.channels = channels
+        self.cap = cap
+        self.size = size
+        self.remaining = float(size)
+        self.rate = 0.0
+        self.done = done
+        self.start_time = start_time
+        self.finish_time: float | None = None
+        self.label = label
+
+    @property
+    def completed(self) -> bool:
+        """Whether the last byte has arrived."""
+        return self.finish_time is not None
+
+    @property
+    def elapsed(self) -> float | None:
+        """Transfer duration, or ``None`` while active."""
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.start_time
+
+    @property
+    def achieved_rate(self) -> float | None:
+        """Average bytes/s over the whole transfer, once complete."""
+        elapsed = self.elapsed
+        if elapsed is None:
+            return None
+        if elapsed == 0:
+            return math.inf
+        return self.size / elapsed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.completed else f"{self.remaining:.0f}B left"
+        return f"<Flow {self.flow_id} {self.label!r} {state}>"
+
+
+class FlowNetwork:
+    """The set of channels plus all currently active flows."""
+
+    def __init__(self, engine: SimEngine) -> None:
+        self.engine = engine
+        self._channels: dict[Hashable, Channel] = {}
+        self._active: dict[int, Flow] = {}
+        self._flow_ids = itertools.count()
+        self._last_update = 0.0
+        #: Monotone token invalidating stale completion wake-ups.
+        self._epoch = 0
+
+    # -- channel management --------------------------------------------------
+
+    def add_channel(self, channel_id: Hashable, capacity: float) -> Channel:
+        """Register a channel; duplicate ids raise."""
+        if channel_id in self._channels:
+            raise SimulationError(f"channel {channel_id!r} already exists")
+        channel = Channel(channel_id, capacity)
+        self._channels[channel_id] = channel
+        return channel
+
+    def has_channel(self, channel_id: Hashable) -> bool:
+        """Whether a channel id is registered."""
+        return channel_id in self._channels
+
+    def channel(self, channel_id: Hashable) -> Channel:
+        """Look up a channel by id."""
+        try:
+            return self._channels[channel_id]
+        except KeyError:
+            raise SimulationError(f"unknown channel {channel_id!r}") from None
+
+    def capacities(self) -> dict[Hashable, float]:
+        """``{channel id: capacity}`` snapshot."""
+        return {cid: c.capacity for cid, c in self._channels.items()}
+
+    # -- flow lifecycle ---------------------------------------------------------
+
+    def transfer(
+        self,
+        channels: Iterable[Hashable],
+        size: float,
+        *,
+        cap: float = math.inf,
+        label: str = "",
+    ) -> Flow:
+        """Start a flow of ``size`` bytes; returns the live :class:`Flow`.
+
+        Zero-byte transfers complete immediately (their ``done`` event
+        still goes through the queue, preserving FIFO semantics).
+        """
+        channel_ids = tuple(channels)
+        for channel_id in channel_ids:
+            if channel_id not in self._channels:
+                raise SimulationError(f"unknown channel {channel_id!r}")
+        if size < 0:
+            raise SimulationError("transfer size must be non-negative")
+        if not channel_ids and cap is math.inf:
+            raise SimulationError("flow needs at least one channel or a cap")
+
+        flow = Flow(
+            next(self._flow_ids),
+            channel_ids,
+            cap,
+            size,
+            self.engine.event(),
+            self.engine.now,
+            label,
+        )
+        if size == 0:
+            flow.finish_time = self.engine.now
+            flow.done.succeed(flow)
+            return flow
+
+        self._advance_to_now()
+        self._active[flow.flow_id] = flow
+        self._resolve_and_schedule()
+        return flow
+
+    def active_flows(self) -> Sequence[Flow]:
+        """Flows currently in flight."""
+        return list(self._active.values())
+
+    def utilization(self, channel_id: Hashable) -> float:
+        """Fraction of a channel's capacity currently allocated."""
+        channel = self.channel(channel_id)
+        load = sum(
+            f.rate for f in self._active.values() if channel_id in f.channels
+        )
+        return load / channel.capacity
+
+    # -- internals -----------------------------------------------------------------
+
+    def _advance_to_now(self) -> None:
+        """Account for bytes moved since the last rate change."""
+        now = self.engine.now
+        dt = now - self._last_update
+        if dt < 0:
+            raise SimulationError("flow network clock went backwards")
+        if dt > 0:
+            for flow in self._active.values():
+                flow.remaining -= flow.rate * dt
+        self._last_update = now
+
+    def _resolve_and_schedule(self) -> None:
+        """Re-solve fair shares and schedule the next completion."""
+        self._epoch += 1
+        if not self._active:
+            return
+        specs = [
+            FlowSpec(flow.flow_id, flow.channels, flow.cap)
+            for flow in self._active.values()
+        ]
+        rates = max_min_fair_rates(specs, self.capacities())
+        next_completion = math.inf
+        for flow in self._active.values():
+            flow.rate = rates[flow.flow_id]
+            if flow.rate <= 0:
+                raise SimulationError(
+                    f"flow {flow.flow_id} starved (rate 0); "
+                    "check channel capacities"
+                )
+            next_completion = min(next_completion, flow.remaining / flow.rate)
+        next_completion = max(next_completion, 0.0)
+        epoch = self._epoch
+        self.engine.call_after(next_completion, self._on_completion_alarm, epoch)
+
+    def _on_completion_alarm(self, epoch: int) -> None:
+        if epoch != self._epoch:
+            return  # superseded by a newer rate solution
+        self._advance_to_now()
+        finished = [
+            flow
+            for flow in self._active.values()
+            if flow.remaining <= _EPSILON_BYTES * max(1.0, flow.size)
+            or flow.remaining <= _EPSILON_BYTES
+        ]
+        if not finished:
+            # Rounding pushed the completion infinitesimally later;
+            # rescheduling from the fresh state converges.
+            self._resolve_and_schedule()
+            return
+        for flow in finished:
+            del self._active[flow.flow_id]
+            flow.remaining = 0.0
+            flow.rate = 0.0
+            flow.finish_time = self.engine.now
+        self._resolve_and_schedule()
+        for flow in finished:
+            flow.done.succeed(flow)

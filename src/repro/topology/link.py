@@ -1,0 +1,176 @@
+"""Infinity Fabric link model.
+
+Paper §II-A: each xGMI link operates on 16 bits per transaction at
+25 GT/s, i.e. 50 GB/s peak per direction (50+50 GB/s bidirectional).
+GCD-GCD connections bundle one, two, or four such links (the paper's
+*single*, *dual*, and *quad* tiers), while each GCD additionally has a
+single Infinity Fabric link to the host CPU with 36 GB/s per direction.
+
+A :class:`Link` here is one *edge* of the topology graph — i.e. a whole
+bundle, with ``width`` physical xGMI links — because that is the
+granularity at which routing and bandwidth sharing operate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+from ..errors import TopologyError
+from ..units import gbps
+
+#: Peak bandwidth of one xGMI link, one direction (16 bit × 25 GT/s).
+XGMI_LINK_BW = gbps(50.0)
+
+#: Peak bandwidth of the CPU-GCD Infinity Fabric link, one direction.
+CPU_LINK_BW = gbps(36.0)
+
+
+class LinkTier(enum.Enum):
+    """Bandwidth tier of a GCD-GCD connection, or the CPU tier."""
+
+    SINGLE = 1  #: one xGMI link:   50 GB/s per direction
+    DUAL = 2    #: two xGMI links: 100 GB/s per direction
+    QUAD = 4    #: four xGMI links: 200 GB/s per direction
+    CPU = 0     #: CPU-GCD link:    36 GB/s per direction
+
+    @property
+    def width(self) -> int:
+        """Number of physical xGMI links in the bundle (CPU tier: 1)."""
+        return self.value if self.value else 1
+
+    @property
+    def peak_unidirectional(self) -> float:
+        """Peak bytes/s in one direction."""
+        if self is LinkTier.CPU:
+            return CPU_LINK_BW
+        return self.value * XGMI_LINK_BW
+
+    @property
+    def peak_bidirectional(self) -> float:
+        """Peak bytes/s summed over both directions."""
+        return 2.0 * self.peak_unidirectional
+
+    @classmethod
+    def from_width(cls, width: int) -> "LinkTier":
+        """Tier for a GCD-GCD bundle of ``width`` xGMI links."""
+        try:
+            return {1: cls.SINGLE, 2: cls.DUAL, 4: cls.QUAD}[width]
+        except KeyError:
+            raise TopologyError(
+                f"GCD-GCD bundles have width 1, 2 or 4, not {width}"
+            ) from None
+
+
+@dataclass(frozen=True, order=True)
+class LinkEndpoint:
+    """One end of a link: either a GCD or a CPU NUMA domain port.
+
+    ``kind`` is ``"gcd"`` or ``"numa"``; ``index`` is the GCD index
+    (0–7) or the NUMA domain index (0–3).
+    """
+
+    kind: str
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("gcd", "numa"):
+            raise TopologyError(f"unknown endpoint kind {self.kind!r}")
+        if self.index < 0:
+            raise TopologyError("endpoint index must be non-negative")
+
+    @classmethod
+    def gcd(cls, index: int) -> "LinkEndpoint":
+        return cls("gcd", index)
+
+    @classmethod
+    def numa(cls, index: int) -> "LinkEndpoint":
+        return cls("numa", index)
+
+    @property
+    def is_gcd(self) -> bool:
+        """True for GCD endpoints."""
+        return self.kind == "gcd"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind}{self.index}"
+
+
+EndpointLike = Union[LinkEndpoint, int]
+
+
+def as_endpoint(value: EndpointLike) -> LinkEndpoint:
+    """Coerce a bare int (GCD index) or endpoint to a :class:`LinkEndpoint`."""
+    if isinstance(value, LinkEndpoint):
+        return value
+    return LinkEndpoint.gcd(int(value))
+
+
+@dataclass(frozen=True)
+class Link:
+    """An undirected edge of the node topology.
+
+    Capacity is *per direction*; the two directions of an Infinity
+    Fabric link are independent 50 GB/s (or 36 GB/s) channels, which is
+    why the paper reports "50+50 GB/s".  The simulator therefore tracks
+    flow occupancy per direction (see :mod:`repro.sim.fairshare`).
+    """
+
+    a: LinkEndpoint
+    b: LinkEndpoint
+    tier: LinkTier
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise TopologyError(f"self-link at {self.a}")
+        if self.tier is LinkTier.CPU:
+            kinds = {self.a.kind, self.b.kind}
+            if kinds != {"gcd", "numa"}:
+                raise TopologyError(
+                    "CPU-tier links must connect a GCD to a NUMA domain"
+                )
+        else:
+            if not (self.a.is_gcd and self.b.is_gcd):
+                raise TopologyError("xGMI-tier links must connect two GCDs")
+
+    @property
+    def name(self) -> str:
+        """Stable identifier, endpoints in sorted order."""
+        lo, hi = sorted((self.a, self.b))
+        return f"{lo}-{hi}:{self.tier.name.lower()}"
+
+    @property
+    def capacity_per_direction(self) -> float:
+        """Peak bytes/s in one direction."""
+        return self.tier.peak_unidirectional
+
+    @property
+    def capacity_bidirectional(self) -> float:
+        """Peak bytes/s summed over both directions."""
+        return self.tier.peak_bidirectional
+
+    @property
+    def is_cpu_link(self) -> bool:
+        """True for CPU-GCD links."""
+        return self.tier is LinkTier.CPU
+
+    def endpoints(self) -> tuple[LinkEndpoint, LinkEndpoint]:
+        """Both endpoints as a tuple."""
+        return (self.a, self.b)
+
+    def other(self, endpoint: LinkEndpoint) -> LinkEndpoint:
+        """The endpoint opposite ``endpoint``."""
+        if endpoint == self.a:
+            return self.b
+        if endpoint == self.b:
+            return self.a
+        raise TopologyError(f"{endpoint} is not an endpoint of {self.name}")
+
+    def connects(self, x: EndpointLike, y: EndpointLike) -> bool:
+        """Whether the link joins the two given endpoints."""
+        ex, ey = as_endpoint(x), as_endpoint(y)
+        return {ex, ey} == {self.a, self.b}
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name

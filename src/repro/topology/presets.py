@@ -1,0 +1,138 @@
+"""Canonical topologies.
+
+:func:`frontier_node` reproduces Fig. 1 of the paper — the node layout
+shared by ORNL Frontier and LUMI: four MI250X packages (GCD pairs 0-1,
+2-3, 4-5, 6-7 with quad intra-package links), an even-GCD ring
+0-2-4-6 alternating single and dual bundles, an odd-GCD ring 1-3-7-5
+of single bundles, and one 36 GB/s CPU link per GCD into the NUMA
+domain of its package.
+
+The structure is cross-checked against the paper's §II-A narrative:
+"Taking GCD0 as an example, it is also directly connected through a
+dual link to GCD6 [...] and through a single link to GCD2"; and the
+single-link pair list from §V-A1, {0-2, 1-3, 1-5, 3-7, 4-6, 5-7}.
+"""
+
+from __future__ import annotations
+
+from ..errors import TopologyError
+from .node import GcdInfo, NodeTopology, NodeTopologyBuilder, NumaDomainInfo
+
+#: Paper Fig. 1 GCD-GCD bundles: (gcd_a, gcd_b, xGMI width).
+FRONTIER_XGMI_BUNDLES: tuple[tuple[int, int, int], ...] = (
+    # quad links: the two dies of each physical MI250X
+    (0, 1, 4),
+    (2, 3, 4),
+    (4, 5, 4),
+    (6, 7, 4),
+    # dual links: alternate edges of the even-GCD ring
+    (0, 6, 2),
+    (2, 4, 2),
+    # single links: remaining even-ring edges + the odd-GCD ring
+    (0, 2, 1),
+    (4, 6, 1),
+    (1, 3, 1),
+    (3, 7, 1),
+    (5, 7, 1),
+    (1, 5, 1),
+)
+
+#: NUMA domain of each GCD (rocm-smi --showtoponuma on Frontier/LUMI):
+#: GCDs {0,1}→NUMA 3, {2,3}→NUMA 1, {4,5}→NUMA 0, {6,7}→NUMA 2 — but the
+#: paper only relies on the *pairing* (one NUMA per package).  We use
+#: the natural package ordering, which preserves every effect studied.
+FRONTIER_GCD_NUMA: tuple[int, ...] = (0, 0, 1, 1, 2, 2, 3, 3)
+
+#: The paper's single-link GCD pairs (§V-A1), used in validation tests.
+FRONTIER_SINGLE_LINK_PAIRS: frozenset[frozenset[int]] = frozenset(
+    frozenset(p) for p in ((0, 2), (1, 3), (1, 5), (3, 7), (4, 6), (5, 7))
+)
+
+
+def frontier_node(*, name: str = "frontier-mi250x") -> NodeTopology:
+    """Build the Fig. 1 MI250X node (8 GCDs, 4 packages, 4 NUMA domains)."""
+    builder = NodeTopologyBuilder(name)
+    for numa in range(4):
+        builder.add_numa_domain(NumaDomainInfo(index=numa))
+    for gcd in range(8):
+        builder.add_gcd(
+            GcdInfo(
+                index=gcd,
+                gpu_package=gcd // 2,
+                numa_domain=FRONTIER_GCD_NUMA[gcd],
+            )
+        )
+        builder.connect_cpu(gcd, FRONTIER_GCD_NUMA[gcd])
+    for a, b, width in FRONTIER_XGMI_BUNDLES:
+        builder.connect_gcds(a, b, width)
+    topology = builder.build()
+    _check_frontier_invariants(topology)
+    return topology
+
+
+def _check_frontier_invariants(topology: NodeTopology) -> None:
+    """Sanity-check the preset against the paper's stated structure."""
+    from .link import LinkTier
+
+    census = topology.link_census()
+    if census.get(LinkTier.QUAD) != 4:
+        raise TopologyError("frontier preset must have 4 quad bundles")
+    if census.get(LinkTier.DUAL) != 2:
+        raise TopologyError("frontier preset must have 2 dual bundles")
+    if census.get(LinkTier.SINGLE) != 6:
+        raise TopologyError("frontier preset must have 6 single bundles")
+    if census.get(LinkTier.CPU) != 8:
+        raise TopologyError("frontier preset must have 8 CPU links")
+    singles = {
+        frozenset((l.a.index, l.b.index))
+        for l in topology.xgmi_links()
+        if l.tier is LinkTier.SINGLE
+    }
+    if singles != set(FRONTIER_SINGLE_LINK_PAIRS):
+        raise TopologyError("single-link pairs disagree with paper §V-A1")
+
+
+def single_gpu_node(*, name: str = "single-mi250x") -> NodeTopology:
+    """A one-package node: two GCDs joined by a quad bundle.
+
+    Useful for unit tests and for isolating intra-package effects.
+    """
+    builder = NodeTopologyBuilder(name)
+    builder.add_numa_domain(NumaDomainInfo(index=0))
+    for gcd in range(2):
+        builder.add_gcd(GcdInfo(index=gcd, gpu_package=0, numa_domain=0))
+        builder.connect_cpu(gcd, 0)
+    builder.connect_gcds(0, 1, 4)
+    return builder.build()
+
+
+def dense_hive_node(
+    num_packages: int = 4, *, name: str | None = None
+) -> NodeTopology:
+    """A hypothetical fully-connected variant for what-if studies.
+
+    Every pair of GCDs on distinct packages gets a single xGMI bundle,
+    package pairs keep quad bundles.  Not a real machine; used by the
+    ablation benchmarks to show how much the sparse Fig. 1 mesh costs
+    relative to an idealised full mesh.
+    """
+    if num_packages < 1:
+        raise TopologyError("need at least one package")
+    if name is None:
+        name = f"dense-hive-{num_packages}pkg"
+    builder = NodeTopologyBuilder(name)
+    num_gcds = 2 * num_packages
+    num_numa = min(4, num_packages)
+    for numa in range(num_numa):
+        builder.add_numa_domain(NumaDomainInfo(index=numa))
+    for gcd in range(num_gcds):
+        numa = (gcd // 2) % num_numa
+        builder.add_gcd(GcdInfo(index=gcd, gpu_package=gcd // 2, numa_domain=numa))
+        builder.connect_cpu(gcd, numa)
+    for a in range(num_gcds):
+        for b in range(a + 1, num_gcds):
+            if a // 2 == b // 2:
+                builder.connect_gcds(a, b, 4)
+            else:
+                builder.connect_gcds(a, b, 1)
+    return builder.build()

@@ -1,0 +1,191 @@
+"""Units and quantity helpers.
+
+The paper (footnote 3) uses decimal units for rates: ``1 GB/s = 1e9
+bytes/s``.  Transfer *sizes* in the benchmark sweeps, however, are
+binary (4 KiB, 1 MiB, 1 GiB) as in CommScope and the OSU suite.  This
+module provides both families explicitly so no call site ever has to
+guess, plus parsing and pretty-printing used by the report layer.
+
+All simulation times are kept in **seconds** as floats; helpers exist
+for microseconds and nanoseconds because the paper quotes latencies in
+microseconds.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Iterable, Iterator
+
+# --- byte sizes -----------------------------------------------------------
+
+#: Binary size units (sizes of buffers, messages, pages).
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+#: Decimal size units (marketing-style capacities).
+KB = 1_000
+MB = 1_000 * KB
+GB = 1_000 * MB
+
+# --- rates (paper convention: decimal) ------------------------------------
+
+#: 1 GB/s as used throughout the paper: 1e9 bytes per second.
+GBps = 1e9
+MBps = 1e6
+
+# --- times -----------------------------------------------------------------
+
+SECOND = 1.0
+MILLISECOND = 1e-3
+MICROSECOND = 1e-6
+NANOSECOND = 1e-9
+
+
+def us(value: float) -> float:
+    """Convert a value in microseconds to seconds."""
+    return value * MICROSECOND
+
+
+def ns(value: float) -> float:
+    """Convert a value in nanoseconds to seconds."""
+    return value * NANOSECOND
+
+
+def to_us(seconds: float) -> float:
+    """Convert a time in seconds to microseconds."""
+    return seconds / MICROSECOND
+
+
+def gbps(value: float) -> float:
+    """Convert a rate in GB/s (decimal) to bytes/s."""
+    return value * GBps
+
+
+def to_gbps(bytes_per_second: float) -> float:
+    """Convert a rate in bytes/s to GB/s (decimal, paper convention)."""
+    return bytes_per_second / GBps
+
+
+_SIZE_SUFFIXES = {
+    "B": 1,
+    "KB": KB,
+    "MB": MB,
+    "GB": GB,
+    "TB": 1_000 * GB,
+    "KIB": KiB,
+    "MIB": MiB,
+    "GIB": GiB,
+    "TIB": 1024 * GiB,
+    # Benchmark shorthand: bare K/M/G are binary, matching OSU/CommScope.
+    "K": KiB,
+    "M": MiB,
+    "G": GiB,
+}
+
+_SIZE_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([A-Za-z]*)\s*$")
+
+
+def parse_size(text: str | int) -> int:
+    """Parse a human-readable size like ``"64MiB"`` or ``"4 KB"`` to bytes.
+
+    Integers pass through unchanged.  Bare ``K``/``M``/``G`` suffixes are
+    binary, matching the conventions of the OSU and CommScope harnesses.
+
+    >>> parse_size("4K")
+    4096
+    >>> parse_size("1GB")
+    1000000000
+    """
+    if isinstance(text, int):
+        return text
+    match = _SIZE_RE.match(text)
+    if not match:
+        raise ValueError(f"unparsable size: {text!r}")
+    value = float(match.group(1))
+    suffix = match.group(2).upper()
+    if suffix == "":
+        suffix = "B"
+    try:
+        scale = _SIZE_SUFFIXES[suffix]
+    except KeyError:
+        raise ValueError(f"unknown size suffix in {text!r}") from None
+    result = value * scale
+    if not math.isfinite(result) or result < 0:
+        raise ValueError(f"invalid size: {text!r}")
+    return int(round(result))
+
+
+def format_size(nbytes: int) -> str:
+    """Format a byte count with binary units, as the paper's x-axes do.
+
+    >>> format_size(4096)
+    '4KiB'
+    >>> format_size(8 * GiB)
+    '8GiB'
+    """
+    if nbytes < 0:
+        raise ValueError("size must be non-negative")
+    for unit, scale in (("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if nbytes >= scale and nbytes % scale == 0:
+            return f"{nbytes // scale}{unit}"
+        if nbytes >= scale:
+            return f"{nbytes / scale:.2f}{unit}"
+    return f"{nbytes}B"
+
+
+def format_rate(bytes_per_second: float) -> str:
+    """Format a rate in the paper's decimal GB/s convention.
+
+    >>> format_rate(28.3e9)
+    '28.3 GB/s'
+    """
+    return f"{to_gbps(bytes_per_second):.1f} GB/s"
+
+
+def format_time(seconds: float) -> str:
+    """Format a duration with an auto-selected unit (µs for latencies)."""
+    if seconds < 0:
+        raise ValueError("time must be non-negative")
+    if seconds == 0:
+        return "0s"
+    if seconds < 1e-6:
+        return f"{seconds / NANOSECOND:.1f}ns"
+    if seconds < 1e-3:
+        return f"{seconds / MICROSECOND:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds / MILLISECOND:.2f}ms"
+    return f"{seconds:.3f}s"
+
+
+def pow2_sizes(start: int, stop: int) -> Iterator[int]:
+    """Yield powers of two from ``start`` to ``stop`` inclusive.
+
+    Both endpoints must themselves be powers of two; this mirrors the
+    size sweeps of CommScope (4 KiB … 1 GiB) and OSU.
+
+    >>> list(pow2_sizes(4*KiB, 16*KiB))
+    [4096, 8192, 16384]
+    """
+    if start <= 0 or stop <= 0:
+        raise ValueError("sweep endpoints must be positive")
+    if start & (start - 1) or stop & (stop - 1):
+        raise ValueError("sweep endpoints must be powers of two")
+    if start > stop:
+        raise ValueError("empty sweep: start > stop")
+    size = start
+    while size <= stop:
+        yield size
+        size <<= 1
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, used when summarising bandwidth series."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    log_sum = sum(math.log(v) for v in values)
+    return math.exp(log_sum / len(values))

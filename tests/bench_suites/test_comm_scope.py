@@ -1,0 +1,87 @@
+"""Tests for the CommScope suite reimplementation."""
+
+import pytest
+
+from repro.bench_suites.comm_scope import (
+    H2D_INTERFACES,
+    h2d_sweep,
+    measure_h2d,
+    measure_numa_to_gpu,
+    measure_peer_copy,
+    numa_to_gpu_matrix,
+    peer_sweep,
+)
+from repro.errors import BenchmarkError
+from repro.units import GiB, KiB, MiB, to_gbps
+
+
+class TestH2D:
+    def test_pinned_peak(self):
+        rate = measure_h2d("pinned_memcpy", 1 * GiB)
+        assert to_gbps(rate) == pytest.approx(28.3, rel=0.01)
+
+    def test_managed_zerocopy_peak(self):
+        rate = measure_h2d("managed_zerocopy", 1 * GiB)
+        assert to_gbps(rate) == pytest.approx(25.5, rel=0.01)
+
+    def test_migration_rate(self):
+        rate = measure_h2d("managed_migration", 256 * MiB)
+        assert to_gbps(rate) == pytest.approx(2.8, rel=0.02)
+
+    def test_pageable_below_pinned(self):
+        pinned = measure_h2d("pinned_memcpy", 256 * MiB)
+        pageable = measure_h2d("pageable_memcpy", 256 * MiB)
+        assert pageable < pinned
+
+    def test_unknown_interface(self):
+        with pytest.raises(BenchmarkError):
+            measure_h2d("cuda_memcpy", 1 * MiB)
+
+    def test_bad_size(self):
+        with pytest.raises(BenchmarkError):
+            measure_h2d("pinned_memcpy", 0)
+
+    def test_sweep_is_complete_grid(self):
+        sizes = [64 * KiB, 1 * MiB]
+        result = h2d_sweep(sizes=sizes)
+        assert len(result) == len(H2D_INTERFACES) * len(sizes)
+        assert set(result.labels("interface")) == set(H2D_INTERFACES)
+
+    def test_sweep_monotone_ramp_for_pinned(self):
+        sizes = [64 * KiB, 1 * MiB, 16 * MiB, 256 * MiB]
+        result = h2d_sweep(["pinned_memcpy"], sizes)
+        values = result.values(interface="pinned_memcpy")
+        assert values == sorted(values)
+
+
+class TestNumaPlacement:
+    def test_local_vs_remote_no_degradation(self):
+        """§IV-B: NUMA-mismatched placement shows no copy slowdown."""
+        local = measure_numa_to_gpu(0, 0, 256 * MiB)
+        remote = measure_numa_to_gpu(0, 3, 256 * MiB)
+        assert remote == pytest.approx(local, rel=0.01)
+
+    def test_matrix_is_flat(self):
+        result = numa_to_gpu_matrix(64 * MiB)
+        assert len(result) == 32  # 8 GCDs × 4 domains
+        values = [m.value for m in result.measurements]
+        assert max(values) / min(values) < 1.02
+
+
+class TestPeerSweep:
+    def test_single_point(self):
+        rate = measure_peer_copy(0, 2, 1 * GiB)
+        assert to_gbps(rate) == pytest.approx(37.75, rel=0.01)
+
+    def test_fig7_utilizations(self):
+        """Fig. 7: 75 % / 50 % / 25 % of single/dual/quad links."""
+        result = peer_sweep(0, (1, 2, 6), sizes=[4 * GiB])
+        peak = {m.meta["dst"]: m.value for m in result.measurements}
+        assert peak[2] / 50e9 == pytest.approx(0.755, rel=0.01)
+        assert peak[6] / 100e9 == pytest.approx(0.50, rel=0.01)
+        assert peak[1] / 200e9 == pytest.approx(0.25, rel=0.01)
+
+    def test_plateau_is_size_independent(self):
+        result = peer_sweep(0, (1,), sizes=[1 * GiB, 4 * GiB])
+        values = result.values(dst=1)
+        assert values[1] == pytest.approx(values[0], rel=0.02)

@@ -1,0 +1,80 @@
+"""Tests for the OSU and rccl-tests suites."""
+
+import pytest
+
+from repro.bench_suites.osu import (
+    osu_bw,
+    osu_bw_sweep,
+    osu_collective_latency,
+)
+from repro.bench_suites.rccl_tests import (
+    rccl_collective_latency,
+    rccl_latency_sweep,
+)
+from repro.errors import BenchmarkError
+from repro.units import GiB, MiB, to_gbps, to_us
+
+
+class TestOsuBw:
+    def test_sdma_enabled_single_link(self):
+        rate = osu_bw(0, 2, sdma_enabled=True)
+        assert to_gbps(rate) == pytest.approx(37.7, rel=0.02)
+
+    def test_sdma_disabled_scales_with_link(self):
+        quad = osu_bw(0, 1, sdma_enabled=False)
+        dual = osu_bw(0, 6, sdma_enabled=False)
+        assert to_gbps(quad) == pytest.approx(2 * to_gbps(dual), rel=0.03)
+
+    def test_same_gcd_rejected(self):
+        with pytest.raises(BenchmarkError):
+            osu_bw(0, 0)
+
+    def test_sweep_has_both_settings(self):
+        result = osu_bw_sweep(0, (1, 2), message_bytes=256 * MiB)
+        assert set(result.labels("sdma")) == {"enabled", "disabled"}
+        assert len(result) == 4
+
+
+class TestOsuCollectives:
+    def test_latency_positive_and_scaled(self):
+        two = osu_collective_latency("allreduce", 2)
+        eight = osu_collective_latency("allreduce", 8)
+        assert 0 < two < eight
+
+    def test_unknown_collective(self):
+        with pytest.raises(BenchmarkError):
+            osu_collective_latency("scan", 4)
+
+    def test_too_few_partners(self):
+        with pytest.raises(BenchmarkError):
+            osu_collective_latency("allreduce", 1)
+
+    def test_warmup_amortizes_ipc_mapping(self):
+        # With warmup, repeated iterations are stable: the reported
+        # average should be well below the first-call cost.
+        lat = osu_collective_latency("broadcast", 2, iterations=3, warmup=1)
+        lat_nowarm = osu_collective_latency(
+            "broadcast", 2, iterations=1, warmup=0
+        )
+        assert lat < lat_nowarm
+
+
+class TestRcclTests:
+    def test_basic_latency(self):
+        lat = rccl_collective_latency("allreduce", 8)
+        assert to_us(lat) == pytest.approx(103, rel=0.05)
+
+    def test_two_thread_bound(self):
+        rs = rccl_collective_latency("reduce_scatter", 2)
+        assert 17.4 <= to_us(rs) <= 21.0
+
+    def test_validation(self):
+        with pytest.raises(BenchmarkError):
+            rccl_collective_latency("alltoall", 4)
+        with pytest.raises(BenchmarkError):
+            rccl_collective_latency("allreduce", 1)
+
+    def test_sweep_grid(self):
+        result = rccl_latency_sweep(["allreduce"], (2, 8))
+        assert len(result) == 2
+        assert result.labels("library") == ["RCCL"]

@@ -1,0 +1,124 @@
+"""Tests for the STREAM and p2pBandwidthLatencyTest suites."""
+
+import pytest
+
+from repro.bench_suites.p2p_matrix import (
+    bandwidth_matrix,
+    hop_matrix,
+    latency_matrix,
+    measure_pair_bandwidth,
+    measure_pair_latency,
+)
+from repro.bench_suites.stream import (
+    direct_p2p_read,
+    dual_gcd_experiment,
+    host_zero_copy_stream,
+    local_stream_copy,
+    multi_gpu_cpu_stream,
+    remote_stream_copy,
+    remote_stream_sweep,
+    scaling_experiment,
+)
+from repro.errors import BenchmarkError
+from repro.units import GiB, MiB, to_gbps, to_us
+
+
+class TestStreamSuite:
+    def test_local_reference(self):
+        assert to_gbps(local_stream_copy(0, 1 * GiB)) == pytest.approx(
+            1400, rel=0.01
+        )
+
+    def test_remote_tiers(self):
+        assert to_gbps(remote_stream_copy(0, 1, 1 * GiB)) == pytest.approx(
+            174, rel=0.01
+        )
+        assert to_gbps(remote_stream_copy(0, 6, 1 * GiB)) == pytest.approx(
+            87, rel=0.01
+        )
+        assert to_gbps(remote_stream_copy(0, 2, 1 * GiB)) == pytest.approx(
+            43.5, rel=0.01
+        )
+
+    def test_remote_requires_distinct(self):
+        with pytest.raises(BenchmarkError):
+            remote_stream_copy(0, 0, 1 * MiB)
+
+    def test_direct_p2p_unidirectional(self):
+        assert to_gbps(direct_p2p_read(0, 2, 1 * GiB)) == pytest.approx(
+            44, rel=0.01
+        )
+
+    def test_host_zero_copy(self):
+        assert to_gbps(host_zero_copy_stream(0, 1 * GiB)) == pytest.approx(
+            45, rel=0.01
+        )
+
+    def test_multi_gpu_validation(self):
+        with pytest.raises(BenchmarkError):
+            multi_gpu_cpu_stream([])
+        with pytest.raises(BenchmarkError):
+            multi_gpu_cpu_stream([0, 0])
+
+    def test_dual_gcd_experiment_shape(self):
+        result = dual_gcd_experiment(256 * MiB)
+        by_case = {m.meta["case"]: m.value for m in result.measurements}
+        assert by_case["2 GCDs (same GPU)"] == pytest.approx(
+            by_case["1 GCD"], rel=0.05
+        )
+        assert by_case["2 GCDs (spread)"] == pytest.approx(
+            2 * by_case["1 GCD"], rel=0.05
+        )
+
+    def test_scaling_experiment_shape(self):
+        result = scaling_experiment((1, 4, 8), 256 * MiB)
+        by_count = {int(m.x): m.value for m in result.measurements}
+        assert by_count[4] == pytest.approx(4 * by_count[1], rel=0.05)
+        assert by_count[8] == pytest.approx(by_count[4], rel=0.05)
+
+    def test_remote_sweep_grid(self):
+        result = remote_stream_sweep(0, (1, 2), sizes=[256 * MiB, 1 * GiB])
+        assert len(result) == 4
+
+
+class TestP2pMatrixSuite:
+    def test_hop_matrix_matches_routing(self, topology):
+        hops = hop_matrix(topology)
+        assert hops[(1, 7)] == 2 and hops[(0, 1)] == 1
+
+    def test_pair_latency_classes(self):
+        assert to_us(measure_pair_latency(0, 2)) == pytest.approx(8.7, abs=0.35)
+        quad = to_us(measure_pair_latency(0, 1))
+        assert 10.5 <= quad <= 10.8
+
+    def test_pair_latency_requires_distinct(self):
+        with pytest.raises(BenchmarkError):
+            measure_pair_latency(3, 3)
+
+    def test_pair_bandwidth(self):
+        assert to_gbps(measure_pair_bandwidth(0, 1)) == pytest.approx(
+            50, rel=0.02
+        )
+
+    def test_latency_matrix_full_range(self):
+        matrix = latency_matrix()
+        values = [to_us(v) for v in matrix.values()]
+        assert len(matrix) == 56
+        # Paper §V-A1: latencies within 8.7-18.2 us.
+        assert min(values) >= 8.7 - 1e-6
+        assert max(values) <= 18.2 + 1e-6
+
+    def test_latency_matrix_detour_outliers(self):
+        matrix = latency_matrix()
+        for pair in ((1, 7), (7, 1), (3, 5), (5, 3)):
+            assert 17.8 <= to_us(matrix[pair]) <= 18.2
+
+    def test_bandwidth_matrix_two_tiers(self):
+        from repro.core.analysis import cluster_tiers
+
+        matrix = bandwidth_matrix(size=256 * MiB)
+        tiers = cluster_tiers([to_gbps(v) for v in matrix.values()])
+        assert len(tiers) == 2
+        centers = sorted(t.center for t in tiers)
+        assert centers[0] == pytest.approx(37.7, rel=0.02)
+        assert centers[1] == pytest.approx(50.0, rel=0.02)

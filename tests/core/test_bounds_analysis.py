@@ -1,0 +1,133 @@
+"""Tests for repro.core.bounds and repro.core.analysis."""
+
+import pytest
+
+from repro.core.analysis import (
+    cluster_tiers,
+    crossover_size,
+    detect_outliers_iqr,
+    scaling_efficiency,
+    utilization_table,
+    value_range,
+)
+from repro.core.bounds import (
+    collective_latency_bound,
+    cpu_gpu_peak_bidirectional,
+    hbm_peak,
+    min_p2p_latency,
+    pair_peak_unidirectional,
+    utilization,
+)
+from repro.errors import BenchmarkError
+
+
+class TestBounds:
+    def test_pair_peaks(self, topology):
+        assert pair_peak_unidirectional(topology, 0, 1) == 200e9
+        assert pair_peak_unidirectional(topology, 0, 6) == 100e9
+        assert pair_peak_unidirectional(topology, 0, 2) == 50e9
+        # Routed pair 1-7: widest path bottleneck is the dual link.
+        assert pair_peak_unidirectional(topology, 1, 7) == 100e9
+        # Local "pair": HBM peak.
+        assert pair_peak_unidirectional(topology, 0, 0) == 1.6e12
+
+    def test_cpu_gpu_peak(self, topology):
+        assert cpu_gpu_peak_bidirectional(topology, [0]) == 72e9
+        assert cpu_gpu_peak_bidirectional(topology, [0, 2, 4, 6]) == 288e9
+        with pytest.raises(BenchmarkError):
+            cpu_gpu_peak_bidirectional(topology, [])
+
+    def test_hbm_peak(self, topology):
+        assert hbm_peak(topology, 0) == 1.6e12
+
+    def test_collective_bounds_match_section_vi(self):
+        assert min_p2p_latency() == pytest.approx(8.7e-6)
+        assert collective_latency_bound("reduce").bound == pytest.approx(8.7e-6)
+        assert collective_latency_bound("broadcast").rounds == 1
+        for name in ("allreduce", "reduce_scatter", "allgather"):
+            bound = collective_latency_bound(name)
+            assert bound.rounds == 2
+            assert bound.bound == pytest.approx(17.4e-6)
+        with pytest.raises(BenchmarkError):
+            collective_latency_bound("alltoallv")
+
+    def test_utilization(self):
+        assert utilization(43.5, 100.0) == pytest.approx(0.435)
+        with pytest.raises(BenchmarkError):
+            utilization(1.0, 0.0)
+        with pytest.raises(BenchmarkError):
+            utilization(-1.0, 1.0)
+
+
+class TestTierClustering:
+    def test_fig6c_two_tiers(self):
+        # 37-38 and ~50 GB/s: exactly two clusters.
+        values = [37.7, 37.8, 49.9, 50.0, 37.75, 49.95]
+        tiers = cluster_tiers(values)
+        assert len(tiers) == 2
+        assert tiers[0].center == pytest.approx(37.75, rel=0.01)
+        assert tiers[1].center == pytest.approx(49.95, rel=0.01)
+
+    def test_fig8_three_tiers(self):
+        values = [43.5, 87.0, 174.0]
+        assert len(cluster_tiers(values)) == 3
+
+    def test_single_value(self):
+        tiers = cluster_tiers([5.0])
+        assert len(tiers) == 1 and tiers[0].count == 1
+
+    def test_members_are_indices(self):
+        tiers = cluster_tiers([50.0, 37.7, 50.1])
+        by_center = {round(t.center): t for t in tiers}
+        assert set(by_center[50].members) == {0, 2}
+
+    def test_empty_rejected(self):
+        with pytest.raises(BenchmarkError):
+            cluster_tiers([])
+
+
+class TestOutliers:
+    def test_fig6b_outliers(self):
+        # A miniature of the Fig. 6b distribution: single-link pairs
+        # ~8.7-9, same-GPU ~10.5-10.8, two-hop ~13.3-13.5, and the
+        # detour pairs at ~18 — only the last are outliers.
+        values = (
+            [8.7, 8.8, 8.9, 9.0]
+            + [10.5, 10.6, 10.7, 10.8]
+            + [13.3, 13.4, 13.5, 13.4, 13.3, 13.5, 13.4, 13.3]
+            + [17.9, 18.1]
+        )
+        outliers = detect_outliers_iqr(values)
+        assert set(outliers) == {16, 17}
+
+    def test_short_series_no_outliers(self):
+        assert detect_outliers_iqr([1.0, 100.0]) == []
+
+
+class TestMisc:
+    def test_value_range(self):
+        assert value_range([3.0, 1.0, 2.0]) == (1.0, 3.0)
+        with pytest.raises(BenchmarkError):
+            value_range([])
+
+    def test_utilization_table(self):
+        rows = utilization_table({"quad": (174e9, 400e9)})
+        assert rows[0].ratio == pytest.approx(0.435)
+        assert "43.5%" in rows[0].format()
+        with pytest.raises(BenchmarkError):
+            utilization_table({"bad": (1.0, 0.0)})
+
+    def test_crossover(self):
+        sizes = [1, 2, 4, 8, 16]
+        a = [1.0, 2.0, 3.0, 5.0, 6.0]
+        b = [1.5, 2.5, 2.0, 4.0, 5.0]
+        assert crossover_size(sizes, a, b) == 4
+        assert crossover_size(sizes, b, a) is None
+        with pytest.raises(BenchmarkError):
+            crossover_size([1], [1.0, 2.0], [1.0])
+
+    def test_scaling_efficiency(self):
+        assert scaling_efficiency(45.0, 90.0, 2) == pytest.approx(1.0)
+        assert scaling_efficiency(45.0, 45.0, 2) == pytest.approx(0.5)
+        with pytest.raises(BenchmarkError):
+            scaling_efficiency(0.0, 1.0, 2)

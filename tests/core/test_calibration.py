@@ -1,0 +1,114 @@
+"""Tests for the calibration profile."""
+
+import pytest
+
+from repro.core.calibration import DEFAULT_CALIBRATION, CalibrationProfile
+from repro.errors import CalibrationError
+from repro.topology.link import LinkTier
+from repro.units import MiB
+
+
+class TestValidation:
+    def test_default_is_valid(self):
+        CalibrationProfile.default()
+
+    def test_efficiency_bounds(self):
+        with pytest.raises(CalibrationError):
+            CalibrationProfile(sdma_xgmi_efficiency=1.5)
+        with pytest.raises(CalibrationError):
+            CalibrationProfile(hbm_stream_efficiency=0.0)
+
+    def test_positive_rates(self):
+        with pytest.raises(CalibrationError):
+            CalibrationProfile(sdma_engine_throughput=-1)
+
+    def test_page_size_power_of_two(self):
+        with pytest.raises(CalibrationError):
+            CalibrationProfile(page_size=3000)
+
+    def test_with_returns_new_profile(self):
+        profile = DEFAULT_CALIBRATION.with_(sdma_engine_throughput=60e9)
+        assert profile.sdma_engine_throughput == 60e9
+        assert DEFAULT_CALIBRATION.sdma_engine_throughput == 50e9
+
+
+class TestDerivedRates:
+    def test_sdma_caps_paper_values(self, calibration):
+        assert calibration.sdma_cap_for_tier(LinkTier.SINGLE) == pytest.approx(37.75e9)
+        assert calibration.sdma_cap_for_tier(LinkTier.DUAL) == pytest.approx(50e9)
+        assert calibration.sdma_cap_for_tier(LinkTier.QUAD) == pytest.approx(50e9)
+        assert calibration.sdma_cap_for_tier(LinkTier.CPU) == pytest.approx(
+            28.296e9, rel=1e-3
+        )
+
+    def test_kernel_caps(self, calibration):
+        assert calibration.kernel_remote_cap(
+            LinkTier.QUAD, bidirectional=True
+        ) == pytest.approx(87e9)
+        assert calibration.kernel_remote_cap(
+            LinkTier.QUAD, bidirectional=False
+        ) == pytest.approx(176e9)
+        assert calibration.kernel_remote_cap(
+            LinkTier.CPU, bidirectional=False
+        ) == pytest.approx(25.488e9, rel=1e-3)
+
+    def test_llc_boost_requires_cacheable(self, calibration):
+        base = calibration.kernel_remote_cap(
+            LinkTier.CPU, bidirectional=False, working_set=1 * MiB
+        )
+        boosted = calibration.kernel_remote_cap(
+            LinkTier.CPU,
+            bidirectional=False,
+            working_set=1 * MiB,
+            cacheable=True,
+        )
+        assert boosted > base
+        # Above the LLC no boost even when cacheable.
+        big = calibration.kernel_remote_cap(
+            LinkTier.CPU,
+            bidirectional=False,
+            working_set=64 * MiB,
+            cacheable=True,
+        )
+        assert big == pytest.approx(base)
+
+    def test_hbm_stream(self, calibration):
+        assert calibration.hbm_stream_bw(1.6e12) == pytest.approx(1.4e12)
+
+    def test_page_migration_is_2_8(self, calibration):
+        assert calibration.page_migration_bw() == pytest.approx(2.8e9, rel=0.01)
+
+
+class TestLatencyModel:
+    def test_one_hop_classes(self, calibration):
+        assert calibration.p2p_latency(1, LinkTier.SINGLE) == pytest.approx(8.7e-6)
+        assert calibration.p2p_latency(1, LinkTier.QUAD) == pytest.approx(10.5e-6)
+        assert calibration.p2p_latency(1, LinkTier.DUAL) == pytest.approx(10.1e-6)
+
+    def test_multi_hop_has_no_tier_setup(self, calibration):
+        three_hop = calibration.p2p_latency(3, None)
+        assert three_hop == pytest.approx(8.7e-6 + 2 * 4.55e-6)
+
+    def test_direct_tier_consistency_enforced(self, calibration):
+        with pytest.raises(CalibrationError):
+            calibration.p2p_latency(1, None)
+        with pytest.raises(CalibrationError):
+            calibration.p2p_latency(2, LinkTier.SINGLE)
+
+    def test_jitter_bounds(self, calibration):
+        base = calibration.p2p_latency(1, LinkTier.SINGLE, 0.0)
+        jittered = calibration.p2p_latency(1, LinkTier.SINGLE, 0.999)
+        assert base < jittered < base + calibration.p2p_latency_jitter
+        with pytest.raises(CalibrationError):
+            calibration.p2p_latency(1, LinkTier.SINGLE, 1.5)
+
+    def test_zero_hops_rejected(self, calibration):
+        with pytest.raises(CalibrationError):
+            calibration.p2p_latency(0, None)
+
+
+class TestDescribe:
+    def test_describe_mentions_key_numbers(self, calibration):
+        text = calibration.describe()
+        assert "50 GB/s" in text
+        assert "2.80 GB/s" in text or "2.8" in text

@@ -1,0 +1,121 @@
+"""Tests for experiment abstractions and sweeps."""
+
+import pytest
+
+from repro.core.experiment import (
+    Experiment,
+    ExperimentResult,
+    ExperimentSuite,
+    Measurement,
+)
+from repro.core.sweep import (
+    COMM_SCOPE_H2D,
+    COMM_SCOPE_P2P,
+    PARTNER_COUNTS,
+    SizeSweep,
+    grid,
+)
+from repro.errors import BenchmarkError
+from repro.units import GiB, KiB
+
+
+class TestExperimentResult:
+    def make(self):
+        result = ExperimentResult("x", "test")
+        result.add(1, 10.0, "GB/s", interface="a")
+        result.add(2, 20.0, "GB/s", interface="a")
+        result.add(1, 5.0, "GB/s", interface="b")
+        return result
+
+    def test_series_filtering(self):
+        result = self.make()
+        assert result.values(interface="a") == [10.0, 20.0]
+        assert result.xs(interface="b") == [1]
+
+    def test_peak(self):
+        result = self.make()
+        assert result.peak(interface="a").value == 20.0
+        with pytest.raises(BenchmarkError):
+            result.peak(interface="missing")
+
+    def test_labels_first_seen_order(self):
+        assert self.make().labels("interface") == ["a", "b"]
+
+    def test_len_and_notes(self):
+        result = self.make()
+        result.note("hello")
+        assert len(result) == 3
+        assert result.notes == ["hello"]
+
+
+class TestExperimentAndSuite:
+    def runner(self, value=1.0):
+        def run():
+            result = ExperimentResult("e1", "t")
+            result.add(0, value, "u")
+            return result
+
+        return run
+
+    def test_run_checks_id(self):
+        good = Experiment("e1", "t", "Fig X", self.runner())
+        assert len(good.run()) == 1
+        bad = Experiment("e2", "t", "Fig X", self.runner())
+        with pytest.raises(BenchmarkError):
+            bad.run()
+
+    def test_default_params_merged(self):
+        captured = {}
+
+        def run(alpha=1, beta=2):
+            captured.update(alpha=alpha, beta=beta)
+            return ExperimentResult("e1", "t")
+
+        exp = Experiment("e1", "t", "fig", run, default_params={"alpha": 10})
+        exp.run(beta=20)
+        assert captured == {"alpha": 10, "beta": 20}
+
+    def test_suite_registry(self):
+        suite = ExperimentSuite()
+        exp = Experiment("e1", "t", "fig", self.runner())
+        suite.register(exp)
+        assert suite.get("e1") is exp
+        with pytest.raises(BenchmarkError):
+            suite.register(exp)
+        with pytest.raises(BenchmarkError):
+            suite.get("nope")
+        assert suite.ids() == ["e1"]
+        assert len(suite.run_all()) == 1
+
+
+class TestSweeps:
+    def test_paper_ranges(self):
+        assert COMM_SCOPE_H2D.sizes()[0] == 4 * KiB
+        assert COMM_SCOPE_H2D.sizes()[-1] == 1 * GiB
+        assert COMM_SCOPE_P2P.sizes()[0] == 256
+        assert COMM_SCOPE_P2P.sizes()[-1] == 8 * GiB
+        assert PARTNER_COUNTS == (2, 3, 4, 5, 6, 7, 8)
+
+    def test_size_sweep_validation(self):
+        with pytest.raises(BenchmarkError):
+            SizeSweep(16, 8)
+        with pytest.raises(BenchmarkError):
+            SizeSweep(0, 8)
+
+    def test_sweep_iterable(self):
+        sweep = SizeSweep(4, 16)
+        assert list(sweep) == [4, 8, 16]
+        assert len(sweep) == 3
+
+    def test_grid(self):
+        points = list(grid(a=[1, 2], b=["x", "y"]))
+        assert len(points) == 4
+        assert {"a": 1, "b": "x"} in points
+        with pytest.raises(BenchmarkError):
+            list(grid())
+
+
+class TestMeasurement:
+    def test_meta_defaults(self):
+        m = Measurement(1.0, 2.0, "GB/s")
+        assert m.meta == {}

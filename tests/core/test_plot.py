@@ -1,0 +1,89 @@
+"""Tests for the ASCII plotting helpers."""
+
+import math
+
+import pytest
+
+from repro.core.plot import ascii_bars, ascii_heatmap, ascii_series
+from repro.errors import BenchmarkError
+
+
+class TestAsciiSeries:
+    def test_basic_render(self):
+        xs = [4096, 65536, 1048576]
+        text = ascii_series(
+            xs,
+            {"pinned": [1.0, 10.0, 28.0], "pageable": [0.5, 8.0, 20.0]},
+        )
+        assert "o=pinned" in text and "x=pageable" in text
+        assert "(log x)" in text
+        # Peak label appears on the top axis row.
+        assert "28" in text
+
+    def test_nan_points_skipped(self):
+        text = ascii_series(
+            [1, 2, 4], {"a": [1.0, math.nan, 3.0]}, log_x=False
+        )
+        chart_area = "\n".join(text.splitlines()[:-1])  # drop the legend
+        assert chart_area.count("o") == 2
+
+    def test_length_mismatch(self):
+        with pytest.raises(BenchmarkError):
+            ascii_series([1, 2], {"a": [1.0]})
+
+    def test_empty(self):
+        with pytest.raises(BenchmarkError):
+            ascii_series([], {})
+
+    def test_too_many_series(self):
+        xs = [1, 2]
+        series = {f"s{i}": [1.0, 2.0] for i in range(9)}
+        with pytest.raises(BenchmarkError):
+            ascii_series(xs, series)
+
+    def test_constant_series(self):
+        text = ascii_series([1, 2, 4], {"flat": [5.0, 5.0, 5.0]})
+        assert "o" in text
+
+
+class TestAsciiBars:
+    def test_scaled_bars(self):
+        text = ascii_bars({"pinned": 28.3e9, "migration": 2.8e9})
+        lines = text.splitlines()
+        assert lines[0].count("#") > lines[1].count("#")
+        assert "28.30 GB/s" in lines[0]
+
+    def test_empty(self):
+        with pytest.raises(BenchmarkError):
+            ascii_bars({})
+
+    def test_nonpositive_peak(self):
+        with pytest.raises(BenchmarkError):
+            ascii_bars({"a": 0.0})
+
+
+class TestAsciiHeatmap:
+    def test_diagonal_dots(self):
+        values = {(0, 1): 50.0, (1, 0): 38.0}
+        text = ascii_heatmap(values)
+        assert "·" in text  # missing diagonal entries
+        assert "scale:" in text
+
+    def test_shading_monotone(self):
+        values = {(0, 1): 1.0, (0, 2): 10.0, (1, 2): 5.0, (1, 0): 1.0, (2, 0): 1.0, (2, 1): 1.0}
+        normal = ascii_heatmap(values)
+        inverted = ascii_heatmap(values, invert=True)
+        assert normal != inverted
+
+    def test_empty(self):
+        with pytest.raises(BenchmarkError):
+            ascii_heatmap({})
+
+    def test_fig6_style_usage(self):
+        """Render the actual Fig. 6c matrix without error."""
+        from repro.bench_suites.p2p_matrix import bandwidth_matrix
+        from repro.units import MiB
+
+        matrix = bandwidth_matrix(size=64 * MiB)
+        text = ascii_heatmap({k: v / 1e9 for k, v in matrix.items()})
+        assert len(text.splitlines()) == 10  # header + 8 rows + scale

@@ -1,0 +1,130 @@
+"""Tests for the report renderers and the Table I/II registries."""
+
+import pytest
+
+from repro.core.experiment import ExperimentResult
+from repro.core.registry import (
+    TABLE_I,
+    TABLE_II,
+    format_table_i,
+    format_table_ii,
+)
+from repro.core.report import (
+    bar_table,
+    comparison_summary,
+    geometric_summary,
+    latency_table,
+    matrix_table,
+    peak_summary,
+    series_table,
+)
+from repro.errors import BenchmarkError
+from repro.memory.buffer import MemoryKind
+
+
+class TestSeriesTable:
+    def make(self):
+        result = ExperimentResult("x", "Bandwidth")
+        for size in (4096, 8192):
+            result.add(size, 10e9 + size, "B/s", interface="pinned")
+            result.add(size, 5e9 + size, "B/s", interface="pageable")
+        return result
+
+    def test_columns_and_rows(self):
+        text = series_table(self.make(), series_key="interface")
+        assert "pinned" in text and "pageable" in text
+        assert "4KiB" in text and "8KiB" in text
+
+    def test_missing_cells_dashed(self):
+        result = self.make()
+        result.add(16384, 1e9, "B/s", interface="pinned")  # pageable missing
+        text = series_table(result, series_key="interface")
+        assert "-" in text
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(BenchmarkError):
+            series_table(self.make(), series_key="nope")
+
+
+class TestMatrixTable:
+    def test_diagonal_dash(self):
+        values = {(0, 1): 50e9, (1, 0): 37.7e9}
+        text = matrix_table(values, title="bw", scale=1e9, unit="GB/s")
+        assert "-" in text and "50.0" in text and "37.7" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(BenchmarkError):
+            matrix_table({}, title="empty")
+
+
+class TestOtherRenderers:
+    def test_bar_table_with_reference(self):
+        text = bar_table(
+            [("pinned", 28.3e9)],
+            title="peaks",
+            reference={"pinned": 36e9},
+        )
+        assert "78.6%" in text
+
+    def test_latency_table(self):
+        result = ExperimentResult("x", "collectives")
+        result.add(2, 20e-6, "s", partners=2, library="MPI")
+        result.add(2, 15e-6, "s", partners=2, library="RCCL")
+        text = latency_table(result)
+        assert "MPI" in text and "RCCL" in text and "20.0" in text
+
+    def test_peak_summary(self):
+        result = ExperimentResult("x", "peaks")
+        result.add(4096, 10e9, "B/s", interface="a")
+        result.add(8192, 28.3e9, "B/s", interface="a")
+        text = peak_summary(result, "interface")
+        assert "28.30 GB/s" in text and "8KiB" in text
+
+    def test_comparison_summary(self):
+        text = comparison_summary("t", {"alpha": 1, "beta": "x"})
+        assert "alpha" in text and ": x" in text
+
+    def test_geometric_summary(self):
+        stats = geometric_summary([1.0, 4.0])
+        assert stats["gmean"] == pytest.approx(2.0)
+        assert stats["min"] == 1.0 and stats["max"] == 4.0
+        with pytest.raises(BenchmarkError):
+            geometric_summary([])
+
+
+class TestRegistries:
+    def test_table_i_has_five_rows(self):
+        assert len(TABLE_I) == 5
+
+    def test_table_i_movement_kinds(self):
+        movements = {row.data_movement for row in TABLE_I}
+        assert movements == {"explicit", "zero-copy", "implicit"}
+
+    def test_table_i_pinned_default_is_coherent(self):
+        coherent_pinned = [
+            row
+            for row in TABLE_I
+            if row.kind is MemoryKind.PINNED_COHERENT
+        ]
+        assert len(coherent_pinned) == 1
+        assert coherent_pinned[0].coherent
+
+    def test_table_i_xnack_rows(self):
+        managed = [row for row in TABLE_I if row.kind is MemoryKind.MANAGED]
+        assert {row.xnack for row in managed} == {True, False}
+
+    def test_table_ii_has_twelve_rows(self):
+        assert len(TABLE_II) == 12
+
+    def test_table_ii_modules_import(self):
+        import importlib
+
+        for row in TABLE_II:
+            importlib.import_module(row.suite_module)
+
+    def test_table_ii_links(self):
+        assert {row.link for row in TABLE_II} == {"CPU-GPU", "GPU-GPU"}
+
+    def test_formatters(self):
+        assert "hipHostMalloc" in format_table_i()
+        assert "RCCL-tests" in format_table_ii()

@@ -1,0 +1,70 @@
+"""Tests for the system-validation battery."""
+
+import pytest
+
+from repro.core.validation import CheckResult, ValidationReport, validate_node
+from repro.core.whatif import get_scenario
+from repro.units import MiB
+
+
+class TestCheckResult:
+    def test_format(self):
+        result = CheckResult("x.y", True, 28.3, 28.3, "GB/s", "engine")
+        text = result.format()
+        assert "[PASS]" in text and "engine" in text
+        failed = CheckResult("x.y", False, 10.0, 28.3, "GB/s")
+        assert "[FAIL]" in failed.format()
+
+
+class TestValidationReport:
+    def test_aggregation(self):
+        report = ValidationReport(
+            [
+                CheckResult("a", True, 1, 1, "u"),
+                CheckResult("b", False, 0, 1, "u"),
+            ]
+        )
+        assert not report.passed
+        assert [r.check_id for r in report.failures] == ["b"]
+        assert "1/2 checks passed" in report.text()
+
+
+class TestValidateNode:
+    def test_baseline_passes(self):
+        report = validate_node(probe_bytes=128 * MiB)
+        assert report.passed, report.text()
+        # The battery covers every interface family.
+        ids = {r.check_id for r in report.results}
+        assert any(i.startswith("h2d.") for i in ids)
+        assert any(i.startswith("p2p.sdma") for i in ids)
+        assert any(i.startswith("p2p.kernel") for i in ids)
+        assert any(i.startswith("p2p.latency") for i in ids)
+        assert "local.hbm_stream" in ids
+        assert "scaling.same_gpu_flat" in ids
+
+    def test_whatif_scenarios_self_consistent(self):
+        """Expectations derive from the scenario's own calibration, so
+        every scenario validates against itself."""
+        for name in ("unconstrained-sdma", "fast-fault-handling"):
+            scenario = get_scenario(name)
+            report = validate_node(
+                scenario.topology,
+                scenario.calibration,
+                probe_bytes=128 * MiB,
+            )
+            assert report.passed, f"{name}:\n{report.text()}"
+
+    def test_mismatched_calibration_fails(self):
+        """Running probes on one profile against another's expectations
+        must fail — that is the battery's entire purpose."""
+        from repro.bench_suites import comm_scope
+        from repro.core.calibration import DEFAULT_CALIBRATION
+        from repro.core.validation import _within
+        from repro.topology.link import LinkTier
+
+        wrong = DEFAULT_CALIBRATION.with_(sdma_cpu_link_efficiency=0.5)
+        observed = comm_scope.measure_h2d(
+            "pinned_memcpy", 128 * MiB, calibration=wrong
+        )
+        expected = DEFAULT_CALIBRATION.sdma_cap_for_tier(LinkTier.CPU)
+        assert not _within(observed, expected, 0.05)

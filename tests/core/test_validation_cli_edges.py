@@ -1,0 +1,59 @@
+"""Edge-path coverage: CLI validate, prefetch host→host, toolchain info."""
+
+import pytest
+
+from repro.cli import main
+from repro.config import DEFAULT_TOOLCHAIN, ToolchainInfo
+
+
+class TestCliValidate:
+    def test_validate_baseline(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "checks passed" in out and "[PASS]" in out
+
+    def test_validate_scenario(self, capsys):
+        assert main(["validate", "fast-fault-handling"]) == 0
+        out = capsys.readouterr().out
+        assert "fast-fault-handling" in out
+
+    def test_validate_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["validate", "nonsense"])
+
+    def test_run_all_writes_reports(self, tmp_path, capsys):
+        assert (
+            main(["run", "tab01", "tab02", "-o", str(tmp_path / "r")]) == 0
+        )
+        assert (tmp_path / "r" / "tab01.txt").exists()
+        assert (tmp_path / "r" / "tab02.txt").exists()
+
+    def test_run_with_plot_flag(self, capsys):
+        assert main(["run", "fig09", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out  # bar chart glyphs
+
+
+class TestToolchainInfo:
+    def test_defaults_match_paper(self):
+        assert DEFAULT_TOOLCHAIN.rocm_version == "5.7.0"
+        assert DEFAULT_TOOLCHAIN.rccl_version == "2.17.1"
+        assert DEFAULT_TOOLCHAIN.osu_version == "7.4"
+
+    def test_describe_with_extras(self):
+        info = ToolchainInfo(extra={"slurm": "23.02"})
+        text = info.describe()
+        assert "ROCm 5.7.0" in text and "slurm: 23.02" in text
+
+
+class TestPrefetchHostToHost:
+    def test_prefetch_between_numa_domains(self, hip):
+        from repro.memory.buffer import Location
+
+        buffer = hip.malloc_managed(1 << 20, device=0)  # home: numa 0
+
+        def run():
+            yield from hip.migration.prefetch(buffer, Location.host(3))
+
+        hip.run(run())
+        assert buffer.page_table.resident_fraction(Location.host(3)) == 1.0

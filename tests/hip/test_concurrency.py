@@ -1,0 +1,160 @@
+"""Concurrency-semantics tests: what overlaps and what serializes.
+
+The paper's measurements hinge on these semantics — Listing 1's
+one-kernel-per-GPU parallelism, SDMA/kernel overlap, stream ordering —
+so they get their own suite.
+"""
+
+import pytest
+
+from repro.hip.runtime import HipRuntime
+from repro.units import GiB, MiB
+
+
+def run_timed(hip, process):
+    def wrapper():
+        t0 = hip.now
+        yield from process
+        return hip.now - t0
+
+    return hip.run(wrapper())
+
+
+class TestCrossDeviceParallelism:
+    def test_kernels_on_distinct_gcds_overlap(self, hip):
+        size = 1 * GiB
+        buffers = {
+            gcd: (hip.malloc(size, device=gcd), hip.malloc(size, device=gcd))
+            for gcd in (0, 2, 4)
+        }
+
+        def program():
+            t0 = hip.now
+            events = [
+                hip.launch_stream_copy(b, a, device=gcd)
+                for gcd, (a, b) in buffers.items()
+            ]
+            yield hip.engine.all_of(events)
+            return hip.now - t0
+
+        three = hip.run(program())
+        single = 2 * size / 1.4e12
+        # Local HBM kernels on different dies are fully parallel.
+        assert three == pytest.approx(single, rel=0.05)
+
+    def test_same_device_null_stream_serializes(self, hip):
+        size = 1 * GiB
+        a = hip.malloc(size, device=0)
+        b = hip.malloc(size, device=0)
+
+        def program():
+            t0 = hip.now
+            e1 = hip.launch_stream_copy(b, a, device=0)
+            e2 = hip.launch_stream_copy(a, b, device=0)
+            yield hip.engine.all_of([e1, e2])
+            return hip.now - t0
+
+        both = hip.run(program())
+        single = 2 * size / 1.4e12
+        assert both == pytest.approx(2 * single, rel=0.05)
+
+    def test_same_device_user_streams_share_hbm(self, hip):
+        """Two kernels on separate streams of one GCD run concurrently
+        but split the HBM channel — different from serialization."""
+        size = 1 * GiB
+        a = hip.malloc(size, device=0)
+        b = hip.malloc(size, device=0)
+        c = hip.malloc(size, device=0)
+        d = hip.malloc(size, device=0)
+        s1 = hip.stream_create(device=0)
+        s2 = hip.stream_create(device=0)
+
+        def program():
+            t0 = hip.now
+            e1 = hip.launch_stream_copy(b, a, device=0, stream=s1)
+            e2 = hip.launch_stream_copy(d, c, device=0, stream=s2)
+            yield hip.engine.all_of([e1, e2])
+            return hip.now - t0
+
+        both = hip.run(program())
+        single = 2 * size / 1.4e12
+        # Concurrent HBM sharing: same wall time as serialized here
+        # (bandwidth-conserved), but both finish together.
+        assert both == pytest.approx(2 * single, rel=0.05)
+
+
+class TestCopyComputeOverlap:
+    def test_sdma_copy_overlaps_local_kernel(self, hip):
+        """The SDMA engine's advantage (§V-A2): hipMemcpy runs beside
+        kernel execution without slowing it."""
+        size = 1 * GiB
+        a = hip.malloc(size, device=0)
+        b = hip.malloc(size, device=0)
+        host = hip.host_malloc(size, device=0)
+        dev = hip.malloc(size, device=0)
+        kernel_stream = hip.stream_create(device=0)
+        copy_stream = hip.stream_create(device=0)
+
+        kernel_alone = run_timed(
+            hip, hip.kernel_api.stream_copy(0, b, a)
+        )
+
+        def program():
+            t0 = hip.now
+            kernel_event = hip.launch_stream_copy(
+                b, a, device=0, stream=kernel_stream
+            )
+            copy_event = hip.memcpy_async(dev, host, stream=copy_stream)
+            yield hip.engine.all_of([kernel_event, copy_event])
+            return hip.now - t0
+
+        overlapped = hip.run(program())
+        copy_alone = size / 28.3e9
+        # Both proceed concurrently: the slower one dominates; the
+        # kernel is barely affected (28 GB/s of HBM traffic vs 1400).
+        assert overlapped < kernel_alone + copy_alone
+        assert overlapped == pytest.approx(
+            max(kernel_alone, copy_alone), rel=0.05
+        )
+
+    def test_opposite_direction_peer_copies_overlap(self, hip):
+        size = 1 * GiB
+        a0 = hip.malloc(size, device=0)
+        b0 = hip.malloc(size, device=0)
+        a1 = hip.malloc(size, device=1)
+        b1 = hip.malloc(size, device=1)
+        s0 = hip.stream_create(device=0)
+        s1 = hip.stream_create(device=1)
+
+        def program():
+            t0 = hip.now
+            e1 = hip.memcpy_peer_async(b1, 1, a0, 0, size, s0)
+            e2 = hip.memcpy_peer_async(b0, 0, a1, 1, size, s1)
+            yield hip.engine.all_of([e1, e2])
+            return hip.now - t0
+
+        both = hip.run(program())
+        single = size / 50e9
+        assert both == pytest.approx(single, rel=0.05)
+
+    def test_same_direction_peer_copies_share_engine(self, hip):
+        """Two same-source copies contend on the egress SDMA engine."""
+        size = 1 * GiB
+        src1 = hip.malloc(size, device=0)
+        src2 = hip.malloc(size, device=0)
+        dst1 = hip.malloc(size, device=1)
+        dst2 = hip.malloc(size, device=6)
+        s1 = hip.stream_create(device=0)
+        s2 = hip.stream_create(device=0)
+
+        def program():
+            t0 = hip.now
+            e1 = hip.memcpy_peer_async(dst1, 1, src1, 0, size, s1)
+            e2 = hip.memcpy_peer_async(dst2, 6, src2, 0, size, s2)
+            yield hip.engine.all_of([e1, e2])
+            return hip.now - t0
+
+        both = hip.run(program())
+        single = size / 50e9
+        # The shared 50 GB/s engine halves each copy.
+        assert both == pytest.approx(2 * single, rel=0.05)

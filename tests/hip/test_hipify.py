@@ -1,0 +1,87 @@
+"""Tests for the mini-hipify translator."""
+
+import pytest
+
+from repro.hip.hipify import API_MAP, hipify_source
+
+P2P_SNIPPET = """
+#include <cuda_runtime.h>
+
+int main() {
+    int count;
+    cudaGetDeviceCount(&count);
+    float *buffers[8];
+    for (int i = 0; i < count; i++) {
+        cudaSetDevice(i);
+        cudaMalloc(&buffers[i], N);
+        for (int j = 0; j < count; j++)
+            if (i != j) cudaDeviceEnablePeerAccess(j, 0);
+    }
+    cudaEvent_t start, stop;
+    cudaEventCreate(&start);
+    cudaEventCreate(&stop);
+    cudaEventRecord(start, stream);
+    cudaMemcpyPeerAsync(buffers[1], 1, buffers[0], 0, 16, stream);
+    cudaEventRecord(stop, stream);
+    cudaStreamSynchronize(stream);
+    float ms;
+    cudaEventElapsedTime(&ms, start, stop);
+}
+"""
+
+
+class TestApiTranslation:
+    def test_p2p_benchmark_snippet_translates_cleanly(self):
+        result = hipify_source(P2P_SNIPPET)
+        assert result.clean
+        assert "hipMemcpyPeerAsync" in result.translated
+        assert "hipDeviceEnablePeerAccess" in result.translated
+        assert "hip/hip_runtime.h" in result.translated
+        assert "cuda" not in result.translated.lower().replace("cudnn", "")
+
+    def test_replacement_counts(self):
+        result = hipify_source("cudaMalloc(a); cudaMalloc(b);")
+        assert result.replacements["cudaMalloc"] == 2
+
+    def test_word_boundaries_respected(self):
+        # my_cudaMalloc is not an API call; cudaMallocHost is its own
+        # entry, not cudaMalloc + "Host".
+        result = hipify_source("my_cudaMalloc(); cudaMallocHost(&p, n);")
+        assert "my_cudaMalloc()" in result.translated
+        assert "hipHostMalloc" in result.translated
+        assert "hipMallocHost" not in result.translated
+
+    def test_unresolved_identifiers_reported(self):
+        result = hipify_source("cudaGraphLaunch(graph, stream);")
+        assert not result.clean
+        assert "cudaGraphLaunch" in result.unresolved
+        # Left untouched, exactly like hipify-perl warnings.
+        assert "cudaGraphLaunch" in result.translated
+
+    def test_map_values_are_hip(self):
+        for cuda_name, hip_name in API_MAP.items():
+            assert hip_name.startswith("hip"), (cuda_name, hip_name)
+
+
+class TestKernelLaunchRewrite:
+    def test_basic_launch(self):
+        result = hipify_source("copy<<<grid, block>>>(dst, src, n);")
+        assert result.kernel_launches == 1
+        assert (
+            "hipLaunchKernelGGL(copy, grid, block, 0, 0, dst, src, n)"
+            in result.translated
+        )
+
+    def test_launch_with_shmem_and_stream(self):
+        result = hipify_source("k<<<g, b, 128, s>>>(x);")
+        assert "hipLaunchKernelGGL(k, g, b, 128, s, x)" in result.translated
+
+    def test_launch_without_args(self):
+        result = hipify_source("init<<<1, 64>>>();")
+        assert "hipLaunchKernelGGL(init, 1, 64, 0, 0)" in result.translated
+
+    def test_summary_mentions_launches(self):
+        result = hipify_source("copy<<<g, b>>>(a); cudaFree(a);")
+        text = result.summary()
+        assert "1 kernel launch" in text
+        assert "cudaFree -> hipFree" in text

@@ -1,0 +1,145 @@
+"""Tests for the kernel cost models (zero-copy access regimes)."""
+
+import pytest
+
+from repro.config import SimEnvironment
+from repro.errors import CoherenceError, PeerAccessError
+from repro.hip.runtime import HipRuntime
+from repro.units import GiB, MiB, to_gbps
+
+
+def timed(hip, process):
+    def run():
+        t0 = hip.now
+        yield from process
+        return hip.now - t0
+
+    return hip.run(run())
+
+
+class TestLocalAccess:
+    def test_local_stream_copy_1400(self, hip):
+        a = hip.malloc(1 * GiB)
+        b = hip.malloc(1 * GiB)
+        elapsed = timed(hip, hip.kernel_api.stream_copy(0, b, a))
+        assert to_gbps(2 * GiB / elapsed) == pytest.approx(1400, rel=0.01)
+
+    def test_triad_counts_three_streams(self, hip):
+        size = 1 * GiB
+        a, b, c = (hip.malloc(size) for _ in range(3))
+        elapsed = timed(hip, hip.kernel_api.stream_triad(0, a, b, c))
+        assert to_gbps(3 * size / elapsed) == pytest.approx(1400, rel=0.01)
+
+    def test_init_array_write_only(self, hip):
+        a = hip.malloc(1 * GiB)
+        elapsed = timed(hip, hip.kernel_api.init_array(0, a))
+        assert to_gbps(1 * GiB / elapsed) == pytest.approx(1400, rel=0.01)
+
+    def test_launch_overhead_floor(self, hip):
+        a = hip.malloc(64)
+        b = hip.malloc(64)
+        elapsed = timed(hip, hip.kernel_api.stream_copy(0, b, a))
+        assert elapsed >= 2.2e-6
+
+
+class TestRemoteGcdAccess:
+    def _remote(self, hip, executor, data, size=1 * GiB):
+        hip.enable_all_peer_access()
+        a = hip.malloc(size, device=data)
+        b = hip.malloc(size, device=data)
+        elapsed = timed(hip, hip.kernel_api.stream_copy(executor, b, a))
+        return to_gbps(2 * size / elapsed)
+
+    def test_bidirectional_tiers_43_percent(self, hip):
+        # Fig. 9: 43.5 % of theoretical bidirectional, all tiers.
+        assert self._remote(hip, 0, 1) == pytest.approx(174, rel=0.01)
+
+    def test_bidirectional_single(self, hip):
+        assert self._remote(hip, 0, 2) == pytest.approx(43.5, rel=0.01)
+
+    def test_bidirectional_dual(self, hip):
+        assert self._remote(hip, 0, 6) == pytest.approx(87, rel=0.01)
+
+    def test_unidirectional_read(self, hip):
+        hip.enable_all_peer_access()
+        src = hip.malloc(1 * GiB, device=2)
+        dst = hip.malloc(1 * GiB, device=0)
+        elapsed = timed(hip, hip.kernel_api.stream_copy(0, dst, src))
+        # Only reads cross the single link: 0.88 × 50 = 44 GB/s.
+        assert to_gbps(1 * GiB / elapsed) == pytest.approx(44, rel=0.01)
+
+    def test_peer_access_required(self, hip):
+        src = hip.malloc(1 * MiB, device=2)
+        dst = hip.malloc(1 * MiB, device=0)
+        with pytest.raises(PeerAccessError):
+            hip.run(hip.kernel_api.stream_copy(0, dst, src))
+
+    def test_read_sum_unidirectional(self, hip):
+        hip.enable_all_peer_access()
+        src = hip.malloc(1 * GiB, device=6)
+        elapsed = timed(hip, hip.kernel_api.read_sum(0, src))
+        assert to_gbps(1 * GiB / elapsed) == pytest.approx(88, rel=0.01)
+
+
+class TestHostAccess:
+    def test_pinned_zero_copy_read(self, hip):
+        host = hip.host_malloc(1 * GiB, device=0)
+        dev = hip.malloc(1 * GiB, device=0)
+        elapsed = timed(hip, hip.kernel_api.stream_copy(0, dev, host))
+        assert to_gbps(1 * GiB / elapsed) == pytest.approx(25.5, rel=0.01)
+
+    def test_pageable_not_gpu_accessible(self, hip):
+        pageable = hip.pageable_malloc(1 * MiB)
+        dev = hip.malloc(1 * MiB)
+        with pytest.raises(CoherenceError):
+            hip.run(hip.kernel_api.stream_copy(0, dev, pageable))
+
+    def test_bidirectional_host_stream_port_limited(self, hip):
+        # Listing 1 kernel: both buffers on host → NUMA port binds at 45.
+        a = hip.host_malloc(1 * GiB, device=0)
+        b = hip.host_malloc(1 * GiB, device=0)
+        elapsed = timed(hip, hip.kernel_api.stream_copy(0, b, a))
+        assert to_gbps(2 * GiB / elapsed) == pytest.approx(45, rel=0.01)
+
+
+class TestManagedAccess:
+    def test_zero_copy_without_xnack(self, hip):
+        managed = hip.malloc_managed(1 * GiB, device=0)
+        dev = hip.malloc(1 * GiB, device=0)
+        elapsed = timed(hip, hip.kernel_api.stream_copy(0, dev, managed))
+        assert to_gbps(1 * GiB / elapsed) == pytest.approx(25.5, rel=0.01)
+
+    def test_migration_with_xnack(self, hip_xnack):
+        hip = hip_xnack
+        managed = hip.malloc_managed(256 * MiB, device=0)
+        dev = hip.malloc(256 * MiB, device=0)
+        elapsed = timed(hip, hip.kernel_api.stream_copy(0, dev, managed))
+        assert to_gbps(256 * MiB / elapsed) == pytest.approx(2.8, rel=0.02)
+
+    def test_second_pass_is_local_after_migration(self, hip_xnack):
+        hip = hip_xnack
+        managed = hip.malloc_managed(256 * MiB, device=0)
+        dev = hip.malloc(256 * MiB, device=0)
+
+        def run():
+            yield from hip.kernel_api.stream_copy(0, dev, managed)
+            t_mid = hip.now
+            yield from hip.kernel_api.stream_copy(0, dev, managed)
+            return 256 * MiB / (hip.now - t_mid)
+
+        rate = to_gbps(hip.run(run()))
+        # Pages now GPU-resident: local HBM speed, not 2.8 GB/s.
+        assert rate > 500
+
+    def test_prefetch_then_access_is_fast(self, hip_xnack):
+        hip = hip_xnack
+        managed = hip.malloc_managed(256 * MiB, device=0)
+        dev = hip.malloc(256 * MiB, device=0)
+
+        def run():
+            yield from hip.mem_prefetch(managed, device=0)
+            t0 = hip.now
+            yield from hip.kernel_api.stream_copy(0, dev, managed)
+            return 256 * MiB / (hip.now - t0)
+
+        assert to_gbps(hip.run(run())) > 500

@@ -1,0 +1,143 @@
+"""Tests for streams, events and the peer-access API."""
+
+import pytest
+
+from repro.errors import HipError, PeerAccessError, StreamError
+from repro.hip.event import HipEvent
+from repro.hip.stream import Stream
+from repro.sim.engine import SimEngine
+from repro.units import MiB
+
+
+class TestStream:
+    @pytest.fixture
+    def engine(self):
+        return SimEngine()
+
+    def test_fifo_ordering(self, engine):
+        stream = Stream(engine, 0)
+        order = []
+
+        def op(name, delay):
+            def factory():
+                yield engine.timeout(delay)
+                order.append((name, engine.now))
+
+            return factory
+
+        stream.enqueue(op("first", 2.0))
+        stream.enqueue(op("second", 1.0))
+        engine.run()
+        # second starts only after first completes.
+        assert order == [("first", 2.0), ("second", 3.0)]
+
+    def test_synchronize(self, engine):
+        stream = Stream(engine, 0)
+
+        def factory():
+            yield engine.timeout(1.5)
+
+        stream.enqueue(factory)
+
+        def waiter():
+            yield from stream.synchronize()
+            return engine.now
+
+        assert engine.run_process(waiter()) == 1.5
+
+    def test_synchronize_empty_stream(self, engine):
+        stream = Stream(engine, 0)
+
+        def waiter():
+            yield from stream.synchronize()
+            return engine.now
+
+        assert engine.run_process(waiter()) == 0.0
+
+    def test_destroyed_stream_rejects_work(self, engine):
+        stream = Stream(engine, 0)
+        stream.destroy()
+        with pytest.raises(StreamError):
+            stream.enqueue(lambda: iter(()))
+
+    def test_pending_depth(self, engine):
+        stream = Stream(engine, 0)
+
+        def factory():
+            yield engine.timeout(1.0)
+
+        stream.enqueue(factory)
+        stream.enqueue(factory)
+        assert stream.pending_operations == 2
+        engine.run()
+        assert stream.pending_operations == 0
+
+
+class TestHipEvent:
+    def test_timestamps_taken_on_stream(self):
+        engine = SimEngine()
+        stream = Stream(engine, 0)
+        start, stop = HipEvent(engine), HipEvent(engine)
+
+        def work():
+            yield engine.timeout(3.0)
+
+        start.record(stream)
+        stream.enqueue(work)
+        stop.record(stream)
+        engine.run()
+        assert stop.elapsed_since(start) == pytest.approx(3.0)
+
+    def test_unreached_event_raises(self):
+        engine = SimEngine()
+        event = HipEvent(engine)
+        with pytest.raises(HipError):
+            _ = event.timestamp
+
+    def test_synchronize_before_record_raises(self):
+        engine = SimEngine()
+        event = HipEvent(engine)
+        with pytest.raises(HipError):
+            engine.run_process(event.synchronize())
+
+    def test_rerecord_resets(self):
+        engine = SimEngine()
+        stream = Stream(engine, 0)
+        event = HipEvent(engine)
+        event.record(stream)
+        engine.run()
+        first = event.timestamp
+
+        def work():
+            yield engine.timeout(2.0)
+
+        stream.enqueue(work)
+        event.record(stream)
+        engine.run()
+        assert event.timestamp == first + 2.0
+
+
+class TestPeerApi:
+    def test_can_access_peer_everywhere(self, hip):
+        assert hip.can_access_peer(0, 7)
+        assert not hip.can_access_peer(3, 3)
+
+    def test_double_enable_raises(self, hip):
+        hip.enable_peer_access(1, device=0)
+        with pytest.raises(PeerAccessError):
+            hip.enable_peer_access(1, device=0)
+
+    def test_self_peer_rejected(self, hip):
+        with pytest.raises(PeerAccessError):
+            hip.enable_peer_access(0, device=0)
+
+    def test_enable_all_pairs_count(self, hip):
+        assert hip.enable_all_peer_access() == 8 * 7
+        # Second call is a no-op.
+        assert hip.enable_all_peer_access() == 0
+
+    def test_disable(self, hip):
+        hip.enable_peer_access(1, device=0)
+        hip.peer_api.disable_peer_access(0, 1)
+        with pytest.raises(PeerAccessError):
+            hip.peer_api.disable_peer_access(0, 1)

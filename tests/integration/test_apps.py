@@ -1,0 +1,165 @@
+"""Tests for the application workload models."""
+
+import pytest
+
+from repro.apps.data_parallel import (
+    TrainStepConfig,
+    configuration_sweep,
+    run_train_step,
+)
+from repro.apps.stencil import (
+    TOPOLOGY_AWARE_ORDER,
+    StencilConfig,
+    order_comparison,
+    run_stencil,
+)
+from repro.apps.transpose import (
+    TransposeConfig,
+    run_transpose,
+    scaling_study,
+)
+from repro.errors import BenchmarkError
+from repro.units import MiB
+
+
+class TestStencil:
+    def test_runs_and_accounts_phases(self):
+        config = StencilConfig(iterations=2, slab_bytes=64 * MiB, halo_bytes=4 * MiB)
+        result = run_stencil(config)
+        assert len(result.iteration_seconds) == 2
+        assert result.compute_seconds > 0
+        assert result.exchange_seconds > 0
+        assert result.total_seconds == pytest.approx(
+            result.compute_seconds + result.exchange_seconds, rel=0.01
+        )
+
+    def test_validation(self):
+        with pytest.raises(BenchmarkError):
+            StencilConfig(gcd_order=(0,))
+        with pytest.raises(BenchmarkError):
+            StencilConfig(gcd_order=(0, 0))
+        with pytest.raises(BenchmarkError):
+            StencilConfig(iterations=0)
+
+    def test_ring_friendly_orders_tie(self):
+        """Emergent finding: naive == topology-aware on this mesh."""
+        results = order_comparison(
+            {
+                "naive": tuple(range(8)),
+                "aware": TOPOLOGY_AWARE_ORDER,
+            },
+            iterations=1,
+            slab_bytes=64 * MiB,
+            halo_bytes=4 * MiB,
+        )
+        assert results["naive"].exchange_seconds == pytest.approx(
+            results["aware"].exchange_seconds, rel=0.02
+        )
+
+    def test_pathological_order_pays_contention(self):
+        results = order_comparison(
+            {
+                "aware": TOPOLOGY_AWARE_ORDER,
+                "stride3": (0, 3, 6, 1, 4, 7, 2, 5),
+            },
+            iterations=1,
+            slab_bytes=64 * MiB,
+            halo_bytes=4 * MiB,
+        )
+        assert (
+            results["stride3"].exchange_seconds
+            > 1.4 * results["aware"].exchange_seconds
+        )
+
+    def test_memcpy_exchange_is_sdma_capped(self):
+        kernel = run_stencil(
+            StencilConfig(
+                iterations=1, slab_bytes=64 * MiB, halo_bytes=16 * MiB
+            )
+        )
+        memcpy = run_stencil(
+            StencilConfig(
+                iterations=1,
+                slab_bytes=64 * MiB,
+                halo_bytes=16 * MiB,
+                exchange="memcpy",
+            )
+        )
+        # SDMA caps at 37.75 on single links vs 44 for kernel reads.
+        assert memcpy.exchange_seconds > kernel.exchange_seconds
+
+
+class TestTrainStep:
+    def test_breakdown_sums(self):
+        result = run_train_step(TrainStepConfig(num_workers=4))
+        breakdown = result.breakdown()
+        assert set(breakdown) == {"load", "compute", "allreduce"}
+        assert result.total_seconds == pytest.approx(sum(breakdown.values()))
+
+    def test_single_worker_skips_allreduce(self):
+        result = run_train_step(TrainStepConfig(num_workers=1))
+        assert result.allreduce_seconds == 0.0
+
+    def test_spread_loads_faster_than_same_gpu(self):
+        spread = run_train_step(
+            TrainStepConfig(num_workers=4, placement_strategy="spread")
+        )
+        packed = run_train_step(
+            TrainStepConfig(num_workers=4, placement_strategy="same_gpu")
+        )
+        assert spread.load_seconds < packed.load_seconds
+
+    def test_rccl_allreduce_beats_mpi(self):
+        rccl = run_train_step(TrainStepConfig(num_workers=8, library="rccl"))
+        mpi = run_train_step(TrainStepConfig(num_workers=8, library="mpi"))
+        assert rccl.allreduce_seconds < mpi.allreduce_seconds
+
+    def test_xnack_loader_is_much_slower(self):
+        pinned = run_train_step(
+            TrainStepConfig(num_workers=2, loader="pinned_memcpy")
+        )
+        managed = run_train_step(
+            TrainStepConfig(num_workers=2, loader="managed_xnack")
+        )
+        # 28.3 GB/s vs 2.8 GB/s: about an order of magnitude.
+        assert managed.load_seconds > 5 * pinned.load_seconds
+
+    def test_validation(self):
+        with pytest.raises(BenchmarkError):
+            TrainStepConfig(num_workers=0)
+        with pytest.raises(BenchmarkError):
+            TrainStepConfig(batch_bytes=0)
+
+    def test_sweep_covers_grid(self):
+        results = configuration_sweep(
+            num_workers=(2,), batch_bytes=16 * MiB
+        )
+        assert len(results) == 4  # 2 placements × 2 libraries
+
+
+class TestTranspose:
+    def test_runs(self):
+        result = run_transpose(
+            TransposeConfig(gcds=(0, 1, 2, 3), matrix_bytes_per_gcd=64 * MiB)
+        )
+        assert result.alltoall_seconds > 0
+        assert result.local_seconds > 0
+        assert result.aggregate_bandwidth > 0
+
+    def test_aggregate_bandwidth_exceeds_single_link(self):
+        """All-to-all drives many links at once: aggregate far above
+        one link's 50 GB/s."""
+        result = run_transpose(TransposeConfig(matrix_bytes_per_gcd=128 * MiB))
+        assert result.aggregate_bandwidth > 100e9
+
+    def test_scaling_study(self):
+        results = scaling_study((2, 4), matrix_bytes_per_gcd=64 * MiB)
+        assert len(results) == 2
+        # More GCDs exchange more total data over more links.
+        assert results[1].aggregate_bandwidth > results[0].aggregate_bandwidth
+
+    def test_validation(self):
+        with pytest.raises(BenchmarkError):
+            TransposeConfig(gcds=(0,))
+        with pytest.raises(BenchmarkError):
+            TransposeConfig(gcds=(0, 0))

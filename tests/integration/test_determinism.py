@@ -1,0 +1,52 @@
+"""End-to-end determinism: identical runs produce identical artifacts.
+
+Bit-exact reproducibility is the repository's headline property — it
+is what makes the EXPERIMENTS.md numbers citable.  These tests rerun
+whole artifact drivers and compare every measurement exactly.
+"""
+
+import pytest
+
+from repro import figures
+from repro.units import KiB, MiB
+
+
+def snapshot(result):
+    """Hashable view of every measurement in a result."""
+    return [
+        (m.x, m.value, m.unit, tuple(sorted(m.meta.items())))
+        for m in result.measurements
+    ]
+
+
+class TestArtifactDeterminism:
+    def test_fig06_bit_exact(self):
+        first = figures.run("fig06")
+        second = figures.run("fig06")
+        assert snapshot(first) == snapshot(second)
+
+    def test_fig03_bit_exact_reduced(self):
+        sizes = [64 * KiB, 4 * MiB, 64 * MiB]
+        first = figures.run("fig03", sizes=sizes)
+        second = figures.run("fig03", sizes=sizes)
+        assert snapshot(first) == snapshot(second)
+
+    def test_fig12_bit_exact_reduced(self):
+        kwargs = dict(collectives=["allreduce"], thread_counts=(2, 7, 8))
+        assert snapshot(figures.run("fig12", **kwargs)) == snapshot(
+            figures.run("fig12", **kwargs)
+        )
+
+    def test_reports_identical_text(self):
+        _, first = figures.run_and_report("fig09")
+        _, second = figures.run_and_report("fig09")
+        assert first == second
+
+    def test_validation_battery_deterministic(self):
+        from repro.core.validation import validate_node
+
+        first = validate_node(probe_bytes=64 * MiB)
+        second = validate_node(probe_bytes=64 * MiB)
+        assert [
+            (r.check_id, r.observed) for r in first.results
+        ] == [(r.check_id, r.observed) for r in second.results]

@@ -1,0 +1,68 @@
+"""Smoke tests: every example script runs and prints its key lines.
+
+Examples are part of the public deliverable; these tests keep them
+from rotting as the library evolves.  Each runs in-process via runpy
+with argv pinned to small inputs.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, argv=(), capsys=None):
+    """Execute an example as __main__ and return its stdout."""
+    old_argv = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    assert capsys is not None
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys=capsys)
+        assert "28.3 GB/s" in out
+        assert "RCCL wins" in out and "MPI wins" in out
+
+    def test_placement_advisor(self, capsys):
+        out = run_example("placement_advisor.py", ["64", "1"], capsys=capsys)
+        assert "recommended strategy" in out
+        assert "spread" in out
+
+    def test_collective_planner(self, capsys):
+        out = run_example("collective_planner.py", ["allgather"], capsys=capsys)
+        assert "Plan:" in out
+        assert "avoid 7-GCD communicators" in out
+
+    def test_topology_explorer(self, capsys):
+        out = run_example("topology_explorer.py", ["1"], capsys=capsys)
+        assert "detour" in out
+        assert "dense hive" in out
+
+    def test_trace_timeline(self, capsys):
+        out = run_example("trace_timeline.py", capsys=capsys)
+        assert "NUMA0 Infinity Fabric port utilization" in out
+        assert "90.0 GB/s" in out
+
+    def test_stencil_halo(self, capsys):
+        out = run_example("stencil_halo.py", ["4"], capsys=capsys)
+        assert "stride-3 (pathological)" in out
+        assert "memcpy" in out
+
+    def test_training_step(self, capsys):
+        out = run_example("training_step.py", ["16", "256"], capsys=capsys)
+        assert "Best 8-worker configuration" in out
+        assert "rccl" in out
+
+    def test_port_benchmark(self, capsys):
+        out = run_example("port_benchmark.py", capsys=capsys)
+        assert "hipify:" in out
+        assert "3-hop routed pair" in out

@@ -1,0 +1,133 @@
+"""Smoke + shape tests for every figure/table driver and the
+three-step methodology orchestrator."""
+
+import pytest
+
+from repro import figures
+from repro.core.methodology import STEPS, Methodology
+from repro.units import GiB, KiB, MiB
+
+
+class TestRegistry:
+    def test_all_fourteen_artifacts_registered(self):
+        ids = figures.all_ids()
+        expected = {f"fig{i:02d}" for i in range(1, 13)} | {"tab01", "tab02"}
+        assert set(ids) == expected
+
+    def test_unknown_id_rejected(self):
+        from repro.errors import BenchmarkError
+
+        with pytest.raises(BenchmarkError):
+            figures.run("fig99")
+
+
+class TestQuickDrivers:
+    """Drivers cheap enough to run at full fidelity."""
+
+    def test_tab01(self):
+        result, text = figures.run_and_report("tab01")
+        assert "5/5 rows verified" in text
+
+    def test_tab02(self):
+        result, text = figures.run_and_report("tab02")
+        assert "12/12 rows importable" in text
+
+    def test_fig01(self):
+        result, text = figures.run_and_report("fig01")
+        assert "4x quad" in text and "0-6: dual" in text
+
+    def test_fig02(self):
+        result, text = figures.run_and_report("fig02")
+        assert "pinned_memcpy" in text
+        peak = result.peak(interface="pinned_memcpy")
+        assert peak.value == pytest.approx(28.3e9, rel=0.01)
+
+    def test_fig04(self):
+        result, text = figures.run_and_report("fig04")
+        assert "same GPU" in text and "spread" in text
+
+    def test_fig05(self):
+        result, _ = figures.run_and_report("fig05")
+        assert len(result) == 4
+
+    def test_fig06(self):
+        result, text = figures.run_and_report("fig06")
+        assert len(result.series(panel="b")) == 56
+        assert "(a) shortest-path" in text
+        assert "(c) unidirectional bandwidth" in text
+
+    def test_fig09(self):
+        result, text = figures.run_and_report("fig09")
+        assert "43.5%" in text
+
+    def test_fig10(self):
+        result, text = figures.run_and_report("fig10")
+        assert "MPI (SDMA)" in text and "direct P2P" in text
+        assert len(result) == 21  # 7 destinations × 3 series
+
+
+class TestParameterizedDrivers:
+    """Heavier drivers, exercised with reduced grids."""
+
+    def test_fig03_reduced(self):
+        result, text = figures.run_and_report(
+            "fig03", sizes=[64 * KiB, 1 * MiB, 64 * MiB]
+        )
+        assert len(result) == 12
+        assert "peaks" in text
+
+    def test_fig07_reduced(self):
+        result, _ = figures.run_and_report(
+            "fig07", sizes=[1 * MiB, 1 * GiB]
+        )
+        assert len(result) == 6
+
+    def test_fig08_reduced(self):
+        result, text = figures.run_and_report(
+            "fig08", sizes=[256 * MiB, 1 * GiB]
+        )
+        assert "87% of the 1.6 TB/s HBM peak" in text
+
+    def test_fig11_reduced(self):
+        result, text = figures.run_and_report(
+            "fig11",
+            collectives=("broadcast", "allreduce"),
+            partner_counts=(2, 8),
+        )
+        assert len(result) == 8
+        assert "MPI" in text and "RCCL" in text
+
+    def test_fig12_reduced(self):
+        result, text = figures.run_and_report(
+            "fig12", collectives=["allreduce"], thread_counts=(2, 7, 8)
+        )
+        values = {int(m.x): m.value for m in result.measurements}
+        assert values[8] < values[7]
+        assert "17.4 us" in text
+
+
+class TestMethodology:
+    def test_steps_cover_all_figures(self):
+        covered = {fid for ids in STEPS.values() for fid in ids}
+        assert covered == {f"fig{i:02d}" for i in range(2, 13)}
+
+    def test_unknown_step_rejected(self):
+        from repro.errors import BenchmarkError
+
+        with pytest.raises(BenchmarkError):
+            Methodology(["quantum"])
+
+    def test_single_step_run(self):
+        methodology = Methodology(["cpu_gpu"])
+        assert methodology.artifact_ids() == ["fig02", "fig03", "fig04", "fig05"]
+
+    def test_report_text_assembles(self):
+        # Run just the cheap collectives step with a reduced grid via
+        # the figures API to keep this test fast, then check the text
+        # assembly path with a stub.
+        from repro.core.methodology import MethodologyReport
+
+        report = MethodologyReport()
+        report.reports["fig02"] = "FIG02 BODY"
+        text = report.text()
+        assert "STEP cpu_gpu" in text and "FIG02 BODY" in text

@@ -1,0 +1,43 @@
+"""Full three-step methodology run: the artifact's headline command.
+
+This is the most expensive test in the suite (~10 s): it executes
+every figure driver at full fidelity through the methodology
+orchestrator, exactly what ``python -m repro methodology`` does, and
+cross-checks the assembled report.
+"""
+
+import pytest
+
+from repro.core.methodology import Methodology
+
+
+@pytest.fixture(scope="module")
+def full_report():
+    return Methodology().run()
+
+
+class TestFullMethodology:
+    def test_every_artifact_ran(self, full_report):
+        assert set(full_report.results) == {
+            f"fig{i:02d}" for i in range(2, 13)
+        }
+
+    def test_text_contains_all_steps(self, full_report):
+        text = full_report.text()
+        for step in ("cpu_gpu", "gpu_p2p", "collectives"):
+            assert f"STEP {step}" in text
+
+    def test_headline_numbers_in_report(self, full_report):
+        text = full_report.text()
+        # Fig. 2 peaks, Fig. 9 utilization, collective tables.
+        assert "28.29" in text or "28.3" in text
+        assert "43.5%" in text
+        assert "RCCL" in text and "MPI" in text
+
+    def test_results_are_nonempty(self, full_report):
+        for artifact_id, result in full_report.results.items():
+            assert len(result) > 0, artifact_id
+
+    def test_wall_time_recorded(self, full_report):
+        for result in full_report.results.values():
+            assert result.wall_seconds >= 0

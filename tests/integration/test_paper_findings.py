@@ -1,0 +1,220 @@
+"""Integration tests: every quantitative finding of the paper.
+
+Each test quotes the paper statement it verifies and asserts it against
+the full simulated stack (benchmark suite → runtime → hardware → DES).
+These are the acceptance criteria of DESIGN.md §3.
+"""
+
+import pytest
+
+from repro.bench_suites import comm_scope, osu, p2p_matrix, rccl_tests, stream
+from repro.config import spread_placement
+from repro.core.analysis import cluster_tiers
+from repro.core.bounds import collective_latency_bound
+from repro.units import GiB, MiB, to_gbps, to_us
+
+
+class TestSectionIV_CpuGpu:
+    def test_pinned_peak_28_3(self):
+        """'We achieve a maximum bandwidth of 28.3 GB/s, with explicit
+        data transfer from pinned memory.'"""
+        rate = comm_scope.measure_h2d("pinned_memcpy", 1 * GiB)
+        assert to_gbps(rate) == pytest.approx(28.3, abs=0.2)
+
+    def test_managed_zerocopy_peak_25_5(self):
+        """'managed memory with zero-copy access achieves a highest
+        bandwidth of 25.5 GB/s.'"""
+        rate = comm_scope.measure_h2d("managed_zerocopy", 1 * GiB)
+        assert to_gbps(rate) == pytest.approx(25.5, abs=0.2)
+
+    def test_page_migration_2_8(self):
+        """'managed memory with page migration only achieved 2.8 GB/s.'"""
+        rate = comm_scope.measure_h2d("managed_migration", 512 * MiB)
+        assert to_gbps(rate) == pytest.approx(2.8, abs=0.1)
+
+    def test_zerocopy_tracks_pinned_up_to_32mb(self):
+        """'zero-copy managed memory approximate the behavior of pinned
+        memory, up to 32 MB transfer size, after which pinned memory
+        bandwidth is able to reach higher value.'"""
+        small, large = 16 * MiB, 512 * MiB
+        pinned_small = comm_scope.measure_h2d("pinned_memcpy", small)
+        managed_small = comm_scope.measure_h2d("managed_zerocopy", small)
+        assert managed_small == pytest.approx(pinned_small, rel=0.12)
+        pinned_large = comm_scope.measure_h2d("pinned_memcpy", large)
+        managed_large = comm_scope.measure_h2d("managed_zerocopy", large)
+        assert pinned_large > managed_large * 1.08
+
+    def test_numa_placement_no_degradation(self):
+        """'we were not able to identify any bandwidth degradation when
+        performing a copy operation within a non-optimal combination of
+        NUMA node/GCD.'"""
+        rates = [
+            comm_scope.measure_numa_to_gpu(0, numa, 256 * MiB)
+            for numa in range(4)
+        ]
+        assert max(rates) / min(rates) < 1.02
+
+    def test_fig4_same_gpu_does_not_scale(self):
+        """'using two GCDs of the same GPU does not provide a bandwidth
+        improvement over single GCD.'"""
+        one = stream.multi_gpu_cpu_stream([0])
+        same = stream.multi_gpu_cpu_stream([0, 1])
+        spread = stream.multi_gpu_cpu_stream([0, 2])
+        assert same == pytest.approx(one, rel=0.05)
+        assert spread == pytest.approx(2 * one, rel=0.05)
+
+    def test_fig5_eight_equals_four(self):
+        """'using eight GCDs does not improve the aggregated bandwidth,
+        compared to four GCDs.'"""
+        four = stream.multi_gpu_cpu_stream(spread_placement(4))
+        eight = stream.multi_gpu_cpu_stream(spread_placement(8))
+        assert eight == pytest.approx(four, rel=0.05)
+        one = stream.multi_gpu_cpu_stream([0])
+        assert four == pytest.approx(4 * one, rel=0.05)
+
+
+class TestSectionV_PeerToPeer:
+    def test_fig6b_latency_window(self):
+        """'The measured latency varies within 8.7-18.2 us.'"""
+        matrix = p2p_matrix.latency_matrix()
+        values = [to_us(v) for v in matrix.values()]
+        assert min(values) == pytest.approx(8.7, abs=0.05)
+        assert max(values) <= 18.2
+
+    def test_fig6b_single_link_pairs_below_10(self):
+        """'the GCD pairs 0-2, 1-3, 1-5, 3-7, 4-6, 5-7 exhibit a
+        latency below 10 us.'"""
+        matrix = p2p_matrix.latency_matrix()
+        single_pairs = [(0, 2), (1, 3), (1, 5), (3, 7), (4, 6), (5, 7)]
+        for a, b in single_pairs:
+            assert to_us(matrix[(a, b)]) < 10
+            assert to_us(matrix[(b, a)]) < 10
+        # And they are the ONLY sub-10 pairs.
+        sub10 = {
+            frozenset(pair) for pair, v in matrix.items() if to_us(v) < 10
+        }
+        assert sub10 == {frozenset(p) for p in single_pairs}
+
+    def test_fig6b_same_gpu_band(self):
+        """'latency measured between GCDs located on the same physical
+        GPU is between 10.5-10.8 us.'"""
+        matrix = p2p_matrix.latency_matrix()
+        for a in (0, 2, 4, 6):
+            for pair in ((a, a + 1), (a + 1, a)):
+                assert 10.5 <= to_us(matrix[pair]) <= 10.8
+
+    def test_fig6b_detour_outliers(self):
+        """'four outliers, with latency values within 17.8-18.2 us,
+        corresponding to the GCD pairs 1-7 and 5-3.'"""
+        matrix = p2p_matrix.latency_matrix()
+        outlier_pairs = {(1, 7), (7, 1), (3, 5), (5, 3)}
+        for pair, value in matrix.items():
+            if pair in outlier_pairs:
+                assert 17.8 <= to_us(value) <= 18.2
+            else:
+                assert to_us(value) < 17.8
+
+    def test_fig6c_two_bandwidth_tiers(self):
+        """'We can divide the results into two values of bandwidth:
+        50 GB/s and 37-38 GB/s' — not the theoretical three."""
+        matrix = p2p_matrix.bandwidth_matrix(size=256 * MiB)
+        tiers = cluster_tiers([to_gbps(v) for v in matrix.values()])
+        assert len(tiers) == 2
+        low, high = sorted(t.center for t in tiers)
+        assert 37 <= low <= 38
+        assert high == pytest.approx(50, abs=0.5)
+
+    def test_fig6c_same_gpu_pairs_stuck_at_50(self):
+        """'bandwidth measured for GCD pairs located on the same GPU
+        ... is on the order of 50 GB/s, which is significantly below
+        the expected 200 GB/s.'"""
+        rate = p2p_matrix.measure_pair_bandwidth(0, 1, size=1 * GiB)
+        assert to_gbps(rate) == pytest.approx(50, abs=1)
+
+    def test_fig7_utilization_75_50_25(self):
+        """'The bandwidth utilization for single, double, and quad
+        Infinity Fabric links is 75%, 50% and 25%, respectively.'"""
+        for dst, theoretical, expected in ((2, 50e9, 0.755), (6, 100e9, 0.50), (1, 200e9, 0.25)):
+            rate = comm_scope.measure_peer_copy(0, dst, 2 * GiB)
+            assert rate / theoretical == pytest.approx(expected, abs=0.01)
+
+    def test_local_stream_1400(self):
+        """'we observe a bandwidth of 1400 GB/s - that is, 87% of the
+        theoretical 1.6 TB/s memory bandwidth.'"""
+        rate = stream.local_stream_copy(0, 1 * GiB)
+        assert to_gbps(rate) == pytest.approx(1400, rel=0.01)
+
+    def test_fig9_three_tiers_at_43_44_percent(self):
+        """'For all placements, we observe that the achieved ratio of
+        theoretical peak is 43-44%.'"""
+        for data_gcd, bidir_peak in ((1, 400e9), (6, 200e9), (2, 100e9)):
+            rate = stream.remote_stream_copy(0, data_gcd, 2 * GiB)
+            assert 0.43 <= rate / bidir_peak <= 0.44
+
+    def test_fig10_sdma_caps_mpi_below_50(self):
+        """'the SDMA-enabled MPI transfer only reaches 50 GB/s — below
+        50% for a dual Infinity Fabric link, and 25% for a quad link.'"""
+        quad = osu.osu_bw(0, 1, sdma_enabled=True)
+        dual = osu.osu_bw(0, 6, sdma_enabled=True)
+        assert to_gbps(quad) <= 50 and to_gbps(dual) <= 50
+        assert quad / 200e9 <= 0.26
+        assert dual / 100e9 <= 0.51
+
+    def test_fig10_sdma_off_10_15_below_direct(self):
+        """'the SDMA-disabled MPI transfer exhibits a 10-15% lower
+        bandwidth than the direct peer-to-peer copy kernel.'"""
+        for dst in (1, 2, 6):
+            mpi = osu.osu_bw(0, dst, sdma_enabled=False, message_bytes=1 * GiB)
+            direct = stream.direct_p2p_read(0, dst, 1 * GiB)
+            assert 0.85 <= mpi / direct <= 0.90
+
+    def test_fig10_non_neighbors_match_neighbors(self):
+        """'transferring data from GCD0 to a non-neighbor GCD ... does
+        not exhibit significant difference in measured bandwidth
+        compared to neighbor GCDs.'"""
+        neighbor = stream.direct_p2p_read(0, 2, 1 * GiB)  # single link
+        for non_neighbor in (3, 4, 5):
+            rate = stream.direct_p2p_read(0, non_neighbor, 1 * GiB)
+            assert rate == pytest.approx(neighbor, rel=0.05)
+
+
+class TestSectionVI_Collectives:
+    def test_rccl_beats_mpi_except_broadcast(self):
+        """'RCCL is more efficient than MPI collectives for all tested
+        collectives, except for broadcast.'"""
+        for name in ("reduce", "allreduce", "reduce_scatter", "allgather"):
+            for partners in (2, 4, 8):
+                mpi = osu.osu_collective_latency(name, partners)
+                rccl = rccl_tests.rccl_collective_latency(name, partners)
+                assert rccl < mpi, f"{name}@{partners}"
+        for partners in (3, 4, 8):
+            mpi = osu.osu_collective_latency("broadcast", partners)
+            rccl = rccl_tests.rccl_collective_latency("broadcast", partners)
+            assert mpi < rccl, f"broadcast@{partners}"
+
+    def test_two_thread_all_to_all_near_bound(self):
+        """'For two threads, the lowest measured latency for all-to-all
+        collectives is close to the lowest bound of 17.4 us.'"""
+        bound = to_us(collective_latency_bound("allgather").bound)
+        assert bound == pytest.approx(17.4)
+        lowest = min(
+            to_us(rccl_tests.rccl_collective_latency(name, 2))
+            for name in ("allreduce", "reduce_scatter", "allgather")
+        )
+        assert bound <= lowest <= bound * 1.15
+
+    def test_latency_increases_above_two_threads(self):
+        """'When increasing the number of threads above 2, the latency
+        increases as expected.'"""
+        for name in ("allreduce", "allgather", "reduce_scatter"):
+            two = rccl_tests.rccl_collective_latency(name, 2)
+            seven = rccl_tests.rccl_collective_latency(name, 7)
+            assert seven > two
+
+    def test_seven_to_eight_drop(self):
+        """'for Reduce, Broadcast, and AllReduce collectives, the
+        latency drops when increasing from 7 to 8 threads.'"""
+        for name in ("reduce", "broadcast", "allreduce"):
+            seven = rccl_tests.rccl_collective_latency(name, 7)
+            eight = rccl_tests.rccl_collective_latency(name, 8)
+            assert eight < seven, name

@@ -1,0 +1,59 @@
+"""Tests for the per-figure ASCII chart builders."""
+
+import pytest
+
+from repro import figures
+from repro.figures.plots import PLOTTERS, plot
+from repro.units import GiB, KiB, MiB
+
+
+class TestPlotRegistry:
+    def test_tables_have_no_chart(self):
+        assert "tab01" not in PLOTTERS
+        result = figures.run("tab01")
+        assert plot("tab01", result) is None
+
+    def test_every_plotter_targets_a_known_artifact(self):
+        known = set(figures.all_ids())
+        assert set(PLOTTERS) <= known
+
+
+class TestChartRendering:
+    def test_fig02_bars(self):
+        result = figures.run("fig02")
+        chart = plot("fig02", result)
+        assert chart is not None
+        assert "pinned_memcpy" in chart and "#" in chart
+
+    def test_fig03_series(self):
+        result = figures.run("fig03", sizes=[64 * KiB, 1 * MiB, 64 * MiB])
+        chart = plot("fig03", result)
+        assert "(log x)" in chart
+        assert "pinned_memcpy" in chart
+
+    def test_fig06_heatmaps(self):
+        result = figures.run("fig06")
+        chart = plot("fig06", result)
+        assert "latency [us]" in chart and "bandwidth [GB/s]" in chart
+
+    def test_fig12_collective_series(self):
+        result = figures.run(
+            "fig12", collectives=["allreduce"], thread_counts=(2, 4, 8)
+        )
+        chart = plot("fig12", result)
+        assert "allreduce" in chart
+        assert "(log x)" not in chart  # linear thread axis
+
+    def test_fig11_limits_series_count(self):
+        result = figures.run(
+            "fig11",
+            collectives=("reduce", "broadcast", "allreduce", "reduce_scatter", "allgather"),
+            partner_counts=(2, 8),
+        )
+        chart = plot("fig11", result)
+        assert chart is not None  # 10 series reduced below the glyph cap
+
+    def test_fig09_bars(self):
+        result = figures.run("fig09")
+        chart = plot("fig09", result)
+        assert "GCD0<->1" in chart

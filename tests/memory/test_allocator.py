@@ -1,0 +1,130 @@
+"""Unit + property tests for the address space allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError, InvalidAddressError
+from repro.memory.allocator import AddressSpace
+from repro.memory.buffer import Location, MemoryKind
+
+
+class TestAllocate:
+    def test_basic(self):
+        space = AddressSpace()
+        buffer = space.allocate(100, MemoryKind.PAGEABLE, Location.host(0))
+        assert buffer.size == 100
+        assert space.num_live == 1
+
+    def test_page_aligned(self):
+        space = AddressSpace()
+        for size in (1, 4095, 4096, 4097):
+            buffer = space.allocate(size, MemoryKind.PAGEABLE, Location.host(0))
+            assert buffer.address % 4096 == 0
+
+    def test_managed_gets_page_table(self):
+        space = AddressSpace()
+        buffer = space.allocate(10000, MemoryKind.MANAGED, Location.host(0))
+        assert buffer.page_table is not None
+        assert buffer.page_table.num_pages == 3
+
+    def test_non_managed_has_no_page_table(self):
+        space = AddressSpace()
+        buffer = space.allocate(10000, MemoryKind.PAGEABLE, Location.host(0))
+        assert buffer.page_table is None
+
+    def test_reserve_hook_called(self):
+        reserved = []
+        space = AddressSpace()
+        space.allocate(
+            64,
+            MemoryKind.DEVICE,
+            Location.gcd(0),
+            reserve=reserved.append,
+        )
+        assert reserved == [64]
+
+    def test_reserve_failure_aborts(self):
+        def reserve(size):
+            raise AllocationError("oom")
+
+        space = AddressSpace()
+        with pytest.raises(AllocationError):
+            space.allocate(64, MemoryKind.DEVICE, Location.gcd(0), reserve=reserve)
+        assert space.num_live == 0
+
+    def test_zero_size_rejected(self):
+        space = AddressSpace()
+        with pytest.raises(AllocationError):
+            space.allocate(0, MemoryKind.PAGEABLE, Location.host(0))
+
+    def test_bad_page_size(self):
+        with pytest.raises(AllocationError):
+            AddressSpace(page_size=1000)
+
+
+class TestFree:
+    def test_free_releases(self):
+        released = []
+        space = AddressSpace()
+        buffer = space.allocate(100, MemoryKind.PAGEABLE, Location.host(0))
+        space.free(buffer, release=released.append)
+        assert released == [100]
+        assert space.num_live == 0
+
+    def test_double_free(self):
+        space = AddressSpace()
+        buffer = space.allocate(100, MemoryKind.PAGEABLE, Location.host(0))
+        space.free(buffer)
+        with pytest.raises(InvalidAddressError):
+            space.free(buffer)
+
+
+class TestResolve:
+    def test_resolve_interior_address(self):
+        space = AddressSpace()
+        buffer = space.allocate(100, MemoryKind.PAGEABLE, Location.host(0))
+        assert space.resolve(buffer.address + 50) is buffer
+
+    def test_resolve_unmapped(self):
+        space = AddressSpace()
+        buffer = space.allocate(100, MemoryKind.PAGEABLE, Location.host(0))
+        with pytest.raises(InvalidAddressError):
+            space.resolve(buffer.address + 100)
+        with pytest.raises(InvalidAddressError):
+            space.resolve(buffer.address - 1)
+
+    def test_total_live_bytes(self):
+        space = AddressSpace()
+        space.allocate(100, MemoryKind.PAGEABLE, Location.host(0))
+        space.allocate(200, MemoryKind.MANAGED, Location.host(0))
+        assert space.total_live_bytes() == 300
+        assert space.total_live_bytes(MemoryKind.MANAGED) == 200
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(1, 10_000_000), st.booleans()),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_allocator_invariants_under_random_alloc_free(operations):
+    """Non-overlap + alignment invariants hold under any alloc/free mix.
+
+    Each tuple is (size, free_something_first).
+    """
+    space = AddressSpace()
+    live = []
+    for size, free_first in operations:
+        if free_first and live:
+            space.free(live.pop(len(live) // 2))
+        live.append(
+            space.allocate(size, MemoryKind.PAGEABLE, Location.host(0))
+        )
+        space.check_invariants()
+    # Every live buffer resolves back to itself via any interior address.
+    for buffer in live:
+        assert space.resolve(buffer.address) is buffer
+        assert space.resolve(buffer.end_address - 1) is buffer

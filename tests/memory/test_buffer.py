@@ -1,0 +1,87 @@
+"""Tests for memory buffers and locations."""
+
+import pytest
+
+from repro.errors import AllocationError, InvalidAddressError
+from repro.memory.buffer import Buffer, Location, MemoryKind
+
+
+class TestLocation:
+    def test_constructors(self):
+        assert Location.gcd(3).is_device
+        assert Location.host(1).is_host
+
+    def test_validation(self):
+        with pytest.raises(AllocationError):
+            Location("disk", 0)
+        with pytest.raises(AllocationError):
+            Location("gcd", -1)
+
+    def test_equality_and_ordering(self):
+        assert Location.gcd(0) == Location.gcd(0)
+        assert Location.gcd(0) != Location.host(0)
+        assert sorted([Location.host(0), Location.gcd(0)])[0] == Location.gcd(0)
+
+
+class TestMemoryKind:
+    def test_host_kinds(self):
+        assert MemoryKind.PINNED_COHERENT.is_host_kind
+        assert MemoryKind.PAGEABLE.is_host_kind
+        assert not MemoryKind.DEVICE.is_host_kind
+        assert not MemoryKind.MANAGED.is_host_kind  # unified, not host-only
+
+    def test_pinned_kinds(self):
+        assert MemoryKind.PINNED_NONCOHERENT.is_pinned
+        assert not MemoryKind.PAGEABLE.is_pinned
+
+
+class TestBuffer:
+    def make(self, kind=MemoryKind.DEVICE, home=None, size=4096):
+        if home is None:
+            home = Location.gcd(0) if kind is MemoryKind.DEVICE else Location.host(0)
+        return Buffer(0x1000, size, kind, home)
+
+    def test_kind_home_consistency(self):
+        with pytest.raises(AllocationError):
+            Buffer(0, 10, MemoryKind.DEVICE, Location.host(0))
+        with pytest.raises(AllocationError):
+            Buffer(0, 10, MemoryKind.PAGEABLE, Location.gcd(0))
+
+    def test_size_positive(self):
+        with pytest.raises(AllocationError):
+            Buffer(0, 0, MemoryKind.DEVICE, Location.gcd(0))
+
+    def test_geometry(self):
+        buffer = self.make(size=100)
+        assert buffer.end_address == 0x1000 + 100
+        assert buffer.contains(0x1000)
+        assert buffer.contains(0x1000 + 99)
+        assert not buffer.contains(0x1000 + 100)
+
+    def test_overlaps(self):
+        a = Buffer(0, 100, MemoryKind.DEVICE, Location.gcd(0))
+        b = Buffer(50, 100, MemoryKind.DEVICE, Location.gcd(0))
+        c = Buffer(100, 10, MemoryKind.DEVICE, Location.gcd(0))
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_double_free(self):
+        buffer = self.make()
+        buffer.mark_freed()
+        with pytest.raises(InvalidAddressError):
+            buffer.mark_freed()
+
+    def test_use_after_free(self):
+        buffer = self.make()
+        buffer.mark_freed()
+        with pytest.raises(InvalidAddressError):
+            buffer.residency(0)
+
+    def test_residency_without_page_table_is_home(self):
+        buffer = self.make()
+        assert buffer.residency(0) == Location.gcd(0)
+
+    def test_residency_bounds(self):
+        buffer = self.make(size=10)
+        with pytest.raises(InvalidAddressError):
+            buffer.residency(10)

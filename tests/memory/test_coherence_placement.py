@@ -1,0 +1,92 @@
+"""Tests for coherence rules and NUMA placement policies."""
+
+import pytest
+
+from repro.errors import CoherenceError, ConfigurationError
+from repro.memory.buffer import Buffer, Location, MemoryKind
+from repro.memory.coherence import CoherencePolicy, is_coherent, is_gpu_cacheable
+from repro.memory.placement import (
+    ClosestNumaPolicy,
+    ExplicitNumaPolicy,
+    InterleavePolicy,
+)
+from repro.topology.numa import NumaMap
+
+
+def make_buffer(kind, home=None):
+    if home is None:
+        home = Location.gcd(0) if kind is MemoryKind.DEVICE else Location.host(0)
+    return Buffer(0x1000, 4096, kind, home)
+
+
+class TestCoherenceRules:
+    def test_table_i_coherence_column(self):
+        # Table I: pinned default coherent, managed coherent, the
+        # explicit-movement kinds non-coherent.
+        assert is_coherent(MemoryKind.PINNED_COHERENT)
+        assert is_coherent(MemoryKind.MANAGED)
+        assert not is_coherent(MemoryKind.PINNED_NONCOHERENT)
+        assert not is_coherent(MemoryKind.PAGEABLE)
+        assert not is_coherent(MemoryKind.DEVICE)
+
+    def test_coherent_means_uncacheable_on_mi250x(self):
+        assert not is_gpu_cacheable(MemoryKind.PINNED_COHERENT)
+        assert not is_gpu_cacheable(MemoryKind.MANAGED)
+        assert is_gpu_cacheable(MemoryKind.DEVICE)
+
+    def test_mi300_lifts_restriction(self):
+        assert is_gpu_cacheable(
+            MemoryKind.PINNED_COHERENT, mi300_coherent_fabric=True
+        )
+
+    def test_policy_object(self):
+        policy = CoherencePolicy()
+        assert not policy.gpu_cacheable(make_buffer(MemoryKind.MANAGED))
+        assert policy.gpu_cacheable(make_buffer(MemoryKind.DEVICE))
+
+    def test_cpu_cannot_touch_device_memory(self):
+        policy = CoherencePolicy()
+        with pytest.raises(CoherenceError):
+            policy.validate_cpu_visibility(make_buffer(MemoryKind.DEVICE))
+        policy.validate_cpu_visibility(make_buffer(MemoryKind.MANAGED, Location.host(0)))
+
+    def test_fabric_roundtrip_rule(self):
+        policy = CoherencePolicy()
+        managed = make_buffer(MemoryKind.MANAGED, Location.host(0))
+        assert policy.requires_fabric_roundtrip(managed, local=False)
+        assert not policy.requires_fabric_roundtrip(managed, local=True)
+        device = make_buffer(MemoryKind.DEVICE)
+        assert not policy.requires_fabric_roundtrip(device, local=False)
+
+
+class TestPlacementPolicies:
+    @pytest.fixture
+    def numa_map(self, topology):
+        return NumaMap.from_topology(topology)
+
+    def test_closest_follows_active_gpu(self, numa_map):
+        policy = ClosestNumaPolicy()
+        assert policy.numa_for(active_gcd=0, numa_map=numa_map) == 0
+        assert policy.numa_for(active_gcd=7, numa_map=numa_map) == 3
+
+    def test_explicit_overrides(self, numa_map):
+        policy = ExplicitNumaPolicy(2)
+        assert policy.numa_for(active_gcd=0, numa_map=numa_map) == 2
+
+    def test_explicit_validation(self, numa_map):
+        with pytest.raises(ConfigurationError):
+            ExplicitNumaPolicy(-1)
+        with pytest.raises(ConfigurationError):
+            ExplicitNumaPolicy(9).numa_for(active_gcd=0, numa_map=numa_map)
+
+    def test_interleave_cycles(self, numa_map):
+        policy = InterleavePolicy()
+        targets = [
+            policy.numa_for(active_gcd=0, numa_map=numa_map) for _ in range(8)
+        ]
+        assert targets == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_describe(self, numa_map):
+        assert "closest" in ClosestNumaPolicy().describe()
+        assert "2" in ExplicitNumaPolicy(2).describe()
+        assert "interleave" in InterleavePolicy().describe()

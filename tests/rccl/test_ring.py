@@ -1,0 +1,92 @@
+"""Tests for RCCL ring construction."""
+
+import pytest
+
+from repro.errors import RcclError
+from repro.rccl.ring import Ring, build_greedy_ring, build_optimal_ring
+
+
+class TestGreedyRing:
+    def test_two_members(self, topology):
+        ring = build_greedy_ring(topology, [0, 1])
+        assert ring.order == (0, 1)
+        assert ring.num_relayed == 0
+        assert ring.bottleneck_capacity == 200e9
+
+    def test_full_node_ring_is_all_direct(self, topology):
+        # The greedy search finds the perfect 8-GCD ring — the
+        # "more balanced communication pattern when all eight GPUs are
+        # used" of §VI.
+        ring = build_greedy_ring(topology, list(range(8)))
+        assert ring.num_relayed == 0
+        assert ring.size == 8
+        assert ring.bottleneck_capacity == 50e9
+
+    def test_seven_members_have_a_relay(self, topology):
+        # ... while 7 GCDs leave one relayed segment — the Fig. 12
+        # 7→8 drop mechanism.
+        ring = build_greedy_ring(topology, list(range(7)))
+        assert ring.num_relayed == 1
+
+    @pytest.mark.parametrize("n,expected_relays", [(2, 0), (3, 1), (4, 0), (5, 1), (6, 1), (7, 1), (8, 0)])
+    def test_relay_counts_per_subset(self, topology, n, expected_relays):
+        ring = build_greedy_ring(topology, list(range(n)))
+        assert ring.num_relayed == expected_relays
+
+    def test_ring_is_a_cycle(self, topology):
+        for n in range(2, 9):
+            ring = build_greedy_ring(topology, list(range(n)))
+            visited = [ring.order[0]]
+            current = ring.order[0]
+            for _ in range(n - 1):
+                current = ring.next_member(current)
+                visited.append(current)
+            assert sorted(visited) == list(range(n))
+            assert ring.next_member(current) == ring.order[0]
+
+    def test_members_arbitrary_subset(self, topology):
+        ring = build_greedy_ring(topology, [1, 4, 6])
+        assert set(ring.order) == {1, 4, 6}
+
+    def test_validation(self, topology):
+        with pytest.raises(RcclError):
+            build_greedy_ring(topology, [0])
+        with pytest.raises(RcclError):
+            build_greedy_ring(topology, [0, 0])
+        with pytest.raises(RcclError):
+            build_greedy_ring(topology, [0, 42])
+
+    def test_segment_from_unknown_member(self, topology):
+        ring = build_greedy_ring(topology, [0, 1])
+        with pytest.raises(RcclError):
+            ring.segment_from(5)
+
+    def test_describe_marks_relays(self, topology):
+        ring = build_greedy_ring(topology, list(range(7)))
+        assert "~>" in ring.describe()
+        ring8 = build_greedy_ring(topology, list(range(8)))
+        assert "~>" not in ring8.describe()
+
+
+class TestOptimalRing:
+    def test_optimal_never_worse_than_greedy(self, topology):
+        for n in range(2, 8):
+            greedy = build_greedy_ring(topology, list(range(n)))
+            optimal = build_optimal_ring(topology, list(range(n)))
+            assert optimal.num_relayed <= greedy.num_relayed
+            if optimal.num_relayed == greedy.num_relayed:
+                assert (
+                    optimal.bottleneck_capacity >= greedy.bottleneck_capacity
+                )
+
+    def test_optimal_seven_ring_has_no_relay(self, topology):
+        # The relay-free 7-ring exists (3-1-5-4-6-0-2); the greedy
+        # heuristic misses it, the exhaustive search finds it.  This is
+        # the ablation quantified in benchmarks/test_ablations.py.
+        optimal = build_optimal_ring(topology, list(range(7)))
+        assert optimal.num_relayed == 0
+
+    def test_optimal_deterministic(self, topology):
+        a = build_optimal_ring(topology, list(range(5)))
+        b = build_optimal_ring(topology, list(range(5)))
+        assert a.order == b.order

@@ -1,0 +1,58 @@
+"""Property tests for ring construction over arbitrary GCD subsets."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rccl.ring import build_greedy_ring, build_optimal_ring
+from repro.topology.presets import frontier_node
+
+TOPOLOGY = frontier_node()
+
+subsets = st.sets(st.integers(0, 7), min_size=2, max_size=8).map(sorted)
+
+
+@settings(max_examples=60, deadline=None)
+@given(subsets)
+def test_greedy_ring_invariants(members):
+    ring = build_greedy_ring(TOPOLOGY, members)
+    # Covers exactly the members, once each.
+    assert sorted(ring.order) == members
+    assert len(ring.segments) == len(members)
+    # Segments chain into a single cycle.
+    current = ring.order[0]
+    seen = []
+    for _ in range(len(members)):
+        seen.append(current)
+        current = ring.next_member(current)
+    assert current == ring.order[0]
+    assert sorted(seen) == members
+    # Every segment's route connects its endpoints.
+    for segment in ring.segments:
+        assert segment.route.source.index == segment.src
+        assert segment.route.destination.index == segment.dst
+        # Relay flag consistent with direct-link availability.
+        direct = TOPOLOGY.peer_tier(segment.src, segment.dst) is not None
+        assert segment.is_relayed == (not direct)
+    # Bottleneck is never below a single xGMI link.
+    assert ring.bottleneck_capacity >= 50e9
+
+
+@settings(max_examples=30, deadline=None)
+@given(subsets)
+def test_optimal_ring_dominates_greedy(members):
+    if len(members) > 7:
+        members = members[:7]  # keep the factorial search quick
+        if len(members) < 2:
+            return
+    greedy = build_greedy_ring(TOPOLOGY, members)
+    optimal = build_optimal_ring(TOPOLOGY, members)
+    assert sorted(optimal.order) == sorted(members)
+    assert optimal.num_relayed <= greedy.num_relayed
+
+
+@settings(max_examples=30, deadline=None)
+@given(subsets)
+def test_ring_construction_deterministic(members):
+    first = build_greedy_ring(TOPOLOGY, members)
+    second = build_greedy_ring(TOPOLOGY, list(members))
+    assert first.order == second.order

@@ -1,0 +1,93 @@
+"""Tests for the RCCL tree-algorithm extension."""
+
+import pytest
+
+from repro.errors import RcclError
+from repro.hardware.node import HardwareNode
+from repro.rccl.communicator import RcclCommunicator
+from repro.rccl.tree import (
+    build_binary_tree,
+    tree_allreduce,
+    tree_depth,
+    tree_edge_count,
+)
+from repro.units import KiB, MiB
+
+
+def tree_latency(gcds, nbytes):
+    node = HardwareNode()
+    comm = RcclCommunicator(node, gcds)
+
+    def run():
+        t0 = node.now
+        yield from tree_allreduce(comm, nbytes)
+        return node.now - t0
+
+    return node.engine.run_process(run())
+
+
+def ring_latency(gcds, nbytes):
+    node = HardwareNode()
+    comm = RcclCommunicator(node, gcds)
+
+    def run():
+        t0 = node.now
+        yield from comm.allreduce(nbytes)
+        return node.now - t0
+
+    return node.engine.run_process(run())
+
+
+class TestTreeStructure:
+    def test_heap_layout(self):
+        nodes = build_binary_tree([0, 1, 2, 3, 4])
+        assert nodes[0].parent is None
+        assert nodes[0].children == (1, 2)
+        assert nodes[1].children == (3, 4)
+        assert nodes[3].parent == 1 and nodes[3].children == ()
+
+    def test_depth(self):
+        assert tree_depth(build_binary_tree([0])) == 0
+        assert tree_depth(build_binary_tree([0, 1])) == 1
+        assert tree_depth(build_binary_tree(list(range(8)))) == 3
+
+    def test_edge_count(self):
+        assert tree_edge_count(8) == 7
+        with pytest.raises(RcclError):
+            tree_edge_count(0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(RcclError):
+            build_binary_tree([])
+
+
+class TestTreeAllreduce:
+    @pytest.mark.parametrize("n", range(2, 9))
+    def test_completes(self, n):
+        assert tree_latency(list(range(n)), 1 * MiB) > 0
+
+    def test_single_member_noop(self):
+        node = HardwareNode()
+        comm = RcclCommunicator(node, [0])
+        node.engine.run_process(tree_allreduce(comm, 1 * MiB))
+        assert node.now == 0.0
+
+    def test_invalid_size(self):
+        node = HardwareNode()
+        comm = RcclCommunicator(node, [0, 1])
+        with pytest.raises(RcclError):
+            node.engine.run_process(tree_allreduce(comm, 0))
+
+    def test_tree_latency_is_sublinear(self):
+        """Small-message tree latency grows with depth (~log n), far
+        below the 4x a linear-in-n algorithm would show from 2→8."""
+        small = 32 * KiB
+        two = tree_latency([0, 1], small)
+        eight = tree_latency(list(range(8)), small)
+        assert eight < 3.3 * two
+
+    def test_ring_tree_crossover(self):
+        """Tree wins small messages; ring wins bandwidth-bound sizes."""
+        gcds = list(range(8))
+        assert tree_latency(gcds, 32 * KiB) < ring_latency(gcds, 32 * KiB)
+        assert ring_latency(gcds, 16 * MiB) < tree_latency(gcds, 16 * MiB)

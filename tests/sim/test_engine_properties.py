@@ -1,0 +1,83 @@
+"""Property tests for the DES kernel's ordering guarantees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import SimEngine
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=30))
+def test_timeouts_deliver_in_time_order(delays):
+    """Callbacks fire in non-decreasing simulated time."""
+    engine = SimEngine()
+    fired = []
+    for delay in delays:
+        engine.timeout(delay).add_callback(
+            lambda _e, d=delay: fired.append((engine.now, d))
+        )
+    engine.run()
+    times = [t for t, _d in fired]
+    assert times == sorted(times)
+    # Every callback fired exactly at its delay.
+    assert all(t == d for t, d in fired)
+    assert len(fired) == len(delays)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(0.0, 10.0), min_size=1, max_size=15))
+def test_equal_times_fire_fifo(delays):
+    """Ties break in scheduling order (determinism guarantee)."""
+    engine = SimEngine()
+    order = []
+    for index, _delay in enumerate(delays):
+        engine.timeout(5.0).add_callback(
+            lambda _e, i=index: order.append(i)
+        )
+    engine.run()
+    assert order == list(range(len(delays)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.floats(0.0, 20.0), st.floats(0.0, 20.0)),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_nested_processes_terminate(specs):
+    """Processes spawning processes all run to completion."""
+    engine = SimEngine()
+    finished = []
+
+    def child(delay):
+        yield engine.timeout(delay)
+        finished.append("child")
+
+    def parent(first, second):
+        yield engine.timeout(first)
+        engine.process(child(second))
+        finished.append("parent")
+
+    for first, second in specs:
+        engine.process(parent(first, second))
+    engine.run()
+    assert finished.count("parent") == len(specs)
+    assert finished.count("child") == len(specs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 40))
+def test_chained_zero_timeouts_make_progress(depth):
+    """Zero-delay chains complete without clock movement or hang."""
+    engine = SimEngine()
+
+    def chain(remaining):
+        if remaining:
+            yield engine.timeout(0.0)
+            yield from chain(remaining - 1)
+        return "done"
+
+    assert engine.run_process(chain(depth)) == "done"
+    assert engine.now == 0.0

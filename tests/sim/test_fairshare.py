@@ -1,0 +1,145 @@
+"""Unit + property tests for max-min fair allocation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.fairshare import (
+    FlowSpec,
+    allocation_is_feasible,
+    max_min_fair_rates,
+)
+
+
+class TestBasicAllocations:
+    def test_single_flow_takes_channel(self):
+        rates = max_min_fair_rates(
+            [FlowSpec("f", ("c",))], {"c": 100.0}
+        )
+        assert rates["f"] == pytest.approx(100.0)
+
+    def test_equal_split(self):
+        flows = [FlowSpec(i, ("c",)) for i in range(4)]
+        rates = max_min_fair_rates(flows, {"c": 100.0})
+        assert all(r == pytest.approx(25.0) for r in rates.values())
+
+    def test_cap_binds_first(self):
+        flows = [FlowSpec("capped", ("c",), cap=10.0), FlowSpec("free", ("c",))]
+        rates = max_min_fair_rates(flows, {"c": 100.0})
+        assert rates["capped"] == pytest.approx(10.0)
+        assert rates["free"] == pytest.approx(90.0)
+
+    def test_cap_only_flow(self):
+        rates = max_min_fair_rates([FlowSpec("f", (), cap=42.0)], {})
+        assert rates["f"] == pytest.approx(42.0)
+
+    def test_multi_hop_bottleneck(self):
+        flows = [FlowSpec("path", ("wide", "narrow"))]
+        rates = max_min_fair_rates(flows, {"wide": 100.0, "narrow": 10.0})
+        assert rates["path"] == pytest.approx(10.0)
+
+    def test_classic_three_flow_example(self):
+        # f1 on A, f2 on A+B, f3 on B; A=10, B=20.
+        flows = [
+            FlowSpec("f1", ("A",)),
+            FlowSpec("f2", ("A", "B")),
+            FlowSpec("f3", ("B",)),
+        ]
+        rates = max_min_fair_rates(flows, {"A": 10.0, "B": 20.0})
+        assert rates["f1"] == pytest.approx(5.0)
+        assert rates["f2"] == pytest.approx(5.0)
+        assert rates["f3"] == pytest.approx(15.0)
+
+    def test_empty(self):
+        assert max_min_fair_rates([], {}) == {}
+
+
+class TestValidation:
+    def test_duplicate_ids(self):
+        with pytest.raises(SimulationError):
+            max_min_fair_rates(
+                [FlowSpec("f", ("c",)), FlowSpec("f", ("c",))], {"c": 1.0}
+            )
+
+    def test_unknown_channel(self):
+        with pytest.raises(SimulationError):
+            max_min_fair_rates([FlowSpec("f", ("nope",))], {})
+
+    def test_nonpositive_capacity(self):
+        with pytest.raises(SimulationError):
+            max_min_fair_rates([FlowSpec("f", ("c",))], {"c": 0.0})
+
+    def test_nonpositive_cap(self):
+        with pytest.raises(SimulationError):
+            FlowSpec("f", ("c",), cap=0.0)
+
+    def test_unconstrained_flow(self):
+        with pytest.raises(SimulationError):
+            max_min_fair_rates([FlowSpec("f", ())], {})
+
+
+@st.composite
+def fairshare_problems(draw):
+    num_channels = draw(st.integers(1, 5))
+    capacities = {
+        f"c{i}": draw(st.floats(1.0, 1000.0)) for i in range(num_channels)
+    }
+    num_flows = draw(st.integers(1, 8))
+    flows = []
+    for i in range(num_flows):
+        channels = tuple(
+            draw(
+                st.lists(
+                    st.sampled_from(sorted(capacities)),
+                    min_size=1,
+                    max_size=num_channels,
+                    unique=True,
+                )
+            )
+        )
+        cap = draw(st.one_of(st.just(math.inf), st.floats(0.5, 500.0)))
+        flows.append(FlowSpec(i, channels, cap))
+    return flows, capacities
+
+
+@settings(max_examples=150, deadline=None)
+@given(fairshare_problems())
+def test_allocation_properties(problem):
+    """The three max-min invariants, checked on random problems."""
+    flows, capacities = problem
+    rates = max_min_fair_rates(flows, capacities)
+
+    # 1. Feasibility: no channel over capacity, no cap exceeded.
+    assert allocation_is_feasible(flows, capacities, rates)
+
+    # 2. Positivity: nobody starves.
+    assert all(rate > 0 for rate in rates.values())
+
+    # 3. Work conservation: every flow is blocked by a tight channel
+    #    or its own cap (cannot be raised unilaterally).
+    load = {channel: 0.0 for channel in capacities}
+    for flow in flows:
+        for channel in flow.channels:
+            load[channel] += rates[flow.flow_id]
+    for flow in flows:
+        at_cap = (
+            flow.cap is not math.inf
+            and rates[flow.flow_id] >= flow.cap * (1 - 1e-6)
+        )
+        on_tight_channel = any(
+            load[channel] >= capacities[channel] * (1 - 1e-6)
+            for channel in flow.channels
+        )
+        assert at_cap or on_tight_channel
+
+
+@settings(max_examples=50, deadline=None)
+@given(fairshare_problems())
+def test_allocation_deterministic(problem):
+    flows, capacities = problem
+    first = max_min_fair_rates(flows, capacities)
+    second = max_min_fair_rates(list(flows), dict(capacities))
+    assert first == second

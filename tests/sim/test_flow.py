@@ -1,0 +1,149 @@
+"""Tests for the fluid-flow network (repro.sim.flow)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimEngine
+from repro.sim.flow import FlowNetwork
+
+
+@pytest.fixture
+def net():
+    engine = SimEngine()
+    network = FlowNetwork(engine)
+    network.add_channel("link", 100.0)
+    return network
+
+
+def run_flows(network, *specs):
+    """Start flows (channels, size, cap) and return them after the run."""
+    flows = [
+        network.transfer(channels, size, cap=cap)
+        for channels, size, cap in specs
+    ]
+    network.engine.run()
+    return flows
+
+
+class TestSingleFlow:
+    def test_exact_completion_time(self, net):
+        (flow,) = run_flows(net, (["link"], 200.0, float("inf")))
+        assert flow.completed
+        assert flow.elapsed == pytest.approx(2.0)
+        assert flow.achieved_rate == pytest.approx(100.0)
+
+    def test_cap_limits_rate(self, net):
+        (flow,) = run_flows(net, (["link"], 100.0, 20.0))
+        assert flow.elapsed == pytest.approx(5.0)
+
+    def test_zero_byte_completes_immediately(self, net):
+        flow = net.transfer(["link"], 0.0)
+        assert flow.completed
+        assert flow.elapsed == 0.0
+
+    def test_negative_size_rejected(self, net):
+        with pytest.raises(SimulationError):
+            net.transfer(["link"], -1.0)
+
+    def test_unknown_channel_rejected(self, net):
+        with pytest.raises(SimulationError):
+            net.transfer(["nope"], 1.0)
+
+    def test_channelless_uncapped_rejected(self, net):
+        with pytest.raises(SimulationError):
+            net.transfer([], 1.0)
+
+
+class TestSharing:
+    def test_two_flows_share_then_speed_up(self, net):
+        f1, f2 = run_flows(
+            net,
+            (["link"], 100.0, float("inf")),
+            (["link"], 50.0, float("inf")),
+        )
+        # Shared at 50 each: f2 done at t=1; f1 then finishes its
+        # remaining 50 at 100/s: t=1.5.
+        assert f2.elapsed == pytest.approx(1.0)
+        assert f1.elapsed == pytest.approx(1.5)
+
+    def test_three_equal_flows(self, net):
+        flows = run_flows(*([net] + [(["link"], 90.0, float("inf"))] * 3))
+        for flow in flows:
+            assert flow.elapsed == pytest.approx(2.7)
+
+    def test_late_arrival_slows_first(self):
+        engine = SimEngine()
+        net = FlowNetwork(engine)
+        net.add_channel("c", 100.0)
+
+        def scenario():
+            first = net.transfer(["c"], 100.0)
+            yield engine.timeout(0.5)  # first has moved 50 bytes
+            second = net.transfer(["c"], 100.0)
+            yield engine.all_of([first.done, second.done])
+            return first.elapsed, second.elapsed
+
+        t1, t2 = engine.run_process(scenario())
+        # first: 0.5s alone + 1.0s shared = 1.5; second: 1.0 shared +
+        # 0.5 alone = 1.5 from its start.
+        assert t1 == pytest.approx(1.5)
+        assert t2 == pytest.approx(1.5)
+
+    def test_multi_hop_flow_counts_on_every_channel(self):
+        engine = SimEngine()
+        net = FlowNetwork(engine)
+        net.add_channel("a", 100.0)
+        net.add_channel("b", 100.0)
+        path = net.transfer(["a", "b"], 100.0)
+        solo = net.transfer(["b"], 100.0)
+        engine.run()
+        # Channel b is shared at 50/50; both flows are b-limited the
+        # whole way, so both take 2.0s (a's spare capacity is unusable).
+        assert path.elapsed == pytest.approx(2.0)
+        assert solo.elapsed == pytest.approx(2.0)
+
+
+class TestUtilization:
+    def test_utilization_reports_load(self):
+        engine = SimEngine()
+        net = FlowNetwork(engine)
+        net.add_channel("c", 100.0)
+
+        def scenario():
+            net.transfer(["c"], 1000.0, cap=30.0)
+            yield engine.timeout(0.0)
+            return net.utilization("c")
+
+        assert engine.run_process(scenario()) == pytest.approx(0.3)
+
+    def test_duplicate_channel_rejected(self):
+        engine = SimEngine()
+        net = FlowNetwork(engine)
+        net.add_channel("c", 1.0)
+        with pytest.raises(SimulationError):
+            net.add_channel("c", 2.0)
+
+
+class TestConservation:
+    def test_total_bytes_conserved(self):
+        """Sum of (rate × time) slices equals each flow's size."""
+        engine = SimEngine()
+        net = FlowNetwork(engine)
+        net.add_channel("c", 64.0)
+        sizes = [10.0, 75.0, 33.0, 128.0, 1.0]
+        flows = [net.transfer(["c"], s) for s in sizes]
+        engine.run()
+        for flow, size in zip(flows, sizes):
+            assert flow.completed
+            assert flow.remaining == 0.0
+            # achieved_rate * elapsed == size
+            assert flow.achieved_rate * flow.elapsed == pytest.approx(size)
+
+    def test_completion_order_matches_sizes_for_equal_start(self):
+        engine = SimEngine()
+        net = FlowNetwork(engine)
+        net.add_channel("c", 10.0)
+        small = net.transfer(["c"], 10.0)
+        big = net.transfer(["c"], 100.0)
+        engine.run()
+        assert small.finish_time < big.finish_time

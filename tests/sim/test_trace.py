@@ -1,0 +1,69 @@
+"""Tests for repro.sim.trace."""
+
+import pytest
+
+from repro.sim.trace import TraceRecord, Tracer
+
+
+class TestTraceRecord:
+    def test_duration(self):
+        record = TraceRecord(1.0, 3.0, "memcpy", "h2d")
+        assert record.duration == 2.0
+
+    def test_format_contains_fields(self):
+        record = TraceRecord(0.0, 1e-6, "kernel", "copy", {"device": 3})
+        text = record.format()
+        assert "kernel:copy" in text and "device=3" in text
+
+
+class TestTracer:
+    def test_disabled_by_default_drops_records(self):
+        tracer = Tracer()
+        tracer.record(0.0, 1.0, "x", "y")
+        assert len(tracer) == 0
+
+    def test_enabled_collects(self):
+        tracer = Tracer(enabled=True)
+        tracer.record(0.0, 1.0, "memcpy", "a", bytes=10)
+        tracer.record(1.0, 2.0, "kernel", "b")
+        assert len(tracer) == 2
+        assert len(tracer.records("memcpy")) == 1
+
+    def test_invalid_window_rejected(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(ValueError):
+            tracer.record(2.0, 1.0, "x", "y")
+
+    def test_timeline_sorted(self):
+        tracer = Tracer(enabled=True)
+        tracer.record(5.0, 6.0, "b", "later")
+        tracer.record(1.0, 2.0, "a", "earlier")
+        lines = tracer.timeline().splitlines()
+        assert "earlier" in lines[0]
+        assert "later" in lines[1]
+
+    def test_clear(self):
+        tracer = Tracer(enabled=True)
+        tracer.record(0.0, 1.0, "x", "y")
+        tracer.clear()
+        assert len(tracer) == 0
+
+
+class TestTracingIntegration:
+    def test_hip_memcpy_produces_trace(self):
+        from repro.hardware.node import HardwareNode
+        from repro.hip.runtime import HipRuntime
+        from repro.units import MiB
+
+        node = HardwareNode(trace=True)
+        hip = HipRuntime(node)
+
+        def run():
+            host = hip.host_malloc(1 * MiB)
+            dev = hip.malloc(1 * MiB)
+            yield from hip.memcpy(dev, host)
+
+        hip.run(run())
+        records = node.tracer.records("memcpy")
+        assert len(records) == 1
+        assert records[0].detail["bytes"] == 1 * MiB

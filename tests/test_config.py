@@ -1,0 +1,120 @@
+"""Unit tests for repro.config (environment model, placements)."""
+
+import pytest
+
+from repro.config import (
+    SimEnvironment,
+    parse_visible_devices,
+    placement_for_strategy,
+    same_gpu_placement,
+    spread_placement,
+)
+from repro.errors import ConfigurationError
+
+
+class TestVisibleDevices:
+    def test_empty_string(self):
+        assert parse_visible_devices("", 8) == ()
+
+    def test_basic(self):
+        assert parse_visible_devices("0,2,4,6", 8) == (0, 2, 4, 6)
+
+    def test_reorders_logical_mapping(self):
+        assert parse_visible_devices("7,0", 8) == (7, 0)
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_visible_devices("1,1", 8)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_visible_devices("8", 8)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_visible_devices("a,b", 8)
+
+
+class TestSimEnvironment:
+    def test_defaults_match_rocm(self):
+        env = SimEnvironment()
+        assert env.xnack_enabled is False
+        assert env.sdma_enabled is True
+        assert env.peer_sdma_enabled is True
+        assert env.visible_devices is None
+
+    def test_from_environ(self):
+        env = SimEnvironment.from_environ(
+            {
+                "HSA_XNACK": "1",
+                "HSA_ENABLE_SDMA": "0",
+                "HIP_VISIBLE_DEVICES": "2,3",
+                "MPICH_GPU_SUPPORT_ENABLED": "1",
+            },
+            num_physical=8,
+        )
+        assert env.xnack_enabled
+        assert not env.sdma_enabled
+        assert env.visible_devices == (2, 3)
+        assert env.mpich_gpu_support
+
+    def test_from_environ_bad_bool(self):
+        with pytest.raises(ConfigurationError):
+            SimEnvironment.from_environ({"HSA_XNACK": "maybe"})
+
+    def test_logical_mapping_identity(self):
+        env = SimEnvironment()
+        assert env.map_logical_device(3, 8) == 3
+
+    def test_logical_mapping_masked(self):
+        env = SimEnvironment(visible_devices=(6, 4))
+        assert env.map_logical_device(0, 8) == 6
+        assert env.map_logical_device(1, 8) == 4
+        with pytest.raises(ConfigurationError):
+            env.map_logical_device(2, 8)
+
+    def test_logical_out_of_range_unmasked(self):
+        env = SimEnvironment()
+        with pytest.raises(ConfigurationError):
+            env.map_logical_device(8, 8)
+
+    def test_num_visible(self):
+        assert SimEnvironment().num_visible_devices(8) == 8
+        assert SimEnvironment(visible_devices=(1,)).num_visible_devices(8) == 1
+
+    def test_with_(self):
+        env = SimEnvironment().with_(xnack_enabled=True)
+        assert env.xnack_enabled
+        assert SimEnvironment().xnack_enabled is False  # original untouched
+
+
+class TestPlacements:
+    def test_spread_prefers_distinct_packages(self):
+        assert spread_placement(2) == (0, 2)
+        assert spread_placement(4) == (0, 2, 4, 6)
+
+    def test_spread_all_eight(self):
+        assert spread_placement(8) == tuple(range(8))
+
+    def test_same_gpu_fills_packages(self):
+        assert same_gpu_placement(2) == (0, 1)
+        assert same_gpu_placement(4) == (0, 1, 2, 3)
+
+    def test_bounds(self):
+        with pytest.raises(ConfigurationError):
+            spread_placement(0)
+        with pytest.raises(ConfigurationError):
+            same_gpu_placement(9)
+
+    def test_strategy_dispatch(self):
+        assert placement_for_strategy("spread", 2) == (0, 2)
+        assert placement_for_strategy("same_gpu", 2) == (0, 1)
+        with pytest.raises(ConfigurationError):
+            placement_for_strategy("diagonal", 2)
+
+    def test_spread_counts_per_package(self, topology):
+        # At <=4 GCDs the spread strategy uses at most one GCD per GPU.
+        for count in (1, 2, 3, 4):
+            placement = spread_placement(count)
+            packages = [topology.gcd(g).gpu_package for g in placement]
+            assert len(set(packages)) == count

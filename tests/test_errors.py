@@ -1,0 +1,64 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_reproerror(self):
+        for name in (
+            "ConfigurationError",
+            "TopologyError",
+            "RoutingError",
+            "SimulationError",
+            "SchedulingError",
+            "AllocationError",
+            "InvalidAddressError",
+            "PageFaultError",
+            "CoherenceError",
+            "HipError",
+            "MpiError",
+            "RcclError",
+            "BenchmarkError",
+            "CalibrationError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_routing_is_topology(self):
+        assert issubclass(errors.RoutingError, errors.TopologyError)
+
+    def test_scheduling_is_simulation(self):
+        assert issubclass(errors.SchedulingError, errors.SimulationError)
+
+    def test_memory_family(self):
+        for cls in (
+            errors.AllocationError,
+            errors.InvalidAddressError,
+            errors.PageFaultError,
+            errors.CoherenceError,
+        ):
+            assert issubclass(cls, errors.MemoryError_)
+
+    def test_memory_error_does_not_shadow_builtin(self):
+        assert errors.MemoryError_ is not MemoryError
+        assert not issubclass(errors.MemoryError_, MemoryError)
+
+
+class TestHipErrors:
+    def test_status_carried(self):
+        err = errors.HipError("hipErrorInvalidValue", "bad size")
+        assert err.status == "hipErrorInvalidValue"
+        assert "bad size" in str(err)
+
+    def test_specialized_statuses(self):
+        assert errors.InvalidDeviceError().status == "hipErrorInvalidDevice"
+        assert (
+            errors.PeerAccessError().status == "hipErrorPeerAccessNotEnabled"
+        )
+        assert errors.StreamError().status == "hipErrorInvalidHandle"
+
+    def test_catchable_as_hip_error(self):
+        with pytest.raises(errors.HipError):
+            raise errors.InvalidDeviceError("device 42")

@@ -1,0 +1,128 @@
+"""Unit tests for repro.units."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestConstants:
+    def test_paper_rate_convention(self):
+        # Footnote 3: 1 GB/s = 1e9 bytes/s.
+        assert units.GBps == 1e9
+
+    def test_binary_sizes(self):
+        assert units.KiB == 1024
+        assert units.MiB == 1024**2
+        assert units.GiB == 1024**3
+
+    def test_decimal_sizes(self):
+        assert units.GB == 10**9
+
+
+class TestTimeHelpers:
+    def test_us_roundtrip(self):
+        assert units.to_us(units.us(8.7)) == pytest.approx(8.7)
+
+    def test_ns(self):
+        assert units.ns(96) == pytest.approx(96e-9)
+
+    def test_gbps_roundtrip(self):
+        assert units.to_gbps(units.gbps(28.3)) == pytest.approx(28.3)
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("4K", 4096),
+            ("4KiB", 4096),
+            ("1MiB", 1024**2),
+            ("1GB", 10**9),
+            ("1 GB", 10**9),
+            ("512", 512),
+            ("2.5KiB", 2560),
+            (123, 123),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert units.parse_size(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "abc", "4XB", "-5K", "4..5K"])
+    def test_invalid(self, text):
+        with pytest.raises(ValueError):
+            units.parse_size(text)
+
+
+class TestFormat:
+    def test_format_size_exact(self):
+        assert units.format_size(4096) == "4KiB"
+        assert units.format_size(8 * units.GiB) == "8GiB"
+
+    def test_format_size_fractional(self):
+        assert units.format_size(1536) == "1.50KiB"
+
+    def test_format_size_small(self):
+        assert units.format_size(16) == "16B"
+
+    def test_format_size_negative(self):
+        with pytest.raises(ValueError):
+            units.format_size(-1)
+
+    def test_format_rate(self):
+        assert units.format_rate(28.3e9) == "28.3 GB/s"
+
+    def test_format_time_units(self):
+        assert units.format_time(0) == "0s"
+        assert units.format_time(96e-9) == "96.0ns"
+        assert units.format_time(8.7e-6) == "8.7us"
+        assert units.format_time(1.5e-3) == "1.50ms"
+        assert units.format_time(2.0) == "2.000s"
+
+    def test_format_time_negative(self):
+        with pytest.raises(ValueError):
+            units.format_time(-1.0)
+
+
+class TestPow2Sizes:
+    def test_commscope_sweep_endpoints(self):
+        sizes = list(units.pow2_sizes(4 * units.KiB, 1 * units.GiB))
+        assert sizes[0] == 4 * units.KiB
+        assert sizes[-1] == 1 * units.GiB
+        assert len(sizes) == 19
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            list(units.pow2_sizes(3, 8))
+
+    def test_reversed_range_rejected(self):
+        with pytest.raises(ValueError):
+            list(units.pow2_sizes(16, 8))
+
+    @given(st.integers(0, 20), st.integers(0, 20))
+    def test_every_element_is_power_of_two(self, a, b):
+        lo, hi = 1 << min(a, b), 1 << max(a, b)
+        for size in units.pow2_sizes(lo, hi):
+            assert size & (size - 1) == 0
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert units.geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            units.geometric_mean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            units.geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(0.1, 1e6), min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        gm = units.geometric_mean(values)
+        assert min(values) <= gm * (1 + 1e-9)
+        assert gm <= max(values) * (1 + 1e-9)

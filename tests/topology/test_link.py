@@ -1,0 +1,101 @@
+"""Unit tests for repro.topology.link."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.link import (
+    CPU_LINK_BW,
+    XGMI_LINK_BW,
+    Link,
+    LinkEndpoint,
+    LinkTier,
+    as_endpoint,
+)
+
+
+class TestLinkTier:
+    def test_xgmi_peaks_match_paper(self):
+        # §II-A: single/dual/quad of 50+50 GB/s links.
+        assert LinkTier.SINGLE.peak_unidirectional == 50e9
+        assert LinkTier.DUAL.peak_unidirectional == 100e9
+        assert LinkTier.QUAD.peak_unidirectional == 200e9
+
+    def test_cpu_peak_matches_paper(self):
+        # §II-A: 36 GB/s theoretical peak per direction.
+        assert LinkTier.CPU.peak_unidirectional == 36e9
+
+    def test_bidirectional_is_double(self):
+        for tier in LinkTier:
+            assert tier.peak_bidirectional == 2 * tier.peak_unidirectional
+
+    def test_widths(self):
+        assert LinkTier.SINGLE.width == 1
+        assert LinkTier.DUAL.width == 2
+        assert LinkTier.QUAD.width == 4
+        assert LinkTier.CPU.width == 1
+
+    def test_from_width(self):
+        assert LinkTier.from_width(1) is LinkTier.SINGLE
+        assert LinkTier.from_width(2) is LinkTier.DUAL
+        assert LinkTier.from_width(4) is LinkTier.QUAD
+
+    def test_from_width_invalid(self):
+        with pytest.raises(TopologyError):
+            LinkTier.from_width(3)
+
+    def test_constants(self):
+        assert XGMI_LINK_BW == 50e9
+        assert CPU_LINK_BW == 36e9
+
+
+class TestLinkEndpoint:
+    def test_ordering_and_equality(self):
+        assert LinkEndpoint.gcd(0) < LinkEndpoint.gcd(1)
+        assert LinkEndpoint.gcd(3) == LinkEndpoint.gcd(3)
+        assert LinkEndpoint.gcd(0) != LinkEndpoint.numa(0)
+
+    def test_kind_validation(self):
+        with pytest.raises(TopologyError):
+            LinkEndpoint("cpu", 0)
+        with pytest.raises(TopologyError):
+            LinkEndpoint("gcd", -1)
+
+    def test_as_endpoint_coerces_int(self):
+        assert as_endpoint(5) == LinkEndpoint.gcd(5)
+        ep = LinkEndpoint.numa(2)
+        assert as_endpoint(ep) is ep
+
+
+class TestLink:
+    def test_xgmi_link(self):
+        link = Link(LinkEndpoint.gcd(0), LinkEndpoint.gcd(1), LinkTier.QUAD)
+        assert link.capacity_per_direction == 200e9
+        assert not link.is_cpu_link
+
+    def test_cpu_link_endpoint_rules(self):
+        Link(LinkEndpoint.gcd(0), LinkEndpoint.numa(0), LinkTier.CPU)
+        with pytest.raises(TopologyError):
+            Link(LinkEndpoint.gcd(0), LinkEndpoint.gcd(1), LinkTier.CPU)
+        with pytest.raises(TopologyError):
+            Link(LinkEndpoint.gcd(0), LinkEndpoint.numa(0), LinkTier.SINGLE)
+
+    def test_self_link_rejected(self):
+        with pytest.raises(TopologyError):
+            Link(LinkEndpoint.gcd(1), LinkEndpoint.gcd(1), LinkTier.SINGLE)
+
+    def test_name_is_order_independent(self):
+        a = Link(LinkEndpoint.gcd(0), LinkEndpoint.gcd(2), LinkTier.SINGLE)
+        b = Link(LinkEndpoint.gcd(2), LinkEndpoint.gcd(0), LinkTier.SINGLE)
+        assert a.name == b.name
+
+    def test_other(self):
+        link = Link(LinkEndpoint.gcd(0), LinkEndpoint.gcd(6), LinkTier.DUAL)
+        assert link.other(LinkEndpoint.gcd(0)) == LinkEndpoint.gcd(6)
+        with pytest.raises(TopologyError):
+            link.other(LinkEndpoint.gcd(3))
+
+    def test_connects(self):
+        link = Link(LinkEndpoint.gcd(0), LinkEndpoint.gcd(6), LinkTier.DUAL)
+        assert link.connects(0, 6)
+        assert link.connects(6, 0)
+        assert not link.connects(0, 1)

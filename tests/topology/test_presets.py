@@ -1,0 +1,92 @@
+"""Tests for the canonical topologies (repro.topology.presets)."""
+
+import pytest
+
+from repro.topology.link import LinkTier
+from repro.topology.presets import (
+    FRONTIER_SINGLE_LINK_PAIRS,
+    dense_hive_node,
+    frontier_node,
+    single_gpu_node,
+)
+
+
+class TestFrontierPreset:
+    def test_paper_narrative_gcd0(self, topology):
+        # §II-A: GCD0 — quad to GCD1, dual to GCD6, single to GCD2.
+        assert topology.peer_tier(0, 1) is LinkTier.QUAD
+        assert topology.peer_tier(0, 6) is LinkTier.DUAL
+        assert topology.peer_tier(0, 2) is LinkTier.SINGLE
+
+    def test_single_link_pairs_match_fig6b_class(self, topology):
+        singles = {
+            frozenset((l.a.index, l.b.index))
+            for l in topology.xgmi_links()
+            if l.tier is LinkTier.SINGLE
+        }
+        assert singles == set(FRONTIER_SINGLE_LINK_PAIRS)
+
+    def test_quad_pairs_are_packages(self, topology):
+        quads = {
+            frozenset((l.a.index, l.b.index))
+            for l in topology.xgmi_links()
+            if l.tier is LinkTier.QUAD
+        }
+        assert quads == {
+            frozenset(p) for p in ((0, 1), (2, 3), (4, 5), (6, 7))
+        }
+
+    def test_every_gcd_has_exactly_one_cpu_link(self, topology):
+        counts = {g.index: 0 for g in topology.gcds()}
+        for link in topology.cpu_links():
+            gcd_end = link.a if link.a.is_gcd else link.b
+            counts[gcd_end.index] += 1
+        assert all(count == 1 for count in counts.values())
+
+    def test_package_shares_numa(self, topology):
+        for gcd in range(0, 8, 2):
+            assert topology.numa_of_gcd(gcd) == topology.numa_of_gcd(gcd + 1)
+
+    def test_mi250x_per_gcd_specs(self, topology):
+        gcd = topology.gcd(0)
+        assert gcd.hbm_bytes == 64 * 10**9
+        assert gcd.hbm_peak_bw == 1.6e12
+        assert gcd.l2_bytes == 8 * 2**20
+
+    def test_epyc_specs(self, topology):
+        numa = topology.numa_domain(0)
+        assert numa.dram_latency == pytest.approx(96e-9)
+        total_bw = sum(n.dram_peak_bw for n in topology.numa_domains())
+        assert total_bw == pytest.approx(204.8e9)
+        total_dram = sum(n.dram_bytes for n in topology.numa_domains())
+        assert total_dram == 512 * 10**9
+
+    def test_fresh_instances_are_equivalent(self):
+        a, b = frontier_node(), frontier_node()
+        assert a.link_census() == b.link_census()
+
+
+class TestOtherPresets:
+    def test_single_gpu_node(self):
+        node = single_gpu_node()
+        assert node.num_gcds == 2
+        assert node.peer_tier(0, 1) is LinkTier.QUAD
+        assert node.num_numa_domains == 1
+
+    def test_dense_hive_default(self):
+        node = dense_hive_node()
+        assert node.num_gcds == 8
+        # fully connected: 8*7/2 GCD-GCD edges
+        assert sum(1 for _ in node.xgmi_links()) == 28
+
+    def test_dense_hive_small(self):
+        node = dense_hive_node(1)
+        assert node.num_gcds == 2
+
+    def test_dense_hive_invalid(self):
+        import pytest as _pytest
+
+        from repro.errors import TopologyError
+
+        with _pytest.raises(TopologyError):
+            dense_hive_node(0)

@@ -1,0 +1,127 @@
+"""Unit + property tests for repro.topology.routing."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import RoutingError
+from repro.topology.link import LinkEndpoint
+from repro.topology.presets import dense_hive_node, frontier_node
+from repro.topology.routing import (
+    RoutingPolicy,
+    all_pairs_hops,
+    all_pairs_routes,
+    bandwidth_maximizing_path,
+    detour_pairs,
+    route_between,
+    shortest_path,
+)
+
+GCD_PAIRS = [(a, b) for a in range(8) for b in range(8) if a != b]
+
+
+class TestShortestPath:
+    def test_local_route(self, topology):
+        route = shortest_path(topology, 0, 0)
+        assert route.is_local and route.num_hops == 0
+
+    def test_adjacent(self, topology):
+        route = shortest_path(topology, 0, 1)
+        assert route.num_hops == 1
+
+    def test_fig6a_two_hop_maximum(self, topology):
+        # Paper §V-A1: "the length of the shortest path never exceeds
+        # two hops".
+        hops = all_pairs_hops(topology)
+        assert max(hops.values()) == 2
+        assert hops[(0, 0)] == 0
+
+    def test_fig6a_symmetry(self, topology):
+        hops = all_pairs_hops(topology)
+        for a, b in GCD_PAIRS:
+            assert hops[(a, b)] == hops[(b, a)]
+
+    def test_deterministic(self, topology):
+        r1 = shortest_path(topology, 0, 3)
+        r2 = shortest_path(topology, 0, 3)
+        assert r1.nodes == r2.nodes
+
+
+class TestBandwidthMaximizing:
+    def test_paper_detour_pairs(self, topology):
+        # §V-A1: exactly 1-7 and 3-5 take a longer, wider route.
+        pairs = {frozenset(p) for p in detour_pairs(topology)}
+        assert pairs == {frozenset({1, 7}), frozenset({3, 5})}
+
+    def test_1_7_route_matches_paper(self, topology):
+        # "the path maximizing the bandwidth is composed of three hops
+        # (1-0-6-7)".
+        route = bandwidth_maximizing_path(topology, 1, 7)
+        assert [n.index for n in route.nodes] == [1, 0, 6, 7]
+        assert route.bottleneck_capacity == 100e9
+
+    def test_3_5_route(self, topology):
+        route = bandwidth_maximizing_path(topology, 3, 5)
+        assert [n.index for n in route.nodes] == [3, 2, 4, 5]
+
+    def test_never_narrower_than_shortest(self, topology):
+        for a, b in GCD_PAIRS:
+            wide = bandwidth_maximizing_path(topology, a, b)
+            short = shortest_path(topology, a, b)
+            assert wide.bottleneck_capacity >= short.bottleneck_capacity
+
+    def test_bounded_detour(self, topology):
+        for a, b in GCD_PAIRS:
+            wide = bandwidth_maximizing_path(topology, a, b)
+            short = shortest_path(topology, a, b)
+            assert wide.num_hops <= short.num_hops + 2
+
+    def test_route_links_are_consecutive(self, topology):
+        for a, b in GCD_PAIRS:
+            route = bandwidth_maximizing_path(topology, a, b)
+            for src, dst, link in route.hop_pairs():
+                assert link.connects(src, dst)
+
+    def test_policy_dispatch(self, topology):
+        short = route_between(topology, 1, 7, RoutingPolicy.SHORTEST)
+        wide = route_between(topology, 1, 7, RoutingPolicy.BANDWIDTH_MAX)
+        assert short.num_hops == 2 and wide.num_hops == 3
+
+    def test_all_pairs_routes_cover_everything(self, topology):
+        routes = all_pairs_routes(topology)
+        assert len(routes) == len(GCD_PAIRS)
+        for (a, b), route in routes.items():
+            assert route.source == LinkEndpoint.gcd(a)
+            assert route.destination == LinkEndpoint.gcd(b)
+
+    def test_no_path_raises(self, topology):
+        with pytest.raises(RoutingError):
+            shortest_path(topology, 0, 99)
+
+
+class TestDenseTopology:
+    def test_dense_hive_is_single_hop(self):
+        dense = dense_hive_node()
+        hops = all_pairs_hops(dense)
+        offdiag = [h for pair, h in hops.items() if pair[0] != pair[1]]
+        assert max(offdiag) == 1
+
+    def test_dense_hive_no_detours(self):
+        assert detour_pairs(dense_hive_node()) == []
+
+
+@given(st.integers(0, 7), st.integers(0, 7))
+def test_routing_is_total_and_consistent(a, b):
+    """Property: routes exist for every pair; endpoints match; the
+    bottleneck equals the min of the traversed link capacities."""
+    topology = frontier_node()
+    route = bandwidth_maximizing_path(topology, a, b)
+    assert route.source == LinkEndpoint.gcd(a)
+    assert route.destination == LinkEndpoint.gcd(b)
+    if a != b:
+        capacities = [l.capacity_per_direction for l in route.links]
+        assert route.bottleneck_capacity == min(capacities)
+    else:
+        assert route.is_local
