@@ -1,0 +1,49 @@
+"""Smoke harness for the simulation-core perf suite.
+
+Runs the scaled-down suite and checks the report shape plus basic
+sanity (positive throughputs, incremental solver not slower than the
+batch re-solve).  Full-scale numbers are produced by ``make bench`` /
+``repro perf -o BENCH_core.json``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.perf.core import format_report, run_suite, write_report
+
+
+def test_smoke_suite_shape_and_sanity(tmp_path):
+    report = run_suite(smoke=True)
+
+    assert report["schema"] == "repro-bench-core/1"
+    assert report["smoke"] is True
+    results = report["results"]
+    assert results["engine_events"]["events_per_second"] > 0
+    assert results["timer_cancel"]["timers_per_second"] > 0
+
+    churn = results["flow_churn"]
+    assert churn["total_flows"] == churn["pairs"] * churn["flows_per_pair"]
+    assert churn["incremental_flows_per_second"] > 0
+    # Even at smoke scale the persistent solver should not lose to a
+    # full batch re-solve per flow event.
+    assert churn["speedup"] > 0.9
+
+    assert results["figure_sweep"]["measurements"] > 0
+    assert report["headline"]["churn_speedup_vs_batch_resolve"] == churn["speedup"]
+
+    path = tmp_path / "BENCH_core.json"
+    write_report(str(path), report)
+    assert json.loads(path.read_text())["schema"] == "repro-bench-core/1"
+
+    text = format_report(report)
+    assert "flow churn" in text and "events/s" in text
+
+
+def test_cli_perf_smoke(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "bench.json"
+    assert main(["perf", "--smoke", "-o", str(out)]) == 0
+    assert out.exists()
+    assert "simulation-core performance" in capsys.readouterr().out

@@ -16,10 +16,10 @@ Run:
 
 import sys
 
+import repro
 from repro.bench_suites.osu import osu_collective_latency
 from repro.bench_suites.rccl_tests import rccl_collective_latency
 from repro.core.bounds import collective_latency_bound
-from repro.rccl.communicator import RcclCommunicator
 from repro.units import KiB, to_us
 
 
@@ -37,7 +37,7 @@ def main() -> None:
     for partners in range(2, 9):
         mpi = osu_collective_latency(collective, partners, message_bytes=message)
         rccl = rccl_collective_latency(collective, partners, message_bytes=message)
-        comm = RcclCommunicator(gcds=list(range(partners)))
+        comm = repro.Session().rccl_communicator(list(range(partners)))
         ring_note = comm.ring.describe()
         if comm.ring.num_relayed:
             ring_note += f"  ({comm.ring.num_relayed} relayed segment)"

@@ -19,17 +19,17 @@ Run:
 
 import sys
 
-from repro.config import SimEnvironment, spread_placement, same_gpu_placement
+import repro
+from repro.config import spread_placement, same_gpu_placement
 from repro.hip.enums import HostMallocFlags
-from repro.hip.runtime import HipRuntime
 from repro.bench_suites.stream import multi_gpu_cpu_stream
 from repro.units import MiB, to_gbps
 
 
 def measure_strategy(strategy: str, working_set: int, touches: int) -> float:
     """End-to-end time for one iteration: move + ``touches`` GPU passes."""
-    env = SimEnvironment(xnack_enabled=(strategy == "managed_xnack"))
-    hip = HipRuntime(env=env)
+    session = repro.Session(xnack_enabled=(strategy == "managed_xnack"))
+    hip = session.hip
     hip.set_device(0)
 
     def run():

@@ -9,14 +9,13 @@ Run:
     python examples/quickstart.py
 """
 
+import repro
 from repro.bench_suites import comm_scope, p2p_matrix, stream
-from repro.topology.presets import frontier_node
 from repro.units import GiB, MiB, to_gbps, to_us
 
 
 def main() -> None:
-    topology = frontier_node()
-    print(topology.describe())
+    print(repro.Session(topology="mi250x").topology.describe())
     print()
 
     print("=== CPU-GPU data movement (paper §IV) ===")

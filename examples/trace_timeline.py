@@ -9,14 +9,14 @@ Run:
     python examples/trace_timeline.py
 """
 
-from repro.hardware.node import HardwareNode
-from repro.hip.runtime import HipRuntime
+import repro
 from repro.units import MiB, to_gbps
 
 
 def traced_run(placement, size=256 * MiB):
-    node = HardwareNode(trace=True)
-    hip = HipRuntime(node)
+    session = repro.Session(trace=True)
+    node = session.node
+    hip = session.hip
 
     def run():
         buffers = {}
@@ -42,7 +42,7 @@ def traced_run(placement, size=256 * MiB):
         total = len(placement) * 2 * size / (hip.now - t0)
         return total, utilization, flows
 
-    total, utilization, flows = hip.run(run())
+    total, utilization, flows = session.run(run())
     return node, total, utilization, flows
 
 

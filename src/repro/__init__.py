@@ -9,17 +9,24 @@ RCCL-like runtimes on top, and reimplements every benchmark suite of
 the paper's Table II against them.  ``repro.figures`` regenerates each
 table and figure of the evaluation.
 
-Quickstart::
+Quickstart — :class:`Session` wires the whole stack in one object::
 
-    from repro import figures
-    result, text = figures.run_and_report("fig06")
-    print(text)
+    import repro
+
+    with repro.Session(topology="mi250x", trace=True) as s:
+        src = s.hip.malloc(1 << 30, device=0)
+        dst = s.hip.malloc(1 << 30, device=4)
+        s.run(s.hip.memcpy_peer(dst, 4, src, 0))
+        print(s.now, s.stats())
+
+    result, text = repro.figures.run_and_report("fig06")
 
 Layering (bottom → top):
 
 ``units/errors/config`` → ``topology`` → ``sim`` → ``core.calibration``
 → ``hardware`` → ``memory`` → ``hip`` → ``mpi``/``rccl`` →
-``bench_suites`` → ``figures`` → ``core.methodology``.
+``bench_suites`` → ``figures`` → ``core.methodology``; ``Session``
+fronts the whole stack.
 """
 
 from . import config, errors, units
@@ -27,11 +34,33 @@ from .config import SimEnvironment
 from .core.calibration import CalibrationProfile, DEFAULT_CALIBRATION
 from .hardware.node import HardwareNode, frontier_hardware
 from .hip.runtime import HipRuntime
-from .topology.presets import frontier_node
+from .session import Session, TOPOLOGY_PRESETS, resolve_topology
+from .sim.fairshare import (
+    FairshareSolver,
+    FlowSpec,
+    max_min_fair_rates,
+    max_min_fair_rates as solve,
+)
+from .sim.trace import TraceRecord, Tracer
+from .topology.presets import dense_hive_node, frontier_node, single_gpu_node
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
+    # The blessed surface.
+    "Session",
+    "solve",
+    "TraceRecord",
+    "Tracer",
+    "FairshareSolver",
+    "FlowSpec",
+    "max_min_fair_rates",
+    "TOPOLOGY_PRESETS",
+    "resolve_topology",
+    "frontier_node",
+    "single_gpu_node",
+    "dense_hive_node",
+    # Building blocks (still public, but Session is the front door).
     "config",
     "errors",
     "units",
@@ -41,6 +70,5 @@ __all__ = [
     "HardwareNode",
     "frontier_hardware",
     "HipRuntime",
-    "frontier_node",
     "__version__",
 ]

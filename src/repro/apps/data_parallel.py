@@ -16,14 +16,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Generator, Literal, Sequence
 
-from ..config import SimEnvironment, placement_for_strategy
+from ..config import placement_for_strategy
 from ..errors import BenchmarkError
-from ..hardware.node import HardwareNode
 from ..hip.enums import HostMallocFlags
-from ..hip.runtime import HipRuntime
 from ..mpi.collectives import allreduce as mpi_allreduce
-from ..mpi.comm import MpiWorld
-from ..rccl.communicator import RcclCommunicator
+from ..session import Session
 from ..units import MiB
 
 
@@ -108,13 +105,13 @@ def _input_load_phase(
 
 def run_train_step(config: TrainStepConfig) -> TrainStepResult:
     """Execute one step on a fresh node; returns the phase breakdown."""
-    env = SimEnvironment(xnack_enabled=(config.loader == "managed_xnack"))
-    node = HardwareNode()
+    session = Session(xnack_enabled=(config.loader == "managed_xnack"))
+    node = session.node
     result = TrainStepResult(config)
 
     # Phase 1 + 2 run under a single runtime (one driver process per
     # node, as frameworks do); the allreduce runs on the chosen library.
-    hip = HipRuntime(node, env)
+    hip = session.hip
 
     def phases() -> Generator:
         t0 = hip.now
@@ -130,7 +127,7 @@ def run_train_step(config: TrainStepConfig) -> TrainStepResult:
         return result
 
     if config.library == "rccl":
-        comm = RcclCommunicator(node, list(config.placement), env=env)
+        comm = session.rccl_communicator(list(config.placement))
 
         def collective() -> Generator:
             t0 = node.now
@@ -139,9 +136,11 @@ def run_train_step(config: TrainStepConfig) -> TrainStepResult:
 
         result.allreduce_seconds = node.engine.run_process(collective())
     else:
-        world = MpiWorld(
-            HardwareNode(), env, rank_gcds=list(config.placement)
-        )
+        # The MPI path uses its own fresh node: ranks are separate
+        # processes whose IPC-mapping costs must not alias the driver's.
+        world = Session(
+            xnack_enabled=(config.loader == "managed_xnack")
+        ).mpi_world(list(config.placement))
 
         def rank_main(ctx) -> Generator:
             send = ctx.hip.malloc(config.gradient_bytes)

@@ -24,6 +24,7 @@ from typing import Generator, Literal, Sequence
 from ..errors import BenchmarkError
 from ..hardware.node import HardwareNode
 from ..hip.runtime import HipRuntime
+from ..session import Session
 from ..units import MiB
 
 #: The xGMI Hamiltonian ring of the Fig. 1 topology.
@@ -79,7 +80,7 @@ def run_stencil(
     node: HardwareNode | None = None,
 ) -> StencilResult:
     """Execute the stencil on a (fresh) simulated node."""
-    hip = HipRuntime(node if node is not None else HardwareNode())
+    hip = HipRuntime(node) if node is not None else Session().hip
     hip.enable_all_peer_access()
     order = config.gcd_order
     k = len(order)

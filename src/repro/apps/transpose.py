@@ -15,9 +15,8 @@ from dataclasses import dataclass
 from typing import Generator, Sequence
 
 from ..errors import BenchmarkError
-from ..hardware.node import HardwareNode
 from ..mpi.collectives import alltoall
-from ..mpi.comm import MpiWorld
+from ..session import Session
 from ..units import MiB
 
 
@@ -65,7 +64,7 @@ class TransposeResult:
 
 def run_transpose(config: TransposeConfig) -> TransposeResult:
     """One transpose step: alltoall + local block transposes."""
-    world = MpiWorld(HardwareNode(), rank_gcds=list(config.gcds))
+    world = Session().mpi_world(list(config.gcds))
     result = TransposeResult(config)
 
     def rank_main(ctx) -> Generator:

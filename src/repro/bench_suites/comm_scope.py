@@ -15,10 +15,10 @@ from ..core.calibration import CalibrationProfile
 from ..core.experiment import ExperimentResult
 from ..core.sweep import COMM_SCOPE_H2D, COMM_SCOPE_P2P
 from ..errors import BenchmarkError
-from ..hardware.node import HardwareNode
 from ..hip.enums import HostMallocFlags
 from ..hip.runtime import HipRuntime
 from ..memory.placement import ExplicitNumaPolicy
+from ..session import Session
 from ..topology.node import NodeTopology
 from ..topology.presets import frontier_node
 
@@ -36,11 +36,12 @@ def _fresh_runtime(
     topology: NodeTopology | None,
     calibration: CalibrationProfile | None,
 ) -> HipRuntime:
-    env = SimEnvironment(xnack_enabled=(interface == "managed_migration"))
-    node = HardwareNode(
-        topology if topology is not None else frontier_node(), calibration
+    session = Session(
+        topology,
+        calibration=calibration,
+        xnack_enabled=(interface == "managed_migration"),
     )
-    return HipRuntime(node, env)
+    return session.hip
 
 
 def measure_h2d(
@@ -174,10 +175,7 @@ def measure_peer_copy(
     env: SimEnvironment | None = None,
 ) -> float:
     """One hipMemcpyPeer bandwidth point (bytes/s)."""
-    node = HardwareNode(
-        topology if topology is not None else frontier_node(), calibration
-    )
-    hip = HipRuntime(node, env if env is not None else SimEnvironment())
+    hip = Session(topology, calibration=calibration, env=env).hip
 
     def run() -> Generator:
         src = hip.malloc(size, device=src_gcd)

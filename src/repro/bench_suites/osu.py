@@ -21,11 +21,10 @@ from ..core.calibration import CalibrationProfile
 from ..core.experiment import ExperimentResult
 from ..core.sweep import OSU_COLLECTIVE_BYTES, OSU_P2P_BYTES, PARTNER_COUNTS
 from ..errors import BenchmarkError
-from ..hardware.node import HardwareNode
 from ..mpi.collectives import COLLECTIVES
 from ..mpi.comm import MpiWorld, RankContext
+from ..session import Session
 from ..topology.node import NodeTopology
-from ..topology.presets import frontier_node
 
 #: osu_bw window size (number of in-flight sends per iteration).
 BW_WINDOW = 4
@@ -41,10 +40,8 @@ def _world(
     calibration: CalibrationProfile | None,
     env: SimEnvironment | None,
 ) -> MpiWorld:
-    node = HardwareNode(
-        topology if topology is not None else frontier_node(), calibration
-    )
-    return MpiWorld(node, env if env is not None else SimEnvironment(), rank_gcds=rank_gcds)
+    session = Session(topology, calibration=calibration, env=env)
+    return session.mpi_world(rank_gcds)
 
 
 def osu_bw(

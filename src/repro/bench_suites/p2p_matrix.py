@@ -19,8 +19,7 @@ from ..config import SimEnvironment
 from ..core.calibration import CalibrationProfile
 from ..core.experiment import ExperimentResult
 from ..errors import BenchmarkError
-from ..hardware.node import HardwareNode
-from ..hip.runtime import HipRuntime
+from ..session import Session
 from ..topology.node import NodeTopology
 from ..topology.presets import frontier_node
 from ..topology.routing import all_pairs_hops
@@ -59,10 +58,7 @@ def measure_pair_latency(
         raise BenchmarkError("latency test requires distinct GCDs")
     if repetitions <= 0:
         raise BenchmarkError("need at least one repetition")
-    node = HardwareNode(
-        topology if topology is not None else frontier_node(), calibration
-    )
-    hip = HipRuntime(node, env if env is not None else SimEnvironment())
+    hip = Session(topology, calibration=calibration, env=env).hip
     hip.enable_all_peer_access()
 
     def run() -> Generator:
@@ -97,10 +93,7 @@ def measure_pair_bandwidth(
     """Unidirectional hipMemcpyPeer bandwidth (bytes/s) for one pair."""
     if src_gcd == dst_gcd:
         raise BenchmarkError("bandwidth test requires distinct GCDs")
-    node = HardwareNode(
-        topology if topology is not None else frontier_node(), calibration
-    )
-    hip = HipRuntime(node, env if env is not None else SimEnvironment())
+    hip = Session(topology, calibration=calibration, env=env).hip
     hip.enable_all_peer_access()
 
     def run() -> Generator:
@@ -187,10 +180,7 @@ def measure_pair_bandwidth_bidirectional(
     """
     if gcd_a == gcd_b:
         raise BenchmarkError("bidirectional test requires distinct GCDs")
-    node = HardwareNode(
-        topology if topology is not None else frontier_node(), calibration
-    )
-    hip = HipRuntime(node, env if env is not None else SimEnvironment())
+    hip = Session(topology, calibration=calibration, env=env).hip
     hip.enable_all_peer_access()
 
     def run() -> Generator:

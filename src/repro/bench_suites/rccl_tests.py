@@ -9,16 +9,13 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..config import SimEnvironment
 from ..core.calibration import CalibrationProfile
 from ..core.experiment import ExperimentResult
 from ..core.sweep import OSU_COLLECTIVE_BYTES, PARTNER_COUNTS
 from ..errors import BenchmarkError
-from ..hardware.node import HardwareNode
 from ..rccl.collectives import RCCL_COLLECTIVES
-from ..rccl.communicator import RcclCommunicator
+from ..session import Session
 from ..topology.node import NodeTopology
-from ..topology.presets import frontier_node
 
 ITERATIONS = 3
 WARMUP = 1
@@ -46,10 +43,9 @@ def rccl_collective_latency(
         )
     if num_threads < 2:
         raise BenchmarkError("rccl-tests needs at least two threads")
-    node = HardwareNode(
-        topology if topology is not None else frontier_node(), calibration
-    )
-    comm = RcclCommunicator(node, list(range(num_threads)), env=SimEnvironment())
+    session = Session(topology, calibration=calibration)
+    node = session.node
+    comm = session.rccl_communicator(list(range(num_threads)))
     fn = RCCL_COLLECTIVES[collective]
 
     def harness():

@@ -19,10 +19,9 @@ from ..core.calibration import CalibrationProfile
 from ..core.experiment import ExperimentResult
 from ..core.sweep import MULTI_GPU_STREAM_BYTES, STREAM_REMOTE
 from ..errors import BenchmarkError
-from ..hardware.node import HardwareNode
 from ..hip.runtime import HipRuntime
+from ..session import Session
 from ..topology.node import NodeTopology
-from ..topology.presets import frontier_node
 
 
 def _runtime(
@@ -30,10 +29,7 @@ def _runtime(
     calibration: CalibrationProfile | None,
     env: SimEnvironment | None = None,
 ) -> HipRuntime:
-    node = HardwareNode(
-        topology if topology is not None else frontier_node(), calibration
-    )
-    return HipRuntime(node, env if env is not None else SimEnvironment())
+    return Session(topology, calibration=calibration, env=env).hip
 
 
 def local_stream_copy(

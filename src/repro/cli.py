@@ -14,6 +14,9 @@ Commands
     Print the calibration profile with provenance summary.
 ``scenarios``
     List the what-if scenarios available for ablations.
+``perf``
+    Benchmark the simulation core itself (events/sec, flow churn,
+    figure-sweep wall time); ``-o BENCH_core.json`` writes the report.
 """
 
 from __future__ import annotations
@@ -84,6 +87,28 @@ def _build_parser() -> argparse.ArgumentParser:
         default="baseline",
         choices=sorted(SCENARIOS),
         help="what-if scenario to validate (default: baseline)",
+    )
+
+    perf = sub.add_parser(
+        "perf", help="benchmark the simulation core (events/sec, flow churn)"
+    )
+    perf.add_argument(
+        "--smoke",
+        action="store_true",
+        help="scaled-down run for CI smoke checks (~seconds)",
+    )
+    perf.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="also write the full JSON report (e.g. BENCH_core.json)",
+    )
+    perf.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="best-of repetitions per microbenchmark (default: 3, smoke: 1)",
     )
     return parser
 
@@ -169,6 +194,17 @@ def _cmd_scenarios() -> int:
     return 0
 
 
+def _cmd_perf(smoke: bool, output: str | None, repeats: int | None) -> int:
+    from .perf.core import format_report, run_suite, write_report
+
+    report = run_suite(smoke=smoke, repeats=repeats)
+    print(format_report(report))
+    if output is not None:
+        write_report(output, report)
+        print(f"\nwrote {output}")
+    return 0
+
+
 def _cmd_validate(scenario_name: str) -> int:
     from .core.validation import validate_node
 
@@ -201,6 +237,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.command == "validate":
         return _cmd_validate(args.scenario)
+    if args.command == "perf":
+        return _cmd_perf(args.smoke, args.output, args.repeats)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -11,9 +11,9 @@ from __future__ import annotations
 from ..core.experiment import ExperimentResult
 from ..core.registry import TABLE_I, format_table_i
 from ..hip.enums import HostMallocFlags
-from ..hip.runtime import HipRuntime
 from ..memory.buffer import MemoryKind
 from ..memory.coherence import is_coherent
+from ..session import Session
 from ..units import MiB
 
 TITLE = "Memory allocation methods in HIP (Table I)"
@@ -23,7 +23,7 @@ ARTIFACT = "Table I"
 def run() -> ExperimentResult:
     """Run the reproduction; returns its :class:`ExperimentResult`."""
     result = ExperimentResult("tab01", TITLE)
-    hip = HipRuntime()
+    hip = Session().hip
     hip.set_device(0)
     for index, row in enumerate(TABLE_I):
         if row.kind is MemoryKind.DEVICE:  # pragma: no cover - not in table

@@ -14,6 +14,7 @@ deterministic.
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Hashable, Iterable, Sequence
 
 from ..core.calibration import CalibrationProfile, DEFAULT_CALIBRATION
@@ -40,6 +41,7 @@ class HardwareNode:
         *,
         engine: SimEngine | None = None,
         trace: bool = False,
+        trace_capacity: int | None = None,
     ) -> None:
         self.topology = topology if topology is not None else frontier_node()
         self.calibration = (
@@ -47,7 +49,7 @@ class HardwareNode:
         )
         self.engine = engine if engine is not None else SimEngine()
         self.network = FlowNetwork(self.engine)
-        self.tracer = Tracer(enabled=trace)
+        self.tracer = Tracer(enabled=trace, capacity=trace_capacity)
 
         register_link_channels(self.network, self.topology.links())
         self.cpu = CpuSocket(self.topology, self.calibration, self.network)
@@ -199,5 +201,15 @@ def frontier_hardware(
     calibration: CalibrationProfile | None = None,
     trace: bool = False,
 ) -> HardwareNode:
-    """Convenience: a fresh Fig. 1 node with default calibration."""
+    """Convenience: a fresh Fig. 1 node with default calibration.
+
+    .. deprecated:: 0.2
+        Use :class:`repro.Session` — it wires the node, environment,
+        HIP runtime and tracer together in one object.
+    """
+    warnings.warn(
+        "frontier_hardware() is deprecated; use repro.Session(topology='mi250x')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return HardwareNode(frontier_node(), calibration, trace=trace)

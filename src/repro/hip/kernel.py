@@ -199,9 +199,11 @@ class KernelApi:
             )
         if flows:
             yield engine.all_of([flow.done for flow in flows])
-        self.node.tracer.record(
-            start, engine.now, "kernel", label, device=device_index
-        )
+        tracer = self.node.tracer
+        if tracer.enabled:
+            tracer.record(
+                start, engine.now, "kernel", label, device=device_index
+            )
 
     def stream_copy(
         self,

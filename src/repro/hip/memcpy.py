@@ -187,9 +187,11 @@ class CopyApi:
             )
             yield flow.done
             dst.copy_payload_from(src, nbytes)
-        self.node.tracer.record(
-            start, self.node.engine.now, "memcpy", kind.value, bytes=nbytes
-        )
+        tracer = self.node.tracer
+        if tracer.enabled:
+            tracer.record(
+                start, self.node.engine.now, "memcpy", kind.value, bytes=nbytes
+            )
 
     def _plan_for_kind(
         self, kind: MemcpyKind, dst: Buffer, src: Buffer, nbytes: int
@@ -265,14 +267,16 @@ class CopyApi:
             )
             yield flow.done
             dst.copy_payload_from(src, nbytes)
-        self.node.tracer.record(
-            start,
-            self.node.engine.now,
-            "memcpy",
-            f"peer:{src_device}->{dst_device}",
-            bytes=nbytes,
-            route=route.describe(),
-        )
+        tracer = self.node.tracer
+        if tracer.enabled:
+            tracer.record(
+                start,
+                self.node.engine.now,
+                "memcpy",
+                f"peer:{src_device}->{dst_device}",
+                bytes=nbytes,
+                route=route.describe(),
+            )
 
     # -- async variants -------------------------------------------------------------
 

@@ -13,6 +13,7 @@ All internal layers work with physical GCD indices.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Generator, Optional
 
 from ..config import SimEnvironment
@@ -43,6 +44,13 @@ class HipRuntime:
         *,
         coherence: CoherencePolicy | None = None,
     ) -> None:
+        if node is None:
+            warnings.warn(
+                "HipRuntime() with an implicit node is deprecated; "
+                "use repro.Session (session.hip) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.node = node if node is not None else HardwareNode()
         self.env = env if env is not None else SimEnvironment()
         self.coherence = coherence if coherence is not None else CoherencePolicy()

@@ -216,14 +216,16 @@ class MigrationEngine:
         for source, group in by_source.items():
             for page in group:
                 table.migrate(page, target)
-        self.node.tracer.record(
-            start,
-            self.node.now,
-            "fault",
-            "migrate-fluid",
-            pages=len(pages),
-            gcd=gcd_index,
-        )
+        tracer = self.node.tracer
+        if tracer.enabled:
+            tracer.record(
+                start,
+                self.node.now,
+                "fault",
+                "migrate-fluid",
+                pages=len(pages),
+                gcd=gcd_index,
+            )
 
     def _migrate_discrete(
         self, table: PageTable, pages: list[int], target: Location, gcd_index: int
@@ -242,14 +244,16 @@ class MigrationEngine:
             )
             yield flow.done
             table.migrate(page, target)
-        self.node.tracer.record(
-            start,
-            self.node.now,
-            "fault",
-            "migrate-discrete",
-            pages=len(pages),
-            gcd=gcd_index,
-        )
+        tracer = self.node.tracer
+        if tracer.enabled:
+            tracer.record(
+                start,
+                self.node.now,
+                "fault",
+                "migrate-discrete",
+                pages=len(pages),
+                gcd=gcd_index,
+            )
 
     def prefetch(
         self, buffer: "Buffer", target: Location

@@ -18,6 +18,7 @@ Matching is (source, tag) FIFO per destination.
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from typing import Any, Callable, Generator, Optional, Sequence
 
@@ -85,6 +86,13 @@ class MpiWorld:
         *,
         rank_gcds: Sequence[int] | None = None,
     ) -> None:
+        if node is None:
+            warnings.warn(
+                "MpiWorld() with an implicit node is deprecated; "
+                "use repro.Session (session.mpi_world()) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.node = node if node is not None else HardwareNode()
         self.env = env if env is not None else SimEnvironment()
         if rank_gcds is None:

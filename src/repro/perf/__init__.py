@@ -1,0 +1,25 @@
+"""Simulation-core performance harness (``repro perf``).
+
+Microbenchmarks for the hot paths of the DES core — event dispatch,
+timer cancellation, fair-share re-solving under flow churn — plus a
+figure-sweep macro timing.  ``run_suite`` produces the dictionary
+serialized to ``BENCH_core.json``; ``main`` backs the CLI subcommand.
+"""
+
+from .core import (
+    bench_engine_events,
+    bench_flow_churn,
+    bench_figure_sweep,
+    bench_timer_cancel,
+    run_suite,
+    write_report,
+)
+
+__all__ = [
+    "bench_engine_events",
+    "bench_flow_churn",
+    "bench_figure_sweep",
+    "bench_timer_cancel",
+    "run_suite",
+    "write_report",
+]

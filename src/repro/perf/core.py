@@ -1,0 +1,247 @@
+"""Core microbenchmarks: events/sec, flow churn, figure-sweep time.
+
+All scenarios are deterministic (sizes and channel memberships derive
+from loop indices), so two runs on the same machine measure the same
+work.  Wall-clock numbers are best-of-``repeats`` to damp scheduler
+noise.
+
+The flow-churn benchmark is the headline: it drives the same workload
+through ``FlowNetwork(incremental=True)`` (the persistent
+:class:`~repro.sim.fairshare.FairshareSolver`) and
+``FlowNetwork(incremental=False)`` (a full batch re-solve per change,
+the pre-solver behaviour) and reports the speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Any, Callable, Generator
+
+from ..sim.engine import SimEngine
+from ..sim.flow import FlowNetwork
+from ..units import GiB, MiB
+
+#: Default measurement repetitions (best-of).
+REPEATS = 3
+
+
+def _best_of(fn: Callable[[], float], repeats: int) -> float:
+    return min(fn() for _ in range(max(1, repeats)))
+
+
+# -- event engine -------------------------------------------------------------
+
+
+def bench_engine_events(
+    num_timers: int = 200_000, *, repeats: int = REPEATS
+) -> dict[str, Any]:
+    """Throughput of pooled timer dispatch (events/sec)."""
+
+    def once() -> float:
+        engine = SimEngine()
+        sink = []
+
+        def fire(i: int) -> None:
+            if i % 1024 == 0:
+                sink.append(i)
+
+        t0 = time.perf_counter()
+        for i in range(num_timers):
+            # Deterministic pseudo-shuffled delays exercise the heap.
+            engine.call_after(((i * 2654435761) % 4096) * 1e-9, fire, i)
+        engine.run()
+        return time.perf_counter() - t0
+
+    elapsed = _best_of(once, repeats)
+    return {
+        "timers": num_timers,
+        "wall_seconds": elapsed,
+        "events_per_second": num_timers / elapsed,
+    }
+
+
+def bench_timer_cancel(
+    num_timers: int = 200_000, *, repeats: int = REPEATS
+) -> dict[str, Any]:
+    """Throughput of schedule + lazy O(1) cancel (timers/sec).
+
+    Half the timers are cancelled before the engine runs; cancelled
+    records are skipped (and recycled) during dispatch rather than
+    sifted out of the heap.
+    """
+
+    def once() -> float:
+        engine = SimEngine()
+
+        def fire() -> None:
+            pass
+
+        t0 = time.perf_counter()
+        handles = [
+            engine.schedule(((i * 2654435761) % 4096) * 1e-9, fire)
+            for i in range(num_timers)
+        ]
+        for handle in handles[::2]:
+            handle.cancel()
+        engine.run()
+        return time.perf_counter() - t0
+
+    elapsed = _best_of(once, repeats)
+    return {
+        "timers": num_timers,
+        "cancelled": num_timers // 2,
+        "wall_seconds": elapsed,
+        "timers_per_second": num_timers / elapsed,
+    }
+
+
+# -- fair-share flow churn -----------------------------------------------------
+
+
+def _run_churn(incremental: bool, pairs: int, flows_per_pair: int) -> float:
+    """One churn run: ``pairs`` concurrent back-to-back flow chains.
+
+    Each pair owns a private two-channel route; every seventh flow also
+    crosses a shared backbone channel, so most arrivals re-level a
+    small component while some couple many pairs — the mixed regime the
+    fabric model produces.
+    """
+    engine = SimEngine()
+    network = FlowNetwork(engine, incremental=incremental)
+    backbone = "backbone"
+    network.add_channel(backbone, 200 * GiB)
+    for pair in range(pairs):
+        network.add_channel(("up", pair), 100 * GiB)
+        network.add_channel(("down", pair), 100 * GiB)
+
+    def driver(pair: int) -> Generator:
+        for i in range(flows_per_pair):
+            channels = [("up", pair), ("down", pair)]
+            if i % 7 == 0:
+                channels.append(backbone)
+            size = (1 + ((i * 37 + pair) % 5)) * MiB
+            flow = network.transfer(channels, size, cap=80 * GiB)
+            yield flow.done
+
+    for pair in range(pairs):
+        engine.process(driver(pair), name=f"pair{pair}")
+    t0 = time.perf_counter()
+    engine.run()
+    return time.perf_counter() - t0
+
+
+def bench_flow_churn(
+    pairs: int = 32, flows_per_pair: int = 120, *, repeats: int = REPEATS
+) -> dict[str, Any]:
+    """Incremental vs batch re-solve under flow churn.
+
+    ``speedup`` is the headline acceptance number: wall time of the
+    legacy full-re-solve network over the incremental one on identical
+    workloads.
+    """
+    total_flows = pairs * flows_per_pair
+    incremental = _best_of(
+        lambda: _run_churn(True, pairs, flows_per_pair), repeats
+    )
+    legacy = _best_of(lambda: _run_churn(False, pairs, flows_per_pair), repeats)
+    return {
+        "pairs": pairs,
+        "flows_per_pair": flows_per_pair,
+        "total_flows": total_flows,
+        "incremental_wall_seconds": incremental,
+        "legacy_wall_seconds": legacy,
+        "incremental_flows_per_second": total_flows / incremental,
+        "legacy_flows_per_second": total_flows / legacy,
+        "speedup": legacy / incremental,
+    }
+
+
+# -- figure sweep ---------------------------------------------------------------
+
+
+def bench_figure_sweep(*, smoke: bool = False) -> dict[str, Any]:
+    """Wall time of a representative slice of the figure pipeline."""
+    from ..bench_suites.comm_scope import h2d_sweep, peer_sweep
+
+    if smoke:
+        h2d_sizes = [4 * MiB]
+        peer_sizes = [4 * MiB]
+        interfaces = ("pinned_memcpy",)
+    else:
+        h2d_sizes = [1 * MiB, 16 * MiB, 256 * MiB, 1 * GiB]
+        peer_sizes = [1 * MiB, 64 * MiB, 1 * GiB]
+        interfaces = ("pinned_memcpy", "managed_zerocopy", "managed_migration")
+
+    t0 = time.perf_counter()
+    h2d = h2d_sweep(interfaces, h2d_sizes)
+    peer = peer_sweep(sizes=peer_sizes)
+    elapsed = time.perf_counter() - t0
+    return {
+        "measurements": len(h2d) + len(peer),
+        "wall_seconds": elapsed,
+    }
+
+
+# -- suite ---------------------------------------------------------------------
+
+
+def run_suite(*, smoke: bool = False, repeats: int | None = None) -> dict[str, Any]:
+    """Run every microbenchmark; returns the ``BENCH_core.json`` payload."""
+    if repeats is None:
+        repeats = 1 if smoke else REPEATS
+    scale = 10 if smoke else 1
+    results = {
+        "engine_events": bench_engine_events(
+            200_000 // scale, repeats=repeats
+        ),
+        "timer_cancel": bench_timer_cancel(200_000 // scale, repeats=repeats),
+        "flow_churn": bench_flow_churn(
+            32 // (4 if smoke else 1),
+            120 // (4 if smoke else 1),
+            repeats=repeats,
+        ),
+        "figure_sweep": bench_figure_sweep(smoke=smoke),
+    }
+    return {
+        "schema": "repro-bench-core/1",
+        "created_unix": time.time(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "smoke": smoke,
+        "results": results,
+        "headline": {
+            "events_per_second": results["engine_events"]["events_per_second"],
+            "incremental_flows_per_second": results["flow_churn"][
+                "incremental_flows_per_second"
+            ],
+            "churn_speedup_vs_batch_resolve": results["flow_churn"]["speedup"],
+            "figure_sweep_seconds": results["figure_sweep"]["wall_seconds"],
+        },
+    }
+
+
+def write_report(path: str, report: dict[str, Any]) -> None:
+    """Serialize a suite report to ``path`` as indented JSON."""
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def format_report(report: dict[str, Any]) -> str:
+    """Human-readable one-screen summary of a suite report."""
+    results = report["results"]
+    lines = [
+        f"simulation-core performance ({report['python']}, "
+        + ("smoke)" if report["smoke"] else "full)"),
+        "",
+        f"  event dispatch   {results['engine_events']['events_per_second']:>12,.0f} events/s",
+        f"  timer cancel     {results['timer_cancel']['timers_per_second']:>12,.0f} timers/s",
+        f"  flow churn       {results['flow_churn']['incremental_flows_per_second']:>12,.0f} flows/s "
+        f"(incremental; {results['flow_churn']['speedup']:.2f}x vs batch re-solve)",
+        f"  figure sweep     {results['figure_sweep']['wall_seconds']:>12.2f} s "
+        f"({results['figure_sweep']['measurements']} measurements)",
+    ]
+    return "\n".join(lines)

@@ -113,9 +113,11 @@ def _synchronized_steps(
         ]
         yield engine.all_of(processes)
         yield engine.timeout(comm.calibration.rccl_step_overhead)
-    comm.node.tracer.record(
-        start, engine.now, "rccl", label, steps=num_steps, chunk=chunk
-    )
+    tracer = comm.node.tracer
+    if tracer.enabled:
+        tracer.record(
+            start, engine.now, "rccl", label, steps=num_steps, chunk=chunk
+        )
 
 
 def allreduce(
@@ -220,7 +222,9 @@ def broadcast(
         for gcd, buffer in buffers.items():
             if gcd != root:
                 buffer.ensure_data()[:nbytes] = source
-    comm.node.tracer.record(start, engine.now, "rccl", "broadcast", bytes=nbytes)
+    tracer = comm.node.tracer
+    if tracer.enabled:
+        tracer.record(start, engine.now, "rccl", "broadcast", bytes=nbytes)
 
 
 #: Name → implementation registry (mirrors rccl-tests binaries).

@@ -8,6 +8,7 @@ selected GCDs and exposes the five collectives as DES processes.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Sequence
 
 from ..config import SimEnvironment
@@ -27,6 +28,13 @@ class RcclCommunicator:
         env: SimEnvironment | None = None,
         ring_builder: Callable[..., Ring] = build_greedy_ring,
     ) -> None:
+        if node is None:
+            warnings.warn(
+                "RcclCommunicator() with an implicit node is deprecated; "
+                "use repro.Session (session.rccl_communicator()) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.node = node if node is not None else HardwareNode()
         self.env = env if env is not None else SimEnvironment()
         if gcds is None:

@@ -1,0 +1,216 @@
+"""``repro.Session`` — the one-object front door to the simulator.
+
+Standing up a simulated experiment used to take a four-object
+constructor dance::
+
+    topology = frontier_node()
+    node = HardwareNode(topology, calibration, trace=True)
+    env = SimEnvironment(xnack_enabled=True)
+    hip = HipRuntime(node, env)
+
+duplicated (with slight variations) across every example, benchmark
+suite and figure driver.  :class:`Session` wires the whole stack —
+topology preset, :class:`~repro.hardware.node.HardwareNode`,
+:class:`~repro.config.SimEnvironment`,
+:class:`~repro.hip.runtime.HipRuntime`, tracer, and the incremental
+fair-share solver — behind a single context manager::
+
+    import repro
+
+    with repro.Session(topology="mi250x", trace=True) as s:
+        a = s.hip.malloc(1 << 30, device=0)
+        b = s.hip.malloc(1 << 30, device=1)
+        s.run(s.hip.memcpy_peer(b, 1, a, 0))
+        print(s.now, s.tracer.timeline())
+
+Sessions are cheap: one per measurement run keeps runs isolated and
+deterministic, exactly like the bare objects did.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Sequence
+
+from .config import SimEnvironment
+from .core.calibration import CalibrationProfile
+from .errors import ConfigurationError
+from .hardware.node import HardwareNode
+from .hip.runtime import HipRuntime
+from .memory.coherence import CoherencePolicy
+from .topology.node import NodeTopology
+from .topology.presets import dense_hive_node, frontier_node, single_gpu_node
+
+#: Named topology presets accepted by ``Session(topology=...)``.
+TOPOLOGY_PRESETS: dict[str, Callable[[], NodeTopology]] = {
+    "frontier": frontier_node,
+    "frontier-mi250x": frontier_node,
+    "mi250x": frontier_node,  # the paper's system — the default
+    "single": single_gpu_node,
+    "single-mi250x": single_gpu_node,
+    "dense-hive": dense_hive_node,
+}
+
+
+def resolve_topology(topology: str | NodeTopology | None) -> NodeTopology:
+    """Turn a preset name (or ``None`` → paper default) into a topology."""
+    if topology is None:
+        return frontier_node()
+    if isinstance(topology, NodeTopology):
+        return topology
+    if isinstance(topology, str):
+        key = topology.strip().lower()
+        factory = TOPOLOGY_PRESETS.get(key)
+        if factory is None:
+            known = ", ".join(sorted(TOPOLOGY_PRESETS))
+            raise ConfigurationError(
+                f"unknown topology preset {topology!r} (known: {known})"
+            )
+        return factory()
+    raise ConfigurationError(
+        f"topology must be a preset name or NodeTopology, got {topology!r}"
+    )
+
+
+class Session:
+    """One fully-wired simulated machine plus its software stack.
+
+    Parameters
+    ----------
+    topology:
+        Preset name (``"mi250x"``, ``"frontier"``, ``"single"``,
+        ``"dense-hive"``), a :class:`NodeTopology`, or ``None`` for the
+        paper's Fig. 1 node.
+    calibration:
+        Measurement-derived constants; defaults to the MI250X profile.
+    env:
+        A :class:`SimEnvironment`, or ``None`` to build one from
+        ``**env_flags`` (e.g. ``xnack_enabled=True``,
+        ``sdma_enabled=False``) — the simulated counterparts of
+        ``HSA_XNACK`` / ``HSA_ENABLE_SDMA`` / …
+    trace:
+        Enable the timeline tracer.
+    trace_capacity:
+        Optional ring-buffer bound for the tracer (newest records win).
+    coherence:
+        Optional :class:`CoherencePolicy` override for the HIP layer.
+    """
+
+    def __init__(
+        self,
+        topology: str | NodeTopology | None = None,
+        *,
+        calibration: CalibrationProfile | None = None,
+        env: SimEnvironment | None = None,
+        trace: bool = False,
+        trace_capacity: int | None = None,
+        coherence: CoherencePolicy | None = None,
+        **env_flags: Any,
+    ) -> None:
+        if env is not None and env_flags:
+            raise ConfigurationError(
+                "pass either env= or environment keyword flags, not both: "
+                f"{sorted(env_flags)}"
+            )
+        self.topology = resolve_topology(topology)
+        if env is None:
+            try:
+                env = SimEnvironment(**env_flags)
+            except TypeError as exc:
+                raise ConfigurationError(
+                    f"unknown environment flag(s) {sorted(env_flags)}: {exc}"
+                ) from exc
+        self.env = env
+        self.node = HardwareNode(
+            self.topology, calibration, trace=trace, trace_capacity=trace_capacity
+        )
+        self.hip = HipRuntime(self.node, self.env, coherence=coherence)
+        self._closed = False
+
+    # -- context management --------------------------------------------------
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Drain outstanding simulated work (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.node.engine.run()
+
+    # -- convenience accessors -----------------------------------------------
+
+    @property
+    def engine(self):
+        """The deterministic DES engine."""
+        return self.node.engine
+
+    @property
+    def network(self):
+        """The fluid-flow network."""
+        return self.node.network
+
+    @property
+    def tracer(self):
+        """The session's tracer (enabled iff ``trace=True``)."""
+        return self.node.tracer
+
+    @property
+    def calibration(self) -> CalibrationProfile:
+        """The calibration profile in effect."""
+        return self.node.calibration
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self.node.engine.now
+
+    @property
+    def num_gcds(self) -> int:
+        """Number of GCDs on the simulated node."""
+        return self.node.num_gcds
+
+    # -- drivers ----------------------------------------------------------------
+
+    def run(self, process: Generator, name: str = "") -> Any:
+        """Drive a simulation process to completion; returns its value."""
+        return self.node.engine.run_process(process, name)
+
+    def run_all(self) -> float:
+        """Drain the event queue; returns the final simulated time."""
+        return self.node.engine.run()
+
+    # -- stack factories ---------------------------------------------------------
+
+    def mpi_world(self, rank_gcds: Sequence[int] | None = None):
+        """A GPU-aware MPI world on this session's node."""
+        from .mpi.comm import MpiWorld
+
+        return MpiWorld(self.node, self.env, rank_gcds=rank_gcds)
+
+    def rccl_communicator(self, gcds: Sequence[int] | None = None, **kwargs: Any):
+        """An RCCL communicator over (a subset of) this node's GCDs."""
+        from .rccl.communicator import RcclCommunicator
+
+        return RcclCommunicator(self.node, gcds, env=self.env, **kwargs)
+
+    # -- introspection ----------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Engine + solver work counters (see ``docs/modeling.md``)."""
+        stats: dict[str, Any] = {"sim_time": self.node.engine.now}
+        stats.update(self.node.engine.stats())
+        stats.update(self.node.network.solver.stats.as_dict())
+        stats["trace_records"] = len(self.node.tracer)
+        return stats
+
+    def describe(self) -> str:
+        """Topology plus calibration summary text."""
+        return self.node.describe()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else f"t={self.node.engine.now:.3g}s"
+        return f"<Session {self.topology.name!r} {state}>"

@@ -13,9 +13,30 @@ filling* algorithm:
    limit) — freezes the affected flows.
 3. Repeat with the survivors until all flows are frozen.
 
-The result is the unique max-min fair allocation.  The function is
-pure (no engine state), which lets the test suite verify its
-invariants exhaustively with hypothesis:
+The result is the unique max-min fair allocation.
+
+Two entry points share one progressive-filling core:
+
+- :func:`max_min_fair_rates` — the pure batch solve.  It decomposes
+  the flow set into connected components (flows coupled transitively
+  through shared channels) and levels each component independently;
+  components are numerically independent, so this changes nothing
+  semantically but bounds the work per component.
+- :class:`FairshareSolver` — the incremental solver the fluid-flow
+  network uses.  It keeps the component structure alive across flow
+  arrivals and departures, so adding or removing one flow only
+  re-levels the affected component instead of the whole system.
+  Because both paths run the identical per-component core on
+  identical component inputs, the incremental solution is
+  *bit-identical* to the batch solution for the same flow set — a
+  property the hypothesis churn tests pin.
+
+The per-component core has a NumPy-vectorized inner loop for large
+components and a plain-Python loop for small ones; both perform the
+same IEEE-754 operations element-wise, so they agree bitwise too.
+
+The batch function is pure (no engine state), which lets the test
+suite verify its invariants exhaustively with hypothesis:
 
 - no channel is over capacity,
 - no flow exceeds its cap,
@@ -24,13 +45,26 @@ invariants exhaustively with hypothesis:
 
 from __future__ import annotations
 
+import itertools
 import math
-from dataclasses import dataclass
-from typing import Hashable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping, Sequence
 
 from ..errors import SimulationError
 
+try:  # NumPy is a hard dependency of the package, but keep the core
+    import numpy as _np  # importable without it for the pure solver.
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
 ChannelId = Hashable
+
+#: Components at least this large take the vectorized inner loop.
+_VECTORIZE_THRESHOLD = 8
+
+#: Relative slack for "channel is full" / "flow reached its cap".
+_CHANNEL_SLACK = 1e-6
+_CAP_SLACK = 1e-9
 
 
 @dataclass(frozen=True)
@@ -54,11 +88,224 @@ class FlowSpec:
             raise SimulationError(f"flow {self.flow_id!r} cap must be positive")
 
 
+# ---------------------------------------------------------------------------
+# Progressive-filling core (one connected component at a time)
+# ---------------------------------------------------------------------------
+
+
+def _solve_component_python(
+    flows: Sequence[FlowSpec],
+    capacities: Mapping[ChannelId, float],
+) -> dict[Hashable, float]:
+    """Scalar progressive filling over one (small) component."""
+    rate: dict[Hashable, float] = {f.flow_id: 0.0 for f in flows}
+    unfrozen: set[Hashable] = set(rate)
+    flows_by_id = {f.flow_id: f for f in flows}
+
+    members: dict[ChannelId, set[Hashable]] = {}
+    for flow in flows:
+        for channel in flow.channels:
+            members.setdefault(channel, set()).add(flow.flow_id)
+    residual: dict[ChannelId, float] = {
+        channel: capacities[channel] for channel in members
+    }
+
+    # Each iteration freezes at least one flow, so the loop runs at
+    # most len(flows) times.
+    while unfrozen:
+        delta = math.inf
+        for channel, group in members.items():
+            active = group & unfrozen
+            if active:
+                delta = min(delta, residual[channel] / len(active))
+        for flow_id in unfrozen:
+            flow = flows_by_id[flow_id]
+            if flow.cap is not math.inf:
+                delta = min(delta, flow.cap - rate[flow_id])
+
+        if delta is math.inf:
+            raise SimulationError(
+                "unconstrained flows (no channels and no cap): "
+                f"{sorted(map(repr, unfrozen))}"
+            )
+        delta = max(delta, 0.0)
+
+        for flow_id in unfrozen:
+            rate[flow_id] += delta
+        for channel, group in members.items():
+            active = group & unfrozen
+            if active:
+                residual[channel] -= delta * len(active)
+
+        frozen_now: set[Hashable] = set()
+        for channel, group in members.items():
+            if residual[channel] <= _CHANNEL_SLACK * capacities[channel]:
+                frozen_now |= group & unfrozen
+        for flow_id in unfrozen:
+            flow = flows_by_id[flow_id]
+            if flow.cap is not math.inf and rate[flow_id] >= flow.cap - _CAP_SLACK * flow.cap:
+                rate[flow_id] = flow.cap
+                frozen_now.add(flow_id)
+        if not frozen_now:
+            raise SimulationError("progressive filling made no progress")
+        unfrozen -= frozen_now
+
+    return rate
+
+
+def _solve_component_numpy(
+    flows: Sequence[FlowSpec],
+    capacities: Mapping[ChannelId, float],
+) -> dict[Hashable, float]:
+    """Vectorized progressive filling over one (large) component.
+
+    Performs the same IEEE-754 operations as the scalar loop
+    element-wise (divisions, min-selection, subtraction), so the
+    result is bit-identical to :func:`_solve_component_python`.
+    """
+    n = len(flows)
+    channel_index: dict[ChannelId, int] = {}
+    for flow in flows:
+        for channel in flow.channels:
+            if channel not in channel_index:
+                channel_index[channel] = len(channel_index)
+    m = len(channel_index)
+
+    incidence = _np.zeros((m, n), dtype=bool)
+    for j, flow in enumerate(flows):
+        for channel in flow.channels:
+            incidence[channel_index[channel], j] = True
+
+    capacity = _np.empty(m, dtype=float)
+    for channel, i in channel_index.items():
+        capacity[i] = capacities[channel]
+    residual = capacity.copy()
+    caps = _np.array([flow.cap for flow in flows], dtype=float)
+    finite_cap = _np.isfinite(caps)
+    rate = _np.zeros(n, dtype=float)
+    unfrozen = _np.ones(n, dtype=bool)
+
+    while unfrozen.any():
+        # Per-channel count of active (unfrozen) flows.
+        active_counts = incidence @ unfrozen.astype(_np.intp)
+        delta = math.inf
+        occupied = active_counts > 0
+        if occupied.any():
+            delta = float((residual[occupied] / active_counts[occupied]).min())
+        headroom_mask = finite_cap & unfrozen
+        if headroom_mask.any():
+            delta = min(delta, float((caps[headroom_mask] - rate[headroom_mask]).min()))
+
+        if delta is math.inf or delta == math.inf:
+            ids = [flows[j].flow_id for j in range(n) if unfrozen[j]]
+            raise SimulationError(
+                "unconstrained flows (no channels and no cap): "
+                f"{sorted(map(repr, ids))}"
+            )
+        delta = max(delta, 0.0)
+
+        rate[unfrozen] += delta
+        residual[occupied] -= delta * active_counts[occupied]
+
+        frozen_now = _np.zeros(n, dtype=bool)
+        full = residual <= _CHANNEL_SLACK * capacity
+        if full.any():
+            frozen_now |= (incidence[full].any(axis=0)) & unfrozen
+        if headroom_mask.any():
+            capped = _np.zeros(n, dtype=bool)
+            capped[headroom_mask] = rate[headroom_mask] >= (
+                caps[headroom_mask] - _CAP_SLACK * caps[headroom_mask]
+            )
+            if capped.any():
+                rate[capped] = caps[capped]
+                frozen_now |= capped
+        if not frozen_now.any():
+            raise SimulationError("progressive filling made no progress")
+        unfrozen &= ~frozen_now
+
+    return {flow.flow_id: float(rate[j]) for j, flow in enumerate(flows)}
+
+
+def _solve_component(
+    flows: Sequence[FlowSpec],
+    capacities: Mapping[ChannelId, float],
+) -> dict[Hashable, float]:
+    """Level one connected component; dispatches scalar vs vectorized."""
+    if not flows:
+        return {}
+    if len(flows) == 1:
+        # Fast path: a lone flow takes min(cap, narrowest channel).
+        flow = flows[0]
+        best = flow.cap
+        for channel in flow.channels:
+            capacity = capacities[channel]
+            if capacity < best:
+                best = capacity
+        if best is math.inf or best == math.inf:
+            raise SimulationError(
+                "unconstrained flows (no channels and no cap): "
+                f"{[repr(flow.flow_id)]}"
+            )
+        return {flow.flow_id: best}
+    if _np is not None and len(flows) >= _VECTORIZE_THRESHOLD:
+        return _solve_component_numpy(flows, capacities)
+    return _solve_component_python(flows, capacities)
+
+
+def _connected_components(
+    flows: Sequence[FlowSpec],
+) -> list[list[FlowSpec]]:
+    """Partition flows into maximal sets coupled through shared channels.
+
+    Order is deterministic: components appear in order of their first
+    flow, and flows keep their input order within a component.
+    """
+    parent: dict[int, int] = {i: i for i in range(len(flows))}
+
+    def find(i: int) -> int:
+        root = i
+        while parent[root] != root:
+            root = parent[root]
+        while parent[i] != root:
+            parent[i], i = root, parent[i]
+        return root
+
+    first_on_channel: dict[ChannelId, int] = {}
+    for i, flow in enumerate(flows):
+        for channel in flow.channels:
+            j = first_on_channel.setdefault(channel, i)
+            if j != i:
+                parent[find(i)] = find(j)
+
+    grouped: dict[int, list[FlowSpec]] = {}
+    for i, flow in enumerate(flows):
+        grouped.setdefault(find(i), []).append(flow)
+    return list(grouped.values())
+
+
+def _validate_problem(
+    flows: Sequence[FlowSpec],
+    capacities: Mapping[ChannelId, float],
+) -> None:
+    ids = [f.flow_id for f in flows]
+    if len(set(ids)) != len(ids):
+        raise SimulationError("duplicate flow ids in fair-share problem")
+    for flow in flows:
+        for channel in flow.channels:
+            if channel not in capacities:
+                raise SimulationError(
+                    f"flow {flow.flow_id!r} uses unknown channel {channel!r}"
+                )
+    for channel, capacity in capacities.items():
+        if capacity <= 0:
+            raise SimulationError(f"channel {channel!r} capacity must be positive")
+
+
 def max_min_fair_rates(
     flows: Sequence[FlowSpec],
     capacities: Mapping[ChannelId, float],
 ) -> dict[Hashable, float]:
-    """Solve the max-min fair allocation.
+    """Solve the max-min fair allocation (batch).
 
     Parameters
     ----------
@@ -79,77 +326,247 @@ def max_min_fair_rates(
     """
     if not flows:
         return {}
-    ids = [f.flow_id for f in flows]
-    if len(set(ids)) != len(ids):
-        raise SimulationError("duplicate flow ids in fair-share problem")
-    for flow in flows:
-        for channel in flow.channels:
-            if channel not in capacities:
-                raise SimulationError(
-                    f"flow {flow.flow_id!r} uses unknown channel {channel!r}"
-                )
-    for channel, capacity in capacities.items():
+    _validate_problem(flows, capacities)
+
+    rates: dict[Hashable, float] = {}
+    for component in _connected_components(flows):
+        rates.update(_solve_component(component, capacities))
+    # Preserve input order in the result for deterministic iteration.
+    return {f.flow_id: rates[f.flow_id] for f in flows}
+
+
+def max_min_fair_rates_reference(
+    flows: Sequence[FlowSpec],
+    capacities: Mapping[ChannelId, float],
+) -> dict[Hashable, float]:
+    """The pre-decomposition global solver (perf baseline / oracle).
+
+    Runs progressive filling over the *whole* system at once, exactly
+    as the solver did before component decomposition.  Kept for the
+    flow-churn perf baseline in ``repro perf`` and as a semantic
+    cross-check: it agrees with :func:`max_min_fair_rates` to within
+    floating-point accumulation order (not necessarily bitwise).
+    """
+    if not flows:
+        return {}
+    _validate_problem(flows, capacities)
+    return _solve_component_python(flows, capacities)
+
+
+# ---------------------------------------------------------------------------
+# Incremental solver
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SolverStats:
+    """Work counters of a :class:`FairshareSolver` (for ``Session.stats``)."""
+
+    flows_added: int = 0
+    flows_removed: int = 0
+    component_solves: int = 0
+    flows_releveled: int = 0
+    largest_component: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict rendering for reports and BENCH json."""
+        return {
+            "flows_added": self.flows_added,
+            "flows_removed": self.flows_removed,
+            "component_solves": self.component_solves,
+            "flows_releveled": self.flows_releveled,
+            "largest_component": self.largest_component,
+        }
+
+
+class FairshareSolver:
+    """Incremental max-min fair solver over a fixed channel inventory.
+
+    The solver owns the constraint state — channel capacities, live
+    flows, per-channel membership, and the connected-component
+    partition — and keeps the allocation of every live flow cached.
+    :meth:`add_flow` merges the components the new flow touches and
+    re-levels only that merged component; :meth:`remove_flow` splits
+    the departed flow's component back into its maximal pieces and
+    re-levels each.  Untouched components keep their cached rates, so
+    churn cost scales with coupling, not system size.
+
+    Invariant: after any sequence of add/remove operations,
+    :meth:`rates` equals ``max_min_fair_rates(live_flows, capacities)``
+    bit-for-bit (both level identical components with the identical
+    core).
+    """
+
+    def __init__(
+        self, capacities: Mapping[ChannelId, float] | None = None
+    ) -> None:
+        self._capacities: dict[ChannelId, float] = {}
+        self._flows: dict[Hashable, FlowSpec] = {}
+        self._rates: dict[Hashable, float] = {}
+        self._members: dict[ChannelId, set[Hashable]] = {}
+        self._component_of: dict[Hashable, int] = {}
+        self._components: dict[int, list[Hashable]] = {}
+        self._component_ids = itertools.count()
+        self.stats = SolverStats()
+        if capacities:
+            for channel, capacity in capacities.items():
+                self.add_channel(channel, capacity)
+
+    # -- channel inventory ---------------------------------------------------
+
+    def add_channel(self, channel: ChannelId, capacity: float) -> None:
+        """Register a channel; duplicate ids or bad capacities raise."""
+        if channel in self._capacities:
+            raise SimulationError(f"channel {channel!r} already exists")
         if capacity <= 0:
             raise SimulationError(f"channel {channel!r} capacity must be positive")
+        self._capacities[channel] = capacity
 
-    rate: dict[Hashable, float] = {f.flow_id: 0.0 for f in flows}
-    unfrozen: set[Hashable] = set(ids)
-    flows_by_id = {f.flow_id: f for f in flows}
+    def has_channel(self, channel: ChannelId) -> bool:
+        """Whether a channel id is registered."""
+        return channel in self._capacities
 
-    # Channel occupancy among unfrozen flows.
-    members: dict[ChannelId, set[Hashable]] = {}
-    for flow in flows:
-        for channel in flow.channels:
-            members.setdefault(channel, set()).add(flow.flow_id)
-    residual: dict[ChannelId, float] = {
-        channel: capacities[channel] for channel in members
-    }
+    def capacities(self) -> dict[ChannelId, float]:
+        """``{channel id: capacity}`` snapshot."""
+        return dict(self._capacities)
 
-    # Progressive filling.  Each iteration freezes at least one flow, so
-    # the loop runs at most len(flows) times.
-    while unfrozen:
-        # Step size: smallest increment at which a constraint binds.
-        delta = math.inf
-        for channel, group in members.items():
-            active = group & unfrozen
-            if active:
-                delta = min(delta, residual[channel] / len(active))
-        for flow_id in unfrozen:
-            flow = flows_by_id[flow_id]
-            if flow.cap is not math.inf:
-                delta = min(delta, flow.cap - rate[flow_id])
+    # -- flow churn ----------------------------------------------------------
 
-        if delta is math.inf:
-            # Only uncapped, channel-less flows remain: they are
-            # unconstrained, which is a modelling error.
+    def add_flow(self, spec: FlowSpec) -> dict[Hashable, float]:
+        """Admit a flow; re-levels and returns the rates of its component."""
+        if spec.flow_id in self._flows:
+            raise SimulationError(f"duplicate flow id {spec.flow_id!r}")
+        for channel in spec.channels:
+            if channel not in self._capacities:
+                raise SimulationError(
+                    f"flow {spec.flow_id!r} uses unknown channel {channel!r}"
+                )
+        if not spec.channels and spec.cap is math.inf:
             raise SimulationError(
                 "unconstrained flows (no channels and no cap): "
-                f"{sorted(map(repr, unfrozen))}"
+                f"{[repr(spec.flow_id)]}"
             )
-        delta = max(delta, 0.0)
 
-        for flow_id in unfrozen:
-            rate[flow_id] += delta
-        for channel, group in members.items():
-            active = group & unfrozen
-            if active:
-                residual[channel] -= delta * len(active)
+        touched: list[int] = []
+        seen: set[int] = set()
+        for channel in spec.channels:
+            for member in self._members.get(channel, ()):
+                comp = self._component_of[member]
+                if comp not in seen:
+                    seen.add(comp)
+                    touched.append(comp)
+        touched.sort()
 
-        # Freeze flows at binding constraints.
-        frozen_now: set[Hashable] = set()
-        for channel, group in members.items():
-            if residual[channel] <= 1e-6 * capacities[channel]:
-                frozen_now |= group & unfrozen
-        for flow_id in unfrozen:
-            flow = flows_by_id[flow_id]
-            if flow.cap is not math.inf and rate[flow_id] >= flow.cap - 1e-9 * flow.cap:
-                rate[flow_id] = flow.cap
-                frozen_now.add(flow_id)
-        if not frozen_now:
-            raise SimulationError("progressive filling made no progress")
-        unfrozen -= frozen_now
+        merged: list[Hashable] = []
+        for comp in touched:
+            merged.extend(self._components.pop(comp))
+        merged.append(spec.flow_id)
 
-    return rate
+        self._flows[spec.flow_id] = spec
+        for channel in spec.channels:
+            self._members.setdefault(channel, set()).add(spec.flow_id)
+
+        new_comp = next(self._component_ids)
+        self._components[new_comp] = merged
+        for flow_id in merged:
+            self._component_of[flow_id] = new_comp
+
+        self.stats.flows_added += 1
+        return self._relevel(merged)
+
+    def remove_flow(self, flow_id: Hashable) -> dict[Hashable, float]:
+        """Retire a flow; re-levels and returns the rates of the remainder."""
+        spec = self._flows.pop(flow_id, None)
+        if spec is None:
+            raise SimulationError(f"unknown flow id {flow_id!r}")
+        self._rates.pop(flow_id, None)
+        for channel in spec.channels:
+            group = self._members.get(channel)
+            if group is not None:
+                group.discard(flow_id)
+                if not group:
+                    del self._members[channel]
+
+        comp = self._component_of.pop(flow_id)
+        remaining = [f for f in self._components.pop(comp) if f != flow_id]
+        self.stats.flows_removed += 1
+        if not remaining:
+            return {}
+
+        updated: dict[Hashable, float] = {}
+        for piece in self._split_components(remaining):
+            piece_comp = next(self._component_ids)
+            self._components[piece_comp] = piece
+            for member in piece:
+                self._component_of[member] = piece_comp
+            updated.update(self._relevel(piece))
+        return updated
+
+    def _split_components(
+        self, flow_ids: Sequence[Hashable]
+    ) -> list[list[Hashable]]:
+        """Maximal connected pieces of a former component's remainder."""
+        remaining = set(flow_ids)
+        pieces: list[list[Hashable]] = []
+        unvisited = set(remaining)
+        for seed in flow_ids:  # deterministic seed order
+            if seed not in unvisited:
+                continue
+            stack = [seed]
+            unvisited.discard(seed)
+            piece: set[Hashable] = {seed}
+            while stack:
+                current = stack.pop()
+                for channel in self._flows[current].channels:
+                    for neighbour in self._members.get(channel, ()):
+                        if neighbour in unvisited:
+                            unvisited.discard(neighbour)
+                            piece.add(neighbour)
+                            stack.append(neighbour)
+            # Keep original order within the piece for determinism.
+            pieces.append([f for f in flow_ids if f in piece])
+        return pieces
+
+    def _relevel(self, flow_ids: Sequence[Hashable]) -> dict[Hashable, float]:
+        component = [self._flows[f] for f in flow_ids]
+        solved = _solve_component(component, self._capacities)
+        self._rates.update(solved)
+        self.stats.component_solves += 1
+        self.stats.flows_releveled += len(component)
+        if len(component) > self.stats.largest_component:
+            self.stats.largest_component = len(component)
+        return solved
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def __contains__(self, flow_id: Hashable) -> bool:
+        return flow_id in self._flows
+
+    def rate(self, flow_id: Hashable) -> float:
+        """Cached allocation of one live flow."""
+        try:
+            return self._rates[flow_id]
+        except KeyError:
+            raise SimulationError(f"unknown flow id {flow_id!r}") from None
+
+    def rates(self) -> dict[Hashable, float]:
+        """``{flow id: rate}`` snapshot of every live flow."""
+        return dict(self._rates)
+
+    def component_of(self, flow_id: Hashable) -> tuple[Hashable, ...]:
+        """The flow ids coupled (transitively) with ``flow_id``."""
+        try:
+            comp = self._component_of[flow_id]
+        except KeyError:
+            raise SimulationError(f"unknown flow id {flow_id!r}") from None
+        return tuple(self._components[comp])
+
+    def flows(self) -> list[FlowSpec]:
+        """Live flow specs, in admission order."""
+        return list(self._flows.values())
 
 
 def allocation_is_feasible(

@@ -20,11 +20,11 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Sequence
+from typing import Hashable, Iterable, Mapping, Sequence
 
 from ..errors import SimulationError
-from .engine import Event, SimEngine
-from .fairshare import FlowSpec, max_min_fair_rates
+from .engine import Event, SimEngine, TimerHandle
+from .fairshare import FairshareSolver, FlowSpec, max_min_fair_rates_reference
 
 #: Completion slop, in bytes: flows within this of zero are done.  Keeps
 #: float accumulation from scheduling infinitesimal residual transfers.
@@ -115,16 +115,31 @@ class Flow:
 
 
 class FlowNetwork:
-    """The set of channels plus all currently active flows."""
+    """The set of channels plus all currently active flows.
 
-    def __init__(self, engine: SimEngine) -> None:
+    Rate allocation runs through a persistent
+    :class:`~repro.sim.fairshare.FairshareSolver`: flow arrivals and
+    departures re-level only the connected component they touch, and
+    the single pending completion alarm is cancelled (lazily, O(1))
+    whenever a rate change supersedes it.  Pass ``incremental=False``
+    to force a full batch re-solve on every change — the pre-solver
+    behaviour, kept for differential tests and the perf baseline.
+    """
+
+    def __init__(self, engine: SimEngine, *, incremental: bool = True) -> None:
         self.engine = engine
         self._channels: dict[Hashable, Channel] = {}
         self._active: dict[int, Flow] = {}
         self._flow_ids = itertools.count()
         self._last_update = 0.0
-        #: Monotone token invalidating stale completion wake-ups.
-        self._epoch = 0
+        self._incremental = incremental
+        self._solver = FairshareSolver()
+        self._alarm: TimerHandle | None = None
+
+    @property
+    def solver(self) -> FairshareSolver:
+        """The live incremental solver (stats live on ``solver.stats``)."""
+        return self._solver
 
     # -- channel management --------------------------------------------------
 
@@ -134,6 +149,7 @@ class FlowNetwork:
             raise SimulationError(f"channel {channel_id!r} already exists")
         channel = Channel(channel_id, capacity)
         self._channels[channel_id] = channel
+        self._solver.add_channel(channel_id, capacity)
         return channel
 
     def has_channel(self, channel_id: Hashable) -> bool:
@@ -191,7 +207,11 @@ class FlowNetwork:
 
         self._advance_to_now()
         self._active[flow.flow_id] = flow
-        self._resolve_and_schedule()
+        if self._incremental:
+            updated = self._solver.add_flow(FlowSpec(flow.flow_id, channel_ids, cap))
+            self._resolve_and_schedule(updated)
+        else:
+            self._resolve_and_schedule()
         return flow
 
     def active_flows(self) -> Sequence[Flow]:
@@ -219,32 +239,47 @@ class FlowNetwork:
                 flow.remaining -= flow.rate * dt
         self._last_update = now
 
-    def _resolve_and_schedule(self) -> None:
-        """Re-solve fair shares and schedule the next completion."""
-        self._epoch += 1
-        if not self._active:
-            return
-        specs = [
-            FlowSpec(flow.flow_id, flow.channels, flow.cap)
-            for flow in self._active.values()
-        ]
-        rates = max_min_fair_rates(specs, self.capacities())
-        next_completion = math.inf
-        for flow in self._active.values():
-            flow.rate = rates[flow.flow_id]
-            if flow.rate <= 0:
-                raise SimulationError(
-                    f"flow {flow.flow_id} starved (rate 0); "
-                    "check channel capacities"
-                )
-            next_completion = min(next_completion, flow.remaining / flow.rate)
-        next_completion = max(next_completion, 0.0)
-        epoch = self._epoch
-        self.engine.call_after(next_completion, self._on_completion_alarm, epoch)
+    def _resolve_and_schedule(
+        self, updated: Mapping[Hashable, float] | None = None
+    ) -> None:
+        """Apply re-leveled rates and (re)arm the next completion alarm.
 
-    def _on_completion_alarm(self, epoch: int) -> None:
-        if epoch != self._epoch:
-            return  # superseded by a newer rate solution
+        ``updated`` carries the rates of the component(s) the solver
+        just re-leveled; flows outside it keep their cached rate.  When
+        ``None`` (legacy mode), the whole system is re-solved from
+        scratch with the global reference algorithm.
+        """
+        if self._alarm is not None:
+            self._alarm.cancel()
+            self._alarm = None
+        active = self._active
+        if not active:
+            return
+        if updated is None:
+            specs = [
+                FlowSpec(flow.flow_id, flow.channels, flow.cap)
+                for flow in active.values()
+            ]
+            updated = max_min_fair_rates_reference(specs, self.capacities())
+        for flow_id, rate in updated.items():
+            flow = active.get(flow_id)
+            if flow is None:
+                continue  # departed with a later removal in this batch
+            if rate <= 0:
+                raise SimulationError(
+                    f"flow {flow_id} starved (rate 0); check channel capacities"
+                )
+            flow.rate = rate
+        next_completion = math.inf
+        for flow in active.values():
+            eta = flow.remaining / flow.rate
+            if eta < next_completion:
+                next_completion = eta
+        next_completion = max(next_completion, 0.0)
+        self._alarm = self.engine.schedule(next_completion, self._on_completion_alarm)
+
+    def _on_completion_alarm(self) -> None:
+        self._alarm = None
         self._advance_to_now()
         finished = [
             flow
@@ -252,16 +287,20 @@ class FlowNetwork:
             if flow.remaining <= _EPSILON_BYTES * max(1.0, flow.size)
             or flow.remaining <= _EPSILON_BYTES
         ]
+        incremental = self._incremental
         if not finished:
             # Rounding pushed the completion infinitesimally later;
             # rescheduling from the fresh state converges.
-            self._resolve_and_schedule()
+            self._resolve_and_schedule({} if incremental else None)
             return
+        updated: dict[Hashable, float] = {}
         for flow in finished:
             del self._active[flow.flow_id]
+            if incremental:
+                updated.update(self._solver.remove_flow(flow.flow_id))
             flow.remaining = 0.0
             flow.rate = 0.0
             flow.finish_time = self.engine.now
-        self._resolve_and_schedule()
+        self._resolve_and_schedule(updated if incremental else None)
         for flow in finished:
             flow.done.succeed(flow)

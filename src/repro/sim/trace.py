@@ -5,10 +5,18 @@ the simulated clock), but traces make the simulator explainable: every
 transfer, kernel, fault and collective step can be recorded and dumped
 as a timeline, which the examples use to show *why* a placement or
 interface behaves the way it does.
+
+Tracing is designed to cost (near) nothing when disabled: hot call
+sites guard with ``if tracer:`` / ``if tracer.enabled:`` so that no
+:class:`TraceRecord` — and no argument tuple or detail dict — is ever
+constructed for a disabled tracer.  An enabled tracer can optionally
+run as a bounded ring buffer (``capacity=N``) so long sweeps keep only
+the most recent records instead of growing without bound.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping
 
@@ -46,12 +54,29 @@ class Tracer:
     """Collects :class:`TraceRecord` entries; disabled by default.
 
     A disabled tracer accepts records and drops them, so call sites
-    never need to branch.
+    never *need* to branch — but hot paths should guard with
+    ``if tracer:`` (equivalent to ``tracer.enabled``) to avoid even
+    building the record's arguments.
+
+    ``capacity`` bounds retention: with a capacity, the tracer is a
+    ring buffer keeping only the newest records; without one it keeps
+    everything.
     """
 
-    def __init__(self, enabled: bool = False) -> None:
+    __slots__ = ("enabled", "capacity", "_records", "dropped")
+
+    def __init__(self, enabled: bool = False, *, capacity: int | None = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
         self.enabled = enabled
-        self._records: list[TraceRecord] = []
+        self.capacity = capacity
+        self._records: deque[TraceRecord] = deque(maxlen=capacity)
+        #: Records evicted by the ring buffer since the last clear().
+        self.dropped = 0
+
+    def __bool__(self) -> bool:
+        """Truthiness == enabled, so call sites can ``if tracer:``."""
+        return self.enabled
 
     def record(
         self,
@@ -66,7 +91,10 @@ class Tracer:
             return
         if end < start:
             raise ValueError("trace record ends before it starts")
-        self._records.append(TraceRecord(start, end, category, label, detail))
+        records = self._records
+        if records.maxlen is not None and len(records) == records.maxlen:
+            self.dropped += 1
+        records.append(TraceRecord(start, end, category, label, detail))
 
     def records(self, category: str | None = None) -> list[TraceRecord]:
         """Records, optionally filtered by category."""
@@ -77,6 +105,7 @@ class Tracer:
     def clear(self) -> None:
         """Drop all records."""
         self._records.clear()
+        self.dropped = 0
 
     def __len__(self) -> int:
         return len(self._records)
