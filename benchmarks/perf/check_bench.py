@@ -1,0 +1,81 @@
+"""CI perf-regression guard for ``BENCH_core.json``.
+
+Usage: ``python benchmarks/perf/check_bench.py BENCH_core.json``
+
+Fails (exit 1) when a headline number regresses below its threshold:
+
+- ``sweep_parallel_speedup`` must reach ``REPRO_MIN_PARALLEL_SPEEDUP``
+  (default 1.5).  Skipped when the run had fewer than two effective
+  jobs or fell back to serial execution — a single-core runner cannot
+  demonstrate a parallel speedup and should not fail for it.
+- ``cache_hit_speedup`` must reach ``REPRO_MIN_CACHE_SPEEDUP``
+  (default 2.0; warm runs only deserialize pickles).
+
+Thresholds are environment-overridable so a noisy runner can be
+loosened without editing the workflow.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+
+def check(report: dict) -> list[str]:
+    """Return a list of failure messages (empty = pass)."""
+    failures: list[str] = []
+    headline = report.get("headline", {})
+    parallel = report.get("results", {}).get("sweep_parallel", {})
+
+    min_parallel = float(os.environ.get("REPRO_MIN_PARALLEL_SPEEDUP", "1.5"))
+    jobs = parallel.get("jobs", 1)
+    fallbacks = parallel.get("parallel_fallbacks", 0)
+    if jobs < 2 or fallbacks:
+        print(
+            f"skip: sweep_parallel check (jobs={jobs}, "
+            f"fallbacks={fallbacks}) — no parallel run to judge"
+        )
+    else:
+        speedup = headline.get("sweep_parallel_speedup", 0.0)
+        if speedup < min_parallel:
+            failures.append(
+                f"sweep_parallel_speedup {speedup:.2f} < {min_parallel:.2f} "
+                f"(jobs={jobs})"
+            )
+        else:
+            print(
+                f"ok: sweep_parallel_speedup {speedup:.2f} >= "
+                f"{min_parallel:.2f} (jobs={jobs})"
+            )
+
+    min_cache = float(os.environ.get("REPRO_MIN_CACHE_SPEEDUP", "2.0"))
+    cache_speedup = headline.get("cache_hit_speedup", 0.0)
+    if cache_speedup < min_cache:
+        failures.append(
+            f"cache_hit_speedup {cache_speedup:.2f} < {min_cache:.2f}"
+        )
+    else:
+        print(f"ok: cache_hit_speedup {cache_speedup:.2f} >= {min_cache:.2f}")
+
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1]) as handle:
+        report = json.load(handle)
+    schema = report.get("schema", "")
+    if not schema.startswith("repro-bench-core/"):
+        print(f"error: unrecognized report schema {schema!r}", file=sys.stderr)
+        return 2
+    failures = check(report)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

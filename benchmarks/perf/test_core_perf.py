@@ -16,7 +16,7 @@ from repro.perf.core import format_report, run_suite, write_report
 def test_smoke_suite_shape_and_sanity(tmp_path):
     report = run_suite(smoke=True)
 
-    assert report["schema"] == "repro-bench-core/1"
+    assert report["schema"] == "repro-bench-core/2"
     assert report["smoke"] is True
     results = report["results"]
     assert results["engine_events"]["events_per_second"] > 0
@@ -34,10 +34,58 @@ def test_smoke_suite_shape_and_sanity(tmp_path):
 
     path = tmp_path / "BENCH_core.json"
     write_report(str(path), report)
-    assert json.loads(path.read_text())["schema"] == "repro-bench-core/1"
+    assert json.loads(path.read_text())["schema"] == "repro-bench-core/2"
 
     text = format_report(report)
     assert "flow churn" in text and "events/s" in text
+    assert "sweep parallel" in text and "cache hit" in text
+
+
+def test_smoke_suite_sweep_benchmarks():
+    report = run_suite(smoke=True)
+    results = report["results"]
+
+    parallel = results["sweep_parallel"]
+    assert parallel["points"] > 1
+    assert parallel["jobs"] >= 1
+    assert parallel["identical_outputs"] is True
+    assert parallel["speedup"] > 0
+    assert report["headline"]["sweep_parallel_speedup"] == parallel["speedup"]
+
+    cache = results["cache_hit"]
+    assert cache["warm_hits"] == cache["points"]
+    assert cache["identical_outputs"] is True
+    # A warm run only deserializes pickles; it must beat the cold run.
+    assert cache["speedup"] > 1.0
+    assert report["headline"]["cache_hit_speedup"] == cache["speedup"]
+
+
+def test_report_is_reproducible_and_diffable():
+    report = run_suite(smoke=True)
+
+    # Provenance travels with the numbers.
+    assert report["version"]
+    assert report["git_sha"]
+    # The only run-specific values live under meta, outside the
+    # comparison path.
+    assert "created_unix" in report["meta"]
+    assert "created_unix" not in report["headline"]
+    assert "created_unix" not in report["results"]
+
+    def floats(value):
+        if isinstance(value, float):
+            yield value
+        elif isinstance(value, dict):
+            for child in value.values():
+                yield from floats(child)
+        elif isinstance(value, list):
+            for child in value:
+                yield from floats(child)
+
+    for number in floats(report["results"]):
+        assert number == round(number, 6)
+    for number in floats(report["headline"]):
+        assert number == round(number, 6)
 
 
 def test_cli_perf_smoke(tmp_path, capsys):

@@ -34,6 +34,7 @@ from .config import SimEnvironment
 from .core.calibration import CalibrationProfile, DEFAULT_CALIBRATION
 from .hardware.node import HardwareNode, frontier_hardware
 from .hip.runtime import HipRuntime
+from .runner import ResultCache, SimPoint, SweepRunner
 from .session import Session, TOPOLOGY_PRESETS, resolve_topology
 from .sim.fairshare import (
     FairshareSolver,
@@ -44,11 +45,14 @@ from .sim.fairshare import (
 from .sim.trace import TraceRecord, Tracer
 from .topology.presets import dense_hive_node, frontier_node, single_gpu_node
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
     # The blessed surface.
     "Session",
+    "SweepRunner",
+    "SimPoint",
+    "ResultCache",
     "solve",
     "TraceRecord",
     "Tracer",

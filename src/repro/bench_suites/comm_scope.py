@@ -18,6 +18,7 @@ from ..errors import BenchmarkError
 from ..hip.enums import HostMallocFlags
 from ..hip.runtime import HipRuntime
 from ..memory.placement import ExplicitNumaPolicy
+from ..runner import SimPoint, SweepRunner, execute_points
 from ..session import Session
 from ..topology.node import NodeTopology
 from ..topology.presets import frontier_node
@@ -81,6 +82,34 @@ def measure_h2d(
     return hip.run(run())
 
 
+def h2d_points(
+    interfaces: Sequence[str] = H2D_INTERFACES,
+    sizes: Sequence[int] | None = None,
+    *,
+    gcd: int = 0,
+    topology: NodeTopology | None = None,
+    calibration: CalibrationProfile | None = None,
+    experiment_id: str = "fig03",
+) -> list[SimPoint]:
+    """The Fig. 3 sweep decomposed into independent sim points."""
+    if sizes is None:
+        sizes = COMM_SCOPE_H2D.sizes()
+    return [
+        SimPoint.make(
+            experiment_id,
+            f"h2d/{interface}/{size}",
+            "repro.bench_suites.comm_scope:measure_h2d",
+            interface=interface,
+            size=size,
+            gcd=gcd,
+            topology=topology,
+            calibration=calibration,
+        )
+        for interface in interfaces
+        for size in sizes
+    ]
+
+
 def h2d_sweep(
     interfaces: Sequence[str] = H2D_INTERFACES,
     sizes: Sequence[int] | None = None,
@@ -88,23 +117,25 @@ def h2d_sweep(
     gcd: int = 0,
     topology: NodeTopology | None = None,
     calibration: CalibrationProfile | None = None,
+    runner: SweepRunner | None = None,
 ) -> ExperimentResult:
     """The Fig. 3 sweep: bandwidth vs size for each interface."""
-    if sizes is None:
-        sizes = COMM_SCOPE_H2D.sizes()
+    points = h2d_points(
+        interfaces, sizes, gcd=gcd, topology=topology, calibration=calibration
+    )
+    return h2d_result(points, execute_points(points, runner))
+
+
+def h2d_result(points: Sequence[SimPoint], outputs: Sequence[float]) -> ExperimentResult:
+    """Assemble the Fig. 3 sweep result from point outputs (in order)."""
     result = ExperimentResult(
         "fig03", "Host-to-device bandwidth vs transfer size (CommScope)"
     )
-    for interface in interfaces:
-        for size in sizes:
-            bandwidth = measure_h2d(
-                interface,
-                size,
-                gcd=gcd,
-                topology=topology,
-                calibration=calibration,
-            )
-            result.add(size, bandwidth, "B/s", interface=interface)
+    for point, bandwidth in zip(points, outputs):
+        kwargs = point.kwargs
+        result.add(
+            kwargs["size"], bandwidth, "B/s", interface=kwargs["interface"]
+        )
     return result
 
 
@@ -187,6 +218,36 @@ def measure_peer_copy(
     return hip.run(run())
 
 
+def peer_points(
+    src_gcd: int = 0,
+    dst_gcds: Sequence[int] = (1, 2, 6),
+    sizes: Sequence[int] | None = None,
+    *,
+    topology: NodeTopology | None = None,
+    calibration: CalibrationProfile | None = None,
+    env: SimEnvironment | None = None,
+    experiment_id: str = "fig07",
+) -> list[SimPoint]:
+    """The Fig. 7 sweep decomposed into independent sim points."""
+    if sizes is None:
+        sizes = COMM_SCOPE_P2P.sizes()
+    return [
+        SimPoint.make(
+            experiment_id,
+            f"peer/{src_gcd}-{dst}/{size}",
+            "repro.bench_suites.comm_scope:measure_peer_copy",
+            src_gcd=src_gcd,
+            dst_gcd=dst,
+            size=size,
+            topology=topology,
+            calibration=calibration,
+            env=env,
+        )
+        for dst in dst_gcds
+        for size in sizes
+    ]
+
+
 def peer_sweep(
     src_gcd: int = 0,
     dst_gcds: Sequence[int] = (1, 2, 6),
@@ -195,22 +256,31 @@ def peer_sweep(
     topology: NodeTopology | None = None,
     calibration: CalibrationProfile | None = None,
     env: SimEnvironment | None = None,
+    runner: SweepRunner | None = None,
 ) -> ExperimentResult:
     """The Fig. 7 sweep: GCD0 → adjacent GCDs, 256 B to 8 GB."""
-    if sizes is None:
-        sizes = COMM_SCOPE_P2P.sizes()
+    points = peer_points(
+        src_gcd,
+        dst_gcds,
+        sizes,
+        topology=topology,
+        calibration=calibration,
+        env=env,
+    )
+    return peer_result(points, execute_points(points, runner), src_gcd=src_gcd)
+
+
+def peer_result(
+    points: Sequence[SimPoint],
+    outputs: Sequence[float],
+    *,
+    src_gcd: int = 0,
+) -> ExperimentResult:
+    """Assemble the Fig. 7 sweep result from point outputs (in order)."""
     result = ExperimentResult(
         "fig07", f"hipMemcpyPeer bandwidth from GCD{src_gcd} (CommScope)"
     )
-    for dst in dst_gcds:
-        for size in sizes:
-            bandwidth = measure_peer_copy(
-                src_gcd,
-                dst,
-                size,
-                topology=topology,
-                calibration=calibration,
-                env=env,
-            )
-            result.add(size, bandwidth, "B/s", dst=dst)
+    for point, bandwidth in zip(points, outputs):
+        kwargs = point.kwargs
+        result.add(kwargs["size"], bandwidth, "B/s", dst=kwargs["dst_gcd"])
     return result

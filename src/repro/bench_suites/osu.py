@@ -23,6 +23,7 @@ from ..core.sweep import OSU_COLLECTIVE_BYTES, OSU_P2P_BYTES, PARTNER_COUNTS
 from ..errors import BenchmarkError
 from ..mpi.collectives import COLLECTIVES
 from ..mpi.comm import MpiWorld, RankContext
+from ..runner import SimPoint, SweepRunner, execute_points
 from ..session import Session
 from ..topology.node import NodeTopology
 
@@ -288,15 +289,16 @@ def osu_collective_latency(
     return max(per_rank)
 
 
-def collective_latency_sweep(
+def collective_points(
     collectives: Sequence[str] | None = None,
     partner_counts: Sequence[int] = PARTNER_COUNTS,
     *,
     message_bytes: int = OSU_COLLECTIVE_BYTES,
     topology: NodeTopology | None = None,
     calibration: CalibrationProfile | None = None,
-) -> ExperimentResult:
-    """Fig. 11's MPI series: five collectives × 2–8 partners."""
+    experiment_id: str = "fig11_mpi",
+) -> list[SimPoint]:
+    """The MPI collective grid decomposed into independent sim points."""
     if collectives is None:
         # The paper's five; alltoall is an extension outside Fig. 11.
         collectives = [
@@ -306,24 +308,59 @@ def collective_latency_sweep(
             "reduce",
             "reduce_scatter",
         ]
-    result = ExperimentResult(
-        "fig11_mpi", "OSU MPI collective latency (1 MiB)"
+    return [
+        SimPoint.make(
+            experiment_id,
+            f"mpi/{collective}/{partners}",
+            "repro.bench_suites.osu:osu_collective_latency",
+            collective=collective,
+            num_partners=partners,
+            message_bytes=message_bytes,
+            topology=topology,
+            calibration=calibration,
+        )
+        for collective in collectives
+        for partners in partner_counts
+    ]
+
+
+def collective_latency_sweep(
+    collectives: Sequence[str] | None = None,
+    partner_counts: Sequence[int] = PARTNER_COUNTS,
+    *,
+    message_bytes: int = OSU_COLLECTIVE_BYTES,
+    topology: NodeTopology | None = None,
+    calibration: CalibrationProfile | None = None,
+    runner: SweepRunner | None = None,
+) -> ExperimentResult:
+    """Fig. 11's MPI series: five collectives × 2–8 partners."""
+    points = collective_points(
+        collectives,
+        partner_counts,
+        message_bytes=message_bytes,
+        topology=topology,
+        calibration=calibration,
     )
-    for collective in collectives:
-        for partners in partner_counts:
-            latency = osu_collective_latency(
-                collective,
-                partners,
-                message_bytes=message_bytes,
-                topology=topology,
-                calibration=calibration,
-            )
-            result.add(
-                partners,
-                latency,
-                "s",
-                collective=collective,
-                partners=partners,
-                library="MPI",
-            )
+    return collective_result(points, execute_points(points, runner))
+
+
+def collective_result(
+    points: Sequence[SimPoint],
+    outputs: Sequence[float],
+    *,
+    experiment_id: str = "fig11_mpi",
+    title: str = "OSU MPI collective latency (1 MiB)",
+) -> ExperimentResult:
+    """Assemble the MPI collective grid result from point outputs."""
+    result = ExperimentResult(experiment_id, title)
+    for point, latency in zip(points, outputs):
+        kwargs = point.kwargs
+        result.add(
+            kwargs["num_partners"],
+            latency,
+            "s",
+            collective=kwargs["collective"],
+            partners=kwargs["num_partners"],
+            library="MPI",
+        )
     return result

@@ -13,12 +13,13 @@ and peer access is enabled first.
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Generator, Sequence
 
 from ..config import SimEnvironment
 from ..core.calibration import CalibrationProfile
 from ..core.experiment import ExperimentResult
 from ..errors import BenchmarkError
+from ..runner import SimPoint, SweepRunner, execute_points
 from ..session import Session
 from ..topology.node import NodeTopology
 from ..topology.presets import frontier_node
@@ -199,23 +200,88 @@ def measure_pair_bandwidth_bidirectional(
     return hip.run(run())
 
 
+def matrix_points(
+    *,
+    latency_repetitions: int = 3,
+    size: int = BANDWIDTH_TRANSFER_BYTES,
+    topology: NodeTopology | None = None,
+    calibration: CalibrationProfile | None = None,
+    experiment_id: str = "fig06",
+) -> list[SimPoint]:
+    """Fig. 6's measured panels (b, c) as independent per-pair points.
+
+    Panel (a) — hop counts — is a pure graph query and is computed
+    during merge rather than dispatched as work.
+    """
+    node_topology = topology if topology is not None else frontier_node()
+    indices = [g.index for g in node_topology.gcds()]
+    points = []
+    for src in indices:
+        for dst in indices:
+            if src == dst:
+                continue
+            points.append(
+                SimPoint.make(
+                    experiment_id,
+                    f"latency/{src}-{dst}",
+                    "repro.bench_suites.p2p_matrix:measure_pair_latency",
+                    src_gcd=src,
+                    dst_gcd=dst,
+                    repetitions=latency_repetitions,
+                    topology=node_topology,
+                    calibration=calibration,
+                )
+            )
+    for src in indices:
+        for dst in indices:
+            if src == dst:
+                continue
+            points.append(
+                SimPoint.make(
+                    experiment_id,
+                    f"bandwidth/{src}-{dst}",
+                    "repro.bench_suites.p2p_matrix:measure_pair_bandwidth",
+                    src_gcd=src,
+                    dst_gcd=dst,
+                    size=size,
+                    topology=node_topology,
+                    calibration=calibration,
+                )
+            )
+    return points
+
+
 def full_experiment(
     *,
     topology: NodeTopology | None = None,
     calibration: CalibrationProfile | None = None,
+    runner: SweepRunner | None = None,
 ) -> ExperimentResult:
     """All three Fig. 6 panels in one result."""
+    node_topology = topology if topology is not None else frontier_node()
+    points = matrix_points(topology=node_topology, calibration=calibration)
+    outputs = execute_points(points, runner)
+    return matrix_result(points, outputs, topology=node_topology)
+
+
+def matrix_result(
+    points: Sequence[SimPoint],
+    outputs: Sequence[float],
+    *,
+    topology: NodeTopology | None = None,
+) -> ExperimentResult:
+    """Assemble the Fig. 6 result: panel (a) from the topology graph,
+    panels (b, c) from point outputs (in order)."""
     node_topology = topology if topology is not None else frontier_node()
     result = ExperimentResult("fig06", "p2pBandwidthLatencyTest matrices")
     for (src, dst), hops in hop_matrix(node_topology).items():
         if src != dst:
             result.add(src * 8 + dst, float(hops), "hops", panel="a", src=src, dst=dst)
-    for (src, dst), latency in latency_matrix(
-        topology=node_topology, calibration=calibration
-    ).items():
-        result.add(src * 8 + dst, latency, "s", panel="b", src=src, dst=dst)
-    for (src, dst), bandwidth in bandwidth_matrix(
-        topology=node_topology, calibration=calibration
-    ).items():
-        result.add(src * 8 + dst, bandwidth, "B/s", panel="c", src=src, dst=dst)
+    for point, value in zip(points, outputs):
+        kwargs = point.kwargs
+        src, dst = kwargs["src_gcd"], kwargs["dst_gcd"]
+        if point.label.startswith("latency/"):
+            result.add(src * 8 + dst, value, "s", panel="b", src=src, dst=dst)
+        else:
+            result.add(src * 8 + dst, value, "B/s", panel="c", src=src, dst=dst)
     return result

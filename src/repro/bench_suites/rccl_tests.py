@@ -14,6 +14,7 @@ from ..core.experiment import ExperimentResult
 from ..core.sweep import OSU_COLLECTIVE_BYTES, PARTNER_COUNTS
 from ..errors import BenchmarkError
 from ..rccl.collectives import RCCL_COLLECTIVES
+from ..runner import SimPoint, SweepRunner, execute_points
 from ..session import Session
 from ..topology.node import NodeTopology
 
@@ -61,6 +62,34 @@ def rccl_collective_latency(
     return node.engine.run_process(harness(), name=f"rccl-{collective}")
 
 
+def rccl_points(
+    collectives: Sequence[str] | None = None,
+    thread_counts: Sequence[int] = PARTNER_COUNTS,
+    *,
+    message_bytes: int = OSU_COLLECTIVE_BYTES,
+    topology: NodeTopology | None = None,
+    calibration: CalibrationProfile | None = None,
+    experiment_id: str = "fig12",
+) -> list[SimPoint]:
+    """The Fig. 12 grid decomposed into independent sim points."""
+    if collectives is None:
+        collectives = sorted(RCCL_COLLECTIVES)
+    return [
+        SimPoint.make(
+            experiment_id,
+            f"rccl/{collective}/{threads}",
+            "repro.bench_suites.rccl_tests:rccl_collective_latency",
+            collective=collective,
+            num_threads=threads,
+            message_bytes=message_bytes,
+            topology=topology,
+            calibration=calibration,
+        )
+        for collective in collectives
+        for threads in thread_counts
+    ]
+
+
 def rccl_latency_sweep(
     collectives: Sequence[str] | None = None,
     thread_counts: Sequence[int] = PARTNER_COUNTS,
@@ -68,26 +97,36 @@ def rccl_latency_sweep(
     message_bytes: int = OSU_COLLECTIVE_BYTES,
     topology: NodeTopology | None = None,
     calibration: CalibrationProfile | None = None,
+    runner: SweepRunner | None = None,
 ) -> ExperimentResult:
     """Fig. 12: five collectives × 2–8 threads."""
-    if collectives is None:
-        collectives = sorted(RCCL_COLLECTIVES)
-    result = ExperimentResult("fig12", "RCCL collective latency (1 MiB)")
-    for collective in collectives:
-        for threads in thread_counts:
-            latency = rccl_collective_latency(
-                collective,
-                threads,
-                message_bytes=message_bytes,
-                topology=topology,
-                calibration=calibration,
-            )
-            result.add(
-                threads,
-                latency,
-                "s",
-                collective=collective,
-                partners=threads,
-                library="RCCL",
-            )
+    points = rccl_points(
+        collectives,
+        thread_counts,
+        message_bytes=message_bytes,
+        topology=topology,
+        calibration=calibration,
+    )
+    return rccl_result(points, execute_points(points, runner))
+
+
+def rccl_result(
+    points: Sequence[SimPoint],
+    outputs: Sequence[float],
+    *,
+    experiment_id: str = "fig12",
+    title: str = "RCCL collective latency (1 MiB)",
+) -> ExperimentResult:
+    """Assemble the Fig. 12 grid result from point outputs (in order)."""
+    result = ExperimentResult(experiment_id, title)
+    for point, latency in zip(points, outputs):
+        kwargs = point.kwargs
+        result.add(
+            kwargs["num_threads"],
+            latency,
+            "s",
+            collective=kwargs["collective"],
+            partners=kwargs["num_threads"],
+            library="RCCL",
+        )
     return result

@@ -20,6 +20,7 @@ from ..core.experiment import ExperimentResult
 from ..core.sweep import MULTI_GPU_STREAM_BYTES, STREAM_REMOTE
 from ..errors import BenchmarkError
 from ..hip.runtime import HipRuntime
+from ..runner import SimPoint, SweepRunner, execute_points
 from ..session import Session
 from ..topology.node import NodeTopology
 
@@ -78,6 +79,34 @@ def remote_stream_copy(
     return hip.run(run())
 
 
+def remote_stream_points(
+    executor_gcd: int = 0,
+    data_gcds: Sequence[int] = (1, 2, 6),
+    sizes: Sequence[int] | None = None,
+    *,
+    topology: NodeTopology | None = None,
+    calibration: CalibrationProfile | None = None,
+    experiment_id: str = "fig08",
+) -> list[SimPoint]:
+    """The Fig. 8 sweep decomposed into independent sim points."""
+    if sizes is None:
+        sizes = STREAM_REMOTE.sizes()
+    return [
+        SimPoint.make(
+            experiment_id,
+            f"remote/{executor_gcd}<-{data_gcd}/{size}",
+            "repro.bench_suites.stream:remote_stream_copy",
+            executor_gcd=executor_gcd,
+            data_gcd=data_gcd,
+            size=size,
+            topology=topology,
+            calibration=calibration,
+        )
+        for data_gcd in data_gcds
+        for size in sizes
+    ]
+
+
 def remote_stream_sweep(
     executor_gcd: int = 0,
     data_gcds: Sequence[int] = (1, 2, 6),
@@ -85,24 +114,33 @@ def remote_stream_sweep(
     *,
     topology: NodeTopology | None = None,
     calibration: CalibrationProfile | None = None,
+    runner: SweepRunner | None = None,
 ) -> ExperimentResult:
     """The Fig. 8 sweep: three link tiers, sizes up to 8 GB."""
-    if sizes is None:
-        sizes = STREAM_REMOTE.sizes()
+    points = remote_stream_points(
+        executor_gcd, data_gcds, sizes, topology=topology, calibration=calibration
+    )
+    return remote_stream_result(
+        points, execute_points(points, runner), executor_gcd=executor_gcd
+    )
+
+
+def remote_stream_result(
+    points: Sequence[SimPoint],
+    outputs: Sequence[float],
+    *,
+    executor_gcd: int = 0,
+) -> ExperimentResult:
+    """Assemble the Fig. 8 sweep result from point outputs (in order)."""
     result = ExperimentResult(
         "fig08",
         f"Bidirectional STREAM copy on GCD{executor_gcd}, remote placement",
     )
-    for data_gcd in data_gcds:
-        for size in sizes:
-            bandwidth = remote_stream_copy(
-                executor_gcd,
-                data_gcd,
-                size,
-                topology=topology,
-                calibration=calibration,
-            )
-            result.add(size, bandwidth, "B/s", data_gcd=data_gcd)
+    for point, bandwidth in zip(points, outputs):
+        kwargs = point.kwargs
+        result.add(
+            kwargs["size"], bandwidth, "B/s", data_gcd=kwargs["data_gcd"]
+        )
     return result
 
 
@@ -184,29 +222,85 @@ def multi_gpu_cpu_stream(
     return hip.run(run())
 
 
+def dual_gcd_cases() -> dict[str, tuple[int, ...]]:
+    """The Fig. 4 placement cases, in paper order."""
+    return {
+        "1 GCD": (0,),
+        "2 GCDs (same GPU)": tuple(placement_for_strategy("same_gpu", 2)),
+        "2 GCDs (spread)": tuple(placement_for_strategy("spread", 2)),
+    }
+
+
+def dual_gcd_points(
+    size: int = MULTI_GPU_STREAM_BYTES,
+    *,
+    topology: NodeTopology | None = None,
+    calibration: CalibrationProfile | None = None,
+    experiment_id: str = "fig04",
+) -> list[SimPoint]:
+    """The Fig. 4 cases decomposed into independent sim points."""
+    return [
+        SimPoint.make(
+            experiment_id,
+            f"dual/{'-'.join(map(str, placement))}",
+            "repro.bench_suites.stream:multi_gpu_cpu_stream",
+            placement=placement,
+            size=size,
+            topology=topology,
+            calibration=calibration,
+        )
+        for placement in dual_gcd_cases().values()
+    ]
+
+
 def dual_gcd_experiment(
     size: int = MULTI_GPU_STREAM_BYTES,
     *,
     topology: NodeTopology | None = None,
     calibration: CalibrationProfile | None = None,
+    runner: SweepRunner | None = None,
 ) -> ExperimentResult:
     """Fig. 4: one GCD vs two GCDs, same-GPU vs spread placement."""
+    points = dual_gcd_points(size, topology=topology, calibration=calibration)
+    return dual_gcd_result(points, execute_points(points, runner))
+
+
+def dual_gcd_result(
+    points: Sequence[SimPoint], outputs: Sequence[float]
+) -> ExperimentResult:
+    """Assemble the Fig. 4 result from point outputs (in order)."""
     result = ExperimentResult(
         "fig04", "CPU-GPU STREAM: 1 GCD vs 2 GCDs (same GPU / spread)"
     )
-    cases = {
-        "1 GCD": (0,),
-        "2 GCDs (same GPU)": tuple(placement_for_strategy("same_gpu", 2)),
-        "2 GCDs (spread)": tuple(placement_for_strategy("spread", 2)),
-    }
-    for label, placement in cases.items():
-        bandwidth = multi_gpu_cpu_stream(
-            placement, size, topology=topology, calibration=calibration
-        )
+    for label, bandwidth, point in zip(dual_gcd_cases(), outputs, points):
+        placement = point.kwargs["placement"]
         result.add(
             len(placement), bandwidth, "B/s", case=label, placement=placement
         )
     return result
+
+
+def scaling_points(
+    gcd_counts: Sequence[int] = (1, 2, 4, 8),
+    size: int = MULTI_GPU_STREAM_BYTES,
+    *,
+    topology: NodeTopology | None = None,
+    calibration: CalibrationProfile | None = None,
+    experiment_id: str = "fig05",
+) -> list[SimPoint]:
+    """The Fig. 5 scaling curve decomposed into independent sim points."""
+    return [
+        SimPoint.make(
+            experiment_id,
+            f"scaling/{count}",
+            "repro.bench_suites.stream:multi_gpu_cpu_stream",
+            placement=tuple(placement_for_strategy("spread", count)),
+            size=size,
+            topology=topology,
+            calibration=calibration,
+        )
+        for count in gcd_counts
+    ]
 
 
 def scaling_experiment(
@@ -215,15 +309,25 @@ def scaling_experiment(
     *,
     topology: NodeTopology | None = None,
     calibration: CalibrationProfile | None = None,
+    runner: SweepRunner | None = None,
 ) -> ExperimentResult:
     """Fig. 5: spread-placement scaling from 1 to 8 GCDs."""
+    points = scaling_points(
+        gcd_counts, size, topology=topology, calibration=calibration
+    )
+    return scaling_result(points, execute_points(points, runner))
+
+
+def scaling_result(
+    points: Sequence[SimPoint], outputs: Sequence[float]
+) -> ExperimentResult:
+    """Assemble the Fig. 5 result from point outputs (in order)."""
     result = ExperimentResult(
         "fig05", "CPU-GPU STREAM scaling, spread placement"
     )
-    for count in gcd_counts:
-        placement = tuple(placement_for_strategy("spread", count))
-        bandwidth = multi_gpu_cpu_stream(
-            placement, size, topology=topology, calibration=calibration
+    for point, bandwidth in zip(points, outputs):
+        placement = point.kwargs["placement"]
+        result.add(
+            len(placement), bandwidth, "B/s", placement=placement
         )
-        result.add(count, bandwidth, "B/s", placement=placement)
     return result

@@ -17,6 +17,14 @@ Commands
 ``perf``
     Benchmark the simulation core itself (events/sec, flow churn,
     figure-sweep wall time); ``-o BENCH_core.json`` writes the report.
+``cache``
+    Inspect (``show``) or empty (``clear``) the on-disk result cache.
+
+``run``, ``methodology`` and ``validate`` all accept ``--jobs N``
+(worker processes; ``0``/``auto`` = all cores), ``--no-cache`` and
+``--cache-stats`` — the sweep runner decomposes each artifact into
+independent sim points, reuses cached point results, and reassembles
+bit-identical reports regardless of job count.
 """
 
 from __future__ import annotations
@@ -29,6 +37,38 @@ from .core.calibration import DEFAULT_CALIBRATION
 from .core.methodology import STEPS, Methodology
 from .core.whatif import SCENARIOS, get_scenario
 from .topology.presets import frontier_node
+
+
+def _jobs_arg(value: str) -> int | str:
+    """``--jobs`` values: a worker count, or ``auto`` for all cores."""
+    if value == "auto":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"jobs must be an integer or 'auto', got {value!r}"
+        ) from None
+
+
+def _add_runner_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_jobs_arg,
+        default=None,
+        metavar="N",
+        help="worker processes for the sweep (0 or 'auto' = all cores)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print sweep-runner cache statistics afterwards",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -61,6 +101,7 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append an ASCII chart to each report where applicable",
     )
+    _add_runner_args(run)
 
     methodology = sub.add_parser(
         "methodology", help="run the three-step methodology"
@@ -72,6 +113,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="STEP",
         help=f"subset of {sorted(STEPS)} (default: all)",
     )
+    _add_runner_args(methodology)
 
     sub.add_parser("topology", help="print the node topology")
     sub.add_parser("calibration", help="print the calibration profile")
@@ -87,6 +129,24 @@ def _build_parser() -> argparse.ArgumentParser:
         default="baseline",
         choices=sorted(SCENARIOS),
         help="what-if scenario to validate (default: baseline)",
+    )
+    _add_runner_args(validate)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk result cache"
+    )
+    cache.add_argument(
+        "action",
+        nargs="?",
+        default="show",
+        choices=("show", "clear"),
+        help="show cache contents (default) or delete every entry",
+    )
+    cache.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
     )
 
     perf = sub.add_parser(
@@ -122,31 +182,51 @@ def _cmd_list() -> int:
     return 0
 
 
+def _make_runner(args: argparse.Namespace):
+    from .runner import SweepRunner
+
+    return SweepRunner(args.jobs, use_cache=not args.no_cache)
+
+
 def _cmd_run(
     artifact_ids: Sequence[str],
     output_dir: str | None = None,
     show_plot: bool = False,
+    runner=None,
+    cache_stats: bool = False,
 ) -> int:
     from . import figures
     from .errors import BenchmarkError
     from .figures.plots import plot
+    from .runner import SweepRunner
 
+    known = figures.all_ids()
     if "all" in artifact_ids:
-        artifact_ids = figures.all_ids()
+        artifact_ids = known
+    unknown = sorted(set(artifact_ids) - set(known))
+    if unknown:
+        print(
+            f"error: unknown artifact(s): {', '.join(unknown)}\n"
+            f"valid ids: {', '.join(known)} (or 'all')",
+            file=sys.stderr,
+        )
+        return 2
     directory = None
     if output_dir is not None:
         import pathlib
 
         directory = pathlib.Path(output_dir)
         directory.mkdir(parents=True, exist_ok=True)
-    status = 0
-    for artifact_id in artifact_ids:
-        try:
-            result, text = figures.run_and_report(artifact_id)
-        except BenchmarkError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            status = 2
-            continue
+    if runner is None:
+        runner = SweepRunner()
+    try:
+        results = runner.run_many(list(artifact_ids))
+    except BenchmarkError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for artifact_id in dict.fromkeys(artifact_ids):
+        result = results[artifact_id]
+        text = figures.report(artifact_id, result)
         if show_plot:
             chart = plot(artifact_id, result)
             if chart is not None:
@@ -155,13 +235,19 @@ def _cmd_run(
         print()
         if directory is not None:
             (directory / f"{artifact_id}.txt").write_text(text + "\n")
-    return status
+    if cache_stats:
+        print(runner.stats.describe())
+    return 0
 
 
-def _cmd_methodology(steps: Sequence[str]) -> int:
+def _cmd_methodology(
+    steps: Sequence[str], runner=None, cache_stats: bool = False
+) -> int:
     methodology = Methodology(list(steps) or None)
-    report = methodology.run()
+    report = methodology.run(runner=runner)
     print(report.text())
+    if cache_stats and runner is not None:
+        print(runner.stats.describe())
     return 0
 
 
@@ -205,14 +291,32 @@ def _cmd_perf(smoke: bool, output: str | None, repeats: int | None) -> int:
     return 0
 
 
-def _cmd_validate(scenario_name: str) -> int:
+def _cmd_validate(
+    scenario_name: str, runner=None, cache_stats: bool = False
+) -> int:
     from .core.validation import validate_node
 
     scenario = get_scenario(scenario_name)
     print(f"validating scenario {scenario.name!r}: {scenario.description}")
-    report = validate_node(scenario.topology, scenario.calibration)
+    report = validate_node(
+        scenario.topology, scenario.calibration, runner=runner
+    )
     print(report.text())
+    if cache_stats and runner is not None:
+        print(runner.stats.describe())
     return 0 if report.passed else 1
+
+
+def _cmd_cache(action: str, cache_dir: str | None = None) -> int:
+    from .runner import ResultCache
+
+    cache = ResultCache(cache_dir)
+    if action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.directory}")
+        return 0
+    print(cache.describe())
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -221,9 +325,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.artifacts, args.output_dir, args.plot)
+        return _cmd_run(
+            args.artifacts,
+            args.output_dir,
+            args.plot,
+            runner=_make_runner(args),
+            cache_stats=args.cache_stats,
+        )
     if args.command == "methodology":
-        return _cmd_methodology(args.steps)
+        return _cmd_methodology(
+            args.steps,
+            runner=_make_runner(args),
+            cache_stats=args.cache_stats,
+        )
     if args.command == "topology":
         return _cmd_topology()
     if args.command == "calibration":
@@ -236,9 +350,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(format_claims())
         return 0
     if args.command == "validate":
-        return _cmd_validate(args.scenario)
+        return _cmd_validate(
+            args.scenario,
+            runner=_make_runner(args),
+            cache_stats=args.cache_stats,
+        )
     if args.command == "perf":
         return _cmd_perf(args.smoke, args.output, args.repeats)
+    if args.command == "cache":
+        return _cmd_cache(args.action, args.cache_dir)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

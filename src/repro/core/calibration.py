@@ -230,6 +230,34 @@ class CalibrationProfile:
         """Copy of the profile with the given fields replaced."""
         return replace(self, **changes)  # type: ignore[arg-type]
 
+    def fingerprint(self) -> str:
+        """Stable content hash over every calibration constant.
+
+        Floats are hashed via :meth:`float.hex`, so any change to any
+        constant — however small — yields a different fingerprint.
+        The result cache (:mod:`repro.runner`) folds this into its
+        point keys, which is how perturbing one constant invalidates
+        exactly the simulation points that used this profile.
+        """
+        import dataclasses
+        import hashlib
+
+        def encode(value: object) -> str:
+            if isinstance(value, float):
+                return value.hex()
+            if isinstance(value, Mapping):
+                inner = ",".join(
+                    f"{key}={encode(value[key])}" for key in sorted(value)
+                )
+                return "{" + inner + "}"
+            return repr(value)
+
+        parts = [
+            f"{field_.name}={encode(getattr(self, field_.name))}"
+            for field_ in dataclasses.fields(self)
+        ]
+        return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
     # -- derived rates ------------------------------------------------------
 
     def sdma_cap_for_tier(self, tier: LinkTier) -> float:

@@ -89,6 +89,24 @@ class ExperimentResult:
                 seen.append(m.meta[key])
         return seen
 
+    def canonical(self) -> tuple:
+        """Order-sensitive, wall-clock-free view for exact comparison.
+
+        Two runs of the same deterministic experiment — serial,
+        parallel, or replayed from the result cache — must compare
+        equal under this view; only ``wall_seconds`` (host timing) is
+        excluded.
+        """
+        return (
+            self.experiment_id,
+            self.title,
+            tuple(
+                (m.x, m.value, m.unit, tuple(sorted(m.meta.items())))
+                for m in self.measurements
+            ),
+            tuple(self.notes),
+        )
+
     def __len__(self) -> int:
         return len(self.measurements)
 

@@ -61,13 +61,26 @@ class Methodology:
             ids.extend(STEPS[step])
         return ids
 
-    def run(self, **params: object) -> MethodologyReport:
+    def run(self, *, runner: object | None = None, **params: object) -> MethodologyReport:
         # Imported here: the figures package imports bench_suites which
         # import core — a top-level import would be circular.
-        """Run every selected artifact driver; returns the report."""
+        """Run every selected artifact driver; returns the report.
+
+        With a ``runner`` (:class:`~repro.runner.SweepRunner`), all
+        artifacts flatten into one point grid so cached points are
+        shared and workers stay busy across artifact boundaries.
+        """
         from .. import figures
 
         report = MethodologyReport()
+        if runner is not None:
+            results = runner.run_many(self.artifact_ids(), **params)
+            for artifact_id, result in results.items():
+                report.results[artifact_id] = result
+                report.reports[artifact_id] = figures.report(
+                    artifact_id, result
+                )
+            return report
         for artifact_id in self.artifact_ids():
             result, text = figures.run_and_report(artifact_id, **params)
             report.results[artifact_id] = result

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from ..runner import SimPoint, SweepRunner, execute_points
 from ..topology.link import LinkTier
 from ..topology.node import NodeTopology
 from ..topology.presets import frontier_node
@@ -82,25 +83,147 @@ def _within(observed: float, expected: float, rel_tol: float) -> bool:
     return abs(observed - expected) <= rel_tol * abs(expected)
 
 
+def validation_points(
+    topology: NodeTopology | None = None,
+    calibration: CalibrationProfile | None = None,
+    *,
+    probe_bytes: int = 512 * MiB,
+) -> list[SimPoint]:
+    """The validation battery decomposed into independent sim points.
+
+    Probe order matches :func:`validate_node`'s report order: the three
+    H2D interfaces, the multi-GCD scaling probes, three probes per
+    GCD0 neighbor (SDMA, kernel zero-copy, latency), then local HBM.
+    """
+    if topology is None:
+        topology = frontier_node()
+    if calibration is None:
+        calibration = DEFAULT_CALIBRATION
+    points = [
+        SimPoint.make(
+            "validate",
+            "h2d/pinned_memcpy",
+            "repro.bench_suites.comm_scope:measure_h2d",
+            interface="pinned_memcpy",
+            size=probe_bytes,
+            topology=topology,
+            calibration=calibration,
+        ),
+        SimPoint.make(
+            "validate",
+            "h2d/managed_zerocopy",
+            "repro.bench_suites.comm_scope:measure_h2d",
+            interface="managed_zerocopy",
+            size=probe_bytes,
+            topology=topology,
+            calibration=calibration,
+        ),
+        SimPoint.make(
+            "validate",
+            "h2d/managed_migration",
+            "repro.bench_suites.comm_scope:measure_h2d",
+            interface="managed_migration",
+            size=min(probe_bytes, 256 * MiB),
+            topology=topology,
+            calibration=calibration,
+        ),
+        SimPoint.make(
+            "validate",
+            "scaling/one",
+            "repro.bench_suites.stream:multi_gpu_cpu_stream",
+            placement=(0,),
+            size=probe_bytes,
+            topology=topology,
+            calibration=calibration,
+        ),
+    ]
+    sibling = topology.package_peer(0)
+    if sibling is not None:
+        points.append(
+            SimPoint.make(
+                "validate",
+                "scaling/same_gpu",
+                "repro.bench_suites.stream:multi_gpu_cpu_stream",
+                placement=(0, sibling),
+                size=probe_bytes,
+                topology=topology,
+                calibration=calibration,
+            )
+        )
+    for dst in topology.gcd_neighbors(0):
+        points.append(
+            SimPoint.make(
+                "validate",
+                f"p2p/sdma/0-{dst}",
+                "repro.bench_suites.p2p_matrix:measure_pair_bandwidth",
+                src_gcd=0,
+                dst_gcd=dst,
+                size=probe_bytes,
+                topology=topology,
+                calibration=calibration,
+            )
+        )
+        points.append(
+            SimPoint.make(
+                "validate",
+                f"p2p/kernel/0-{dst}",
+                "repro.bench_suites.stream:remote_stream_copy",
+                executor_gcd=0,
+                data_gcd=dst,
+                size=probe_bytes,
+                topology=topology,
+                calibration=calibration,
+            )
+        )
+        points.append(
+            SimPoint.make(
+                "validate",
+                f"p2p/latency/0-{dst}",
+                "repro.bench_suites.p2p_matrix:measure_pair_latency",
+                src_gcd=0,
+                dst_gcd=dst,
+                topology=topology,
+                calibration=calibration,
+            )
+        )
+    points.append(
+        SimPoint.make(
+            "validate",
+            "local/hbm_stream",
+            "repro.bench_suites.stream:local_stream_copy",
+            gcd=0,
+            size=min(probe_bytes, 1 * GiB),
+            topology=topology,
+            calibration=calibration,
+        )
+    )
+    return points
+
+
 def validate_node(
     topology: NodeTopology | None = None,
     calibration: CalibrationProfile | None = None,
     *,
     rel_tol: float = 0.05,
     probe_bytes: int = 512 * MiB,
+    runner: SweepRunner | None = None,
 ) -> ValidationReport:
     """Run the validation battery; returns a :class:`ValidationReport`.
 
     Each check's *expected* value is computed from the calibration
     profile and topology, so the battery validates mechanism ↔
-    configuration consistency rather than specific magnitudes.
+    configuration consistency rather than specific magnitudes.  With a
+    ``runner``, the probes fan out through its cache/worker pool and
+    the report is assembled from outputs in probe order.
     """
-    from ..bench_suites import comm_scope, p2p_matrix, stream
-
     if topology is None:
         topology = frontier_node()
     if calibration is None:
         calibration = DEFAULT_CALIBRATION
+    points = validation_points(
+        topology, calibration, probe_bytes=probe_bytes
+    )
+    outputs = iter(execute_points(points, runner))
     report = ValidationReport()
 
     def check(
@@ -124,9 +247,7 @@ def validate_node(
         )
 
     # --- CPU-GPU interfaces -------------------------------------------------
-    pinned = comm_scope.measure_h2d(
-        "pinned_memcpy", probe_bytes, topology=topology, calibration=calibration
-    )
+    pinned = next(outputs)
     check(
         "h2d.pinned_memcpy",
         to_gbps(pinned),
@@ -135,12 +256,7 @@ def validate_node(
         detail="SDMA engine over the CPU link",
     )
 
-    zerocopy = comm_scope.measure_h2d(
-        "managed_zerocopy",
-        probe_bytes,
-        topology=topology,
-        calibration=calibration,
-    )
+    zerocopy = next(outputs)
     check(
         "h2d.managed_zerocopy",
         to_gbps(zerocopy),
@@ -151,12 +267,7 @@ def validate_node(
         detail="kernel zero-copy over the CPU link",
     )
 
-    migration = comm_scope.measure_h2d(
-        "managed_migration",
-        min(probe_bytes, 256 * MiB),
-        topology=topology,
-        calibration=calibration,
-    )
+    migration = next(outputs)
     check(
         "h2d.managed_migration",
         to_gbps(migration),
@@ -166,15 +277,11 @@ def validate_node(
     )
 
     # --- multi-GCD scaling ----------------------------------------------------
-    one = stream.multi_gpu_cpu_stream(
-        [0], probe_bytes, topology=topology, calibration=calibration
-    )
+    one = next(outputs)
     gcd0 = topology.gcd(0)
     sibling = topology.package_peer(0)
     if sibling is not None:
-        same = stream.multi_gpu_cpu_stream(
-            [0, sibling], probe_bytes, topology=topology, calibration=calibration
-        )
+        same = next(outputs)
         check(
             "scaling.same_gpu_flat",
             to_gbps(same),
@@ -188,9 +295,7 @@ def validate_node(
     for dst in neighbors:
         tier = topology.peer_tier(0, dst)
         assert tier is not None
-        sdma = p2p_matrix.measure_pair_bandwidth(
-            0, dst, size=probe_bytes, topology=topology, calibration=calibration
-        )
+        sdma = next(outputs)
         check(
             f"p2p.sdma.gcd0->{dst}",
             to_gbps(sdma),
@@ -198,9 +303,7 @@ def validate_node(
             "GB/s",
             detail=f"{tier.name.lower()} link, engine-capped",
         )
-        kernel = stream.remote_stream_copy(
-            0, dst, probe_bytes, topology=topology, calibration=calibration
-        )
+        kernel = next(outputs)
         check(
             f"p2p.kernel_bidir.gcd0<->{dst}",
             to_gbps(kernel),
@@ -211,9 +314,7 @@ def validate_node(
             "GB/s",
             detail=f"{tier.name.lower()} link, zero-copy both directions",
         )
-        latency = p2p_matrix.measure_pair_latency(
-            0, dst, topology=topology, calibration=calibration
-        )
+        latency = next(outputs)
         from ..hip.memcpy import pair_jitter
 
         expected_latency = calibration.p2p_latency(
@@ -229,9 +330,7 @@ def validate_node(
         )
 
     # --- local memory ----------------------------------------------------------------
-    local = stream.local_stream_copy(
-        0, min(probe_bytes, 1 * GiB), topology=topology, calibration=calibration
-    )
+    local = next(outputs)
     check(
         "local.hbm_stream",
         to_gbps(local),

@@ -5,13 +5,22 @@ Each module exposes ``run(**params) -> ExperimentResult`` and
 :data:`SUITE` registry binds them to experiment ids so
 ``repro.figures.run("fig06")`` works uniformly — that is what the
 ``benchmarks/`` harness and the examples call.
+
+Sweep-decomposed artifacts additionally expose
+``sweep_points(**params) -> list[SimPoint]`` and
+``merge_outputs(points, outputs, **params) -> ExperimentResult`` so the
+:class:`~repro.runner.SweepRunner` can fan their measurements out; the
+package-level :func:`sweep_points`/:func:`merge_outputs` dispatch to
+them, falling back to a single whole-artifact point for drivers that
+are not decomposable (fig01 and the tables).
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Sequence
 
 from ..core.experiment import Experiment, ExperimentResult, ExperimentSuite
+from ..runner import SimPoint
 from . import (
     fig01_topology,
     fig02_peak_h2d,
@@ -58,14 +67,58 @@ for _eid, _module in _MODULES.items():
     )
 
 
+def _module(experiment_id: str):
+    SUITE.get(experiment_id)  # raises BenchmarkError listing known ids
+    return _MODULES[experiment_id]
+
+
 def run(experiment_id: str, **params: Any) -> ExperimentResult:
     """Run one reproduction by id (``"fig06"``, ``"tab01"``, …)."""
     return SUITE.get(experiment_id).run(**params)
 
 
+def run_artifact(artifact_id: str, **params: Any) -> ExperimentResult:
+    """Whole-artifact trampoline for non-decomposable sweep points."""
+    return run(artifact_id, **params)
+
+
+def sweep_points(experiment_id: str, **params: Any) -> list[SimPoint]:
+    """Decompose an artifact run into independent sim points.
+
+    Artifacts without a sweep decomposition become a single point that
+    executes the whole driver."""
+    module = _module(experiment_id)
+    decompose = getattr(module, "sweep_points", None)
+    if decompose is not None:
+        return decompose(**params)
+    return [
+        SimPoint.make(
+            experiment_id,
+            "all",
+            "repro.figures:run_artifact",
+            artifact_id=experiment_id,
+            **params,
+        )
+    ]
+
+
+def merge_outputs(
+    experiment_id: str,
+    points: Sequence[SimPoint],
+    outputs: Sequence[Any],
+    **params: Any,
+) -> ExperimentResult:
+    """Assemble an artifact result from its point outputs (in order)."""
+    module = _module(experiment_id)
+    merge = getattr(module, "merge_outputs", None)
+    if merge is not None:
+        return merge(points, outputs, **params)
+    return outputs[0]
+
+
 def report(experiment_id: str, result: ExperimentResult) -> str:
     """Paper-style text rendering of a result."""
-    return _MODULES[experiment_id].report(result)
+    return _module(experiment_id).report(result)
 
 
 def run_and_report(experiment_id: str, **params: Any) -> tuple[ExperimentResult, str]:
@@ -79,4 +132,12 @@ def all_ids() -> list[str]:
     return list(SUITE.ids())
 
 
-__all__ = ["SUITE", "run", "report", "run_and_report", "all_ids"]
+__all__ = [
+    "SUITE",
+    "run",
+    "sweep_points",
+    "merge_outputs",
+    "report",
+    "run_and_report",
+    "all_ids",
+]

@@ -9,18 +9,28 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..bench_suites.comm_scope import H2D_INTERFACES, h2d_sweep
+from ..bench_suites.comm_scope import H2D_INTERFACES, h2d_points, h2d_result
 from ..core.experiment import ExperimentResult
 from ..core.report import bar_table
+from ..runner import SimPoint
 from ..topology.link import LinkTier
 
 TITLE = "Peak achieved host-to-device bandwidth (Figure 2)"
 ARTIFACT = "Figure 2"
 
 
-def run(interfaces: Sequence[str] = H2D_INTERFACES) -> ExperimentResult:
-    """Run the reproduction; returns its :class:`ExperimentResult`."""
-    sweep = h2d_sweep(interfaces)
+def sweep_points(interfaces: Sequence[str] = H2D_INTERFACES) -> list[SimPoint]:
+    """Decompose the reproduction into independent sim points."""
+    return h2d_points(interfaces, experiment_id="fig02")
+
+
+def merge_outputs(
+    points: Sequence[SimPoint],
+    outputs: Sequence[float],
+    interfaces: Sequence[str] = H2D_INTERFACES,
+) -> ExperimentResult:
+    """Assemble the figure result from point outputs (in order)."""
+    sweep = h2d_result(points, outputs)
     result = ExperimentResult("fig02", TITLE)
     for interface in interfaces:
         peak = sweep.peak(interface=interface)
@@ -30,6 +40,12 @@ def run(interfaces: Sequence[str] = H2D_INTERFACES) -> ExperimentResult:
         f"{LinkTier.CPU.peak_unidirectional / 1e9:.0f} GB/s per direction"
     )
     return result
+
+
+def run(interfaces: Sequence[str] = H2D_INTERFACES) -> ExperimentResult:
+    """Run the reproduction; returns its :class:`ExperimentResult`."""
+    points = sweep_points(interfaces)
+    return merge_outputs(points, [p.execute() for p in points], interfaces)
 
 
 def report(result: ExperimentResult) -> str:

@@ -9,12 +9,33 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..bench_suites.comm_scope import H2D_INTERFACES, h2d_sweep
+from ..bench_suites.comm_scope import H2D_INTERFACES, h2d_points, h2d_result
 from ..core.experiment import ExperimentResult
 from ..core.report import peak_summary, series_table
+from ..runner import SimPoint
 
 TITLE = "Host-to-device bandwidth vs transfer size (Figure 3)"
 ARTIFACT = "Figure 3"
+
+
+def sweep_points(
+    interfaces: Sequence[str] = H2D_INTERFACES,
+    sizes: Sequence[int] | None = None,
+) -> list[SimPoint]:
+    """Decompose the reproduction into independent sim points."""
+    return h2d_points(interfaces, sizes, experiment_id="fig03")
+
+
+def merge_outputs(
+    points: Sequence[SimPoint],
+    outputs: Sequence[float],
+    interfaces: Sequence[str] = H2D_INTERFACES,
+    sizes: Sequence[int] | None = None,
+) -> ExperimentResult:
+    """Assemble the figure result from point outputs (in order)."""
+    result = h2d_result(points, outputs)
+    result.title = TITLE
+    return result
 
 
 def run(
@@ -22,9 +43,8 @@ def run(
     sizes: Sequence[int] | None = None,
 ) -> ExperimentResult:
     """Run the reproduction; returns its :class:`ExperimentResult`."""
-    result = h2d_sweep(interfaces, sizes)
-    result.title = TITLE
-    return result
+    points = sweep_points(interfaces, sizes)
+    return merge_outputs(points, [p.execute() for p in points])
 
 
 def report(result: ExperimentResult) -> str:

@@ -2,22 +2,40 @@
 
 from __future__ import annotations
 
-from ..bench_suites.stream import dual_gcd_experiment
+from typing import Sequence
+
+from ..bench_suites.stream import dual_gcd_points, dual_gcd_result
 from ..core.bounds import cpu_gpu_peak_bidirectional
 from ..core.experiment import ExperimentResult
 from ..core.report import bar_table
 from ..core.sweep import MULTI_GPU_STREAM_BYTES
+from ..runner import SimPoint
 from ..topology.presets import frontier_node
 
 TITLE = "CPU-GPU STREAM: one vs two GCDs (Figure 4)"
 ARTIFACT = "Figure 4"
 
 
-def run(size: int = MULTI_GPU_STREAM_BYTES) -> ExperimentResult:
-    """Run the reproduction; returns its :class:`ExperimentResult`."""
-    result = dual_gcd_experiment(size)
+def sweep_points(size: int = MULTI_GPU_STREAM_BYTES) -> list[SimPoint]:
+    """Decompose the reproduction into independent sim points."""
+    return dual_gcd_points(size)
+
+
+def merge_outputs(
+    points: Sequence[SimPoint],
+    outputs: Sequence[float],
+    size: int = MULTI_GPU_STREAM_BYTES,
+) -> ExperimentResult:
+    """Assemble the figure result from point outputs (in order)."""
+    result = dual_gcd_result(points, outputs)
     result.title = TITLE
     return result
+
+
+def run(size: int = MULTI_GPU_STREAM_BYTES) -> ExperimentResult:
+    """Run the reproduction; returns its :class:`ExperimentResult`."""
+    points = sweep_points(size)
+    return merge_outputs(points, [p.execute() for p in points])
 
 
 def report(result: ExperimentResult) -> str:

@@ -2,19 +2,35 @@
 
 from __future__ import annotations
 
-from ..bench_suites.p2p_matrix import full_experiment
+from typing import Sequence
+
+from ..bench_suites.p2p_matrix import matrix_points, matrix_result
 from ..core.experiment import ExperimentResult
 from ..core.report import matrix_table
+from ..runner import SimPoint
 
 TITLE = "Peer-to-peer hop/latency/bandwidth matrices (Figure 6)"
 ARTIFACT = "Figure 6"
 
 
-def run() -> ExperimentResult:
-    """Run the reproduction; returns its :class:`ExperimentResult`."""
-    result = full_experiment()
+def sweep_points() -> list[SimPoint]:
+    """Decompose the reproduction into independent sim points."""
+    return matrix_points()
+
+
+def merge_outputs(
+    points: Sequence[SimPoint], outputs: Sequence[float]
+) -> ExperimentResult:
+    """Assemble the figure result from point outputs (in order)."""
+    result = matrix_result(points, outputs)
     result.title = TITLE
     return result
+
+
+def run() -> ExperimentResult:
+    """Run the reproduction; returns its :class:`ExperimentResult`."""
+    points = sweep_points()
+    return merge_outputs(points, [p.execute() for p in points])
 
 
 def _panel(result: ExperimentResult, panel: str) -> dict[tuple[int, int], float]:

@@ -4,21 +4,32 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..bench_suites.comm_scope import peer_sweep
+from ..bench_suites.comm_scope import peer_points, peer_result
 from ..core.experiment import ExperimentResult
 from ..core.report import peak_summary, series_table
+from ..runner import SimPoint
 from ..topology.presets import frontier_node
 
 TITLE = "hipMemcpyPeer bandwidth from GCD0 to adjacent GCDs (Figure 7)"
 ARTIFACT = "Figure 7"
 
 
-def run(
+def sweep_points(
+    dst_gcds: Sequence[int] = (1, 2, 6),
+    sizes: Sequence[int] | None = None,
+) -> list[SimPoint]:
+    """Decompose the reproduction into independent sim points."""
+    return peer_points(0, dst_gcds, sizes)
+
+
+def merge_outputs(
+    points: Sequence[SimPoint],
+    outputs: Sequence[float],
     dst_gcds: Sequence[int] = (1, 2, 6),
     sizes: Sequence[int] | None = None,
 ) -> ExperimentResult:
-    """Run the reproduction; returns its :class:`ExperimentResult`."""
-    result = peer_sweep(0, dst_gcds, sizes)
+    """Assemble the figure result from point outputs (in order)."""
+    result = peer_result(points, outputs, src_gcd=0)
     result.title = TITLE
     topology = frontier_node()
     for dst in dst_gcds:
@@ -29,6 +40,15 @@ def run(
                 f"{tier.peak_unidirectional / 1e9:.0f} GB/s per direction"
             )
     return result
+
+
+def run(
+    dst_gcds: Sequence[int] = (1, 2, 6),
+    sizes: Sequence[int] | None = None,
+) -> ExperimentResult:
+    """Run the reproduction; returns its :class:`ExperimentResult`."""
+    points = sweep_points(dst_gcds, sizes)
+    return merge_outputs(points, [p.execute() for p in points], dst_gcds)
 
 
 def report(result: ExperimentResult) -> str:

@@ -4,13 +4,51 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..bench_suites.stream import local_stream_copy, remote_stream_sweep
+from ..bench_suites.stream import remote_stream_points, remote_stream_result
 from ..core.experiment import ExperimentResult
 from ..core.report import peak_summary, series_table
+from ..runner import SimPoint
 from ..units import GiB, to_gbps
 
 TITLE = "Bidirectional STREAM copy, remote placement (Figure 8)"
 ARTIFACT = "Figure 8"
+
+
+def sweep_points(
+    data_gcds: Sequence[int] = (1, 2, 6),
+    sizes: Sequence[int] | None = None,
+) -> list[SimPoint]:
+    """Decompose the reproduction into independent sim points.
+
+    The last point is the local-memory reference used in the note."""
+    points = remote_stream_points(0, data_gcds, sizes)
+    points.append(
+        SimPoint.make(
+            "fig08",
+            "local/0",
+            "repro.bench_suites.stream:local_stream_copy",
+            gcd=0,
+            size=1 * GiB,
+        )
+    )
+    return points
+
+
+def merge_outputs(
+    points: Sequence[SimPoint],
+    outputs: Sequence[float],
+    data_gcds: Sequence[int] = (1, 2, 6),
+    sizes: Sequence[int] | None = None,
+) -> ExperimentResult:
+    """Assemble the figure result from point outputs (in order)."""
+    result = remote_stream_result(points[:-1], outputs[:-1], executor_gcd=0)
+    result.title = TITLE
+    local = outputs[-1]
+    result.note(
+        f"local-memory reference: {to_gbps(local):.0f} GB/s "
+        f"({local / 1.6e12:.0%} of the 1.6 TB/s HBM peak)"
+    )
+    return result
 
 
 def run(
@@ -18,14 +56,8 @@ def run(
     sizes: Sequence[int] | None = None,
 ) -> ExperimentResult:
     """Run the reproduction; returns its :class:`ExperimentResult`."""
-    result = remote_stream_sweep(0, data_gcds, sizes)
-    result.title = TITLE
-    local = local_stream_copy(0, 1 * GiB)
-    result.note(
-        f"local-memory reference: {to_gbps(local):.0f} GB/s "
-        f"({local / 1.6e12:.0%} of the 1.6 TB/s HBM peak)"
-    )
-    return result
+    points = sweep_points(data_gcds, sizes)
+    return merge_outputs(points, [p.execute() for p in points])
 
 
 def report(result: ExperimentResult) -> str:

@@ -8,9 +8,9 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..bench_suites.stream import remote_stream_copy
 from ..core.experiment import ExperimentResult
 from ..core.report import bar_table
+from ..runner import SimPoint
 from ..topology.presets import frontier_node
 from ..units import GiB
 
@@ -18,14 +18,34 @@ TITLE = "Peak bidirectional direct-access bandwidth (Figure 9)"
 ARTIFACT = "Figure 9"
 
 
-def run(
+def sweep_points(
     data_gcds: Sequence[int] = (1, 2, 6), size: int = 4 * GiB
+) -> list[SimPoint]:
+    """Decompose the reproduction into independent sim points."""
+    return [
+        SimPoint.make(
+            "fig09",
+            f"direct/{data_gcd}",
+            "repro.bench_suites.stream:remote_stream_copy",
+            executor_gcd=0,
+            data_gcd=data_gcd,
+            size=size,
+        )
+        for data_gcd in data_gcds
+    ]
+
+
+def merge_outputs(
+    points: Sequence[SimPoint],
+    outputs: Sequence[float],
+    data_gcds: Sequence[int] = (1, 2, 6),
+    size: int = 4 * GiB,
 ) -> ExperimentResult:
-    """Run the reproduction; returns its :class:`ExperimentResult`."""
+    """Assemble the figure result from point outputs (in order)."""
     topology = frontier_node()
     result = ExperimentResult("fig09", TITLE)
-    for data_gcd in data_gcds:
-        bandwidth = remote_stream_copy(0, data_gcd, size)
+    for point, bandwidth in zip(points, outputs):
+        data_gcd = point.kwargs["data_gcd"]
         tier = topology.peer_tier(0, data_gcd)
         assert tier is not None
         result.add(
@@ -37,6 +57,14 @@ def run(
             theoretical=tier.peak_bidirectional,
         )
     return result
+
+
+def run(
+    data_gcds: Sequence[int] = (1, 2, 6), size: int = 4 * GiB
+) -> ExperimentResult:
+    """Run the reproduction; returns its :class:`ExperimentResult`."""
+    points = sweep_points(data_gcds, size)
+    return merge_outputs(points, [p.execute() for p in points])
 
 
 def report(result: ExperimentResult) -> str:

@@ -9,15 +9,69 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..bench_suites.osu import osu_bw
-from ..bench_suites.stream import direct_p2p_read
 from ..core.experiment import ExperimentResult
 from ..core.report import series_table
 from ..core.sweep import OSU_P2P_BYTES
+from ..runner import SimPoint
 from ..units import GiB
 
 TITLE = "MPI p2p bandwidth vs direct P2P, from GCD0 (Figure 10)"
 ARTIFACT = "Figure 10"
+
+
+def sweep_points(
+    dst_gcds: Sequence[int] = (1, 2, 3, 4, 5, 6, 7),
+    message_bytes: int = OSU_P2P_BYTES,
+) -> list[SimPoint]:
+    """Decompose the reproduction into independent sim points.
+
+    Three points per destination, in figure order: MPI with SDMA, MPI
+    without SDMA, then the direct-P2P copy-kernel reference."""
+    points = []
+    for dst in dst_gcds:
+        for sdma in (True, False):
+            points.append(
+                SimPoint.make(
+                    "fig10",
+                    f"mpi/{dst}/{'sdma' if sdma else 'nosdma'}",
+                    "repro.bench_suites.osu:osu_bw",
+                    src_gcd=0,
+                    dst_gcd=dst,
+                    message_bytes=message_bytes,
+                    sdma_enabled=sdma,
+                )
+            )
+        points.append(
+            SimPoint.make(
+                "fig10",
+                f"direct/{dst}",
+                "repro.bench_suites.stream:direct_p2p_read",
+                executor_gcd=0,
+                peer_gcd=dst,
+                size=min(message_bytes, 1 * GiB),
+            )
+        )
+    return points
+
+
+def merge_outputs(
+    points: Sequence[SimPoint],
+    outputs: Sequence[float],
+    dst_gcds: Sequence[int] = (1, 2, 3, 4, 5, 6, 7),
+    message_bytes: int = OSU_P2P_BYTES,
+) -> ExperimentResult:
+    """Assemble the figure result from point outputs (in order)."""
+    result = ExperimentResult("fig10", TITLE)
+    for point, bandwidth in zip(points, outputs):
+        kwargs = point.kwargs
+        if point.label.startswith("direct/"):
+            dst, label = kwargs["peer_gcd"], "direct P2P"
+        elif kwargs["sdma_enabled"]:
+            dst, label = kwargs["dst_gcd"], "MPI (SDMA)"
+        else:
+            dst, label = kwargs["dst_gcd"], "MPI (no SDMA)"
+        result.add(dst, bandwidth, "B/s", series=label, dst=dst)
+    return result
 
 
 def run(
@@ -25,16 +79,8 @@ def run(
     message_bytes: int = OSU_P2P_BYTES,
 ) -> ExperimentResult:
     """Run the reproduction; returns its :class:`ExperimentResult`."""
-    result = ExperimentResult("fig10", TITLE)
-    for dst in dst_gcds:
-        for sdma, label in ((True, "MPI (SDMA)"), (False, "MPI (no SDMA)")):
-            bandwidth = osu_bw(
-                0, dst, message_bytes=message_bytes, sdma_enabled=sdma
-            )
-            result.add(dst, bandwidth, "B/s", series=label, dst=dst)
-        direct = direct_p2p_read(0, dst, min(message_bytes, 1 * GiB))
-        result.add(dst, direct, "B/s", series="direct P2P", dst=dst)
-    return result
+    points = sweep_points(dst_gcds, message_bytes)
+    return merge_outputs(points, [p.execute() for p in points])
 
 
 def report(result: ExperimentResult) -> str:

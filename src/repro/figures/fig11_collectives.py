@@ -4,12 +4,11 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..bench_suites.osu import osu_collective_latency
-from ..bench_suites.rccl_tests import rccl_collective_latency
 from ..core.experiment import ExperimentResult
 from ..core.report import latency_table
 from ..core.sweep import OSU_COLLECTIVE_BYTES, PARTNER_COUNTS
 from ..mpi.collectives import COLLECTIVES
+from ..runner import SimPoint
 
 TITLE = "Collective latency, MPI vs RCCL (Figure 11)"
 ARTIFACT = "Figure 11"
@@ -18,40 +17,77 @@ ARTIFACT = "Figure 11"
 PANEL_ORDER = ("reduce", "broadcast", "allreduce", "reduce_scatter", "allgather")
 
 
+def sweep_points(
+    collectives: Sequence[str] = PANEL_ORDER,
+    partner_counts: Sequence[int] = PARTNER_COUNTS,
+    message_bytes: int = OSU_COLLECTIVE_BYTES,
+) -> list[SimPoint]:
+    """Decompose the reproduction into independent sim points.
+
+    MPI and RCCL points interleave per (collective, partners) cell, in
+    figure order."""
+    points = []
+    for collective in collectives:
+        if collective not in COLLECTIVES:
+            raise KeyError(f"unknown collective {collective!r}")
+        for partners in partner_counts:
+            points.append(
+                SimPoint.make(
+                    "fig11",
+                    f"mpi/{collective}/{partners}",
+                    "repro.bench_suites.osu:osu_collective_latency",
+                    collective=collective,
+                    num_partners=partners,
+                    message_bytes=message_bytes,
+                )
+            )
+            points.append(
+                SimPoint.make(
+                    "fig11",
+                    f"rccl/{collective}/{partners}",
+                    "repro.bench_suites.rccl_tests:rccl_collective_latency",
+                    collective=collective,
+                    num_threads=partners,
+                    message_bytes=message_bytes,
+                )
+            )
+    return points
+
+
+def merge_outputs(
+    points: Sequence[SimPoint],
+    outputs: Sequence[float],
+    collectives: Sequence[str] = PANEL_ORDER,
+    partner_counts: Sequence[int] = PARTNER_COUNTS,
+    message_bytes: int = OSU_COLLECTIVE_BYTES,
+) -> ExperimentResult:
+    """Assemble the figure result from point outputs (in order)."""
+    result = ExperimentResult("fig11", TITLE)
+    for point, latency in zip(points, outputs):
+        kwargs = point.kwargs
+        if point.label.startswith("mpi/"):
+            partners, library = kwargs["num_partners"], "MPI"
+        else:
+            partners, library = kwargs["num_threads"], "RCCL"
+        result.add(
+            partners,
+            latency,
+            "s",
+            collective=kwargs["collective"],
+            partners=partners,
+            library=library,
+        )
+    return result
+
+
 def run(
     collectives: Sequence[str] = PANEL_ORDER,
     partner_counts: Sequence[int] = PARTNER_COUNTS,
     message_bytes: int = OSU_COLLECTIVE_BYTES,
 ) -> ExperimentResult:
     """Run the reproduction; returns its :class:`ExperimentResult`."""
-    result = ExperimentResult("fig11", TITLE)
-    for collective in collectives:
-        if collective not in COLLECTIVES:
-            raise KeyError(f"unknown collective {collective!r}")
-        for partners in partner_counts:
-            mpi = osu_collective_latency(
-                collective, partners, message_bytes=message_bytes
-            )
-            result.add(
-                partners,
-                mpi,
-                "s",
-                collective=collective,
-                partners=partners,
-                library="MPI",
-            )
-            rccl = rccl_collective_latency(
-                collective, partners, message_bytes=message_bytes
-            )
-            result.add(
-                partners,
-                rccl,
-                "s",
-                collective=collective,
-                partners=partners,
-                library="RCCL",
-            )
-    return result
+    points = sweep_points(collectives, partner_counts, message_bytes)
+    return merge_outputs(points, [p.execute() for p in points])
 
 
 def report(result: ExperimentResult) -> str:

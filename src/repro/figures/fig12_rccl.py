@@ -4,14 +4,40 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..bench_suites.rccl_tests import rccl_latency_sweep
+from ..bench_suites.rccl_tests import rccl_points, rccl_result
 from ..core.bounds import collective_latency_bound
 from ..core.experiment import ExperimentResult
 from ..core.report import latency_table
 from ..core.sweep import OSU_COLLECTIVE_BYTES, PARTNER_COUNTS
+from ..runner import SimPoint
 
 TITLE = "RCCL collective latency, 2-8 threads (Figure 12)"
 ARTIFACT = "Figure 12"
+
+
+def sweep_points(
+    collectives: Sequence[str] | None = None,
+    thread_counts: Sequence[int] = PARTNER_COUNTS,
+    message_bytes: int = OSU_COLLECTIVE_BYTES,
+) -> list[SimPoint]:
+    """Decompose the reproduction into independent sim points."""
+    return rccl_points(
+        collectives, thread_counts, message_bytes=message_bytes
+    )
+
+
+def merge_outputs(
+    points: Sequence[SimPoint],
+    outputs: Sequence[float],
+    collectives: Sequence[str] | None = None,
+    thread_counts: Sequence[int] = PARTNER_COUNTS,
+    message_bytes: int = OSU_COLLECTIVE_BYTES,
+) -> ExperimentResult:
+    """Assemble the figure result from point outputs (in order)."""
+    result = rccl_result(points, outputs, experiment_id="fig12", title=TITLE)
+    for name in ("reduce", "broadcast", "allreduce", "reduce_scatter", "allgather"):
+        result.note(collective_latency_bound(name).describe())
+    return result
 
 
 def run(
@@ -20,14 +46,8 @@ def run(
     message_bytes: int = OSU_COLLECTIVE_BYTES,
 ) -> ExperimentResult:
     """Run the reproduction; returns its :class:`ExperimentResult`."""
-    result = rccl_latency_sweep(
-        collectives, thread_counts, message_bytes=message_bytes
-    )
-    result.experiment_id = "fig12"
-    result.title = TITLE
-    for name in ("reduce", "broadcast", "allreduce", "reduce_scatter", "allgather"):
-        result.note(collective_latency_bound(name).describe())
-    return result
+    points = sweep_points(collectives, thread_counts, message_bytes)
+    return merge_outputs(points, [p.execute() for p in points])
 
 
 def report(result: ExperimentResult) -> str:

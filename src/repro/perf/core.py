@@ -15,8 +15,11 @@ the pre-solver behaviour) and reports the speedup.
 from __future__ import annotations
 
 import json
+import os
 import platform
+import subprocess
 import sys
+import tempfile
 import time
 from typing import Any, Callable, Generator
 
@@ -26,10 +29,41 @@ from ..units import GiB, MiB
 
 #: Default measurement repetitions (best-of).
 REPEATS = 3
+#: Decimal places kept for wall-second floats: enough to compare runs,
+#: few enough that reports diff cleanly.
+ROUND_DIGITS = 6
 
 
 def _best_of(fn: Callable[[], float], repeats: int) -> float:
     return min(fn() for _ in range(max(1, repeats)))
+
+
+def _git_sha() -> str:
+    """Current commit, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    return out.stdout.strip()
+
+
+def _round_floats(value: Any, digits: int = ROUND_DIGITS) -> Any:
+    """Round every float in a nested report structure (for diffing)."""
+    if isinstance(value, float):
+        return round(value, digits)
+    if isinstance(value, dict):
+        return {k: _round_floats(v, digits) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_round_floats(v, digits) for v in value]
+    return value
 
 
 # -- event engine -------------------------------------------------------------
@@ -185,11 +219,97 @@ def bench_figure_sweep(*, smoke: bool = False) -> dict[str, Any]:
     }
 
 
+# -- sweep runner ---------------------------------------------------------------
+
+
+def _parallel_workload(smoke: bool):
+    from ..bench_suites.comm_scope import h2d_points, peer_points
+
+    if smoke:
+        sizes = [4 * MiB, 64 * MiB]
+        interfaces = ("pinned_memcpy", "managed_zerocopy")
+    else:
+        sizes = [1 * MiB, 16 * MiB, 256 * MiB, 1 * GiB]
+        interfaces = (
+            "pageable_memcpy",
+            "pinned_memcpy",
+            "managed_zerocopy",
+            "managed_migration",
+        )
+    return h2d_points(interfaces, sizes) + peer_points(sizes=sizes)
+
+
+def bench_sweep_parallel(*, jobs: int | None = None) -> dict[str, Any]:
+    """Serial vs multi-process sweep over one uncached point grid.
+
+    ``speedup`` is an acceptance number only when ``jobs > 1`` actually
+    ran (single-core machines and sandboxes without multiprocessing
+    fall back to serial; ``parallel_fallbacks`` records that).  The
+    grid is full-size even under ``--smoke`` — a too-small grid would
+    measure pool start-up, not sweep throughput.
+    """
+    from ..runner import SweepRunner
+
+    points = _parallel_workload(False)
+    if jobs is None:
+        jobs = min(4, os.cpu_count() or 1)
+    serial = SweepRunner(jobs=1, use_cache=False)
+    t0 = time.perf_counter()
+    serial_outputs = serial.run_points(points)
+    serial_wall = time.perf_counter() - t0
+    parallel = SweepRunner(jobs=jobs, use_cache=False)
+    t0 = time.perf_counter()
+    parallel_outputs = parallel.run_points(points)
+    parallel_wall = time.perf_counter() - t0
+    return {
+        "points": len(points),
+        "jobs": jobs,
+        "cores": os.cpu_count() or 1,
+        "parallel_fallbacks": parallel.stats.parallel_fallbacks,
+        "serial_wall_seconds": serial_wall,
+        "parallel_wall_seconds": parallel_wall,
+        "speedup": serial_wall / max(parallel_wall, 1e-9),
+        "identical_outputs": serial_outputs == parallel_outputs,
+    }
+
+
+def bench_cache_hit(*, smoke: bool = False) -> dict[str, Any]:
+    """Cold vs warm sweep against a throwaway result cache."""
+    from ..runner import ResultCache, SweepRunner
+
+    points = _parallel_workload(smoke)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cold_runner = SweepRunner(jobs=1, cache=ResultCache(tmp))
+        t0 = time.perf_counter()
+        cold_outputs = cold_runner.run_points(points)
+        cold_wall = time.perf_counter() - t0
+        warm_runner = SweepRunner(jobs=1, cache=ResultCache(tmp))
+        t0 = time.perf_counter()
+        warm_outputs = warm_runner.run_points(points)
+        warm_wall = time.perf_counter() - t0
+    return {
+        "points": len(points),
+        "cold_wall_seconds": cold_wall,
+        "warm_wall_seconds": warm_wall,
+        "speedup": cold_wall / max(warm_wall, 1e-9),
+        "warm_hits": warm_runner.stats.cache_hits,
+        "identical_outputs": cold_outputs == warm_outputs,
+    }
+
+
 # -- suite ---------------------------------------------------------------------
 
 
 def run_suite(*, smoke: bool = False, repeats: int | None = None) -> dict[str, Any]:
-    """Run every microbenchmark; returns the ``BENCH_core.json`` payload."""
+    """Run every microbenchmark; returns the ``BENCH_core.json`` payload.
+
+    Reports are diff-friendly: results and headline floats are rounded
+    to :data:`ROUND_DIGITS` places, and the only run-specific values
+    (timestamp, platform string) live under ``meta`` so two reports of
+    the same code can be compared by everything outside that block.
+    """
+    from .. import __version__
+
     if repeats is None:
         repeats = 1 if smoke else REPEATS
     scale = 10 if smoke else 1
@@ -204,21 +324,30 @@ def run_suite(*, smoke: bool = False, repeats: int | None = None) -> dict[str, A
             repeats=repeats,
         ),
         "figure_sweep": bench_figure_sweep(smoke=smoke),
+        "sweep_parallel": bench_sweep_parallel(),
+        "cache_hit": bench_cache_hit(smoke=smoke),
+    }
+    headline = {
+        "events_per_second": results["engine_events"]["events_per_second"],
+        "incremental_flows_per_second": results["flow_churn"][
+            "incremental_flows_per_second"
+        ],
+        "churn_speedup_vs_batch_resolve": results["flow_churn"]["speedup"],
+        "figure_sweep_seconds": results["figure_sweep"]["wall_seconds"],
+        "sweep_parallel_speedup": results["sweep_parallel"]["speedup"],
+        "cache_hit_speedup": results["cache_hit"]["speedup"],
     }
     return {
-        "schema": "repro-bench-core/1",
-        "created_unix": time.time(),
+        "schema": "repro-bench-core/2",
+        "version": __version__,
+        "git_sha": _git_sha(),
         "python": sys.version.split()[0],
-        "platform": platform.platform(),
         "smoke": smoke,
-        "results": results,
-        "headline": {
-            "events_per_second": results["engine_events"]["events_per_second"],
-            "incremental_flows_per_second": results["flow_churn"][
-                "incremental_flows_per_second"
-            ],
-            "churn_speedup_vs_batch_resolve": results["flow_churn"]["speedup"],
-            "figure_sweep_seconds": results["figure_sweep"]["wall_seconds"],
+        "results": _round_floats(results),
+        "headline": _round_floats(headline),
+        "meta": {
+            "created_unix": time.time(),
+            "platform": platform.platform(),
         },
     }
 
@@ -243,5 +372,10 @@ def format_report(report: dict[str, Any]) -> str:
         f"(incremental; {results['flow_churn']['speedup']:.2f}x vs batch re-solve)",
         f"  figure sweep     {results['figure_sweep']['wall_seconds']:>12.2f} s "
         f"({results['figure_sweep']['measurements']} measurements)",
+        f"  sweep parallel   {results['sweep_parallel']['speedup']:>12.2f} x "
+        f"({results['sweep_parallel']['jobs']} job(s) over "
+        f"{results['sweep_parallel']['points']} points)",
+        f"  cache hit        {results['cache_hit']['speedup']:>12.2f} x "
+        f"(warm over cold, {results['cache_hit']['points']} points)",
     ]
     return "\n".join(lines)

@@ -1,0 +1,176 @@
+"""Content-addressed on-disk result cache.
+
+Entries live under ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``)
+as ``objects/<k[:2]>/<key>.pkl``; the key (see
+:mod:`repro.runner.keys`) already encodes the point parameters,
+calibration/topology fingerprints and the package version, so the
+store itself is a dumb immutable blob space — invalidation is simply
+"a changed input hashes to a different key".  Writes are atomic
+(tempfile + ``os.replace``), so concurrent runners sharing one cache
+directory can never observe a torn entry; corrupt or unreadable
+entries are deleted and treated as misses.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from .keys import UncacheableValueError, point_key
+from .points import SimPoint
+
+#: Environment variable overriding the cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, or ``~/.cache/repro``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+def _package_version() -> str:
+    from .. import __version__
+
+    return __version__
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters of one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    uncacheable: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain dict (for perf reports)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "uncacheable": self.uncacheable,
+            "errors": self.errors,
+        }
+
+
+class ResultCache:
+    """Content-addressed pickle store for sim-point outputs."""
+
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        *,
+        version: str | None = None,
+    ) -> None:
+        self.directory = (
+            Path(directory) if directory is not None else default_cache_dir()
+        )
+        self.version = version if version is not None else _package_version()
+        self.stats = CacheStats()
+
+    # -- keys -----------------------------------------------------------
+
+    def key_for(self, point: SimPoint) -> str | None:
+        """The point's cache key, or ``None`` if it is uncacheable."""
+        try:
+            return point_key(point, version=self.version)
+        except UncacheableValueError:
+            self.stats.uncacheable += 1
+            return None
+
+    # -- storage --------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.directory / "objects" / key[:2] / f"{key}.pkl"
+
+    def load(self, key: str) -> tuple[bool, Any]:
+        """``(True, value)`` on a hit, ``(False, None)`` on a miss."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                entry = pickle.load(handle)
+            value = entry["value"]
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return False, None
+        except Exception:
+            # Corrupt / truncated / incompatible entry: drop and recompute.
+            self.stats.errors += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return False, None
+        self.stats.hits += 1
+        return True, value
+
+    def store(self, key: str, value: Any) -> None:
+        """Atomically persist one point output."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(
+            {"key": key, "version": self.version, "value": value},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    # -- maintenance ----------------------------------------------------
+
+    def entries(self) -> Iterator[Path]:
+        """Every entry file currently in the cache."""
+        objects = self.directory / "objects"
+        if not objects.is_dir():
+            return
+        yield from sorted(objects.glob("*/*.pkl"))
+
+    def entry_count(self) -> int:
+        """Number of cached point outputs."""
+        return sum(1 for _ in self.entries())
+
+    def total_bytes(self) -> int:
+        """On-disk size of all entries."""
+        return sum(path.stat().st_size for path in self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def describe(self) -> str:
+        """One-paragraph summary for ``repro cache show``."""
+        count = self.entry_count()
+        size = self.total_bytes()
+        return (
+            f"cache directory: {self.directory}\n"
+            f"package version: {self.version}\n"
+            f"entries: {count} ({size / 1e6:.2f} MB)"
+        )

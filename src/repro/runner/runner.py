@@ -1,0 +1,203 @@
+"""The sweep runner: fan sim points out over worker processes.
+
+The measurement grid is embarrassingly parallel — every
+:class:`~repro.runner.points.SimPoint` builds its own simulated node —
+so the runner's job is bookkeeping, not synchronization:
+
+1. probe the :class:`~repro.runner.cache.ResultCache` for every point;
+2. execute the misses, either in-process (``jobs=1``) or over a
+   ``ProcessPoolExecutor`` (``jobs>1``), falling back to serial
+   execution if a pool cannot be started (restricted sandboxes);
+3. store fresh outputs and return them **in point order**, so the
+   assembled :class:`~repro.core.experiment.ExperimentResult` is
+   bit-identical regardless of ``jobs`` (enforced by the differential
+   tests in ``tests/runner/``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from .cache import ResultCache
+from .points import SimPoint, execute_point
+
+
+def resolve_jobs(jobs: int | str | None) -> int:
+    """Normalize a ``--jobs`` value: ``None``→1, ``0``/"auto"→cores."""
+    if jobs is None:
+        return 1
+    if jobs == "auto" or jobs == 0:
+        return os.cpu_count() or 1
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+@dataclass
+class RunnerStats:
+    """Work accounting of one :class:`SweepRunner`."""
+
+    points: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    uncacheable: int = 0
+    jobs: int = 1
+    parallel_fallbacks: int = 0
+    wall_seconds: float = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        """The counters as a plain dict (for perf reports)."""
+        return {
+            "points": self.points,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "uncacheable": self.uncacheable,
+            "jobs": self.jobs,
+            "parallel_fallbacks": self.parallel_fallbacks,
+            "wall_seconds": self.wall_seconds,
+        }
+
+    def describe(self) -> str:
+        """One-line ``--cache-stats`` summary."""
+        return (
+            f"sweep-runner: {self.points} points, {self.executed} executed "
+            f"({self.jobs} job(s)), cache {self.cache_hits} hit(s) / "
+            f"{self.cache_misses} miss(es) / {self.uncacheable} "
+            f"uncacheable, {self.wall_seconds:.2f}s"
+        )
+
+
+class SweepRunner:
+    """Executes sim-point grids with caching and optional parallelism.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` (default) runs in-process, ``0`` or
+        ``"auto"`` uses all cores.
+    cache:
+        A :class:`ResultCache` to use, or ``None`` to build one from
+        ``cache_dir`` (``use_cache=False`` disables caching entirely).
+    """
+
+    def __init__(
+        self,
+        jobs: int | str | None = 1,
+        *,
+        cache: ResultCache | None = None,
+        use_cache: bool = True,
+        cache_dir: str | None = None,
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        if cache is None and use_cache:
+            cache = ResultCache(cache_dir)
+        self.cache = cache if use_cache else None
+        self.stats = RunnerStats(jobs=self.jobs)
+
+    # -- point execution ------------------------------------------------
+
+    def run_points(self, points: Sequence[SimPoint]) -> list[Any]:
+        """Execute a grid; returns outputs in point order."""
+        points = list(points)
+        started = time.perf_counter()
+        outputs: list[Any] = [None] * len(points)
+        keys: list[str | None] = [None] * len(points)
+        pending: list[int] = []
+        for index, point in enumerate(points):
+            key = self.cache.key_for(point) if self.cache is not None else None
+            keys[index] = key
+            if key is not None:
+                hit, value = self.cache.load(key)
+                if hit:
+                    outputs[index] = value
+                    continue
+            pending.append(index)
+        if pending:
+            fresh = self._execute([points[i] for i in pending])
+            for index, value in zip(pending, fresh):
+                outputs[index] = value
+                if self.cache is not None and keys[index] is not None:
+                    self.cache.store(keys[index], value)
+        self.stats.points += len(points)
+        self.stats.executed += len(pending)
+        if self.cache is not None:
+            self.stats.cache_hits = self.cache.stats.hits
+            self.stats.cache_misses = self.cache.stats.misses
+            self.stats.uncacheable = self.cache.stats.uncacheable
+        self.stats.wall_seconds += time.perf_counter() - started
+        return outputs
+
+    def _execute(self, points: list[SimPoint]) -> list[Any]:
+        if self.jobs > 1 and len(points) > 1:
+            try:
+                return self._execute_parallel(points)
+            except (OSError, NotImplementedError, ImportError):
+                # No usable multiprocessing (sandboxes, missing /dev/shm):
+                # the serial path produces identical results, just slower.
+                self.stats.parallel_fallbacks += 1
+        return [execute_point(point) for point in points]
+
+    def _execute_parallel(self, points: list[SimPoint]) -> list[Any]:
+        from concurrent.futures import ProcessPoolExecutor
+
+        workers = min(self.jobs, len(points))
+        chunksize = max(1, len(points) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # ``map`` preserves submission order, which is point order.
+            return list(
+                pool.map(execute_point, points, chunksize=chunksize)
+            )
+
+    # -- experiment-level API -------------------------------------------
+
+    def run_experiment(self, experiment_id: str, **params: Any):
+        """Run one artifact through its sweep decomposition."""
+        from .. import figures
+
+        started = time.perf_counter()
+        points = figures.sweep_points(experiment_id, **params)
+        outputs = self.run_points(points)
+        result = figures.merge_outputs(experiment_id, points, outputs, **params)
+        result.wall_seconds = time.perf_counter() - started
+        return result
+
+    def run_many(
+        self, experiment_ids: Sequence[str], **params: Any
+    ) -> dict[str, Any]:
+        """Run several artifacts as **one** flattened point grid.
+
+        Flattening lets the pool balance points across experiments
+        instead of draining one artifact at a time; results come back
+        keyed by experiment id, in the requested order.  Each result's
+        ``wall_seconds`` is the batch wall time apportioned by point
+        count.
+        """
+        from .. import figures
+
+        started = time.perf_counter()
+        ids = list(dict.fromkeys(experiment_ids))
+        decompositions = {
+            eid: figures.sweep_points(eid, **params) for eid in ids
+        }
+        flat: list[SimPoint] = []
+        for eid in ids:
+            flat.extend(decompositions[eid])
+        outputs = self.run_points(flat)
+        elapsed = time.perf_counter() - started
+        total = max(1, len(flat))
+        results: dict[str, Any] = {}
+        cursor = 0
+        for eid in ids:
+            points = decompositions[eid]
+            chunk = outputs[cursor : cursor + len(points)]
+            cursor += len(points)
+            result = figures.merge_outputs(eid, points, chunk, **params)
+            result.wall_seconds = elapsed * len(points) / total
+            results[eid] = result
+        return results

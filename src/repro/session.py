@@ -197,6 +197,23 @@ class Session:
 
         return RcclCommunicator(self.node, gcds, env=self.env, **kwargs)
 
+    def runner(
+        self,
+        jobs: int | str | None = None,
+        *,
+        use_cache: bool = True,
+        cache_dir: str | None = None,
+    ):
+        """A :class:`~repro.runner.SweepRunner` for fan-out sweeps.
+
+        The runner spawns a *fresh* session per sim point (that is what
+        keeps points independent), so this is a factory hanging off the
+        front-door object, not a view of this session's node.
+        """
+        from .runner import SweepRunner
+
+        return SweepRunner(jobs, use_cache=use_cache, cache_dir=cache_dir)
+
     # -- introspection ----------------------------------------------------------
 
     def stats(self) -> dict[str, Any]:

@@ -288,6 +288,38 @@ class NodeTopology:
                 )
         return "\n".join(lines)
 
+    def fingerprint(self) -> str:
+        """Stable content hash of the node structure.
+
+        Covers every performance-relevant attribute — GCDs (package,
+        NUMA affinity, HBM size/bandwidth, caches, CUs), NUMA domains
+        (DRAM size/bandwidth/latency) and the link inventory with tiers
+        — but not the cosmetic ``name``.  Two topologies with the same
+        fingerprint produce identical simulation results, which is what
+        the result cache (:mod:`repro.runner`) keys on.
+        """
+        import hashlib
+
+        parts: list[str] = []
+        for gcd in sorted(self._gcds.values(), key=lambda g: g.index):
+            parts.append(
+                f"gcd:{gcd.index}:{gcd.gpu_package}:{gcd.numa_domain}:"
+                f"{gcd.hbm_bytes}:{float(gcd.hbm_peak_bw).hex()}:"
+                f"{gcd.l2_bytes}:{gcd.compute_units}"
+            )
+        for numa in sorted(self._numa.values(), key=lambda n: n.index):
+            parts.append(
+                f"numa:{numa.index}:{numa.dram_bytes}:"
+                f"{float(numa.dram_peak_bw).hex()}:"
+                f"{float(numa.dram_latency).hex()}"
+            )
+        edges = []
+        for link in self.links():
+            a, b = sorted((link.a, link.b))
+            edges.append(f"link:{a}:{b}:{link.tier.name}")
+        parts.extend(sorted(edges))
+        return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
 
 class NodeTopologyBuilder:
     """Incremental builder for :class:`NodeTopology`."""

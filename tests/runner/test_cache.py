@@ -1,0 +1,79 @@
+"""ResultCache storage semantics: round-trips, corruption, clearing."""
+
+from repro.runner import CacheStats, ResultCache, SimPoint
+from repro.units import MiB
+
+
+def _point(size=1 * MiB):
+    return SimPoint.make(
+        "fig03",
+        "h2d/pinned",
+        "repro.bench_suites.comm_scope:measure_h2d",
+        interface="pinned_memcpy",
+        size=size,
+    )
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path, version="1")
+        key = cache.key_for(_point())
+        assert key is not None
+        hit, _ = cache.load(key)
+        assert not hit
+        cache.store(key, 123.5)
+        hit, value = cache.load(key)
+        assert hit and value == 123.5
+        assert cache.stats.as_dict() == {
+            "hits": 1,
+            "misses": 1,
+            "stores": 1,
+            "uncacheable": 0,
+            "errors": 0,
+        }
+
+    def test_version_isolates_entries(self, tmp_path):
+        old = ResultCache(tmp_path, version="1")
+        new = ResultCache(tmp_path, version="2")
+        key_old = old.key_for(_point())
+        key_new = new.key_for(_point())
+        assert key_old != key_new
+        old.store(key_old, 1.0)
+        hit, _ = new.load(key_new)
+        assert not hit
+
+    def test_corrupt_entry_is_dropped_and_recomputed(self, tmp_path):
+        cache = ResultCache(tmp_path, version="1")
+        key = cache.key_for(_point())
+        cache.store(key, 1.0)
+        path = cache._path(key)
+        path.write_bytes(b"not a pickle")
+        hit, _ = cache.load(key)
+        assert not hit
+        assert cache.stats.errors == 1
+        assert not path.exists()
+
+    def test_entries_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path, version="1")
+        for size in (1 * MiB, 2 * MiB, 4 * MiB):
+            cache.store(cache.key_for(_point(size)), float(size))
+        assert cache.entry_count() == 3
+        assert cache.total_bytes() > 0
+        assert "entries: 3" in cache.describe()
+        assert cache.clear() == 3
+        assert cache.entry_count() == 0
+
+    def test_env_var_sets_default_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        cache = ResultCache()
+        assert cache.directory == tmp_path / "env-cache"
+
+    def test_stats_dataclass_defaults(self):
+        stats = CacheStats()
+        assert stats.as_dict() == {
+            "hits": 0,
+            "misses": 0,
+            "stores": 0,
+            "uncacheable": 0,
+            "errors": 0,
+        }

@@ -1,0 +1,67 @@
+"""CLI surface of the runner: --jobs/--no-cache/--cache-stats, repro cache."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    directory = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(directory))
+    return directory
+
+
+class TestRunCommand:
+    def test_unknown_artifact_exits_2_with_id_listing(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown artifact(s): fig99" in err
+        assert "valid ids:" in err
+        assert "fig03" in err and "'all'" in err
+
+    def test_run_writes_reports_and_cache_stats(self, cache_dir, tmp_path, capsys):
+        out_dir = tmp_path / "reports"
+        code = main(
+            ["run", "fig04", "-o", str(out_dir), "--cache-stats"]
+        )
+        assert code == 0
+        assert (out_dir / "fig04.txt").is_file()
+        assert "sweep-runner:" in capsys.readouterr().out
+        assert (cache_dir / "objects").is_dir()
+
+    def test_warm_run_hits_cache(self, cache_dir, capsys):
+        assert main(["run", "fig04", "--cache-stats"]) == 0
+        cold = capsys.readouterr().out
+        assert main(["run", "fig04", "--jobs", "2", "--cache-stats"]) == 0
+        warm = capsys.readouterr().out
+        assert "0 executed" in warm.splitlines()[-1]
+        # Reports themselves are identical cold vs warm.
+        assert warm.splitlines()[:-1][:5] == cold.splitlines()[:5]
+
+    def test_no_cache_flag_disables_caching(self, cache_dir, capsys):
+        assert main(["run", "fig04", "--no-cache", "--cache-stats"]) == 0
+        assert "0 hit(s)" in capsys.readouterr().out
+        assert not (cache_dir / "objects").exists()
+
+
+class TestCacheCommand:
+    def test_show_then_clear(self, cache_dir, capsys):
+        assert main(["run", "fig04"]) == 0
+        capsys.readouterr()
+        assert main(["cache"]) == 0
+        shown = capsys.readouterr().out
+        assert "entries: 3" in shown
+        assert str(cache_dir) in shown
+        assert main(["cache", "clear"]) == 0
+        assert "removed 3" in capsys.readouterr().out
+        assert main(["cache", "show"]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+
+class TestValidateAndMethodology:
+    def test_validate_accepts_runner_flags(self, cache_dir, capsys):
+        assert main(["validate", "--jobs", "2", "--cache-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "checks passed" in out
+        assert "sweep-runner:" in out

@@ -1,0 +1,99 @@
+"""Differential guarantees: parallel ≡ serial ≡ legacy, cache correctness.
+
+These are the tests that turn "the runner should not change results"
+from a hope into an invariant: every artifact id is produced three ways
+(legacy in-process loop, ``SweepRunner(jobs=1)``, ``SweepRunner(jobs=4)``)
+and compared via :meth:`ExperimentResult.canonical`, which excludes
+wall-clock noise but nothing else.
+"""
+
+import pytest
+
+from repro import figures
+from repro.core.calibration import DEFAULT_CALIBRATION
+from repro.core.validation import validate_node
+from repro.runner import ResultCache, SimPoint, SweepRunner
+from repro.units import MiB
+
+ALL_IDS = figures.all_ids()
+
+
+class TestParallelEqualsSerial:
+    @pytest.mark.parametrize("experiment_id", ALL_IDS)
+    def test_every_artifact_is_jobs_invariant(self, experiment_id):
+        legacy = figures.run(experiment_id).canonical()
+        serial = SweepRunner(1, use_cache=False).run_experiment(experiment_id)
+        parallel = SweepRunner(4, use_cache=False).run_experiment(experiment_id)
+        assert serial.canonical() == legacy
+        assert parallel.canonical() == legacy
+
+    def test_validate_node_is_runner_invariant(self):
+        baseline = validate_node()
+        serial = validate_node(runner=SweepRunner(1, use_cache=False))
+        parallel = validate_node(runner=SweepRunner(4, use_cache=False))
+        assert serial.results == baseline.results
+        assert parallel.results == baseline.results
+
+
+class TestCacheRoundTrip:
+    def test_second_run_is_all_hits_and_identical(self, tmp_path):
+        cold_runner = SweepRunner(cache=ResultCache(tmp_path, version="1"))
+        cold = cold_runner.run_many(["fig02", "fig04"])
+        assert cold_runner.stats.cache_hits == 0
+        assert cold_runner.stats.executed == cold_runner.stats.points
+
+        warm_runner = SweepRunner(cache=ResultCache(tmp_path, version="1"))
+        warm = warm_runner.run_many(["fig02", "fig04"])
+        assert warm_runner.stats.executed == 0
+        assert warm_runner.stats.cache_hits == warm_runner.stats.points
+        for eid in cold:
+            assert warm[eid].canonical() == cold[eid].canonical()
+
+    def test_cross_artifact_point_sharing(self, tmp_path):
+        """fig02's peak probe reuses fig03's sweep entries (same fn+params)."""
+        cache = ResultCache(tmp_path, version="1")
+        SweepRunner(cache=cache).run_experiment("fig03")
+        fig02_points = figures.sweep_points("fig02")
+        fig03_keys = {
+            cache.key_for(p) for p in figures.sweep_points("fig03")
+        }
+        shared = [
+            p for p in fig02_points if cache.key_for(p) in fig03_keys
+        ]
+        assert shared, "fig02 should share h2d points with fig03"
+
+    def test_calibration_perturbation_invalidates_only_affected_points(
+        self, tmp_path
+    ):
+        def grid(calibration):
+            return [
+                SimPoint.make(
+                    "fig03",
+                    "h2d/pinned/calibrated",
+                    "repro.bench_suites.comm_scope:measure_h2d",
+                    interface="pinned_memcpy",
+                    size=1 * MiB,
+                    calibration=calibration,
+                ),
+                SimPoint.make(
+                    "fig03",
+                    "h2d/pinned/default",
+                    "repro.bench_suites.comm_scope:measure_h2d",
+                    interface="pinned_memcpy",
+                    size=4 * MiB,
+                ),
+            ]
+
+        runner = SweepRunner(cache=ResultCache(tmp_path, version="1"))
+        runner.run_points(grid(DEFAULT_CALIBRATION))
+
+        perturbed = DEFAULT_CALIBRATION.with_(
+            sdma_engine_throughput=(
+                DEFAULT_CALIBRATION.sdma_engine_throughput * 1.01
+            )
+        )
+        rerun = SweepRunner(cache=ResultCache(tmp_path, version="1"))
+        rerun.run_points(grid(perturbed))
+        # The calibrated point misses (new key); the untouched point hits.
+        assert rerun.stats.executed == 1
+        assert rerun.stats.cache_hits == 1

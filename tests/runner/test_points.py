@@ -1,0 +1,82 @@
+"""SimPoint construction, callable resolution, and execution."""
+
+import pickle
+
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.runner import SimPoint, resolve_callable
+from repro.units import MiB
+
+
+class TestResolveCallable:
+    def test_resolves_module_and_attribute(self):
+        fn = resolve_callable("repro.bench_suites.comm_scope:measure_h2d")
+        from repro.bench_suites.comm_scope import measure_h2d
+
+        assert fn is measure_h2d
+
+    def test_rejects_missing_separator(self):
+        with pytest.raises(BenchmarkError):
+            resolve_callable("repro.bench_suites.comm_scope.measure_h2d")
+
+    def test_rejects_unknown_attribute(self):
+        with pytest.raises(BenchmarkError):
+            resolve_callable("repro.bench_suites.comm_scope:nope")
+
+
+class TestSimPoint:
+    def test_make_sorts_params_and_drops_none(self):
+        point = SimPoint.make(
+            "fig03",
+            "h2d/pinned/1",
+            "repro.bench_suites.comm_scope:measure_h2d",
+            size=1 * MiB,
+            interface="pinned_memcpy",
+            topology=None,
+            calibration=None,
+        )
+        assert point.params == (("interface", "pinned_memcpy"), ("size", 1 * MiB))
+        assert point.kwargs == {"interface": "pinned_memcpy", "size": 1 * MiB}
+
+    def test_execute_runs_the_measurement(self):
+        point = SimPoint.make(
+            "fig03",
+            "h2d/pinned/4MiB",
+            "repro.bench_suites.comm_scope:measure_h2d",
+            interface="pinned_memcpy",
+            size=4 * MiB,
+        )
+        from repro.bench_suites.comm_scope import measure_h2d
+
+        assert point.execute() == measure_h2d("pinned_memcpy", 4 * MiB)
+
+    def test_points_are_picklable(self):
+        point = SimPoint.make(
+            "fig03",
+            "h2d/pinned/1",
+            "repro.bench_suites.comm_scope:measure_h2d",
+            interface="pinned_memcpy",
+            size=1 * MiB,
+        )
+        clone = pickle.loads(pickle.dumps(point))
+        assert clone == point
+        assert clone.execute() == point.execute()
+
+    def test_none_kwarg_matches_function_default(self):
+        explicit = SimPoint.make(
+            "fig03",
+            "a",
+            "repro.bench_suites.comm_scope:measure_h2d",
+            interface="pinned_memcpy",
+            size=1 * MiB,
+        )
+        with_none = SimPoint.make(
+            "fig03",
+            "b",
+            "repro.bench_suites.comm_scope:measure_h2d",
+            interface="pinned_memcpy",
+            size=1 * MiB,
+            topology=None,
+        )
+        assert explicit.params == with_none.params

@@ -1,0 +1,98 @@
+"""SweepRunner mechanics: job resolution, caching, fallback, ordering."""
+
+import os
+
+import pytest
+
+from repro.runner import ResultCache, SimPoint, SweepRunner, resolve_jobs
+from repro.units import MiB
+
+
+def _grid(sizes=(1 * MiB, 2 * MiB, 4 * MiB)):
+    return [
+        SimPoint.make(
+            "fig03",
+            f"h2d/pinned/{size}",
+            "repro.bench_suites.comm_scope:measure_h2d",
+            interface="pinned_memcpy",
+            size=size,
+        )
+        for size in sizes
+    ]
+
+
+class TestResolveJobs:
+    def test_defaults_and_auto(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs("2") == 2
+        cores = os.cpu_count() or 1
+        assert resolve_jobs(0) == cores
+        assert resolve_jobs("auto") == cores
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+
+class TestRunPoints:
+    def test_outputs_in_point_order(self):
+        points = _grid()
+        runner = SweepRunner(use_cache=False)
+        assert runner.run_points(points) == [p.execute() for p in points]
+        assert runner.stats.points == 3
+        assert runner.stats.executed == 3
+        assert runner.stats.cache_hits == 0
+
+    def test_second_run_is_all_hits(self, tmp_path):
+        points = _grid()
+        runner = SweepRunner(cache=ResultCache(tmp_path, version="1"))
+        cold = runner.run_points(points)
+        warm = runner.run_points(points)
+        assert warm == cold
+        assert runner.stats.executed == 3
+        assert runner.stats.cache_hits == 3
+        assert "3 hit(s)" in runner.stats.describe()
+
+    def test_no_cache_runner_never_touches_disk(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        runner = SweepRunner(use_cache=False)
+        runner.run_points(_grid())
+        assert runner.cache is None
+        assert not (tmp_path / "objects").exists()
+
+    def test_parallel_matches_serial(self, tmp_path):
+        points = _grid()
+        serial = SweepRunner(1, use_cache=False).run_points(points)
+        parallel = SweepRunner(4, use_cache=False).run_points(points)
+        assert parallel == serial
+
+    def test_pool_failure_falls_back_to_serial(self, monkeypatch):
+        runner = SweepRunner(4, use_cache=False)
+        monkeypatch.setattr(
+            SweepRunner,
+            "_execute_parallel",
+            lambda self, points: (_ for _ in ()).throw(OSError("no pool")),
+        )
+        points = _grid()
+        assert runner.run_points(points) == [p.execute() for p in points]
+        assert runner.stats.parallel_fallbacks == 1
+
+
+class TestExperimentAPI:
+    def test_run_experiment_matches_legacy(self):
+        from repro import figures
+
+        legacy = figures.run("fig04")
+        runner = SweepRunner(use_cache=False)
+        assert runner.run_experiment("fig04").canonical() == legacy.canonical()
+
+    def test_run_many_dedups_and_preserves_order(self):
+        runner = SweepRunner(use_cache=False)
+        results = runner.run_many(["fig04", "fig02", "fig04"])
+        assert list(results) == ["fig04", "fig02"]
+        from repro import figures
+
+        for eid, result in results.items():
+            assert result.canonical() == figures.run(eid).canonical()
+            assert result.wall_seconds > 0
