@@ -1,6 +1,9 @@
 """CI perf-regression guard for ``BENCH_core.json``.
 
-Usage: ``python benchmarks/perf/check_bench.py BENCH_core.json``
+Usage::
+
+    python benchmarks/perf/check_bench.py BENCH_core.json \
+        [--baseline BASELINE.json]
 
 Fails (exit 1) when a headline number regresses below its threshold:
 
@@ -10,6 +13,21 @@ Fails (exit 1) when a headline number regresses below its threshold:
   demonstrate a parallel speedup and should not fail for it.
 - ``cache_hit_speedup`` must reach ``REPRO_MIN_CACHE_SPEEDUP``
   (default 2.0; warm runs only deserialize pickles).
+- ``metrics_disabled_overhead`` must stay at or below
+  ``REPRO_MAX_METRICS_OVERHEAD`` (default 0.05): a *disabled* metrics
+  registry may not slow the flow-churn workload by more than 5%,
+  because every simulation pays the ``if metrics:`` guard.
+
+With ``--baseline`` (a previously committed report), throughput
+headlines may not regress by more than ``REPRO_MAX_PERF_REGRESSION``
+(default 0.05 = 5%) relative to the baseline:
+
+- ``events_per_second``
+- ``incremental_flows_per_second``
+
+The baseline comparison is skipped when ``meta.platform`` differs —
+numbers from a different machine are not comparable — or when the
+baseline file is missing/unreadable.
 
 Thresholds are environment-overridable so a noisy runner can be
 loosened without editing the workflow.
@@ -20,6 +38,9 @@ from __future__ import annotations
 import json
 import os
 import sys
+
+#: Headline throughput keys compared against a baseline report.
+BASELINE_KEYS = ("events_per_second", "incremental_flows_per_second")
 
 
 def check(report: dict) -> list[str]:
@@ -58,20 +79,98 @@ def check(report: dict) -> list[str]:
     else:
         print(f"ok: cache_hit_speedup {cache_speedup:.2f} >= {min_cache:.2f}")
 
+    max_overhead = float(os.environ.get("REPRO_MAX_METRICS_OVERHEAD", "0.05"))
+    overhead = headline.get("metrics_disabled_overhead")
+    if overhead is None:
+        print("skip: metrics_disabled_overhead not in report (old schema)")
+    elif overhead > max_overhead:
+        failures.append(
+            f"metrics_disabled_overhead {overhead:.1%} > {max_overhead:.1%}"
+        )
+    else:
+        print(
+            f"ok: metrics_disabled_overhead {overhead:.1%} <= "
+            f"{max_overhead:.1%}"
+        )
+
     return failures
 
 
+def check_baseline(report: dict, baseline: dict) -> list[str]:
+    """Compare throughput headlines against a baseline report."""
+    platform_now = report.get("meta", {}).get("platform")
+    platform_base = baseline.get("meta", {}).get("platform")
+    if platform_now != platform_base:
+        print(
+            f"skip: baseline comparison (platform {platform_base!r} != "
+            f"{platform_now!r}) — numbers not comparable across machines"
+        )
+        return []
+    if report.get("smoke") != baseline.get("smoke"):
+        print("skip: baseline comparison (smoke flag differs)")
+        return []
+
+    tolerance = float(os.environ.get("REPRO_MAX_PERF_REGRESSION", "0.05"))
+    failures: list[str] = []
+    headline = report.get("headline", {})
+    base_headline = baseline.get("headline", {})
+    for key in BASELINE_KEYS:
+        now = headline.get(key)
+        base = base_headline.get(key)
+        if now is None or not base:
+            print(f"skip: baseline {key} (missing from report or baseline)")
+            continue
+        floor = base * (1.0 - tolerance)
+        if now < floor:
+            failures.append(
+                f"{key} {now:,.0f} < {floor:,.0f} "
+                f"(baseline {base:,.0f} - {tolerance:.0%})"
+            )
+        else:
+            print(
+                f"ok: {key} {now:,.0f} >= {floor:,.0f} "
+                f"(baseline {base:,.0f} - {tolerance:.0%})"
+            )
+    return failures
+
+
+def _load(path: str) -> dict | None:
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"warning: cannot read {path}: {exc}", file=sys.stderr)
+        return None
+
+
 def main(argv: list[str]) -> int:
-    if len(argv) != 2:
+    args = list(argv[1:])
+    baseline_path: str | None = None
+    if "--baseline" in args:
+        at = args.index("--baseline")
+        try:
+            baseline_path = args[at + 1]
+        except IndexError:
+            print("error: --baseline needs a path", file=sys.stderr)
+            return 2
+        del args[at : at + 2]
+    if len(args) != 1:
         print(__doc__, file=sys.stderr)
         return 2
-    with open(argv[1]) as handle:
-        report = json.load(handle)
+    report = _load(args[0])
+    if report is None:
+        return 2
     schema = report.get("schema", "")
     if not schema.startswith("repro-bench-core/"):
         print(f"error: unrecognized report schema {schema!r}", file=sys.stderr)
         return 2
     failures = check(report)
+    if baseline_path is not None:
+        baseline = _load(baseline_path)
+        if baseline is None:
+            print("skip: baseline comparison (baseline unreadable)")
+        else:
+            failures.extend(check_baseline(report, baseline))
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

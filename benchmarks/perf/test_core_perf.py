@@ -16,7 +16,7 @@ from repro.perf.core import format_report, run_suite, write_report
 def test_smoke_suite_shape_and_sanity(tmp_path):
     report = run_suite(smoke=True)
 
-    assert report["schema"] == "repro-bench-core/2"
+    assert report["schema"] == "repro-bench-core/3"
     assert report["smoke"] is True
     results = report["results"]
     assert results["engine_events"]["events_per_second"] > 0
@@ -29,12 +29,23 @@ def test_smoke_suite_shape_and_sanity(tmp_path):
     # full batch re-solve per flow event.
     assert churn["speedup"] > 0.9
 
+    overhead = results["metrics_overhead"]
+    assert overhead["baseline_wall_seconds"] > 0
+    # Enabled metrics cost something; disabled must be near-free.  The
+    # smoke bound is loose (tiny workloads are noisy); the committed
+    # full report is held to 5% by check_bench.py.
+    assert overhead["disabled_overhead"] < 0.5
+    assert (
+        report["headline"]["metrics_disabled_overhead"]
+        == overhead["disabled_overhead"]
+    )
+
     assert results["figure_sweep"]["measurements"] > 0
     assert report["headline"]["churn_speedup_vs_batch_resolve"] == churn["speedup"]
 
     path = tmp_path / "BENCH_core.json"
     write_report(str(path), report)
-    assert json.loads(path.read_text())["schema"] == "repro-bench-core/2"
+    assert json.loads(path.read_text())["schema"] == "repro-bench-core/3"
 
     text = format_report(report)
     assert "flow churn" in text and "events/s" in text
@@ -95,3 +106,47 @@ def test_cli_perf_smoke(tmp_path, capsys):
     assert main(["perf", "--smoke", "-o", str(out)]) == 0
     assert out.exists()
     assert "simulation-core performance" in capsys.readouterr().out
+
+
+def _guard_report(events=100_000.0, churn=20_000.0, platform="test-box"):
+    return {
+        "schema": "repro-bench-core/3",
+        "smoke": False,
+        "results": {"sweep_parallel": {"jobs": 1, "parallel_fallbacks": 0}},
+        "headline": {
+            "events_per_second": events,
+            "incremental_flows_per_second": churn,
+            "cache_hit_speedup": 10.0,
+            "metrics_disabled_overhead": 0.01,
+        },
+        "meta": {"platform": platform},
+    }
+
+
+class TestCheckBenchBaseline:
+    def _check(self, report, baseline):
+        import check_bench
+
+        return check_bench.check_baseline(report, baseline)
+
+    def test_within_tolerance_passes(self):
+        report = _guard_report(events=96_000.0)  # 4% below baseline
+        assert self._check(report, _guard_report()) == []
+
+    def test_regression_beyond_tolerance_fails(self):
+        report = _guard_report(events=90_000.0)  # 10% below baseline
+        failures = self._check(report, _guard_report())
+        assert len(failures) == 1
+        assert "events_per_second" in failures[0]
+
+    def test_platform_mismatch_skips(self):
+        report = _guard_report(events=1.0, platform="other-box")
+        assert self._check(report, _guard_report()) == []
+
+    def test_overhead_guard_in_main_check(self):
+        import check_bench
+
+        report = _guard_report()
+        report["headline"]["metrics_disabled_overhead"] = 0.2
+        failures = check_bench.check(report)
+        assert any("metrics_disabled_overhead" in f for f in failures)

@@ -19,12 +19,17 @@ Commands
     figure-sweep wall time); ``-o BENCH_core.json`` writes the report.
 ``cache``
     Inspect (``show``) or empty (``clear``) the on-disk result cache.
+``trace <artifact> --out trace.json``
+    Run one artifact observed and export a Perfetto/Chrome trace
+    (slices per GCD/engine/collective, per-link GB/s counter tracks,
+    provenance in ``otherData``).
 
 ``run``, ``methodology`` and ``validate`` all accept ``--jobs N``
-(worker processes; ``0``/``auto`` = all cores), ``--no-cache`` and
-``--cache-stats`` — the sweep runner decomposes each artifact into
-independent sim points, reuses cached point results, and reassembles
-bit-identical reports regardless of job count.
+(worker processes; ``0``/``auto`` = all cores), ``--no-cache``,
+``--cache-stats``, and ``--metrics`` (capture per-point simulation
+metrics and print the aggregate) — the sweep runner decomposes each
+artifact into independent sim points, reuses cached point results, and
+reassembles bit-identical reports regardless of job count.
 """
 
 from __future__ import annotations
@@ -68,6 +73,14 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
         "--cache-stats",
         action="store_true",
         help="print sweep-runner cache statistics afterwards",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help=(
+            "capture per-point simulation metrics (engine/link/engine-"
+            "occupancy counters) and print the aggregate afterwards"
+        ),
     )
 
 
@@ -149,6 +162,35 @@ def _build_parser() -> argparse.ArgumentParser:
         help="cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
     )
 
+    trace = sub.add_parser(
+        "trace",
+        help="run one artifact observed and export a Perfetto/Chrome trace",
+    )
+    trace.add_argument(
+        "artifact",
+        metavar="ARTIFACT",
+        help="artifact id to trace (fig01..fig12, tab01, tab02)",
+    )
+    trace.add_argument(
+        "-o",
+        "--out",
+        default="trace.json",
+        metavar="FILE",
+        help="output trace file (default: trace.json)",
+    )
+    trace.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=None,
+        metavar="N",
+        help="ring-buffer bound on retained records per point",
+    )
+    trace.add_argument(
+        "--check",
+        action="store_true",
+        help="validate the written file against the trace schema and exit",
+    )
+
     perf = sub.add_parser(
         "perf", help="benchmark the simulation core (events/sec, flow churn)"
     )
@@ -185,7 +227,25 @@ def _cmd_list() -> int:
 def _make_runner(args: argparse.Namespace):
     from .runner import SweepRunner
 
-    return SweepRunner(args.jobs, use_cache=not args.no_cache)
+    return SweepRunner(
+        args.jobs,
+        use_cache=not args.no_cache,
+        capture_metrics=getattr(args, "metrics", False),
+    )
+
+
+def _print_runner_metrics(runner) -> None:
+    """Render a runner's aggregated per-point metrics (``--metrics``)."""
+    from .obs import format_snapshot
+
+    print()
+    if runner.stats.metrics is None:
+        print(
+            "no metrics captured (all points served from cache; "
+            "re-run with --no-cache to re-measure)"
+        )
+        return
+    print(format_snapshot(runner.stats.metrics))
 
 
 def _cmd_run(
@@ -194,6 +254,7 @@ def _cmd_run(
     show_plot: bool = False,
     runner=None,
     cache_stats: bool = False,
+    show_metrics: bool = False,
 ) -> int:
     from . import figures
     from .errors import BenchmarkError
@@ -237,17 +298,24 @@ def _cmd_run(
             (directory / f"{artifact_id}.txt").write_text(text + "\n")
     if cache_stats:
         print(runner.stats.describe())
+    if show_metrics:
+        _print_runner_metrics(runner)
     return 0
 
 
 def _cmd_methodology(
-    steps: Sequence[str], runner=None, cache_stats: bool = False
+    steps: Sequence[str],
+    runner=None,
+    cache_stats: bool = False,
+    show_metrics: bool = False,
 ) -> int:
     methodology = Methodology(list(steps) or None)
     report = methodology.run(runner=runner)
     print(report.text())
     if cache_stats and runner is not None:
         print(runner.stats.describe())
+    if show_metrics and runner is not None:
+        _print_runner_metrics(runner)
     return 0
 
 
@@ -292,7 +360,10 @@ def _cmd_perf(smoke: bool, output: str | None, repeats: int | None) -> int:
 
 
 def _cmd_validate(
-    scenario_name: str, runner=None, cache_stats: bool = False
+    scenario_name: str,
+    runner=None,
+    cache_stats: bool = False,
+    show_metrics: bool = False,
 ) -> int:
     from .core.validation import validate_node
 
@@ -304,7 +375,50 @@ def _cmd_validate(
     print(report.text())
     if cache_stats and runner is not None:
         print(runner.stats.describe())
+    if show_metrics and runner is not None:
+        _print_runner_metrics(runner)
     return 0 if report.passed else 1
+
+
+def _cmd_trace(
+    artifact: str,
+    out: str,
+    trace_capacity: int | None = None,
+    check: bool = False,
+) -> int:
+    from . import figures, obs
+    from .errors import BenchmarkError
+
+    known = figures.all_ids()
+    if artifact not in known:
+        print(
+            f"error: unknown artifact {artifact!r}\n"
+            f"valid ids: {', '.join(known)}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        payload = obs.trace_experiment(artifact, trace_capacity=trace_capacity)
+    except BenchmarkError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    obs.write_chrome_trace(out, payload)
+    slices = sum(1 for e in payload["traceEvents"] if e.get("ph") == "X")
+    counters = sum(1 for e in payload["traceEvents"] if e.get("ph") == "C")
+    print(
+        f"wrote {out}: {slices} slice(s), {counters} counter sample(s) "
+        f"— open at https://ui.perfetto.dev or chrome://tracing"
+    )
+    if check:
+        import json
+
+        problems = obs.validate_chrome_trace(json.loads(open(out).read()))
+        if problems:
+            for problem in problems:
+                print(f"schema problem: {problem}", file=sys.stderr)
+            return 1
+        print("schema check passed")
+    return 0
 
 
 def _cmd_cache(action: str, cache_dir: str | None = None) -> int:
@@ -331,12 +445,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.plot,
             runner=_make_runner(args),
             cache_stats=args.cache_stats,
+            show_metrics=args.metrics,
         )
     if args.command == "methodology":
         return _cmd_methodology(
             args.steps,
             runner=_make_runner(args),
             cache_stats=args.cache_stats,
+            show_metrics=args.metrics,
         )
     if args.command == "topology":
         return _cmd_topology()
@@ -354,6 +470,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.scenario,
             runner=_make_runner(args),
             cache_stats=args.cache_stats,
+            show_metrics=args.metrics,
+        )
+    if args.command == "trace":
+        return _cmd_trace(
+            args.artifact, args.out, args.trace_capacity, args.check
         )
     if args.command == "perf":
         return _cmd_perf(args.smoke, args.output, args.repeats)

@@ -19,6 +19,8 @@ from typing import Hashable, Iterable, Sequence
 
 from ..core.calibration import CalibrationProfile, DEFAULT_CALIBRATION
 from ..errors import TopologyError
+from ..obs.capture import active as active_capture
+from ..obs.metrics import MetricsRegistry, resolve_metrics
 from ..sim.engine import SimEngine
 from ..sim.flow import Flow, FlowNetwork
 from ..sim.trace import Tracer
@@ -42,14 +44,33 @@ class HardwareNode:
         engine: SimEngine | None = None,
         trace: bool = False,
         trace_capacity: int | None = None,
+        metrics: "MetricsRegistry | bool | None" = None,
     ) -> None:
         self.topology = topology if topology is not None else frontier_node()
         self.calibration = (
             calibration if calibration is not None else DEFAULT_CALIBRATION
         )
-        self.engine = engine if engine is not None else SimEngine()
-        self.network = FlowNetwork(self.engine)
-        self.tracer = Tracer(enabled=trace, capacity=trace_capacity)
+        # Observation plumbing.  Explicit arguments win; otherwise an
+        # ambient obs.capture() context (installed by `repro trace` /
+        # `--metrics`) donates its shared registry and tracer, so
+        # measurement code that builds its own nodes gets observed
+        # without signature changes.
+        ambient = active_capture()
+        tracer: Tracer | None = None
+        if metrics is None and ambient is not None:
+            self.metrics = ambient.metrics
+            ambient.adoptions += 1
+            if not trace and ambient.tracer.enabled:
+                tracer = ambient.tracer
+        else:
+            self.metrics = resolve_metrics(metrics)
+        self.engine = engine if engine is not None else SimEngine(metrics=self.metrics)
+        self.network = FlowNetwork(self.engine, metrics=self.metrics)
+        self.tracer = (
+            tracer
+            if tracer is not None
+            else Tracer(enabled=trace, capacity=trace_capacity)
+        )
 
         register_link_channels(self.network, self.topology.links())
         self.cpu = CpuSocket(self.topology, self.calibration, self.network)

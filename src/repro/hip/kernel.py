@@ -204,6 +204,10 @@ class KernelApi:
             tracer.record(
                 start, engine.now, "kernel", label, device=device_index
             )
+        metrics = self.node.metrics
+        if metrics:
+            metrics.counter("hip/kernel_launches").inc()
+            metrics.counter(f"hip/kernel_launches/gcd{device_index}").inc()
 
     def stream_copy(
         self,

@@ -192,6 +192,10 @@ class CopyApi:
             tracer.record(
                 start, self.node.engine.now, "memcpy", kind.value, bytes=nbytes
             )
+        metrics = self.node.metrics
+        if metrics:
+            metrics.counter(f"hip/memcpy/{kind.value}").inc()
+            metrics.counter(f"hip/memcpy/{kind.value}/bytes").inc(nbytes)
 
     def _plan_for_kind(
         self, kind: MemcpyKind, dst: Buffer, src: Buffer, nbytes: int
@@ -277,6 +281,10 @@ class CopyApi:
                 bytes=nbytes,
                 route=route.describe(),
             )
+        metrics = self.node.metrics
+        if metrics:
+            metrics.counter("hip/memcpy/peer").inc()
+            metrics.counter("hip/memcpy/peer/bytes").inc(nbytes)
 
     # -- async variants -------------------------------------------------------------
 

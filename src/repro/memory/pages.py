@@ -226,6 +226,10 @@ class MigrationEngine:
                 pages=len(pages),
                 gcd=gcd_index,
             )
+        metrics = self.node.metrics
+        if metrics:
+            metrics.counter("memory/faults").inc()
+            metrics.counter("memory/pages_migrated").inc(len(pages))
 
     def _migrate_discrete(
         self, table: PageTable, pages: list[int], target: Location, gcd_index: int
@@ -254,6 +258,11 @@ class MigrationEngine:
                 pages=len(pages),
                 gcd=gcd_index,
             )
+        metrics = self.node.metrics
+        if metrics:
+            # Discrete mode services one fault per page.
+            metrics.counter("memory/faults").inc(len(pages))
+            metrics.counter("memory/pages_migrated").inc(len(pages))
 
     def prefetch(
         self, buffer: "Buffer", target: Location

@@ -1,0 +1,60 @@
+"""Observability: metrics registry, ambient capture, Perfetto export.
+
+The paper's contribution is *explaining* data movement — which link,
+engine or NUMA hop ate the bandwidth — so the simulator needs more
+than end-to-end numbers.  This package provides:
+
+- :class:`MetricsRegistry` (:mod:`repro.obs.metrics`) — counters,
+  gauges, time-weighted series and per-channel transport accounting,
+  near-zero cost when disabled (``if metrics:`` guard, mirroring the
+  tracer);
+- :func:`capture` (:mod:`repro.obs.capture`) — an ambient observation
+  context so measurement functions that build their own sessions get
+  instrumented without signature changes;
+- :mod:`repro.obs.perfetto` — Chrome-trace/Perfetto JSON export of
+  tracer timelines plus channel-rate counter tracks and provenance;
+- :func:`trace_experiment` (:mod:`repro.obs.experiment`) — run one
+  artifact observed and lay its points out on a single timeline.
+"""
+
+from .capture import ObservationContext, active, capture
+from .experiment import trace_experiment
+from .metrics import (
+    NULL_METRICS,
+    ChannelUsage,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    TimeSeries,
+    format_snapshot,
+    merge_snapshots,
+    metric_name,
+    resolve_metrics,
+)
+from .perfetto import (
+    build_chrome_trace,
+    build_provenance,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "ObservationContext",
+    "active",
+    "capture",
+    "trace_experiment",
+    "NULL_METRICS",
+    "ChannelUsage",
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "TimeSeries",
+    "format_snapshot",
+    "merge_snapshots",
+    "metric_name",
+    "resolve_metrics",
+    "build_chrome_trace",
+    "build_provenance",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,82 @@
+"""Ambient observation: instrument sessions you did not create.
+
+The figure drivers and benchmark suites build their own
+:class:`~repro.session.Session` /
+:class:`~repro.hardware.node.HardwareNode` objects internally — their
+signatures deliberately do not leak simulator plumbing.  To observe
+one of those runs (``repro trace fig06``, ``repro run --metrics``)
+without threading a registry through every measurement function, the
+CLI installs an *ambient* :class:`ObservationContext`::
+
+    with obs.capture() as ctx:
+        figures.run("fig04")
+    print(ctx.metrics.describe())
+    records = ctx.tracer.records()
+
+While the context is active, every :class:`HardwareNode` constructed
+without explicit ``metrics=``/``trace=`` arguments adopts the
+context's shared registry and tracer, so metrics and timeline records
+from all sessions built inside the ``with`` block accumulate in one
+place.  Explicit arguments always win — a caller that asked for its
+own registry keeps it.
+
+The context is per-process state (a plain module global, matching the
+single-threaded CLI); pool workers never see it, which is why
+:func:`repro.runner.points.execute_point_observed` re-creates a
+context inside the worker instead.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from ..sim.trace import Tracer
+from .metrics import MetricsRegistry
+
+_ACTIVE: "ObservationContext | None" = None
+
+
+class ObservationContext:
+    """A shared registry + tracer that ambient sessions adopt."""
+
+    def __init__(
+        self,
+        *,
+        metrics: bool = True,
+        trace: bool = True,
+        trace_capacity: int | None = None,
+    ) -> None:
+        self.metrics = MetricsRegistry(enabled=metrics)
+        self.tracer = Tracer(enabled=trace, capacity=trace_capacity)
+        #: How many HardwareNodes adopted this context.
+        self.adoptions = 0
+
+
+def active() -> ObservationContext | None:
+    """The currently-installed context, or ``None``."""
+    return _ACTIVE
+
+
+@contextmanager
+def capture(
+    *,
+    metrics: bool = True,
+    trace: bool = True,
+    trace_capacity: int | None = None,
+) -> Iterator[ObservationContext]:
+    """Install an ambient observation context for the ``with`` body.
+
+    Nested captures stack: the innermost context wins, and the outer
+    one is restored on exit.
+    """
+    global _ACTIVE
+    context = ObservationContext(
+        metrics=metrics, trace=trace, trace_capacity=trace_capacity
+    )
+    previous = _ACTIVE
+    _ACTIVE = context
+    try:
+        yield context
+    finally:
+        _ACTIVE = previous

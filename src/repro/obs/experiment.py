@@ -1,0 +1,134 @@
+"""Observed artifact runs: trace + metrics for a whole experiment.
+
+``repro trace fig06`` needs a timeline for an artifact whose driver
+decomposes into many independent sim points, each of which builds its
+own simulated node starting at ``t = 0``.  Rendering them raw would
+stack every point on top of the origin, so :func:`trace_experiment`
+runs the points **serially** under per-point
+:func:`~repro.obs.capture.capture` contexts and lays each point's
+records (and channel-rate samples) out back-to-back on the exported
+timeline, with a ``point`` slice spanning each one — the trace reads
+like one long annotated run.
+
+Summary metrics (counters, per-channel bytes/busy time) are folded
+across points into a single registry, so the payload's
+``otherData.metrics`` block describes the whole artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..sim.trace import TraceRecord
+from .capture import capture
+from .metrics import MetricsRegistry
+from .perfetto import build_chrome_trace, build_provenance
+
+#: Simulated gap inserted between consecutive points on the timeline.
+POINT_GAP_SECONDS = 1e-5
+
+
+def _fold_point(
+    export: MetricsRegistry, registry: MetricsRegistry, offset: float
+) -> float:
+    """Fold one point's registry into the export registry.
+
+    Channel and series samples are shifted by ``offset`` so they land
+    in the point's slot on the shared timeline.  Returns the latest
+    (unshifted) sample time seen, so the caller can size the slot.
+    """
+    span = 0.0
+    for name, counter in registry.counters().items():
+        export.counter(name).inc(counter.value)
+    for name, gauge in registry.gauges().items():
+        export.gauge(name).set(gauge.value)
+        slot = export.gauge(name)
+        if gauge.max_value > slot.max_value:
+            slot.max_value = gauge.max_value
+    for name, series in registry.series().items():
+        slot = export.timeseries(name)
+        slot.integral += series.integral
+        slot.dropped += series.dropped
+        if series.max_value > slot.max_value:
+            slot.max_value = series.max_value
+        for t, value in series.samples:
+            slot.samples.append((t + offset, value))
+            if t > span:
+                span = t
+    for name, usage in registry.channels().items():
+        slot = export.channel(name, usage.capacity)
+        slot.bytes += usage.bytes
+        slot.busy_seconds += usage.busy_seconds
+        slot.flows += usage.flows
+        slot.dropped += usage.dropped
+        if usage.max_concurrent_flows > slot.max_concurrent_flows:
+            slot.max_concurrent_flows = usage.max_concurrent_flows
+        for t, rate in usage.samples:
+            slot.samples.append((t + offset, rate))
+            if t > span:
+                span = t
+    return span
+
+
+def trace_experiment(
+    experiment_id: str,
+    *,
+    params: Mapping[str, Any] | None = None,
+    trace_capacity: int | None = None,
+) -> dict[str, Any]:
+    """Run an artifact observed; returns the Chrome-trace payload.
+
+    Points execute serially (observation shares one process-ambient
+    context, and a sequential layout is the goal anyway); the run also
+    produces the artifact's result, available under
+    ``otherData.metrics`` only as aggregates — use ``repro run`` for
+    the numbers themselves.
+    """
+    from .. import figures
+
+    params = dict(params or {})
+    points = figures.sweep_points(experiment_id, **params)
+    export = MetricsRegistry(enabled=True)
+    records: list[TraceRecord] = []
+    cursor = 0.0
+    for point in points:
+        with capture(trace_capacity=trace_capacity) as ctx:
+            from ..runner.points import execute_point
+
+            execute_point(point)
+        span = 0.0
+        for record in ctx.tracer.records():
+            records.append(
+                TraceRecord(
+                    record.start + cursor,
+                    record.end + cursor,
+                    record.category,
+                    record.label,
+                    dict(record.detail),
+                )
+            )
+            if record.end > span:
+                span = record.end
+        sample_span = _fold_point(export, ctx.metrics, cursor)
+        if sample_span > span:
+            span = sample_span
+        records.append(
+            TraceRecord(
+                cursor,
+                cursor + span,
+                "point",
+                point.label,
+                {"experiment": experiment_id, "trace_dropped": ctx.tracer.dropped},
+            )
+        )
+        cursor += span + POINT_GAP_SECONDS
+
+    from ..core.calibration import DEFAULT_CALIBRATION
+    from ..topology.presets import frontier_node
+
+    provenance = build_provenance(
+        calibration=DEFAULT_CALIBRATION,
+        topology=frontier_node(),
+        extra={"experiment": experiment_id, "points": len(points)},
+    )
+    return build_chrome_trace(records, metrics=export, provenance=provenance)

@@ -1,0 +1,266 @@
+"""Chrome-trace (Perfetto) JSON export of simulator timelines.
+
+The :class:`~repro.sim.trace.Tracer` already records every transfer,
+kernel, fault and collective step; this module lays those records out
+in the `Chrome Trace Event Format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+so they load directly in `Perfetto <https://ui.perfetto.dev>`_ or
+``chrome://tracing``:
+
+- every trace record becomes a complete (``"ph": "X"``) slice on a
+  track derived from the record — kernels and faults land on their
+  GCD's track, memcpys on a per-kind track, collectives on theirs;
+- every flow-network channel with metric samples becomes a counter
+  (``"ph": "C"``) track showing allocated GB/s over simulated time —
+  the per-link utilization picture the paper's analysis rests on;
+- ``otherData`` carries provenance (calibration/topology fingerprints,
+  package version, git SHA), so a trace file is self-describing.
+
+Times are simulated seconds scaled to microseconds (the format's
+unit).  :func:`validate_chrome_trace` is the schema check CI runs on
+exported traces.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from ..sim.trace import TraceRecord
+from .metrics import MetricsRegistry
+
+#: Chrome trace timestamps are microseconds; the simulator uses seconds.
+_US = 1e6
+
+#: pid of the slice tracks; counter tracks get their own process row.
+_SIM_PID = 1
+_COUNTER_PID = 2
+
+
+def _track_for(record: TraceRecord) -> str:
+    """Display track of one record (GCD if known, else its category)."""
+    detail = record.detail
+    device = detail.get("device", detail.get("gcd"))
+    if device is not None:
+        return f"gcd{device}/{record.category}"
+    if record.category == "memcpy":
+        # Split peer copies from host copies so lanes stay readable.
+        kind = record.label.split(":", 1)[0]
+        return f"memcpy/{kind}"
+    return record.category
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def build_provenance(
+    *,
+    calibration: Any | None = None,
+    topology: Any | None = None,
+    extra: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Self-description block for ``otherData``.
+
+    Accepts live :class:`~repro.core.calibration.CalibrationProfile` /
+    :class:`~repro.topology.node.NodeTopology` objects and records
+    their content fingerprints, plus the package version and git SHA.
+    """
+    from .. import __version__
+    from ..perf.core import _git_sha
+
+    provenance: dict[str, Any] = {
+        "generator": "repro.obs.perfetto",
+        "version": __version__,
+        "git_sha": _git_sha(),
+    }
+    if calibration is not None:
+        provenance["calibration_fingerprint"] = calibration.fingerprint()
+    if topology is not None:
+        provenance["topology_fingerprint"] = topology.fingerprint()
+        provenance["topology"] = getattr(topology, "name", str(topology))
+    if extra:
+        provenance.update({k: _json_safe(v) for k, v in extra.items()})
+    return provenance
+
+
+def build_chrome_trace(
+    records: Iterable[TraceRecord],
+    *,
+    metrics: MetricsRegistry | None = None,
+    provenance: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble the Chrome-trace payload (a JSON-able dict)."""
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _SIM_PID,
+            "args": {"name": "simulated timeline"},
+        }
+    ]
+    tracks: dict[str, int] = {}
+    for record in sorted(records, key=lambda r: (r.start, r.end)):
+        track = _track_for(record)
+        tid = tracks.get(track)
+        if tid is None:
+            tid = tracks[track] = len(tracks) + 1
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": _SIM_PID,
+                    "tid": tid,
+                    "args": {"name": track},
+                }
+            )
+        events.append(
+            {
+                "name": record.label,
+                "cat": record.category,
+                "ph": "X",
+                "pid": _SIM_PID,
+                "tid": tid,
+                "ts": record.start * _US,
+                "dur": record.duration * _US,
+                "args": {k: _json_safe(v) for k, v in record.detail.items()},
+            }
+        )
+
+    if metrics is not None:
+        counter_events = _counter_events(metrics)
+        if counter_events:
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": _COUNTER_PID,
+                    "args": {"name": "channel rates"},
+                }
+            )
+            events.extend(counter_events)
+
+    payload: dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    other: dict[str, Any] = dict(provenance) if provenance else {}
+    if metrics is not None and metrics.enabled:
+        other["metrics"] = metrics.snapshot()
+    if other:
+        payload["otherData"] = other
+    return payload
+
+
+def _counter_events(metrics: MetricsRegistry) -> list[dict[str, Any]]:
+    """Counter tracks: one per busy channel (allocated GB/s over time).
+
+    Each usage sample marks the start of a constant-rate interval, so
+    emitting the value at the sample time draws the correct step
+    function in Perfetto's counter rendering.
+    """
+    events: list[dict[str, Any]] = []
+    for name, usage in sorted(metrics.channels().items()):
+        if not usage.samples:
+            continue
+        counter = f"{name} GB/s"
+        last_rate: float | None = None
+        for start, rate in usage.samples:
+            if rate == last_rate:
+                continue
+            last_rate = rate
+            events.append(
+                {
+                    "name": counter,
+                    "ph": "C",
+                    "pid": _COUNTER_PID,
+                    "ts": start * _US,
+                    "args": {"rate": rate / 1e9},
+                }
+            )
+    for name, series in sorted(metrics.series().items()):
+        last_value: float | None = None
+        for t, value in series.samples:
+            if value == last_value:
+                continue
+            last_value = value
+            events.append(
+                {
+                    "name": name,
+                    "ph": "C",
+                    "pid": _COUNTER_PID,
+                    "ts": t * _US,
+                    "args": {"value": value},
+                }
+            )
+    return events
+
+
+def validate_chrome_trace(payload: Any) -> list[str]:
+    """Schema-check a trace payload; returns a list of problems.
+
+    An empty list means the payload is loadable by Perfetto /
+    ``chrome://tracing``.  This is the check CI runs on the exported
+    artifact trace.
+    """
+    problems: list[str] = []
+    if not isinstance(payload, Mapping):
+        return ["top level is not an object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not an array"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, Mapping):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in ("X", "C", "M"):
+            problems.append(f"{where}: unsupported phase {phase!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append(f"{where}: missing event name")
+        if not isinstance(event.get("pid"), int):
+            problems.append(f"{where}: missing integer pid")
+        if phase == "M":
+            if event["name"] not in ("process_name", "thread_name"):
+                problems.append(f"{where}: unknown metadata {event['name']!r}")
+            args = event.get("args")
+            if not isinstance(args, Mapping) or not isinstance(
+                args.get("name"), str
+            ):
+                problems.append(f"{where}: metadata args.name missing")
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+        if phase == "X":
+            if not isinstance(event.get("tid"), int):
+                problems.append(f"{where}: missing integer tid")
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: bad dur {dur!r}")
+        else:  # "C"
+            args = event.get("args")
+            if not isinstance(args, Mapping) or not args:
+                problems.append(f"{where}: counter without args")
+            elif not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                problems.append(f"{where}: non-numeric counter value")
+    return problems
+
+
+def write_chrome_trace(path: str | Path, payload: Mapping[str, Any]) -> Path:
+    """Serialize a trace payload to ``path`` (validated first)."""
+    problems = validate_chrome_trace(payload)
+    if problems:
+        raise ValueError(
+            "refusing to write an invalid trace: " + "; ".join(problems[:5])
+        )
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=1, sort_keys=False))
+    return path

@@ -135,16 +135,24 @@ def bench_timer_cancel(
 # -- fair-share flow churn -----------------------------------------------------
 
 
-def _run_churn(incremental: bool, pairs: int, flows_per_pair: int) -> float:
+def _run_churn(
+    incremental: bool,
+    pairs: int,
+    flows_per_pair: int,
+    metrics: Any = None,
+) -> float:
     """One churn run: ``pairs`` concurrent back-to-back flow chains.
 
     Each pair owns a private two-channel route; every seventh flow also
     crosses a shared backbone channel, so most arrivals re-level a
     small component while some couple many pairs — the mixed regime the
-    fabric model produces.
+    fabric model produces.  ``metrics`` (a
+    :class:`~repro.obs.metrics.MetricsRegistry` or ``None``) is threaded
+    into the engine and network so the same workload can measure
+    observability overhead.
     """
-    engine = SimEngine()
-    network = FlowNetwork(engine, incremental=incremental)
+    engine = SimEngine(metrics=metrics)
+    network = FlowNetwork(engine, incremental=incremental, metrics=metrics)
     backbone = "backbone"
     network.add_channel(backbone, 200 * GiB)
     for pair in range(pairs):
@@ -190,6 +198,54 @@ def bench_flow_churn(
         "incremental_flows_per_second": total_flows / incremental,
         "legacy_flows_per_second": total_flows / legacy,
         "speedup": legacy / incremental,
+    }
+
+
+def bench_metrics_overhead(
+    pairs: int = 32, flows_per_pair: int = 120, *, repeats: int = REPEATS
+) -> dict[str, Any]:
+    """Cost of the observability layer on the flow-churn workload.
+
+    Runs the identical incremental-churn workload three ways: with the
+    shared disabled registry (the default every hot path takes), with a
+    freshly constructed disabled registry, and with metrics enabled.
+    ``disabled_overhead`` is the acceptance number — a disabled
+    registry must stay within a few percent of the default path,
+    because *every* simulation pays the ``if metrics:`` guard.
+    """
+    from ..obs.metrics import MetricsRegistry
+
+    total_flows = pairs * flows_per_pair
+    # Interleave the variants inside each repeat (rather than running
+    # three best-of blocks back to back) so machine-load drift hits all
+    # of them equally — the overhead ratios are what matters here.
+    baseline = disabled = enabled = float("inf")
+    for _ in range(max(1, repeats)):
+        baseline = min(baseline, _run_churn(True, pairs, flows_per_pair))
+        disabled = min(
+            disabled,
+            _run_churn(
+                True,
+                pairs,
+                flows_per_pair,
+                metrics=MetricsRegistry(enabled=False, sample_capacity=0),
+            ),
+        )
+        enabled = min(
+            enabled,
+            _run_churn(
+                True, pairs, flows_per_pair, metrics=MetricsRegistry()
+            ),
+        )
+    return {
+        "pairs": pairs,
+        "flows_per_pair": flows_per_pair,
+        "total_flows": total_flows,
+        "baseline_wall_seconds": baseline,
+        "disabled_wall_seconds": disabled,
+        "enabled_wall_seconds": enabled,
+        "disabled_overhead": disabled / baseline - 1.0,
+        "enabled_overhead": enabled / baseline - 1.0,
     }
 
 
@@ -323,6 +379,11 @@ def run_suite(*, smoke: bool = False, repeats: int | None = None) -> dict[str, A
             120 // (4 if smoke else 1),
             repeats=repeats,
         ),
+        "metrics_overhead": bench_metrics_overhead(
+            32 // (4 if smoke else 1),
+            120 // (4 if smoke else 1),
+            repeats=repeats,
+        ),
         "figure_sweep": bench_figure_sweep(smoke=smoke),
         "sweep_parallel": bench_sweep_parallel(),
         "cache_hit": bench_cache_hit(smoke=smoke),
@@ -333,12 +394,18 @@ def run_suite(*, smoke: bool = False, repeats: int | None = None) -> dict[str, A
             "incremental_flows_per_second"
         ],
         "churn_speedup_vs_batch_resolve": results["flow_churn"]["speedup"],
+        "metrics_disabled_overhead": results["metrics_overhead"][
+            "disabled_overhead"
+        ],
+        "metrics_enabled_overhead": results["metrics_overhead"][
+            "enabled_overhead"
+        ],
         "figure_sweep_seconds": results["figure_sweep"]["wall_seconds"],
         "sweep_parallel_speedup": results["sweep_parallel"]["speedup"],
         "cache_hit_speedup": results["cache_hit"]["speedup"],
     }
     return {
-        "schema": "repro-bench-core/2",
+        "schema": "repro-bench-core/3",
         "version": __version__,
         "git_sha": _git_sha(),
         "python": sys.version.split()[0],
@@ -370,6 +437,8 @@ def format_report(report: dict[str, Any]) -> str:
         f"  timer cancel     {results['timer_cancel']['timers_per_second']:>12,.0f} timers/s",
         f"  flow churn       {results['flow_churn']['incremental_flows_per_second']:>12,.0f} flows/s "
         f"(incremental; {results['flow_churn']['speedup']:.2f}x vs batch re-solve)",
+        f"  metrics overhead {results['metrics_overhead']['disabled_overhead']:>12.1%} disabled "
+        f"/ {results['metrics_overhead']['enabled_overhead']:+.1%} enabled",
         f"  figure sweep     {results['figure_sweep']['wall_seconds']:>12.2f} s "
         f"({results['figure_sweep']['measurements']} measurements)",
         f"  sweep parallel   {results['sweep_parallel']['speedup']:>12.2f} x "

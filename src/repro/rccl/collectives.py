@@ -118,6 +118,10 @@ def _synchronized_steps(
         tracer.record(
             start, engine.now, "rccl", label, steps=num_steps, chunk=chunk
         )
+    metrics = comm.node.metrics
+    if metrics:
+        metrics.counter(f"rccl/{label}").inc()
+        metrics.counter("rccl/steps").inc(num_steps)
 
 
 def allreduce(
@@ -225,6 +229,10 @@ def broadcast(
     tracer = comm.node.tracer
     if tracer.enabled:
         tracer.record(start, engine.now, "rccl", "broadcast", bytes=nbytes)
+    metrics = comm.node.metrics
+    if metrics:
+        metrics.counter("rccl/broadcast").inc()
+        metrics.counter("rccl/steps").inc(num_stages)
 
 
 #: Name → implementation registry (mirrors rccl-tests binaries).

@@ -22,7 +22,12 @@ from typing import Any, Sequence
 
 from .cache import CACHE_DIR_ENV, CacheStats, ResultCache, default_cache_dir
 from .keys import UncacheableValueError, canonical_token, point_key
-from .points import SimPoint, execute_point, resolve_callable
+from .points import (
+    SimPoint,
+    execute_point,
+    execute_point_observed,
+    resolve_callable,
+)
 from .runner import RunnerStats, SweepRunner, resolve_jobs
 
 
@@ -51,6 +56,7 @@ __all__ = [
     "canonical_token",
     "default_cache_dir",
     "execute_point",
+    "execute_point_observed",
     "execute_points",
     "point_key",
     "resolve_callable",

@@ -140,22 +140,52 @@ class ResultCache:
     # -- maintenance ----------------------------------------------------
 
     def entries(self) -> Iterator[Path]:
-        """Every entry file currently in the cache."""
+        """Every *committed* entry file currently in the cache.
+
+        In-flight temporaries (``.tmp-*.pkl`` left by :meth:`store`,
+        possibly stale after a killed writer) are excluded —
+        ``pathlib``'s glob matches dotfiles, so filtering is explicit.
+        Directories vanishing mid-scan (a concurrent :meth:`clear`)
+        are tolerated.
+        """
         objects = self.directory / "objects"
         if not objects.is_dir():
             return
-        yield from sorted(objects.glob("*/*.pkl"))
+        try:
+            found = sorted(objects.glob("*/*.pkl"))
+        except OSError:
+            return
+        for path in found:
+            if not path.name.startswith("."):
+                yield path
 
     def entry_count(self) -> int:
         """Number of cached point outputs."""
         return sum(1 for _ in self.entries())
 
     def total_bytes(self) -> int:
-        """On-disk size of all entries."""
-        return sum(path.stat().st_size for path in self.entries())
+        """On-disk size of all entries.
+
+        Entries deleted by a concurrent runner between listing and
+        ``stat`` simply don't count (the cache promises concurrent
+        runners are safe).
+        """
+        total = 0
+        for path in self.entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry; returns how many were removed.
+
+        Also sweeps stale ``.tmp-*`` files abandoned by writers that
+        died between ``mkstemp`` and ``os.replace`` (they are not
+        counted in the return value).  Files already removed by a
+        concurrent clear are skipped silently.
+        """
         removed = 0
         for path in self.entries():
             try:
@@ -163,6 +193,17 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        objects = self.directory / "objects"
+        if objects.is_dir():
+            try:
+                stale = list(objects.glob("*/.tmp-*"))
+            except OSError:
+                stale = []
+            for path in stale:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
         return removed
 
     def describe(self) -> str:

@@ -87,3 +87,19 @@ class SimPoint:
 def execute_point(point: SimPoint) -> Any:
     """Module-level trampoline for process-pool workers (picklable)."""
     return point.execute()
+
+
+def execute_point_observed(point: SimPoint) -> tuple[Any, dict[str, Any]]:
+    """Run a point under an ambient metrics capture.
+
+    Returns ``(value, metrics snapshot)``.  Used by the runner's
+    ``capture_metrics`` mode: the snapshot is a plain JSON-able dict,
+    so it pickles cheaply back from pool workers, where the parent's
+    ambient context does not exist.  Tracing stays off — per-point
+    timelines belong to ``repro trace``, not sweeps.
+    """
+    from ..obs.capture import capture
+
+    with capture(trace=False) as ctx:
+        value = point.execute()
+    return value, ctx.metrics.snapshot()

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 from .cache import ResultCache
-from .points import SimPoint, execute_point
+from .points import SimPoint, execute_point, execute_point_observed
 
 
 def resolve_jobs(jobs: int | str | None) -> int:
@@ -39,7 +39,14 @@ def resolve_jobs(jobs: int | str | None) -> int:
 
 @dataclass
 class RunnerStats:
-    """Work accounting of one :class:`SweepRunner`."""
+    """Work accounting of one :class:`SweepRunner`.
+
+    Cache counters are **this runner's own** hits/misses — deltas of
+    the (possibly shared) :class:`~repro.runner.cache.CacheStats`
+    observed around each ``run_points`` call, not the cache's lifetime
+    totals.  ``metrics`` holds the merged per-point metrics snapshot
+    when the runner was built with ``capture_metrics=True``.
+    """
 
     points: int = 0
     executed: int = 0
@@ -49,10 +56,11 @@ class RunnerStats:
     jobs: int = 1
     parallel_fallbacks: int = 0
     wall_seconds: float = 0.0
+    metrics: dict[str, Any] | None = None
 
     def as_dict(self) -> dict[str, Any]:
         """The counters as a plain dict (for perf reports)."""
-        return {
+        out = {
             "points": self.points,
             "executed": self.executed,
             "cache_hits": self.cache_hits,
@@ -62,6 +70,9 @@ class RunnerStats:
             "parallel_fallbacks": self.parallel_fallbacks,
             "wall_seconds": self.wall_seconds,
         }
+        if self.metrics is not None:
+            out["metrics"] = self.metrics
+        return out
 
     def describe(self) -> str:
         """One-line ``--cache-stats`` summary."""
@@ -93,11 +104,13 @@ class SweepRunner:
         cache: ResultCache | None = None,
         use_cache: bool = True,
         cache_dir: str | None = None,
+        capture_metrics: bool = False,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         if cache is None and use_cache:
             cache = ResultCache(cache_dir)
         self.cache = cache if use_cache else None
+        self.capture_metrics = capture_metrics
         self.stats = RunnerStats(jobs=self.jobs)
 
     # -- point execution ------------------------------------------------
@@ -106,6 +119,14 @@ class SweepRunner:
         """Execute a grid; returns outputs in point order."""
         points = list(points)
         started = time.perf_counter()
+        # Snapshot the cache counters so the stats report *this
+        # runner's* work even when the cache object is shared across
+        # runners or run_many calls (lifetime totals would otherwise
+        # leak into --cache-stats).
+        if self.cache is not None:
+            hits_before = self.cache.stats.hits
+            misses_before = self.cache.stats.misses
+            uncacheable_before = self.cache.stats.uncacheable
         outputs: list[Any] = [None] * len(points)
         keys: list[str | None] = [None] * len(points)
         pending: list[int] = []
@@ -127,32 +148,48 @@ class SweepRunner:
         self.stats.points += len(points)
         self.stats.executed += len(pending)
         if self.cache is not None:
-            self.stats.cache_hits = self.cache.stats.hits
-            self.stats.cache_misses = self.cache.stats.misses
-            self.stats.uncacheable = self.cache.stats.uncacheable
+            self.stats.cache_hits += self.cache.stats.hits - hits_before
+            self.stats.cache_misses += self.cache.stats.misses - misses_before
+            self.stats.uncacheable += (
+                self.cache.stats.uncacheable - uncacheable_before
+            )
         self.stats.wall_seconds += time.perf_counter() - started
         return outputs
 
     def _execute(self, points: list[SimPoint]) -> list[Any]:
+        trampoline = (
+            execute_point_observed if self.capture_metrics else execute_point
+        )
         if self.jobs > 1 and len(points) > 1:
             try:
-                return self._execute_parallel(points)
+                results = self._execute_parallel(points, trampoline)
             except (OSError, NotImplementedError, ImportError):
                 # No usable multiprocessing (sandboxes, missing /dev/shm):
                 # the serial path produces identical results, just slower.
                 self.stats.parallel_fallbacks += 1
-        return [execute_point(point) for point in points]
+                results = [trampoline(point) for point in points]
+        else:
+            results = [trampoline(point) for point in points]
+        if not self.capture_metrics:
+            return results
+        from ..obs.metrics import merge_snapshots
 
-    def _execute_parallel(self, points: list[SimPoint]) -> list[Any]:
+        values: list[Any] = []
+        for value, snapshot in results:
+            values.append(value)
+            self.stats.metrics = merge_snapshots(self.stats.metrics, snapshot)
+        return values
+
+    def _execute_parallel(
+        self, points: list[SimPoint], trampoline: Any = execute_point
+    ) -> list[Any]:
         from concurrent.futures import ProcessPoolExecutor
 
         workers = min(self.jobs, len(points))
         chunksize = max(1, len(points) // (workers * 4))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             # ``map`` preserves submission order, which is point order.
-            return list(
-                pool.map(execute_point, points, chunksize=chunksize)
-            )
+            return list(pool.map(trampoline, points, chunksize=chunksize))
 
     # -- experiment-level API -------------------------------------------
 

@@ -91,6 +91,11 @@ class Session:
         Enable the timeline tracer.
     trace_capacity:
         Optional ring-buffer bound for the tracer (newest records win).
+    metrics:
+        ``True`` for a fresh enabled
+        :class:`~repro.obs.metrics.MetricsRegistry`, an existing
+        registry to share one across sessions, or ``None``/``False``
+        for the disabled null registry (the default — near-zero cost).
     coherence:
         Optional :class:`CoherencePolicy` override for the HIP layer.
     """
@@ -103,6 +108,7 @@ class Session:
         env: SimEnvironment | None = None,
         trace: bool = False,
         trace_capacity: int | None = None,
+        metrics: Any = None,
         coherence: CoherencePolicy | None = None,
         **env_flags: Any,
     ) -> None:
@@ -121,7 +127,11 @@ class Session:
                 ) from exc
         self.env = env
         self.node = HardwareNode(
-            self.topology, calibration, trace=trace, trace_capacity=trace_capacity
+            self.topology,
+            calibration,
+            trace=trace,
+            trace_capacity=trace_capacity,
+            metrics=metrics,
         )
         self.hip = HipRuntime(self.node, self.env, coherence=coherence)
         self._closed = False
@@ -223,6 +233,41 @@ class Session:
         stats.update(self.node.network.solver.stats.as_dict())
         stats["trace_records"] = len(self.node.tracer)
         return stats
+
+    def metrics(self) -> dict[str, Any]:
+        """Snapshot of the session's metrics registry.
+
+        Empty sections unless the session was built with
+        ``metrics=True`` (or a shared registry).  See
+        :mod:`repro.obs.metrics` for the schema.
+        """
+        self.node.network.solver.stats.publish(self.node.metrics)
+        return self.node.metrics.snapshot()
+
+    def export_trace(
+        self, path: str | None = None, **provenance_extra: Any
+    ) -> dict[str, Any]:
+        """Chrome-trace payload of this session's timeline.
+
+        Combines the tracer's records, counter tracks from the metrics
+        registry, and provenance (calibration/topology fingerprints,
+        package version, git SHA).  With ``path``, also writes the
+        validated JSON file.
+        """
+        from . import obs
+
+        payload = obs.build_chrome_trace(
+            self.node.tracer.records(),
+            metrics=self.node.metrics,
+            provenance=obs.build_provenance(
+                calibration=self.node.calibration,
+                topology=self.topology,
+                extra=provenance_extra,
+            ),
+        )
+        if path is not None:
+            obs.write_chrome_trace(path, payload)
+        return payload
 
     def describe(self) -> str:
         """Topology plus calibration summary text."""

@@ -318,14 +318,26 @@ _TIMER_POOL_LIMIT = 256
 
 
 class SimEngine:
-    """The event loop: a clock plus a deterministic event heap."""
+    """The event loop: a clock plus a deterministic event heap.
 
-    def __init__(self) -> None:
+    ``metrics`` optionally attaches a
+    :class:`~repro.obs.metrics.MetricsRegistry`; when enabled, ``run``
+    switches to an observed loop that samples heap depth and pushes
+    event/timer deltas into the registry.  The disabled path pays one
+    truthiness check per ``run()`` call — nothing per event.
+    """
+
+    def __init__(self, *, metrics: Any = None) -> None:
         self._now = 0.0
         self._heap: list[tuple[float, int, Any]] = []
         self._sequence = itertools.count()
         self._running = False
         self._timer_pool: list[TimerHandle] = []
+        if metrics is None:
+            from ..obs.metrics import NULL_METRICS
+
+            metrics = NULL_METRICS
+        self.metrics = metrics
         # Throughput counters (read via stats(); cheap int bumps).
         self.events_delivered = 0
         self.timers_fired = 0
@@ -457,6 +469,9 @@ class SimEngine:
             raise SimulationError("engine is already running (re-entrant run)")
         self._running = True
         try:
+            if self.metrics:
+                self._run_observed(until)
+                return self._now
             heap = self._heap
             step = self.step
             if until is None:
@@ -473,6 +488,49 @@ class SimEngine:
         finally:
             self._running = False
         return self._now
+
+    def _run_observed(self, until: Optional[float]) -> None:
+        """The metrics-enabled run loop (same semantics as ``run``).
+
+        Kept separate so the common disabled path stays branch-free:
+        this loop samples heap depth per dispatch and folds the
+        event/timer deltas into the registry when the drain ends.
+        """
+        metrics = self.metrics
+        heap = self._heap
+        step = self.step
+        events_before = self.events_delivered
+        timers_before = self.timers_fired
+        cancelled_before = self.timers_cancelled
+        depth = metrics.gauge("engine/heap_depth")
+        depth_series = metrics.timeseries("engine/heap_depth")
+        try:
+            if until is None:
+                while heap:
+                    depth.set(len(heap))
+                    depth_series.observe(self._now, len(heap))
+                    if not step():
+                        break
+            else:
+                while heap:
+                    if heap[0][0] > until:
+                        self._now = until
+                        break
+                    depth.set(len(heap))
+                    depth_series.observe(self._now, len(heap))
+                    if not step():
+                        break
+        finally:
+            metrics.counter("engine/runs").inc()
+            metrics.counter("engine/events_delivered").inc(
+                self.events_delivered - events_before
+            )
+            metrics.counter("engine/timers_fired").inc(
+                self.timers_fired - timers_before
+            )
+            metrics.counter("engine/timers_cancelled").inc(
+                self.timers_cancelled - cancelled_before
+            )
 
     def run_process(self, generator: ProcessGenerator, name: str = "") -> Any:
         """Convenience: start a process, run to completion, return its value."""

@@ -48,7 +48,7 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Mapping, Sequence
+from typing import Any, Hashable, Iterable, Mapping, Sequence
 
 from ..errors import SimulationError
 
@@ -377,6 +377,20 @@ class SolverStats:
             "flows_releveled": self.flows_releveled,
             "largest_component": self.largest_component,
         }
+
+    def publish(self, metrics: "Any") -> None:
+        """Mirror the counters into a metrics registry (no-op if disabled).
+
+        Writes absolute values (the stats are already cumulative), so
+        publishing repeatedly is idempotent.
+        """
+        if not metrics:
+            return
+        for name, value in self.as_dict().items():
+            if name == "largest_component":
+                metrics.gauge(f"solver/{name}").set(value)
+            else:
+                metrics.counter(f"solver/{name}").value = value
 
 
 class FairshareSolver:

@@ -20,7 +20,7 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Mapping, Sequence
+from typing import Any, Hashable, Iterable, Mapping, Sequence
 
 from ..errors import SimulationError
 from .engine import Event, SimEngine, TimerHandle
@@ -126,7 +126,13 @@ class FlowNetwork:
     behaviour, kept for differential tests and the perf baseline.
     """
 
-    def __init__(self, engine: SimEngine, *, incremental: bool = True) -> None:
+    def __init__(
+        self,
+        engine: SimEngine,
+        *,
+        incremental: bool = True,
+        metrics: "Any" = None,
+    ) -> None:
         self.engine = engine
         self._channels: dict[Hashable, Channel] = {}
         self._active: dict[int, Flow] = {}
@@ -135,6 +141,11 @@ class FlowNetwork:
         self._incremental = incremental
         self._solver = FairshareSolver()
         self._alarm: TimerHandle | None = None
+        if metrics is None:
+            from ..obs.metrics import NULL_METRICS
+
+            metrics = NULL_METRICS
+        self._metrics = metrics
 
     @property
     def solver(self) -> FairshareSolver:
@@ -207,6 +218,14 @@ class FlowNetwork:
 
         self._advance_to_now()
         self._active[flow.flow_id] = flow
+        metrics = self._metrics
+        if metrics:
+            metrics.counter("network/flows_started").inc()
+            metrics.counter("network/bytes_requested").inc(size)
+            for channel_id in channel_ids:
+                metrics.channel(
+                    channel_id, self._channels[channel_id].capacity
+                ).flows += 1
         if self._incremental:
             updated = self._solver.add_flow(FlowSpec(flow.flow_id, channel_ids, cap))
             self._resolve_and_schedule(updated)
@@ -235,9 +254,35 @@ class FlowNetwork:
         if dt < 0:
             raise SimulationError("flow network clock went backwards")
         if dt > 0:
+            if self._metrics and self._active:
+                self._account_interval(self._last_update, dt)
             for flow in self._active.values():
                 flow.remaining -= flow.rate * dt
         self._last_update = now
+
+    def _account_interval(self, start: float, dt: float) -> None:
+        """Fold one constant-rate interval into the metrics registry.
+
+        Flows keep their rate between topology changes, so summing
+        ``rate × dt`` per channel here (every ``_advance_to_now``) is
+        exact — the same integral the flows themselves advance by.
+        """
+        per_channel: dict[Hashable, list[float]] = {}
+        for flow in self._active.values():
+            rate = flow.rate
+            for channel_id in flow.channels:
+                entry = per_channel.get(channel_id)
+                if entry is None:
+                    per_channel[channel_id] = [rate, 1]
+                else:
+                    entry[0] += rate
+                    entry[1] += 1
+        metrics = self._metrics
+        channels = self._channels
+        for channel_id, (load, nflows) in per_channel.items():
+            metrics.channel(channel_id, channels[channel_id].capacity).account(
+                start, dt, load, int(nflows)
+            )
 
     def _resolve_and_schedule(
         self, updated: Mapping[Hashable, float] | None = None
@@ -252,6 +297,8 @@ class FlowNetwork:
         if self._alarm is not None:
             self._alarm.cancel()
             self._alarm = None
+        if self._metrics:
+            self._metrics.counter("network/rate_changes").inc()
         active = self._active
         if not active:
             return
@@ -293,6 +340,8 @@ class FlowNetwork:
             # rescheduling from the fresh state converges.
             self._resolve_and_schedule({} if incremental else None)
             return
+        if self._metrics:
+            self._metrics.counter("network/flows_completed").inc(len(finished))
         updated: dict[Hashable, float] = {}
         for flow in finished:
             del self._active[flow.flow_id]

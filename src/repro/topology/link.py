@@ -174,3 +174,37 @@ class Link:
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.name
+
+    @staticmethod
+    def tier_from_name(link_name: str) -> LinkTier:
+        """Recover the tier from a :attr:`Link.name` string.
+
+        Link names carry their tier as a suffix (``gcd0-gcd1:quad``),
+        so observability code can map a link-channel metric name back
+        to the bundle's peak bandwidth without holding the topology.
+        """
+        _, _, token = link_name.rpartition(":")
+        try:
+            return LinkTier[token.upper()]
+        except KeyError:
+            raise TopologyError(
+                f"no link tier encoded in {link_name!r}"
+            ) from None
+
+
+def peak_bandwidth_of_channel_name(metric_name: str) -> float | None:
+    """Peak bytes/s of a flattened link-channel metric name.
+
+    The flow network registers link directions as
+    ``("link", <link name>, "fwd"|"rev")`` channels, which the metrics
+    registry flattens to ``link/<link name>/<dir>`` strings.  Returns
+    ``None`` for names that are not link channels (SDMA engines, DRAM
+    ports, sockets…).
+    """
+    parts = metric_name.split("/")
+    if len(parts) != 3 or parts[0] != "link":
+        return None
+    try:
+        return Link.tier_from_name(parts[1]).peak_unidirectional
+    except TopologyError:
+        return None

@@ -63,6 +63,69 @@ class TestResultCache:
         assert cache.clear() == 3
         assert cache.entry_count() == 0
 
+    def test_inflight_temp_files_are_not_entries(self, tmp_path):
+        """Regression: ``.tmp-*.pkl`` left by a killed writer matched the
+        ``*/*.pkl`` glob (pathlib globs match dotfiles) and were counted,
+        sized and "cleared" as if they were committed entries."""
+        cache = ResultCache(tmp_path, version="1")
+        cache.store(cache.key_for(_point()), 1.0)
+        bucket = next(cache.entries()).parent
+        stale = bucket / ".tmp-abandoned.pkl"
+        stale.write_bytes(b"partial write")
+        assert cache.entry_count() == 1
+        assert all(not p.name.startswith(".") for p in cache.entries())
+        committed = cache._path(cache.key_for(_point())).stat().st_size
+        assert cache.total_bytes() == committed
+
+    def test_clear_sweeps_stale_temp_files_uncounted(self, tmp_path):
+        cache = ResultCache(tmp_path, version="1")
+        cache.store(cache.key_for(_point()), 1.0)
+        bucket = next(cache.entries()).parent
+        (bucket / ".tmp-abandoned.pkl").write_bytes(b"x")
+        assert cache.clear() == 1  # temp sweep not counted as an entry
+        assert not (bucket / ".tmp-abandoned.pkl").exists()
+
+    def test_total_bytes_tolerates_concurrent_clear(self, tmp_path):
+        """Regression: a file deleted between the directory listing and
+        ``stat`` (a concurrent ``clear``) raised FileNotFoundError."""
+        cache = ResultCache(tmp_path, version="1")
+        for size in (1 * MiB, 2 * MiB):
+            cache.store(cache.key_for(_point(size)), float(size))
+        surviving = list(cache.entries())[0]
+        real_entries = ResultCache.entries
+
+        def entries_then_clear(self):
+            paths = list(real_entries(self))
+            for path in paths:
+                if path != surviving:
+                    path.unlink()  # simulate another runner clearing
+            return iter(paths)
+
+        ResultCache.entries = entries_then_clear
+        try:
+            assert cache.total_bytes() == surviving.stat().st_size
+        finally:
+            ResultCache.entries = real_entries
+
+    def test_clear_tolerates_concurrent_clear(self, tmp_path):
+        cache = ResultCache(tmp_path, version="1")
+        cache.store(cache.key_for(_point()), 1.0)
+        victim = next(cache.entries())
+        real_entries = ResultCache.entries
+
+        def entries_then_clear(self):
+            paths = list(real_entries(self))
+            for path in paths:
+                path.unlink()
+            return iter(paths)
+
+        ResultCache.entries = entries_then_clear
+        try:
+            assert cache.clear() == 0  # already gone: skipped, not raised
+        finally:
+            ResultCache.entries = real_entries
+        assert not victim.exists()
+
     def test_env_var_sets_default_dir(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
         cache = ResultCache()

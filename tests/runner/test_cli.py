@@ -65,3 +65,73 @@ class TestValidateAndMethodology:
         out = capsys.readouterr().out
         assert "checks passed" in out
         assert "sweep-runner:" in out
+
+
+class TestMetricsFlag:
+    def test_run_metrics_prints_channel_table(self, cache_dir, capsys):
+        assert main(["run", "fig04", "--no-cache", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "channels by bytes moved" in out
+        assert "network/flows_started" in out
+
+    def test_all_cached_run_explains_empty_metrics(self, cache_dir, capsys):
+        assert main(["run", "fig04"]) == 0
+        capsys.readouterr()
+        assert main(["run", "fig04", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "no metrics captured" in out
+        assert "--no-cache" in out
+
+
+class TestTraceCommand:
+    def test_exports_valid_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "fig04", "--out", str(out_path), "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "slice(s)" in out and "schema check passed" in out
+        payload = json.loads(out_path.read_text())
+        assert validate_chrome_trace(payload) == []
+        assert payload["otherData"]["experiment"] == "fig04"
+
+    def test_unknown_artifact_exits_2(self, tmp_path, capsys):
+        code = main(["trace", "fig99", "--out", str(tmp_path / "t.json")])
+        assert code == 2
+        assert "unknown artifact" in capsys.readouterr().err
+
+    def test_trace_capacity_bounds_retention(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        assert main(
+            [
+                "trace",
+                "fig04",
+                "--out",
+                str(out_path),
+                "--trace-capacity",
+                "2",
+            ]
+        ) == 0
+        import json
+
+        payload = json.loads(out_path.read_text())
+        point_slices = [
+            e
+            for e in payload["traceEvents"]
+            if e["ph"] == "X" and e.get("cat") == "point"
+        ]
+        assert point_slices
+        # Each point keeps at most ``capacity`` real records...
+        real = [
+            e
+            for e in payload["traceEvents"]
+            if e["ph"] == "X" and e.get("cat") != "point"
+        ]
+        assert len(real) <= 2 * len(point_slices)
+        # ...and at least one busy point reports evictions.
+        assert any(
+            slice_["args"]["trace_dropped"] > 0 for slice_ in point_slices
+        )

@@ -72,11 +72,57 @@ class TestRunPoints:
         monkeypatch.setattr(
             SweepRunner,
             "_execute_parallel",
-            lambda self, points: (_ for _ in ()).throw(OSError("no pool")),
+            lambda self, points, trampoline: (_ for _ in ()).throw(
+                OSError("no pool")
+            ),
         )
         points = _grid()
         assert runner.run_points(points) == [p.execute() for p in points]
         assert runner.stats.parallel_fallbacks == 1
+
+
+class TestPerRunCacheStats:
+    def test_fresh_runner_on_shared_cache_reports_own_hits(self, tmp_path):
+        """Regression: RunnerStats copied the cache's *lifetime* totals,
+        so a second runner sharing a warmed cache reported the first
+        runner's misses as its own."""
+        cache = ResultCache(tmp_path, version="1")
+        points = _grid()
+        SweepRunner(cache=cache).run_points(points)  # warm it up
+        warm = SweepRunner(cache=cache)
+        warm.run_points(points)
+        assert warm.stats.cache_hits == 3
+        assert warm.stats.cache_misses == 0  # not the warming run's 3
+        assert "3 hit(s) / 0 miss(es)" in warm.stats.describe()
+
+    def test_repeated_runs_accumulate_deltas(self, tmp_path):
+        runner = SweepRunner(cache=ResultCache(tmp_path, version="1"))
+        points = _grid()
+        runner.run_points(points)
+        runner.run_points(points)
+        assert runner.stats.cache_misses == 3
+        assert runner.stats.cache_hits == 3
+        assert runner.stats.points == 6
+
+
+class TestCaptureMetrics:
+    def test_runner_merges_per_point_snapshots(self):
+        runner = SweepRunner(use_cache=False, capture_metrics=True)
+        outputs = runner.run_points(_grid())
+        plain = SweepRunner(use_cache=False).run_points(_grid())
+        assert outputs == plain  # observation never changes results
+        metrics = runner.stats.metrics
+        assert metrics is not None
+        assert metrics["counters"]["network/flows_started"] >= 3
+        assert any(
+            usage["bytes"] > 0 for usage in metrics["channels"].values()
+        )
+
+    def test_disabled_by_default(self):
+        runner = SweepRunner(use_cache=False)
+        runner.run_points(_grid())
+        assert runner.stats.metrics is None
+        assert "metrics" not in runner.stats.as_dict()
 
 
 class TestExperimentAPI:

@@ -48,6 +48,33 @@ class TestTracer:
         tracer.clear()
         assert len(tracer) == 0
 
+    def test_capacity_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(enabled=True, capacity=0)
+
+    def test_ring_buffer_counts_dropped(self):
+        tracer = Tracer(enabled=True, capacity=3)
+        for i in range(8):
+            tracer.record(float(i), float(i) + 0.5, "x", f"r{i}")
+        assert len(tracer) == 3
+        assert tracer.dropped == 5
+        # The ring keeps the newest records.
+        assert [r.label for r in tracer] == ["r5", "r6", "r7"]
+
+    def test_unbounded_tracer_never_drops(self):
+        tracer = Tracer(enabled=True)
+        for i in range(100):
+            tracer.record(float(i), float(i), "x", "y")
+        assert tracer.dropped == 0
+
+    def test_clear_resets_dropped(self):
+        tracer = Tracer(enabled=True, capacity=1)
+        tracer.record(0.0, 1.0, "x", "a")
+        tracer.record(1.0, 2.0, "x", "b")
+        assert tracer.dropped == 1
+        tracer.clear()
+        assert tracer.dropped == 0 and len(tracer) == 0
+
 
 class TestTracingIntegration:
     def test_hip_memcpy_produces_trace(self):
