@@ -17,6 +17,10 @@ Fails (exit 1) when a headline number regresses below its threshold:
   ``REPRO_MAX_METRICS_OVERHEAD`` (default 0.05): a *disabled* metrics
   registry may not slow the flow-churn workload by more than 5%,
   because every simulation pays the ``if metrics:`` guard.
+- ``spans_disabled_overhead`` must stay at or below
+  ``REPRO_MAX_SPANS_OVERHEAD`` (default 0.05): a disabled span
+  recorder may not slow the same workload by more than 5% either —
+  every flow pays the ``if spans:`` guard.
 
 With ``--baseline`` (a previously committed report), throughput
 headlines may not regress by more than ``REPRO_MAX_PERF_REGRESSION``
@@ -91,6 +95,23 @@ def check(report: dict) -> list[str]:
         print(
             f"ok: metrics_disabled_overhead {overhead:.1%} <= "
             f"{max_overhead:.1%}"
+        )
+
+    max_span_overhead = float(
+        os.environ.get("REPRO_MAX_SPANS_OVERHEAD", "0.05")
+    )
+    span_overhead = headline.get("spans_disabled_overhead")
+    if span_overhead is None:
+        print("skip: spans_disabled_overhead not in report (old schema)")
+    elif span_overhead > max_span_overhead:
+        failures.append(
+            f"spans_disabled_overhead {span_overhead:.1%} > "
+            f"{max_span_overhead:.1%}"
+        )
+    else:
+        print(
+            f"ok: spans_disabled_overhead {span_overhead:.1%} <= "
+            f"{max_span_overhead:.1%}"
         )
 
     return failures

@@ -16,7 +16,7 @@ from repro.perf.core import format_report, run_suite, write_report
 def test_smoke_suite_shape_and_sanity(tmp_path):
     report = run_suite(smoke=True)
 
-    assert report["schema"] == "repro-bench-core/3"
+    assert report["schema"] == "repro-bench-core/4"
     assert report["smoke"] is True
     results = report["results"]
     assert results["engine_events"]["events_per_second"] > 0
@@ -40,16 +40,24 @@ def test_smoke_suite_shape_and_sanity(tmp_path):
         == overhead["disabled_overhead"]
     )
 
+    spans = results["span_overhead"]
+    assert spans["baseline_wall_seconds"] > 0
+    assert (
+        report["headline"]["spans_disabled_overhead"]
+        == spans["disabled_overhead"]
+    )
+
     assert results["figure_sweep"]["measurements"] > 0
     assert report["headline"]["churn_speedup_vs_batch_resolve"] == churn["speedup"]
 
     path = tmp_path / "BENCH_core.json"
     write_report(str(path), report)
-    assert json.loads(path.read_text())["schema"] == "repro-bench-core/3"
+    assert json.loads(path.read_text())["schema"] == "repro-bench-core/4"
 
     text = format_report(report)
     assert "flow churn" in text and "events/s" in text
     assert "sweep parallel" in text and "cache hit" in text
+    assert "span overhead" in text
 
 
 def test_smoke_suite_sweep_benchmarks():
@@ -150,3 +158,11 @@ class TestCheckBenchBaseline:
         report["headline"]["metrics_disabled_overhead"] = 0.2
         failures = check_bench.check(report)
         assert any("metrics_disabled_overhead" in f for f in failures)
+
+    def test_span_overhead_guard_in_main_check(self):
+        import check_bench
+
+        report = _guard_report()
+        report["headline"]["spans_disabled_overhead"] = 0.2
+        failures = check_bench.check(report)
+        assert any("spans_disabled_overhead" in f for f in failures)

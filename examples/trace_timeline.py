@@ -14,7 +14,7 @@ from repro.units import MiB, to_gbps
 
 
 def traced_run(placement, size=256 * MiB):
-    session = repro.Session(trace=True)
+    session = repro.Session(trace=True, spans=True)
     node = session.node
     hip = session.hip
 
@@ -43,7 +43,7 @@ def traced_run(placement, size=256 * MiB):
         return total, utilization, flows
 
     total, utilization, flows = session.run(run())
-    return node, total, utilization, flows
+    return session, node, total, utilization, flows
 
 
 def main() -> None:
@@ -51,7 +51,7 @@ def main() -> None:
         ("same GPU (GCD0 + GCD1)", [0, 1]),
         ("spread (GCD0 + GCD2)", [0, 2]),
     ):
-        node, total, utilization, flows = traced_run(placement)
+        session, node, total, utilization, flows = traced_run(placement)
         print(f"=== {label} ===")
         print(f"total bidirectional bandwidth: {to_gbps(total):.1f} GB/s")
         print(
@@ -64,6 +64,9 @@ def main() -> None:
         print("kernel timeline:")
         for record in node.tracer.records("kernel"):
             print(f"  {record.format()}")
+        print("critical path (span blame — where the run's time went):")
+        for line in session.explain(top=4).splitlines():
+            print(f"  {line}")
         print()
 
     print(

@@ -45,7 +45,7 @@ from .sim.fairshare import (
 from .sim.trace import TraceRecord, Tracer
 from .topology.presets import dense_hive_node, frontier_node, single_gpu_node
 
-__version__ = "0.4.0"
+__version__ = "0.5.0"
 
 __all__ = [
     # The blessed surface.

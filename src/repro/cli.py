@@ -23,6 +23,16 @@ Commands
     Run one artifact observed and export a Perfetto/Chrome trace
     (slices per GCD/engine/collective, per-link GB/s counter tracks,
     provenance in ``otherData``).
+``report <artifact> [-o report.html] [--json report.json]``
+    Run one artifact with causal spans on and write a self-contained
+    run report: critical-path blame table, per-link utilization,
+    validation PASS/FAIL lines, provenance.
+``explain <artifact> [--span ID]``
+    Run one artifact with spans on and print the ranked critical-path
+    blame breakdown ("why did this take 840 µs").
+
+Artifact commands accept either registry ids (``fig11``) or driver
+module names (``fig11_collectives``).
 
 ``run``, ``methodology`` and ``validate`` all accept ``--jobs N``
 (worker processes; ``0``/``auto`` = all cores), ``--no-cache``,
@@ -143,6 +153,19 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=sorted(SCENARIOS),
         help="what-if scenario to validate (default: baseline)",
     )
+    validate.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        dest="json_out",
+        help=(
+            "emit the machine-readable check results as JSON "
+            "(to FILE, or stdout when no file is given); the exit "
+            "status is still non-zero when any check fails"
+        ),
+    )
     _add_runner_args(validate)
 
     cache = sub.add_parser(
@@ -189,6 +212,73 @@ def _build_parser() -> argparse.ArgumentParser:
         "--check",
         action="store_true",
         help="validate the written file against the trace schema and exit",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="run one artifact with spans on and write a run report",
+    )
+    report.add_argument(
+        "artifact",
+        metavar="ARTIFACT",
+        help="artifact id or module name (fig11, fig11_collectives, …)",
+    )
+    report.add_argument(
+        "-o",
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="HTML output file (default: report_<artifact>.html)",
+    )
+    report.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        dest="json_out",
+        help="also write the full JSON report",
+    )
+    report.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip the validation battery section",
+    )
+    report.add_argument(
+        "--jobs",
+        type=_jobs_arg,
+        default=None,
+        metavar="N",
+        help="worker processes for the sweep (0 or 'auto' = all cores)",
+    )
+
+    explain = sub.add_parser(
+        "explain",
+        help="run one artifact with spans on and print critical-path blame",
+    )
+    explain.add_argument(
+        "artifact",
+        metavar="ARTIFACT",
+        help="artifact id or module name (fig11, fig11_collectives, …)",
+    )
+    explain.add_argument(
+        "--span",
+        type=int,
+        default=None,
+        metavar="ID",
+        help="restrict the breakdown to one span's subtree",
+    )
+    explain.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="blame entries to show (default: 10)",
+    )
+    explain.add_argument(
+        "--jobs",
+        type=_jobs_arg,
+        default=None,
+        metavar="N",
+        help="worker processes for the sweep (0 or 'auto' = all cores)",
     )
 
     perf = sub.add_parser(
@@ -264,6 +354,8 @@ def _cmd_run(
     known = figures.all_ids()
     if "all" in artifact_ids:
         artifact_ids = known
+    else:
+        artifact_ids = [figures.canonical_id(a) for a in artifact_ids]
     unknown = sorted(set(artifact_ids) - set(known))
     if unknown:
         print(
@@ -364,15 +456,30 @@ def _cmd_validate(
     runner=None,
     cache_stats: bool = False,
     show_metrics: bool = False,
+    json_out: str | None = None,
 ) -> int:
     from .core.validation import validate_node
 
     scenario = get_scenario(scenario_name)
-    print(f"validating scenario {scenario.name!r}: {scenario.description}")
     report = validate_node(
         scenario.topology, scenario.calibration, runner=runner
     )
-    print(report.text())
+    if json_out is not None:
+        import json
+
+        document = {"scenario": scenario.name, **report.as_dict()}
+        text = json.dumps(document, indent=1)
+        if json_out == "-":
+            print(text)
+        else:
+            with open(json_out, "w") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {json_out}")
+    else:
+        print(
+            f"validating scenario {scenario.name!r}: {scenario.description}"
+        )
+        print(report.text())
     if cache_stats and runner is not None:
         print(runner.stats.describe())
     if show_metrics and runner is not None:
@@ -386,16 +493,11 @@ def _cmd_trace(
     trace_capacity: int | None = None,
     check: bool = False,
 ) -> int:
-    from . import figures, obs
+    from . import obs
     from .errors import BenchmarkError
 
-    known = figures.all_ids()
-    if artifact not in known:
-        print(
-            f"error: unknown artifact {artifact!r}\n"
-            f"valid ids: {', '.join(known)}",
-            file=sys.stderr,
-        )
+    artifact = _check_artifact(artifact)
+    if artifact is None:
         return 2
     try:
         payload = obs.trace_experiment(artifact, trace_capacity=trace_capacity)
@@ -418,6 +520,86 @@ def _cmd_trace(
                 print(f"schema problem: {problem}", file=sys.stderr)
             return 1
         print("schema check passed")
+    return 0
+
+
+def _check_artifact(artifact: str) -> str | None:
+    """Resolve an artifact name/alias; print an error for unknown ones."""
+    from . import figures
+
+    experiment_id = figures.canonical_id(artifact)
+    known = figures.all_ids()
+    if experiment_id not in known:
+        print(
+            f"error: unknown artifact {artifact!r}\n"
+            f"valid ids: {', '.join(known)}",
+            file=sys.stderr,
+        )
+        return None
+    return experiment_id
+
+
+def _cmd_report(
+    artifact: str,
+    out: str | None,
+    json_out: str | None,
+    no_validate: bool,
+    jobs: int | str | None,
+) -> int:
+    from . import obs
+    from .errors import BenchmarkError
+
+    experiment_id = _check_artifact(artifact)
+    if experiment_id is None:
+        return 2
+    if out is None and json_out is None:
+        out = f"report_{experiment_id}.html"
+    try:
+        report = obs.collect_report(
+            experiment_id, jobs=jobs, validate=not no_validate
+        )
+    except BenchmarkError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    written = obs.write_report(report, html_path=out, json_path=json_out)
+    for path in written:
+        print(f"wrote {path}")
+    print()
+    print(report["explain"])
+    validation = report.get("validation")
+    if validation is not None and not validation["passed"]:
+        print(
+            f"validation: {validation['failed']} of {validation['total']} "
+            "check(s) FAILED",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_explain(
+    artifact: str,
+    span_id: int | None,
+    top: int,
+    jobs: int | str | None,
+) -> int:
+    from . import obs
+    from .errors import BenchmarkError
+
+    experiment_id = _check_artifact(artifact)
+    if experiment_id is None:
+        return 2
+    try:
+        text = obs.explain_artifact(
+            experiment_id, span_id=span_id, jobs=jobs, top=top
+        )
+    except BenchmarkError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(text)
     return 0
 
 
@@ -471,11 +653,18 @@ def main(argv: Sequence[str] | None = None) -> int:
             runner=_make_runner(args),
             cache_stats=args.cache_stats,
             show_metrics=args.metrics,
+            json_out=args.json_out,
         )
     if args.command == "trace":
         return _cmd_trace(
             args.artifact, args.out, args.trace_capacity, args.check
         )
+    if args.command == "report":
+        return _cmd_report(
+            args.artifact, args.out, args.json_out, args.no_validate, args.jobs
+        )
+    if args.command == "explain":
+        return _cmd_explain(args.artifact, args.span, args.top, args.jobs)
     if args.command == "perf":
         return _cmd_perf(args.smoke, args.output, args.repeats)
     if args.command == "cache":

@@ -50,6 +50,17 @@ class CheckResult:
             line += f"  ({self.detail})"
         return line
 
+    def as_dict(self) -> dict:
+        """Machine-readable form (``repro validate --json``)."""
+        return {
+            "check_id": self.check_id,
+            "passed": self.passed,
+            "observed": self.observed,
+            "expected": self.expected,
+            "unit": self.unit,
+            "detail": self.detail,
+        }
+
 
 @dataclass
 class ValidationReport:
@@ -75,6 +86,15 @@ class ValidationReport:
             "checks passed"
         )
         return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        """Machine-readable form (``repro validate --json``)."""
+        return {
+            "passed": self.passed,
+            "checks": [result.as_dict() for result in self.results],
+            "total": len(self.results),
+            "failed": len(self.failures),
+        }
 
 
 def _within(observed: float, expected: float, rel_tol: float) -> bool:

@@ -55,6 +55,26 @@ _MODULES = {
     "fig12": fig12_rccl,
 }
 
+#: Module-name aliases: ``"fig11_collectives"`` → ``"fig11"``, so CLI
+#: commands accept either the registry id or the driver module's name.
+_ALIASES = {
+    module.__name__.rsplit(".", 1)[-1]: eid
+    for eid, module in _MODULES.items()
+}
+
+
+def canonical_id(name: str) -> str:
+    """Resolve an artifact name or module-name alias to a registry id.
+
+    Unknown names pass through unchanged so the registry raises its
+    usual error (listing the known ids) at lookup time.
+    """
+    name = name.strip()
+    if name in _MODULES:
+        return name
+    return _ALIASES.get(name, name)
+
+
 SUITE = ExperimentSuite()
 for _eid, _module in _MODULES.items():
     SUITE.register(
@@ -134,6 +154,7 @@ def all_ids() -> list[str]:
 
 __all__ = [
     "SUITE",
+    "canonical_id",
     "run",
     "sweep_points",
     "merge_outputs",

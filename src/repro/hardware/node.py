@@ -21,6 +21,7 @@ from ..core.calibration import CalibrationProfile, DEFAULT_CALIBRATION
 from ..errors import TopologyError
 from ..obs.capture import active as active_capture
 from ..obs.metrics import MetricsRegistry, resolve_metrics
+from ..obs.spans import SpanRecorder, resolve_spans
 from ..sim.engine import SimEngine
 from ..sim.flow import Flow, FlowNetwork
 from ..sim.trace import Tracer
@@ -45,6 +46,8 @@ class HardwareNode:
         trace: bool = False,
         trace_capacity: int | None = None,
         metrics: "MetricsRegistry | bool | None" = None,
+        metrics_capacity: int | None = None,
+        spans: "SpanRecorder | bool | None" = None,
     ) -> None:
         self.topology = topology if topology is not None else frontier_node()
         self.calibration = (
@@ -52,9 +55,9 @@ class HardwareNode:
         )
         # Observation plumbing.  Explicit arguments win; otherwise an
         # ambient obs.capture() context (installed by `repro trace` /
-        # `--metrics`) donates its shared registry and tracer, so
-        # measurement code that builds its own nodes gets observed
-        # without signature changes.
+        # `--metrics`) donates its shared registry, tracer, and span
+        # recorder, so measurement code that builds its own nodes gets
+        # observed without signature changes.
         ambient = active_capture()
         tracer: Tracer | None = None
         if metrics is None and ambient is not None:
@@ -63,9 +66,15 @@ class HardwareNode:
             if not trace and ambient.tracer.enabled:
                 tracer = ambient.tracer
         else:
-            self.metrics = resolve_metrics(metrics)
+            self.metrics = resolve_metrics(metrics, sample_capacity=metrics_capacity)
+        if spans is None and ambient is not None:
+            self.spans = ambient.spans
+        else:
+            self.spans = resolve_spans(spans)
         self.engine = engine if engine is not None else SimEngine(metrics=self.metrics)
-        self.network = FlowNetwork(self.engine, metrics=self.metrics)
+        self.network = FlowNetwork(
+            self.engine, metrics=self.metrics, spans=self.spans
+        )
         self.tracer = (
             tracer
             if tracer is not None
@@ -199,9 +208,10 @@ class HardwareNode:
         *,
         cap: float = math.inf,
         label: str = "",
+        span: "object" = None,
     ) -> Flow:
         """Start a flow on the node's network; returns it live."""
-        return self.network.transfer(channels, size, cap=cap, label=label)
+        return self.network.transfer(channels, size, cap=cap, label=label, span=span)
 
     def run_all(self) -> float:
         """Drain the event queue; returns the final simulated time."""

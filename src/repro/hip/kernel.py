@@ -140,6 +140,12 @@ class KernelApi:
         writes = list(writes)
         engine = self.node.engine
         start = engine.now
+        spans = self.node.spans
+        span = (
+            spans.begin("kernel", label, start=start, device=device_index)
+            if spans
+            else None
+        )
         yield engine.timeout(self.node.calibration.kernel_launch_overhead)
 
         plans: list[tuple[Buffer, Location, int, bool]] = []
@@ -161,6 +167,7 @@ class KernelApi:
                 min(volume, buffer.size),
                 device_index,
                 xnack_enabled=self.env.xnack_enabled,
+                parent_span=span,
             )
 
         remote_reads = any(
@@ -195,10 +202,13 @@ class KernelApi:
                     volume,
                     cap=cap,
                     label=f"{label}:{'r' if is_read else 'w'}@{location}",
+                    span=span,
                 )
             )
         if flows:
             yield engine.all_of([flow.done for flow in flows])
+        if span is not None:
+            spans.finish(span, engine.now)
         tracer = self.node.tracer
         if tracer.enabled:
             tracer.record(

@@ -179,14 +179,24 @@ class CopyApi:
         if kind is MemcpyKind.DEFAULT:
             kind = self.resolve_kind(dst, src)
         start = self.node.engine.now
+        spans = self.node.spans
+        span = (
+            spans.begin(
+                "memcpy", f"memcpy:{kind.value}", start=start, bytes=nbytes
+            )
+            if spans
+            else None
+        )
         yield self.node.engine.timeout(self._calibration.memcpy_host_latency)
         if nbytes > 0:
             channels, cap = self._plan_for_kind(kind, dst, src, nbytes)
             flow = self.node.start_flow(
-                channels, nbytes, cap=cap, label=f"memcpy:{kind.value}"
+                channels, nbytes, cap=cap, label=f"memcpy:{kind.value}", span=span
             )
             yield flow.done
             dst.copy_payload_from(src, nbytes)
+        if span is not None:
+            spans.finish(span, self.node.engine.now)
         tracer = self.node.tracer
         if tracer.enabled:
             tracer.record(
@@ -239,6 +249,19 @@ class CopyApi:
                 f"peer copy of {nbytes} bytes exceeds a buffer",
             )
         start = self.node.engine.now
+        spans = self.node.spans
+        span = (
+            spans.begin(
+                "memcpy",
+                f"memcpy_peer:{src_device}->{dst_device}",
+                start=start,
+                bytes=nbytes,
+                src=src_device,
+                dst=dst_device,
+            )
+            if spans
+            else None
+        )
         if src_device == dst_device:
             yield self.node.engine.timeout(self._calibration.p2p_latency_base)
             if nbytes > 0:
@@ -247,9 +270,12 @@ class CopyApi:
                     nbytes,
                     cap=self._calibration.sdma_engine_throughput,
                     label="memcpy_peer:local",
+                    span=span,
                 )
                 yield flow.done
                 dst.copy_payload_from(src, nbytes)
+            if span is not None:
+                spans.finish(span, self.node.engine.now)
             return
         route = self.node.gcd_route(src_device, dst_device)
         jitter = pair_jitter(src_device, dst_device)
@@ -268,9 +294,12 @@ class CopyApi:
                 nbytes,
                 cap=cap,
                 label=f"memcpy_peer:{src_device}->{dst_device}",
+                span=span,
             )
             yield flow.done
             dst.copy_payload_from(src, nbytes)
+        if span is not None:
+            spans.finish(span, self.node.engine.now)
         tracer = self.node.tracer
         if tracer.enabled:
             tracer.record(
@@ -308,12 +337,25 @@ class CopyApi:
             if k is MemcpyKind.DEFAULT:
                 k = self.resolve_kind(d, s)
             if count > 0:
+                spans = self.node.spans
+                span = (
+                    spans.begin(
+                        "memcpy",
+                        f"memcpyAsync:{k.value}",
+                        start=self.node.engine.now,
+                        bytes=count,
+                    )
+                    if spans
+                    else None
+                )
                 channels, cap = self._plan_for_kind(k, d, s, count)
                 flow = self.node.start_flow(
-                    channels, count, cap=cap, label=f"memcpyAsync:{k.value}"
+                    channels, count, cap=cap, label=f"memcpyAsync:{k.value}", span=span
                 )
                 yield flow.done
                 d.copy_payload_from(s, count)
+                if span is not None:
+                    spans.finish(span, self.node.engine.now)
 
         return stream.enqueue(operation, label="memcpyAsync")
 

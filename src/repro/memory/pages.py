@@ -169,12 +169,15 @@ class MigrationEngine:
         gcd_index: int,
         *,
         xnack_enabled: bool,
+        parent_span: "object" = None,
     ) -> Generator:
         """DES process: make ``[offset, offset+length)`` GPU-resident.
 
         Yields engine events; on completion the page table reflects the
         new residency.  Raises :class:`PageFaultError` when pages are
         non-resident and XNACK is off (a real fatal GPU fault).
+        ``parent_span`` links the fault-service span to the kernel that
+        triggered the faults.
         """
         table = buffer.page_table
         if table is None:
@@ -189,13 +192,36 @@ class MigrationEngine:
                 f"buffer {buffer.label!r} page {pending[0]}"
             )
         if self.discrete:
-            yield from self._migrate_discrete(table, pending, target, gcd_index)
+            yield from self._migrate_discrete(
+                table, pending, target, gcd_index, parent_span=parent_span
+            )
         else:
-            yield from self._migrate_fluid(table, pending, target, gcd_index)
+            yield from self._migrate_fluid(
+                table, pending, target, gcd_index, parent_span=parent_span
+            )
 
     def _migrate_fluid(
-        self, table: PageTable, pages: list[int], target: Location, gcd_index: int
+        self,
+        table: PageTable,
+        pages: list[int],
+        target: Location,
+        gcd_index: int,
+        *,
+        parent_span: "object" = None,
     ) -> Generator:
+        spans = self.node.spans
+        span = (
+            spans.begin(
+                "fault",
+                "migrate-fluid",
+                start=self.node.now,
+                parent=parent_span,
+                pages=len(pages),
+                gcd=gcd_index,
+            )
+            if spans
+            else None
+        )
         # Group pages by their current source so each group is one flow.
         by_source: dict[Location, list[int]] = {}
         for page in pages:
@@ -209,10 +235,13 @@ class MigrationEngine:
                 total,
                 cap=cap,
                 label=f"xnack-migrate x{len(group)}",
+                span=span,
             )
             flows.append(flow)
         start = self.node.now
         yield self.node.engine.all_of([f.done for f in flows])
+        if span is not None:
+            spans.finish(span, self.node.now)
         for source, group in by_source.items():
             for page in group:
                 table.migrate(page, target)
@@ -232,10 +261,29 @@ class MigrationEngine:
             metrics.counter("memory/pages_migrated").inc(len(pages))
 
     def _migrate_discrete(
-        self, table: PageTable, pages: list[int], target: Location, gcd_index: int
+        self,
+        table: PageTable,
+        pages: list[int],
+        target: Location,
+        gcd_index: int,
+        *,
+        parent_span: "object" = None,
     ) -> Generator:
         """Page-at-a-time faults, serialized like the real retry loop."""
         start = self.node.now
+        spans = self.node.spans
+        span = (
+            spans.begin(
+                "fault",
+                "migrate-discrete",
+                start=start,
+                parent=parent_span,
+                pages=len(pages),
+                gcd=gcd_index,
+            )
+            if spans
+            else None
+        )
         for page in pages:
             source = table.page_location(page)
             # Fault service: interrupt, driver handling, PT update.
@@ -245,9 +293,12 @@ class MigrationEngine:
                 table.page_bytes(page),
                 cap=self._link_rate(source, gcd_index),
                 label=f"xnack-page{page}",
+                span=span,
             )
             yield flow.done
             table.migrate(page, target)
+        if span is not None:
+            spans.finish(span, self.node.now)
         tracer = self.node.tracer
         if tracer.enabled:
             tracer.record(

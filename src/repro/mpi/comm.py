@@ -185,6 +185,20 @@ class MpiWorld:
         def transfer() -> Generator:
             if previous_tail is not None and not previous_tail.processed:
                 yield previous_tail
+            spans = self.node.spans
+            span = (
+                spans.begin(
+                    "mpi",
+                    f"mpi:{send.src_rank}->{dst_rank}",
+                    start=self.engine.now,
+                    bytes=nbytes,
+                    src=send.src_rank,
+                    dst=dst_rank,
+                    tag=tag,
+                )
+                if spans
+                else None
+            )
             # Host-side costs: matching overhead, GPU-pointer handling,
             # rendezvous handshake for large messages.
             cost = self._calibration.mpi_message_overhead
@@ -199,7 +213,10 @@ class MpiWorld:
                 recv.buffer,
                 nbytes,
                 label=f"mpi:{send.src_rank}->{dst_rank}",
+                span=span,
             )
+            if span is not None:
+                spans.finish(span, self.engine.now)
             send.request_event.succeed(nbytes)
             recv.request_event.succeed(nbytes)
             done.succeed(None)

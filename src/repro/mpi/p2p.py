@@ -123,7 +123,13 @@ class TransportModel:
         return 2 * self._calibration.mpi_message_overhead
 
     def execute(
-        self, src: Buffer, dst: Buffer, nbytes: int, *, label: str = ""
+        self,
+        src: Buffer,
+        dst: Buffer,
+        nbytes: int,
+        *,
+        label: str = "",
+        span: "object" = None,
     ) -> Generator:
         """DES process: run the payload flow (host costs already paid)."""
         if nbytes < 0 or nbytes > src.size or nbytes > dst.size:
@@ -135,7 +141,7 @@ class TransportModel:
             return
         channels, cap = self.plan(src, dst, nbytes)
         flow = self.node.start_flow(
-            channels, nbytes, cap=cap, label=label or "mpi-msg"
+            channels, nbytes, cap=cap, label=label or "mpi-msg", span=span
         )
         yield flow.done
         dst.copy_payload_from(src, nbytes)

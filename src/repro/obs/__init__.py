@@ -11,12 +11,28 @@ than end-to-end numbers.  This package provides:
 - :func:`capture` (:mod:`repro.obs.capture`) — an ambient observation
   context so measurement functions that build their own sessions get
   instrumented without signature changes;
+- :class:`SpanRecorder` (:mod:`repro.obs.spans`) — causal spans with
+  parent/child edges and per-interval bottleneck blame, fed by the
+  fair-share solver's attribution;
+- :mod:`repro.obs.attribution` — critical-path extraction over the
+  span DAG and ranked "why was this slow" blame tables;
+- :mod:`repro.obs.report` — self-contained HTML/JSON run reports
+  (``repro report`` / ``repro explain``);
 - :mod:`repro.obs.perfetto` — Chrome-trace/Perfetto JSON export of
-  tracer timelines plus channel-rate counter tracks and provenance;
+  tracer timelines plus channel-rate counter tracks, span slices with
+  causality flow-arrows, and provenance;
 - :func:`trace_experiment` (:mod:`repro.obs.experiment`) — run one
   artifact observed and lay its points out on a single timeline.
 """
 
+from .attribution import (
+    CriticalPath,
+    PathSegment,
+    blame_ranking,
+    critical_path,
+    explain_spans,
+    span_subtree,
+)
 from .capture import ObservationContext, active, capture
 from .experiment import trace_experiment
 from .metrics import (
@@ -36,6 +52,15 @@ from .perfetto import (
     build_provenance,
     validate_chrome_trace,
     write_chrome_trace,
+)
+from .report import collect_report, explain_artifact, render_html, write_report
+from .spans import (
+    NULL_SPANS,
+    Span,
+    SpanRecorder,
+    merge_point_spans,
+    resolve_spans,
+    span_dicts,
 )
 
 __all__ = [
@@ -57,4 +82,20 @@ __all__ = [
     "build_provenance",
     "validate_chrome_trace",
     "write_chrome_trace",
+    "NULL_SPANS",
+    "Span",
+    "SpanRecorder",
+    "merge_point_spans",
+    "resolve_spans",
+    "span_dicts",
+    "CriticalPath",
+    "PathSegment",
+    "blame_ranking",
+    "critical_path",
+    "explain_spans",
+    "span_subtree",
+    "collect_report",
+    "explain_artifact",
+    "render_html",
+    "write_report",
 ]

@@ -1,0 +1,333 @@
+"""Critical-path extraction and bottleneck blame over a span DAG.
+
+Given the causal spans of a run (see :mod:`repro.obs.spans`), this
+module answers the paper's question at the run level: *why did this
+take as long as it did?*  Two pieces:
+
+- :func:`critical_path` — the longest weighted chain through the span
+  DAG.  Walking backwards from the run's end, each instant is
+  attributed to the deepest span covering it whose subtree actually
+  ends last (the classic "latest-ending child" walk), so the returned
+  segments tile the run's wall-clock extent exactly: every second of
+  the run belongs to exactly one segment.
+- per-segment **blame** — each span carries a ledger of seconds spent
+  limited by each channel (or by its own rate cap), recorded by the
+  fair-share solver at every re-level.  A segment inherits its span's
+  ledger prorated by the fraction of the span it covers, which keeps
+  the decomposition additive: summing segment blame reproduces the
+  critical path's length (minus unattributed span-internal time such
+  as launch/sync overheads, reported separately).
+
+Everything is deterministic: children are ordered by ``(end, start,
+id)``, spans come from a deterministic simulation, and the functions
+are pure — so ``jobs=1`` and ``jobs=N`` sweeps produce identical
+critical paths once their span sets are merged in point order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from .spans import span_dicts
+
+__all__ = [
+    "PathSegment",
+    "CriticalPath",
+    "critical_path",
+    "blame_ranking",
+    "explain_spans",
+    "span_subtree",
+]
+
+#: Segments shorter than this (seconds) are dropped from the path —
+#: they are float-rounding shards, not real simulated intervals.
+_MIN_SEGMENT = 1e-15
+
+#: Blame key for path time no span's ledger covers (launch/step
+#: overheads, fault service latencies, idle gaps between points).
+UNATTRIBUTED = "(unattributed)"
+
+
+def _end_of(span: Mapping[str, Any]) -> float:
+    """A span's end, treating unfinished spans as zero-length."""
+    end = span.get("end")
+    return float(span["start"]) if end is None else float(end)
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """One critical-path interval, owned by exactly one span."""
+
+    span_id: int | None  #: ``None`` for idle gaps between root spans
+    category: str
+    name: str
+    start: float
+    end: float
+    blame: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Segment extent in seconds."""
+        return self.end - self.start
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able rendering (for reports)."""
+        return {
+            "span": self.span_id,
+            "cat": self.category,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "blame": dict(self.blame),
+        }
+
+
+class CriticalPath:
+    """The longest weighted chain through a run's span DAG."""
+
+    def __init__(self, segments: Sequence[PathSegment], t0: float, t1: float) -> None:
+        self.segments = list(segments)
+        self.t0 = t0
+        self.t1 = t1
+
+    @property
+    def length(self) -> float:
+        """Wall-clock extent covered by the path (seconds)."""
+        return self.t1 - self.t0
+
+    def blame(self) -> dict[str, float]:
+        """Aggregate seconds per blame key along the whole path.
+
+        Includes :data:`UNATTRIBUTED` for path time no flow interval
+        covered (overheads, latencies, inter-point gaps); the values
+        sum to :attr:`length` up to float rounding.
+        """
+        totals: dict[str, float] = {}
+        for segment in self.segments:
+            covered = 0.0
+            for key, seconds in segment.blame.items():
+                totals[key] = totals.get(key, 0.0) + seconds
+                covered += seconds
+            slack = segment.duration - covered
+            if slack > 0:
+                totals[UNATTRIBUTED] = totals.get(UNATTRIBUTED, 0.0) + slack
+        return totals
+
+    def ranked_blame(self) -> list[tuple[str, float]]:
+        """Channel/cap blame sorted most-culpable first (deterministic).
+
+        :data:`UNATTRIBUTED` time is excluded — it is span-internal
+        overhead, not a contended resource, so ranking it against
+        channels would bury the actual bottleneck.  Use
+        :meth:`unattributed` (or :meth:`blame`) to see it.
+        """
+        return sorted(
+            (
+                (key, seconds)
+                for key, seconds in self.blame().items()
+                if key != UNATTRIBUTED
+            ),
+            key=lambda kv: (-kv[1], kv[0]),
+        )
+
+    def unattributed(self) -> float:
+        """Path seconds not covered by any flow's blame ledger."""
+        return self.blame().get(UNATTRIBUTED, 0.0)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able rendering (for reports)."""
+        return {
+            "t0": self.t0,
+            "t1": self.t1,
+            "length": self.length,
+            "segments": [segment.as_dict() for segment in self.segments],
+            "blame": self.blame(),
+        }
+
+    def format(self, *, top: int = 10) -> str:
+        """Human-readable blame table plus path summary."""
+        lines = [
+            f"critical path: {self.length * 1e6:.1f} us "
+            f"across {len(self.segments)} segment(s)"
+        ]
+        ranked = self.ranked_blame()
+        shown = ranked[:top]
+        if shown:
+            lines.append("top blame (time limited by each channel/cap):")
+            for key, seconds in shown:
+                share = seconds / self.length if self.length > 0 else 0.0
+                lines.append(
+                    f"  {key:<44s} {seconds * 1e6:>10.1f} us  {share * 100:>5.1f}%"
+                )
+            if len(ranked) > top:
+                lines.append(f"  … and {len(ranked) - top} more")
+        slack = self.unattributed()
+        if slack > 0:
+            share = slack / self.length if self.length > 0 else 0.0
+            label = "unattributed (overheads/latency/gaps)"
+            lines.append(
+                f"  {label:<44s} {slack * 1e6:>10.1f} us  {share * 100:>5.1f}%"
+            )
+        return "\n".join(lines)
+
+
+def _prorated_blame(
+    span: Mapping[str, Any], seg_start: float, seg_end: float
+) -> dict[str, float]:
+    """A span's blame ledger scaled to one segment's share of the span."""
+    blame = span.get("blame") or {}
+    if not blame:
+        return {}
+    start = float(span["start"])
+    end = _end_of(span)
+    span_dur = end - start
+    seg_dur = seg_end - seg_start
+    if span_dur <= 0 or seg_dur <= 0:
+        return {}
+    fraction = seg_dur / span_dur
+    # Cap the prorated total at the segment duration so blame never
+    # exceeds the time it explains (ledgers of overlapping flows can
+    # sum past wall-clock within one span).
+    total = sum(blame.values())
+    scale = fraction
+    if total * fraction > seg_dur and total > 0:
+        scale = seg_dur / total
+    return {key: seconds * scale for key, seconds in blame.items()}
+
+
+def critical_path(
+    spans: "Iterable[Mapping[str, Any]] | Any",
+) -> CriticalPath:
+    """Extract the critical path over a span set.
+
+    Accepts a :class:`~repro.obs.spans.SpanRecorder`, span objects, or
+    span dicts.  Returns an empty path for an empty set.
+    """
+    records = span_dicts(spans)
+    if not records:
+        return CriticalPath([], 0.0, 0.0)
+
+    by_id: dict[int, dict[str, Any]] = {}
+    for span in records:
+        by_id[int(span["id"])] = span
+    children: dict[int | None, list[dict[str, Any]]] = {}
+    for span in records:
+        parent = span.get("parent")
+        key = int(parent) if parent is not None and int(parent) in by_id else None
+        children.setdefault(key, []).append(span)
+
+    t0 = min(float(span["start"]) for span in records)
+    t1 = max(_end_of(span) for span in records)
+    virtual_root: dict[str, Any] = {
+        "id": None,
+        "cat": "run",
+        "name": "<run>",
+        "start": t0,
+        "end": t1,
+        "blame": {},
+    }
+
+    def kid_order(span: Mapping[str, Any]) -> tuple[float, float, int]:
+        return (_end_of(span), float(span["start"]), int(span["id"]))
+
+    segments: list[PathSegment] = []
+
+    def emit(span: Mapping[str, Any], seg_start: float, seg_end: float) -> None:
+        if seg_end - seg_start <= _MIN_SEGMENT:
+            return
+        segments.append(
+            PathSegment(
+                span["id"],
+                str(span.get("cat", "")),
+                str(span.get("name", "")),
+                seg_start,
+                seg_end,
+                _prorated_blame(span, seg_start, seg_end),
+            )
+        )
+
+    def walk(span: Mapping[str, Any], limit: float) -> None:
+        """Attribute ``(span.start, limit]`` to this span's subtree.
+
+        Emits segments in reverse time order; the caller reverses once
+        at the end.
+        """
+        span_start = float(span["start"])
+        cursor = min(_end_of(span), limit)
+        kids = sorted(children.get(span["id"], ()), key=kid_order)
+        while kids and cursor > span_start:
+            child = kids.pop()  # latest-ending remaining child
+            child_start = float(child["start"])
+            child_end = min(_end_of(child), cursor)
+            if child_end <= span_start or child_start >= cursor:
+                continue  # fully outside what is left to explain
+            if child_end < cursor:
+                emit(span, child_end, cursor)  # parent self-time gap
+            walk(child, child_end)
+            cursor = max(min(cursor, child_start), span_start)
+        if cursor > span_start:
+            emit(span, span_start, cursor)
+
+    walk(virtual_root, t1)
+    segments.reverse()
+    return CriticalPath(segments, t0, t1)
+
+
+def span_subtree(
+    spans: "Iterable[Mapping[str, Any]] | Any", span_id: int
+) -> list[dict[str, Any]]:
+    """The span with ``span_id`` plus all its descendants."""
+    records = span_dicts(spans)
+    children: dict[int, list[dict[str, Any]]] = {}
+    by_id: dict[int, dict[str, Any]] = {}
+    for span in records:
+        by_id[int(span["id"])] = span
+        parent = span.get("parent")
+        if parent is not None:
+            children.setdefault(int(parent), []).append(span)
+    root = by_id.get(int(span_id))
+    if root is None:
+        raise KeyError(f"no span with id {span_id}")
+    subtree = [root]
+    stack = [int(span_id)]
+    while stack:
+        for child in children.get(stack.pop(), ()):
+            subtree.append(child)
+            stack.append(int(child["id"]))
+    return subtree
+
+
+def blame_ranking(
+    spans: "Iterable[Mapping[str, Any]] | Any",
+) -> list[tuple[str, float]]:
+    """Critical-path blame, ranked most-culpable first."""
+    return critical_path(spans).ranked_blame()
+
+
+def explain_spans(
+    spans: "Iterable[Mapping[str, Any]] | Any",
+    *,
+    span_id: int | None = None,
+    top: int = 10,
+) -> str:
+    """Human-readable "why was this slow" breakdown.
+
+    With ``span_id``, restricts the analysis to that span's subtree
+    (``repro explain <artifact> --span <id>``).
+    """
+    records = span_dicts(spans)
+    if span_id is not None:
+        records = span_subtree(records, span_id)
+        header = next(s for s in records if int(s["id"]) == int(span_id))
+        path = critical_path(records)
+        title = (
+            f"span {span_id} [{header.get('cat', '?')}] "
+            f"{header.get('name', '')!r}: "
+            f"{len(records)} span(s) in subtree"
+        )
+        return title + "\n" + path.format(top=top)
+    if not records:
+        return "no spans recorded (run with spans enabled)"
+    return critical_path(records).format(top=top)

@@ -32,13 +32,14 @@ from contextlib import contextmanager
 from typing import Iterator
 
 from ..sim.trace import Tracer
-from .metrics import MetricsRegistry
+from .metrics import DEFAULT_SAMPLE_CAPACITY, MetricsRegistry
+from .spans import SpanRecorder
 
 _ACTIVE: "ObservationContext | None" = None
 
 
 class ObservationContext:
-    """A shared registry + tracer that ambient sessions adopt."""
+    """A shared registry + tracer + span recorder ambient sessions adopt."""
 
     def __init__(
         self,
@@ -46,9 +47,17 @@ class ObservationContext:
         metrics: bool = True,
         trace: bool = True,
         trace_capacity: int | None = None,
+        metrics_capacity: int | None = None,
+        spans: bool = False,
     ) -> None:
-        self.metrics = MetricsRegistry(enabled=metrics)
+        self.metrics = MetricsRegistry(
+            enabled=metrics,
+            sample_capacity=(
+                DEFAULT_SAMPLE_CAPACITY if metrics_capacity is None else metrics_capacity
+            ),
+        )
         self.tracer = Tracer(enabled=trace, capacity=trace_capacity)
+        self.spans = SpanRecorder(enabled=spans)
         #: How many HardwareNodes adopted this context.
         self.adoptions = 0
 
@@ -64,15 +73,23 @@ def capture(
     metrics: bool = True,
     trace: bool = True,
     trace_capacity: int | None = None,
+    metrics_capacity: int | None = None,
+    spans: bool = False,
 ) -> Iterator[ObservationContext]:
     """Install an ambient observation context for the ``with`` body.
 
     Nested captures stack: the innermost context wins, and the outer
-    one is restored on exit.
+    one is restored on exit (also when the body raises — the ``finally``
+    below is what keeps pool workers from leaking a registry into the
+    next point).
     """
     global _ACTIVE
     context = ObservationContext(
-        metrics=metrics, trace=trace, trace_capacity=trace_capacity
+        metrics=metrics,
+        trace=trace,
+        trace_capacity=trace_capacity,
+        metrics_capacity=metrics_capacity,
+        spans=spans,
     )
     previous = _ACTIVE
     _ACTIVE = context

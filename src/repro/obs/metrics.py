@@ -319,6 +319,8 @@ class MetricsRegistry:
                     "max_concurrent_flows": u.max_concurrent_flows,
                     "achieved_rate": u.achieved_rate,
                     "utilization": u.utilization,
+                    "samples": len(u.samples),
+                    "dropped": u.dropped,
                 }
                 for n, u in sorted(self._channels.items())
             },
@@ -335,15 +337,23 @@ NULL_METRICS = MetricsRegistry(enabled=False, sample_capacity=0)
 
 def resolve_metrics(
     metrics: "MetricsRegistry | bool | None",
+    *,
+    sample_capacity: int | None = None,
 ) -> MetricsRegistry:
     """Coerce a constructor argument into a registry.
 
     ``None``/``False`` → the shared disabled registry; ``True`` → a
     fresh enabled registry; a registry passes through.
+    ``sample_capacity`` bounds the per-series sample rings of a fresh
+    registry (long sweeps cap memory this way); it is ignored when an
+    existing registry is handed in, since that registry already chose
+    its retention.
     """
     if metrics is None or metrics is False:
         return NULL_METRICS
     if metrics is True:
+        if sample_capacity is not None:
+            return MetricsRegistry(enabled=True, sample_capacity=sample_capacity)
         return MetricsRegistry(enabled=True)
     return metrics
 
@@ -398,6 +408,8 @@ def merge_snapshots(
         slot["max_concurrent_flows"] = max(
             slot["max_concurrent_flows"], usage["max_concurrent_flows"]
         )
+        slot["samples"] = slot.get("samples", 0) + usage.get("samples", 0)
+        slot["dropped"] = slot.get("dropped", 0) + usage.get("dropped", 0)
         busy = slot["busy_seconds"]
         slot["achieved_rate"] = slot["bytes"] / busy if busy > 0 else 0.0
         capacity = slot["capacity"]

@@ -13,6 +13,10 @@ so they load directly in `Perfetto <https://ui.perfetto.dev>`_ or
 - every flow-network channel with metric samples becomes a counter
   (``"ph": "C"``) track showing allocated GB/s over simulated time —
   the per-link utilization picture the paper's analysis rests on;
+- causal spans (see :mod:`repro.obs.spans`) become slices on their own
+  process row, one track per span category, with parent → child edges
+  rendered as flow events (``"ph": "s"``/``"f"`` pairs) — Perfetto
+  draws these as causality arrows between slices;
 - ``otherData`` carries provenance (calibration/topology fingerprints,
   package version, git SHA), so a trace file is self-describing.
 
@@ -33,9 +37,11 @@ from .metrics import MetricsRegistry
 #: Chrome trace timestamps are microseconds; the simulator uses seconds.
 _US = 1e6
 
-#: pid of the slice tracks; counter tracks get their own process row.
+#: pid of the slice tracks; counter and span tracks get their own
+#: process rows.
 _SIM_PID = 1
 _COUNTER_PID = 2
+_SPAN_PID = 3
 
 
 def _track_for(record: TraceRecord) -> str:
@@ -91,6 +97,7 @@ def build_chrome_trace(
     records: Iterable[TraceRecord],
     *,
     metrics: MetricsRegistry | None = None,
+    spans: Iterable[Mapping[str, Any]] | None = None,
     provenance: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Assemble the Chrome-trace payload (a JSON-able dict)."""
@@ -142,6 +149,19 @@ def build_chrome_trace(
                 }
             )
             events.extend(counter_events)
+
+    if spans is not None:
+        span_events = _span_events(spans)
+        if span_events:
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": _SPAN_PID,
+                    "args": {"name": "causal spans"},
+                }
+            )
+            events.extend(span_events)
 
     payload: dict[str, Any] = {
         "traceEvents": events,
@@ -199,6 +219,85 @@ def _counter_events(metrics: MetricsRegistry) -> list[dict[str, Any]]:
     return events
 
 
+def _span_events(spans: Iterable[Mapping[str, Any]]) -> list[dict[str, Any]]:
+    """Span slices plus parent → child causality flow arrows.
+
+    One track per span category; each parent/child edge becomes an
+    ``"s"``/``"f"`` flow-event pair keyed by the child span's id, so
+    Perfetto draws an arrow from the parent slice to the child slice.
+    """
+    records = sorted(
+        (dict(span) for span in spans),
+        key=lambda s: (float(s["start"]), int(s["id"])),
+    )
+    by_id = {int(span["id"]): span for span in records}
+    events: list[dict[str, Any]] = []
+    tracks: dict[str, int] = {}
+
+    def track_of(span: Mapping[str, Any]) -> int:
+        category = str(span.get("cat", "span"))
+        tid = tracks.get(category)
+        if tid is None:
+            tid = tracks[category] = len(tracks) + 1
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": _SPAN_PID,
+                    "tid": tid,
+                    "args": {"name": f"spans/{category}"},
+                }
+            )
+        return tid
+
+    for span in records:
+        tid = track_of(span)
+        start = float(span["start"])
+        end = span.get("end")
+        duration = (float(end) - start) if end is not None else 0.0
+        args: dict[str, Any] = {"span_id": int(span["id"])}
+        blame = span.get("blame") or {}
+        if blame:
+            args["blame_us"] = {
+                key: seconds * _US for key, seconds in blame.items()
+            }
+        if span.get("dropped"):
+            args["dropped_intervals"] = span["dropped"]
+        for key, value in (span.get("meta") or {}).items():
+            args[key] = _json_safe(value)
+        events.append(
+            {
+                "name": str(span.get("name", "")),
+                "cat": str(span.get("cat", "span")),
+                "ph": "X",
+                "pid": _SPAN_PID,
+                "tid": tid,
+                "ts": start * _US,
+                "dur": duration * _US,
+                "args": args,
+            }
+        )
+
+    for span in records:
+        parent_id = span.get("parent")
+        if parent_id is None:
+            continue
+        parent = by_id.get(int(parent_id))
+        if parent is None:
+            continue  # cross-point edge pruned by a merge
+        child_start = float(span["start"])
+        flow = {
+            "name": "causal",
+            "cat": str(span.get("cat", "span")),
+            "id": int(span["id"]),
+            "pid": _SPAN_PID,
+            "ts": child_start * _US,
+        }
+        events.append({**flow, "ph": "s", "tid": track_of(parent)})
+        events.append({**flow, "ph": "f", "bp": "e", "tid": track_of(span)})
+    return events
+
+
 def validate_chrome_trace(payload: Any) -> list[str]:
     """Schema-check a trace payload; returns a list of problems.
 
@@ -212,13 +311,14 @@ def validate_chrome_trace(payload: Any) -> list[str]:
     events = payload.get("traceEvents")
     if not isinstance(events, list):
         return ["traceEvents is missing or not an array"]
+    counter_clock: dict[tuple[int, str], float] = {}
     for index, event in enumerate(events):
         where = f"traceEvents[{index}]"
         if not isinstance(event, Mapping):
             problems.append(f"{where}: not an object")
             continue
         phase = event.get("ph")
-        if phase not in ("X", "C", "M"):
+        if phase not in ("X", "C", "M", "s", "f"):
             problems.append(f"{where}: unsupported phase {phase!r}")
             continue
         if not isinstance(event.get("name"), str) or not event["name"]:
@@ -235,7 +335,8 @@ def validate_chrome_trace(payload: Any) -> list[str]:
                 problems.append(f"{where}: metadata args.name missing")
             continue
         ts = event.get("ts")
-        if not isinstance(ts, (int, float)) or ts < 0:
+        ts_ok = isinstance(ts, (int, float)) and ts >= 0
+        if not ts_ok:
             problems.append(f"{where}: bad ts {ts!r}")
         if phase == "X":
             if not isinstance(event.get("tid"), int):
@@ -243,7 +344,7 @@ def validate_chrome_trace(payload: Any) -> list[str]:
             dur = event.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
                 problems.append(f"{where}: bad dur {dur!r}")
-        else:  # "C"
+        elif phase == "C":
             args = event.get("args")
             if not isinstance(args, Mapping) or not args:
                 problems.append(f"{where}: counter without args")
@@ -251,6 +352,28 @@ def validate_chrome_trace(payload: Any) -> list[str]:
                 isinstance(v, (int, float)) for v in args.values()
             ):
                 problems.append(f"{where}: non-numeric counter value")
+            # Counters are a per-(pid, name) time series; Perfetto
+            # requires monotonically non-decreasing timestamps within
+            # each series to render the step function.
+            if (
+                ts_ok
+                and isinstance(event.get("name"), str)
+                and isinstance(event.get("pid"), int)
+            ):
+                key = (event["pid"], event["name"])
+                last = counter_clock.get(key)
+                if last is not None and ts < last:
+                    problems.append(
+                        f"{where}: counter {event['name']!r} timestamp "
+                        f"{ts!r} goes backwards (previous {last!r})"
+                    )
+                else:
+                    counter_clock[key] = float(ts)
+        else:  # "s" / "f" — flow events need a binding track and an id
+            if not isinstance(event.get("tid"), int):
+                problems.append(f"{where}: missing integer tid")
+            if event.get("id") is None:
+                problems.append(f"{where}: flow event without id")
     return problems
 
 

@@ -1,0 +1,291 @@
+"""Self-contained run reports: ``repro report`` / ``repro explain``.
+
+The paper's artifact story is "run the battery, look at the numbers,
+explain the movement"; this module packages one artifact run into a
+single reviewable document:
+
+- the **blame table** — critical-path time ranked by limiting channel
+  or rate cap (from :mod:`repro.obs.attribution`), answering *why* the
+  run took as long as it did;
+- **per-link utilization** — bytes, busy time and achieved rate per
+  channel, from the merged :class:`~repro.obs.metrics.ChannelUsage`
+  snapshots of every sim point;
+- the **validation battery** — PASS/FAIL lines from
+  :func:`repro.core.validation.validate_node`;
+- a **provenance block** — calibration/topology fingerprints, package
+  version, git SHA — so the report is self-describing;
+- the artifact's paper-style text report.
+
+:func:`collect_report` produces the JSON document;
+:func:`render_html` turns it into a single HTML file with no external
+assets (inline CSS only), so it can be attached to a CI run or an
+email and opened anywhere.  Runs always bypass the result cache —
+cached point values carry no spans, and a report without a blame
+table would be misleading.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from .attribution import critical_path, explain_spans
+from .perfetto import build_provenance
+
+#: Rows shown in the HTML blame and channel tables.
+_TABLE_ROWS = 20
+
+
+def collect_report(
+    artifact: str,
+    *,
+    jobs: int | str | None = 1,
+    top: int = _TABLE_ROWS,
+    validate: bool = True,
+    params: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Run one artifact with span capture and assemble the report data.
+
+    Accepts registry ids (``"fig11"``) or driver module names
+    (``"fig11_collectives"``).  The sweep bypasses the result cache so
+    every point is executed with spans on.
+    """
+    from .. import figures
+    from ..core.validation import validate_node
+    from ..runner import SweepRunner
+
+    experiment_id = figures.canonical_id(artifact)
+    experiment = figures.SUITE.get(experiment_id)
+    runner = SweepRunner(jobs, use_cache=False, capture_spans=True)
+    result = runner.run_experiment(experiment_id, **dict(params or {}))
+    spans = runner.stats.spans or []
+    path = critical_path(spans)
+
+    snapshot = runner.stats.metrics or {}
+    channels = snapshot.get("channels", {})
+
+    validation: dict[str, Any] | None = None
+    if validate:
+        validation = validate_node(runner=SweepRunner(jobs)).as_dict()
+
+    report: dict[str, Any] = {
+        "artifact": experiment_id,
+        "paper_artifact": experiment.paper_artifact,
+        "title": experiment.title,
+        "report_text": figures.report(experiment_id, result),
+        "wall_seconds": getattr(result, "wall_seconds", 0.0),
+        "span_count": len(spans),
+        "critical_path": path.as_dict(),
+        "blame": [
+            {"key": key, "seconds": seconds}
+            for key, seconds in path.ranked_blame()
+        ],
+        "unattributed_seconds": path.unattributed(),
+        "explain": path.format(top=top),
+        "channels": channels,
+        "validation": validation,
+        "provenance": build_provenance(extra={"artifact": experiment_id}),
+        "runner": {
+            "points": runner.stats.points,
+            "jobs": runner.stats.jobs,
+            "wall_seconds": runner.stats.wall_seconds,
+        },
+        "spans": spans,
+    }
+    return report
+
+
+def explain_artifact(
+    artifact: str,
+    *,
+    span_id: int | None = None,
+    jobs: int | str | None = 1,
+    top: int = 10,
+) -> str:
+    """``repro explain``: run one artifact and narrate its critical path.
+
+    With ``span_id``, restricts the breakdown to that span's subtree
+    (span ids are printed by ``repro report``'s JSON output).
+    """
+    from .. import figures
+    from ..runner import SweepRunner
+
+    experiment_id = figures.canonical_id(artifact)
+    runner = SweepRunner(jobs, use_cache=False, capture_spans=True)
+    runner.run_experiment(experiment_id)
+    spans = runner.stats.spans or []
+    header = (
+        f"{experiment_id}: {len(spans)} span(s) over "
+        f"{runner.stats.points} point(s)"
+    )
+    return header + "\n" + explain_spans(spans, span_id=span_id, top=top)
+
+
+# -- HTML rendering --------------------------------------------------------
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 64rem; color: #1a1a2e; }
+h1 { font-size: 1.4rem; border-bottom: 2px solid #16324f; }
+h2 { font-size: 1.1rem; margin-top: 2rem; color: #16324f; }
+table { border-collapse: collapse; width: 100%; font-size: 0.9rem; }
+th, td { text-align: left; padding: 0.3rem 0.6rem;
+         border-bottom: 1px solid #d8dee9; }
+th { background: #eceff4; }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+.bar { background: #5e81ac; height: 0.7rem; display: inline-block; }
+.pass { color: #1d7a33; font-weight: 600; }
+.fail { color: #b3261e; font-weight: 600; }
+pre { background: #f4f6f8; padding: 0.8rem; overflow-x: auto;
+      font-size: 0.8rem; }
+.prov { font-size: 0.8rem; color: #4c566a; }
+"""
+
+
+def _format_seconds(seconds: float) -> str:
+    return f"{seconds * 1e6:,.1f}"
+
+
+def render_html(report: Mapping[str, Any]) -> str:
+    """One self-contained HTML document (inline CSS, no assets)."""
+    e = html.escape
+    out: list[str] = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>repro report — {e(str(report['artifact']))}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{e(str(report['artifact']))} — {e(str(report['title']))}"
+        f" <small>({e(str(report['paper_artifact']))})</small></h1>",
+    ]
+
+    provenance = report.get("provenance") or {}
+    prov_bits = " · ".join(
+        f"{e(str(key))}: {e(str(value))}"
+        for key, value in sorted(provenance.items())
+    )
+    out.append(f"<p class='prov'>{prov_bits}</p>")
+
+    cp = report.get("critical_path") or {}
+    length = float(cp.get("length", 0.0))
+    out.append("<h2>Why it took this long — critical-path blame</h2>")
+    out.append(
+        f"<p>critical path: <b>{_format_seconds(length)} µs</b> across "
+        f"{len(cp.get('segments', []))} segment(s); "
+        f"{int(report.get('span_count', 0))} causal span(s) recorded.</p>"
+    )
+    blame = report.get("blame") or []
+    if blame:
+        out.append(
+            "<table><tr><th>limited by</th><th class='num'>µs</th>"
+            "<th class='num'>share</th><th></th></tr>"
+        )
+        for entry in blame[:_TABLE_ROWS]:
+            seconds = float(entry["seconds"])
+            share = seconds / length if length > 0 else 0.0
+            out.append(
+                f"<tr><td><code>{e(str(entry['key']))}</code></td>"
+                f"<td class='num'>{_format_seconds(seconds)}</td>"
+                f"<td class='num'>{share * 100:.1f}%</td>"
+                f"<td><span class='bar' style='width:{share * 14:.2f}rem'>"
+                "</span></td></tr>"
+            )
+        out.append("</table>")
+    else:
+        out.append("<p>no spans recorded — nothing to attribute.</p>")
+
+    channels = report.get("channels") or {}
+    busy = sorted(
+        (
+            (name, usage)
+            for name, usage in channels.items()
+            if usage.get("busy_seconds", 0) > 0
+        ),
+        key=lambda item: -item[1].get("bytes", 0),
+    )
+    out.append("<h2>Per-link utilization</h2>")
+    if busy:
+        out.append(
+            "<table><tr><th>channel</th><th class='num'>GiB moved</th>"
+            "<th class='num'>busy ms</th><th class='num'>achieved GB/s</th>"
+            "<th class='num'>utilization</th><th class='num'>flows</th>"
+            "</tr>"
+        )
+        for name, usage in busy[:_TABLE_ROWS]:
+            out.append(
+                f"<tr><td><code>{e(name)}</code></td>"
+                f"<td class='num'>{usage.get('bytes', 0) / 2**30:,.2f}</td>"
+                f"<td class='num'>"
+                f"{usage.get('busy_seconds', 0.0) * 1e3:,.2f}</td>"
+                f"<td class='num'>"
+                f"{usage.get('achieved_rate', 0.0) / 1e9:,.1f}</td>"
+                f"<td class='num'>"
+                f"{usage.get('utilization', 0.0) * 100:.1f}%</td>"
+                f"<td class='num'>{usage.get('flows', 0)}</td></tr>"
+            )
+        if len(busy) > _TABLE_ROWS:
+            out.append("</table>")
+            out.append(
+                f"<p class='prov'>… and {len(busy) - _TABLE_ROWS} more "
+                "channel(s) in the JSON report.</p>"
+            )
+        else:
+            out.append("</table>")
+    else:
+        out.append("<p>no channel activity recorded.</p>")
+
+    validation = report.get("validation")
+    out.append("<h2>Validation battery</h2>")
+    if validation:
+        status = (
+            "<span class='pass'>PASS</span>"
+            if validation.get("passed")
+            else "<span class='fail'>FAIL</span>"
+        )
+        out.append(
+            f"<p>{status} — {validation['total'] - validation['failed']}"
+            f"/{validation['total']} checks passed.</p>"
+        )
+        out.append(
+            "<table><tr><th>check</th><th>status</th>"
+            "<th class='num'>observed</th><th class='num'>expected</th>"
+            "<th>unit</th></tr>"
+        )
+        for check in validation.get("checks", []):
+            ok = bool(check.get("passed"))
+            out.append(
+                f"<tr><td><code>{e(str(check['check_id']))}</code></td>"
+                f"<td class='{'pass' if ok else 'fail'}'>"
+                f"{'PASS' if ok else 'FAIL'}</td>"
+                f"<td class='num'>{float(check['observed']):,.2f}</td>"
+                f"<td class='num'>{float(check['expected']):,.2f}</td>"
+                f"<td>{e(str(check['unit']))}</td></tr>"
+            )
+        out.append("</table>")
+    else:
+        out.append("<p>validation skipped.</p>")
+
+    out.append("<h2>Artifact report</h2>")
+    out.append(f"<pre>{e(str(report.get('report_text', '')))}</pre>")
+    out.append("</body></html>")
+    return "\n".join(out)
+
+
+def write_report(
+    report: Mapping[str, Any],
+    *,
+    html_path: str | Path | None = None,
+    json_path: str | Path | None = None,
+) -> list[Path]:
+    """Write the HTML and/or JSON renderings; returns written paths."""
+    written: list[Path] = []
+    if html_path is not None:
+        path = Path(html_path)
+        path.write_text(render_html(report))
+        written.append(path)
+    if json_path is not None:
+        path = Path(json_path)
+        path.write_text(json.dumps(report, indent=1, sort_keys=False))
+        written.append(path)
+    return written

@@ -140,6 +140,7 @@ def _run_churn(
     pairs: int,
     flows_per_pair: int,
     metrics: Any = None,
+    spans: Any = None,
 ) -> float:
     """One churn run: ``pairs`` concurrent back-to-back flow chains.
 
@@ -149,10 +150,14 @@ def _run_churn(
     fabric model produces.  ``metrics`` (a
     :class:`~repro.obs.metrics.MetricsRegistry` or ``None``) is threaded
     into the engine and network so the same workload can measure
-    observability overhead.
+    observability overhead; ``spans`` (a
+    :class:`~repro.obs.spans.SpanRecorder` or ``None``) likewise opens
+    one span per flow to measure the span layer's cost.
     """
     engine = SimEngine(metrics=metrics)
-    network = FlowNetwork(engine, incremental=incremental, metrics=metrics)
+    network = FlowNetwork(
+        engine, incremental=incremental, metrics=metrics, spans=spans
+    )
     backbone = "backbone"
     network.add_channel(backbone, 200 * GiB)
     for pair in range(pairs):
@@ -165,8 +170,15 @@ def _run_churn(
             if i % 7 == 0:
                 channels.append(backbone)
             size = (1 + ((i * 37 + pair) % 5)) * MiB
-            flow = network.transfer(channels, size, cap=80 * GiB)
+            span = (
+                spans.begin("flow", "churn", start=engine.now)
+                if spans
+                else None
+            )
+            flow = network.transfer(channels, size, cap=80 * GiB, span=span)
             yield flow.done
+            if span is not None:
+                spans.finish(span, engine.now)
 
     for pair in range(pairs):
         engine.process(driver(pair), name=f"pair{pair}")
@@ -236,6 +248,49 @@ def bench_metrics_overhead(
             _run_churn(
                 True, pairs, flows_per_pair, metrics=MetricsRegistry()
             ),
+        )
+    return {
+        "pairs": pairs,
+        "flows_per_pair": flows_per_pair,
+        "total_flows": total_flows,
+        "baseline_wall_seconds": baseline,
+        "disabled_wall_seconds": disabled,
+        "enabled_wall_seconds": enabled,
+        "disabled_overhead": disabled / baseline - 1.0,
+        "enabled_overhead": enabled / baseline - 1.0,
+    }
+
+
+def bench_span_overhead(
+    pairs: int = 32, flows_per_pair: int = 120, *, repeats: int = REPEATS
+) -> dict[str, Any]:
+    """Cost of the causal-span layer on the flow-churn workload.
+
+    Same structure as :func:`bench_metrics_overhead`: baseline (no
+    recorder), a disabled recorder (the ``if spans:`` guard every flow
+    pays), and an enabled recorder (span per flow + solver bottleneck
+    tracking + per-interval blame accounting).  ``disabled_overhead``
+    is the acceptance number — spans off must stay within a few
+    percent of the uninstrumented path.
+    """
+    from ..obs.spans import SpanRecorder
+
+    total_flows = pairs * flows_per_pair
+    baseline = disabled = enabled = float("inf")
+    for _ in range(max(1, repeats)):
+        baseline = min(baseline, _run_churn(True, pairs, flows_per_pair))
+        disabled = min(
+            disabled,
+            _run_churn(
+                True,
+                pairs,
+                flows_per_pair,
+                spans=SpanRecorder(enabled=False),
+            ),
+        )
+        enabled = min(
+            enabled,
+            _run_churn(True, pairs, flows_per_pair, spans=SpanRecorder()),
         )
     return {
         "pairs": pairs,
@@ -384,6 +439,11 @@ def run_suite(*, smoke: bool = False, repeats: int | None = None) -> dict[str, A
             120 // (4 if smoke else 1),
             repeats=repeats,
         ),
+        "span_overhead": bench_span_overhead(
+            32 // (4 if smoke else 1),
+            120 // (4 if smoke else 1),
+            repeats=repeats,
+        ),
         "figure_sweep": bench_figure_sweep(smoke=smoke),
         "sweep_parallel": bench_sweep_parallel(),
         "cache_hit": bench_cache_hit(smoke=smoke),
@@ -400,12 +460,18 @@ def run_suite(*, smoke: bool = False, repeats: int | None = None) -> dict[str, A
         "metrics_enabled_overhead": results["metrics_overhead"][
             "enabled_overhead"
         ],
+        "spans_disabled_overhead": results["span_overhead"][
+            "disabled_overhead"
+        ],
+        "spans_enabled_overhead": results["span_overhead"][
+            "enabled_overhead"
+        ],
         "figure_sweep_seconds": results["figure_sweep"]["wall_seconds"],
         "sweep_parallel_speedup": results["sweep_parallel"]["speedup"],
         "cache_hit_speedup": results["cache_hit"]["speedup"],
     }
     return {
-        "schema": "repro-bench-core/3",
+        "schema": "repro-bench-core/4",
         "version": __version__,
         "git_sha": _git_sha(),
         "python": sys.version.split()[0],
@@ -439,6 +505,8 @@ def format_report(report: dict[str, Any]) -> str:
         f"(incremental; {results['flow_churn']['speedup']:.2f}x vs batch re-solve)",
         f"  metrics overhead {results['metrics_overhead']['disabled_overhead']:>12.1%} disabled "
         f"/ {results['metrics_overhead']['enabled_overhead']:+.1%} enabled",
+        f"  span overhead    {results['span_overhead']['disabled_overhead']:>12.1%} disabled "
+        f"/ {results['span_overhead']['enabled_overhead']:+.1%} enabled",
         f"  figure sweep     {results['figure_sweep']['wall_seconds']:>12.2f} s "
         f"({results['figure_sweep']['measurements']} measurements)",
         f"  sweep parallel   {results['sweep_parallel']['speedup']:>12.2f} x "

@@ -81,11 +81,13 @@ def _apply_reduction(
 def _segment_step(
     comm: RcclCommunicator, segment: RingSegment, chunk: int,
     rate_factor: float = 1.0,
+    span: "object" = None,
 ) -> Generator:
     """One segment's work within a step: relay penalty + chunk flow.
 
     ``rate_factor`` scales the sustained rate; broadcast passes the LL
-    protocol efficiency here.
+    protocol efficiency here.  ``span`` binds the segment's flow to
+    the enclosing step span (causality + blame attribution).
     """
     if segment.is_relayed:
         yield comm.engine.timeout(comm.calibration.rccl_relay_penalty)
@@ -94,6 +96,7 @@ def _segment_step(
         chunk,
         cap=comm.segment_rate(segment) * rate_factor,
         label=f"rccl:{segment.src}->{segment.dst}",
+        span=span,
     )
     yield flow.done
 
@@ -105,14 +108,36 @@ def _synchronized_steps(
     assert comm.ring is not None
     engine = comm.engine
     start = engine.now
+    spans = comm.node.spans
+    collective_span = (
+        spans.begin(
+            "rccl", f"rccl:{label}", start=start, steps=num_steps, chunk=chunk
+        )
+        if spans
+        else None
+    )
     yield engine.timeout(comm.calibration.rccl_launch_overhead)
-    for _step in range(num_steps):
+    for step in range(num_steps):
+        step_span = (
+            spans.begin(
+                "rccl-step",
+                f"{label}/step{step}",
+                start=engine.now,
+                parent=collective_span,
+            )
+            if spans
+            else None
+        )
         processes = [
-            engine.process(_segment_step(comm, segment, chunk))
+            engine.process(_segment_step(comm, segment, chunk, span=step_span))
             for segment in comm.ring.segments
         ]
         yield engine.all_of(processes)
         yield engine.timeout(comm.calibration.rccl_step_overhead)
+        if step_span is not None:
+            spans.finish(step_span, engine.now)
+    if collective_span is not None:
+        spans.finish(collective_span, engine.now)
     tracer = comm.node.tracer
     if tracer.enabled:
         tracer.record(
@@ -201,6 +226,12 @@ def broadcast(
     assert comm.ring is not None
     engine = comm.engine
     start = engine.now
+    spans = comm.node.spans
+    collective_span = (
+        spans.begin("rccl", "rccl:broadcast", start=start, bytes=nbytes)
+        if spans
+        else None
+    )
     yield engine.timeout(comm.calibration.rccl_launch_overhead)
     ll = comm.calibration.rccl_ll_efficiency
     chunk = min(nbytes, comm.calibration.rccl_chunk_bytes)
@@ -214,13 +245,29 @@ def broadcast(
         ordered.append(segment)
         current = segment.dst
     num_stages = len(ordered) + num_chunks - 1
-    for _stage in range(num_stages):
+    for stage in range(num_stages):
+        stage_span = (
+            spans.begin(
+                "rccl-step",
+                f"broadcast/stage{stage}",
+                start=engine.now,
+                parent=collective_span,
+            )
+            if spans
+            else None
+        )
         processes = [
-            engine.process(_segment_step(comm, segment, chunk, rate_factor=ll))
+            engine.process(
+                _segment_step(comm, segment, chunk, rate_factor=ll, span=stage_span)
+            )
             for segment in ordered
         ]
         yield engine.all_of(processes)
         yield engine.timeout(comm.calibration.rccl_step_overhead)
+        if stage_span is not None:
+            spans.finish(stage_span, engine.now)
+    if collective_span is not None:
+        spans.finish(collective_span, engine.now)
     if buffers is not None and any(b.has_data for b in buffers.values()):
         source = buffers[root].ensure_data()[:nbytes]
         for gcd, buffer in buffers.items():

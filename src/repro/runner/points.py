@@ -103,3 +103,21 @@ def execute_point_observed(point: SimPoint) -> tuple[Any, dict[str, Any]]:
     with capture(trace=False) as ctx:
         value = point.execute()
     return value, ctx.metrics.snapshot()
+
+
+def execute_point_spanned(
+    point: SimPoint,
+) -> tuple[Any, dict[str, Any], list[dict[str, Any]]]:
+    """Run a point under an ambient metrics **and** span capture.
+
+    Returns ``(value, metrics snapshot, span dicts)`` — all plain
+    JSON-able data, so the triple pickles cheaply back from pool
+    workers.  Used by the runner's ``capture_spans`` mode (reports and
+    ``repro explain``); the per-point span sets are merged into one
+    causal timeline by :func:`repro.obs.spans.merge_point_spans`.
+    """
+    from ..obs.capture import capture
+
+    with capture(trace=False, spans=True) as ctx:
+        value = point.execute()
+    return value, ctx.metrics.snapshot(), ctx.spans.as_dicts()

@@ -22,7 +22,12 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 from .cache import ResultCache
-from .points import SimPoint, execute_point, execute_point_observed
+from .points import (
+    SimPoint,
+    execute_point,
+    execute_point_observed,
+    execute_point_spanned,
+)
 
 
 def resolve_jobs(jobs: int | str | None) -> int:
@@ -45,7 +50,10 @@ class RunnerStats:
     the (possibly shared) :class:`~repro.runner.cache.CacheStats`
     observed around each ``run_points`` call, not the cache's lifetime
     totals.  ``metrics`` holds the merged per-point metrics snapshot
-    when the runner was built with ``capture_metrics=True``.
+    when the runner was built with ``capture_metrics=True``; ``spans``
+    holds the merged causal-span timeline (per-point span sets laid
+    end-to-end in point order under synthetic point roots) when built
+    with ``capture_spans=True``.
     """
 
     points: int = 0
@@ -57,6 +65,7 @@ class RunnerStats:
     parallel_fallbacks: int = 0
     wall_seconds: float = 0.0
     metrics: dict[str, Any] | None = None
+    spans: list[dict[str, Any]] | None = None
 
     def as_dict(self) -> dict[str, Any]:
         """The counters as a plain dict (for perf reports)."""
@@ -72,6 +81,8 @@ class RunnerStats:
         }
         if self.metrics is not None:
             out["metrics"] = self.metrics
+        if self.spans is not None:
+            out["span_count"] = len(self.spans)
         return out
 
     def describe(self) -> str:
@@ -105,13 +116,22 @@ class SweepRunner:
         use_cache: bool = True,
         cache_dir: str | None = None,
         capture_metrics: bool = False,
+        capture_spans: bool = False,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         if cache is None and use_cache:
             cache = ResultCache(cache_dir)
         self.cache = cache if use_cache else None
-        self.capture_metrics = capture_metrics
+        # Span capture also collects metrics (the spanned trampoline
+        # captures both — reports want channel utilization alongside
+        # the blame table, and one capture context costs the same).
+        self.capture_metrics = capture_metrics or capture_spans
+        self.capture_spans = capture_spans
         self.stats = RunnerStats(jobs=self.jobs)
+        # (label, span dicts) per executed point, in point order, across
+        # all run_points calls — remerged after each batch so span ids
+        # and the synthetic timeline stay globally consistent.
+        self._span_points: list[tuple[str, list[dict[str, Any]]]] = []
 
     # -- point execution ------------------------------------------------
 
@@ -157,9 +177,12 @@ class SweepRunner:
         return outputs
 
     def _execute(self, points: list[SimPoint]) -> list[Any]:
-        trampoline = (
-            execute_point_observed if self.capture_metrics else execute_point
-        )
+        if self.capture_spans:
+            trampoline = execute_point_spanned
+        elif self.capture_metrics:
+            trampoline = execute_point_observed
+        else:
+            trampoline = execute_point
         if self.jobs > 1 and len(points) > 1:
             try:
                 results = self._execute_parallel(points, trampoline)
@@ -175,9 +198,18 @@ class SweepRunner:
         from ..obs.metrics import merge_snapshots
 
         values: list[Any] = []
-        for value, snapshot in results:
+        for point, result in zip(points, results):
+            if self.capture_spans:
+                value, snapshot, spans = result
+                self._span_points.append((str(point), spans))
+            else:
+                value, snapshot = result
             values.append(value)
             self.stats.metrics = merge_snapshots(self.stats.metrics, snapshot)
+        if self.capture_spans:
+            from ..obs.spans import merge_point_spans
+
+            self.stats.spans = merge_point_spans(self._span_points)
         return values
 
     def _execute_parallel(

@@ -96,6 +96,14 @@ class Session:
         :class:`~repro.obs.metrics.MetricsRegistry`, an existing
         registry to share one across sessions, or ``None``/``False``
         for the disabled null registry (the default — near-zero cost).
+    metrics_capacity:
+        Per-series sample-ring bound for a ``metrics=True`` registry
+        (long sweeps bound memory this way; summary stats stay exact
+        and evictions surface as ``dropped`` in snapshots).
+    spans:
+        ``True`` for a fresh :class:`~repro.obs.spans.SpanRecorder`
+        (causal spans + bottleneck attribution), an existing recorder
+        to share, or ``None``/``False`` for disabled (the default).
     coherence:
         Optional :class:`CoherencePolicy` override for the HIP layer.
     """
@@ -109,6 +117,8 @@ class Session:
         trace: bool = False,
         trace_capacity: int | None = None,
         metrics: Any = None,
+        metrics_capacity: int | None = None,
+        spans: Any = None,
         coherence: CoherencePolicy | None = None,
         **env_flags: Any,
     ) -> None:
@@ -132,6 +142,8 @@ class Session:
             trace=trace,
             trace_capacity=trace_capacity,
             metrics=metrics,
+            metrics_capacity=metrics_capacity,
+            spans=spans,
         )
         self.hip = HipRuntime(self.node, self.env, coherence=coherence)
         self._closed = False
@@ -232,6 +244,7 @@ class Session:
         stats.update(self.node.engine.stats())
         stats.update(self.node.network.solver.stats.as_dict())
         stats["trace_records"] = len(self.node.tracer)
+        stats["spans"] = len(self.node.spans)
         return stats
 
     def metrics(self) -> dict[str, Any]:
@@ -244,21 +257,46 @@ class Session:
         self.node.network.solver.stats.publish(self.node.metrics)
         return self.node.metrics.snapshot()
 
+    def spans(self) -> list[dict[str, Any]]:
+        """Causal spans recorded so far, as JSON-able dicts.
+
+        Empty unless the session was built with ``spans=True`` (or a
+        shared recorder).  See :mod:`repro.obs.spans` for the schema.
+        """
+        return self.node.spans.as_dicts()
+
+    def critical_path(self):
+        """Critical path over this session's span DAG.
+
+        Returns a :class:`~repro.obs.attribution.CriticalPath`.
+        """
+        from .obs.attribution import critical_path
+
+        return critical_path(self.spans())
+
+    def explain(self, *, top: int = 10) -> str:
+        """Ranked blame breakdown of this session's critical path."""
+        from .obs.attribution import explain_spans
+
+        return explain_spans(self.spans(), top=top)
+
     def export_trace(
         self, path: str | None = None, **provenance_extra: Any
     ) -> dict[str, Any]:
         """Chrome-trace payload of this session's timeline.
 
         Combines the tracer's records, counter tracks from the metrics
-        registry, and provenance (calibration/topology fingerprints,
-        package version, git SHA).  With ``path``, also writes the
-        validated JSON file.
+        registry, span slices with causality flow-arrows (when span
+        recording is on), and provenance (calibration/topology
+        fingerprints, package version, git SHA).  With ``path``, also
+        writes the validated JSON file.
         """
         from . import obs
 
         payload = obs.build_chrome_trace(
             self.node.tracer.records(),
             metrics=self.node.metrics,
+            spans=self.spans() if self.node.spans else None,
             provenance=obs.build_provenance(
                 calibration=self.node.calibration,
                 topology=self.topology,

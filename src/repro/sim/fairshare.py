@@ -96,8 +96,16 @@ class FlowSpec:
 def _solve_component_python(
     flows: Sequence[FlowSpec],
     capacities: Mapping[ChannelId, float],
+    bottlenecks: "dict[Hashable, ChannelId | None] | None" = None,
 ) -> dict[Hashable, float]:
-    """Scalar progressive filling over one (small) component."""
+    """Scalar progressive filling over one (small) component.
+
+    With ``bottlenecks`` (a dict to fill), each flow's freeze reason is
+    recorded as a side product: the first channel in the flow's channel
+    tuple that was full at its freeze iteration, or ``None`` when the
+    flow froze at its own cap.  Attribution only *reads* solver state,
+    so the returned rates are bit-identical either way.
+    """
     rate: dict[Hashable, float] = {f.flow_id: 0.0 for f in flows}
     unfrozen: set[Hashable] = set(rate)
     flows_by_id = {f.flow_id: f for f in flows}
@@ -138,12 +146,24 @@ def _solve_component_python(
                 residual[channel] -= delta * len(active)
 
         frozen_now: set[Hashable] = set()
+        full: set[ChannelId] = set()
         for channel, group in members.items():
             if residual[channel] <= _CHANNEL_SLACK * capacities[channel]:
+                full.add(channel)
                 frozen_now |= group & unfrozen
+        if bottlenecks is not None:
+            for flow_id in frozen_now:
+                # A channel-frozen flow crosses at least one full channel;
+                # blame the first one in its route for determinism.
+                for channel in flows_by_id[flow_id].channels:
+                    if channel in full:
+                        bottlenecks[flow_id] = channel
+                        break
         for flow_id in unfrozen:
             flow = flows_by_id[flow_id]
             if flow.cap is not math.inf and rate[flow_id] >= flow.cap - _CAP_SLACK * flow.cap:
+                if bottlenecks is not None and flow_id not in frozen_now:
+                    bottlenecks[flow_id] = None  # cap-bound, not channel-bound
                 rate[flow_id] = flow.cap
                 frozen_now.add(flow_id)
         if not frozen_now:
@@ -156,12 +176,16 @@ def _solve_component_python(
 def _solve_component_numpy(
     flows: Sequence[FlowSpec],
     capacities: Mapping[ChannelId, float],
+    bottlenecks: "dict[Hashable, ChannelId | None] | None" = None,
 ) -> dict[Hashable, float]:
     """Vectorized progressive filling over one (large) component.
 
     Performs the same IEEE-754 operations as the scalar loop
     element-wise (divisions, min-selection, subtraction), so the
     result is bit-identical to :func:`_solve_component_python`.
+    Bottleneck attribution (see the scalar core) only reads solver
+    state and uses the same tie-break rules, so the two cores also
+    agree on the recorded freeze reasons.
     """
     n = len(flows)
     channel_index: dict[ChannelId, int] = {}
@@ -211,12 +235,26 @@ def _solve_component_numpy(
         full = residual <= _CHANNEL_SLACK * capacity
         if full.any():
             frozen_now |= (incidence[full].any(axis=0)) & unfrozen
+            if bottlenecks is not None:
+                full_ids = {
+                    channel for channel, i in channel_index.items() if full[i]
+                }
+                for j in _np.nonzero(frozen_now)[0]:
+                    flow = flows[j]
+                    for channel in flow.channels:
+                        if channel in full_ids:
+                            bottlenecks[flow.flow_id] = channel
+                            break
         if headroom_mask.any():
             capped = _np.zeros(n, dtype=bool)
             capped[headroom_mask] = rate[headroom_mask] >= (
                 caps[headroom_mask] - _CAP_SLACK * caps[headroom_mask]
             )
             if capped.any():
+                if bottlenecks is not None:
+                    # Channel attribution wins ties, matching the scalar core.
+                    for j in _np.nonzero(capped & ~frozen_now)[0]:
+                        bottlenecks[flows[j].flow_id] = None
                 rate[capped] = caps[capped]
                 frozen_now |= capped
         if not frozen_now.any():
@@ -229,6 +267,7 @@ def _solve_component_numpy(
 def _solve_component(
     flows: Sequence[FlowSpec],
     capacities: Mapping[ChannelId, float],
+    bottlenecks: "dict[Hashable, ChannelId | None] | None" = None,
 ) -> dict[Hashable, float]:
     """Level one connected component; dispatches scalar vs vectorized."""
     if not flows:
@@ -246,10 +285,21 @@ def _solve_component(
                 "unconstrained flows (no channels and no cap): "
                 f"{[repr(flow.flow_id)]}"
             )
+        if bottlenecks is not None:
+            # Mirror the iterative cores' freeze conditions: blame the
+            # first channel with no slack above the allocation; a flow
+            # with slack everywhere froze at its own cap.
+            bottleneck: ChannelId | None = None
+            for channel in flow.channels:
+                capacity = capacities[channel]
+                if capacity - best <= _CHANNEL_SLACK * capacity:
+                    bottleneck = channel
+                    break
+            bottlenecks[flow.flow_id] = bottleneck
         return {flow.flow_id: best}
     if _np is not None and len(flows) >= _VECTORIZE_THRESHOLD:
-        return _solve_component_numpy(flows, capacities)
-    return _solve_component_python(flows, capacities)
+        return _solve_component_numpy(flows, capacities, bottlenecks)
+    return _solve_component_python(flows, capacities, bottlenecks)
 
 
 def _connected_components(
@@ -304,6 +354,7 @@ def _validate_problem(
 def max_min_fair_rates(
     flows: Sequence[FlowSpec],
     capacities: Mapping[ChannelId, float],
+    bottlenecks: "dict[Hashable, ChannelId | None] | None" = None,
 ) -> dict[Hashable, float]:
     """Solve the max-min fair allocation (batch).
 
@@ -313,6 +364,10 @@ def max_min_fair_rates(
         Flow demands.  Flow ids must be unique.
     capacities:
         Capacity (bytes/s) of every channel referenced by a flow.
+    bottlenecks:
+        Optional dict filled with each flow's freeze reason: the first
+        channel of the flow's tuple that was saturated when the flow
+        froze, or ``None`` when it froze at its own cap.
 
     Returns
     -------
@@ -330,7 +385,7 @@ def max_min_fair_rates(
 
     rates: dict[Hashable, float] = {}
     for component in _connected_components(flows):
-        rates.update(_solve_component(component, capacities))
+        rates.update(_solve_component(component, capacities, bottlenecks))
     # Preserve input order in the result for deterministic iteration.
     return {f.flow_id: rates[f.flow_id] for f in flows}
 
@@ -338,6 +393,7 @@ def max_min_fair_rates(
 def max_min_fair_rates_reference(
     flows: Sequence[FlowSpec],
     capacities: Mapping[ChannelId, float],
+    bottlenecks: "dict[Hashable, ChannelId | None] | None" = None,
 ) -> dict[Hashable, float]:
     """The pre-decomposition global solver (perf baseline / oracle).
 
@@ -346,11 +402,13 @@ def max_min_fair_rates_reference(
     flow-churn perf baseline in ``repro perf`` and as a semantic
     cross-check: it agrees with :func:`max_min_fair_rates` to within
     floating-point accumulation order (not necessarily bitwise).
+    ``bottlenecks``, when given, is filled with each flow's freeze
+    reason exactly as in :func:`max_min_fair_rates`.
     """
     if not flows:
         return {}
     _validate_problem(flows, capacities)
-    return _solve_component_python(flows, capacities)
+    return _solve_component_python(flows, capacities, bottlenecks)
 
 
 # ---------------------------------------------------------------------------
@@ -412,7 +470,10 @@ class FairshareSolver:
     """
 
     def __init__(
-        self, capacities: Mapping[ChannelId, float] | None = None
+        self,
+        capacities: Mapping[ChannelId, float] | None = None,
+        *,
+        track_bottlenecks: bool = False,
     ) -> None:
         self._capacities: dict[ChannelId, float] = {}
         self._flows: dict[Hashable, FlowSpec] = {}
@@ -421,6 +482,8 @@ class FairshareSolver:
         self._component_of: dict[Hashable, int] = {}
         self._components: dict[int, list[Hashable]] = {}
         self._component_ids = itertools.count()
+        self._track_bottlenecks = bool(track_bottlenecks)
+        self._bottlenecks: dict[Hashable, ChannelId | None] = {}
         self.stats = SolverStats()
         if capacities:
             for channel, capacity in capacities.items():
@@ -494,6 +557,7 @@ class FairshareSolver:
         if spec is None:
             raise SimulationError(f"unknown flow id {flow_id!r}")
         self._rates.pop(flow_id, None)
+        self._bottlenecks.pop(flow_id, None)
         for channel in spec.channels:
             group = self._members.get(channel)
             if group is not None:
@@ -543,7 +607,10 @@ class FairshareSolver:
 
     def _relevel(self, flow_ids: Sequence[Hashable]) -> dict[Hashable, float]:
         component = [self._flows[f] for f in flow_ids]
-        solved = _solve_component(component, self._capacities)
+        if self._track_bottlenecks:
+            solved = _solve_component(component, self._capacities, self._bottlenecks)
+        else:
+            solved = _solve_component(component, self._capacities)
         self._rates.update(solved)
         self.stats.component_solves += 1
         self.stats.flows_releveled += len(component)
@@ -581,6 +648,30 @@ class FairshareSolver:
     def flows(self) -> list[FlowSpec]:
         """Live flow specs, in admission order."""
         return list(self._flows.values())
+
+    def bottleneck(self, flow_id: Hashable) -> ChannelId | None:
+        """The recorded freeze reason of one live flow.
+
+        The channel that froze the flow at its last re-level, or
+        ``None`` when the flow froze at its own cap.  Requires
+        ``track_bottlenecks=True``; raises for unknown flow ids.
+        """
+        if not self._track_bottlenecks:
+            raise SimulationError("solver was built without track_bottlenecks")
+        if flow_id not in self._flows:
+            raise SimulationError(f"unknown flow id {flow_id!r}")
+        return self._bottlenecks.get(flow_id)
+
+    def bottlenecks(self) -> dict[Hashable, ChannelId | None]:
+        """``{flow id: freeze reason}`` snapshot (tracking solvers only)."""
+        if not self._track_bottlenecks:
+            raise SimulationError("solver was built without track_bottlenecks")
+        return dict(self._bottlenecks)
+
+    @property
+    def tracks_bottlenecks(self) -> bool:
+        """Whether this solver records freeze reasons."""
+        return self._track_bottlenecks
 
 
 def allocation_is_feasible(

@@ -64,6 +64,8 @@ class Flow:
         "start_time",
         "finish_time",
         "label",
+        "span",
+        "blame_key",
     )
 
     def __init__(
@@ -86,6 +88,8 @@ class Flow:
         self.start_time = start_time
         self.finish_time: float | None = None
         self.label = label
+        self.span: "Any" = None
+        self.blame_key = ""
 
     @property
     def completed(self) -> bool:
@@ -132,6 +136,7 @@ class FlowNetwork:
         *,
         incremental: bool = True,
         metrics: "Any" = None,
+        spans: "Any" = None,
     ) -> None:
         self.engine = engine
         self._channels: dict[Hashable, Channel] = {}
@@ -139,13 +144,21 @@ class FlowNetwork:
         self._flow_ids = itertools.count()
         self._last_update = 0.0
         self._incremental = incremental
-        self._solver = FairshareSolver()
         self._alarm: TimerHandle | None = None
         if metrics is None:
             from ..obs.metrics import NULL_METRICS
 
             metrics = NULL_METRICS
         self._metrics = metrics
+        if spans is None:
+            from ..obs.spans import NULL_SPANS
+
+            spans = NULL_SPANS
+        self._spans = spans
+        # Bottleneck tracking is the span layer's data source; leave it
+        # off otherwise so the disabled path stays within the perf guard.
+        self._solver = FairshareSolver(track_bottlenecks=bool(spans))
+        self._blame_names: dict[Hashable, str] = {}
 
     @property
     def solver(self) -> FairshareSolver:
@@ -187,11 +200,16 @@ class FlowNetwork:
         *,
         cap: float = math.inf,
         label: str = "",
+        span: "Any" = None,
     ) -> Flow:
         """Start a flow of ``size`` bytes; returns the live :class:`Flow`.
 
         Zero-byte transfers complete immediately (their ``done`` event
         still goes through the queue, preserving FIFO semantics).
+        ``span``, when span recording is on, binds the flow to a causal
+        span: every constant-rate interval the flow lives through is
+        charged to the span's blame ledger under the channel (or cap)
+        the fair-share solver froze the flow at.
         """
         channel_ids = tuple(channels)
         for channel_id in channel_ids:
@@ -211,6 +229,8 @@ class FlowNetwork:
             self.engine.now,
             label,
         )
+        if span is not None and self._spans:
+            flow.span = span
         if size == 0:
             flow.finish_time = self.engine.now
             flow.done.succeed(flow)
@@ -254,8 +274,11 @@ class FlowNetwork:
         if dt < 0:
             raise SimulationError("flow network clock went backwards")
         if dt > 0:
-            if self._metrics and self._active:
-                self._account_interval(self._last_update, dt)
+            if self._active and (self._metrics or self._spans):
+                if self._metrics:
+                    self._account_interval(self._last_update, dt)
+                if self._spans:
+                    self._account_spans(self._last_update, dt)
             for flow in self._active.values():
                 flow.remaining -= flow.rate * dt
         self._last_update = now
@@ -284,6 +307,19 @@ class FlowNetwork:
                 start, dt, load, int(nflows)
             )
 
+    def _account_spans(self, start: float, dt: float) -> None:
+        """Charge one constant-rate interval to every span-bound flow.
+
+        ``blame_key`` was fixed at the last re-level (the channel the
+        solver froze the flow at, or its cap), so each interval lands
+        in exactly one blame bucket — work conservation says the flow
+        was limited by *something* for the whole interval.
+        """
+        for flow in self._active.values():
+            span = flow.span
+            if span is not None:
+                span.account(start, dt, flow.rate, flow.blame_key)
+
     def _resolve_and_schedule(
         self, updated: Mapping[Hashable, float] | None = None
     ) -> None:
@@ -302,12 +338,23 @@ class FlowNetwork:
         active = self._active
         if not active:
             return
+        bottlenecks: Mapping[Hashable, Hashable] | None = None
         if updated is None:
             specs = [
                 FlowSpec(flow.flow_id, flow.channels, flow.cap)
                 for flow in active.values()
             ]
-            updated = max_min_fair_rates_reference(specs, self.capacities())
+            if self._spans:
+                bottlenecks = {}
+                updated = max_min_fair_rates_reference(
+                    specs, self.capacities(), bottlenecks
+                )
+            else:
+                updated = max_min_fair_rates_reference(specs, self.capacities())
+        elif self._spans:
+            # The incremental solver tracked freeze reasons during the
+            # re-level that produced ``updated``; read them in place.
+            bottlenecks = self._solver._bottlenecks
         for flow_id, rate in updated.items():
             flow = active.get(flow_id)
             if flow is None:
@@ -317,6 +364,8 @@ class FlowNetwork:
                     f"flow {flow_id} starved (rate 0); check channel capacities"
                 )
             flow.rate = rate
+            if bottlenecks is not None:
+                flow.blame_key = self._blame_key(bottlenecks.get(flow_id), flow)
         next_completion = math.inf
         for flow in active.values():
             eta = flow.remaining / flow.rate
@@ -324,6 +373,23 @@ class FlowNetwork:
                 next_completion = eta
         next_completion = max(next_completion, 0.0)
         self._alarm = self.engine.schedule(next_completion, self._on_completion_alarm)
+
+    def _blame_key(self, bottleneck: Hashable | None, flow: Flow) -> str:
+        """Flattened blame-bucket name for a solver freeze reason.
+
+        Channel ids flatten exactly like metric names (so blame keys
+        line up with ``ChannelUsage`` entries); a ``None`` bottleneck
+        means the flow froze at its own cap.
+        """
+        if bottleneck is None:
+            return f"cap:{flow.label or 'flow'}"
+        key = self._blame_names.get(bottleneck)
+        if key is None:
+            from ..obs.metrics import metric_name
+
+            key = metric_name(bottleneck)
+            self._blame_names[bottleneck] = key
+        return key
 
     def _on_completion_alarm(self) -> None:
         self._alarm = None

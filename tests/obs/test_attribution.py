@@ -1,0 +1,217 @@
+"""Critical-path extraction and blame ranking over hand-built span DAGs."""
+
+import pytest
+
+from repro.obs.attribution import (
+    UNATTRIBUTED,
+    CriticalPath,
+    PathSegment,
+    blame_ranking,
+    critical_path,
+    explain_spans,
+    span_subtree,
+)
+
+
+def _span(span_id, start, end, *, parent=None, cat="flow", name=None, blame=None):
+    return {
+        "id": span_id,
+        "parent": parent,
+        "cat": cat,
+        "name": name or f"s{span_id}",
+        "start": start,
+        "end": end,
+        "blame": blame or {},
+        "intervals": [],
+        "dropped": 0,
+        "meta": {},
+    }
+
+
+class TestCriticalPath:
+    def test_empty_input(self):
+        path = critical_path([])
+        assert path.segments == []
+        assert path.length == 0.0
+        assert path.blame() == {}
+        assert path.ranked_blame() == []
+
+    def test_single_span(self):
+        path = critical_path([_span(0, 1.0, 3.0, blame={"a": 2.0})])
+        assert path.length == pytest.approx(2.0)
+        assert len(path.segments) == 1
+        seg = path.segments[0]
+        assert (seg.start, seg.end) == (1.0, 3.0)
+        assert path.blame()["a"] == pytest.approx(2.0)
+
+    def test_segments_tile_the_run_exactly(self):
+        spans = [
+            _span(0, 0.0, 10.0, cat="point", name="root"),
+            _span(1, 1.0, 4.0, parent=0),
+            _span(2, 5.0, 9.0, parent=0),
+        ]
+        path = critical_path(spans)
+        assert path.length == pytest.approx(10.0)
+        covered = sum(seg.duration for seg in path.segments)
+        assert covered == pytest.approx(10.0)
+        # Segments are ordered and contiguous.
+        for left, right in zip(path.segments, path.segments[1:]):
+            assert left.end == pytest.approx(right.start)
+
+    def test_latest_ending_child_wins(self):
+        spans = [
+            _span(0, 0.0, 10.0, cat="point", name="root"),
+            _span(1, 0.0, 9.0, parent=0, name="long"),
+            _span(2, 0.0, 3.0, parent=0, name="short"),
+        ]
+        path = critical_path(spans)
+        names = [seg.name for seg in path.segments]
+        assert "long" in names
+        # The short child is shadowed by the long one covering its window.
+        assert "short" not in names
+
+    def test_nested_children_descend(self):
+        spans = [
+            _span(0, 0.0, 8.0, cat="point", name="root"),
+            _span(1, 1.0, 7.0, parent=0, name="mid"),
+            _span(2, 2.0, 6.0, parent=1, name="leaf"),
+        ]
+        path = critical_path(spans)
+        by_name = {seg.name: seg for seg in path.segments}
+        assert by_name["leaf"].duration == pytest.approx(4.0)
+        assert path.length == pytest.approx(8.0)
+
+    def test_blame_is_prorated_by_overlap(self):
+        # The child covers [2, 6] of its own [0, 8] extent on the path;
+        # its 8s of blame must be charged at the 50% overlap fraction.
+        spans = [
+            _span(0, 0.0, 8.0, cat="point", name="root"),
+            _span(1, 0.0, 8.0, parent=0, name="a", blame={"x": 8.0}),
+            _span(2, 2.0, 6.0, parent=1, name="b", blame={"y": 4.0}),
+        ]
+        path = critical_path(spans)
+        blame = path.blame()
+        assert blame["y"] == pytest.approx(4.0)
+        assert blame["x"] == pytest.approx(4.0)
+
+    def test_prorated_blame_capped_at_segment_duration(self):
+        # Over-reported blame (more seconds than the span lasted) must
+        # not inflate a segment past its own duration.
+        spans = [_span(0, 0.0, 2.0, blame={"x": 100.0, "y": 50.0})]
+        path = critical_path(spans)
+        assert sum(path.blame().values()) <= path.length + 1e-12
+
+    def test_gap_between_children_is_unattributed(self):
+        spans = [
+            _span(0, 0.0, 10.0, cat="point", name="root"),
+            _span(1, 0.0, 3.0, parent=0),
+            _span(2, 7.0, 10.0, parent=0),
+        ]
+        path = critical_path(spans)
+        assert path.unattributed() >= 4.0 - 1e-12
+        assert UNATTRIBUTED not in dict(path.ranked_blame())
+
+    def test_ranked_blame_sorted_descending(self):
+        spans = [
+            _span(0, 0.0, 6.0, blame={"small": 1.0, "big": 5.0}),
+        ]
+        ranked = critical_path(spans).ranked_blame()
+        keys = [key for key, _ in ranked]
+        assert keys == ["big", "small"]
+        seconds = [s for _, s in ranked]
+        assert seconds == sorted(seconds, reverse=True)
+
+    def test_unfinished_spans_do_not_crash(self):
+        spans = [
+            _span(0, 0.0, 4.0, cat="point", name="root"),
+            _span(1, 1.0, None, parent=0, name="dangling"),
+        ]
+        path = critical_path(spans)
+        assert path.length == pytest.approx(4.0)
+
+    def test_deterministic_across_input_order(self):
+        spans = [
+            _span(0, 0.0, 10.0, cat="point", name="root"),
+            _span(1, 0.0, 4.0, parent=0, blame={"a": 4.0}),
+            _span(2, 4.0, 10.0, parent=0, blame={"b": 6.0}),
+            _span(3, 5.0, 9.0, parent=2, blame={"c": 4.0}),
+        ]
+        forward = critical_path(spans)
+        backward = critical_path(list(reversed(spans)))
+        assert [s.as_dict() for s in forward.segments] == [
+            s.as_dict() for s in backward.segments
+        ]
+
+    def test_as_dict_shape(self):
+        path = critical_path([_span(0, 0.0, 1.0, blame={"a": 1.0})])
+        data = path.as_dict()
+        assert set(data) >= {"length", "t0", "t1", "segments", "blame"}
+        assert data["length"] == pytest.approx(1.0)
+
+    def test_format_mentions_length_and_top_blame(self):
+        text = critical_path(
+            [_span(0, 0.0, 1.0, blame={"link/a:fwd": 1.0})]
+        ).format()
+        assert "critical path" in text
+        assert "link/a:fwd" in text
+
+
+class TestSubtreeAndExplain:
+    def _dag(self):
+        return [
+            _span(0, 0.0, 10.0, cat="point", name="root"),
+            _span(1, 0.0, 5.0, parent=0, name="left", blame={"a": 5.0}),
+            _span(2, 5.0, 10.0, parent=0, name="right", blame={"b": 5.0}),
+            _span(3, 6.0, 9.0, parent=2, name="leaf", blame={"c": 3.0}),
+        ]
+
+    def test_span_subtree(self):
+        subtree = span_subtree(self._dag(), 2)
+        names = {span["name"] for span in subtree}
+        assert names == {"right", "leaf"}
+
+    def test_span_subtree_unknown_id_raises(self):
+        with pytest.raises(KeyError, match="no span with id 99"):
+            span_subtree(self._dag(), 99)
+
+    def test_explain_full_run(self):
+        text = explain_spans(self._dag())
+        assert "critical path" in text
+        assert "a" in text and "b" in text
+
+    def test_explain_subtree_excludes_siblings(self):
+        text = explain_spans(self._dag(), span_id=2)
+        assert "b" in text or "c" in text
+        assert "a " not in text
+
+    def test_explain_empty(self):
+        assert "no spans recorded" in explain_spans([])
+
+    def test_blame_ranking_helper(self):
+        ranked = blame_ranking(self._dag())
+        assert ranked
+        keys = [key for key, _ in ranked]
+        assert UNATTRIBUTED not in keys
+
+
+class TestPathSegment:
+    def test_duration_and_as_dict(self):
+        seg = PathSegment(
+            span_id=1,
+            category="flow",
+            name="copy",
+            start=1.0,
+            end=3.5,
+            blame={"a": 2.0},
+        )
+        assert seg.duration == pytest.approx(2.5)
+        data = seg.as_dict()
+        assert data["name"] == "copy"
+        assert data["blame"] == {"a": 2.0}
+
+    def test_critical_path_container(self):
+        seg = PathSegment(
+            span_id=0, category="flow", name="x", start=0.0, end=1.0, blame={}
+        )
+        path = CriticalPath(segments=[seg], t0=0.0, t1=1.0)
+        assert path.length == pytest.approx(1.0)

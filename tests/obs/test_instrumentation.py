@@ -89,6 +89,66 @@ class TestAmbientCapture:
             assert active() is not None
         assert active() is None
 
+    def test_nested_captures_stack_innermost_wins(self):
+        from repro.obs import active
+
+        with capture() as outer:
+            assert active() is outer
+            with capture() as inner:
+                assert active() is inner
+                assert inner is not outer
+            assert active() is outer
+        assert active() is None
+
+    def test_context_restored_when_body_raises(self):
+        from repro.obs import active
+
+        with pytest.raises(RuntimeError, match="boom"):
+            with capture():
+                raise RuntimeError("boom")
+        assert active() is None
+
+    def test_outer_context_restored_when_inner_body_raises(self):
+        from repro.obs import active
+
+        with capture() as outer:
+            with pytest.raises(ValueError):
+                with capture():
+                    raise ValueError("inner")
+            assert active() is outer
+        assert active() is None
+
+    def test_pool_worker_trampolines_leak_no_registry(self):
+        # execute_point_observed / execute_point_spanned run inside
+        # pool workers; each must install and fully tear down its own
+        # ambient context so the next point starts clean.
+        from repro.obs import active
+        from repro.runner import SimPoint
+        from repro.runner.points import (
+            execute_point_observed,
+            execute_point_spanned,
+        )
+        from repro.units import MiB
+
+        point = SimPoint.make(
+            "fig03",
+            "h2d/pinned/1MiB",
+            "repro.bench_suites.comm_scope:measure_h2d",
+            interface="pinned_memcpy",
+            size=1 * MiB,
+        )
+        assert active() is None
+        value, snapshot = execute_point_observed(point)
+        assert active() is None
+        value2, snapshot2, spans = execute_point_spanned(point)
+        assert active() is None
+        assert value == value2
+        assert snapshot["channels"]
+        # Two consecutive points must not share a registry: byte
+        # totals per channel are identical, not cumulative.
+        for name, usage in snapshot["channels"].items():
+            assert snapshot2["channels"][name]["bytes"] == usage["bytes"]
+
 
 class TestFig04Contention:
     def test_shared_numaport_link_reaches_capacity(self):

@@ -106,7 +106,130 @@ class TestValidateAndWrite:
             "non-numeric" in p for p in validate_chrome_trace(bad_counter)
         )
 
+    def test_validator_rejects_negative_duration_slice(self):
+        payload = {
+            "traceEvents": [
+                {
+                    "ph": "X",
+                    "name": "x",
+                    "pid": 1,
+                    "tid": 1,
+                    "ts": 0.0,
+                    "dur": -2.5,
+                }
+            ]
+        }
+        problems = validate_chrome_trace(payload)
+        assert any("dur" in p for p in problems)
+
+    def test_validator_rejects_backwards_counter_timestamps(self):
+        def counter(ts):
+            return {
+                "ph": "C",
+                "name": "rate",
+                "pid": 2,
+                "ts": ts,
+                "args": {"v": 1.0},
+            }
+
+        payload = {"traceEvents": [counter(0.0), counter(5.0), counter(3.0)]}
+        problems = validate_chrome_trace(payload)
+        assert len(problems) == 1
+        assert "goes backwards" in problems[0]
+
+    def test_counter_series_are_independent_per_pid_and_name(self):
+        # Interleaved series may each restart the clock; only a
+        # regression *within* one (pid, name) series is an error.
+        payload = {
+            "traceEvents": [
+                {"ph": "C", "name": "a", "pid": 1, "ts": 5.0, "args": {"v": 1}},
+                {"ph": "C", "name": "b", "pid": 1, "ts": 0.0, "args": {"v": 1}},
+                {"ph": "C", "name": "a", "pid": 2, "ts": 0.0, "args": {"v": 1}},
+                {"ph": "C", "name": "a", "pid": 1, "ts": 6.0, "args": {"v": 1}},
+            ]
+        }
+        assert validate_chrome_trace(payload) == []
+
+    def test_validator_accepts_flow_event_pair(self):
+        payload = {
+            "traceEvents": [
+                {
+                    "ph": "s",
+                    "name": "causal",
+                    "cat": "flow",
+                    "id": 7,
+                    "pid": 3,
+                    "tid": 0,
+                    "ts": 1.0,
+                },
+                {
+                    "ph": "f",
+                    "name": "causal",
+                    "cat": "flow",
+                    "id": 7,
+                    "pid": 3,
+                    "tid": 1,
+                    "ts": 1.0,
+                    "bp": "e",
+                },
+            ]
+        }
+        assert validate_chrome_trace(payload) == []
+
+    def test_validator_rejects_flow_event_without_id_or_tid(self):
+        payload = {
+            "traceEvents": [
+                {"ph": "s", "name": "causal", "pid": 3, "ts": 1.0}
+            ]
+        }
+        problems = validate_chrome_trace(payload)
+        assert any("tid" in p for p in problems)
+        assert any("without id" in p for p in problems)
+
     def test_write_refuses_invalid_payload(self, tmp_path):
         with pytest.raises(ValueError, match="invalid trace"):
             write_chrome_trace(tmp_path / "bad.json", {"traceEvents": None})
         assert not (tmp_path / "bad.json").exists()
+
+
+class TestSpanExport:
+    def _spans(self):
+        from repro.obs import SpanRecorder
+
+        recorder = SpanRecorder()
+        root = recorder.begin("mpi", "send", start=0.0)
+        child = recorder.begin("flow", "copy", start=1e-4, parent=root)
+        child.account(1e-4, 2e-4, 1e9, "link/a:fwd")
+        recorder.finish(child, 4e-4)
+        recorder.finish(root, 5e-4)
+        return recorder.as_dicts()
+
+    def test_spans_become_slices_and_flow_arrows(self):
+        payload = build_chrome_trace([], spans=self._spans())
+        assert validate_chrome_trace(payload) == []
+        events = payload["traceEvents"]
+        slices = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in slices} == {"send", "copy"}
+        starts = [e for e in events if e["ph"] == "s"]
+        finishes = [e for e in events if e["ph"] == "f"]
+        assert len(starts) == len(finishes) == 1
+        assert starts[0]["id"] == finishes[0]["id"]
+        assert finishes[0]["bp"] == "e"
+
+    def test_span_slices_carry_blame_args(self):
+        payload = build_chrome_trace([], spans=self._spans())
+        copy = next(
+            e
+            for e in payload["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "copy"
+        )
+        assert copy["args"]["blame_us"]["link/a:fwd"] == pytest.approx(200.0)
+
+    def test_span_tracks_grouped_by_category(self):
+        payload = build_chrome_trace([], spans=self._spans())
+        names = {
+            e["args"]["name"]
+            for e in payload["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert {"spans/mpi", "spans/flow"} <= names

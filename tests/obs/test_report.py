@@ -1,0 +1,121 @@
+"""Run reports and the jobs=1 vs jobs=N span-determinism guarantee."""
+
+import json
+
+import pytest
+
+from repro.obs.attribution import critical_path
+from repro.obs.report import (
+    collect_report,
+    explain_artifact,
+    render_html,
+    write_report,
+)
+from repro.runner import SweepRunner
+
+
+def _strip_wall_clock(spans):
+    """Span dicts minus nothing — spans carry only simulated time."""
+    return spans
+
+
+class TestJobsDeterminism:
+    def test_span_sets_identical_serial_vs_parallel(self):
+        serial = SweepRunner(1, use_cache=False, capture_spans=True)
+        serial.run_experiment("fig10")
+        parallel = SweepRunner(4, use_cache=False, capture_spans=True)
+        parallel.run_experiment("fig10")
+
+        assert serial.stats.spans is not None
+        assert parallel.stats.spans is not None
+        assert _strip_wall_clock(serial.stats.spans) == _strip_wall_clock(
+            parallel.stats.spans
+        )
+
+    def test_critical_path_identical_serial_vs_parallel(self):
+        serial = SweepRunner(1, use_cache=False, capture_spans=True)
+        serial.run_experiment("fig05")
+        parallel = SweepRunner(4, use_cache=False, capture_spans=True)
+        parallel.run_experiment("fig05")
+
+        path_1 = critical_path(serial.stats.spans)
+        path_n = critical_path(parallel.stats.spans)
+        assert path_1.length == path_n.length
+        assert [s.as_dict() for s in path_1.segments] == [
+            s.as_dict() for s in path_n.segments
+        ]
+
+
+class TestFig11Acceptance:
+    def test_explain_names_the_single_link_hop(self):
+        # Non-adjacent GCDs (1 -> 3 crosses packages) ride one IF link;
+        # the collectives sweep must pin its top blame entry there.
+        text = explain_artifact("fig11_collectives", jobs=1, top=5)
+        lines = [line for line in text.splitlines() if line.startswith("  ")]
+        assert lines, text
+        top = lines[0]
+        assert "rccl:1->3" in top, text
+
+
+class TestCollectReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return collect_report("fig05", validate=False)
+
+    def test_structure(self, report):
+        assert report["artifact"] == "fig05"
+        assert report["span_count"] > 0
+        assert report["spans"]
+        assert report["critical_path"]["length"] > 0
+        assert report["blame"]
+        assert report["validation"] is None
+        assert report["provenance"]["artifact"] == "fig05"
+        assert report["runner"]["points"] == 4
+        assert "critical path" in report["explain"]
+
+    def test_blame_entries_are_ranked(self, report):
+        seconds = [entry["seconds"] for entry in report["blame"]]
+        assert seconds == sorted(seconds, reverse=True)
+
+    def test_json_serializable(self, report):
+        json.dumps(report)
+
+    def test_accepts_module_alias(self):
+        report = collect_report("fig05_scaling", validate=False)
+        assert report["artifact"] == "fig05"
+
+    def test_render_html_self_contained(self, report):
+        doc = render_html(report)
+        assert doc.startswith("<!DOCTYPE html>")
+        assert "fig05" in doc
+        assert "critical-path blame" in doc
+        assert "validation skipped" in doc
+        # Self-contained: no external asset references.
+        assert "http://" not in doc and "https://" not in doc
+        assert "<script" not in doc
+
+    def test_write_report(self, report, tmp_path):
+        html_path = tmp_path / "r.html"
+        json_path = tmp_path / "r.json"
+        written = write_report(
+            report, html_path=html_path, json_path=json_path
+        )
+        assert written == [html_path, json_path]
+        assert html_path.read_text().startswith("<!DOCTYPE html>")
+        loaded = json.loads(json_path.read_text())
+        assert loaded["artifact"] == "fig05"
+
+
+class TestExplainArtifact:
+    def test_header_and_breakdown(self):
+        text = explain_artifact("fig05", top=3)
+        assert text.startswith("fig05:")
+        assert "span(s) over" in text
+        assert "critical path" in text
+
+    def test_subtree_restriction(self):
+        runner = SweepRunner(1, use_cache=False, capture_spans=True)
+        runner.run_experiment("fig05")
+        root_id = runner.stats.spans[0]["id"]
+        text = explain_artifact("fig05", span_id=root_id)
+        assert f"span {root_id}" in text

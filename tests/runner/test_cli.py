@@ -66,6 +66,110 @@ class TestValidateAndMethodology:
         assert "checks passed" in out
         assert "sweep-runner:" in out
 
+    def test_validate_json_to_stdout(self, cache_dir, capsys):
+        import json
+
+        assert main(["validate", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["passed"] is True
+        assert document["failed"] == 0
+        assert document["total"] == len(document["checks"])
+        check = document["checks"][0]
+        assert set(check) == {
+            "check_id",
+            "passed",
+            "observed",
+            "expected",
+            "unit",
+            "detail",
+        }
+
+    def test_validate_json_to_file(self, cache_dir, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "validation.json"
+        assert main(["validate", "--json", str(out_path)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        document = json.loads(out_path.read_text())
+        assert document["passed"] is True
+        assert "scenario" in document
+
+    def test_validate_json_exit_nonzero_on_fail(self, cache_dir, capsys, monkeypatch):
+        # Force a failing battery: every tolerance check reports out
+        # of bounds, so the CLI must exit non-zero and say so in JSON.
+        import json
+
+        from repro.core import validation
+
+        monkeypatch.setattr(
+            validation, "_within", lambda *args, **kwargs: False
+        )
+        code = main(["validate", "--json"])
+        document = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert document["passed"] is False
+        assert document["failed"] == document["total"]
+
+
+class TestReportCommand:
+    def test_unknown_artifact_exits_2(self, capsys):
+        assert main(["report", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown artifact" in err
+        assert "valid ids:" in err
+
+    def test_writes_html_and_json(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            [
+                "report",
+                "fig05",
+                "-o",
+                "out.html",
+                "--json",
+                "out.json",
+                "--no-validate",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote out.html" in out
+        assert "wrote out.json" in out
+        assert "critical path" in out
+        html_doc = (tmp_path / "out.html").read_text()
+        assert html_doc.startswith("<!DOCTYPE html>")
+        import json
+
+        document = json.loads((tmp_path / "out.json").read_text())
+        assert document["artifact"] == "fig05"
+        assert document["validation"] is None
+
+    def test_default_output_name(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["report", "fig05", "--no-validate"]) == 0
+        assert "wrote report_fig05.html" in capsys.readouterr().out
+        assert (tmp_path / "report_fig05.html").is_file()
+
+
+class TestExplainCommand:
+    def test_unknown_artifact_exits_2(self, capsys):
+        assert main(["explain", "fig99"]) == 2
+        assert "unknown artifact" in capsys.readouterr().err
+
+    def test_explains_critical_path(self, capsys):
+        assert main(["explain", "fig05", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("fig05:")
+        assert "critical path" in out
+
+    def test_accepts_module_alias(self, capsys):
+        assert main(["explain", "fig05_scaling"]) == 0
+        assert capsys.readouterr().out.startswith("fig05:")
+
+    def test_unknown_span_id_exits_2(self, capsys):
+        assert main(["explain", "fig05", "--span", "999999"]) == 2
+        assert "no span with id" in capsys.readouterr().err
+
 
 class TestMetricsFlag:
     def test_run_metrics_prints_channel_table(self, cache_dir, capsys):
