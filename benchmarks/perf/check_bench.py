@@ -21,6 +21,10 @@ Fails (exit 1) when a headline number regresses below its threshold:
   ``REPRO_MAX_SPANS_OVERHEAD`` (default 0.05): a disabled span
   recorder may not slow the same workload by more than 5% either —
   every flow pays the ``if spans:`` guard.
+- ``capacity_changes_per_second`` must reach
+  ``REPRO_MIN_CAPACITY_CHURN`` (default 5000): fault injection
+  re-levels in-flight flows on every ``set_capacity`` call, so churn
+  throughput collapsing means degraded links stall the whole sweep.
 
 With ``--baseline`` (a previously committed report), throughput
 headlines may not regress by more than ``REPRO_MAX_PERF_REGRESSION``
@@ -44,7 +48,11 @@ import os
 import sys
 
 #: Headline throughput keys compared against a baseline report.
-BASELINE_KEYS = ("events_per_second", "incremental_flows_per_second")
+BASELINE_KEYS = (
+    "events_per_second",
+    "incremental_flows_per_second",
+    "capacity_changes_per_second",
+)
 
 
 def check(report: dict) -> list[str]:
@@ -112,6 +120,20 @@ def check(report: dict) -> list[str]:
         print(
             f"ok: spans_disabled_overhead {span_overhead:.1%} <= "
             f"{max_span_overhead:.1%}"
+        )
+
+    min_churn = float(os.environ.get("REPRO_MIN_CAPACITY_CHURN", "5000"))
+    churn = headline.get("capacity_changes_per_second")
+    if churn is None:
+        print("skip: capacity_changes_per_second not in report (old schema)")
+    elif churn < min_churn:
+        failures.append(
+            f"capacity_changes_per_second {churn:,.0f} < {min_churn:,.0f}"
+        )
+    else:
+        print(
+            f"ok: capacity_changes_per_second {churn:,.0f} >= "
+            f"{min_churn:,.0f}"
         )
 
     return failures

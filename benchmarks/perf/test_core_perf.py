@@ -16,7 +16,7 @@ from repro.perf.core import format_report, run_suite, write_report
 def test_smoke_suite_shape_and_sanity(tmp_path):
     report = run_suite(smoke=True)
 
-    assert report["schema"] == "repro-bench-core/4"
+    assert report["schema"] == "repro-bench-core/5"
     assert report["smoke"] is True
     results = report["results"]
     assert results["engine_events"]["events_per_second"] > 0
@@ -50,14 +50,23 @@ def test_smoke_suite_shape_and_sanity(tmp_path):
     assert results["figure_sweep"]["measurements"] > 0
     assert report["headline"]["churn_speedup_vs_batch_resolve"] == churn["speedup"]
 
+    capacity = results["set_capacity"]
+    assert capacity["changes"] > 0
+    assert capacity["capacity_changes_per_second"] > 0
+    assert (
+        report["headline"]["capacity_changes_per_second"]
+        == capacity["capacity_changes_per_second"]
+    )
+
     path = tmp_path / "BENCH_core.json"
     write_report(str(path), report)
-    assert json.loads(path.read_text())["schema"] == "repro-bench-core/4"
+    assert json.loads(path.read_text())["schema"] == "repro-bench-core/5"
 
     text = format_report(report)
     assert "flow churn" in text and "events/s" in text
     assert "sweep parallel" in text and "cache hit" in text
     assert "span overhead" in text
+    assert "capacity churn" in text
 
 
 def test_smoke_suite_sweep_benchmarks():

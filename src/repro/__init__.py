@@ -32,6 +32,14 @@ fronts the whole stack.
 from . import config, errors, units
 from .config import SimEnvironment
 from .core.calibration import CalibrationProfile, DEFAULT_CALIBRATION
+from .faults import (
+    FaultScenario,
+    LinkDegrade,
+    LinkFail,
+    PageMigrationStorm,
+    RetryPolicy,
+    SdmaStall,
+)
 from .hardware.node import HardwareNode, frontier_hardware
 from .hip.runtime import HipRuntime
 from .runner import ResultCache, SimPoint, SweepRunner
@@ -45,7 +53,7 @@ from .sim.fairshare import (
 from .sim.trace import TraceRecord, Tracer
 from .topology.presets import dense_hive_node, frontier_node, single_gpu_node
 
-__version__ = "0.5.0"
+__version__ = "0.6.0"
 
 __all__ = [
     # The blessed surface.
@@ -59,6 +67,12 @@ __all__ = [
     "FairshareSolver",
     "FlowSpec",
     "max_min_fair_rates",
+    "FaultScenario",
+    "LinkDegrade",
+    "LinkFail",
+    "SdmaStall",
+    "PageMigrationStorm",
+    "RetryPolicy",
     "TOPOLOGY_PRESETS",
     "resolve_topology",
     "frontier_node",

@@ -30,6 +30,14 @@ Commands
 ``explain <artifact> [--span ID]``
     Run one artifact with spans on and print the ranked critical-path
     blame breakdown ("why did this take 840 µs").
+``inject <artifact> --scenario chaos.json [--seedless] [--explain]``
+    Chaos run: replay a fault scenario (timed link failures/
+    degradations, SDMA stalls, page-migration storms) against an
+    artifact and print its paper-style report under faults.  Faulted
+    results are cached under the scenario's fingerprint; ``--seedless``
+    bypasses the cache entirely.  ``--explain`` reruns with spans on
+    and prints the blame table, where injected faults appear as
+    ``fault:*`` buckets.
 
 Artifact commands accept either registry ids (``fig11``) or driver
 module names (``fig11_collectives``).
@@ -274,6 +282,49 @@ def _build_parser() -> argparse.ArgumentParser:
         help="blame entries to show (default: 10)",
     )
     explain.add_argument(
+        "--jobs",
+        type=_jobs_arg,
+        default=None,
+        metavar="N",
+        help="worker processes for the sweep (0 or 'auto' = all cores)",
+    )
+
+    inject = sub.add_parser(
+        "inject",
+        help="run one artifact under a fault scenario (chaos run)",
+    )
+    inject.add_argument(
+        "artifact",
+        metavar="ARTIFACT",
+        help="artifact id or module name (fig06, fig11_collectives, …)",
+    )
+    inject.add_argument(
+        "--scenario",
+        required=True,
+        metavar="FILE",
+        help="fault scenario JSON file (see repro.faults.FaultScenario)",
+    )
+    inject.add_argument(
+        "--seedless",
+        action="store_true",
+        help=(
+            "bypass the result cache: recompute every point instead of "
+            "reusing results keyed by the scenario fingerprint"
+        ),
+    )
+    inject.add_argument(
+        "--explain",
+        action="store_true",
+        help="also print the critical-path blame table under the scenario",
+    )
+    inject.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="blame entries to show with --explain (default: 10)",
+    )
+    inject.add_argument(
         "--jobs",
         type=_jobs_arg,
         default=None,
@@ -603,6 +654,68 @@ def _cmd_explain(
     return 0
 
 
+def _cmd_inject(
+    artifact: str,
+    scenario_path: str,
+    seedless: bool,
+    explain: bool,
+    top: int,
+    jobs: int | str | None,
+) -> int:
+    from . import figures, obs
+    from .errors import (
+        BenchmarkError,
+        ConfigurationError,
+        MpiError,
+        RcclError,
+        SimulationError,
+    )
+    from .faults import FaultScenario
+    from .runner import SweepRunner
+
+    experiment_id = _check_artifact(artifact)
+    if experiment_id is None:
+        return 2
+    try:
+        scenario = FaultScenario.load(scenario_path)
+    except (OSError, ConfigurationError, ValueError) as exc:
+        print(f"error: cannot load scenario: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"injecting scenario {scenario.name!r} "
+        f"({len(scenario)} event(s), fingerprint "
+        f"{scenario.fingerprint()[:12]}) into {experiment_id}"
+    )
+    for line in scenario.describe().splitlines():
+        print(f"  {line}")
+    print()
+    runner = SweepRunner(jobs, use_cache=not seedless, faults=scenario)
+    try:
+        result = runner.run_experiment(experiment_id)
+    except BenchmarkError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (SimulationError, MpiError, RcclError) as exc:
+        print(
+            f"error: scenario {scenario.name!r} killed the run: {exc}",
+            file=sys.stderr,
+        )
+        print(
+            "hint: transfers without a RetryPolicy die when a link fails"
+            " mid-flight; use link_degrade for recoverable pressure, or"
+            " drive MPI/RCCL with retry= via the Session API",
+            file=sys.stderr,
+        )
+        return 1
+    print(figures.report(experiment_id, result))
+    if explain:
+        print()
+        print(
+            obs.explain_artifact(experiment_id, jobs=jobs, top=top, faults=scenario)
+        )
+    return 0
+
+
 def _cmd_cache(action: str, cache_dir: str | None = None) -> int:
     from .runner import ResultCache
 
@@ -665,6 +778,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
     if args.command == "explain":
         return _cmd_explain(args.artifact, args.span, args.top, args.jobs)
+    if args.command == "inject":
+        return _cmd_inject(
+            args.artifact,
+            args.scenario,
+            args.seedless,
+            args.explain,
+            args.top,
+            args.jobs,
+        )
     if args.command == "perf":
         return _cmd_perf(args.smoke, args.output, args.repeats)
     if args.command == "cache":

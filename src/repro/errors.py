@@ -36,6 +36,17 @@ class SchedulingError(SimulationError):
     """An event was scheduled in the past or on a stopped engine."""
 
 
+class LinkDownError(SimulationError):
+    """A transfer crossed (or tried to cross) a failed, zero-capacity link.
+
+    Raised into flows that are in flight when a :class:`~repro.faults`
+    ``LinkFail`` event zeroes their channel's capacity, and by new
+    transfers that request a dead channel.  The MPI/RCCL retry and
+    reroute machinery catches this to fail over; unhandled, it
+    propagates like any other simulation failure.
+    """
+
+
 class MemoryError_(ReproError):
     """Base class for memory-system errors.
 

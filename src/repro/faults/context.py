@@ -1,0 +1,45 @@
+"""Ambient fault-scenario context.
+
+Mirrors :mod:`repro.obs.capture`: a module-level slot holds the
+scenario to inject, and :class:`~repro.hardware.node.HardwareNode`
+adopts it when no explicit ``faults=`` argument was given.  This is
+what lets ``repro inject`` and fault-sensitivity sweeps reach the
+sessions that measurement functions build *internally* (fig06's P2P
+matrix, fig11's per-collective sessions) without threading a parameter
+through every signature.
+
+The context is per-process.  Sweep workers re-install it via
+:func:`repro.runner.points.execute_point_with_faults`, so parallel
+faulted sweeps behave identically to serial ones.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from .scenario import FaultScenario
+
+_ACTIVE: "FaultScenario | None" = None
+
+
+def active() -> "FaultScenario | None":
+    """The ambient scenario new nodes should inject, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def install(scenario: "FaultScenario | None") -> Iterator["FaultScenario | None"]:
+    """Make ``scenario`` ambient for the duration of the block.
+
+    Nests: the previous scenario (usually ``None``) is restored on
+    exit.  Installing ``None`` explicitly shields inner code from an
+    outer scenario.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = scenario
+    try:
+        yield scenario
+    finally:
+        _ACTIVE = previous

@@ -1,0 +1,59 @@
+"""Retry/backoff policy shared by the MPI and RCCL robustness layers.
+
+A :class:`RetryPolicy` is plain data: how many attempts a communication
+step gets and how the backoff between them grows.  The communication
+layers own the retry *loops* (they know what "one attempt" means and
+what recovery — reroute, ring rebuild — to try between attempts); the
+policy only answers "again?" and "after how long?".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff retry budget for one communication step.
+
+    ``max_attempts`` counts the first try: 1 means fail fast (no
+    retries).  After failed attempt *k* (1-based, ``k < max_attempts``)
+    the caller backs off ``delay(k) = base_delay × multiplier^(k-1)``
+    simulated seconds before attempt *k + 1*.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 10e-6
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.max_attempts, int) or self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be an int >= 1, got {self.max_attempts!r}"
+            )
+        if not math.isfinite(self.base_delay) or self.base_delay < 0:
+            raise ConfigurationError(
+                f"base_delay must be finite and >= 0, got {self.base_delay!r}"
+            )
+        if not math.isfinite(self.multiplier) or self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"multiplier must be finite and >= 1, got {self.multiplier!r}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Backoff (seconds) after failed attempt ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ConfigurationError(f"attempt numbers are 1-based, got {attempt}")
+        return self.base_delay * self.multiplier ** (attempt - 1)
+
+    def allows_retry(self, attempt: int) -> bool:
+        """Whether another attempt is allowed after failed ``attempt``."""
+        return attempt < self.max_attempts
+
+
+#: Fail-fast default: one attempt, no backoff — the pre-fault-injection
+#: behaviour, and the default everywhere a policy is optional.
+NO_RETRY = RetryPolicy(max_attempts=1, base_delay=0.0, multiplier=1.0)

@@ -1,0 +1,326 @@
+"""Declarative fault scenarios.
+
+A :class:`FaultScenario` is a picklable, content-addressable list of
+timed fault events — link degradations and failures, SDMA engine
+stalls, page-migration storms — that a
+:class:`~repro.faults.injector.FaultInjector` replays against a live
+:class:`~repro.hardware.node.HardwareNode` off the simulation clock.
+
+The motivation follows the paper's central observation: achievable
+bandwidth is determined by *which* links a transfer crosses, so a
+degraded or failed Infinity Fabric link reshapes every bandwidth tier.
+Real MI250X nodes already show link-level asymmetry (Pearson,
+arXiv:2302.14827); a scenario makes that a first-class simulator input.
+
+Scenarios are plain data.  ``Session(faults=scenario)``,
+``repro inject --scenario chaos.json`` and
+``SweepRunner(faults=scenario)`` all accept the same object, and
+:meth:`FaultScenario.fingerprint` folds it into the result-cache key so
+faulty and healthy runs never collide.
+
+JSON schema (``FaultScenario.load``/``dump``)::
+
+    {
+      "name": "degrade-xgmi",
+      "events": [
+        {"kind": "link_degrade", "link": "1-3", "factor": 0.5, "at": 0.0},
+        {"kind": "link_fail", "link": "gcd1-gcd3:single",
+         "at": 0.002, "until": 0.004},
+        {"kind": "sdma_stall", "engine": "gcd0:out",
+         "at": 0.0, "duration": 0.001},
+        {"kind": "page_migration_storm", "numa": 0,
+         "at": 0.0, "rate": 2.0e10, "duration": 0.001}
+      ]
+    }
+
+Link specs accept a bare GCD pair (``"1-3"``), endpoint names
+(``"gcd1-gcd3"``, ``"gcd0-numa0"``), or an exact
+:attr:`~repro.topology.link.Link.name` (``"gcd1-gcd3:single"``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Union
+
+from ..errors import ConfigurationError
+
+#: Bumped when the canonical scenario encoding itself changes.
+SCENARIO_SCHEMA = "repro-faults/1"
+
+
+def _check_time(value: float, what: str) -> None:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ConfigurationError(f"{what} must be a number, not {value!r}")
+    if not math.isfinite(value) or value < 0:
+        raise ConfigurationError(f"{what} must be finite and >= 0, got {value!r}")
+
+
+@dataclass(frozen=True)
+class LinkDegrade:
+    """Scale a link's per-direction capacity to ``factor`` × healthy.
+
+    ``factor`` is relative to the link's *healthy* capacity, not its
+    current one, so repeated degrades do not compound and
+    ``factor=1.0`` restores full health.  In-flight flows crossing the
+    link are re-leveled at the event time.
+    """
+
+    link: str
+    factor: float
+    at: float
+
+    kind = "link_degrade"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.link, str) or not self.link:
+            raise ConfigurationError(f"link spec must be a string, got {self.link!r}")
+        if not (0.0 < self.factor <= 1.0):
+            raise ConfigurationError(
+                f"degrade factor must be in (0, 1], got {self.factor!r}"
+            )
+        _check_time(self.at, "event time 'at'")
+
+
+@dataclass(frozen=True)
+class LinkFail:
+    """Fail a link at ``at`` (capacity 0 both directions).
+
+    Every in-flight flow crossing the link fails with
+    :class:`~repro.errors.LinkDownError`; new transfers requesting it
+    raise the same error up front, which the MPI/RCCL retry and
+    reroute machinery turns into backoff + failover.  With ``until``
+    set, the link heals (full capacity) at that time.
+    """
+
+    link: str
+    at: float
+    until: "float | None" = None
+
+    kind = "link_fail"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.link, str) or not self.link:
+            raise ConfigurationError(f"link spec must be a string, got {self.link!r}")
+        _check_time(self.at, "event time 'at'")
+        if self.until is not None:
+            _check_time(self.until, "heal time 'until'")
+            if self.until <= self.at:
+                raise ConfigurationError(
+                    f"heal time {self.until!r} must be after failure at {self.at!r}"
+                )
+
+
+@dataclass(frozen=True)
+class SdmaStall:
+    """Stall an SDMA engine for ``duration`` seconds from ``at``.
+
+    ``engine`` names one direction of one GCD's engine pair —
+    ``"gcd0:out"`` / ``"gcd0:in"`` — or ``"gcd0"`` for both.  While
+    stalled, *new* copies plan onto the opposite-direction engine at
+    :data:`~repro.hardware.sdma.SDMA_FALLBACK_EFFICIENCY`; copies
+    already in flight on the stalled engine drain undisturbed (the
+    stall gates queue submission, not the fabric).
+    """
+
+    engine: str
+    at: float
+    duration: float
+
+    kind = "sdma_stall"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.engine, str) or not self.engine:
+            raise ConfigurationError(
+                f"engine spec must be a string, got {self.engine!r}"
+            )
+        _check_time(self.at, "event time 'at'")
+        _check_time(self.duration, "stall duration")
+        if self.duration <= 0:
+            raise ConfigurationError(
+                f"stall duration must be positive, got {self.duration!r}"
+            )
+
+
+@dataclass(frozen=True)
+class PageMigrationStorm:
+    """Steal ``rate`` bytes/s of a NUMA domain's DRAM bandwidth.
+
+    Models a burst of kernel page-migration traffic contending on the
+    ``("dram", numa)`` channel: its capacity drops by ``rate`` for
+    ``duration`` seconds (``inf`` = until the end of the run).  The
+    stolen rate must stay below the domain's DRAM bandwidth.
+    """
+
+    numa: int
+    at: float
+    rate: float
+    duration: float = math.inf
+
+    kind = "page_migration_storm"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.numa, int) or isinstance(self.numa, bool) or self.numa < 0:
+            raise ConfigurationError(
+                f"numa index must be a non-negative int, got {self.numa!r}"
+            )
+        _check_time(self.at, "event time 'at'")
+        if not isinstance(self.rate, (int, float)) or self.rate <= 0 or not math.isfinite(self.rate):
+            raise ConfigurationError(
+                f"storm rate must be finite and positive, got {self.rate!r}"
+            )
+        if self.duration <= 0:
+            raise ConfigurationError(
+                f"storm duration must be positive, got {self.duration!r}"
+            )
+
+
+FaultEvent = Union[LinkDegrade, LinkFail, SdmaStall, PageMigrationStorm]
+
+_EVENT_KINDS: dict[str, type] = {
+    cls.kind: cls
+    for cls in (LinkDegrade, LinkFail, SdmaStall, PageMigrationStorm)
+}
+
+
+def _event_to_json(event: FaultEvent) -> dict[str, Any]:
+    payload: dict[str, Any] = {"kind": event.kind}
+    for spec in fields(event):
+        value = getattr(event, spec.name)
+        if value is None:
+            continue
+        # Value check, not identity: an unpickled inf is a different
+        # float object, and the fingerprint must survive pickling.
+        if isinstance(value, float) and math.isinf(value):
+            value = "inf"
+        payload[spec.name] = value
+    return payload
+
+
+def _event_from_json(payload: Mapping[str, Any]) -> FaultEvent:
+    if not isinstance(payload, Mapping):
+        raise ConfigurationError(f"fault event must be an object, got {payload!r}")
+    kind = payload.get("kind")
+    cls = _EVENT_KINDS.get(kind)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown fault event kind {kind!r}; "
+            f"known kinds: {sorted(_EVENT_KINDS)}"
+        )
+    kwargs = {k: v for k, v in payload.items() if k != "kind"}
+    names = {spec.name for spec in fields(cls)}
+    unknown = set(kwargs) - names
+    if unknown:
+        raise ConfigurationError(
+            f"{kind} event has unknown fields {sorted(unknown)}"
+        )
+    for key, value in kwargs.items():
+        if value == "inf":
+            kwargs[key] = math.inf
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ConfigurationError(f"bad {kind} event: {exc}") from None
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """An ordered set of timed fault events plus a display name.
+
+    Events fire in ``at`` order; ties fire in listing order (the
+    injector schedules them in listing order and the engine breaks
+    same-time ties FIFO).  The scenario itself is immutable, picklable
+    (it crosses process-pool boundaries in fault-sensitivity sweeps)
+    and content-addressable via :meth:`fingerprint`.
+    """
+
+    events: "tuple[FaultEvent, ...]" = ()
+    name: str = "scenario"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if type(event) not in _EVENT_KINDS.values():
+                raise ConfigurationError(
+                    f"not a fault event: {event!r} "
+                    f"(expected one of {sorted(_EVENT_KINDS)})"
+                )
+        if not isinstance(self.name, str) or not self.name:
+            raise ConfigurationError(f"scenario name must be a non-empty string")
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def fingerprint(self) -> str:
+        """Content hash (SHA-256 hex) of the scenario's *behaviour*.
+
+        Covers the schema version and every event field; excludes
+        ``name``, which is display metadata — two scenarios with
+        identical events produce identical simulations and may share
+        cache entries.  This is the hook
+        :func:`repro.runner.canonical_token` dispatches on, which is
+        how a scenario folds into the result-cache key.
+        """
+        payload = json.dumps(
+            [SCENARIO_SCHEMA, [_event_to_json(e) for e in self.events]],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_json(self) -> dict[str, Any]:
+        """Plain-dict rendering matching the documented JSON schema."""
+        return {
+            "name": self.name,
+            "events": [_event_to_json(e) for e in self.events],
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "FaultScenario":
+        """Parse the documented JSON schema; raises ConfigurationError."""
+        if not isinstance(payload, Mapping):
+            raise ConfigurationError(
+                f"scenario must be a JSON object, got {type(payload).__name__}"
+            )
+        events_raw = payload.get("events", [])
+        if not isinstance(events_raw, (list, tuple)):
+            raise ConfigurationError("scenario 'events' must be a list")
+        return cls(
+            events=tuple(_event_from_json(item) for item in events_raw),
+            name=payload.get("name", "scenario"),
+        )
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "FaultScenario":
+        """Read a scenario from a JSON file."""
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read scenario {path}: {exc}") from None
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"scenario {path} is not valid JSON: {exc}") from None
+        scenario = cls.from_json(payload)
+        if "name" not in payload:
+            scenario = cls(events=scenario.events, name=path.stem)
+        return scenario
+
+    def dump(self, path: "str | Path") -> None:
+        """Write the scenario to a JSON file (pretty-printed)."""
+        Path(path).write_text(json.dumps(self.to_json(), indent=2) + "\n")
+
+    def describe(self) -> str:
+        """One line per event, in firing order."""
+        lines = [f"scenario {self.name!r} ({len(self.events)} events)"]
+        for event in sorted(self.events, key=lambda e: e.at):
+            lines.append(f"  t={event.at:g}s {_event_to_json(event)}")
+        return "\n".join(lines)

@@ -48,6 +48,7 @@ class HardwareNode:
         metrics: "MetricsRegistry | bool | None" = None,
         metrics_capacity: int | None = None,
         spans: "SpanRecorder | bool | None" = None,
+        faults: "object | None" = None,
     ) -> None:
         self.topology = topology if topology is not None else frontier_node()
         self.calibration = (
@@ -88,8 +89,26 @@ class HardwareNode:
             for info in self.topology.gcds()
         }
         self._route_cache: dict[
-            tuple[LinkEndpoint, LinkEndpoint, RoutingPolicy], Route
+            tuple[LinkEndpoint, LinkEndpoint, RoutingPolicy, frozenset[str]],
+            Route,
         ] = {}
+
+        # Fault injection.  Explicit argument wins; otherwise an ambient
+        # faults.install() context (entered by `repro inject` and by
+        # fault-sensitivity sweep workers) donates its scenario, so
+        # measurement code that builds its own nodes gets faulted
+        # without signature changes.
+        self._failed_links: set[str] = set()
+        self.faults = None
+        if faults is None:
+            from ..faults.context import active as active_faults
+
+            faults = active_faults()
+        if faults:
+            from ..faults.injector import FaultInjector
+
+            self.faults = FaultInjector(self, faults)
+            self.faults.arm()
 
     # -- accessors -----------------------------------------------------------
 
@@ -110,6 +129,24 @@ class HardwareNode:
         """Current simulated time (seconds)."""
         return self.engine.now
 
+    # -- link health (fault injection) ---------------------------------------
+
+    def failed_links(self) -> frozenset[str]:
+        """Names of links currently failed (capacity 0 both ways).
+
+        The RCCL layer consults this to rebuild rings around dead
+        links; empty on a healthy node.
+        """
+        return frozenset(self._failed_links)
+
+    def mark_link_failed(self, link_name: str) -> None:
+        """Record a link as failed (called by the fault injector)."""
+        self._failed_links.add(link_name)
+
+    def mark_link_restored(self, link_name: str) -> None:
+        """Record a link as healed (called by the fault injector)."""
+        self._failed_links.discard(link_name)
+
     # -- routing -----------------------------------------------------------------
 
     def route(
@@ -118,11 +155,20 @@ class HardwareNode:
         dst: LinkEndpoint,
         policy: RoutingPolicy = RoutingPolicy.BANDWIDTH_MAX,
     ) -> Route:
-        """Cached route lookup (routes are static per topology)."""
-        key = (src, dst, policy)
+        """Cached route lookup, avoiding currently-failed links.
+
+        Routes are static per topology *and link-health state*: the
+        set of failed links is part of the cache key, so routes
+        computed while a link is down detour around it and the
+        original routes come back once it heals.
+        """
+        failed = frozenset(self._failed_links)
+        key = (src, dst, policy, failed)
         cached = self._route_cache.get(key)
         if cached is None:
-            cached = route_between(self.topology, src, dst, policy)
+            cached = route_between(
+                self.topology, src, dst, policy, avoid=failed or None
+            )
             self._route_cache[key] = cached
         return cached
 

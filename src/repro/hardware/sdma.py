@@ -24,6 +24,12 @@ from ..sim.flow import FlowNetwork
 from ..topology.link import LinkTier
 from ..topology.routing import Route
 
+#: Rate efficiency of a copy redirected to the opposite-direction
+#: engine while its own engine is stalled (fault injection).  The
+#: queues are direction-tuned, so the fallback path pays a modeled
+#: penalty on top of now sharing the other direction's engine.
+SDMA_FALLBACK_EFFICIENCY = 0.7
+
 
 class SdmaEngines:
     """The SDMA engine pair of one GCD."""
@@ -41,10 +47,47 @@ class SdmaEngines:
         throughput = calibration.sdma_engine_throughput
         network.add_channel(self.ingress_channel, throughput)
         network.add_channel(self.egress_channel, throughput)
+        self._stalled = {"in": False, "out": False}
 
     def engine_channel(self, *, outbound: bool) -> Hashable:
         """Engine channel for a copy leaving (or entering) this GCD."""
         return self.egress_channel if outbound else self.ingress_channel
+
+    # -- fault injection -----------------------------------------------------
+
+    def stall(self, *, outbound: bool) -> None:
+        """Mark one engine stalled (``SdmaStall`` fault event)."""
+        self._stalled["out" if outbound else "in"] = True
+
+    def clear_stall(self, *, outbound: bool) -> None:
+        """Clear a stall; subsequent copies plan on their own engine."""
+        self._stalled["out" if outbound else "in"] = False
+
+    def is_stalled(self, *, outbound: bool) -> bool:
+        """Whether the given direction's engine is currently stalled."""
+        return self._stalled["out" if outbound else "in"]
+
+    def plan_engine(self, *, outbound: bool) -> "tuple[Hashable, float]":
+        """Stall-aware engine selection: ``(channel, efficiency)``.
+
+        Healthy engines plan on themselves at full efficiency.  A copy
+        whose engine is stalled falls back to the opposite-direction
+        engine at :data:`SDMA_FALLBACK_EFFICIENCY` (and now contends
+        with that direction's traffic); with both engines stalled the
+        copy limps along its own engine at the squared penalty.
+        """
+        direction = "out" if outbound else "in"
+        if not self._stalled[direction]:
+            return self.engine_channel(outbound=outbound), 1.0
+        if not self._stalled["out" if direction == "in" else "in"]:
+            return (
+                self.engine_channel(outbound=not outbound),
+                SDMA_FALLBACK_EFFICIENCY,
+            )
+        return (
+            self.engine_channel(outbound=outbound),
+            SDMA_FALLBACK_EFFICIENCY * SDMA_FALLBACK_EFFICIENCY,
+        )
 
     def rate_cap_for_route(self, route: Route) -> float:
         """Protocol-efficiency cap for an SDMA copy along ``route``.

@@ -98,13 +98,16 @@ class CopyApi:
             )
         numa = src.home.index
         channels = self.node.host_to_gcd_channels(numa, device)
-        channels.append(self.node.gcd(device).sdma.engine_channel(outbound=False))
+        engine, efficiency = self.node.gcd(device).sdma.plan_engine(
+            outbound=False
+        )
+        channels.append(engine)
         if src.kind is MemoryKind.PAGEABLE:
             cap = self._pageable_cap(nbytes)
             channels.append(self.node.cpu.dram_channel(numa))  # staging reads
         else:
             cap = self._calibration.sdma_cap_for_tier(LinkTier.CPU)
-        return channels, cap
+        return channels, cap * efficiency
 
     def _d2h_plan(
         self, dst: Buffer, src: Buffer, nbytes: int
@@ -116,12 +119,15 @@ class CopyApi:
             )
         numa = dst.home.index
         channels = self.node.gcd_to_host_channels(device, numa)
-        channels.append(self.node.gcd(device).sdma.engine_channel(outbound=True))
+        engine, efficiency = self.node.gcd(device).sdma.plan_engine(
+            outbound=True
+        )
+        channels.append(engine)
         if dst.kind is MemoryKind.PAGEABLE:
             cap = self._pageable_cap(nbytes)
         else:
             cap = self._calibration.sdma_cap_for_tier(LinkTier.CPU)
-        return channels, cap
+        return channels, cap * efficiency
 
     def _h2h_plan(
         self, dst: Buffer, src: Buffer, nbytes: int
@@ -144,10 +150,10 @@ class CopyApi:
         route = self.node.gcd_route(src_device, dst_device)
         channels = self.node.gcd_to_gcd_channels(src_device, dst_device)
         if self._peer_sdma_active:
-            channels.append(
-                self.node.gcd(src_device).sdma.engine_channel(outbound=True)
-            )
-            cap = self.node.gcd(src_device).sdma.rate_cap_for_route(route)
+            sdma = self.node.gcd(src_device).sdma
+            engine, efficiency = sdma.plan_engine(outbound=True)
+            channels.append(engine)
+            cap = sdma.rate_cap_for_route(route) * efficiency
         else:
             tier = self.node.bottleneck_tier(route)
             cap = self._calibration.kernel_remote_cap(tier, bidirectional=False)

@@ -23,7 +23,8 @@ from collections import deque
 from typing import Any, Callable, Generator, Optional, Sequence
 
 from ..config import SimEnvironment
-from ..errors import MpiError
+from ..errors import LinkDownError, MpiError
+from ..faults.retry import NO_RETRY, RetryPolicy
 from ..hardware.node import HardwareNode
 from ..hip.runtime import HipRuntime
 from ..memory.buffer import Buffer
@@ -46,9 +47,16 @@ class Request:
         return self.event.processed
 
     def wait(self) -> Generator:
-        """DES process: block until the operation completes."""
+        """DES process: block until the operation completes.
+
+        A failed operation (retry budget exhausted on a dead link)
+        raises its failure here — both when the wait blocks (the engine
+        throws at the yield) and when the failure already landed.
+        """
         if not self.event.processed:
             yield self.event
+        elif self.event.failure is not None:
+            raise self.event.failure
 
 
 class _SendRecord:
@@ -85,6 +93,7 @@ class MpiWorld:
         env: SimEnvironment | None = None,
         *,
         rank_gcds: Sequence[int] | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if node is None:
             warnings.warn(
@@ -101,6 +110,7 @@ class MpiWorld:
             raise MpiError("world needs at least one rank")
         self.rank_gcds = tuple(rank_gcds)
         self.size = len(self.rank_gcds)
+        self.retry = retry if retry is not None else NO_RETRY
         self.transport = TransportModel(self.node, self.env)
         self._calibration = self.node.calibration
         self._ipc_caches = [IpcMapCache(self._calibration) for _ in range(self.size)]
@@ -208,13 +218,50 @@ class MpiWorld:
                 )
             cost += self.transport.rendezvous_handshake_latency(nbytes)
             yield self.engine.timeout(cost)
-            yield from self.transport.execute(
-                send.buffer,
-                recv.buffer,
-                nbytes,
-                label=f"mpi:{send.src_rank}->{dst_rank}",
-                span=span,
-            )
+            # Payload, under the world's retry policy: a LinkDownError
+            # (the fault injector zeroed a link mid-flight, or the
+            # planned route crosses a dead link) costs one attempt and
+            # an exponential backoff; the plan is recomputed on every
+            # attempt, so a healed link lets the retry through.
+            policy = self.retry
+            attempt = 1
+            while True:
+                try:
+                    yield from self.transport.execute(
+                        send.buffer,
+                        recv.buffer,
+                        nbytes,
+                        label=f"mpi:{send.src_rank}->{dst_rank}",
+                        span=span,
+                    )
+                    break
+                except LinkDownError as exc:
+                    if not policy.allows_retry(attempt):
+                        failure = MpiError(
+                            f"mpi transfer {send.src_rank}->{dst_rank} "
+                            f"(tag {tag}, {nbytes} bytes) failed after "
+                            f"{attempt} attempt(s): {exc}"
+                        )
+                        failure.__cause__ = exc
+                        if self.node.metrics:
+                            self.node.metrics.counter(
+                                "mpi/transfer_failures"
+                            ).inc()
+                        if span is not None:
+                            spans.finish(span, self.engine.now)
+                        send.request_event.fail(failure)
+                        recv.request_event.fail(failure)
+                        # The connection tail still resolves: later
+                        # transfers on this rank pair proceed (and fail
+                        # on their own if the link is still dead).
+                        done.succeed(None)
+                        return
+                    if self.node.metrics:
+                        self.node.metrics.counter("mpi/retries").inc()
+                    delay = policy.delay(attempt)
+                    attempt += 1
+                    if delay > 0:
+                        yield self.engine.timeout(delay)
             if span is not None:
                 spans.finish(span, self.engine.now)
             send.request_event.succeed(nbytes)

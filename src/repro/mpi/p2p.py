@@ -64,20 +64,24 @@ class TransportModel:
                     "MPICH_GPU_SUPPORT_ENABLED=1"
                 )
             channels = self.node.gcd_to_host_channels(src_dev, dst.home.index)
-            channels.append(
-                self.node.gcd(src_dev).sdma.engine_channel(outbound=True)
+            engine, efficiency = self.node.gcd(src_dev).sdma.plan_engine(
+                outbound=True
             )
-            return channels, self._calibration.sdma_cap_for_tier(LinkTier.CPU)
+            channels.append(engine)
+            cap = self._calibration.sdma_cap_for_tier(LinkTier.CPU)
+            return channels, cap * efficiency
         assert dst_dev is not None
         if not self.env.mpich_gpu_support:
             raise MpiError(
                 "device buffer passed to MPI without MPICH_GPU_SUPPORT_ENABLED=1"
             )
         channels = self.node.host_to_gcd_channels(src.home.index, dst_dev)
-        channels.append(
-            self.node.gcd(dst_dev).sdma.engine_channel(outbound=False)
+        engine, efficiency = self.node.gcd(dst_dev).sdma.plan_engine(
+            outbound=False
         )
-        return channels, self._calibration.sdma_cap_for_tier(LinkTier.CPU)
+        channels.append(engine)
+        cap = self._calibration.sdma_cap_for_tier(LinkTier.CPU)
+        return channels, cap * efficiency
 
     def _device_device(
         self, src_dev: int, dst_dev: int
@@ -94,10 +98,10 @@ class TransportModel:
         route = self.node.gcd_route(src_dev, dst_dev)
         channels = self.node.gcd_to_gcd_channels(src_dev, dst_dev)
         if self.env.sdma_enabled:
-            channels.append(
-                self.node.gcd(src_dev).sdma.engine_channel(outbound=True)
-            )
-            cap = self.node.gcd(src_dev).sdma.rate_cap_for_route(route)
+            sdma = self.node.gcd(src_dev).sdma
+            engine, efficiency = sdma.plan_engine(outbound=True)
+            channels.append(engine)
+            cap = sdma.rate_cap_for_route(route) * efficiency
         else:
             tier = self.node.bottleneck_tier(route)
             direct = self._calibration.kernel_remote_cap(

@@ -45,12 +45,17 @@ def collect_report(
     top: int = _TABLE_ROWS,
     validate: bool = True,
     params: Mapping[str, Any] | None = None,
+    faults: Any = None,
 ) -> dict[str, Any]:
     """Run one artifact with span capture and assemble the report data.
 
     Accepts registry ids (``"fig11"``) or driver module names
     (``"fig11_collectives"``).  The sweep bypasses the result cache so
-    every point is executed with spans on.
+    every point is executed with spans on.  ``faults`` (a
+    :class:`~repro.faults.FaultScenario`) runs the artifact under
+    fault injection — ``repro inject`` — and stamps the scenario into
+    the report; the validation battery still runs healthy, it checks
+    the simulator, not the scenario.
     """
     from .. import figures
     from ..core.validation import validate_node
@@ -58,7 +63,9 @@ def collect_report(
 
     experiment_id = figures.canonical_id(artifact)
     experiment = figures.SUITE.get(experiment_id)
-    runner = SweepRunner(jobs, use_cache=False, capture_spans=True)
+    runner = SweepRunner(
+        jobs, use_cache=False, capture_spans=True, faults=faults
+    )
     result = runner.run_experiment(experiment_id, **dict(params or {}))
     spans = runner.stats.spans or []
     path = critical_path(spans)
@@ -87,6 +94,15 @@ def collect_report(
         "channels": channels,
         "validation": validation,
         "provenance": build_provenance(extra={"artifact": experiment_id}),
+        "faults": (
+            {
+                "name": faults.name,
+                "fingerprint": faults.fingerprint(),
+                "events": faults.describe(),
+            }
+            if faults
+            else None
+        ),
         "runner": {
             "points": runner.stats.points,
             "jobs": runner.stats.jobs,
@@ -103,23 +119,30 @@ def explain_artifact(
     span_id: int | None = None,
     jobs: int | str | None = 1,
     top: int = 10,
+    faults: Any = None,
 ) -> str:
     """``repro explain``: run one artifact and narrate its critical path.
 
     With ``span_id``, restricts the breakdown to that span's subtree
-    (span ids are printed by ``repro report``'s JSON output).
+    (span ids are printed by ``repro report``'s JSON output).  With
+    ``faults``, the artifact runs under the scenario and the blame
+    table picks up the injector's ``fault:*`` channel aliases.
     """
     from .. import figures
     from ..runner import SweepRunner
 
     experiment_id = figures.canonical_id(artifact)
-    runner = SweepRunner(jobs, use_cache=False, capture_spans=True)
+    runner = SweepRunner(
+        jobs, use_cache=False, capture_spans=True, faults=faults
+    )
     runner.run_experiment(experiment_id)
     spans = runner.stats.spans or []
     header = (
         f"{experiment_id}: {len(spans)} span(s) over "
         f"{runner.stats.points} point(s)"
     )
+    if faults:
+        header += f" under scenario {faults.name!r}"
     return header + "\n" + explain_spans(spans, span_id=span_id, top=top)
 
 

@@ -304,6 +304,63 @@ def bench_span_overhead(
     }
 
 
+def _run_capacity_churn(pairs: int, changes: int) -> float:
+    """One capacity-churn run: re-level live components ``changes`` times.
+
+    The network carries one long-lived flow per pair (every third also
+    crossing a shared backbone, so some changes couple many pairs); a
+    driver then walks the channels changing capacities in a
+    deterministic pseudo-random pattern — the workload fault injection
+    produces (link degrades/heals) at benchmark density.  Capacities
+    stay in [0.5, 0.99] × healthy so no flow ever fails or starves.
+    """
+    engine = SimEngine()
+    network = FlowNetwork(engine, incremental=True)
+    backbone = "backbone"
+    network.add_channel(backbone, 200 * GiB)
+    for pair in range(pairs):
+        network.add_channel(("up", pair), 100 * GiB)
+        network.add_channel(("down", pair), 100 * GiB)
+    for pair in range(pairs):
+        channels = [("up", pair), ("down", pair)]
+        if pair % 3 == 0:
+            channels.append(backbone)
+        network.transfer(channels, 10 * GiB, cap=80 * GiB)
+
+    def churner() -> Generator:
+        for i in range(changes):
+            pair = (i * 2654435761) % pairs
+            side = "up" if i % 2 == 0 else "down"
+            factor = 0.5 + ((i * 37) % 50) / 100.0
+            network.set_capacity((side, pair), 100 * GiB * factor)
+            yield engine.timeout(1e-6)
+
+    engine.process(churner(), name="churner")
+    t0 = time.perf_counter()
+    engine.run()
+    return time.perf_counter() - t0
+
+
+def bench_set_capacity(
+    pairs: int = 32, changes: int = 20_000, *, repeats: int = REPEATS
+) -> dict[str, Any]:
+    """Throughput of dynamic capacity changes on a loaded network.
+
+    ``capacity_changes_per_second`` is the acceptance number for the
+    fault-injection path: every :meth:`FlowNetwork.set_capacity` call
+    re-levels the touched component incrementally, so this must stay
+    within the same order as flow churn, not degrade to batch re-solve
+    cost.
+    """
+    elapsed = _best_of(lambda: _run_capacity_churn(pairs, changes), repeats)
+    return {
+        "pairs": pairs,
+        "changes": changes,
+        "wall_seconds": elapsed,
+        "capacity_changes_per_second": changes / elapsed,
+    }
+
+
 # -- figure sweep ---------------------------------------------------------------
 
 
@@ -444,6 +501,11 @@ def run_suite(*, smoke: bool = False, repeats: int | None = None) -> dict[str, A
             120 // (4 if smoke else 1),
             repeats=repeats,
         ),
+        "set_capacity": bench_set_capacity(
+            32 // (4 if smoke else 1),
+            20_000 // scale,
+            repeats=repeats,
+        ),
         "figure_sweep": bench_figure_sweep(smoke=smoke),
         "sweep_parallel": bench_sweep_parallel(),
         "cache_hit": bench_cache_hit(smoke=smoke),
@@ -454,6 +516,9 @@ def run_suite(*, smoke: bool = False, repeats: int | None = None) -> dict[str, A
             "incremental_flows_per_second"
         ],
         "churn_speedup_vs_batch_resolve": results["flow_churn"]["speedup"],
+        "capacity_changes_per_second": results["set_capacity"][
+            "capacity_changes_per_second"
+        ],
         "metrics_disabled_overhead": results["metrics_overhead"][
             "disabled_overhead"
         ],
@@ -471,7 +536,7 @@ def run_suite(*, smoke: bool = False, repeats: int | None = None) -> dict[str, A
         "cache_hit_speedup": results["cache_hit"]["speedup"],
     }
     return {
-        "schema": "repro-bench-core/4",
+        "schema": "repro-bench-core/5",
         "version": __version__,
         "git_sha": _git_sha(),
         "python": sys.version.split()[0],
@@ -503,6 +568,8 @@ def format_report(report: dict[str, Any]) -> str:
         f"  timer cancel     {results['timer_cancel']['timers_per_second']:>12,.0f} timers/s",
         f"  flow churn       {results['flow_churn']['incremental_flows_per_second']:>12,.0f} flows/s "
         f"(incremental; {results['flow_churn']['speedup']:.2f}x vs batch re-solve)",
+        f"  capacity churn   {results['set_capacity']['capacity_changes_per_second']:>12,.0f} changes/s "
+        f"({results['set_capacity']['pairs']} pairs)",
         f"  metrics overhead {results['metrics_overhead']['disabled_overhead']:>12.1%} disabled "
         f"/ {results['metrics_overhead']['enabled_overhead']:+.1%} enabled",
         f"  span overhead    {results['span_overhead']['disabled_overhead']:>12.1%} disabled "

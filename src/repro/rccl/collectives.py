@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Generator, Mapping
 
-from ..errors import RcclError
+from ..errors import LinkDownError, RcclError
 from ..memory.buffer import Buffer
 from .communicator import RcclCommunicator
 from .ring import RingSegment
@@ -88,17 +88,43 @@ def _segment_step(
     ``rate_factor`` scales the sustained rate; broadcast passes the LL
     protocol efficiency here.  ``span`` binds the segment's flow to
     the enclosing step span (causality + blame attribution).
+
+    If the segment's route crosses a link that fails (a
+    :class:`~repro.errors.LinkDownError` either at flow start or
+    mid-flight), the communicator rebuilds its ring around the dead
+    links and the step retries on the new segment under ``comm.retry``
+    — the DES analogue of RCCL re-initialising the communicator after
+    a fabric error.  The whole chunk is resent on retry.
     """
-    if segment.is_relayed:
-        yield comm.engine.timeout(comm.calibration.rccl_relay_penalty)
-    flow = comm.node.start_flow(
-        comm.node.gcd_to_gcd_channels(segment.src, segment.dst),
-        chunk,
-        cap=comm.segment_rate(segment) * rate_factor,
-        label=f"rccl:{segment.src}->{segment.dst}",
-        span=span,
-    )
-    yield flow.done
+    policy = comm.retry
+    attempt = 1
+    while True:
+        try:
+            if segment.is_relayed:
+                yield comm.engine.timeout(comm.calibration.rccl_relay_penalty)
+            flow = comm.node.start_flow(
+                comm.node.gcd_to_gcd_channels(segment.src, segment.dst),
+                chunk,
+                cap=comm.segment_rate(segment) * rate_factor,
+                label=f"rccl:{segment.src}->{segment.dst}",
+                span=span,
+            )
+            yield flow.done
+            return
+        except LinkDownError as exc:
+            if not policy.allows_retry(attempt):
+                raise RcclError(
+                    f"ring segment {segment.src}->{segment.dst} failed "
+                    f"after {attempt} attempt(s): {exc}"
+                ) from exc
+            if comm.node.metrics:
+                comm.node.metrics.counter("rccl/segment_retries").inc()
+            delay = policy.delay(attempt)
+            attempt += 1
+            if delay > 0:
+                yield comm.engine.timeout(delay)
+            comm.rebuild_ring()
+            segment = comm.ring.segment_from(segment.src)
 
 
 def _synchronized_steps(

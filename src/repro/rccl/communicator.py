@@ -13,6 +13,7 @@ from typing import Callable, Sequence
 
 from ..config import SimEnvironment
 from ..errors import RcclError
+from ..faults.retry import NO_RETRY, RetryPolicy
 from ..hardware.node import HardwareNode
 from .ring import Ring, build_greedy_ring
 
@@ -27,6 +28,7 @@ class RcclCommunicator:
         *,
         env: SimEnvironment | None = None,
         ring_builder: Callable[..., Ring] = build_greedy_ring,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if node is None:
             warnings.warn(
@@ -42,8 +44,19 @@ class RcclCommunicator:
         if len(gcds) < 1:
             raise RcclError("communicator needs at least one GCD")
         self.gcds = tuple(gcds)
+        self.retry = retry if retry is not None else NO_RETRY
+        self._ring_builder = ring_builder
+        self.ring_rebuilds = 0
         if len(self.gcds) >= 2:
-            self.ring = ring_builder(self.node.topology, self.gcds)
+            # Plan around links already known dead; custom builders
+            # without an avoid_links parameter keep working.
+            avoid = self.node.failed_links()
+            try:
+                self.ring = ring_builder(
+                    self.node.topology, self.gcds, avoid_links=avoid
+                )
+            except TypeError:
+                self.ring = ring_builder(self.node.topology, self.gcds)
         else:
             self.ring = None
 
@@ -61,6 +74,31 @@ class RcclCommunicator:
     def calibration(self):
         """The node's calibration profile."""
         return self.node.calibration
+
+    def rebuild_ring(self) -> Ring:
+        """Rebuild the ring around the node's currently failed links.
+
+        Called by the collectives when a step trips on a dead link
+        (:class:`~repro.errors.LinkDownError`): the ring builder is
+        re-run with ``avoid_links=node.failed_links()``, like RCCL
+        re-running its pattern search on the degraded topology.  Custom
+        ring builders that do not accept ``avoid_links`` are re-run
+        unchanged (they may re-read topology state themselves).
+        """
+        if self.ring is None:
+            raise RcclError("single-GCD communicator has no ring")
+        avoid = self.node.failed_links()
+        try:
+            ring = self._ring_builder(
+                self.node.topology, self.gcds, avoid_links=avoid
+            )
+        except TypeError:
+            ring = self._ring_builder(self.node.topology, self.gcds)
+        self.ring = ring
+        self.ring_rebuilds += 1
+        if self.node.metrics:
+            self.node.metrics.counter("rccl/ring_rebuilds").inc()
+        return ring
 
     def segment_rate(self, segment) -> float:
         """Sustained bytes/s of one ring segment's kernel pipeline.

@@ -92,12 +92,16 @@ class Ring:
 
 
 def _segments_for_order(
-    topology: NodeTopology, order: Sequence[int]
+    topology: NodeTopology,
+    order: Sequence[int],
+    avoid_links: "frozenset[str] | set[str] | None" = None,
 ) -> tuple[RingSegment, ...]:
     segments = []
     for i, src in enumerate(order):
         dst = order[(i + 1) % len(order)]
-        route = bandwidth_maximizing_path(topology, src, dst)
+        route = bandwidth_maximizing_path(
+            topology, src, dst, avoid=avoid_links
+        )
         segments.append(RingSegment(src, dst, route))
     return tuple(segments)
 
@@ -116,8 +120,21 @@ def _validate_members(topology: NodeTopology, members: Sequence[int]) -> list[in
     return members
 
 
-def build_greedy_ring(topology: NodeTopology, members: Sequence[int]) -> Ring:
-    """RCCL-style heuristic: widest direct link first, relay otherwise."""
+def build_greedy_ring(
+    topology: NodeTopology,
+    members: Sequence[int],
+    *,
+    avoid_links: "frozenset[str] | set[str] | None" = None,
+) -> Ring:
+    """RCCL-style heuristic: widest direct link first, relay otherwise.
+
+    ``avoid_links`` (link names, from
+    :meth:`HardwareNode.failed_links`) excludes dead links: they are
+    not candidates for direct hops and segment routes detour around
+    them, so rebuilding a ring after a ``LinkFail`` yields a ring that
+    relays around the dead link exactly like RCCL re-running its
+    pattern search on the degraded topology.
+    """
     members = _validate_members(topology, members)
     start = min(members)
     order = [start]
@@ -125,10 +142,11 @@ def build_greedy_ring(topology: NodeTopology, members: Sequence[int]) -> Ring:
     current = start
     while unvisited:
         direct = [
-            (tier.peak_unidirectional, -candidate, candidate)
+            (link.tier.peak_unidirectional, -candidate, candidate)
             for candidate in unvisited
-            for tier in [topology.peer_tier(current, candidate)]
-            if tier is not None
+            for link in [topology.link_between(current, candidate)]
+            if link is not None
+            and not (avoid_links and link.name in avoid_links)
         ]
         if direct:
             _, _, chosen = max(direct)
@@ -138,7 +156,9 @@ def build_greedy_ring(topology: NodeTopology, members: Sequence[int]) -> Ring:
         order.append(chosen)
         unvisited.discard(chosen)
         current = chosen
-    return Ring(tuple(order), _segments_for_order(topology, order))
+    return Ring(
+        tuple(order), _segments_for_order(topology, order, avoid_links)
+    )
 
 
 def build_optimal_ring(topology: NodeTopology, members: Sequence[int]) -> Ring:

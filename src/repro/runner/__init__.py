@@ -26,6 +26,7 @@ from .points import (
     SimPoint,
     execute_point,
     execute_point_observed,
+    execute_point_with_faults,
     resolve_callable,
 )
 from .runner import RunnerStats, SweepRunner, resolve_jobs
@@ -57,6 +58,7 @@ __all__ = [
     "default_cache_dir",
     "execute_point",
     "execute_point_observed",
+    "execute_point_with_faults",
     "execute_points",
     "point_key",
     "resolve_callable",

@@ -102,8 +102,23 @@ class ResultCache:
         except FileNotFoundError:
             self.stats.misses += 1
             return False, None
-        except Exception:
-            # Corrupt / truncated / incompatible entry: drop and recompute.
+        except (
+            OSError,
+            EOFError,
+            KeyError,
+            IndexError,
+            TypeError,  # entry pickled against a changed class signature
+            ValueError,
+            pickle.UnpicklingError,
+            AttributeError,  # entry pickled against a renamed class
+            ImportError,  # entry pickled against a removed module
+            MemoryError,
+        ):
+            # Corrupt / truncated / incompatible entry: drop and
+            # recompute.  Deliberately *not* a bare ``except Exception``
+            # — ``KeyboardInterrupt``/``SystemExit`` (BaseExceptions)
+            # and genuine programming errors must propagate instead of
+            # being miscounted as cache corruption.
             self.stats.errors += 1
             self.stats.misses += 1
             try:

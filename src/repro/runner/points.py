@@ -121,3 +121,26 @@ def execute_point_spanned(
     with capture(trace=False, spans=True) as ctx:
         value = point.execute()
     return value, ctx.metrics.snapshot(), ctx.spans.as_dicts()
+
+
+def execute_point_with_faults(
+    point: SimPoint, scenario: Any = None, mode: str = "plain"
+) -> Any:
+    """Run a point under an ambient fault-injection context.
+
+    ``scenario`` is a :class:`~repro.faults.FaultScenario`; every node
+    the measurement function builds inside this call adopts it (timed
+    link failures, SDMA stalls, ...).  ``mode`` selects the capture
+    wrapper: ``"plain"``, ``"metrics"`` or ``"spans"``, with the same
+    return shapes as the matching bare trampolines.  Module-level and
+    driven by :func:`functools.partial` so pool workers can unpickle
+    it; the scenario rides along as a pickled frozen dataclass.
+    """
+    from ..faults.context import install
+
+    with install(scenario):
+        if mode == "spans":
+            return execute_point_spanned(point)
+        if mode == "metrics":
+            return execute_point_observed(point)
+        return execute_point(point)

@@ -27,6 +27,7 @@ from .points import (
     execute_point,
     execute_point_observed,
     execute_point_spanned,
+    execute_point_with_faults,
 )
 
 
@@ -106,6 +107,12 @@ class SweepRunner:
     cache:
         A :class:`ResultCache` to use, or ``None`` to build one from
         ``cache_dir`` (``use_cache=False`` disables caching entirely).
+    faults:
+        Optional :class:`~repro.faults.FaultScenario` injected into
+        every point of the sweep (fault-sensitivity runs).  The
+        scenario's fingerprint is folded into each point's cache key,
+        so faulted and healthy results never collide and two sweeps
+        under the same scenario share the cache.
     """
 
     def __init__(
@@ -117,6 +124,7 @@ class SweepRunner:
         cache_dir: str | None = None,
         capture_metrics: bool = False,
         capture_spans: bool = False,
+        faults: Any = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         if cache is None and use_cache:
@@ -127,6 +135,9 @@ class SweepRunner:
         # the blame table, and one capture context costs the same).
         self.capture_metrics = capture_metrics or capture_spans
         self.capture_spans = capture_spans
+        # An empty scenario injects nothing, so it is equivalent to
+        # (and cache-compatible with) no scenario at all.
+        self.faults = faults if faults else None
         self.stats = RunnerStats(jobs=self.jobs)
         # (label, span dicts) per executed point, in point order, across
         # all run_points calls — remerged after each batch so span ids
@@ -151,7 +162,11 @@ class SweepRunner:
         keys: list[str | None] = [None] * len(points)
         pending: list[int] = []
         for index, point in enumerate(points):
-            key = self.cache.key_for(point) if self.cache is not None else None
+            key = (
+                self.cache.key_for(self._keyed_point(point))
+                if self.cache is not None
+                else None
+            )
             keys[index] = key
             if key is not None:
                 hit, value = self.cache.load(key)
@@ -176,6 +191,23 @@ class SweepRunner:
         self.stats.wall_seconds += time.perf_counter() - started
         return outputs
 
+    def _keyed_point(self, point: SimPoint) -> SimPoint:
+        """The point as cached: params plus the fault-scenario key.
+
+        The scenario is appended to ``params`` for *keying only* (the
+        executed point is untouched — faults reach the measurement via
+        the ambient context, not kwargs); ``canonical_token`` folds it
+        in through ``FaultScenario.fingerprint()``.
+        """
+        if self.faults is None:
+            return point
+        return SimPoint(
+            point.experiment_id,
+            point.label,
+            point.fn,
+            point.params + (("__faults__", self.faults),),
+        )
+
     def _execute(self, points: list[SimPoint]) -> list[Any]:
         if self.capture_spans:
             trampoline = execute_point_spanned
@@ -183,6 +215,17 @@ class SweepRunner:
             trampoline = execute_point_observed
         else:
             trampoline = execute_point
+        if self.faults is not None:
+            from functools import partial
+
+            mode = (
+                "spans"
+                if self.capture_spans
+                else "metrics" if self.capture_metrics else "plain"
+            )
+            trampoline = partial(
+                execute_point_with_faults, scenario=self.faults, mode=mode
+            )
         if self.jobs > 1 and len(points) > 1:
             try:
                 results = self._execute_parallel(points, trampoline)

@@ -106,6 +106,13 @@ class Session:
         to share, or ``None``/``False`` for disabled (the default).
     coherence:
         Optional :class:`CoherencePolicy` override for the HIP layer.
+    faults:
+        A :class:`~repro.faults.FaultScenario` to inject into this
+        session's node (timed link degradations/failures, SDMA stalls,
+        page-migration storms).  ``None`` (the default) adopts an
+        ambient :func:`repro.faults.install` context if one is active;
+        pass an *empty* scenario to shield a session from the ambient
+        one.
     """
 
     def __init__(
@@ -120,6 +127,7 @@ class Session:
         metrics_capacity: int | None = None,
         spans: Any = None,
         coherence: CoherencePolicy | None = None,
+        faults: Any = None,
         **env_flags: Any,
     ) -> None:
         if env is not None and env_flags:
@@ -144,6 +152,7 @@ class Session:
             metrics=metrics,
             metrics_capacity=metrics_capacity,
             spans=spans,
+            faults=faults,
         )
         self.hip = HipRuntime(self.node, self.env, coherence=coherence)
         self._closed = False
@@ -207,14 +216,24 @@ class Session:
 
     # -- stack factories ---------------------------------------------------------
 
-    def mpi_world(self, rank_gcds: Sequence[int] | None = None):
-        """A GPU-aware MPI world on this session's node."""
+    def mpi_world(
+        self, rank_gcds: Sequence[int] | None = None, *, retry: Any = None
+    ):
+        """A GPU-aware MPI world on this session's node.
+
+        ``retry`` is an optional :class:`~repro.faults.RetryPolicy`
+        governing transfer retries when a link fails mid-message.
+        """
         from .mpi.comm import MpiWorld
 
-        return MpiWorld(self.node, self.env, rank_gcds=rank_gcds)
+        return MpiWorld(self.node, self.env, rank_gcds=rank_gcds, retry=retry)
 
     def rccl_communicator(self, gcds: Sequence[int] | None = None, **kwargs: Any):
-        """An RCCL communicator over (a subset of) this node's GCDs."""
+        """An RCCL communicator over (a subset of) this node's GCDs.
+
+        Accepts ``retry=`` (a :class:`~repro.faults.RetryPolicy`) to
+        rebuild the ring and retry steps when a link fails mid-collective.
+        """
         from .rccl.communicator import RcclCommunicator
 
         return RcclCommunicator(self.node, gcds, env=self.env, **kwargs)
@@ -225,16 +244,22 @@ class Session:
         *,
         use_cache: bool = True,
         cache_dir: str | None = None,
+        faults: Any = None,
     ):
         """A :class:`~repro.runner.SweepRunner` for fan-out sweeps.
 
         The runner spawns a *fresh* session per sim point (that is what
         keeps points independent), so this is a factory hanging off the
-        front-door object, not a view of this session's node.
+        front-door object, not a view of this session's node.  Pass
+        ``faults=`` (a :class:`~repro.faults.FaultScenario`) for a
+        fault-sensitivity sweep; this session's own scenario does not
+        propagate automatically.
         """
         from .runner import SweepRunner
 
-        return SweepRunner(jobs, use_cache=use_cache, cache_dir=cache_dir)
+        return SweepRunner(
+            jobs, use_cache=use_cache, cache_dir=cache_dir, faults=faults
+        )
 
     # -- introspection ----------------------------------------------------------
 

@@ -346,8 +346,12 @@ def _validate_problem(
                 raise SimulationError(
                     f"flow {flow.flow_id!r} uses unknown channel {channel!r}"
                 )
-    for channel, capacity in capacities.items():
-        if capacity <= 0:
+    # Only channels actually carrying flows must have positive capacity:
+    # a failed link (capacity 0) may sit in the inventory as long as all
+    # traffic has been failed over or rerouted off it first.
+    referenced = {channel for flow in flows for channel in flow.channels}
+    for channel in referenced:
+        if capacities[channel] <= 0:
             raise SimulationError(f"channel {channel!r} capacity must be positive")
 
 
@@ -425,6 +429,7 @@ class SolverStats:
     component_solves: int = 0
     flows_releveled: int = 0
     largest_component: int = 0
+    capacity_changes: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Plain-dict rendering for reports and BENCH json."""
@@ -434,6 +439,7 @@ class SolverStats:
             "component_solves": self.component_solves,
             "flows_releveled": self.flows_releveled,
             "largest_component": self.largest_component,
+            "capacity_changes": self.capacity_changes,
         }
 
     def publish(self, metrics: "Any") -> None:
@@ -498,6 +504,44 @@ class FairshareSolver:
         if capacity <= 0:
             raise SimulationError(f"channel {channel!r} capacity must be positive")
         self._capacities[channel] = capacity
+
+    def set_capacity(
+        self, channel: ChannelId, capacity: float
+    ) -> dict[Hashable, float]:
+        """Change a channel's capacity; re-levels the affected component.
+
+        Every flow crossing the channel belongs (by definition) to one
+        connected component; that component is re-leveled with the same
+        per-component core as :meth:`add_flow`/:meth:`remove_flow`, so
+        the post-change allocation is bit-identical to tearing down and
+        re-adding every flow under the new capacity.  Returns the
+        re-leveled rates (empty when no flow crosses the channel).
+
+        Capacity 0 models a failed link and is only accepted while the
+        channel is empty: progressive filling would freeze crossing
+        flows at rate 0, which the flow network treats as starvation —
+        fail or reroute them *before* zeroing the capacity.
+        """
+        if channel not in self._capacities:
+            raise SimulationError(f"unknown channel {channel!r}")
+        if capacity < 0:
+            raise SimulationError(
+                f"channel {channel!r} capacity must be non-negative"
+            )
+        members = self._members.get(channel)
+        if capacity == 0 and members:
+            raise SimulationError(
+                f"channel {channel!r} cannot drop to zero capacity with "
+                f"{len(members)} live flows; fail or reroute them first"
+            )
+        if capacity == self._capacities[channel]:
+            return {}
+        self._capacities[channel] = capacity
+        self.stats.capacity_changes += 1
+        if not members:
+            return {}
+        comp = self._component_of[next(iter(members))]
+        return self._relevel(self._components[comp])
 
     def has_channel(self, channel: ChannelId) -> bool:
         """Whether a channel id is registered."""

@@ -22,7 +22,7 @@ import math
 from dataclasses import dataclass
 from typing import Any, Hashable, Iterable, Mapping, Sequence
 
-from ..errors import SimulationError
+from ..errors import LinkDownError, SimulationError
 from .engine import Event, SimEngine, TimerHandle
 from .fairshare import FairshareSolver, FlowSpec, max_min_fair_rates_reference
 
@@ -31,9 +31,16 @@ from .fairshare import FairshareSolver, FlowSpec, max_min_fair_rates_reference
 _EPSILON_BYTES = 1e-6
 
 
-@dataclass(frozen=True)
+@dataclass
 class Channel:
-    """A directional transport resource with fixed capacity (bytes/s)."""
+    """A directional transport resource with capacity in bytes/s.
+
+    Capacity is strictly positive at construction; fault injection may
+    later change it — including to zero, modeling a failed link — via
+    :meth:`set_capacity` (always through
+    :meth:`FlowNetwork.set_capacity`, which keeps the solver in sync
+    and re-levels in-flight flows).
+    """
 
     channel_id: Hashable
     capacity: float
@@ -43,6 +50,14 @@ class Channel:
             raise SimulationError(
                 f"channel {self.channel_id!r} capacity must be positive"
             )
+
+    def set_capacity(self, capacity: float) -> None:
+        """Set a new capacity (non-negative; zero models a failed link)."""
+        if capacity < 0:
+            raise SimulationError(
+                f"channel {self.channel_id!r} capacity must be non-negative"
+            )
+        self.capacity = capacity
 
 
 class Flow:
@@ -105,12 +120,16 @@ class Flow:
 
     @property
     def achieved_rate(self) -> float | None:
-        """Average bytes/s over the whole transfer, once complete."""
+        """Average bytes/s over the whole transfer, once complete.
+
+        ``None`` while in flight *and* for degenerate zero-duration
+        transfers (e.g. zero-byte flows), whose average rate is
+        undefined — consumers skip ``None`` instead of propagating
+        ``inf`` into metrics and reports.
+        """
         elapsed = self.elapsed
-        if elapsed is None:
+        if elapsed is None or elapsed == 0:
             return None
-        if elapsed == 0:
-            return math.inf
         return self.size / elapsed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -168,13 +187,89 @@ class FlowNetwork:
     # -- channel management --------------------------------------------------
 
     def add_channel(self, channel_id: Hashable, capacity: float) -> Channel:
-        """Register a channel; duplicate ids raise."""
+        """Register a channel; duplicate ids or bad capacities raise.
+
+        Capacity must be strictly positive at registration — the error
+        surfaces here, at construction, not later mid-solve.  Links can
+        only *become* zero-capacity (failed) through
+        :meth:`set_capacity`.
+        """
         if channel_id in self._channels:
             raise SimulationError(f"channel {channel_id!r} already exists")
+        if capacity <= 0:
+            raise SimulationError(
+                f"channel {channel_id!r} capacity must be positive"
+            )
         channel = Channel(channel_id, capacity)
         self._channels[channel_id] = channel
         self._solver.add_channel(channel_id, capacity)
         return channel
+
+    def set_capacity(self, channel_id: Hashable, capacity: float) -> None:
+        """Change a channel's capacity mid-run, re-leveling in-flight flows.
+
+        The incremental solver re-levels only the connected component
+        crossing the channel, bit-identical to tearing every flow down
+        and re-adding it under the new capacity (differential-tested).
+
+        ``capacity == 0`` models a failed link: every in-flight flow
+        crossing the channel fails — its ``done`` event raises
+        :class:`~repro.errors.LinkDownError` into whatever process is
+        waiting on it — and new transfers requesting the channel raise
+        the same error up front.  Survivors sharing channels with the
+        failed flows are re-leveled (they typically speed up).
+        """
+        channel = self.channel(channel_id)
+        if capacity < 0:
+            raise SimulationError(
+                f"channel {channel_id!r} capacity must be non-negative"
+            )
+        if capacity == channel.capacity:
+            return
+        self._advance_to_now()
+        incremental = self._incremental
+        failed: list[Flow] = []
+        updated: dict[Hashable, float] = {}
+        if capacity == 0:
+            failed = [
+                flow
+                for flow in self._active.values()
+                if channel_id in flow.channels
+            ]
+            for flow in failed:
+                del self._active[flow.flow_id]
+                if incremental:
+                    updated.update(self._solver.remove_flow(flow.flow_id))
+                flow.rate = 0.0
+        channel.set_capacity(capacity)
+        if incremental:
+            updated.update(self._solver.set_capacity(channel_id, capacity))
+        if self._metrics:
+            self._metrics.counter("network/capacity_changes").inc()
+            if failed:
+                self._metrics.counter("network/flows_failed").inc(len(failed))
+        self._resolve_and_schedule(updated if incremental else None)
+        for flow in failed:
+            flow.done.fail(
+                LinkDownError(
+                    f"flow {flow.flow_id} ({flow.label or 'unlabelled'}) "
+                    f"lost channel {channel_id!r}: link failed"
+                )
+            )
+
+    def set_blame_alias(self, channel_id: Hashable, alias: str) -> None:
+        """Override the blame-bucket name flows frozen at a channel get.
+
+        Fault injection uses this so degraded links show up in
+        ``repro explain`` as e.g. ``fault:link-degrade:1->3`` instead of
+        their plain channel name.  Takes effect at the next re-level.
+        """
+        self.channel(channel_id)
+        self._blame_names[channel_id] = alias
+
+    def clear_blame_alias(self, channel_id: Hashable) -> None:
+        """Drop a blame alias; the plain metric name is re-derived lazily."""
+        self._blame_names.pop(channel_id, None)
 
     def has_channel(self, channel_id: Hashable) -> bool:
         """Whether a channel id is registered."""
@@ -213,8 +308,14 @@ class FlowNetwork:
         """
         channel_ids = tuple(channels)
         for channel_id in channel_ids:
-            if channel_id not in self._channels:
+            channel = self._channels.get(channel_id)
+            if channel is None:
                 raise SimulationError(f"unknown channel {channel_id!r}")
+            if channel.capacity <= 0:
+                raise LinkDownError(
+                    f"channel {channel_id!r} is down (capacity 0); "
+                    f"cannot start transfer {label!r}"
+                )
         if size < 0:
             raise SimulationError("transfer size must be non-negative")
         if not channel_ids and cap is math.inf:
@@ -258,11 +359,24 @@ class FlowNetwork:
         return list(self._active.values())
 
     def utilization(self, channel_id: Hashable) -> float:
-        """Fraction of a channel's capacity currently allocated."""
+        """Fraction of a channel's capacity currently allocated.
+
+        Edge cases: an unbounded (``inf``-capacity) channel is never
+        utilized — 0.0 by definition; a failed (zero-capacity) channel
+        reports 1.0 while flows are still pinned on it and 0.0 when
+        idle, rather than dividing by zero.
+        """
         channel = self.channel(channel_id)
-        load = sum(
-            f.rate for f in self._active.values() if channel_id in f.channels
-        )
+        occupied = False
+        load = 0.0
+        for f in self._active.values():
+            if channel_id in f.channels:
+                occupied = True
+                load += f.rate
+        if not math.isfinite(channel.capacity):
+            return 0.0
+        if channel.capacity <= 0:
+            return 1.0 if occupied else 0.0
         return load / channel.capacity
 
     # -- internals -----------------------------------------------------------------

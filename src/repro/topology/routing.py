@@ -129,6 +129,7 @@ def bandwidth_maximizing_path(
     dst: EndpointLike,
     *,
     max_extra_hops: int = 2,
+    avoid: "frozenset[str] | set[str] | None" = None,
 ) -> Route:
     """Widest path: maximize bottleneck capacity, then minimize hops.
 
@@ -138,6 +139,11 @@ def bandwidth_maximizing_path(
     shortest).  Ties on (bottleneck, hops) break lexicographically on
     the node sequence, making the route deterministic and therefore the
     simulated latency matrix reproducible.
+
+    ``avoid`` names links (by :attr:`Link.name`) the route must not
+    cross — failed fabric links under fault injection.  Candidate paths
+    crossing an avoided link are discarded; when no candidate survives
+    within the hop bound, :class:`RoutingError` is raised.
     """
     source, target = as_endpoint(src), as_endpoint(dst)
     if source == target:
@@ -152,15 +158,22 @@ def bandwidth_maximizing_path(
     best_key: tuple[float, int, list[tuple[str, int]]] | None = None
     best_nodes: list[LinkEndpoint] | None = None
     for path in nx.all_simple_paths(graph, source, target, cutoff=cutoff):
-        capacity = min(
-            graph.edges[path[i], path[i + 1]]["link"].capacity_per_direction
+        hop_links = [
+            graph.edges[path[i], path[i + 1]]["link"]
             for i in range(len(path) - 1)
-        )
+        ]
+        if avoid and any(link.name in avoid for link in hop_links):
+            continue
+        capacity = min(link.capacity_per_direction for link in hop_links)
         key = (-capacity, len(path), [_node_sort_key(n) for n in path])
         if best_key is None or key < best_key:
             best_key = key
             best_nodes = path
-    assert best_nodes is not None  # connectivity guaranteed above
+    if best_nodes is None:
+        raise RoutingError(
+            f"no path from {source} to {target} within {cutoff} hops "
+            f"avoiding {sorted(avoid or ())}"
+        )
     return _route_from_nodes(topology, best_nodes)
 
 
@@ -169,12 +182,19 @@ def route_between(
     src: EndpointLike,
     dst: EndpointLike,
     policy: RoutingPolicy = RoutingPolicy.BANDWIDTH_MAX,
+    *,
+    avoid: "frozenset[str] | set[str] | None" = None,
 ) -> Route:
-    """Route under the given policy (bandwidth-max is the HW default)."""
+    """Route under the given policy (bandwidth-max is the HW default).
+
+    ``avoid`` (link names) detours around failed links; it only
+    applies to the bandwidth-max policy — the shortest-path matrix is
+    a static topology property (Fig. 6a), not a live routing decision.
+    """
     if policy is RoutingPolicy.SHORTEST:
         return shortest_path(topology, src, dst)
     if policy is RoutingPolicy.BANDWIDTH_MAX:
-        return bandwidth_maximizing_path(topology, src, dst)
+        return bandwidth_maximizing_path(topology, src, dst, avoid=avoid)
     raise RoutingError(f"unknown policy {policy!r}")
 
 

@@ -1,0 +1,192 @@
+"""FaultScenario data model: validation, JSON round-trip, fingerprints."""
+
+import math
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    FaultScenario,
+    LinkDegrade,
+    LinkFail,
+    PageMigrationStorm,
+    SdmaStall,
+)
+
+
+class TestEventValidation:
+    def test_degrade_factor_must_be_in_unit_interval(self):
+        with pytest.raises(ConfigurationError, match="factor"):
+            LinkDegrade(link="1-3", factor=0.0, at=0.0)
+        with pytest.raises(ConfigurationError, match="factor"):
+            LinkDegrade(link="1-3", factor=1.5, at=0.0)
+        # factor=1.0 restores full health and is legal.
+        LinkDegrade(link="1-3", factor=1.0, at=0.0)
+
+    def test_event_times_must_be_finite_and_non_negative(self):
+        with pytest.raises(ConfigurationError, match="at"):
+            LinkDegrade(link="1-3", factor=0.5, at=-1.0)
+        with pytest.raises(ConfigurationError, match="at"):
+            LinkFail(link="1-3", at=math.inf)
+        with pytest.raises(ConfigurationError, match="number"):
+            LinkFail(link="1-3", at=True)
+
+    def test_fail_heal_must_follow_failure(self):
+        with pytest.raises(ConfigurationError, match="heal"):
+            LinkFail(link="1-3", at=0.5, until=0.5)
+        LinkFail(link="1-3", at=0.5, until=0.6)
+
+    def test_stall_duration_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="duration"):
+            SdmaStall(engine="gcd0:out", at=0.0, duration=0.0)
+
+    def test_storm_rate_and_numa_validated(self):
+        with pytest.raises(ConfigurationError, match="rate"):
+            PageMigrationStorm(numa=0, at=0.0, rate=0.0)
+        with pytest.raises(ConfigurationError, match="rate"):
+            PageMigrationStorm(numa=0, at=0.0, rate=math.inf)
+        with pytest.raises(ConfigurationError, match="numa"):
+            PageMigrationStorm(numa=-1, at=0.0, rate=1e9)
+        with pytest.raises(ConfigurationError, match="numa"):
+            PageMigrationStorm(numa=True, at=0.0, rate=1e9)
+
+    def test_scenario_rejects_non_events(self):
+        with pytest.raises(ConfigurationError, match="not a fault event"):
+            FaultScenario(events=("link_degrade",))
+
+    def test_scenario_name_must_be_non_empty(self):
+        with pytest.raises(ConfigurationError):
+            FaultScenario(events=(), name="")
+
+
+class TestScenarioBasics:
+    def test_empty_scenario_is_falsy(self):
+        assert not FaultScenario()
+        assert len(FaultScenario()) == 0
+        one = FaultScenario(events=(LinkFail(link="1-3", at=0.0),))
+        assert one and len(one) == 1
+
+    def test_scenario_is_picklable(self):
+        scenario = FaultScenario(
+            events=(
+                LinkDegrade(link="gcd1-gcd3:single", factor=0.5, at=0.0),
+                PageMigrationStorm(numa=0, at=0.0, rate=1e9),
+            ),
+            name="pickled",
+        )
+        clone = pickle.loads(pickle.dumps(scenario))
+        assert clone == scenario
+        assert clone.fingerprint() == scenario.fingerprint()
+
+    def test_describe_lists_events_in_time_order(self):
+        scenario = FaultScenario(
+            events=(
+                LinkFail(link="1-3", at=0.002),
+                SdmaStall(engine="gcd0", at=0.001, duration=0.001),
+            ),
+            name="ordered",
+        )
+        text = scenario.describe()
+        assert "'ordered'" in text
+        assert text.index("sdma_stall") < text.index("link_fail")
+
+
+class TestJsonRoundTrip:
+    def _scenario(self):
+        return FaultScenario(
+            events=(
+                LinkDegrade(link="gcd1-gcd3:single", factor=0.5, at=0.0),
+                LinkFail(link="gcd0-gcd1:quad", at=0.0005, until=0.002),
+                SdmaStall(engine="gcd0:out", at=0.0, duration=0.001),
+                PageMigrationStorm(numa=0, at=0.0, rate=2.0e10),
+            ),
+            name="chaos",
+        )
+
+    def test_to_from_json_round_trips(self):
+        scenario = self._scenario()
+        assert FaultScenario.from_json(scenario.to_json()) == scenario
+
+    def test_infinite_storm_duration_encodes_as_string(self):
+        scenario = FaultScenario(
+            events=(PageMigrationStorm(numa=1, at=0.0, rate=1e9),)
+        )
+        payload = scenario.to_json()
+        assert payload["events"][0]["duration"] == "inf"
+        clone = FaultScenario.from_json(payload)
+        assert clone.events[0].duration == math.inf
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault event kind"):
+            FaultScenario.from_json(
+                {"events": [{"kind": "meteor_strike", "at": 0.0}]}
+            )
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fields"):
+            FaultScenario.from_json(
+                {
+                    "events": [
+                        {
+                            "kind": "link_fail",
+                            "link": "1-3",
+                            "at": 0.0,
+                            "severity": "high",
+                        }
+                    ]
+                }
+            )
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="bad link_fail event"):
+            FaultScenario.from_json({"events": [{"kind": "link_fail"}]})
+
+    def test_dump_load_round_trips(self, tmp_path):
+        scenario = self._scenario()
+        path = tmp_path / "chaos.json"
+        scenario.dump(path)
+        assert FaultScenario.load(path) == scenario
+
+    def test_load_uses_file_stem_when_name_absent(self, tmp_path):
+        path = tmp_path / "degrade_all.json"
+        path.write_text(
+            '{"events": [{"kind": "link_fail", "link": "1-3", "at": 0.0}]}'
+        )
+        assert FaultScenario.load(path).name == "degrade_all"
+
+    def test_load_rejects_bad_json_and_missing_file(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            FaultScenario.load(bad)
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            FaultScenario.load(tmp_path / "absent.json")
+
+
+class TestFingerprint:
+    def test_fingerprint_is_stable(self):
+        scenario = FaultScenario(
+            events=(LinkDegrade(link="1-3", factor=0.5, at=0.0),)
+        )
+        assert scenario.fingerprint() == scenario.fingerprint()
+
+    def test_name_excluded_from_fingerprint(self):
+        events = (LinkDegrade(link="1-3", factor=0.5, at=0.0),)
+        a = FaultScenario(events=events, name="alpha")
+        b = FaultScenario(events=events, name="beta")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_events_included_in_fingerprint(self):
+        a = FaultScenario(events=(LinkDegrade(link="1-3", factor=0.5, at=0.0),))
+        b = FaultScenario(events=(LinkDegrade(link="1-3", factor=0.6, at=0.0),))
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_event_order_included_in_fingerprint(self):
+        """Same-time events fire in listing order, so order is behaviour."""
+        x = LinkFail(link="1-3", at=0.0)
+        y = SdmaStall(engine="gcd0", at=0.0, duration=0.001)
+        assert (
+            FaultScenario(events=(x, y)).fingerprint()
+            != FaultScenario(events=(y, x)).fingerprint()
+        )
