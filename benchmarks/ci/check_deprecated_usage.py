@@ -1,0 +1,85 @@
+"""CI guard: internal code must not use deprecated ``Session`` kwargs.
+
+The pre-v1 flat observation kwargs (``Session(trace=True)``,
+``metrics=...``, ``spans=...``, …) keep working for downstream callers
+behind a :class:`DeprecationWarning`, but the library itself must be
+fully migrated to ``obs=ObsConfig(...)`` — otherwise every internal
+call site would spray warnings into user runs and the shim could never
+be retired.
+
+Usage::
+
+    python benchmarks/ci/check_deprecated_usage.py [ROOT ...]
+
+Walks every ``*.py`` under the given roots (default ``src/repro``),
+parses them, and flags keyword arguments from ``DEPRECATED_KWARGS`` on
+any call whose callee is literally named ``Session`` (attribute or
+bare).  Pure AST — docstrings, comments, and the shim's own
+implementation never trip it.  Exit 1 on any hit.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+#: The flat kwargs shimmed (and warned about) by ``Session.__init__``.
+DEPRECATED_KWARGS = frozenset(
+    {"trace", "trace_capacity", "metrics", "metrics_capacity", "spans"}
+)
+
+
+def _callee_name(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def find_violations(tree: ast.AST, path: str) -> list[str]:
+    """Deprecated-kwarg call sites in one parsed module."""
+    violations = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or _callee_name(node) != "Session":
+            continue
+        bad = sorted(
+            keyword.arg
+            for keyword in node.keywords
+            if keyword.arg in DEPRECATED_KWARGS
+        )
+        if bad:
+            violations.append(
+                f"{path}:{node.lineno}: Session({', '.join(bad)}=...) is "
+                f"deprecated — use obs=ObsConfig(...)"
+            )
+    return violations
+
+
+def scan(roots: list[str]) -> list[str]:
+    violations: list[str] = []
+    for root in roots:
+        for path in sorted(pathlib.Path(root).rglob("*.py")):
+            try:
+                tree = ast.parse(path.read_text(), filename=str(path))
+            except SyntaxError as exc:
+                violations.append(f"{path}: unparseable: {exc}")
+                continue
+            violations.extend(find_violations(tree, str(path)))
+    return violations
+
+
+def main(argv: list[str]) -> int:
+    roots = argv[1:] or ["src/repro"]
+    violations = scan(roots)
+    for violation in violations:
+        print(f"FAIL: {violation}", file=sys.stderr)
+    if not violations:
+        print(f"ok: no deprecated Session kwargs under {', '.join(roots)}")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -25,6 +25,15 @@ Fails (exit 1) when a headline number regresses below its threshold:
   ``REPRO_MIN_CAPACITY_CHURN`` (default 5000): fault injection
   re-levels in-flight flows on every ``set_capacity`` call, so churn
   throughput collapsing means degraded links stall the whole sweep.
+- ``epoch_events_per_second`` must reach
+  ``REPRO_MIN_EPOCH_EVENTS`` (default 400000): the batched epoch
+  dispatcher drains same-timestamp bursts in bulk; falling below the
+  floor means the engine regressed to per-event heap churn.
+- ``flow_integration_speedup`` must reach
+  ``REPRO_MIN_INTEGRATION_SPEEDUP`` (default 1.5): the vectorized
+  (or compiled) interval integrator must beat the scalar python
+  backend on the mixed long/short-flow workload, else the NumPy
+  arrays are pure overhead.
 
 With ``--baseline`` (a previously committed report), throughput
 headlines may not regress by more than ``REPRO_MAX_PERF_REGRESSION``
@@ -52,6 +61,7 @@ BASELINE_KEYS = (
     "events_per_second",
     "incremental_flows_per_second",
     "capacity_changes_per_second",
+    "epoch_events_per_second",
 )
 
 
@@ -134,6 +144,46 @@ def check(report: dict) -> list[str]:
         print(
             f"ok: capacity_changes_per_second {churn:,.0f} >= "
             f"{min_churn:,.0f}"
+        )
+
+    min_epoch = float(os.environ.get("REPRO_MIN_EPOCH_EVENTS", "400000"))
+    epoch_rate = headline.get("epoch_events_per_second")
+    if epoch_rate is None:
+        print("skip: epoch_events_per_second not in report (old schema)")
+    elif epoch_rate < min_epoch:
+        failures.append(
+            f"epoch_events_per_second {epoch_rate:,.0f} < {min_epoch:,.0f}"
+        )
+    else:
+        print(
+            f"ok: epoch_events_per_second {epoch_rate:,.0f} >= "
+            f"{min_epoch:,.0f}"
+        )
+
+    min_integration = float(
+        os.environ.get("REPRO_MIN_INTEGRATION_SPEEDUP", "1.5")
+    )
+    integration = headline.get("flow_integration_speedup")
+    fastest = (
+        report.get("results", {})
+        .get("flow_integration", {})
+        .get("fastest_backend")
+    )
+    if integration is None:
+        print("skip: flow_integration_speedup not in report (old schema)")
+    elif fastest == "python":
+        # No accelerated backend ran (numpy unavailable) — nothing to
+        # compare the scalar loop against.
+        print("skip: flow_integration check (only python backend ran)")
+    elif integration < min_integration:
+        failures.append(
+            f"flow_integration_speedup {integration:.2f} < "
+            f"{min_integration:.2f}"
+        )
+    else:
+        print(
+            f"ok: flow_integration_speedup {integration:.2f} >= "
+            f"{min_integration:.2f}"
         )
 
     return failures

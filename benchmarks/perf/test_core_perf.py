@@ -16,11 +16,28 @@ from repro.perf.core import format_report, run_suite, write_report
 def test_smoke_suite_shape_and_sanity(tmp_path):
     report = run_suite(smoke=True)
 
-    assert report["schema"] == "repro-bench-core/5"
+    assert report["schema"] == "repro-bench-core/6"
     assert report["smoke"] is True
     results = report["results"]
     assert results["engine_events"]["events_per_second"] > 0
     assert results["timer_cancel"]["timers_per_second"] > 0
+
+    epochs = results["engine_epochs"]
+    assert epochs["epoch_events_per_second"] > 0
+    assert 0 < epochs["distinct_timestamps"] < epochs["events"]
+    assert (
+        report["headline"]["epoch_events_per_second"]
+        == epochs["epoch_events_per_second"]
+    )
+
+    integration = results["flow_integration"]
+    assert integration["transfers_per_second"]["python"] > 0
+    assert integration["fastest_backend"] in integration["backends"]
+    assert integration["identical_final_time"] is True
+    assert (
+        report["headline"]["flow_integration_speedup"]
+        == integration["speedup"]
+    )
 
     churn = results["flow_churn"]
     assert churn["total_flows"] == churn["pairs"] * churn["flows_per_pair"]
@@ -60,13 +77,15 @@ def test_smoke_suite_shape_and_sanity(tmp_path):
 
     path = tmp_path / "BENCH_core.json"
     write_report(str(path), report)
-    assert json.loads(path.read_text())["schema"] == "repro-bench-core/5"
+    assert json.loads(path.read_text())["schema"] == "repro-bench-core/6"
 
     text = format_report(report)
     assert "flow churn" in text and "events/s" in text
     assert "sweep parallel" in text and "cache hit" in text
     assert "span overhead" in text
     assert "capacity churn" in text
+    assert "epoch dispatch" in text
+    assert "flow integration" in text
 
 
 def test_smoke_suite_sweep_benchmarks():
@@ -175,3 +194,31 @@ class TestCheckBenchBaseline:
         report["headline"]["spans_disabled_overhead"] = 0.2
         failures = check_bench.check(report)
         assert any("spans_disabled_overhead" in f for f in failures)
+
+    def test_epoch_floor_guard_in_main_check(self):
+        import check_bench
+
+        report = _guard_report()
+        report["headline"]["epoch_events_per_second"] = 1000.0
+        failures = check_bench.check(report)
+        assert any("epoch_events_per_second" in f for f in failures)
+
+    def test_integration_speedup_guard_in_main_check(self):
+        import check_bench
+
+        report = _guard_report()
+        report["headline"]["flow_integration_speedup"] = 1.1
+        report["results"]["flow_integration"] = {
+            "fastest_backend": "vectorized"
+        }
+        failures = check_bench.check(report)
+        assert any("flow_integration_speedup" in f for f in failures)
+
+    def test_integration_guard_skips_python_only_runs(self):
+        import check_bench
+
+        report = _guard_report()
+        report["headline"]["flow_integration_speedup"] = 1.0
+        report["results"]["flow_integration"] = {"fastest_backend": "python"}
+        failures = check_bench.check(report)
+        assert not any("flow_integration" in f for f in failures)

@@ -9,12 +9,12 @@ Run:
     python examples/trace_timeline.py
 """
 
-import repro
+from repro.api import ObsConfig, Session
 from repro.units import MiB, to_gbps
 
 
 def traced_run(placement, size=256 * MiB):
-    session = repro.Session(trace=True, spans=True)
+    session = Session(obs=ObsConfig(trace=True, spans=True))
     node = session.node
     hip = session.hip
 

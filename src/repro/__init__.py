@@ -9,16 +9,18 @@ RCCL-like runtimes on top, and reimplements every benchmark suite of
 the paper's Table II against them.  ``repro.figures`` regenerates each
 table and figure of the evaluation.
 
-Quickstart — :class:`Session` wires the whole stack in one object::
+Quickstart — :class:`Session` wires the whole stack in one object, and
+:mod:`repro.api` is the stable, versioned import surface::
 
-    import repro
+    from repro.api import ObsConfig, Session
 
-    with repro.Session(topology="mi250x", trace=True) as s:
+    with Session(topology="mi250x", obs=ObsConfig(trace=True)) as s:
         src = s.hip.malloc(1 << 30, device=0)
         dst = s.hip.malloc(1 << 30, device=4)
         s.run(s.hip.memcpy_peer(dst, 4, src, 0))
         print(s.now, s.stats())
 
+    import repro
     result, text = repro.figures.run_and_report("fig06")
 
 Layering (bottom → top):
@@ -31,6 +33,7 @@ fronts the whole stack.
 
 from . import config, errors, units
 from .config import SimEnvironment
+from .configs import ObsConfig, RunnerConfig
 from .core.calibration import CalibrationProfile, DEFAULT_CALIBRATION
 from .faults import (
     FaultScenario,
@@ -53,11 +56,13 @@ from .sim.fairshare import (
 from .sim.trace import TraceRecord, Tracer
 from .topology.presets import dense_hive_node, frontier_node, single_gpu_node
 
-__version__ = "0.6.0"
+__version__ = "0.7.0"
 
 __all__ = [
     # The blessed surface.
     "Session",
+    "ObsConfig",
+    "RunnerConfig",
     "SweepRunner",
     "SimPoint",
     "ResultCache",

@@ -1,0 +1,118 @@
+"""``repro.api`` — the versioned v1 surface of the simulator.
+
+Everything a measurement script, figure driver, or service needs,
+re-exported from one module with one import::
+
+    from repro.api import Session, ObsConfig, RunnerConfig
+
+    with Session("mi250x", obs=ObsConfig(trace=True, spans=True)) as s:
+        src = s.hip.malloc(1 << 30, device=0)
+        dst = s.hip.malloc(1 << 30, device=4)
+        s.run(s.hip.memcpy_peer(dst, 4, src, 0))
+        print(s.explain())
+
+The surface is grouped by role:
+
+**Front door** — :class:`Session` (one fully wired simulated machine),
+:class:`ObsConfig` / :class:`RunnerConfig` (grouped construction
+options), :data:`TOPOLOGY_PRESETS` / :func:`resolve_topology`.
+
+**Sweeps** — :class:`SweepRunner`, :class:`SimPoint`,
+:class:`ResultCache`.
+
+**Fault injection** — :class:`FaultScenario` and its event types,
+:class:`RetryPolicy`, :func:`install`.
+
+**Observability** — :func:`capture` (ambient observation),
+:class:`MetricsRegistry`, :class:`SpanRecorder`,
+:func:`critical_path` / :func:`explain_spans` / :func:`blame_ranking`
+(attribution), :func:`collect_report` / :func:`write_report`
+(artifact reports), :func:`build_chrome_trace` /
+:func:`write_chrome_trace` (Perfetto export).
+
+**Backends** — :func:`resolve_backend` / :func:`compiled_available`
+(the flow-integration hot-loop implementations; all bit-identical).
+
+Compatibility contract: within one :data:`API_VERSION`, names exported
+here only gain parameters (keyword-only, defaulted) and never change
+semantics; anything else in ``repro.*`` is internal layering that may
+move between minor versions.  The pre-v1 flat ``Session`` kwargs
+(``trace=``, ``metrics=``, ``spans=``, …) keep working with a
+:class:`DeprecationWarning` — ``docs/migration.md`` has the mapping.
+"""
+
+from __future__ import annotations
+
+from ..config import SimEnvironment
+from ..configs import ObsConfig, RunnerConfig
+from ..core.calibration import CalibrationProfile, DEFAULT_CALIBRATION
+from ..faults import (
+    FaultScenario,
+    LinkDegrade,
+    LinkFail,
+    PageMigrationStorm,
+    RetryPolicy,
+    SdmaStall,
+    install,
+)
+from ..obs import (
+    MetricsRegistry,
+    SpanRecorder,
+    blame_ranking,
+    build_chrome_trace,
+    capture,
+    collect_report,
+    critical_path,
+    explain_spans,
+    merge_snapshots,
+    trace_experiment,
+    write_chrome_trace,
+    write_report,
+)
+from ..runner import ResultCache, SimPoint, SweepRunner
+from ..session import Session, TOPOLOGY_PRESETS, resolve_topology
+from ..sim.backends import compiled_available, resolve_backend
+
+#: The version of this surface (bumped only on breaking changes).
+API_VERSION = 1
+
+__all__ = [
+    "API_VERSION",
+    # front door
+    "Session",
+    "ObsConfig",
+    "RunnerConfig",
+    "SimEnvironment",
+    "CalibrationProfile",
+    "DEFAULT_CALIBRATION",
+    "TOPOLOGY_PRESETS",
+    "resolve_topology",
+    # sweeps
+    "SweepRunner",
+    "SimPoint",
+    "ResultCache",
+    # fault injection
+    "FaultScenario",
+    "LinkDegrade",
+    "LinkFail",
+    "SdmaStall",
+    "PageMigrationStorm",
+    "RetryPolicy",
+    "install",
+    # observability
+    "capture",
+    "trace_experiment",
+    "MetricsRegistry",
+    "SpanRecorder",
+    "merge_snapshots",
+    "critical_path",
+    "explain_spans",
+    "blame_ranking",
+    "collect_report",
+    "write_report",
+    "build_chrome_trace",
+    "write_chrome_trace",
+    # backends
+    "resolve_backend",
+    "compiled_available",
+]

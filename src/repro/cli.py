@@ -42,19 +42,25 @@ Commands
 Artifact commands accept either registry ids (``fig11``) or driver
 module names (``fig11_collectives``).
 
-``run``, ``methodology`` and ``validate`` all accept ``--jobs N``
-(worker processes; ``0``/``auto`` = all cores), ``--no-cache``,
-``--cache-stats``, and ``--metrics`` (capture per-point simulation
-metrics and print the aggregate) — the sweep runner decomposes each
-artifact into independent sim points, reuses cached point results, and
-reassembles bit-identical reports regardless of job count.
+The sweep commands — ``run``, ``methodology``, ``validate``,
+``report``, ``explain`` and ``inject`` — share one option vocabulary
+(each flag spelled the same way everywhere): ``--jobs N`` (worker
+processes; ``0``/``auto`` = all cores), ``--no-cache``,
+``--cache-stats``, ``--backend {python,vectorized,compiled}`` (flow
+hot-loop implementation — bit-identical results, see
+``docs/modeling.md`` §13), ``--metrics``, ``--scenario FILE`` (run
+under a fault scenario), and ``--json [FILE]`` (machine-readable
+output to FILE or stdout).  The sweep runner decomposes each artifact
+into independent sim points, reuses cached point results, and
+reassembles bit-identical reports regardless of job count or backend.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import Sequence
+from typing import Any, Sequence
 
 from .core.calibration import DEFAULT_CALIBRATION
 from .core.methodology import STEPS, Methodology
@@ -74,25 +80,49 @@ def _jobs_arg(value: str) -> int | str:
         ) from None
 
 
-def _add_runner_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
+# Shared option vocabularies, as argparse parent parsers.  Every sweep
+# command composes the same four parents, so a flag is spelled (and
+# help-texted) once and behaves identically everywhere.
+
+
+def _runner_options() -> argparse.ArgumentParser:
+    """``--jobs/--no-cache/--cache-stats/--backend`` parent parser."""
+    from .sim.backends import BACKENDS
+
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--jobs",
         type=_jobs_arg,
         default=None,
         metavar="N",
         help="worker processes for the sweep (0 or 'auto' = all cores)",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--no-cache",
         action="store_true",
         help="bypass the on-disk result cache",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--cache-stats",
         action="store_true",
         help="print sweep-runner cache statistics afterwards",
     )
-    parser.add_argument(
+    parent.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help=(
+            "flow-integration hot loop (default: $REPRO_BACKEND or "
+            "'vectorized'); results are bit-identical across backends"
+        ),
+    )
+    return parent
+
+
+def _obs_options() -> argparse.ArgumentParser:
+    """``--metrics`` parent parser."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--metrics",
         action="store_true",
         help=(
@@ -100,6 +130,38 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
             "occupancy counters) and print the aggregate afterwards"
         ),
     )
+    return parent
+
+
+def _scenario_options() -> argparse.ArgumentParser:
+    """``--scenario FILE`` parent parser (fault injection)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--scenario",
+        default=None,
+        metavar="FILE",
+        dest="fault_scenario",
+        help="run under a fault scenario JSON file (repro.api.FaultScenario)",
+    )
+    return parent
+
+
+def _json_options() -> argparse.ArgumentParser:
+    """``--json [FILE]`` parent parser (machine-readable output)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        dest="json_out",
+        help=(
+            "emit machine-readable results as JSON (to FILE, or stdout "
+            "when no file is given)"
+        ),
+    )
+    return parent
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -111,10 +173,18 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    sweep_parents = [
+        _runner_options(),
+        _obs_options(),
+        _scenario_options(),
+        _json_options(),
+    ]
 
     sub.add_parser("list", help="list reproducible artifacts")
 
-    run = sub.add_parser("run", help="run artifact drivers")
+    run = sub.add_parser(
+        "run", help="run artifact drivers", parents=sweep_parents
+    )
     run.add_argument(
         "artifacts",
         nargs="+",
@@ -132,10 +202,11 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append an ASCII chart to each report where applicable",
     )
-    _add_runner_args(run)
 
     methodology = sub.add_parser(
-        "methodology", help="run the three-step methodology"
+        "methodology",
+        help="run the three-step methodology",
+        parents=sweep_parents,
     )
     methodology.add_argument(
         "steps",
@@ -144,7 +215,6 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="STEP",
         help=f"subset of {sorted(STEPS)} (default: all)",
     )
-    _add_runner_args(methodology)
 
     sub.add_parser("topology", help="print the node topology")
     sub.add_parser("calibration", help="print the calibration profile")
@@ -152,7 +222,9 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("claims", help="list the paper claims and their tests")
 
     validate = sub.add_parser(
-        "validate", help="run the system-validation battery"
+        "validate",
+        help="run the system-validation battery",
+        parents=sweep_parents,
     )
     validate.add_argument(
         "scenario",
@@ -161,20 +233,6 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=sorted(SCENARIOS),
         help="what-if scenario to validate (default: baseline)",
     )
-    validate.add_argument(
-        "--json",
-        nargs="?",
-        const="-",
-        default=None,
-        metavar="FILE",
-        dest="json_out",
-        help=(
-            "emit the machine-readable check results as JSON "
-            "(to FILE, or stdout when no file is given); the exit "
-            "status is still non-zero when any check fails"
-        ),
-    )
-    _add_runner_args(validate)
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the on-disk result cache"
@@ -225,6 +283,7 @@ def _build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser(
         "report",
         help="run one artifact with spans on and write a run report",
+        parents=sweep_parents,
     )
     report.add_argument(
         "artifact",
@@ -239,28 +298,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="HTML output file (default: report_<artifact>.html)",
     )
     report.add_argument(
-        "--json",
-        default=None,
-        metavar="FILE",
-        dest="json_out",
-        help="also write the full JSON report",
-    )
-    report.add_argument(
         "--no-validate",
         action="store_true",
         help="skip the validation battery section",
-    )
-    report.add_argument(
-        "--jobs",
-        type=_jobs_arg,
-        default=None,
-        metavar="N",
-        help="worker processes for the sweep (0 or 'auto' = all cores)",
     )
 
     explain = sub.add_parser(
         "explain",
         help="run one artifact with spans on and print critical-path blame",
+        parents=sweep_parents,
     )
     explain.add_argument(
         "artifact",
@@ -281,17 +327,11 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="blame entries to show (default: 10)",
     )
-    explain.add_argument(
-        "--jobs",
-        type=_jobs_arg,
-        default=None,
-        metavar="N",
-        help="worker processes for the sweep (0 or 'auto' = all cores)",
-    )
 
     inject = sub.add_parser(
         "inject",
         help="run one artifact under a fault scenario (chaos run)",
+        parents=sweep_parents,
     )
     inject.add_argument(
         "artifact",
@@ -299,18 +339,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help="artifact id or module name (fig06, fig11_collectives, …)",
     )
     inject.add_argument(
-        "--scenario",
-        required=True,
-        metavar="FILE",
-        help="fault scenario JSON file (see repro.faults.FaultScenario)",
-    )
-    inject.add_argument(
         "--seedless",
         action="store_true",
-        help=(
-            "bypass the result cache: recompute every point instead of "
-            "reusing results keyed by the scenario fingerprint"
-        ),
+        help="deprecated alias for --no-cache",
     )
     inject.add_argument(
         "--explain",
@@ -323,13 +354,6 @@ def _build_parser() -> argparse.ArgumentParser:
         default=10,
         metavar="N",
         help="blame entries to show with --explain (default: 10)",
-    )
-    inject.add_argument(
-        "--jobs",
-        type=_jobs_arg,
-        default=None,
-        metavar="N",
-        help="worker processes for the sweep (0 or 'auto' = all cores)",
     )
 
     perf = sub.add_parser(
@@ -365,14 +389,48 @@ def _cmd_list() -> int:
     return 0
 
 
-def _make_runner(args: argparse.Namespace):
+def _make_runner(args: argparse.Namespace, faults: Any = None):
     from .runner import SweepRunner
 
     return SweepRunner(
         args.jobs,
         use_cache=not args.no_cache,
         capture_metrics=getattr(args, "metrics", False),
+        faults=faults,
     )
+
+
+def _load_fault_scenario(args: argparse.Namespace):
+    """Load ``--scenario FILE`` if given; ``(scenario, exit_code)``.
+
+    A ``None`` scenario with exit code ``None`` means "no scenario
+    requested"; a non-``None`` exit code means loading failed and the
+    command should return it.
+    """
+    path = getattr(args, "fault_scenario", None)
+    if path is None:
+        return None, None
+    from .errors import ConfigurationError
+    from .faults import FaultScenario
+
+    try:
+        return FaultScenario.load(path), None
+    except (OSError, ConfigurationError, ValueError) as exc:
+        print(f"error: cannot load scenario: {exc}", file=sys.stderr)
+        return None, 2
+
+
+def _emit_json(payload: Any, json_out: str) -> None:
+    """Write a ``--json`` payload to FILE, or stdout for ``-``."""
+    import json
+
+    text = json.dumps(payload, indent=1, default=str)
+    if json_out == "-":
+        print(text)
+    else:
+        with open(json_out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {json_out}")
 
 
 def _print_runner_metrics(runner) -> None:
@@ -396,6 +454,7 @@ def _cmd_run(
     runner=None,
     cache_stats: bool = False,
     show_metrics: bool = False,
+    json_out: str | None = None,
 ) -> int:
     from . import figures
     from .errors import BenchmarkError
@@ -428,6 +487,14 @@ def _cmd_run(
     except BenchmarkError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if json_out is not None:
+        _emit_json(
+            {
+                artifact_id: results[artifact_id].canonical()
+                for artifact_id in dict.fromkeys(artifact_ids)
+            },
+            json_out,
+        )
     for artifact_id in dict.fromkeys(artifact_ids):
         result = results[artifact_id]
         text = figures.report(artifact_id, result)
@@ -435,8 +502,9 @@ def _cmd_run(
             chart = plot(artifact_id, result)
             if chart is not None:
                 text = text + "\n\n" + chart
-        print(text)
-        print()
+        if json_out != "-":
+            print(text)
+            print()
         if directory is not None:
             (directory / f"{artifact_id}.txt").write_text(text + "\n")
     if cache_stats:
@@ -451,10 +519,20 @@ def _cmd_methodology(
     runner=None,
     cache_stats: bool = False,
     show_metrics: bool = False,
+    json_out: str | None = None,
 ) -> int:
     methodology = Methodology(list(steps) or None)
     report = methodology.run(runner=runner)
-    print(report.text())
+    if json_out is not None:
+        _emit_json(
+            {
+                artifact_id: result.canonical()
+                for artifact_id, result in report.results.items()
+            },
+            json_out,
+        )
+    if json_out != "-":
+        print(report.text())
     if cache_stats and runner is not None:
         print(runner.stats.describe())
     if show_metrics and runner is not None:
@@ -596,6 +674,7 @@ def _cmd_report(
     json_out: str | None,
     no_validate: bool,
     jobs: int | str | None,
+    faults: Any = None,
 ) -> int:
     from . import obs
     from .errors import BenchmarkError
@@ -607,11 +686,14 @@ def _cmd_report(
         out = f"report_{experiment_id}.html"
     try:
         report = obs.collect_report(
-            experiment_id, jobs=jobs, validate=not no_validate
+            experiment_id, jobs=jobs, validate=not no_validate, faults=faults
         )
     except BenchmarkError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if json_out == "-":
+        _emit_json(report, json_out)
+        json_out = None
     written = obs.write_report(report, html_path=out, json_path=json_out)
     for path in written:
         print(f"wrote {path}")
@@ -633,6 +715,8 @@ def _cmd_explain(
     span_id: int | None,
     top: int,
     jobs: int | str | None,
+    faults: Any = None,
+    json_out: str | None = None,
 ) -> int:
     from . import obs
     from .errors import BenchmarkError
@@ -642,7 +726,7 @@ def _cmd_explain(
         return 2
     try:
         text = obs.explain_artifact(
-            experiment_id, span_id=span_id, jobs=jobs, top=top
+            experiment_id, span_id=span_id, jobs=jobs, top=top, faults=faults
         )
     except BenchmarkError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -650,46 +734,46 @@ def _cmd_explain(
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    if json_out is not None:
+        _emit_json(
+            {"artifact": experiment_id, "span": span_id, "explain": text},
+            json_out,
+        )
+        if json_out == "-":
+            return 0
     print(text)
     return 0
 
 
 def _cmd_inject(
     artifact: str,
-    scenario_path: str,
-    seedless: bool,
+    scenario: Any,
     explain: bool,
     top: int,
-    jobs: int | str | None,
+    runner,
+    json_out: str | None = None,
 ) -> int:
     from . import figures, obs
     from .errors import (
         BenchmarkError,
-        ConfigurationError,
         MpiError,
         RcclError,
         SimulationError,
     )
-    from .faults import FaultScenario
-    from .runner import SweepRunner
 
     experiment_id = _check_artifact(artifact)
     if experiment_id is None:
         return 2
-    try:
-        scenario = FaultScenario.load(scenario_path)
-    except (OSError, ConfigurationError, ValueError) as exc:
-        print(f"error: cannot load scenario: {exc}", file=sys.stderr)
-        return 2
-    print(
-        f"injecting scenario {scenario.name!r} "
-        f"({len(scenario)} event(s), fingerprint "
-        f"{scenario.fingerprint()[:12]}) into {experiment_id}"
-    )
-    for line in scenario.describe().splitlines():
-        print(f"  {line}")
-    print()
-    runner = SweepRunner(jobs, use_cache=not seedless, faults=scenario)
+    quiet = json_out == "-"
+    if not quiet:
+        print(
+            f"injecting scenario {scenario.name!r} "
+            f"({len(scenario)} event(s), fingerprint "
+            f"{scenario.fingerprint()[:12]}) into {experiment_id}"
+        )
+        for line in scenario.describe().splitlines():
+            print(f"  {line}")
+        print()
     try:
         result = runner.run_experiment(experiment_id)
     except BenchmarkError as exc:
@@ -707,12 +791,17 @@ def _cmd_inject(
             file=sys.stderr,
         )
         return 1
-    print(figures.report(experiment_id, result))
-    if explain:
-        print()
-        print(
-            obs.explain_artifact(experiment_id, jobs=jobs, top=top, faults=scenario)
-        )
+    if json_out is not None:
+        _emit_json({experiment_id: result.canonical()}, json_out)
+    if not quiet:
+        print(figures.report(experiment_id, result))
+        if explain:
+            print()
+            print(
+                obs.explain_artifact(
+                    experiment_id, jobs=runner.jobs, top=top, faults=scenario
+                )
+            )
     return 0
 
 
@@ -731,23 +820,37 @@ def _cmd_cache(action: str, cache_dir: str | None = None) -> int:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit status."""
     args = _build_parser().parse_args(argv)
+    # --backend travels via the environment so sweep workers (fresh
+    # processes) inherit it; results are bit-identical across backends,
+    # so the choice never enters cache keys.
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        from .sim.backends import BACKEND_ENV_VAR
+
+        os.environ[BACKEND_ENV_VAR] = backend
     if args.command == "list":
         return _cmd_list()
+    if args.command in {"run", "methodology", "validate", "inject"}:
+        scenario, error = _load_fault_scenario(args)
+        if error is not None:
+            return error
     if args.command == "run":
         return _cmd_run(
             args.artifacts,
             args.output_dir,
             args.plot,
-            runner=_make_runner(args),
+            runner=_make_runner(args, faults=scenario),
             cache_stats=args.cache_stats,
             show_metrics=args.metrics,
+            json_out=args.json_out,
         )
     if args.command == "methodology":
         return _cmd_methodology(
             args.steps,
-            runner=_make_runner(args),
+            runner=_make_runner(args, faults=scenario),
             cache_stats=args.cache_stats,
             show_metrics=args.metrics,
+            json_out=args.json_out,
         )
     if args.command == "topology":
         return _cmd_topology()
@@ -763,7 +866,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "validate":
         return _cmd_validate(
             args.scenario,
-            runner=_make_runner(args),
+            runner=_make_runner(args, faults=scenario),
             cache_stats=args.cache_stats,
             show_metrics=args.metrics,
             json_out=args.json_out,
@@ -773,19 +876,44 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.artifact, args.out, args.trace_capacity, args.check
         )
     if args.command == "report":
+        scenario, error = _load_fault_scenario(args)
+        if error is not None:
+            return error
         return _cmd_report(
-            args.artifact, args.out, args.json_out, args.no_validate, args.jobs
+            args.artifact,
+            args.out,
+            args.json_out,
+            args.no_validate,
+            args.jobs,
+            faults=scenario,
         )
     if args.command == "explain":
-        return _cmd_explain(args.artifact, args.span, args.top, args.jobs)
-    if args.command == "inject":
-        return _cmd_inject(
+        scenario, error = _load_fault_scenario(args)
+        if error is not None:
+            return error
+        return _cmd_explain(
             args.artifact,
-            args.scenario,
-            args.seedless,
-            args.explain,
+            args.span,
             args.top,
             args.jobs,
+            faults=scenario,
+            json_out=args.json_out,
+        )
+    if args.command == "inject":
+        if scenario is None:
+            print(
+                "error: inject requires --scenario FILE", file=sys.stderr
+            )
+            return 2
+        if args.seedless:
+            args.no_cache = True
+        return _cmd_inject(
+            args.artifact,
+            scenario,
+            args.explain,
+            args.top,
+            runner=_make_runner(args, faults=scenario),
+            json_out=args.json_out,
         )
     if args.command == "perf":
         return _cmd_perf(args.smoke, args.output, args.repeats)

@@ -1,0 +1,80 @@
+"""Grouped configuration objects for the ``repro.api`` v1 surface.
+
+Five PRs of features left :class:`~repro.session.Session` and
+:class:`~repro.runner.SweepRunner` with a sprawl of flat keyword
+arguments (``trace``, ``trace_capacity``, ``metrics``,
+``metrics_capacity``, ``spans``, ``jobs``, ``use_cache``, …).  The v1
+API groups them into two small dataclasses:
+
+- :class:`ObsConfig` — what to observe (tracer, metrics, spans).
+- :class:`RunnerConfig` — how to fan out (jobs, cache, captures).
+
+The old flat kwargs still work everywhere but raise
+:class:`DeprecationWarning`; see ``docs/migration.md`` for the
+old → new mapping.  These classes live in their own dependency-free
+module so ``repro.api``, ``repro.session`` and ``repro.runner`` can
+all import them without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """What a :class:`~repro.session.Session` observes.
+
+    Parameters mirror the observability stack one-to-one:
+
+    trace:
+        Enable the timeline tracer.
+    trace_capacity:
+        Optional tracer ring-buffer bound (newest records win).
+    metrics:
+        ``True`` for a fresh enabled
+        :class:`~repro.obs.metrics.MetricsRegistry`, an existing
+        registry to share across sessions, or ``False``/``None`` for
+        the near-zero-cost null registry.
+    metrics_capacity:
+        Per-series sample-ring bound for a ``metrics=True`` registry.
+    spans:
+        ``True`` for a fresh :class:`~repro.obs.spans.SpanRecorder`
+        (causal spans + bottleneck attribution), an existing recorder,
+        or ``False``/``None`` for disabled.
+    """
+
+    trace: bool = False
+    trace_capacity: int | None = None
+    metrics: Any = None
+    metrics_capacity: int | None = None
+    spans: Any = None
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any observation channel is on."""
+        return bool(self.trace or self.metrics or self.spans)
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """How a :class:`~repro.runner.SweepRunner` fans out.
+
+    jobs:
+        Worker processes — an int, ``"auto"``, or ``None`` for serial.
+    cache:
+        Reuse content-addressed results from previous runs.
+    cache_dir:
+        Cache location override (defaults to the user cache dir).
+    capture_metrics:
+        Collect each point's metrics snapshot into its result record.
+    capture_spans:
+        Collect each point's causal spans into its result record.
+    """
+
+    jobs: int | str | None = None
+    cache: bool = True
+    cache_dir: str | None = None
+    capture_metrics: bool = False
+    capture_spans: bool = False

@@ -49,6 +49,7 @@ class HardwareNode:
         metrics_capacity: int | None = None,
         spans: "SpanRecorder | bool | None" = None,
         faults: "object | None" = None,
+        backend: str | None = None,
     ) -> None:
         self.topology = topology if topology is not None else frontier_node()
         self.calibration = (
@@ -74,7 +75,7 @@ class HardwareNode:
             self.spans = resolve_spans(spans)
         self.engine = engine if engine is not None else SimEngine(metrics=self.metrics)
         self.network = FlowNetwork(
-            self.engine, metrics=self.metrics, spans=self.spans
+            self.engine, metrics=self.metrics, spans=self.spans, backend=backend
         )
         self.tracer = (
             tracer

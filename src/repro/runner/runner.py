@@ -144,6 +144,18 @@ class SweepRunner:
         # and the synthetic timeline stay globally consistent.
         self._span_points: list[tuple[str, list[dict[str, Any]]]] = []
 
+    @classmethod
+    def from_config(cls, config: Any, *, faults: Any = None) -> "SweepRunner":
+        """Build a runner from a :class:`~repro.configs.RunnerConfig`."""
+        return cls(
+            config.jobs,
+            use_cache=config.cache,
+            cache_dir=config.cache_dir,
+            capture_metrics=config.capture_metrics,
+            capture_spans=config.capture_spans,
+            faults=faults,
+        )
+
     # -- point execution ------------------------------------------------
 
     def run_points(self, points: Sequence[SimPoint]) -> list[Any]:

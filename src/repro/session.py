@@ -29,9 +29,11 @@ deterministic, exactly like the bare objects did.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, Generator, Sequence
 
 from .config import SimEnvironment
+from .configs import ObsConfig, RunnerConfig
 from .core.calibration import CalibrationProfile
 from .errors import ConfigurationError
 from .hardware.node import HardwareNode
@@ -71,6 +73,55 @@ def resolve_topology(topology: str | NodeTopology | None) -> NodeTopology:
     )
 
 
+def _fold_flat_obs_kwargs(
+    obs: ObsConfig | None,
+    *,
+    trace: bool | None,
+    trace_capacity: int | None,
+    metrics: Any,
+    metrics_capacity: int | None,
+    spans: Any,
+) -> ObsConfig:
+    """Merge the pre-v1 flat observation kwargs into an ObsConfig.
+
+    Each flat kwarg earns a :class:`DeprecationWarning`; combining the
+    two styles is an error (silently preferring one would hide a bug at
+    the call site).
+    """
+    passed = {
+        name: value
+        for name, value in (
+            ("trace", trace),
+            ("trace_capacity", trace_capacity),
+            ("metrics", metrics),
+            ("metrics_capacity", metrics_capacity),
+            ("spans", spans),
+        )
+        if value is not None
+    }
+    if not passed:
+        return obs if obs is not None else ObsConfig()
+    if obs is not None:
+        raise ConfigurationError(
+            "pass either obs=ObsConfig(...) or the deprecated flat kwargs, "
+            f"not both: {sorted(passed)}"
+        )
+    spelling = ", ".join(f"{name}=..." for name in sorted(passed))
+    warnings.warn(
+        f"Session({spelling}) is deprecated; use "
+        f"Session(obs=ObsConfig({spelling})) — see docs/migration.md",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return ObsConfig(
+        trace=bool(trace),
+        trace_capacity=trace_capacity,
+        metrics=metrics,
+        metrics_capacity=metrics_capacity,
+        spans=spans,
+    )
+
+
 class Session:
     """One fully-wired simulated machine plus its software stack.
 
@@ -87,23 +138,19 @@ class Session:
         ``**env_flags`` (e.g. ``xnack_enabled=True``,
         ``sdma_enabled=False``) — the simulated counterparts of
         ``HSA_XNACK`` / ``HSA_ENABLE_SDMA`` / …
-    trace:
-        Enable the timeline tracer.
-    trace_capacity:
-        Optional ring-buffer bound for the tracer (newest records win).
-    metrics:
-        ``True`` for a fresh enabled
-        :class:`~repro.obs.metrics.MetricsRegistry`, an existing
-        registry to share one across sessions, or ``None``/``False``
-        for the disabled null registry (the default — near-zero cost).
-    metrics_capacity:
-        Per-series sample-ring bound for a ``metrics=True`` registry
-        (long sweeps bound memory this way; summary stats stay exact
-        and evictions surface as ``dropped`` in snapshots).
-    spans:
-        ``True`` for a fresh :class:`~repro.obs.spans.SpanRecorder`
-        (causal spans + bottleneck attribution), an existing recorder
-        to share, or ``None``/``False`` for disabled (the default).
+    backend:
+        Flow-integration backend: ``"python"``, ``"vectorized"``
+        (default), or ``"compiled"`` (numba; degrades automatically
+        when unavailable).  All backends are bit-identical — see
+        :mod:`repro.sim.backends`.  ``None`` consults the
+        ``REPRO_BACKEND`` environment variable.
+    obs:
+        An :class:`~repro.configs.ObsConfig` grouping the tracer,
+        metrics, and span settings.  ``None`` means observe nothing
+        (near-zero cost).
+    runner:
+        A :class:`~repro.configs.RunnerConfig` providing the defaults
+        for :meth:`runner` (jobs, cache, captures).
     coherence:
         Optional :class:`CoherencePolicy` override for the HIP layer.
     faults:
@@ -113,6 +160,11 @@ class Session:
         ambient :func:`repro.faults.install` context if one is active;
         pass an *empty* scenario to shield a session from the ambient
         one.
+    trace, trace_capacity, metrics, metrics_capacity, spans:
+        .. deprecated:: 0.7
+            The pre-v1 flat spellings of ``obs=ObsConfig(...)``.
+            Still honoured (with a :class:`DeprecationWarning`); see
+            ``docs/migration.md``.
     """
 
     def __init__(
@@ -121,13 +173,16 @@ class Session:
         *,
         calibration: CalibrationProfile | None = None,
         env: SimEnvironment | None = None,
-        trace: bool = False,
+        backend: str | None = None,
+        obs: ObsConfig | None = None,
+        runner: RunnerConfig | None = None,
+        coherence: CoherencePolicy | None = None,
+        faults: Any = None,
+        trace: bool | None = None,
         trace_capacity: int | None = None,
         metrics: Any = None,
         metrics_capacity: int | None = None,
         spans: Any = None,
-        coherence: CoherencePolicy | None = None,
-        faults: Any = None,
         **env_flags: Any,
     ) -> None:
         if env is not None and env_flags:
@@ -135,6 +190,16 @@ class Session:
                 "pass either env= or environment keyword flags, not both: "
                 f"{sorted(env_flags)}"
             )
+        obs = _fold_flat_obs_kwargs(
+            obs,
+            trace=trace,
+            trace_capacity=trace_capacity,
+            metrics=metrics,
+            metrics_capacity=metrics_capacity,
+            spans=spans,
+        )
+        self.obs = obs
+        self.runner_config = runner if runner is not None else RunnerConfig()
         self.topology = resolve_topology(topology)
         if env is None:
             try:
@@ -147,15 +212,21 @@ class Session:
         self.node = HardwareNode(
             self.topology,
             calibration,
-            trace=trace,
-            trace_capacity=trace_capacity,
-            metrics=metrics,
-            metrics_capacity=metrics_capacity,
-            spans=spans,
+            trace=obs.trace,
+            trace_capacity=obs.trace_capacity,
+            metrics=obs.metrics,
+            metrics_capacity=obs.metrics_capacity,
+            spans=obs.spans,
             faults=faults,
+            backend=backend,
         )
         self.hip = HipRuntime(self.node, self.env, coherence=coherence)
         self._closed = False
+
+    @property
+    def backend(self) -> str:
+        """The flow-integration backend actually in effect."""
+        return self.node.network.backend
 
     # -- context management --------------------------------------------------
 
@@ -242,23 +313,38 @@ class Session:
         self,
         jobs: int | str | None = None,
         *,
-        use_cache: bool = True,
+        use_cache: bool | None = None,
         cache_dir: str | None = None,
         faults: Any = None,
     ):
         """A :class:`~repro.runner.SweepRunner` for fan-out sweeps.
 
-        The runner spawns a *fresh* session per sim point (that is what
-        keeps points independent), so this is a factory hanging off the
-        front-door object, not a view of this session's node.  Pass
-        ``faults=`` (a :class:`~repro.faults.FaultScenario`) for a
-        fault-sensitivity sweep; this session's own scenario does not
-        propagate automatically.
+        Arguments left unset fall back to the session's
+        :class:`~repro.configs.RunnerConfig` (``runner=`` at
+        construction).  The runner spawns a *fresh* session per sim
+        point (that is what keeps points independent), so this is a
+        factory hanging off the front-door object, not a view of this
+        session's node.  Pass ``faults=`` (a
+        :class:`~repro.faults.FaultScenario`) for a fault-sensitivity
+        sweep; this session's own scenario does not propagate
+        automatically.
         """
         from .runner import SweepRunner
 
+        config = self.runner_config
+        if jobs is None:
+            jobs = config.jobs
+        if use_cache is None:
+            use_cache = config.cache
+        if cache_dir is None:
+            cache_dir = config.cache_dir
         return SweepRunner(
-            jobs, use_cache=use_cache, cache_dir=cache_dir, faults=faults
+            jobs,
+            use_cache=use_cache,
+            cache_dir=cache_dir,
+            capture_metrics=config.capture_metrics,
+            capture_spans=config.capture_spans,
+            faults=faults,
         )
 
     # -- introspection ----------------------------------------------------------

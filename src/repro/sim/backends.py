@@ -1,0 +1,160 @@
+"""Numeric backend selection for the flow-integration hot loop.
+
+:class:`~repro.sim.flow.FlowNetwork` integrates constant-rate
+intervals (``remaining -= rate * dt``), finds the next completion
+(``min(remaining / rate)``), and detects finished flows
+(``remaining <= threshold``) on every topology change.  Three
+interchangeable implementations exist:
+
+``python``
+    Per-flow attribute loops — no dependencies, the reference
+    semantics.
+``vectorized``
+    The same arithmetic as one NumPy float64 array operation per
+    interval.  Element-wise IEEE-754 ops (no reassociation, no FMA
+    contraction), so results are **bit-identical** to the Python loop;
+    the differential suite in ``tests/sim/test_backend_differential.py``
+    enforces this property.
+``compiled``
+    The vectorized arrays driven through numba ``@njit`` kernels
+    (LLVM without fast-math, so still bit-identical).  Falls back to
+    ``vectorized`` automatically when numba is not installed.
+
+Because all backends produce bit-identical results, the backend choice
+deliberately does **not** enter sweep-cache fingerprints — a cache
+entry written under one backend is valid under every other.
+
+Selection precedence: explicit ``backend=`` argument, then the
+``REPRO_BACKEND`` environment variable, then :data:`DEFAULT_BACKEND`.
+Requesting an unavailable backend *degrades* (compiled → vectorized →
+python) rather than failing, so the same script runs on a bare
+interpreter and a numba-equipped one; an unknown name is still an
+error.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, NamedTuple
+
+from ..errors import ConfigurationError
+
+try:  # numpy is a hard dependency of the package, but stay importable
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via _resolve internals
+    _np = None
+
+#: Recognised backend names, in degradation order (strongest first).
+BACKENDS = ("compiled", "vectorized", "python")
+
+#: Used when neither ``backend=`` nor ``REPRO_BACKEND`` says otherwise.
+DEFAULT_BACKEND = "vectorized"
+
+#: Environment variable consulted when no explicit backend is passed.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+class BackendChoice(NamedTuple):
+    """What was asked for and what will actually run."""
+
+    requested: str
+    effective: str
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the request could not be honoured as-is."""
+        return self.requested != self.effective
+
+
+def numpy_available() -> bool:
+    """Whether the vectorized backend can run."""
+    return _np is not None
+
+
+def compiled_available() -> bool:
+    """Whether the compiled (numba) backend can run."""
+    return _COMPILED_KERNELS is not None
+
+
+def resolve_backend(backend: str | None = None) -> BackendChoice:
+    """Resolve a backend request to what will actually run.
+
+    ``None`` consults ``REPRO_BACKEND``, then the default.  Unknown
+    names raise :class:`~repro.errors.ConfigurationError`; known-but-
+    unavailable ones degrade silently (the choice records it as
+    ``degraded`` for anyone who wants to surface a notice).
+    """
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+    name = backend.strip().lower()
+    if name not in BACKENDS:
+        known = ", ".join(BACKENDS)
+        raise ConfigurationError(
+            f"unknown backend {backend!r} (known: {known})"
+        )
+    effective = name
+    if effective == "compiled" and not compiled_available():
+        effective = "vectorized"
+    if effective == "vectorized" and not numpy_available():
+        effective = "python"
+    return BackendChoice(name, effective)
+
+
+# -- compiled kernels ---------------------------------------------------------
+#
+# The kernels operate on the first ``n`` slots of pre-allocated float64
+# arrays (the FlowNetwork's slot arrays).  They are deliberately tiny:
+# the same three array statements as the vectorized path, just fused
+# into single passes without temporaries.
+
+
+def _build_compiled_kernels() -> dict[str, Callable[..., Any]] | None:
+    """JIT-compile the hot-loop kernels, or ``None`` if numba is absent.
+
+    Compilation itself is lazy (first call), so importing this module
+    stays cheap even with numba installed.
+    """
+    if _np is None:
+        return None
+    try:
+        from numba import njit  # type: ignore[import-not-found]
+    except ImportError:
+        return None
+
+    @njit(cache=True)
+    def advance(remaining: Any, rate: Any, n: int, dt: float) -> None:
+        for i in range(n):
+            remaining[i] -= rate[i] * dt
+
+    @njit(cache=True)
+    def min_eta(remaining: Any, rate: Any, n: int) -> float:
+        best = remaining[0] / rate[0]
+        for i in range(1, n):
+            eta = remaining[i] / rate[i]
+            if eta < best:
+                best = eta
+        return best
+
+    @njit(cache=True)
+    def finished_mask(remaining: Any, threshold: Any, out: Any, n: int) -> int:
+        count = 0
+        for i in range(n):
+            hit = remaining[i] <= threshold[i]
+            out[i] = hit
+            if hit:
+                count += 1
+        return count
+
+    return {"advance": advance, "min_eta": min_eta, "finished_mask": finished_mask}
+
+
+_COMPILED_KERNELS = _build_compiled_kernels()
+
+
+def compiled_kernels() -> dict[str, Callable[..., Any]]:
+    """The numba kernel table; raises if the backend is unavailable."""
+    if _COMPILED_KERNELS is None:
+        raise ConfigurationError(
+            "compiled backend unavailable (numba not installed)"
+        )
+    return _COMPILED_KERNELS

@@ -2,9 +2,10 @@
 
 The design follows the SimPy model but is intentionally small: events
 carry callbacks, processes are Python generators that *yield* events,
-and the engine advances a simulated clock over a binary heap of
-scheduled events.  Determinism is guaranteed by a monotonically
-increasing sequence number that breaks timestamp ties in FIFO order.
+and the engine advances a simulated clock over a time-bucketed event
+queue.  Determinism is guaranteed by FIFO dispatch within a timestamp:
+occurrences scheduled for the same instant fire in scheduling order,
+exactly as a ``(time, sequence)`` heap would order them.
 
 Typical use::
 
@@ -24,13 +25,22 @@ Typical use::
 The hot path is tuned for event throughput — this loop dominates
 figure sweeps with hundreds of concurrent flows:
 
+- The queue is an *epoch queue*: a dict of ``time -> [items]`` buckets
+  plus a min-heap of the **distinct** pending times.  All occurrences
+  sharing a timestamp are popped as one batch (an *epoch*) and
+  dispatched in FIFO sequence order, so the clock advances once per
+  epoch instead of once per event, scheduling another item at an
+  already-pending time is an O(1) list append (no heap sift), and
+  zero-delay occurrences scheduled *during* an epoch append directly
+  to the live epoch buffer — the common ``succeed()``-at-now case
+  never touches the heap at all.
 - ``call_after`` schedules a pooled ``__slots__``-tight timer record
   instead of a full :class:`Timeout` event plus closure; fired records
   return to a free-list and are reused.
 - :meth:`SimEngine.schedule` returns a cancellable :class:`TimerHandle`
-  whose cancellation is *lazy*: the heap entry stays put and is
-  discarded (not delivered) when it surfaces, so cancelling costs O(1)
-  instead of an O(n) heap repair.
+  whose cancellation is *lazy*: the queued record stays put and dead
+  records are skimmed in bulk (without firing, without clock movement)
+  as their epoch dispatches, so cancelling costs O(1).
 - Event callback lists are allocated lazily — an event nobody
   subscribes to never allocates one.
 
@@ -41,7 +51,6 @@ raise :class:`repro.errors.SimulationError` rather than misbehaving.
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..errors import SchedulingError, SimulationError
@@ -152,8 +161,8 @@ class TimerHandle:
     """A scheduled callback with O(1) lazy cancellation.
 
     Returned by :meth:`SimEngine.schedule`.  :meth:`cancel` marks the
-    record; the engine discards it (without firing) when the heap entry
-    surfaces, so cancellation never reshapes the heap.
+    record; the engine discards it (without firing) when its epoch
+    dispatches, so cancellation never reshapes the queue.
     """
 
     __slots__ = ("callback", "args", "cancelled", "_pooled")
@@ -318,19 +327,37 @@ _TIMER_POOL_LIMIT = 256
 
 
 class SimEngine:
-    """The event loop: a clock plus a deterministic event heap.
+    """The event loop: a clock plus a deterministic epoch queue.
+
+    The queue stores occurrences in per-timestamp FIFO buckets; a
+    min-heap of the *distinct* pending times orders the buckets.  Each
+    :meth:`run` iteration pops one bucket — an **epoch** — and
+    dispatches its items in scheduling order, advancing the clock once
+    (and only when a live item actually fires, so trailing cancelled
+    timers never move time).  Items scheduled *at the current instant
+    while its epoch is dispatching* are appended to the live epoch
+    buffer directly: their sequence numbers are by construction higher
+    than everything pending, so FIFO order is preserved without any
+    heap traffic.  The dispatch order is bit-identical to the classic
+    ``(time, sequence)`` heap the engine used through v0.6.
 
     ``metrics`` optionally attaches a
     :class:`~repro.obs.metrics.MetricsRegistry`; when enabled, ``run``
-    switches to an observed loop that samples heap depth and pushes
+    switches to an observed loop that samples queue depth and pushes
     event/timer deltas into the registry.  The disabled path pays one
     truthiness check per ``run()`` call — nothing per event.
     """
 
     def __init__(self, *, metrics: Any = None) -> None:
         self._now = 0.0
-        self._heap: list[tuple[float, int, Any]] = []
-        self._sequence = itertools.count()
+        #: time -> FIFO list of items (TimerHandle or Event) at that time.
+        self._buckets: dict[float, list[Any]] = {}
+        #: min-heap of the distinct times present in ``_buckets``.
+        self._times: list[float] = []
+        #: the epoch currently dispatching (bucket popped from the dict).
+        self._epoch: list[Any] = []
+        self._epoch_pos = 0
+        self._epoch_time = 0.0
         self._running = False
         self._timer_pool: list[TimerHandle] = []
         if metrics is None:
@@ -370,6 +397,28 @@ class SimEngine:
         """Event that fires with the first component."""
         return AnyOf(self, events)
 
+    def _enqueue(self, when: float, item: Any) -> None:
+        """Queue an item at ``when`` (absolute), preserving FIFO order.
+
+        Fast paths, in order: appending to the epoch currently
+        dispatching at ``when`` (no heap traffic at all — the common
+        ``succeed()``-at-now case), appending to an existing bucket
+        (O(1) — no heap sift), and only for the first item at a brand
+        new time a heap push of that time.
+        """
+        if when == self._epoch_time and self._epoch_pos < len(self._epoch):
+            # Scheduled at the very instant its epoch is dispatching:
+            # every pending item here has a lower sequence number, so a
+            # plain append keeps (time, sequence) order exact.
+            self._epoch.append(item)
+            return
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = [item]
+            heapq.heappush(self._times, when)
+        else:
+            bucket.append(item)
+
     def call_after(
         self, delay: float, callback: Callable[..., Any], *args: Any
     ) -> None:
@@ -389,9 +438,7 @@ class SimEngine:
             timer.cancelled = False
         else:
             timer = TimerHandle(callback, args, pooled=True)
-        heapq.heappush(
-            self._heap, (self._now + delay, next(self._sequence), timer)
-        )
+        self._enqueue(self._now + delay, timer)
 
     def schedule(
         self, delay: float, callback: Callable[..., Any], *args: Any
@@ -404,9 +451,7 @@ class SimEngine:
         if delay < 0:
             raise SchedulingError(f"negative delay {delay}")
         timer = TimerHandle(callback, args, pooled=False)
-        heapq.heappush(
-            self._heap, (self._now + delay, next(self._sequence), timer)
-        )
+        self._enqueue(self._now + delay, timer)
         return timer
 
     # -- scheduling ----------------------------------------------------------
@@ -414,54 +459,89 @@ class SimEngine:
     def _schedule_delivery(self, event: Event, *, delay: float = 0.0) -> None:
         if delay < 0:
             raise SchedulingError(f"negative delay {delay}")
-        heapq.heappush(self._heap, (self._now + delay, next(self._sequence), event))
+        self._enqueue(self._now + delay, event)
 
     # -- execution -------------------------------------------------------------
 
-    def step(self) -> bool:
-        """Deliver the next live occurrence.
+    def _load_epoch(self) -> bool:
+        """Pop the earliest bucket into the epoch buffer.
 
-        Cancelled timer records are discarded silently.  Returns False
-        when nothing (live) remains on the heap.
+        Returns False when the queue is empty.  Does *not* advance the
+        clock — time moves when the first live item of the epoch
+        dispatches, so a trailing all-cancelled bucket never drags the
+        clock forward (matching the classic per-event loop, which only
+        advanced time on live deliveries).
         """
-        heap = self._heap
-        while heap:
-            when, _seq, item = heapq.heappop(heap)
-            if item.__class__ is TimerHandle:
-                if item.cancelled:
-                    self.timers_cancelled += 1
-                    if item._pooled and len(self._timer_pool) < _TIMER_POOL_LIMIT:
-                        item.callback = None
-                        item.args = ()
-                        self._timer_pool.append(item)
-                    continue
-                if when < self._now - 1e-18:
-                    raise SchedulingError(
-                        f"event scheduled in the past ({when} < {self._now})"
-                    )
-                if when > self._now:
-                    self._now = when
-                callback, args = item.callback, item.args
+        if not self._times:
+            if self._epoch:
+                self._epoch = []
+                self._epoch_pos = 0
+            return False
+        when = heapq.heappop(self._times)
+        self._epoch = self._buckets.pop(when)
+        self._epoch_pos = 0
+        self._epoch_time = when
+        return True
+
+    def _dispatch_one(self) -> bool:
+        """Dispatch the next item of the current epoch.
+
+        Returns True if it was live (fired/delivered), False if it was
+        a cancelled timer record (skimmed).  The caller guarantees the
+        epoch buffer is non-empty at ``_epoch_pos``.
+        """
+        pos = self._epoch_pos
+        item = self._epoch[pos]
+        self._epoch_pos = pos + 1
+        if item.__class__ is TimerHandle:
+            if item.cancelled:
+                self.timers_cancelled += 1
                 if item._pooled and len(self._timer_pool) < _TIMER_POOL_LIMIT:
                     item.callback = None
                     item.args = ()
                     self._timer_pool.append(item)
-                self.timers_fired += 1
-                callback(*args)
-                return True
+                return False
+            when = self._epoch_time
             if when < self._now - 1e-18:
                 raise SchedulingError(
                     f"event scheduled in the past ({when} < {self._now})"
                 )
             if when > self._now:
                 self._now = when
-            self.events_delivered += 1
-            item._deliver()
+            callback, args = item.callback, item.args
+            if item._pooled and len(self._timer_pool) < _TIMER_POOL_LIMIT:
+                item.callback = None
+                item.args = ()
+                self._timer_pool.append(item)
+            self.timers_fired += 1
+            callback(*args)
             return True
-        return False
+        when = self._epoch_time
+        if when < self._now - 1e-18:
+            raise SchedulingError(
+                f"event scheduled in the past ({when} < {self._now})"
+            )
+        if when > self._now:
+            self._now = when
+        self.events_delivered += 1
+        item._deliver()
+        return True
+
+    def step(self) -> bool:
+        """Deliver the next live occurrence.
+
+        Cancelled timer records are discarded silently.  Returns False
+        when nothing (live) remains on the queue.
+        """
+        while True:
+            if self._epoch_pos >= len(self._epoch) and not self._load_epoch():
+                return False
+            while self._epoch_pos < len(self._epoch):
+                if self._dispatch_one():
+                    return True
 
     def run(self, until: Optional[float] = None) -> float:
-        """Run until the heap drains (or the clock passes ``until``).
+        """Run until the queue drains (or the clock passes ``until``).
 
         Returns the final simulated time.
         """
@@ -472,32 +552,123 @@ class SimEngine:
             if self.metrics:
                 self._run_observed(until)
                 return self._now
-            heap = self._heap
-            step = self.step
             if until is None:
-                while heap:
-                    if not step():
-                        break
+                self._run_epochs()
             else:
-                while heap:
-                    if heap[0][0] > until:
-                        self._now = until
-                        break
-                    if not step():
-                        break
+                self._run_epochs_until(until)
         finally:
             self._running = False
         return self._now
+
+    def _run_epochs(self) -> None:
+        """The unbounded drain loop — the engine's hottest code.
+
+        One pass of the outer loop dispatches one full epoch; the inner
+        loop is a tight FIFO walk with the per-item work inlined
+        (cancelled-record skimming, pool recycling, clock advance on
+        first live item).  State that callbacks can touch
+        (``_epoch_pos`` via :meth:`step`, the epoch list via
+        :meth:`_enqueue` appends) is re-read from ``self`` at the
+        points where it can change.
+        """
+        buckets = self._buckets
+        times = self._times
+        pool = self._timer_pool
+        heappop = heapq.heappop
+        events = self.events_delivered
+        fired = self.timers_fired
+        cancelled = self.timers_cancelled
+        try:
+            while True:
+                epoch = self._epoch
+                pos = self._epoch_pos
+                if pos >= len(epoch):
+                    if not times:
+                        if epoch:
+                            self._epoch = []
+                            self._epoch_pos = 0
+                        break
+                    when = heappop(times)
+                    epoch = buckets.pop(when)
+                    self._epoch = epoch
+                    self._epoch_time = when
+                    pos = 0
+                else:
+                    when = self._epoch_time
+                while pos < len(epoch):
+                    item = epoch[pos]
+                    pos += 1
+                    self._epoch_pos = pos
+                    if item.__class__ is TimerHandle:
+                        if item.cancelled:
+                            cancelled += 1
+                            if item._pooled and len(pool) < _TIMER_POOL_LIMIT:
+                                item.callback = None
+                                item.args = ()
+                                pool.append(item)
+                            continue
+                        if when > self._now:
+                            self._now = when
+                        elif when < self._now - 1e-18:
+                            raise SchedulingError(
+                                f"event scheduled in the past ({when} < {self._now})"
+                            )
+                        callback, args = item.callback, item.args
+                        if item._pooled and len(pool) < _TIMER_POOL_LIMIT:
+                            item.callback = None
+                            item.args = ()
+                            pool.append(item)
+                        fired += 1
+                        callback(*args)
+                    else:
+                        if when > self._now:
+                            self._now = when
+                        elif when < self._now - 1e-18:
+                            raise SchedulingError(
+                                f"event scheduled in the past ({when} < {self._now})"
+                            )
+                        events += 1
+                        item._deliver()
+                    # A callback may have appended to this epoch or
+                    # consumed items via a nested step(); re-sync.
+                    pos = self._epoch_pos
+        finally:
+            self.events_delivered = events
+            self.timers_fired = fired
+            self.timers_cancelled = cancelled
+
+    def _run_epochs_until(self, until: float) -> None:
+        """The bounded drain loop (``run(until=...)`` semantics).
+
+        Identical to :meth:`_run_epochs`, except no epoch with a
+        timestamp beyond ``until`` starts: the clock parks at ``until``
+        and pending later work stays queued.
+        """
+        while True:
+            if self._epoch_pos >= len(self._epoch):
+                if not self._times:
+                    if self._epoch:
+                        self._epoch = []
+                        self._epoch_pos = 0
+                    break
+                if self._times[0] > until:
+                    self._now = until
+                    break
+                self._load_epoch()
+            elif self._epoch_time > until:
+                self._now = until
+                break
+            while self._epoch_pos < len(self._epoch):
+                self._dispatch_one()
 
     def _run_observed(self, until: Optional[float]) -> None:
         """The metrics-enabled run loop (same semantics as ``run``).
 
         Kept separate so the common disabled path stays branch-free:
-        this loop samples heap depth per dispatch and folds the
+        this loop samples queue depth per dispatch and folds the
         event/timer deltas into the registry when the drain ends.
         """
         metrics = self.metrics
-        heap = self._heap
         step = self.step
         events_before = self.events_delivered
         timers_before = self.timers_fired
@@ -506,18 +677,19 @@ class SimEngine:
         depth_series = metrics.timeseries("engine/heap_depth")
         try:
             if until is None:
-                while heap:
-                    depth.set(len(heap))
-                    depth_series.observe(self._now, len(heap))
+                while self._times or self._epoch_pos < len(self._epoch):
+                    depth.set(self.queue_depth())
+                    depth_series.observe(self._now, self.queue_depth())
                     if not step():
                         break
             else:
-                while heap:
-                    if heap[0][0] > until:
+                while self._times or self._epoch_pos < len(self._epoch):
+                    head = self._next_time()
+                    if head is not None and head > until:
                         self._now = until
                         break
-                    depth.set(len(heap))
-                    depth_series.observe(self._now, len(heap))
+                    depth.set(self.queue_depth())
+                    depth_series.observe(self._now, self.queue_depth())
                     if not step():
                         break
         finally:
@@ -531,6 +703,14 @@ class SimEngine:
             metrics.counter("engine/timers_cancelled").inc(
                 self.timers_cancelled - cancelled_before
             )
+
+    def _next_time(self) -> float | None:
+        """Timestamp of the next queued occurrence, or ``None``."""
+        if self._epoch_pos < len(self._epoch):
+            return self._epoch_time
+        if self._times:
+            return self._times[0]
+        return None
 
     def run_process(self, generator: ProcessGenerator, name: str = "") -> Any:
         """Convenience: start a process, run to completion, return its value."""
@@ -546,11 +726,19 @@ class SimEngine:
 
     # -- introspection ----------------------------------------------------------
 
+    def queue_depth(self) -> int:
+        """Pending queued occurrences (live + lazily-cancelled)."""
+        return (
+            len(self._epoch)
+            - self._epoch_pos
+            + sum(map(len, self._buckets.values()))
+        )
+
     def stats(self) -> dict[str, int]:
         """Throughput counters (for ``Session.stats`` and ``repro perf``)."""
         return {
             "events_delivered": self.events_delivered,
             "timers_fired": self.timers_fired,
             "timers_cancelled": self.timers_cancelled,
-            "heap_size": len(self._heap),
+            "heap_size": self.queue_depth(),
         }

@@ -23,12 +23,21 @@ from dataclasses import dataclass
 from typing import Any, Hashable, Iterable, Mapping, Sequence
 
 from ..errors import LinkDownError, SimulationError
+from .backends import compiled_kernels, resolve_backend
 from .engine import Event, SimEngine, TimerHandle
 from .fairshare import FairshareSolver, FlowSpec, max_min_fair_rates_reference
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a hard dependency
+    _np = None
 
 #: Completion slop, in bytes: flows within this of zero are done.  Keeps
 #: float accumulation from scheduling infinitesimal residual transfers.
 _EPSILON_BYTES = 1e-6
+
+#: Initial slot-array capacity for the vectorized backends.
+_INITIAL_SLOTS = 64
 
 
 @dataclass
@@ -81,6 +90,7 @@ class Flow:
         "label",
         "span",
         "blame_key",
+        "slot",
     )
 
     def __init__(
@@ -105,6 +115,9 @@ class Flow:
         self.label = label
         self.span: "Any" = None
         self.blame_key = ""
+        #: Index into the network's slot arrays (vectorized backends);
+        #: -1 while unslotted.
+        self.slot = -1
 
     @property
     def completed(self) -> bool:
@@ -147,6 +160,20 @@ class FlowNetwork:
     whenever a rate change supersedes it.  Pass ``incremental=False``
     to force a full batch re-solve on every change — the pre-solver
     behaviour, kept for differential tests and the perf baseline.
+
+    ``backend`` selects the interval-integration implementation
+    (``"python"``, ``"vectorized"``, ``"compiled"``; see
+    :mod:`repro.sim.backends`).  All backends are bit-identical —
+    the vectorized path performs the same IEEE-754 float64 operations
+    as the per-flow loop, one array statement per interval — so the
+    choice affects only wall-clock speed, never results.  ``None``
+    consults ``REPRO_BACKEND`` and defaults to ``"vectorized"``.
+
+    In the vectorized backends, live per-flow state (remaining bytes)
+    is authoritative in the slot arrays between rate changes;
+    ``Flow.remaining`` on in-flight flows is refreshed at the same
+    boundaries the Python loop writes it (rate changes) only when read
+    through :meth:`active_flows`, and is exact (0.0) on completion.
     """
 
     def __init__(
@@ -156,6 +183,7 @@ class FlowNetwork:
         incremental: bool = True,
         metrics: "Any" = None,
         spans: "Any" = None,
+        backend: str | None = None,
     ) -> None:
         self.engine = engine
         self._channels: dict[Hashable, Channel] = {}
@@ -164,6 +192,22 @@ class FlowNetwork:
         self._last_update = 0.0
         self._incremental = incremental
         self._alarm: TimerHandle | None = None
+        choice = resolve_backend(backend)
+        self.backend_requested = choice.requested
+        self.backend = choice.effective
+        self._kernels = (
+            compiled_kernels() if self.backend == "compiled" else None
+        )
+        if self.backend == "python":
+            self._slot_flows: list[Flow] = []
+            self._arr_remaining = None
+            self._arr_rate = None
+            self._arr_threshold = None
+        else:
+            self._slot_flows = []
+            self._arr_remaining = _np.zeros(_INITIAL_SLOTS)
+            self._arr_rate = _np.zeros(_INITIAL_SLOTS)
+            self._arr_threshold = _np.zeros(_INITIAL_SLOTS)
         if metrics is None:
             from ..obs.metrics import NULL_METRICS
 
@@ -240,6 +284,9 @@ class FlowNetwork:
                 del self._active[flow.flow_id]
                 if incremental:
                     updated.update(self._solver.remove_flow(flow.flow_id))
+                if self._arr_remaining is not None:
+                    flow.remaining = float(self._arr_remaining[flow.slot])
+                    self._slot_remove(flow)
                 flow.rate = 0.0
         channel.set_capacity(capacity)
         if incremental:
@@ -339,6 +386,8 @@ class FlowNetwork:
 
         self._advance_to_now()
         self._active[flow.flow_id] = flow
+        if self._arr_remaining is not None:
+            self._slot_add(flow)
         metrics = self._metrics
         if metrics:
             metrics.counter("network/flows_started").inc()
@@ -355,7 +404,14 @@ class FlowNetwork:
         return flow
 
     def active_flows(self) -> Sequence[Flow]:
-        """Flows currently in flight."""
+        """Flows currently in flight.
+
+        Refreshes ``Flow.remaining`` from the backend state first, so
+        callers see values as of the last rate change regardless of
+        backend.
+        """
+        if self._arr_remaining is not None:
+            self._sync_remaining()
         return list(self._active.values())
 
     def utilization(self, channel_id: Hashable) -> float:
@@ -381,8 +437,56 @@ class FlowNetwork:
 
     # -- internals -----------------------------------------------------------------
 
+    def _slot_add(self, flow: Flow) -> None:
+        """Assign the next free slot-array index to a new flow.
+
+        The completion threshold is precomputed here: it folds the
+        Python path's ``remaining <= eps * max(1, size) or remaining
+        <= eps`` test into one comparison, because ``eps * max(1.0,
+        size)`` is never below ``eps``.
+        """
+        slots = self._slot_flows
+        slot = len(slots)
+        rem = self._arr_remaining
+        if slot >= len(rem):
+            grow = len(rem) * 2
+            self._arr_remaining = rem = _np.resize(rem, grow)
+            self._arr_rate = _np.resize(self._arr_rate, grow)
+            self._arr_threshold = _np.resize(self._arr_threshold, grow)
+        slots.append(flow)
+        flow.slot = slot
+        rem[slot] = flow.remaining
+        self._arr_rate[slot] = 0.0
+        self._arr_threshold[slot] = _EPSILON_BYTES * max(1.0, flow.size)
+
+    def _slot_remove(self, flow: Flow) -> None:
+        """Free a flow's slot, compacting by swapping the last slot in."""
+        slots = self._slot_flows
+        slot = flow.slot
+        last = len(slots) - 1
+        if slot != last:
+            moved = slots[last]
+            slots[slot] = moved
+            moved.slot = slot
+            self._arr_remaining[slot] = self._arr_remaining[last]
+            self._arr_rate[slot] = self._arr_rate[last]
+            self._arr_threshold[slot] = self._arr_threshold[last]
+        slots.pop()
+        flow.slot = -1
+
+    def _sync_remaining(self) -> None:
+        """Copy slot-array remaining-bytes back onto the flow objects."""
+        values = self._arr_remaining[: len(self._slot_flows)].tolist()
+        for flow, value in zip(self._slot_flows, values):
+            flow.remaining = value
+
     def _advance_to_now(self) -> None:
-        """Account for bytes moved since the last rate change."""
+        """Account for bytes moved since the last rate change.
+
+        The vectorized backends advance every live flow with one array
+        statement (or one compiled pass); element-wise float64
+        multiply-subtract, bit-identical to the per-flow loop.
+        """
         now = self.engine.now
         dt = now - self._last_update
         if dt < 0:
@@ -393,8 +497,17 @@ class FlowNetwork:
                     self._account_interval(self._last_update, dt)
                 if self._spans:
                     self._account_spans(self._last_update, dt)
-            for flow in self._active.values():
-                flow.remaining -= flow.rate * dt
+            rem = self._arr_remaining
+            if rem is None:
+                for flow in self._active.values():
+                    flow.remaining -= flow.rate * dt
+            else:
+                n = len(self._slot_flows)
+                if n:
+                    if self._kernels is not None:
+                        self._kernels["advance"](rem, self._arr_rate, n, dt)
+                    else:
+                        rem[:n] -= self._arr_rate[:n] * dt
         self._last_update = now
 
     def _account_interval(self, start: float, dt: float) -> None:
@@ -469,6 +582,7 @@ class FlowNetwork:
             # The incremental solver tracked freeze reasons during the
             # re-level that produced ``updated``; read them in place.
             bottlenecks = self._solver._bottlenecks
+        arr_rate = self._arr_rate
         for flow_id, rate in updated.items():
             flow = active.get(flow_id)
             if flow is None:
@@ -478,13 +592,27 @@ class FlowNetwork:
                     f"flow {flow_id} starved (rate 0); check channel capacities"
                 )
             flow.rate = rate
+            if arr_rate is not None:
+                arr_rate[flow.slot] = rate
             if bottlenecks is not None:
                 flow.blame_key = self._blame_key(bottlenecks.get(flow_id), flow)
-        next_completion = math.inf
-        for flow in active.values():
-            eta = flow.remaining / flow.rate
-            if eta < next_completion:
-                next_completion = eta
+        # Next completion: min over remaining/rate.  Division is
+        # element-wise and min is order-independent for the NaN-free
+        # operands here (rates are strictly positive), so all three
+        # backends produce the same float.
+        rem = self._arr_remaining
+        if rem is None:
+            next_completion = math.inf
+            for flow in active.values():
+                eta = flow.remaining / flow.rate
+                if eta < next_completion:
+                    next_completion = eta
+        else:
+            n = len(self._slot_flows)
+            if self._kernels is not None:
+                next_completion = self._kernels["min_eta"](rem, arr_rate, n)
+            else:
+                next_completion = float((rem[:n] / arr_rate[:n]).min())
         next_completion = max(next_completion, 0.0)
         self._alarm = self.engine.schedule(next_completion, self._on_completion_alarm)
 
@@ -508,12 +636,33 @@ class FlowNetwork:
     def _on_completion_alarm(self) -> None:
         self._alarm = None
         self._advance_to_now()
-        finished = [
-            flow
-            for flow in self._active.values()
-            if flow.remaining <= _EPSILON_BYTES * max(1.0, flow.size)
-            or flow.remaining <= _EPSILON_BYTES
-        ]
+        rem = self._arr_remaining
+        if rem is None:
+            finished = [
+                flow
+                for flow in self._active.values()
+                if flow.remaining <= _EPSILON_BYTES * max(1.0, flow.size)
+                or flow.remaining <= _EPSILON_BYTES
+            ]
+        else:
+            # The per-slot threshold equals eps * max(1, size), which
+            # subsumes the plain eps test above (it is never smaller),
+            # so one comparison matches the two-clause Python check.
+            # Slot order is permuted by swap-compaction; sort by
+            # flow_id to recover creation (== dict-insertion) order so
+            # solver removals and done-event deliveries fire in the
+            # exact sequence the Python backend produces.
+            n = len(self._slot_flows)
+            if self._kernels is not None:
+                mask = _np.empty(n, dtype=_np.bool_)
+                count = self._kernels["finished_mask"](
+                    rem, self._arr_threshold, mask, n
+                )
+                hits = _np.nonzero(mask)[0] if count else ()
+            else:
+                hits = _np.nonzero(rem[:n] <= self._arr_threshold[:n])[0]
+            finished = [self._slot_flows[i] for i in hits]
+            finished.sort(key=lambda flow: flow.flow_id)
         incremental = self._incremental
         if not finished:
             # Rounding pushed the completion infinitesimally later;
@@ -527,6 +676,8 @@ class FlowNetwork:
             del self._active[flow.flow_id]
             if incremental:
                 updated.update(self._solver.remove_flow(flow.flow_id))
+            if rem is not None:
+                self._slot_remove(flow)
             flow.remaining = 0.0
             flow.rate = 0.0
             flow.finish_time = self.engine.now

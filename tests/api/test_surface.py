@@ -1,0 +1,104 @@
+"""The ``repro.api`` v1 surface and the pre-v1 compatibility shims."""
+
+import warnings
+
+import pytest
+
+import repro
+import repro.api as api
+from repro.configs import ObsConfig, RunnerConfig
+from repro.errors import ConfigurationError
+
+
+class TestSurface:
+    def test_every_exported_name_resolves(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None, name
+
+    def test_api_version_is_one(self):
+        assert api.API_VERSION == 1
+
+    def test_front_door_names_are_the_package_names(self):
+        # api re-exports, it does not wrap: identity, not equality.
+        assert api.Session is repro.Session
+        assert api.ObsConfig is repro.ObsConfig
+        assert api.RunnerConfig is repro.RunnerConfig
+        assert api.SweepRunner is repro.SweepRunner
+        assert api.FaultScenario is repro.FaultScenario
+
+    def test_quickstart_from_docstring_runs(self):
+        with api.Session("mi250x", obs=api.ObsConfig(trace=True)) as s:
+            src = s.hip.malloc(1 << 20, device=0)
+            dst = s.hip.malloc(1 << 20, device=4)
+            s.run(s.hip.memcpy_peer(dst, 4, src, 0))
+            assert s.now > 0
+            assert len(s.tracer) > 0
+
+
+class TestObsConfig:
+    def test_grouped_style_enables_tracer_without_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with api.Session(obs=ObsConfig(trace=True)) as s:
+                assert s.tracer.enabled
+                assert s.obs.trace is True
+
+    def test_default_observes_nothing(self):
+        with api.Session() as s:
+            assert not s.obs.enabled
+            assert not s.tracer.enabled
+
+    def test_flat_kwargs_warn_and_still_work(self):
+        with pytest.warns(DeprecationWarning, match="docs/migration.md"):
+            s = api.Session(trace=True)
+        try:
+            assert s.tracer.enabled
+            assert s.obs.trace is True
+        finally:
+            s.close()
+
+    def test_mixing_styles_is_an_error(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            api.Session(trace=True, obs=ObsConfig())
+
+
+class TestRunnerConfig:
+    def test_session_runner_inherits_config(self, tmp_path):
+        config = RunnerConfig(jobs=2, cache=True, cache_dir=str(tmp_path))
+        with api.Session(runner=config) as s:
+            runner = s.runner()
+            assert runner.jobs == 2
+            assert runner.cache is not None
+
+    def test_cache_false_disables_cache(self):
+        with api.Session(runner=RunnerConfig(cache=False)) as s:
+            assert s.runner().cache is None
+
+    def test_from_config_maps_every_field(self, tmp_path):
+        config = RunnerConfig(
+            jobs=3,
+            cache=True,
+            cache_dir=str(tmp_path),
+            capture_metrics=True,
+            capture_spans=True,
+        )
+        runner = api.SweepRunner.from_config(config)
+        assert runner.jobs == 3
+        assert runner.cache is not None
+        assert runner.capture_metrics
+        assert runner.capture_spans
+
+
+class TestBackendKnob:
+    def test_session_reports_backend(self):
+        with api.Session(backend="python") as s:
+            assert s.backend == "python"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            api.Session(backend="cuda")
+
+    def test_resolve_backend_exported_and_consistent(self):
+        choice = api.resolve_backend("compiled")
+        if not api.compiled_available():
+            assert choice.effective == "vectorized"

@@ -1,0 +1,47 @@
+"""Every figure artifact is backend-invariant.
+
+The backend knob (``REPRO_BACKEND``) selects *how* flow integration is
+computed, never *what* it computes — so each of the paper artifacts
+must come out canonically identical under the scalar python loop and
+the vectorized integrator.  This is the acceptance test that keeps the
+backend out of cache keys: results are bit-identical by construction,
+and this file is the construction's proof.
+"""
+
+import pytest
+
+from repro import figures
+from repro.obs import blame_ranking
+from repro.runner import SweepRunner
+from repro.sim.backends import BACKEND_ENV_VAR, numpy_available
+
+ALL_IDS = figures.all_ids()
+
+
+@pytest.mark.skipif(
+    not numpy_available(), reason="numpy required for vectorized backend"
+)
+class TestArtifactsBackendInvariant:
+    @pytest.mark.parametrize("experiment_id", ALL_IDS)
+    def test_python_and_vectorized_agree(self, experiment_id, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "python")
+        scalar = figures.run(experiment_id).canonical()
+        monkeypatch.setenv(BACKEND_ENV_VAR, "vectorized")
+        vectorized = figures.run(experiment_id).canonical()
+        assert vectorized == scalar
+
+    def test_span_blame_is_backend_invariant(self, monkeypatch):
+        # The solver's bottleneck bookkeeping (which channel froze each
+        # flow, and when) must not depend on how remaining-bytes were
+        # integrated: identical spans, identical ranked blame.
+        def spans_and_blame(backend):
+            monkeypatch.setenv(BACKEND_ENV_VAR, backend)
+            runner = SweepRunner(use_cache=False, capture_spans=True)
+            runner.run_experiment("fig06")
+            spans = runner.stats.spans
+            return spans, blame_ranking(spans)
+
+        scalar_spans, scalar_blame = spans_and_blame("python")
+        vector_spans, vector_blame = spans_and_blame("vectorized")
+        assert vector_blame == scalar_blame
+        assert vector_spans == scalar_spans

@@ -9,7 +9,9 @@ from repro.units import MiB
 
 
 def _peer_copy_session():
-    session = repro.Session(topology="mi250x", metrics=True, trace=True)
+    session = repro.Session(
+        topology="mi250x", obs=repro.ObsConfig(metrics=True, trace=True)
+    )
     hip = session.hip
 
     def program():
@@ -77,7 +79,7 @@ class TestAmbientCapture:
 
     def test_explicit_arguments_beat_the_context(self):
         with capture() as ctx:
-            own = repro.Session(metrics=True)
+            own = repro.Session(obs=repro.ObsConfig(metrics=True))
         assert own.node.metrics is not ctx.metrics
         assert own.node.metrics.enabled
 

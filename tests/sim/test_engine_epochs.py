@@ -1,0 +1,159 @@
+"""Batched epoch dispatch: same-timestamp semantics of the event core.
+
+The engine drains every schedulable sharing a timestamp as one *epoch*
+(a single bucket pop instead of one heap pop per item).  These tests
+pin down the observable contract of that batching: FIFO order inside
+an epoch, cancelled timers skimmed without moving the clock, and the
+fast path that lets a callback append work to the epoch it is running
+in.  A hypothesis oracle checks the whole ordering story against the
+naive ``sorted(by=(time, seq))`` model.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import SimEngine
+
+US = 1e-6
+
+
+@pytest.fixture
+def engine():
+    return SimEngine()
+
+
+class TestSameTimestampFifo:
+    def test_timers_fire_in_scheduling_order(self, engine):
+        order = []
+        for i in range(8):
+            engine.call_after(1 * US, order.append, i)
+        engine.run()
+        assert order == list(range(8))
+
+    def test_mixed_timers_and_events_keep_seq_order(self, engine):
+        order = []
+        done = engine.event()
+        engine.call_after(1 * US, order.append, "timer-a")
+        engine.call_after(1 * US, lambda: done.succeed(None))
+        done.add_callback(lambda _: order.append("event"))
+        engine.call_after(1 * US, order.append, "timer-b")
+        engine.run()
+        # succeed() runs at 1us and enqueues the delivery *behind*
+        # timer-b's already-queued entry — strict sequence order.
+        assert order == ["timer-a", "timer-b", "event"]
+
+    def test_epochs_drain_in_time_order(self, engine):
+        order = []
+        for delay in (3, 1, 2, 1, 3, 2):
+            engine.call_after(delay * US, order.append, delay)
+        engine.run()
+        assert order == [1, 1, 2, 2, 3, 3]
+        assert engine.now == 3 * US
+
+
+class TestCancelledSkim:
+    def test_mid_epoch_cancellation_is_skimmed(self, engine):
+        order = []
+        engine.call_after(1 * US, order.append, "a")
+        doomed = engine.schedule(1 * US, order.append, "never")
+        engine.call_after(1 * US, order.append, "b")
+        doomed.cancel()
+        engine.run()
+        assert order == ["a", "b"]
+        assert engine.timers_cancelled == 1
+
+    def test_trailing_cancelled_epoch_does_not_advance_clock(self, engine):
+        engine.call_after(1 * US, lambda: None)
+        late = engine.schedule(5 * US, lambda: None)
+        late.cancel()
+        engine.run()
+        # An all-cancelled bucket is pure garbage collection: time stays
+        # at the last *live* dispatch, exactly as the per-event loop
+        # behaved before batching.
+        assert engine.now == 1 * US
+
+    def test_all_cancelled_run_leaves_clock_at_zero(self, engine):
+        for delay in (1, 2, 3):
+            engine.schedule(delay * US, lambda: None).cancel()
+        engine.run()
+        assert engine.now == 0.0
+        assert engine.timers_fired == 0
+
+    def test_callback_cancelling_later_entry_in_same_epoch(self, engine):
+        order = []
+        handles = {}
+
+        def killer():
+            order.append("killer")
+            handles["victim"].cancel()
+
+        engine.call_after(1 * US, killer)
+        handles["victim"] = engine.schedule(1 * US, order.append, "victim")
+        engine.call_after(1 * US, order.append, "survivor")
+        engine.run()
+        assert order == ["killer", "survivor"]
+
+
+class TestEpochAppend:
+    def test_zero_delay_from_callback_joins_current_epoch(self, engine):
+        order = []
+
+        def first():
+            order.append("first")
+            engine.call_after(0.0, order.append, "appended")
+
+        engine.call_after(1 * US, first)
+        engine.call_after(1 * US, order.append, "second")
+        engine.run()
+        # The appended timer lands at the epoch's own timestamp, so it
+        # runs inside the same epoch — after everything already queued.
+        assert order == ["first", "second", "appended"]
+        assert engine.now == 1 * US
+
+    def test_immediate_succeed_chain_drains_in_one_epoch(self, engine):
+        hops = []
+
+        def hop(n):
+            hops.append(n)
+            if n < 5:
+                engine.call_after(0.0, hop, n + 1)
+
+        engine.call_after(1 * US, hop, 0)
+        engine.run()
+        assert hops == [0, 1, 2, 3, 4, 5]
+        assert engine.now == 1 * US
+
+    def test_queue_depth_counts_epoch_remainder(self, engine):
+        depths = []
+        for i in range(4):
+            engine.call_after(1 * US, lambda: depths.append(
+                engine.stats()["heap_size"]
+            ))
+        engine.call_after(2 * US, lambda: None)
+        engine.run()
+        # Each callback sees the not-yet-dispatched tail of its own
+        # epoch plus the untouched 2us bucket.
+        assert depths == [4, 3, 2, 1]
+        assert engine.stats()["heap_size"] == 0
+
+
+class TestOrderingOracle:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        delays=st.lists(st.integers(min_value=0, max_value=5), min_size=1,
+                        max_size=60),
+        cancel_every=st.integers(min_value=2, max_value=7),
+    )
+    def test_dispatch_order_matches_time_seq_sort(self, delays, cancel_every):
+        engine = SimEngine()
+        order = []
+        live = []
+        for seq, delay in enumerate(delays):
+            handle = engine.schedule(delay * US, order.append, seq)
+            if seq % cancel_every == 0:
+                handle.cancel()
+            else:
+                live.append((delay, seq))
+        engine.run()
+        assert order == [seq for _, seq in sorted(live)]

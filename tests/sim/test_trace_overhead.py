@@ -71,7 +71,7 @@ class TestDisabledTracerAllocatesNothing:
 
 class TestEnabledTracerStillRecords:
     def test_same_workload_produces_records(self):
-        session = repro.Session(trace=True)
+        session = repro.Session(obs=repro.ObsConfig(trace=True))
         _exercise_runtime(session)
         assert len(session.tracer) > 0
         categories = {r.category for r in session.tracer.records()}
@@ -98,7 +98,9 @@ class TestRingBuffer:
         assert len(tracer) == 0
 
     def test_session_trace_capacity_flows_through(self):
-        session = repro.Session(trace=True, trace_capacity=2)
+        session = repro.Session(
+            obs=repro.ObsConfig(trace=True, trace_capacity=2)
+        )
         _exercise_runtime(session)
         assert len(session.tracer) == 2
         assert session.tracer.dropped > 0

@@ -60,7 +60,7 @@ class TestConstruction:
     def test_no_deprecation_warnings_emitted(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
-            session = repro.Session(trace=True)
+            session = repro.Session(obs=repro.ObsConfig(trace=True))
             session.mpi_world([0, 1])
             session.rccl_communicator([0, 1])
 
