@@ -29,6 +29,14 @@ Fails (exit 1) when a headline number regresses below its threshold:
   ``REPRO_MIN_EPOCH_EVENTS`` (default 400000): the batched epoch
   dispatcher drains same-timestamp bursts in bulk; falling below the
   floor means the engine regressed to per-event heap churn.
+- ``churn_large_flows_per_second`` must reach
+  ``REPRO_MIN_CHURN_LARGE`` (default 1000) and
+  ``churn_large_speedup_vs_full`` must reach
+  ``REPRO_MIN_CHURN_LARGE_SPEEDUP`` (default 5.0): on the largest
+  cluster in the sweep (128 GCDs under ``--smoke``, 512 in the full
+  suite) the dirty-set re-level must hold its throughput and its
+  margin over the full-component re-solve, else the solver has
+  regressed to O(system) churn.
 - ``flow_integration_speedup`` must reach
   ``REPRO_MIN_INTEGRATION_SPEEDUP`` (default 1.5): the vectorized
   (or compiled) interval integrator must beat the scalar python
@@ -62,6 +70,7 @@ BASELINE_KEYS = (
     "incremental_flows_per_second",
     "capacity_changes_per_second",
     "epoch_events_per_second",
+    "churn_large_flows_per_second",
 )
 
 
@@ -74,7 +83,9 @@ def check(report: dict) -> list[str]:
     min_parallel = float(os.environ.get("REPRO_MIN_PARALLEL_SPEEDUP", "1.5"))
     jobs = parallel.get("jobs", 1)
     fallbacks = parallel.get("parallel_fallbacks", 0)
-    if jobs < 2 or fallbacks:
+    if not parallel:
+        print("skip: sweep_parallel not in report (partial --only run)")
+    elif jobs < 2 or fallbacks:
         print(
             f"skip: sweep_parallel check (jobs={jobs}, "
             f"fallbacks={fallbacks}) — no parallel run to judge"
@@ -93,8 +104,10 @@ def check(report: dict) -> list[str]:
             )
 
     min_cache = float(os.environ.get("REPRO_MIN_CACHE_SPEEDUP", "2.0"))
-    cache_speedup = headline.get("cache_hit_speedup", 0.0)
-    if cache_speedup < min_cache:
+    cache_speedup = headline.get("cache_hit_speedup")
+    if cache_speedup is None:
+        print("skip: cache_hit_speedup not in report (partial --only run)")
+    elif cache_speedup < min_cache:
         failures.append(
             f"cache_hit_speedup {cache_speedup:.2f} < {min_cache:.2f}"
         )
@@ -158,6 +171,38 @@ def check(report: dict) -> list[str]:
         print(
             f"ok: epoch_events_per_second {epoch_rate:,.0f} >= "
             f"{min_epoch:,.0f}"
+        )
+
+    min_churn_large = float(os.environ.get("REPRO_MIN_CHURN_LARGE", "1000"))
+    churn_large = headline.get("churn_large_flows_per_second")
+    if churn_large is None:
+        print("skip: churn_large_flows_per_second not in report (old schema)")
+    elif churn_large < min_churn_large:
+        failures.append(
+            f"churn_large_flows_per_second {churn_large:,.0f} < "
+            f"{min_churn_large:,.0f}"
+        )
+    else:
+        print(
+            f"ok: churn_large_flows_per_second {churn_large:,.0f} >= "
+            f"{min_churn_large:,.0f}"
+        )
+
+    min_large_speedup = float(
+        os.environ.get("REPRO_MIN_CHURN_LARGE_SPEEDUP", "5.0")
+    )
+    large_speedup = headline.get("churn_large_speedup_vs_full")
+    if large_speedup is None:
+        print("skip: churn_large_speedup_vs_full not in report (old schema)")
+    elif large_speedup < min_large_speedup:
+        failures.append(
+            f"churn_large_speedup_vs_full {large_speedup:.2f} < "
+            f"{min_large_speedup:.2f}"
+        )
+    else:
+        print(
+            f"ok: churn_large_speedup_vs_full {large_speedup:.2f} >= "
+            f"{min_large_speedup:.2f}"
         )
 
     min_integration = float(

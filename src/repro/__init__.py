@@ -54,9 +54,14 @@ from .sim.fairshare import (
     max_min_fair_rates as solve,
 )
 from .sim.trace import TraceRecord, Tracer
-from .topology.presets import dense_hive_node, frontier_node, single_gpu_node
+from .topology.presets import (
+    dense_hive_node,
+    frontier_node,
+    mi250x_cluster,
+    single_gpu_node,
+)
 
-__version__ = "0.7.0"
+__version__ = "0.8.0"
 
 __all__ = [
     # The blessed surface.
@@ -83,6 +88,7 @@ __all__ = [
     "frontier_node",
     "single_gpu_node",
     "dense_hive_node",
+    "mi250x_cluster",
     # Building blocks (still public, but Session is the front door).
     "config",
     "errors",

@@ -86,9 +86,7 @@ def _jobs_arg(value: str) -> int | str:
 
 
 def _runner_options() -> argparse.ArgumentParser:
-    """``--jobs/--no-cache/--cache-stats/--backend`` parent parser."""
-    from .sim.backends import BACKENDS
-
+    """``--jobs/--no-cache/--cache-stats`` parent parser."""
     parent = argparse.ArgumentParser(add_help=False)
     parent.add_argument(
         "--jobs",
@@ -107,6 +105,14 @@ def _runner_options() -> argparse.ArgumentParser:
         action="store_true",
         help="print sweep-runner cache statistics afterwards",
     )
+    return parent
+
+
+def _backend_options() -> argparse.ArgumentParser:
+    """``--backend`` parent parser (sweep commands and ``perf``)."""
+    from .sim.backends import BACKENDS
+
+    parent = argparse.ArgumentParser(add_help=False)
     parent.add_argument(
         "--backend",
         choices=BACKENDS,
@@ -175,6 +181,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     sweep_parents = [
         _runner_options(),
+        _backend_options(),
         _obs_options(),
         _scenario_options(),
         _json_options(),
@@ -357,7 +364,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     perf = sub.add_parser(
-        "perf", help="benchmark the simulation core (events/sec, flow churn)"
+        "perf",
+        help="benchmark the simulation core (events/sec, flow churn)",
+        parents=[_backend_options(), _json_options()],
     )
     perf.add_argument(
         "--smoke",
@@ -376,6 +385,17 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="best-of repetitions per microbenchmark (default: 3, smoke: 1)",
+    )
+    perf.add_argument(
+        "--only",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help=(
+            "run only the named benchmark (repeatable; e.g. "
+            "--only solver_scaling); the report carries just those "
+            "sections and check_bench.py skips the rest"
+        ),
     )
     return parser
 
@@ -569,14 +589,33 @@ def _cmd_scenarios() -> int:
     return 0
 
 
-def _cmd_perf(smoke: bool, output: str | None, repeats: int | None) -> int:
+def _cmd_perf(
+    smoke: bool,
+    output: str | None,
+    repeats: int | None,
+    only: list[str] | None = None,
+    json_out: str | None = None,
+) -> int:
     from .perf.core import format_report, run_suite, write_report
 
-    report = run_suite(smoke=smoke, repeats=repeats)
-    print(format_report(report))
+    try:
+        report = run_suite(smoke=smoke, repeats=repeats, only=only)
+    except ValueError as exc:  # unknown --only name
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if json_out == "-":
+        import json
+
+        print(json.dumps(report, indent=2))
+    else:
+        print(format_report(report))
+        if json_out is not None:
+            write_report(json_out, report)
+            print(f"\nwrote {json_out}")
     if output is not None:
         write_report(output, report)
-        print(f"\nwrote {output}")
+        if json_out != "-":
+            print(f"wrote {output}")
     return 0
 
 
@@ -916,7 +955,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             json_out=args.json_out,
         )
     if args.command == "perf":
-        return _cmd_perf(args.smoke, args.output, args.repeats)
+        return _cmd_perf(
+            args.smoke,
+            args.output,
+            args.repeats,
+            only=args.only,
+            json_out=args.json_out,
+        )
     if args.command == "cache":
         return _cmd_cache(args.action, args.cache_dir)
     raise AssertionError(f"unhandled command {args.command!r}")

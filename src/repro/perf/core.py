@@ -178,6 +178,132 @@ def bench_timer_cancel(
     }
 
 
+# -- cluster-scale solver churn ------------------------------------------------
+
+
+def _run_cluster_churn(
+    solver: str, topology: Any, *, flows_per_link: int = 2, total_ops: int = 1024
+) -> tuple[float, int]:
+    """One cluster churn run; ``(wall seconds, churn flows issued)``.
+
+    The workload is a cluster-wide ring allreduce with local churn on
+    top: every xGMI link carries ``flows_per_link`` long-lived flows
+    that also cross their node's two NIC rails (so the whole cluster is
+    one fairshare component, bottlenecked on the 25 GB/s NICs), while
+    two drivers per node issue short host-staging transfers that join
+    the component through a quad link.  The long flows freeze on the
+    NIC channels in the first fill round, which is exactly the regime
+    dirty-set replay exploits: churn on a lightly-loaded channel
+    certifies the committed rounds and re-levels a frontier of one.
+
+    ``solver`` picks the fairshare strategy (``"dirty"`` replay +
+    epoch deferral vs ``"full"`` per-event component re-solve); the
+    timed region — churn plus the allreduce teardown — is identical
+    work under both, so the wall ratio is the optimization's speedup.
+    """
+    from ..topology.link import LinkEndpoint
+
+    engine = SimEngine()
+    network = FlowNetwork(engine, incremental=True, solver=solver)
+    for link in topology.links():
+        network.add_channel(("link", link.name), link.capacity_per_direction)
+
+    nodes = topology.num_gcds // 8
+    if nodes > 1:
+        spines = [
+            (
+                "link",
+                topology.require_link(
+                    LinkEndpoint.numa(4 * n),
+                    LinkEndpoint.numa(4 * ((n + 1) % nodes)),
+                ).name,
+            )
+            for n in range(nodes)
+        ]
+    else:
+        spines = [("link", topology.link_between(0, 1).name)]
+
+    for n in range(nodes):
+        rails = dict.fromkeys((spines[n], spines[n - 1]))
+        for link in topology.xgmi_links():
+            if not (8 * n <= link.a.index < 8 * (n + 1)):
+                continue
+            for _ in range(flows_per_link):
+                network.transfer(
+                    [("link", link.name), *rails], 10**6 * GiB
+                )
+
+    drivers = 2 * nodes
+    ops_per_driver = max(4, total_ops // drivers)
+
+    def driver(n: int, gcd: int) -> Generator:
+        cpu = ("link", topology.cpu_link_of_gcd(gcd).name)
+        quad = ("link", topology.link_between(gcd, gcd + 1).name)
+        for i in range(ops_per_driver):
+            size = (1 + ((i * 37 + gcd) % 5)) * MiB
+            flow = network.transfer([cpu, quad], size, cap=20 * GiB)
+            yield flow.done
+
+    for n in range(nodes):
+        engine.process(driver(n, 8 * n), name=f"churn{n}a")
+        engine.process(driver(n, 8 * n + 4), name=f"churn{n}b")
+    t0 = time.perf_counter()
+    engine.run()
+    return time.perf_counter() - t0, drivers * ops_per_driver
+
+
+def bench_solver_scaling(
+    node_counts: tuple[int, ...] = (1, 4, 16, 64), *, repeats: int = REPEATS
+) -> dict[str, Any]:
+    """Dirty-set vs full-component re-level across cluster sizes.
+
+    Sweeps :func:`~repro.topology.presets.mi250x_cluster` from 8 to
+    512 GCDs (``node_counts`` × 8) and reports per-size churn
+    throughput under both solver strategies.  ``rows[-1]`` (the largest
+    cluster) is surfaced as the ``flow_churn_large`` headline; its
+    ``speedup`` is the acceptance number — the dirty-set path must stay
+    O(affected) while the full re-level grows with the component.
+    """
+    from ..topology.presets import mi250x_cluster
+
+    rows: list[dict[str, Any]] = []
+    for nodes in node_counts:
+        topology = mi250x_cluster(nodes=nodes)
+        walls: dict[str, float] = {}
+        ops = 0
+        for solver in ("dirty", "full"):
+            best = float("inf")
+            for _ in range(max(1, repeats)):
+                wall, ops = _run_cluster_churn(solver, topology)
+                best = min(best, wall)
+            walls[solver] = best
+        rows.append(
+            {
+                "nodes": nodes,
+                "gcds": topology.num_gcds,
+                "churn_flows": ops,
+                "dirty_wall_seconds": walls["dirty"],
+                "full_wall_seconds": walls["full"],
+                "dirty_flows_per_second": ops / walls["dirty"],
+                "full_flows_per_second": ops / walls["full"],
+                "speedup": walls["full"] / walls["dirty"],
+            }
+        )
+    return {"node_counts": list(node_counts), "rows": rows}
+
+
+def flow_churn_large_from_scaling(scaling: dict[str, Any]) -> dict[str, Any]:
+    """The largest-cluster row of the scaling sweep, as a headline block."""
+    largest = max(scaling["rows"], key=lambda row: row["gcds"])
+    return {
+        "gcds": largest["gcds"],
+        "churn_flows": largest["churn_flows"],
+        "flows_per_second": largest["dirty_flows_per_second"],
+        "full_flows_per_second": largest["full_flows_per_second"],
+        "speedup_vs_full": largest["speedup"],
+    }
+
+
 # -- fair-share flow churn -----------------------------------------------------
 
 
@@ -607,87 +733,126 @@ def bench_cache_hit(*, smoke: bool = False) -> dict[str, Any]:
 # -- suite ---------------------------------------------------------------------
 
 
-def run_suite(*, smoke: bool = False, repeats: int | None = None) -> dict[str, Any]:
-    """Run every microbenchmark; returns the ``BENCH_core.json`` payload.
+#: ``(headline key, results section, key within the section)`` — the
+#: headline block is assembled from whichever sections actually ran.
+_HEADLINE_SPEC: tuple[tuple[str, str, str], ...] = (
+    ("events_per_second", "engine_events", "events_per_second"),
+    ("epoch_events_per_second", "engine_epochs", "epoch_events_per_second"),
+    ("flow_integration_speedup", "flow_integration", "speedup"),
+    (
+        "incremental_flows_per_second",
+        "flow_churn",
+        "incremental_flows_per_second",
+    ),
+    ("churn_speedup_vs_batch_resolve", "flow_churn", "speedup"),
+    (
+        "capacity_changes_per_second",
+        "set_capacity",
+        "capacity_changes_per_second",
+    ),
+    (
+        "churn_large_flows_per_second",
+        "flow_churn_large",
+        "flows_per_second",
+    ),
+    ("churn_large_speedup_vs_full", "flow_churn_large", "speedup_vs_full"),
+    ("metrics_disabled_overhead", "metrics_overhead", "disabled_overhead"),
+    ("metrics_enabled_overhead", "metrics_overhead", "enabled_overhead"),
+    ("spans_disabled_overhead", "span_overhead", "disabled_overhead"),
+    ("spans_enabled_overhead", "span_overhead", "enabled_overhead"),
+    ("figure_sweep_seconds", "figure_sweep", "wall_seconds"),
+    ("sweep_parallel_speedup", "sweep_parallel", "speedup"),
+    ("cache_hit_speedup", "cache_hit", "speedup"),
+)
+
+
+def suite_sections(
+    *, smoke: bool = False, repeats: int | None = None
+) -> dict[str, Callable[[], dict[str, Any]]]:
+    """Name → thunk for every suite section (the ``--only`` vocabulary)."""
+    if repeats is None:
+        repeats = 1 if smoke else REPEATS
+    scale = 10 if smoke else 1
+    shrink = 4 if smoke else 1
+    return {
+        "engine_events": lambda: bench_engine_events(
+            200_000 // scale, repeats=repeats
+        ),
+        "engine_epochs": lambda: bench_engine_epochs(
+            200_000 // scale, repeats=repeats
+        ),
+        "timer_cancel": lambda: bench_timer_cancel(
+            200_000 // scale, repeats=repeats
+        ),
+        "flow_integration": lambda: bench_flow_integration(
+            256 // shrink, 2_000 // scale, repeats=repeats
+        ),
+        "flow_churn": lambda: bench_flow_churn(
+            32 // shrink, 120 // shrink, repeats=repeats
+        ),
+        "metrics_overhead": lambda: bench_metrics_overhead(
+            32 // shrink, 120 // shrink, repeats=repeats
+        ),
+        "span_overhead": lambda: bench_span_overhead(
+            32 // shrink, 120 // shrink, repeats=repeats
+        ),
+        "set_capacity": lambda: bench_set_capacity(
+            32 // shrink, 20_000 // scale, repeats=repeats
+        ),
+        # Smoke stops at the CI-sized 128-GCD cluster; the full suite
+        # sweeps to 512 GCDs (the acceptance point for dirty-set
+        # re-leveling).
+        "solver_scaling": lambda: bench_solver_scaling(
+            (1, 16) if smoke else (1, 4, 16, 64), repeats=repeats
+        ),
+        "figure_sweep": lambda: bench_figure_sweep(smoke=smoke),
+        "sweep_parallel": lambda: bench_sweep_parallel(),
+        "cache_hit": lambda: bench_cache_hit(smoke=smoke),
+    }
+
+
+def run_suite(
+    *,
+    smoke: bool = False,
+    repeats: int | None = None,
+    only: "list[str] | tuple[str, ...] | None" = None,
+) -> dict[str, Any]:
+    """Run the microbenchmarks; returns the ``BENCH_core.json`` payload.
 
     Reports are diff-friendly: results and headline floats are rounded
     to :data:`ROUND_DIGITS` places, and the only run-specific values
     (timestamp, platform string) live under ``meta`` so two reports of
     the same code can be compared by everything outside that block.
+
+    ``only`` restricts the run to the named sections (CI smoke uses
+    ``only=["solver_scaling"]``); the headline block then carries just
+    the keys those sections feed, and ``check_bench.py`` skips the
+    rest.  Unknown names raise ``ValueError`` listing the vocabulary.
     """
     from .. import __version__
 
-    if repeats is None:
-        repeats = 1 if smoke else REPEATS
-    scale = 10 if smoke else 1
-    results = {
-        "engine_events": bench_engine_events(
-            200_000 // scale, repeats=repeats
-        ),
-        "engine_epochs": bench_engine_epochs(
-            200_000 // scale, repeats=repeats
-        ),
-        "timer_cancel": bench_timer_cancel(200_000 // scale, repeats=repeats),
-        "flow_integration": bench_flow_integration(
-            256 // (4 if smoke else 1),
-            2_000 // scale,
-            repeats=repeats,
-        ),
-        "flow_churn": bench_flow_churn(
-            32 // (4 if smoke else 1),
-            120 // (4 if smoke else 1),
-            repeats=repeats,
-        ),
-        "metrics_overhead": bench_metrics_overhead(
-            32 // (4 if smoke else 1),
-            120 // (4 if smoke else 1),
-            repeats=repeats,
-        ),
-        "span_overhead": bench_span_overhead(
-            32 // (4 if smoke else 1),
-            120 // (4 if smoke else 1),
-            repeats=repeats,
-        ),
-        "set_capacity": bench_set_capacity(
-            32 // (4 if smoke else 1),
-            20_000 // scale,
-            repeats=repeats,
-        ),
-        "figure_sweep": bench_figure_sweep(smoke=smoke),
-        "sweep_parallel": bench_sweep_parallel(),
-        "cache_hit": bench_cache_hit(smoke=smoke),
-    }
+    sections = suite_sections(smoke=smoke, repeats=repeats)
+    selected = list(sections)
+    if only is not None:
+        unknown = [name for name in only if name not in sections]
+        if unknown:
+            known = ", ".join(sections)
+            raise ValueError(
+                f"unknown benchmark(s) {', '.join(unknown)} (known: {known})"
+            )
+        selected = [name for name in sections if name in set(only)]
+    results = {name: sections[name]() for name in selected}
+    if "solver_scaling" in results:
+        results["flow_churn_large"] = flow_churn_large_from_scaling(
+            results["solver_scaling"]
+        )
     headline = {
-        "events_per_second": results["engine_events"]["events_per_second"],
-        "epoch_events_per_second": results["engine_epochs"][
-            "epoch_events_per_second"
-        ],
-        "flow_integration_speedup": results["flow_integration"]["speedup"],
-        "incremental_flows_per_second": results["flow_churn"][
-            "incremental_flows_per_second"
-        ],
-        "churn_speedup_vs_batch_resolve": results["flow_churn"]["speedup"],
-        "capacity_changes_per_second": results["set_capacity"][
-            "capacity_changes_per_second"
-        ],
-        "metrics_disabled_overhead": results["metrics_overhead"][
-            "disabled_overhead"
-        ],
-        "metrics_enabled_overhead": results["metrics_overhead"][
-            "enabled_overhead"
-        ],
-        "spans_disabled_overhead": results["span_overhead"][
-            "disabled_overhead"
-        ],
-        "spans_enabled_overhead": results["span_overhead"][
-            "enabled_overhead"
-        ],
-        "figure_sweep_seconds": results["figure_sweep"]["wall_seconds"],
-        "sweep_parallel_speedup": results["sweep_parallel"]["speedup"],
-        "cache_hit_speedup": results["cache_hit"]["speedup"],
+        key: results[section][field]
+        for key, section, field in _HEADLINE_SPEC
+        if section in results
     }
-    return {
-        "schema": "repro-bench-core/6",
+    report = {
+        "schema": "repro-bench-core/7",
         "version": __version__,
         "git_sha": _git_sha(),
         "python": sys.version.split()[0],
@@ -699,6 +864,9 @@ def run_suite(*, smoke: bool = False, repeats: int | None = None) -> dict[str, A
             "platform": platform.platform(),
         },
     }
+    if only is not None:
+        report["only"] = selected
+    return report
 
 
 def write_report(path: str, report: dict[str, Any]) -> None:
@@ -709,33 +877,74 @@ def write_report(path: str, report: dict[str, Any]) -> None:
 
 
 def format_report(report: dict[str, Any]) -> str:
-    """Human-readable one-screen summary of a suite report."""
+    """Human-readable one-screen summary of a (possibly partial) report."""
     results = report["results"]
+    formatters: tuple[tuple[str, Callable[[dict[str, Any]], str]], ...] = (
+        (
+            "engine_events",
+            lambda r: f"  event dispatch   {r['events_per_second']:>12,.0f} events/s",
+        ),
+        (
+            "engine_epochs",
+            lambda r: f"  epoch dispatch   {r['epoch_events_per_second']:>12,.0f} events/s "
+            f"(fanout {r['fanout']})",
+        ),
+        (
+            "timer_cancel",
+            lambda r: f"  timer cancel     {r['timers_per_second']:>12,.0f} timers/s",
+        ),
+        (
+            "flow_integration",
+            lambda r: f"  flow integration {r['speedup']:>12.2f} x "
+            f"({r['fastest_backend']} over python, {r['flows']} flows)",
+        ),
+        (
+            "flow_churn",
+            lambda r: f"  flow churn       {r['incremental_flows_per_second']:>12,.0f} flows/s "
+            f"(incremental; {r['speedup']:.2f}x vs batch re-solve)",
+        ),
+        (
+            "set_capacity",
+            lambda r: f"  capacity churn   {r['capacity_changes_per_second']:>12,.0f} changes/s "
+            f"({r['pairs']} pairs)",
+        ),
+        (
+            "flow_churn_large",
+            lambda r: f"  cluster churn    {r['flows_per_second']:>12,.0f} flows/s "
+            f"({r['gcds']} GCDs; {r['speedup_vs_full']:.1f}x vs full re-level)",
+        ),
+        (
+            "metrics_overhead",
+            lambda r: f"  metrics overhead {r['disabled_overhead']:>12.1%} disabled "
+            f"/ {r['enabled_overhead']:+.1%} enabled",
+        ),
+        (
+            "span_overhead",
+            lambda r: f"  span overhead    {r['disabled_overhead']:>12.1%} disabled "
+            f"/ {r['enabled_overhead']:+.1%} enabled",
+        ),
+        (
+            "figure_sweep",
+            lambda r: f"  figure sweep     {r['wall_seconds']:>12.2f} s "
+            f"({r['measurements']} measurements)",
+        ),
+        (
+            "sweep_parallel",
+            lambda r: f"  sweep parallel   {r['speedup']:>12.2f} x "
+            f"({r['jobs']} job(s) over {r['points']} points)",
+        ),
+        (
+            "cache_hit",
+            lambda r: f"  cache hit        {r['speedup']:>12.2f} x "
+            f"(warm over cold, {r['points']} points)",
+        ),
+    )
     lines = [
         f"simulation-core performance ({report['python']}, "
         + ("smoke)" if report["smoke"] else "full)"),
         "",
-        f"  event dispatch   {results['engine_events']['events_per_second']:>12,.0f} events/s",
-        f"  epoch dispatch   {results['engine_epochs']['epoch_events_per_second']:>12,.0f} events/s "
-        f"(fanout {results['engine_epochs']['fanout']})",
-        f"  timer cancel     {results['timer_cancel']['timers_per_second']:>12,.0f} timers/s",
-        f"  flow integration {results['flow_integration']['speedup']:>12.2f} x "
-        f"({results['flow_integration']['fastest_backend']} over python, "
-        f"{results['flow_integration']['flows']} flows)",
-        f"  flow churn       {results['flow_churn']['incremental_flows_per_second']:>12,.0f} flows/s "
-        f"(incremental; {results['flow_churn']['speedup']:.2f}x vs batch re-solve)",
-        f"  capacity churn   {results['set_capacity']['capacity_changes_per_second']:>12,.0f} changes/s "
-        f"({results['set_capacity']['pairs']} pairs)",
-        f"  metrics overhead {results['metrics_overhead']['disabled_overhead']:>12.1%} disabled "
-        f"/ {results['metrics_overhead']['enabled_overhead']:+.1%} enabled",
-        f"  span overhead    {results['span_overhead']['disabled_overhead']:>12.1%} disabled "
-        f"/ {results['span_overhead']['enabled_overhead']:+.1%} enabled",
-        f"  figure sweep     {results['figure_sweep']['wall_seconds']:>12.2f} s "
-        f"({results['figure_sweep']['measurements']} measurements)",
-        f"  sweep parallel   {results['sweep_parallel']['speedup']:>12.2f} x "
-        f"({results['sweep_parallel']['jobs']} job(s) over "
-        f"{results['sweep_parallel']['points']} points)",
-        f"  cache hit        {results['cache_hit']['speedup']:>12.2f} x "
-        f"(warm over cold, {results['cache_hit']['points']} points)",
     ]
+    for section, fmt in formatters:
+        if section in results:
+            lines.append(fmt(results[section]))
     return "\n".join(lines)

@@ -40,7 +40,12 @@ from .hardware.node import HardwareNode
 from .hip.runtime import HipRuntime
 from .memory.coherence import CoherencePolicy
 from .topology.node import NodeTopology
-from .topology.presets import dense_hive_node, frontier_node, single_gpu_node
+from .topology.presets import (
+    dense_hive_node,
+    frontier_node,
+    mi250x_cluster,
+    single_gpu_node,
+)
 
 #: Named topology presets accepted by ``Session(topology=...)``.
 TOPOLOGY_PRESETS: dict[str, Callable[[], NodeTopology]] = {
@@ -50,7 +55,12 @@ TOPOLOGY_PRESETS: dict[str, Callable[[], NodeTopology]] = {
     "single": single_gpu_node,
     "single-mi250x": single_gpu_node,
     "dense-hive": dense_hive_node,
+    "mi250x-cluster": mi250x_cluster,  # 4 frontier nodes on NIC rails
 }
+
+#: Parametric preset prefix: ``mi250x-cluster-<N>`` builds an N-node
+#: cluster (``mi250x-cluster-16`` → 128 GCDs).
+_CLUSTER_PREFIX = "mi250x-cluster-"
 
 
 def resolve_topology(topology: str | NodeTopology | None) -> NodeTopology:
@@ -61,11 +71,20 @@ def resolve_topology(topology: str | NodeTopology | None) -> NodeTopology:
         return topology
     if isinstance(topology, str):
         key = topology.strip().lower()
+        if key.startswith(_CLUSTER_PREFIX):
+            suffix = key[len(_CLUSTER_PREFIX):]
+            if not suffix.isdigit() or int(suffix) < 1:
+                raise ConfigurationError(
+                    f"bad cluster preset {topology!r}: expected "
+                    f"{_CLUSTER_PREFIX}<nodes> with nodes >= 1"
+                )
+            return mi250x_cluster(nodes=int(suffix))
         factory = TOPOLOGY_PRESETS.get(key)
         if factory is None:
             known = ", ".join(sorted(TOPOLOGY_PRESETS))
             raise ConfigurationError(
-                f"unknown topology preset {topology!r} (known: {known})"
+                f"unknown topology preset {topology!r} "
+                f"(known: {known}, plus {_CLUSTER_PREFIX}<nodes>)"
             )
         return factory()
     raise ConfigurationError(
@@ -278,11 +297,22 @@ class Session:
     # -- drivers ----------------------------------------------------------------
 
     def run(self, process: Generator, name: str = "") -> Any:
-        """Drive a simulation process to completion; returns its value."""
+        """Drive a simulation process to completion; returns its value.
+
+        Solver work counters reset at each run boundary, so
+        :meth:`stats` and :meth:`metrics` report the numbers of the
+        most recent run instead of accumulating across reused sessions
+        (``repro perf`` reuses one session for repeated measurements).
+        """
+        self.node.network.solver.stats.reset()
         return self.node.engine.run_process(process, name)
 
     def run_all(self) -> float:
-        """Drain the event queue; returns the final simulated time."""
+        """Drain the event queue; returns the final simulated time.
+
+        Resets solver work counters at the boundary, like :meth:`run`.
+        """
+        self.node.network.solver.stats.reset()
         return self.node.engine.run()
 
     # -- stack factories ---------------------------------------------------------

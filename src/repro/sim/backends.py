@@ -66,6 +66,60 @@ class BackendChoice(NamedTuple):
         return self.requested != self.effective
 
 
+#: Recognised fairshare solver strategies, strongest first.
+#:
+#: ``dirty``
+#:     Dirty-set trace replay on churn *and* epoch-deferred re-levels
+#:     (all same-timestamp flow adds/removes/capacity changes coalesce
+#:     into one solve).  The default.
+#: ``eager``
+#:     Dirty-set trace replay, but one re-level per churn event — the
+#:     deferral-off half of the optimization, kept for differential
+#:     tests and diagnosis.
+#: ``full``
+#:     Per-component re-solve on every event (the pre-dirty-set
+#:     behaviour) — the perf baseline.
+#:
+#: Like backends, every strategy is bit-identical by construction
+#: (``tests/sim/test_solver_differential.py`` is the proof), so the
+#: strategy deliberately stays out of sweep-cache fingerprints.
+SOLVER_STRATEGIES = ("dirty", "eager", "full")
+
+#: Used when neither ``solver=`` nor ``REPRO_SOLVER`` says otherwise.
+DEFAULT_SOLVER = "dirty"
+
+#: Environment variable consulted when no explicit strategy is passed.
+SOLVER_ENV_VAR = "REPRO_SOLVER"
+
+
+class SolverChoice(NamedTuple):
+    """Resolved fairshare solver strategy (requested == effective).
+
+    Mirrors :class:`BackendChoice` for symmetry; solver strategies are
+    pure Python, so no degradation path exists today.
+    """
+
+    requested: str
+    effective: str
+
+
+def resolve_solver(strategy: str | None = None) -> SolverChoice:
+    """Resolve a solver-strategy request.
+
+    ``None`` consults ``REPRO_SOLVER``, then :data:`DEFAULT_SOLVER`.
+    Unknown names raise :class:`~repro.errors.ConfigurationError`.
+    """
+    if strategy is None:
+        strategy = os.environ.get(SOLVER_ENV_VAR) or DEFAULT_SOLVER
+    name = strategy.strip().lower()
+    if name not in SOLVER_STRATEGIES:
+        known = ", ".join(SOLVER_STRATEGIES)
+        raise ConfigurationError(
+            f"unknown solver strategy {strategy!r} (known: {known})"
+        )
+    return SolverChoice(name, name)
+
+
 def numpy_available() -> bool:
     """Whether the vectorized backend can run."""
     return _np is not None

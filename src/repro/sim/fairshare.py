@@ -62,9 +62,62 @@ ChannelId = Hashable
 #: Components at least this large take the vectorized inner loop.
 _VECTORIZE_THRESHOLD = 8
 
+#: Components at least this large record a solve trace for dirty-set
+#: re-leveling (smaller ones are cheaper to re-solve outright).
+_DIRTY_THRESHOLD = 8
+
+#: Consecutive replay failures (divergence at round 0) after which a
+#: component stops recording solve traces.  Recording costs a sizable
+#: fraction of a solve, and a component whose churn keeps landing on
+#: its round-0 binding constraints can never replay — the trace is
+#: pure overhead there.  While backed off, a probe trace is recorded
+#: every :data:`_REPLAY_PROBE`-th solve so a regime change (churn
+#: moving to lightly-loaded channels) re-enables replay.  The counters
+#: depend only on the operation sequence, so backoff is deterministic
+#: and — like tracing itself — invisible in the solved rates.
+_REPLAY_BACKOFF = 4
+_REPLAY_PROBE = 8
+
 #: Relative slack for "channel is full" / "flow reached its cap".
 _CHANNEL_SLACK = 1e-6
 _CAP_SLACK = 1e-9
+
+
+class _Trace:
+    """Round-by-round record of one progressive-filling solve.
+
+    Progressive filling is a deterministic sequence of *rounds*: each
+    round raises every unfrozen flow by a common ``delta`` (the
+    tightest constraint's headroom), marks saturated channels full and
+    freezes their flows.  The trace captures exactly enough of that
+    sequence to *replay* it against a perturbed problem:
+
+    - ``deltas``: the per-round fill increments;
+    - ``freeze_round``: the round each flow froze in;
+    - ``full_round``: the first round each channel was marked full;
+    - ``binding_channels`` / ``binding_caps``: per round, the
+      constraints whose headroom *exactly equalled* ``delta`` — the
+      certificates that the round's delta is reproduced bitwise when
+      those constraints are untouched by a perturbation.
+
+    Recording is pure observation: the solve performs identical
+    IEEE-754 operations with or without a trace attached.
+    """
+
+    __slots__ = (
+        "deltas",
+        "freeze_round",
+        "full_round",
+        "binding_channels",
+        "binding_caps",
+    )
+
+    def __init__(self) -> None:
+        self.deltas: list[float] = []
+        self.freeze_round: dict[Hashable, int] = {}
+        self.full_round: dict[ChannelId, int] = {}
+        self.binding_channels: list[tuple[ChannelId, ...]] = []
+        self.binding_caps: list[tuple[Hashable, ...]] = []
 
 
 @dataclass(frozen=True)
@@ -97,14 +150,16 @@ def _solve_component_python(
     flows: Sequence[FlowSpec],
     capacities: Mapping[ChannelId, float],
     bottlenecks: "dict[Hashable, ChannelId | None] | None" = None,
+    trace: "_Trace | None" = None,
 ) -> dict[Hashable, float]:
     """Scalar progressive filling over one (small) component.
 
     With ``bottlenecks`` (a dict to fill), each flow's freeze reason is
     recorded as a side product: the first channel in the flow's channel
     tuple that was full at its freeze iteration, or ``None`` when the
-    flow froze at its own cap.  Attribution only *reads* solver state,
-    so the returned rates are bit-identical either way.
+    flow froze at its own cap.  With ``trace``, the round structure is
+    recorded for dirty-set replay.  Attribution and tracing only *read*
+    solver state, so the returned rates are bit-identical either way.
     """
     rate: dict[Hashable, float] = {f.flow_id: 0.0 for f in flows}
     unfrozen: set[Hashable] = set(rate)
@@ -120,6 +175,7 @@ def _solve_component_python(
 
     # Each iteration freezes at least one flow, so the loop runs at
     # most len(flows) times.
+    round_index = 0
     while unfrozen:
         delta = math.inf
         for channel, group in members.items():
@@ -137,6 +193,21 @@ def _solve_component_python(
                 f"{sorted(map(repr, unfrozen))}"
             )
         delta = max(delta, 0.0)
+
+        if trace is not None:
+            binding_ch = []
+            for channel, group in members.items():
+                active = group & unfrozen
+                if active and residual[channel] / len(active) == delta:
+                    binding_ch.append(channel)
+            binding_cap = []
+            for flow_id in unfrozen:
+                flow = flows_by_id[flow_id]
+                if flow.cap is not math.inf and flow.cap - rate[flow_id] == delta:
+                    binding_cap.append(flow_id)
+            trace.deltas.append(delta)
+            trace.binding_channels.append(tuple(binding_ch))
+            trace.binding_caps.append(tuple(binding_cap))
 
         for flow_id in unfrozen:
             rate[flow_id] += delta
@@ -168,7 +239,13 @@ def _solve_component_python(
                 frozen_now.add(flow_id)
         if not frozen_now:
             raise SimulationError("progressive filling made no progress")
+        if trace is not None:
+            for channel in full:
+                trace.full_round.setdefault(channel, round_index)
+            for flow_id in frozen_now:
+                trace.freeze_round[flow_id] = round_index
         unfrozen -= frozen_now
+        round_index += 1
 
     return rate
 
@@ -177,15 +254,16 @@ def _solve_component_numpy(
     flows: Sequence[FlowSpec],
     capacities: Mapping[ChannelId, float],
     bottlenecks: "dict[Hashable, ChannelId | None] | None" = None,
+    trace: "_Trace | None" = None,
 ) -> dict[Hashable, float]:
     """Vectorized progressive filling over one (large) component.
 
     Performs the same IEEE-754 operations as the scalar loop
     element-wise (divisions, min-selection, subtraction), so the
     result is bit-identical to :func:`_solve_component_python`.
-    Bottleneck attribution (see the scalar core) only reads solver
-    state and uses the same tie-break rules, so the two cores also
-    agree on the recorded freeze reasons.
+    Bottleneck attribution (see the scalar core) and trace recording
+    only read solver state and use the same tie-break rules, so the
+    two cores also agree on freeze reasons and traces.
     """
     n = len(flows)
     channel_index: dict[ChannelId, int] = {}
@@ -194,6 +272,7 @@ def _solve_component_numpy(
             if channel not in channel_index:
                 channel_index[channel] = len(channel_index)
     m = len(channel_index)
+    channels_by_index = list(channel_index)
 
     incidence = _np.zeros((m, n), dtype=bool)
     for j, flow in enumerate(flows):
@@ -209,6 +288,8 @@ def _solve_component_numpy(
     rate = _np.zeros(n, dtype=float)
     unfrozen = _np.ones(n, dtype=bool)
 
+    round_index = 0
+    was_full = _np.zeros(m, dtype=bool)
     while unfrozen.any():
         # Per-channel count of active (unfrozen) flows.
         active_counts = incidence @ unfrozen.astype(_np.intp)
@@ -227,6 +308,24 @@ def _solve_component_numpy(
                 f"{sorted(map(repr, ids))}"
             )
         delta = max(delta, 0.0)
+
+        if trace is not None:
+            binding = _np.zeros(m, dtype=bool)
+            binding[occupied] = (
+                residual[occupied] / active_counts[occupied]
+            ) == delta
+            trace.binding_channels.append(
+                tuple(channels_by_index[i] for i in _np.nonzero(binding)[0])
+            )
+            cap_binding = _np.zeros(n, dtype=bool)
+            if headroom_mask.any():
+                cap_binding[headroom_mask] = (
+                    caps[headroom_mask] - rate[headroom_mask]
+                ) == delta
+            trace.binding_caps.append(
+                tuple(flows[j].flow_id for j in _np.nonzero(cap_binding)[0])
+            )
+            trace.deltas.append(delta)
 
         rate[unfrozen] += delta
         residual[occupied] -= delta * active_counts[occupied]
@@ -259,7 +358,14 @@ def _solve_component_numpy(
                 frozen_now |= capped
         if not frozen_now.any():
             raise SimulationError("progressive filling made no progress")
+        if trace is not None:
+            for i in _np.nonzero(full & ~was_full)[0]:
+                trace.full_round[channels_by_index[i]] = round_index
+            was_full |= full
+            for j in _np.nonzero(frozen_now)[0]:
+                trace.freeze_round[flows[j].flow_id] = round_index
         unfrozen &= ~frozen_now
+        round_index += 1
 
     return {flow.flow_id: float(rate[j]) for j, flow in enumerate(flows)}
 
@@ -268,6 +374,7 @@ def _solve_component(
     flows: Sequence[FlowSpec],
     capacities: Mapping[ChannelId, float],
     bottlenecks: "dict[Hashable, ChannelId | None] | None" = None,
+    trace: "_Trace | None" = None,
 ) -> dict[Hashable, float]:
     """Level one connected component; dispatches scalar vs vectorized."""
     if not flows:
@@ -298,8 +405,98 @@ def _solve_component(
             bottlenecks[flow.flow_id] = bottleneck
         return {flow.flow_id: best}
     if _np is not None and len(flows) >= _VECTORIZE_THRESHOLD:
-        return _solve_component_numpy(flows, capacities, bottlenecks)
-    return _solve_component_python(flows, capacities, bottlenecks)
+        return _solve_component_numpy(flows, capacities, bottlenecks, trace)
+    return _solve_component_python(flows, capacities, bottlenecks, trace)
+
+
+def _resume_fill(
+    flows_by_id: "dict[Hashable, FlowSpec]",
+    rate: "dict[Hashable, float]",
+    members: "dict[ChannelId, set[Hashable]]",
+    residual: "dict[ChannelId, float]",
+    capacities: Mapping[ChannelId, float],
+    bottlenecks: "dict[Hashable, ChannelId | None] | None",
+    trace: _Trace,
+    round_index: int,
+) -> dict[Hashable, float]:
+    """Continue scalar progressive filling from a reconstructed state.
+
+    Performs exactly the operations :func:`_solve_component_python`
+    would from round ``round_index`` of a solve whose state (rates of
+    the unfrozen flows, residuals of their channels) has been
+    reconstructed bitwise — so the resumed suffix is bit-identical to
+    the tail of a full re-solve.  Mutates ``rate`` and ``residual`` in
+    place and appends the suffix rounds to ``trace``.
+    """
+    unfrozen: set[Hashable] = set(rate)
+    while unfrozen:
+        delta = math.inf
+        for channel, group in members.items():
+            active = group & unfrozen
+            if active:
+                delta = min(delta, residual[channel] / len(active))
+        for flow_id in unfrozen:
+            flow = flows_by_id[flow_id]
+            if flow.cap is not math.inf:
+                delta = min(delta, flow.cap - rate[flow_id])
+
+        if delta is math.inf:
+            raise SimulationError(
+                "unconstrained flows (no channels and no cap): "
+                f"{sorted(map(repr, unfrozen))}"
+            )
+        delta = max(delta, 0.0)
+
+        binding_ch = []
+        for channel, group in members.items():
+            active = group & unfrozen
+            if active and residual[channel] / len(active) == delta:
+                binding_ch.append(channel)
+        binding_cap = []
+        for flow_id in unfrozen:
+            flow = flows_by_id[flow_id]
+            if flow.cap is not math.inf and flow.cap - rate[flow_id] == delta:
+                binding_cap.append(flow_id)
+        trace.deltas.append(delta)
+        trace.binding_channels.append(tuple(binding_ch))
+        trace.binding_caps.append(tuple(binding_cap))
+
+        for flow_id in unfrozen:
+            rate[flow_id] += delta
+        for channel, group in members.items():
+            active = group & unfrozen
+            if active:
+                residual[channel] -= delta * len(active)
+
+        frozen_now: set[Hashable] = set()
+        full: set[ChannelId] = set()
+        for channel, group in members.items():
+            if residual[channel] <= _CHANNEL_SLACK * capacities[channel]:
+                full.add(channel)
+                frozen_now |= group & unfrozen
+        if bottlenecks is not None:
+            for flow_id in frozen_now:
+                for channel in flows_by_id[flow_id].channels:
+                    if channel in full:
+                        bottlenecks[flow_id] = channel
+                        break
+        for flow_id in unfrozen:
+            flow = flows_by_id[flow_id]
+            if flow.cap is not math.inf and rate[flow_id] >= flow.cap - _CAP_SLACK * flow.cap:
+                if bottlenecks is not None and flow_id not in frozen_now:
+                    bottlenecks[flow_id] = None
+                rate[flow_id] = flow.cap
+                frozen_now.add(flow_id)
+        if not frozen_now:
+            raise SimulationError("progressive filling made no progress")
+        for channel in full:
+            trace.full_round.setdefault(channel, round_index)
+        for flow_id in frozen_now:
+            trace.freeze_round[flow_id] = round_index
+        unfrozen -= frozen_now
+        round_index += 1
+
+    return rate
 
 
 def _connected_components(
@@ -422,7 +619,12 @@ def max_min_fair_rates_reference(
 
 @dataclass
 class SolverStats:
-    """Work counters of a :class:`FairshareSolver` (for ``Session.stats``)."""
+    """Work counters of a :class:`FairshareSolver` (for ``Session.stats``).
+
+    Counters accumulate over the solver's lifetime.  Callers that want
+    per-run numbers (``Session.stats()``, ``repro perf``) call
+    :meth:`reset` at run boundaries — see ``Session.run``.
+    """
 
     flows_added: int = 0
     flows_removed: int = 0
@@ -430,6 +632,14 @@ class SolverStats:
     flows_releveled: int = 0
     largest_component: int = 0
     capacity_changes: int = 0
+    #: Churn operations absorbed by dirty-set replay (no full solve).
+    dirty_relevels: int = 0
+    #: Frontier flows re-solved by dirty-set suffix solves.
+    frontier_releveled: int = 0
+    #: Recorded rounds replayed (certified unchanged) across dirty ops.
+    replay_rounds: int = 0
+    #: Solves that skipped trace recording under replay backoff.
+    trace_skips: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Plain-dict rendering for reports and BENCH json."""
@@ -440,13 +650,22 @@ class SolverStats:
             "flows_releveled": self.flows_releveled,
             "largest_component": self.largest_component,
             "capacity_changes": self.capacity_changes,
+            "dirty_relevels": self.dirty_relevels,
+            "frontier_releveled": self.frontier_releveled,
+            "replay_rounds": self.replay_rounds,
+            "trace_skips": self.trace_skips,
         }
+
+    def reset(self) -> None:
+        """Zero every counter (run boundary for per-run reporting)."""
+        for name in self.as_dict():
+            setattr(self, name, 0)
 
     def publish(self, metrics: "Any") -> None:
         """Mirror the counters into a metrics registry (no-op if disabled).
 
-        Writes absolute values (the stats are already cumulative), so
-        publishing repeatedly is idempotent.
+        Writes absolute values (the stats are cumulative since the last
+        :meth:`reset`), so publishing repeatedly is idempotent.
         """
         if not metrics:
             return
@@ -473,6 +692,17 @@ class FairshareSolver:
     :meth:`rates` equals ``max_min_fair_rates(live_flows, capacities)``
     bit-for-bit (both level identical components with the identical
     core).
+
+    With ``dirty=True`` the solver additionally keeps, per component, a
+    :class:`_Trace` of its last solve and *replays* it on churn:
+    recorded rounds whose binding constraints are untouched by the
+    change are certified unchanged (the clean flows keep their cached
+    rates bitwise), and the solve resumes generically only from the
+    first round the change can influence — re-leveling the *frontier*
+    of flows at or above the perturbed fill level instead of the whole
+    component.  Because certified rounds reproduce the exact IEEE-754
+    state the full per-component core would reach, the dirty-set result
+    is bit-identical to a full re-solve (differential-tested).
     """
 
     def __init__(
@@ -480,20 +710,34 @@ class FairshareSolver:
         capacities: Mapping[ChannelId, float] | None = None,
         *,
         track_bottlenecks: bool = False,
+        dirty: bool = False,
     ) -> None:
         self._capacities: dict[ChannelId, float] = {}
         self._flows: dict[Hashable, FlowSpec] = {}
         self._rates: dict[Hashable, float] = {}
         self._members: dict[ChannelId, set[Hashable]] = {}
         self._component_of: dict[Hashable, int] = {}
-        self._components: dict[int, list[Hashable]] = {}
+        # Component membership as insertion-ordered id sets (dict keys):
+        # O(1) add/discard keeps churn bookkeeping O(affected), not
+        # O(component).
+        self._components: dict[int, dict[Hashable, None]] = {}
         self._component_ids = itertools.count()
         self._track_bottlenecks = bool(track_bottlenecks)
         self._bottlenecks: dict[Hashable, ChannelId | None] = {}
+        self._dirty = bool(dirty)
+        self._traces: dict[int, _Trace] = {}
+        #: Per component: consecutive replays that diverged at round 0
+        #: (see :data:`_REPLAY_BACKOFF`); reset on any replay success.
+        self._replay_failures: dict[int, int] = {}
         self.stats = SolverStats()
         if capacities:
             for channel, capacity in capacities.items():
                 self.add_channel(channel, capacity)
+
+    @property
+    def dirty_releveling(self) -> bool:
+        """Whether this solver replays solve traces on churn."""
+        return self._dirty
 
     # -- channel inventory ---------------------------------------------------
 
@@ -541,7 +785,11 @@ class FairshareSolver:
         if not members:
             return {}
         comp = self._component_of[next(iter(members))]
-        return self._relevel(self._components[comp])
+        flow_ids = self._components[comp]
+        solved = self._replay(comp, flow_ids, comp, (channel,), (), frozenset())
+        if solved is not None:
+            return solved
+        return self._relevel(flow_ids, comp)
 
     def has_channel(self, channel: ChannelId) -> bool:
         """Whether a channel id is registered."""
@@ -568,32 +816,59 @@ class FairshareSolver:
                 f"{[repr(spec.flow_id)]}"
             )
 
+        # All members of one channel share one component by definition,
+        # so a single representative per channel finds every touched
+        # component in O(channels), not O(degree).
         touched: list[int] = []
         seen: set[int] = set()
         for channel in spec.channels:
-            for member in self._members.get(channel, ()):
-                comp = self._component_of[member]
+            group = self._members.get(channel)
+            if group:
+                comp = self._component_of[next(iter(group))]
                 if comp not in seen:
                     seen.add(comp)
                     touched.append(comp)
-        touched.sort()
-
-        merged: list[Hashable] = []
-        for comp in touched:
-            merged.extend(self._components.pop(comp))
-        merged.append(spec.flow_id)
 
         self._flows[spec.flow_id] = spec
         for channel in spec.channels:
             self._members.setdefault(channel, set()).add(spec.flow_id)
-
-        new_comp = next(self._component_ids)
-        self._components[new_comp] = merged
-        for flow_id in merged:
-            self._component_of[flow_id] = new_comp
-
         self.stats.flows_added += 1
-        return self._relevel(merged)
+
+        if len(touched) == 1:
+            # The flow joined exactly one component: keep its id (no
+            # relabeling) and replay its trace with the new flow's
+            # channels as the dirty set.
+            comp = touched[0]
+            members = self._components[comp]
+            members[spec.flow_id] = None
+            self._component_of[spec.flow_id] = comp
+            solved = self._replay(
+                comp, members, comp, spec.channels, (spec,), frozenset()
+            )
+            if solved is not None:
+                return solved
+            return self._relevel(members, comp)
+
+        # A merge (or a fresh singleton): absorb the smaller components
+        # into the largest (weighted union, O(smaller)) and solve
+        # outright — no single parent trace matches the merged problem.
+        if touched:
+            comp = max(touched, key=lambda c: len(self._components[c]))
+            merged = self._components[comp]
+            for other in touched:
+                self._traces.pop(other, None)
+                self._replay_failures.pop(other, None)
+                if other == comp:
+                    continue
+                for flow_id in self._components.pop(other):
+                    merged[flow_id] = None
+                    self._component_of[flow_id] = comp
+        else:
+            comp = next(self._component_ids)
+            merged = self._components[comp] = {}
+        merged[spec.flow_id] = None
+        self._component_of[spec.flow_id] = comp
+        return self._relevel(merged, comp)
 
     def remove_flow(self, flow_id: Hashable) -> dict[Hashable, float]:
         """Retire a flow; re-levels and returns the rates of the remainder."""
@@ -602,27 +877,67 @@ class FairshareSolver:
             raise SimulationError(f"unknown flow id {flow_id!r}")
         self._rates.pop(flow_id, None)
         self._bottlenecks.pop(flow_id, None)
+        occupied: list[set[Hashable]] = []
+        seen_channels: set[ChannelId] = set()
         for channel in spec.channels:
+            if channel in seen_channels:
+                continue
+            seen_channels.add(channel)
             group = self._members.get(channel)
             if group is not None:
                 group.discard(flow_id)
                 if not group:
                     del self._members[channel]
+                else:
+                    occupied.append(group)
 
         comp = self._component_of.pop(flow_id)
-        remaining = [f for f in self._components.pop(comp) if f != flow_id]
+        comp_members = self._components[comp]
+        del comp_members[flow_id]
         self.stats.flows_removed += 1
-        if not remaining:
+        if not comp_members:
+            del self._components[comp]
+            self._traces.pop(comp, None)
+            self._replay_failures.pop(comp, None)
             return {}
 
-        updated: dict[Hashable, float] = {}
-        for piece in self._split_components(remaining):
-            piece_comp = next(self._component_ids)
-            self._components[piece_comp] = piece
-            for member in piece:
-                self._component_of[member] = piece_comp
-            updated.update(self._relevel(piece))
-        return updated
+        # Removal can only disconnect the component if the departed
+        # flow bridged two of its (still occupied) channels and no
+        # other flow carries that bridge.  A leaf flow (≤1 occupied
+        # channel) or a common carrier crossing all of them proves
+        # connectivity in O(degree) — skipping the component scan.
+        preserved = len(occupied) <= 1
+        if not preserved:
+            smallest = min(occupied, key=len)
+            for candidate in smallest:
+                channels = self._flows[candidate].channels
+                if all(channel in channels for channel in seen_channels
+                       if channel in self._members):
+                    preserved = True
+                    break
+        if not preserved:
+            pieces = self._split_components(list(comp_members))
+            if len(pieces) > 1:
+                del self._components[comp]
+                self._traces.pop(comp, None)
+                self._replay_failures.pop(comp, None)
+                updated: dict[Hashable, float] = {}
+                for piece in pieces:
+                    piece_comp = next(self._component_ids)
+                    self._components[piece_comp] = dict.fromkeys(piece)
+                    for member in piece:
+                        self._component_of[member] = piece_comp
+                    updated.update(self._relevel(piece, piece_comp))
+                return updated
+
+        # The component stayed connected: keep its id and replay its
+        # trace with the departed flow's channels dirty.
+        solved = self._replay(
+            comp, comp_members, comp, spec.channels, (), {flow_id}
+        )
+        if solved is not None:
+            return solved
+        return self._relevel(comp_members, comp)
 
     def _split_components(
         self, flow_ids: Sequence[Hashable]
@@ -649,17 +964,527 @@ class FairshareSolver:
             pieces.append([f for f in flow_ids if f in piece])
         return pieces
 
-    def _relevel(self, flow_ids: Sequence[Hashable]) -> dict[Hashable, float]:
+    def _relevel(
+        self, flow_ids: Iterable[Hashable], comp_id: int | None = None
+    ) -> dict[Hashable, float]:
         component = [self._flows[f] for f in flow_ids]
-        if self._track_bottlenecks:
-            solved = _solve_component(component, self._capacities, self._bottlenecks)
-        else:
-            solved = _solve_component(component, self._capacities)
+        trace: _Trace | None = None
+        if (
+            self._dirty
+            and comp_id is not None
+            and len(component) >= _DIRTY_THRESHOLD
+        ):
+            failures = self._replay_failures.get(comp_id, 0)
+            if failures < _REPLAY_BACKOFF:
+                trace = _Trace()
+            else:
+                # Backed off: replay keeps diverging at round 0 for
+                # this component, so solve without the recording
+                # overhead.  Advance the probe clock and record one
+                # trace per period to detect a regime change.
+                self._replay_failures[comp_id] = failures + 1
+                if (
+                    failures - _REPLAY_BACKOFF
+                ) % _REPLAY_PROBE == _REPLAY_PROBE - 1:
+                    trace = _Trace()
+                else:
+                    self.stats.trace_skips += 1
+        bottlenecks = self._bottlenecks if self._track_bottlenecks else None
+        solved = _solve_component(component, self._capacities, bottlenecks, trace)
+        if trace is not None:
+            self._traces[comp_id] = trace
+        elif comp_id is not None:
+            self._traces.pop(comp_id, None)
         self._rates.update(solved)
         self.stats.component_solves += 1
         self.stats.flows_releveled += len(component)
         if len(component) > self.stats.largest_component:
             self.stats.largest_component = len(component)
+        return solved
+
+    # -- dirty-set replay ----------------------------------------------------
+
+    def _replay(
+        self,
+        old_comp: int,
+        flow_ids: "dict[Hashable, None] | Sequence[Hashable]",
+        store_comp: int,
+        dirty_channels: Sequence[ChannelId],
+        added: Sequence[FlowSpec],
+        removed_ids: "set[Hashable] | frozenset",
+    ) -> "dict[Hashable, float] | None":
+        """Replay a component's recorded solve against a perturbation.
+
+        Walks the trace of the component's last solve round by round.
+        A round survives when (a) one of its recorded *binding*
+        constraints is untouched by the change — certifying the round's
+        delta bitwise — (b) no dirty channel or added-flow cap
+        undercuts that delta, and (c) every dirty channel's saturation
+        matches the recording.  Clean flows frozen in surviving rounds
+        keep their cached rates and bottlenecks without any arithmetic.
+        At the first round the change can influence, the exact solver
+        state is reconstructed (folding the certified deltas, which
+        reproduces the core's accumulation order bitwise) and
+        progressive filling resumes generically over the *frontier* —
+        the flows still unfrozen at that round.
+
+        Returns the rates of every flow whose allocation was (re)solved
+        — added flows plus the frontier — or ``None`` when no trace is
+        available (caller falls back to a full re-level).  Structural
+        state (``_flows``/``_members``/``_components``) must already
+        reflect the perturbation.
+        """
+        trace = self._traces.pop(old_comp, None)
+        if trace is None or not self._dirty:
+            return None
+
+        capacities = self._capacities
+        deltas = trace.deltas
+        nrounds = len(deltas)
+        freeze_round = trace.freeze_round
+        full_round = trace.full_round
+
+        # Deterministically ordered, deduplicated dirty channel list.
+        dirty_list: list[ChannelId] = []
+        dirty_set: set[ChannelId] = set()
+        for channel in dirty_channels:
+            if channel not in dirty_set:
+                dirty_set.add(channel)
+                dirty_list.append(channel)
+
+        a_spec: dict[Hashable, FlowSpec] = {f.flow_id: f for f in added}
+        a_rate: dict[Hashable, float] = {f.flow_id: 0.0 for f in added}
+        a_frozen: dict[Hashable, int] = {}
+        a_bottleneck: dict[Hashable, "ChannelId | None"] = {}
+
+        # Per dirty channel: residual fold state, the sorted freeze
+        # rounds of its clean members (for O(1) active counts as the
+        # round index advances), and its unfrozen added members.
+        dres: dict[ChannelId, float] = {}
+        dfull: dict[ChannelId, int] = {}
+        clean_rounds: dict[ChannelId, list[int]] = {}
+        ptr: dict[ChannelId, int] = {}
+        added_on: dict[ChannelId, list[Hashable]] = {}
+        for channel in dirty_list:
+            dres[channel] = capacities[channel]
+            rounds = [
+                freeze_round[m]
+                for m in self._members.get(channel, ())
+                if m not in a_spec
+            ]
+            rounds.sort()
+            clean_rounds[channel] = rounds
+            ptr[channel] = 0
+            added_on[channel] = [
+                f.flow_id for f in added if channel in f.channels
+            ]
+
+        diverged = -1
+        r = 0
+        while r < nrounds:
+            delta = deltas[r]
+            # (a) certificate: an untouched constraint binds this round.
+            orig_bch = trace.binding_channels[r]
+            orig_bcap = trace.binding_caps[r]
+            certified = False
+            for channel in orig_bch:
+                if channel not in dirty_set:
+                    certified = True
+                    break
+            if not certified:
+                for fid in orig_bcap:
+                    if fid not in removed_ids:
+                        certified = True
+                        break
+            if not certified:
+                diverged = r
+                break
+
+            # (b) dirty terms must not undercut the certified delta.
+            counts: dict[ChannelId, int] = {}
+            dirty_binding: list[ChannelId] = []
+            undercut = False
+            for channel in dirty_list:
+                if channel in dfull:
+                    continue
+                rounds = clean_rounds[channel]
+                p = ptr[channel]
+                while p < len(rounds) and rounds[p] < r:
+                    p += 1
+                ptr[channel] = p
+                count = len(rounds) - p
+                for fid in added_on[channel]:
+                    if fid not in a_frozen:
+                        count += 1
+                if count == 0:
+                    continue
+                counts[channel] = count
+                term = dres[channel] / count
+                if term < delta:
+                    undercut = True
+                    break
+                if term == delta:
+                    dirty_binding.append(channel)
+            if undercut:
+                diverged = r
+                break
+            added_binding: list[Hashable] = []
+            for fid, spec in a_spec.items():
+                if fid in a_frozen or spec.cap is math.inf:
+                    continue
+                term = spec.cap - a_rate[fid]
+                if term < delta:
+                    undercut = True
+                    break
+                if term == delta:
+                    added_binding.append(fid)
+            if undercut:
+                diverged = r
+                break
+
+            # Apply the certified delta to the dirty state (snapshot
+            # first: a saturation mismatch must rewind to round start).
+            snap_res = {
+                channel: dres[channel] for channel in counts
+            }
+            snap_rate = dict(a_rate)
+            for channel, count in counts.items():
+                dres[channel] -= delta * count
+            for fid in a_spec:
+                if fid not in a_frozen:
+                    a_rate[fid] += delta
+
+            # (c) dirty saturation must match the recording.
+            newly_full: list[ChannelId] = []
+            mismatch = False
+            for channel in dirty_list:
+                if channel in dfull:
+                    continue
+                now_full = (
+                    dres[channel] <= _CHANNEL_SLACK * capacities[channel]
+                )
+                if now_full != (full_round.get(channel) == r):
+                    mismatch = True
+                    break
+                if now_full:
+                    newly_full.append(channel)
+            if mismatch:
+                dres.update(snap_res)
+                a_rate = snap_rate
+                diverged = r
+                break
+            for channel in newly_full:
+                dfull[channel] = r
+
+            # Freeze added flows exactly as the core would: channel
+            # attribution first, cap clamp second (clamping also the
+            # channel-frozen, without stealing their attribution).
+            for fid, spec in a_spec.items():
+                if fid in a_frozen:
+                    continue
+                bottleneck: ChannelId | None = None
+                for channel in spec.channels:
+                    if channel in dfull:
+                        bottleneck = channel
+                        break
+                cap = spec.cap
+                capped = cap is not math.inf and a_rate[fid] >= cap - _CAP_SLACK * cap
+                if bottleneck is not None:
+                    a_frozen[fid] = r
+                    a_bottleneck[fid] = bottleneck
+                    if capped:
+                        a_rate[fid] = cap
+                elif capped:
+                    a_frozen[fid] = r
+                    a_bottleneck[fid] = None
+                    a_rate[fid] = cap
+
+            # Patch this round's binding record in place if the dirty
+            # set touched it (stale equalities would mis-certify later
+            # replays; untouched rounds keep their tuples allocation-free).
+            rebuilt_bch = dirty_binding or any(
+                channel in dirty_set for channel in orig_bch
+            )
+            if rebuilt_bch:
+                trace.binding_channels[r] = (
+                    tuple(c for c in orig_bch if c not in dirty_set)
+                    + tuple(dirty_binding)
+                )
+            rebuilt_bcap = added_binding or (
+                removed_ids and any(fid in removed_ids for fid in orig_bcap)
+            )
+            if rebuilt_bcap:
+                trace.binding_caps[r] = (
+                    tuple(f for f in orig_bcap if f not in removed_ids)
+                    + tuple(added_binding)
+                )
+            r += 1
+
+        if diverged < 0:
+            self._replay_failures.pop(store_comp, None)
+            return self._replay_commit(
+                trace, store_comp, dirty_list, dirty_set, dfull, dres,
+                clean_rounds, added_on, a_spec, a_rate, a_frozen,
+                a_bottleneck, removed_ids, nrounds,
+            )
+        if diverged == 0:
+            # Nothing certified: the frontier is the whole component, so
+            # a full (vectorized) re-solve beats a scalar resume.
+            self._replay_failures[store_comp] = (
+                self._replay_failures.get(store_comp, 0) + 1
+            )
+            return None
+        self._replay_failures.pop(store_comp, None)
+        return self._replay_resume(
+            trace, flow_ids, store_comp, dirty_set, dfull, dres,
+            a_spec, a_rate, a_frozen, a_bottleneck, removed_ids, diverged,
+        )
+
+    def _replay_commit(
+        self,
+        trace: _Trace,
+        store_comp: int,
+        dirty_list: "list[ChannelId]",
+        dirty_set: "set[ChannelId]",
+        dfull: "dict[ChannelId, int]",
+        dres: "dict[ChannelId, float]",
+        clean_rounds: "dict[ChannelId, list[int]]",
+        added_on: "dict[ChannelId, list[Hashable]]",
+        a_spec: "dict[Hashable, FlowSpec]",
+        a_rate: "dict[Hashable, float]",
+        a_frozen: "dict[Hashable, int]",
+        a_bottleneck: "dict[Hashable, ChannelId | None]",
+        removed_ids: "set[Hashable] | frozenset",
+        nrounds: int,
+    ) -> dict[Hashable, float]:
+        """Finish a fully-certified replay: continuation + bookkeeping.
+
+        Every recorded round survived, so only added flows can still be
+        unfrozen; progressive filling continues over them and the dirty
+        channels alone — the exact rounds a full solve would append,
+        since every original constraint is exhausted.
+        """
+        r = nrounds
+        while len(a_frozen) < len(a_spec):
+            delta = math.inf
+            counts: dict[ChannelId, int] = {}
+            for channel in dirty_list:
+                if channel in dfull:
+                    continue
+                count = 0
+                for fid in added_on[channel]:
+                    if fid not in a_frozen:
+                        count += 1
+                if count == 0:
+                    continue
+                counts[channel] = count
+                delta = min(delta, dres[channel] / count)
+            for fid, spec in a_spec.items():
+                if fid not in a_frozen and spec.cap is not math.inf:
+                    delta = min(delta, spec.cap - a_rate[fid])
+            if delta is math.inf or delta == math.inf:
+                ids = [repr(f) for f in a_spec if f not in a_frozen]
+                raise SimulationError(
+                    "unconstrained flows (no channels and no cap): "
+                    f"{sorted(ids)}"
+                )
+            delta = max(delta, 0.0)
+
+            binding_ch = [
+                channel
+                for channel, count in counts.items()
+                if dres[channel] / count == delta
+            ]
+            binding_cap = [
+                fid
+                for fid, spec in a_spec.items()
+                if fid not in a_frozen
+                and spec.cap is not math.inf
+                and spec.cap - a_rate[fid] == delta
+            ]
+            trace.deltas.append(delta)
+            trace.binding_channels.append(tuple(binding_ch))
+            trace.binding_caps.append(tuple(binding_cap))
+
+            for channel, count in counts.items():
+                dres[channel] -= delta * count
+            for fid in a_spec:
+                if fid not in a_frozen:
+                    a_rate[fid] += delta
+
+            for channel in list(counts):
+                if channel in dfull:
+                    continue
+                if dres[channel] <= _CHANNEL_SLACK * self._capacities[channel]:
+                    dfull[channel] = r
+            frozen_this_round = False
+            for fid, spec in a_spec.items():
+                if fid in a_frozen:
+                    continue
+                bottleneck: ChannelId | None = None
+                for channel in spec.channels:
+                    if channel in dfull:
+                        bottleneck = channel
+                        break
+                cap = spec.cap
+                capped = cap is not math.inf and a_rate[fid] >= cap - _CAP_SLACK * cap
+                if bottleneck is not None:
+                    a_frozen[fid] = r
+                    a_bottleneck[fid] = bottleneck
+                    if capped:
+                        a_rate[fid] = cap
+                    frozen_this_round = True
+                elif capped:
+                    a_frozen[fid] = r
+                    a_bottleneck[fid] = None
+                    a_rate[fid] = cap
+                    frozen_this_round = True
+            if not frozen_this_round:
+                raise SimulationError("progressive filling made no progress")
+            r += 1
+
+        # Fix up the trace in place for the perturbed component.
+        if removed_ids:
+            for fid in removed_ids:
+                trace.freeze_round.pop(fid, None)
+        trace.freeze_round.update(a_frozen)
+        for channel in dirty_list:
+            trace.full_round.pop(channel, None)
+        trace.full_round.update(dfull)
+        self._traces[store_comp] = trace
+
+        updated = dict(a_rate)
+        self._rates.update(updated)
+        if self._track_bottlenecks:
+            for fid in a_spec:
+                self._bottlenecks[fid] = a_bottleneck.get(fid)
+        stats = self.stats
+        stats.dirty_relevels += 1
+        stats.replay_rounds += nrounds
+        return updated
+
+    def _replay_resume(
+        self,
+        trace: _Trace,
+        flow_ids: "dict[Hashable, None] | Sequence[Hashable]",
+        store_comp: int,
+        dirty_set: "set[ChannelId]",
+        dfull: "dict[ChannelId, int]",
+        dres: "dict[ChannelId, float]",
+        a_spec: "dict[Hashable, FlowSpec]",
+        a_rate: "dict[Hashable, float]",
+        a_frozen: "dict[Hashable, int]",
+        a_bottleneck: "dict[Hashable, ChannelId | None]",
+        removed_ids: "set[Hashable] | frozenset",
+        diverged: int,
+    ) -> dict[Hashable, float]:
+        """Reconstruct solver state at the divergence round and resume.
+
+        The rounds before ``diverged`` are certified bitwise, so the
+        frontier's rates (a fold of the certified deltas) and the
+        suffix channels' residuals (a fold of delta × active-count, in
+        recording order) equal the full core's state exactly; resuming
+        the scalar fill from there matches a full re-solve bit for bit.
+        """
+        capacities = self._capacities
+        deltas = trace.deltas
+        freeze_round = trace.freeze_round
+        full_round = trace.full_round
+
+        # Frontier: flows still unfrozen at the divergence round, in
+        # component (admission) order.
+        frontier: list[Hashable] = []
+        for fid in flow_ids:
+            if fid in a_spec:
+                if fid not in a_frozen:
+                    frontier.append(fid)
+            elif freeze_round[fid] >= diverged:
+                frontier.append(fid)
+
+        # All clean frontier flows carry the identical certified fill.
+        acc = 0.0
+        for s in range(diverged):
+            acc += deltas[s]
+
+        flows_by_id: dict[Hashable, FlowSpec] = {}
+        rate: dict[Hashable, float] = {}
+        for fid in frontier:
+            if fid in a_spec:
+                flows_by_id[fid] = a_spec[fid]
+                rate[fid] = a_rate[fid]
+            else:
+                flows_by_id[fid] = self._flows[fid]
+                rate[fid] = acc
+
+        # Suffix channels: every channel a frontier flow crosses (none
+        # of them saturated yet — a saturated channel has no unfrozen
+        # members).  Clean residuals fold the recorded deltas against
+        # the channel's historic active counts, reproducing the core's
+        # subtraction sequence bitwise.
+        members: dict[ChannelId, set[Hashable]] = {}
+        for fid in frontier:
+            for channel in flows_by_id[fid].channels:
+                members.setdefault(channel, set()).add(fid)
+        residual: dict[ChannelId, float] = {}
+        for channel in members:
+            if channel in dirty_set:
+                residual[channel] = dres[channel]
+                continue
+            rounds = sorted(
+                freeze_round[m] for m in self._members.get(channel, ())
+            )
+            total = len(rounds)
+            res = capacities[channel]
+            p = 0
+            for s in range(diverged):
+                while p < total and rounds[p] < s:
+                    p += 1
+                count = total - p
+                if count:
+                    res -= deltas[s] * count
+            residual[channel] = res
+
+        # Truncate a copy of the trace at the divergence round; the
+        # resumed fill appends its own rounds.
+        resumed = _Trace()
+        resumed.deltas = deltas[:diverged]
+        resumed.binding_channels = trace.binding_channels[:diverged]
+        resumed.binding_caps = trace.binding_caps[:diverged]
+        for fid, rr in freeze_round.items():
+            if rr < diverged and fid not in removed_ids:
+                resumed.freeze_round[fid] = rr
+        for fid, rr in a_frozen.items():
+            resumed.freeze_round[fid] = rr
+        for channel, rr in full_round.items():
+            if rr < diverged and channel not in dirty_set:
+                resumed.full_round[channel] = rr
+        resumed.full_round.update(dfull)
+
+        bottlenecks = self._bottlenecks if self._track_bottlenecks else None
+        solved = _resume_fill(
+            flows_by_id,
+            rate,
+            members,
+            residual,
+            capacities,
+            bottlenecks,
+            resumed,
+            diverged,
+        )
+        self._traces[store_comp] = resumed
+
+        for fid, r in a_frozen.items():
+            solved.setdefault(fid, a_rate[fid])
+        self._rates.update(solved)
+        if self._track_bottlenecks:
+            for fid, rr in a_frozen.items():
+                self._bottlenecks[fid] = a_bottleneck.get(fid)
+        stats = self.stats
+        stats.dirty_relevels += 1
+        stats.replay_rounds += diverged
+        stats.frontier_releveled += len(frontier)
+        if len(flow_ids) > stats.largest_component:
+            stats.largest_component = len(flow_ids)
         return solved
 
     # -- queries -------------------------------------------------------------

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Any, Hashable, Iterable, Mapping, Sequence
 
 from ..errors import LinkDownError, SimulationError
-from .backends import compiled_kernels, resolve_backend
+from .backends import compiled_kernels, resolve_backend, resolve_solver
 from .engine import Event, SimEngine, TimerHandle
 from .fairshare import FairshareSolver, FlowSpec, max_min_fair_rates_reference
 
@@ -169,6 +169,17 @@ class FlowNetwork:
     choice affects only wall-clock speed, never results.  ``None``
     consults ``REPRO_BACKEND`` and defaults to ``"vectorized"``.
 
+    ``solver`` likewise selects the fairshare *strategy* (see
+    :mod:`repro.sim.backends`): ``"dirty"`` (the default — trace
+    replay plus epoch-deferred solving, so all churn within one engine
+    epoch coalesces into a single re-level), ``"eager"`` (trace
+    replay, one solve per event) or ``"full"`` (the per-component
+    re-solve on every event, the perf baseline).  All three are
+    bit-identical on rates, bottleneck attribution and completion
+    times (differential-tested), which is why — like the backend —
+    the strategy stays out of result cache keys.  ``None`` consults
+    ``REPRO_SOLVER``.
+
     In the vectorized backends, live per-flow state (remaining bytes)
     is authoritative in the slot arrays between rate changes;
     ``Flow.remaining`` on in-flight flows is refreshed at the same
@@ -184,6 +195,7 @@ class FlowNetwork:
         metrics: "Any" = None,
         spans: "Any" = None,
         backend: str | None = None,
+        solver: str | None = None,
     ) -> None:
         self.engine = engine
         self._channels: dict[Hashable, Channel] = {}
@@ -195,6 +207,15 @@ class FlowNetwork:
         choice = resolve_backend(backend)
         self.backend_requested = choice.requested
         self.backend = choice.effective
+        strategy = resolve_solver(solver)
+        self.solver_strategy = strategy.effective
+        # Epoch deferral: all churn inside one engine epoch coalesces
+        # into a single re-level, flushed by a zero-delay timer before
+        # simulated time can advance.  Only meaningful with the
+        # incremental solver (legacy mode re-solves globally per event).
+        self._defer = incremental and self.solver_strategy == "dirty"
+        self._pending: dict[Hashable, float] | None = None
+        self._flush_scheduled = False
         self._kernels = (
             compiled_kernels() if self.backend == "compiled" else None
         )
@@ -220,7 +241,10 @@ class FlowNetwork:
         self._spans = spans
         # Bottleneck tracking is the span layer's data source; leave it
         # off otherwise so the disabled path stays within the perf guard.
-        self._solver = FairshareSolver(track_bottlenecks=bool(spans))
+        self._solver = FairshareSolver(
+            track_bottlenecks=bool(spans),
+            dirty=incremental and self.solver_strategy in ("dirty", "eager"),
+        )
         self._blame_names: dict[Hashable, str] = {}
 
     @property
@@ -295,7 +319,15 @@ class FlowNetwork:
             self._metrics.counter("network/capacity_changes").inc()
             if failed:
                 self._metrics.counter("network/flows_failed").inc(len(failed))
-        self._resolve_and_schedule(updated if incremental else None)
+        if incremental and self._defer:
+            # Merge with any earlier churn this epoch, then apply now:
+            # fault semantics (survivor speed-ups, failure ordering) are
+            # synchronous, and capacity changes are rare enough that
+            # deferring them buys nothing.
+            self._defer_resolve(updated)
+            self.flush_pending()
+        else:
+            self._resolve_and_schedule(updated if incremental else None)
         for flow in failed:
             flow.done.fail(
                 LinkDownError(
@@ -396,11 +428,14 @@ class FlowNetwork:
                 metrics.channel(
                     channel_id, self._channels[channel_id].capacity
                 ).flows += 1
-        if self._incremental:
-            updated = self._solver.add_flow(FlowSpec(flow.flow_id, channel_ids, cap))
-            self._resolve_and_schedule(updated)
-        else:
+        if not self._incremental:
             self._resolve_and_schedule()
+            return flow
+        updated = self._solver.add_flow(FlowSpec(flow.flow_id, channel_ids, cap))
+        if self._defer:
+            self._defer_resolve(updated)
+        else:
+            self._resolve_and_schedule(updated)
         return flow
 
     def active_flows(self) -> Sequence[Flow]:
@@ -410,6 +445,7 @@ class FlowNetwork:
         callers see values as of the last rate change regardless of
         backend.
         """
+        self.flush_pending()
         if self._arr_remaining is not None:
             self._sync_remaining()
         return list(self._active.values())
@@ -423,6 +459,7 @@ class FlowNetwork:
         idle, rather than dividing by zero.
         """
         channel = self.channel(channel_id)
+        self.flush_pending()
         occupied = False
         load = 0.0
         for f in self._active.values():
@@ -492,6 +529,13 @@ class FlowNetwork:
         if dt < 0:
             raise SimulationError("flow network clock went backwards")
         if dt > 0:
+            if self._pending is not None:
+                # Unreachable by construction: the flush timer runs in
+                # the epoch that deferred, before time can advance.
+                raise SimulationError(
+                    "deferred re-level survived its epoch; engine "
+                    "epoch ordering is broken"
+                )
             if self._active and (self._metrics or self._spans):
                 if self._metrics:
                     self._account_interval(self._last_update, dt)
@@ -546,6 +590,55 @@ class FlowNetwork:
             span = flow.span
             if span is not None:
                 span.account(start, dt, flow.rate, flow.blame_key)
+
+    def _defer_resolve(self, updated: Mapping[Hashable, float]) -> None:
+        """Coalesce a churn event into this epoch's single re-level.
+
+        Solver state (flow set, rates, traces) is already updated
+        eagerly by the caller — only the *application* of rates to
+        flows, the min-ETA scan, and the alarm re-arm are deferred.
+        The flush rides a zero-delay timer, which the engine appends to
+        the currently-dispatching epoch: it runs after every
+        already-queued event of this instant and before simulated time
+        can advance, so integration never sees a stale rate across a
+        non-zero interval.  Within the epoch all intervals have zero
+        duration, which is why deferral is invisible in completion
+        times (differential-tested against per-event solving).
+        """
+        pending = self._pending
+        if pending is None:
+            self._pending = pending = {}
+        pending.update(updated)
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            self.engine.call_after(0.0, self._flush)
+
+    def _flush(self) -> None:
+        """Apply the epoch's coalesced re-level (idempotent)."""
+        self._flush_scheduled = False
+        pending = self._pending
+        if pending is None:
+            return
+        self._pending = None
+        # Ops later in the epoch may have re-leveled a flow again (or
+        # removed it); the solver's live table is authoritative.
+        rates = self._solver._rates
+        for flow_id in pending:
+            rate = rates.get(flow_id)
+            if rate is not None:
+                pending[flow_id] = rate
+        self._resolve_and_schedule(pending)
+
+    def flush_pending(self) -> None:
+        """Apply any deferred re-level immediately (read-your-writes).
+
+        Safe to call outside engine dispatch; the epoch's queued flush
+        timer then finds nothing to do.  Readers that surface per-flow
+        rates call this so the epoch-deferred strategy is observationally
+        equivalent to per-event solving.
+        """
+        if self._pending is not None:
+            self._flush()
 
     def _resolve_and_schedule(
         self, updated: Mapping[Hashable, float] | None = None
@@ -681,6 +774,17 @@ class FlowNetwork:
             flow.remaining = 0.0
             flow.rate = 0.0
             flow.finish_time = self.engine.now
-        self._resolve_and_schedule(updated if incremental else None)
-        for flow in finished:
-            flow.done.succeed(flow)
+        if incremental and self._defer:
+            # Deliver the completions *before* scheduling the flush:
+            # the ``done`` deliveries then sit ahead of the flush timer
+            # in this epoch, so transfers started by resumed processes
+            # merge their re-level into the same flush — one solve for
+            # the completion plus everything it triggers, instead of
+            # one for the removal and one per follow-on add.
+            for flow in finished:
+                flow.done.succeed(flow)
+            self._defer_resolve(updated)
+        else:
+            self._resolve_and_schedule(updated if incremental else None)
+            for flow in finished:
+                flow.done.succeed(flow)

@@ -15,9 +15,21 @@ Public entry points:
   paper contrasts: shortest-path and bandwidth-maximizing.
 """
 
-from .link import Link, LinkTier, LinkEndpoint, XGMI_LINK_BW, CPU_LINK_BW
+from .link import (
+    Link,
+    LinkTier,
+    LinkEndpoint,
+    XGMI_LINK_BW,
+    CPU_LINK_BW,
+    NIC_LINK_BW,
+)
 from .node import NodeTopology, GcdInfo, NumaDomainInfo
-from .presets import frontier_node, dense_hive_node, single_gpu_node
+from .presets import (
+    frontier_node,
+    dense_hive_node,
+    mi250x_cluster,
+    single_gpu_node,
+)
 from .routing import (
     Route,
     RoutingPolicy,
@@ -34,11 +46,13 @@ __all__ = [
     "LinkEndpoint",
     "XGMI_LINK_BW",
     "CPU_LINK_BW",
+    "NIC_LINK_BW",
     "NodeTopology",
     "GcdInfo",
     "NumaDomainInfo",
     "frontier_node",
     "dense_hive_node",
+    "mi250x_cluster",
     "single_gpu_node",
     "Route",
     "RoutingPolicy",

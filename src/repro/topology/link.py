@@ -26,25 +26,33 @@ XGMI_LINK_BW = gbps(50.0)
 #: Peak bandwidth of the CPU-GCD Infinity Fabric link, one direction.
 CPU_LINK_BW = gbps(36.0)
 
+#: Peak bandwidth of one inter-node NIC, one direction.  Frontier/LUMI
+#: attach one Slingshot-11 NIC (200 Gb/s ≈ 25 GB/s) per NUMA domain.
+NIC_LINK_BW = gbps(25.0)
+
 
 class LinkTier(enum.Enum):
-    """Bandwidth tier of a GCD-GCD connection, or the CPU tier."""
+    """Bandwidth tier of a GCD-GCD connection, the CPU tier, or the
+    inter-node NIC tier."""
 
     SINGLE = 1  #: one xGMI link:   50 GB/s per direction
     DUAL = 2    #: two xGMI links: 100 GB/s per direction
     QUAD = 4    #: four xGMI links: 200 GB/s per direction
     CPU = 0     #: CPU-GCD link:    36 GB/s per direction
+    NIC = -1    #: inter-node NIC:  25 GB/s per direction
 
     @property
     def width(self) -> int:
-        """Number of physical xGMI links in the bundle (CPU tier: 1)."""
-        return self.value if self.value else 1
+        """Number of physical xGMI links in the bundle (CPU/NIC: 1)."""
+        return self.value if self.value > 0 else 1
 
     @property
     def peak_unidirectional(self) -> float:
         """Peak bytes/s in one direction."""
         if self is LinkTier.CPU:
             return CPU_LINK_BW
+        if self is LinkTier.NIC:
+            return NIC_LINK_BW
         return self.value * XGMI_LINK_BW
 
     @property
@@ -130,6 +138,12 @@ class Link:
                 raise TopologyError(
                     "CPU-tier links must connect a GCD to a NUMA domain"
                 )
+        elif self.tier is LinkTier.NIC:
+            if self.a.kind != "numa" or self.b.kind != "numa":
+                raise TopologyError(
+                    "NIC-tier links must connect two NUMA domains "
+                    "(the per-domain NICs of two nodes)"
+                )
         else:
             if not (self.a.is_gcd and self.b.is_gcd):
                 raise TopologyError("xGMI-tier links must connect two GCDs")
@@ -154,6 +168,11 @@ class Link:
     def is_cpu_link(self) -> bool:
         """True for CPU-GCD links."""
         return self.tier is LinkTier.CPU
+
+    @property
+    def is_nic_link(self) -> bool:
+        """True for inter-node NIC links."""
+        return self.tier is LinkTier.NIC
 
     def endpoints(self) -> tuple[LinkEndpoint, LinkEndpoint]:
         """Both endpoints as a tuple."""

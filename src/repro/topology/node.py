@@ -179,12 +179,16 @@ class NodeTopology:
         return iter(sorted(self._links.values(), key=lambda l: l.name))
 
     def xgmi_links(self) -> Iterator[Link]:
-        """GCD-GCD links only."""
-        return (l for l in self.links() if not l.is_cpu_link)
+        """GCD-GCD links only (excludes CPU and inter-node NIC links)."""
+        return (l for l in self.links() if l.a.is_gcd and l.b.is_gcd)
 
     def cpu_links(self) -> Iterator[Link]:
         """CPU-GCD links only."""
         return (l for l in self.links() if l.is_cpu_link)
+
+    def nic_links(self) -> Iterator[Link]:
+        """Inter-node NIC links only (empty on single-node topologies)."""
+        return (l for l in self.links() if l.is_nic_link)
 
     # -- structural queries ----------------------------------------------
 
@@ -279,7 +283,13 @@ class NodeTopology:
             f"{self.num_gpu_packages} GPU packages, "
             f"{self.num_numa_domains} NUMA domains",
         ]
-        for tier in (LinkTier.QUAD, LinkTier.DUAL, LinkTier.SINGLE, LinkTier.CPU):
+        for tier in (
+            LinkTier.QUAD,
+            LinkTier.DUAL,
+            LinkTier.SINGLE,
+            LinkTier.CPU,
+            LinkTier.NIC,
+        ):
             if tier in census:
                 lines.append(
                     f"  {census[tier]}x {tier.name.lower()} links "
@@ -350,6 +360,17 @@ class NodeTopologyBuilder:
         """Add a GCD's CPU link to a NUMA domain port."""
         self._links.append(
             Link(LinkEndpoint.gcd(gcd), LinkEndpoint.numa(numa), LinkTier.CPU)
+        )
+        return self
+
+    def connect_nic(self, numa_a: int, numa_b: int) -> "NodeTopologyBuilder":
+        """Add an inter-node NIC link between two NUMA domain ports."""
+        self._links.append(
+            Link(
+                LinkEndpoint.numa(numa_a),
+                LinkEndpoint.numa(numa_b),
+                LinkTier.NIC,
+            )
         )
         return self
 

@@ -92,6 +92,85 @@ def _check_frontier_invariants(topology: NodeTopology) -> None:
         raise TopologyError("single-link pairs disagree with paper §V-A1")
 
 
+def mi250x_cluster(nodes: int = 4, *, name: str | None = None) -> NodeTopology:
+    """``nodes`` Fig. 1 frontier nodes bridged by inter-node NIC links.
+
+    Each node replicates the exact frontier layout — GCDs ``8n..8n+7``,
+    packages ``4n..4n+3``, NUMA domains ``4n..4n+3``, the Fig. 1 xGMI
+    bundles and per-GCD CPU links — and every NUMA domain carries one
+    Slingshot-style 25 GB/s NIC into the same-ranked domain of the next
+    node, forming four parallel NIC rails around a node ring (the
+    Frontier blade wiring, reduced to a ring so the preset stays
+    parametric).
+
+    This is the scale-out stage for the solver benchmarks: a ring
+    allreduce over the cluster couples all ``8 * nodes`` GCDs into one
+    fairshare component, which is exactly the regime where dirty-set
+    re-leveling has to beat the full component re-solve.
+    """
+    if nodes < 1:
+        raise TopologyError("need at least one node")
+    if name is None:
+        name = f"mi250x-cluster-{nodes}"
+    builder = NodeTopologyBuilder(name)
+    for node in range(nodes):
+        numa_base = 4 * node
+        gcd_base = 8 * node
+        for numa in range(4):
+            builder.add_numa_domain(NumaDomainInfo(index=numa_base + numa))
+        for gcd in range(8):
+            builder.add_gcd(
+                GcdInfo(
+                    index=gcd_base + gcd,
+                    gpu_package=4 * node + gcd // 2,
+                    numa_domain=numa_base + FRONTIER_GCD_NUMA[gcd],
+                )
+            )
+            builder.connect_cpu(
+                gcd_base + gcd, numa_base + FRONTIER_GCD_NUMA[gcd]
+            )
+        for a, b, width in FRONTIER_XGMI_BUNDLES:
+            builder.connect_gcds(gcd_base + a, gcd_base + b, width)
+    # NIC ring: rail d joins NUMA domain d of node n to domain d of node
+    # n+1.  A two-node ring would duplicate each edge, so stop early.
+    ring_edges = nodes if nodes > 2 else nodes - 1
+    for node in range(ring_edges):
+        peer = (node + 1) % nodes
+        for rail in range(4):
+            builder.connect_nic(4 * node + rail, 4 * peer + rail)
+    topology = builder.build()
+    _check_cluster_invariants(topology, nodes)
+    return topology
+
+
+def _check_cluster_invariants(topology: NodeTopology, nodes: int) -> None:
+    """Sanity-check the cluster preset: N exact frontier nodes + rails."""
+    from .link import LinkTier
+
+    census = topology.link_census()
+    expected = {
+        LinkTier.QUAD: 4 * nodes,
+        LinkTier.DUAL: 2 * nodes,
+        LinkTier.SINGLE: 6 * nodes,
+        LinkTier.CPU: 8 * nodes,
+    }
+    if nodes > 1:
+        expected[LinkTier.NIC] = 4 * (nodes if nodes > 2 else nodes - 1)
+    for tier, count in expected.items():
+        if census.get(tier) != count:
+            raise TopologyError(
+                f"cluster preset expected {count} {tier.name.lower()} "
+                f"links, found {census.get(tier, 0)}"
+            )
+    singles = {
+        frozenset((l.a.index % 8, l.b.index % 8))
+        for l in topology.xgmi_links()
+        if l.tier is LinkTier.SINGLE
+    }
+    if singles != set(FRONTIER_SINGLE_LINK_PAIRS):
+        raise TopologyError("cluster single-link pairs disagree with §V-A1")
+
+
 def single_gpu_node(*, name: str = "single-mi250x") -> NodeTopology:
     """A one-package node: two GCDs joined by a quad bundle.
 

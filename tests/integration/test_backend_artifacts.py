@@ -1,11 +1,13 @@
-"""Every figure artifact is backend-invariant.
+"""Every figure artifact is backend- and solver-strategy-invariant.
 
 The backend knob (``REPRO_BACKEND``) selects *how* flow integration is
-computed, never *what* it computes — so each of the paper artifacts
-must come out canonically identical under the scalar python loop and
-the vectorized integrator.  This is the acceptance test that keeps the
-backend out of cache keys: results are bit-identical by construction,
-and this file is the construction's proof.
+computed, and the solver knob (``REPRO_SOLVER``) selects *how* the
+fairshare levels are reached (dirty-set replay + epoch deferral vs a
+full re-solve per event) — never *what* either computes.  So each of
+the paper artifacts must come out canonically identical under every
+combination.  This is the acceptance test that keeps both knobs out of
+cache keys: results are bit-identical by construction, and this file
+is the construction's proof.
 """
 
 import pytest
@@ -13,7 +15,12 @@ import pytest
 from repro import figures
 from repro.obs import blame_ranking
 from repro.runner import SweepRunner
-from repro.sim.backends import BACKEND_ENV_VAR, numpy_available
+from repro.sim.backends import (
+    BACKEND_ENV_VAR,
+    SOLVER_ENV_VAR,
+    SOLVER_STRATEGIES,
+    numpy_available,
+)
 
 ALL_IDS = figures.all_ids()
 
@@ -45,3 +52,31 @@ class TestArtifactsBackendInvariant:
         vector_spans, vector_blame = spans_and_blame("vectorized")
         assert vector_blame == scalar_blame
         assert vector_spans == scalar_spans
+
+
+class TestArtifactsSolverInvariant:
+    @pytest.mark.parametrize("experiment_id", ALL_IDS)
+    def test_all_strategies_agree(self, experiment_id, monkeypatch):
+        canonicals = {}
+        for strategy in SOLVER_STRATEGIES:
+            monkeypatch.setenv(SOLVER_ENV_VAR, strategy)
+            canonicals[strategy] = figures.run(experiment_id).canonical()
+        assert canonicals["dirty"] == canonicals["full"]
+        assert canonicals["eager"] == canonicals["full"]
+
+    def test_span_blame_is_solver_invariant(self, monkeypatch):
+        # Bottleneck attribution rides through the dirty-set replay
+        # (binding-set certificates) and the deferred flush; the blame
+        # ranking must not notice either.
+        def spans_and_blame(strategy):
+            monkeypatch.setenv(SOLVER_ENV_VAR, strategy)
+            runner = SweepRunner(use_cache=False, capture_spans=True)
+            runner.run_experiment("fig06")
+            spans = runner.stats.spans
+            return spans, blame_ranking(spans)
+
+        full_spans, full_blame = spans_and_blame("full")
+        for strategy in ("eager", "dirty"):
+            spans, blame = spans_and_blame(strategy)
+            assert blame == full_blame, strategy
+            assert spans == full_spans, strategy

@@ -99,3 +99,32 @@ class TestLink:
         assert link.connects(0, 6)
         assert link.connects(6, 0)
         assert not link.connects(0, 1)
+
+
+class TestNicTier:
+    def test_nic_peak_and_width(self):
+        from repro.topology.link import NIC_LINK_BW
+
+        assert LinkTier.NIC.peak_unidirectional == NIC_LINK_BW == 25e9
+        assert LinkTier.NIC.peak_bidirectional == 50e9
+        assert LinkTier.NIC.width == 1
+
+    def test_nic_endpoint_rules(self):
+        link = Link(LinkEndpoint.numa(0), LinkEndpoint.numa(4), LinkTier.NIC)
+        assert link.is_nic_link and not link.is_cpu_link
+        with pytest.raises(TopologyError):
+            Link(LinkEndpoint.gcd(0), LinkEndpoint.numa(4), LinkTier.NIC)
+        with pytest.raises(TopologyError):
+            Link(LinkEndpoint.gcd(0), LinkEndpoint.gcd(8), LinkTier.NIC)
+
+    def test_nic_tier_round_trips_through_name(self):
+        link = Link(LinkEndpoint.numa(0), LinkEndpoint.numa(4), LinkTier.NIC)
+        assert link.name == "numa0-numa4:nic"
+        assert Link.tier_from_name(link.name) is LinkTier.NIC
+
+    def test_nic_channel_name_peak_bandwidth(self):
+        from repro.topology.link import peak_bandwidth_of_channel_name
+
+        assert (
+            peak_bandwidth_of_channel_name("link/numa0-numa4:nic/fwd") == 25e9
+        )

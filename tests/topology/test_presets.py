@@ -90,3 +90,63 @@ class TestOtherPresets:
 
         with _pytest.raises(TopologyError):
             dense_hive_node(0)
+
+
+class TestClusterPreset:
+    def test_single_node_matches_frontier(self):
+        from repro.topology.presets import mi250x_cluster
+
+        cluster = mi250x_cluster(nodes=1)
+        frontier = frontier_node()
+        assert cluster.num_gcds == 8
+        assert sum(1 for _ in cluster.nic_links()) == 0
+        # Same structure, different cosmetic name → same fingerprint.
+        assert cluster.fingerprint() == frontier.fingerprint()
+
+    def test_each_node_replicates_fig1(self):
+        from repro.topology.presets import mi250x_cluster
+
+        cluster = mi250x_cluster(nodes=4)
+        assert cluster.num_gcds == 32
+        assert cluster.num_numa_domains == 16
+        assert cluster.num_gpu_packages == 16
+        for base in (0, 8, 16, 24):
+            assert cluster.peer_tier(base, base + 1) is LinkTier.QUAD
+            assert cluster.peer_tier(base, base + 6) is LinkTier.DUAL
+            assert cluster.peer_tier(base, base + 2) is LinkTier.SINGLE
+
+    def test_nic_rails_form_a_ring(self):
+        from repro.topology.presets import mi250x_cluster
+
+        cluster = mi250x_cluster(nodes=4)
+        # 4 rails × 4 ring edges.
+        assert sum(1 for _ in cluster.nic_links()) == 16
+        # Two-node clusters must not duplicate ring edges.
+        assert sum(1 for _ in mi250x_cluster(nodes=2).nic_links()) == 4
+
+    def test_nic_links_stay_out_of_xgmi_census(self):
+        from repro.topology.presets import mi250x_cluster
+
+        cluster = mi250x_cluster(nodes=2)
+        assert all(
+            l.a.is_gcd and l.b.is_gcd for l in cluster.xgmi_links()
+        )
+
+    def test_invalid_node_count(self):
+        from repro.errors import TopologyError
+        from repro.topology.presets import mi250x_cluster
+
+        with pytest.raises(TopologyError):
+            mi250x_cluster(nodes=0)
+
+    def test_session_preset_names(self):
+        from repro.session import resolve_topology
+
+        assert resolve_topology("mi250x-cluster").num_gcds == 32
+        assert resolve_topology("mi250x-cluster-16").num_gcds == 128
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            resolve_topology("mi250x-cluster-0")
+        with pytest.raises(ConfigurationError):
+            resolve_topology("mi250x-cluster-many")
