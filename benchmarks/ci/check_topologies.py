@@ -1,0 +1,117 @@
+"""CI guard: every committed topology file is valid and in sync.
+
+The ``repro-topology/1`` files under ``benchmarks/topologies/`` are the
+data-form of the code presets (plus worked examples like the MI300A
+node).  Three things can rot silently: a file stops parsing against the
+strict schema, a file drifts from the preset it mirrors (someone edits
+the preset but forgets to re-export), or a file stops round-tripping
+(dump(load(f)) != f, i.e. the dumper and loader disagree).  This guard
+fails CI on all three.
+
+Usage::
+
+    python benchmarks/ci/check_topologies.py [DIR]
+
+Checks every ``*.json`` (and ``*.yaml``/``*.yml`` when PyYAML is
+importable) under the given directory (default
+``benchmarks/topologies``):
+
+1. it loads under the strict schema validators;
+2. ``dump(load(file))`` is byte-identical to the file (JSON only —
+   YAML serialisation is not canonical across emitters);
+3. files named after a preset export (``PRESET_EXPORTS``) are
+   fingerprint-identical to the code preset;
+4. every preset export has a committed file.
+
+Exit 1 with a per-file report on any failure.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import json  # noqa: E402
+
+from repro.errors import ReproError  # noqa: E402
+from repro.topology import load_topology, topology_to_json  # noqa: E402
+from repro.topology.schema import PRESET_EXPORTS  # noqa: E402
+
+
+def _canonical_json(topology) -> str:
+    # Must match dump_topology's JSON form exactly.
+    return json.dumps(topology_to_json(topology), indent=2) + "\n"
+
+
+def check_directory(directory: pathlib.Path) -> list[str]:
+    problems: list[str] = []
+    patterns = ("*.json", "*.yaml", "*.yml")
+    files = sorted(p for pattern in patterns for p in directory.glob(pattern))
+    if not files:
+        return [f"{directory}: no topology files found"]
+
+    stems = set()
+    for path in files:
+        rel = path.relative_to(REPO_ROOT)
+        try:
+            topology = load_topology(path)
+        except ReproError as exc:
+            problems.append(f"{rel}: does not load: {exc}")
+            continue
+        except ImportError as exc:  # YAML file without PyYAML
+            print(f"skip {rel}: {exc}")
+            continue
+        stems.add(path.stem)
+
+        if path.suffix == ".json":
+            if _canonical_json(topology) != path.read_text():
+                problems.append(
+                    f"{rel}: not serialisation-canonical; re-export with "
+                    f"repro.topology.schema.export_preset_files() or "
+                    f"dump_topology()"
+                )
+
+        preset_factory = PRESET_EXPORTS.get(path.stem)
+        if preset_factory is not None:
+            preset = preset_factory()
+            if topology.fingerprint() != preset.fingerprint():
+                problems.append(
+                    f"{rel}: fingerprint drifted from the code preset "
+                    f"({topology.fingerprint()[:12]} != "
+                    f"{preset.fingerprint()[:12]}); re-export it"
+                )
+        # Sanity independent of presets: the payload must re-parse.
+        try:
+            topology_to_json(topology)
+        except ReproError as exc:
+            problems.append(f"{rel}: loaded but cannot re-serialise: {exc}")
+
+    for stem in sorted(set(PRESET_EXPORTS) - stems):
+        problems.append(
+            f"{directory}/{stem}.json: preset export missing from the "
+            f"committed set"
+        )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    directory = (
+        pathlib.Path(argv[1])
+        if len(argv) > 1
+        else REPO_ROOT / "benchmarks" / "topologies"
+    )
+    problems = check_directory(directory)
+    if problems:
+        print(f"{len(problems)} topology file problem(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"topology files ok under {directory}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

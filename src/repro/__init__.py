@@ -61,7 +61,7 @@ from .topology.presets import (
     single_gpu_node,
 )
 
-__version__ = "0.8.0"
+__version__ = "0.9.0"
 
 __all__ = [
     # The blessed surface.

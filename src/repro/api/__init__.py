@@ -17,6 +17,15 @@ The surface is grouped by role:
 :class:`ObsConfig` / :class:`RunnerConfig` (grouped construction
 options), :data:`TOPOLOGY_PRESETS` / :func:`resolve_topology`.
 
+**Topology as data** — :func:`load_topology` / :func:`dump_topology`
+(the versioned ``repro-topology/1`` JSON/YAML schema, round-trip
+fingerprint-identical with the code presets), :func:`install_topology`
+(ambient topology context).
+
+**Collective algorithms** — :data:`RCCL_ALGORITHMS`,
+:func:`select_algorithm` (RCCL-style topology-aware choice),
+:func:`install_algorithm` (ambient default for ``--algorithm`` runs).
+
 **Sweeps** — :class:`SweepRunner`, :class:`SimPoint`,
 :class:`ResultCache`.
 
@@ -69,9 +78,22 @@ from ..obs import (
     write_chrome_trace,
     write_report,
 )
+from ..rccl import (
+    RCCL_ALGORITHMS,
+    install_algorithm,
+    select_algorithm,
+)
 from ..runner import ResultCache, SimPoint, SweepRunner
 from ..session import Session, TOPOLOGY_PRESETS, resolve_topology
 from ..sim.backends import compiled_available, resolve_backend
+from ..topology import (
+    TOPOLOGY_SCHEMA,
+    dump_topology,
+    install_topology,
+    load_topology,
+    topology_from_json,
+    topology_to_json,
+)
 
 #: The version of this surface (bumped only on breaking changes).
 API_VERSION = 1
@@ -87,6 +109,17 @@ __all__ = [
     "DEFAULT_CALIBRATION",
     "TOPOLOGY_PRESETS",
     "resolve_topology",
+    # topology as data
+    "TOPOLOGY_SCHEMA",
+    "load_topology",
+    "dump_topology",
+    "topology_from_json",
+    "topology_to_json",
+    "install_topology",
+    # collective algorithms
+    "RCCL_ALGORITHMS",
+    "select_algorithm",
+    "install_algorithm",
     # sweeps
     "SweepRunner",
     "SimPoint",

@@ -21,7 +21,7 @@ from ..memory.placement import ExplicitNumaPolicy
 from ..runner import SimPoint, SweepRunner, execute_points
 from ..session import Session
 from ..topology.node import NodeTopology
-from ..topology.presets import frontier_node
+from ..topology.context import resolve_default as resolve_default_topology
 
 #: The four host-to-device interfaces of Fig. 2/3.
 H2D_INTERFACES = (
@@ -172,7 +172,7 @@ def numa_to_gpu_matrix(
     calibration: CalibrationProfile | None = None,
 ) -> ExperimentResult:
     """All (GCD, NUMA) placements — flat per the paper's finding."""
-    node_topology = topology if topology is not None else frontier_node()
+    node_topology = resolve_default_topology(topology)
     result = ExperimentResult(
         "numa_probe", "Pinned H2D bandwidth per (GCD, NUMA) placement"
     )

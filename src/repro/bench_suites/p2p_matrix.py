@@ -22,7 +22,7 @@ from ..errors import BenchmarkError
 from ..runner import SimPoint, SweepRunner, execute_points
 from ..session import Session
 from ..topology.node import NodeTopology
-from ..topology.presets import frontier_node
+from ..topology.context import resolve_default as resolve_default_topology
 from ..topology.routing import all_pairs_hops
 from ..units import MiB
 
@@ -38,7 +38,7 @@ def hop_matrix(
     topology: NodeTopology | None = None,
 ) -> dict[tuple[int, int], int]:
     """Fig. 6a: shortest-path hop counts."""
-    return all_pairs_hops(topology if topology is not None else frontier_node())
+    return all_pairs_hops(resolve_default_topology(topology))
 
 
 def measure_pair_latency(
@@ -119,7 +119,7 @@ def latency_matrix(
     The simulator is deterministic, so a handful of repetitions gives
     the same average as the paper's 100; callers can raise it.
     """
-    node_topology = topology if topology is not None else frontier_node()
+    node_topology = resolve_default_topology(topology)
     indices = [g.index for g in node_topology.gcds()]
     matrix: dict[tuple[int, int], float] = {}
     for src in indices:
@@ -145,7 +145,7 @@ def bandwidth_matrix(
     env: SimEnvironment | None = None,
 ) -> dict[tuple[int, int], float]:
     """Fig. 6c: all-pairs unidirectional bandwidth (bytes/s)."""
-    node_topology = topology if topology is not None else frontier_node()
+    node_topology = resolve_default_topology(topology)
     indices = [g.index for g in node_topology.gcds()]
     matrix: dict[tuple[int, int], float] = {}
     for src in indices:
@@ -213,7 +213,7 @@ def matrix_points(
     Panel (a) — hop counts — is a pure graph query and is computed
     during merge rather than dispatched as work.
     """
-    node_topology = topology if topology is not None else frontier_node()
+    node_topology = resolve_default_topology(topology)
     indices = [g.index for g in node_topology.gcds()]
     points = []
     for src in indices:
@@ -258,7 +258,7 @@ def full_experiment(
     runner: SweepRunner | None = None,
 ) -> ExperimentResult:
     """All three Fig. 6 panels in one result."""
-    node_topology = topology if topology is not None else frontier_node()
+    node_topology = resolve_default_topology(topology)
     points = matrix_points(topology=node_topology, calibration=calibration)
     outputs = execute_points(points, runner)
     return matrix_result(points, outputs, topology=node_topology)
@@ -272,7 +272,7 @@ def matrix_result(
 ) -> ExperimentResult:
     """Assemble the Fig. 6 result: panel (a) from the topology graph,
     panels (b, c) from point outputs (in order)."""
-    node_topology = topology if topology is not None else frontier_node()
+    node_topology = resolve_default_topology(topology)
     result = ExperimentResult("fig06", "p2pBandwidthLatencyTest matrices")
     for (src, dst), hops in hop_matrix(node_topology).items():
         if src != dst:

@@ -47,15 +47,18 @@ def rccl_collective_latency(
     session = Session(topology, calibration=calibration)
     node = session.node
     comm = session.rccl_communicator(list(range(num_threads)))
-    fn = RCCL_COLLECTIVES[collective]
+    # Dispatch through the communicator method (not the registry
+    # function) so the communicator's selected algorithm — explicit,
+    # ambient (--algorithm) or auto — steers allreduce/broadcast.
+    fn = getattr(comm, collective)
 
     def harness():
         for _ in range(warmup):
-            yield from fn(comm, message_bytes)
+            yield from fn(message_bytes)
         total = 0.0
         for _ in range(iterations):
             t0 = node.now
-            yield from fn(comm, message_bytes)
+            yield from fn(message_bytes)
             total += node.now - t0
         return total / iterations
 

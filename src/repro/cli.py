@@ -49,8 +49,11 @@ processes; ``0``/``auto`` = all cores), ``--no-cache``,
 ``--cache-stats``, ``--backend {python,vectorized,compiled}`` (flow
 hot-loop implementation — bit-identical results, see
 ``docs/modeling.md`` §13), ``--metrics``, ``--scenario FILE`` (run
-under a fault scenario), and ``--json [FILE]`` (machine-readable
-output to FILE or stdout).  The sweep runner decomposes each artifact
+under a fault scenario), ``--topology FILE`` (run on a
+``repro-topology/1`` file or preset name), ``--algorithm NAME``
+(collective algorithm: ring/tree/double_binary_tree/hierarchical_ring/
+auto), and ``--json [FILE]`` (machine-readable output to FILE or
+stdout).  The sweep runner decomposes each artifact
 into independent sim points, reuses cached point results, and
 reassembles bit-identical reports regardless of job count or backend.
 """
@@ -152,6 +155,35 @@ def _scenario_options() -> argparse.ArgumentParser:
     return parent
 
 
+def _topology_options() -> argparse.ArgumentParser:
+    """``--topology/--algorithm`` parent parser (topology-as-data)."""
+    from .rccl.algorithms import RCCL_ALGORITHMS
+
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--topology",
+        default=None,
+        metavar="FILE",
+        dest="topology_spec",
+        help=(
+            "run every point on this topology: a repro-topology/1 "
+            "JSON/YAML file (e.g. benchmarks/topologies/mi250x_node.json) "
+            "or a preset name (mi250x-node, mi250x-cluster-N, ...)"
+        ),
+    )
+    parent.add_argument(
+        "--algorithm",
+        choices=RCCL_ALGORITHMS + ("auto",),
+        default=None,
+        help=(
+            "collective algorithm every communicator uses (default: the "
+            "paper-faithful ring; 'auto' = RCCL-style topology-aware "
+            "selection)"
+        ),
+    )
+    return parent
+
+
 def _json_options() -> argparse.ArgumentParser:
     """``--json [FILE]`` parent parser (machine-readable output)."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -184,6 +216,7 @@ def _build_parser() -> argparse.ArgumentParser:
         _backend_options(),
         _obs_options(),
         _scenario_options(),
+        _topology_options(),
         _json_options(),
     ]
 
@@ -223,7 +256,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help=f"subset of {sorted(STEPS)} (default: all)",
     )
 
-    sub.add_parser("topology", help="print the node topology")
+    topology = sub.add_parser(
+        "topology", help="print a node topology (default: Fig. 1 node)"
+    )
+    topology.add_argument(
+        "spec",
+        nargs="?",
+        default=None,
+        metavar="FILE",
+        help=(
+            "repro-topology/1 JSON/YAML file or preset name to describe "
+            "(default: the Fig. 1 MI250X node)"
+        ),
+    )
     sub.add_parser("calibration", help="print the calibration profile")
     sub.add_parser("scenarios", help="list what-if scenarios")
     sub.add_parser("claims", help="list the paper claims and their tests")
@@ -409,7 +454,9 @@ def _cmd_list() -> int:
     return 0
 
 
-def _make_runner(args: argparse.Namespace, faults: Any = None):
+def _make_runner(
+    args: argparse.Namespace, faults: Any = None, topology: Any = None
+):
     from .runner import SweepRunner
 
     return SweepRunner(
@@ -417,7 +464,29 @@ def _make_runner(args: argparse.Namespace, faults: Any = None):
         use_cache=not args.no_cache,
         capture_metrics=getattr(args, "metrics", False),
         faults=faults,
+        topology=topology,
+        algorithm=getattr(args, "algorithm", None),
     )
+
+
+def _load_topology_arg(args: argparse.Namespace):
+    """Resolve ``--topology FILE|preset`` if given; ``(topology, code)``.
+
+    Mirrors :func:`_load_fault_scenario`: a ``None`` topology with exit
+    code ``None`` means "no --topology requested"; a non-``None`` code
+    means resolution failed and the command should return it.
+    """
+    spec = getattr(args, "topology_spec", None)
+    if spec is None:
+        return None, None
+    from .errors import ConfigurationError, TopologyError
+    from .session import resolve_topology
+
+    try:
+        return resolve_topology(spec), None
+    except (OSError, ConfigurationError, TopologyError, ValueError) as exc:
+        print(f"error: cannot load topology: {exc}", file=sys.stderr)
+        return None, 2
 
 
 def _load_fault_scenario(args: argparse.Namespace):
@@ -560,9 +629,20 @@ def _cmd_methodology(
     return 0
 
 
-def _cmd_topology() -> int:
-    topology = frontier_node()
+def _cmd_topology(spec: str | None = None) -> int:
+    if spec is None:
+        topology = frontier_node()
+    else:
+        from .errors import ConfigurationError, TopologyError
+        from .session import resolve_topology
+
+        try:
+            topology = resolve_topology(spec)
+        except (OSError, ConfigurationError, TopologyError, ValueError) as exc:
+            print(f"error: cannot load topology: {exc}", file=sys.stderr)
+            return 2
     print(topology.describe())
+    print(f"fingerprint: {topology.fingerprint()}")
     print()
     print("GCD-GCD bundles:")
     for link in topology.xgmi_links():
@@ -571,6 +651,9 @@ def _cmd_topology() -> int:
             f" ({link.capacity_per_direction / 1e9:.0f}+"
             f"{link.capacity_per_direction / 1e9:.0f} GB/s)"
         )
+    nics = sum(1 for _ in topology.nic_links())
+    if nics:
+        print(f"inter-node NIC rails: {nics}")
     print("GCD -> NUMA affinity:", dict(
         (g.index, g.numa_domain) for g in topology.gcds()
     ))
@@ -714,6 +797,8 @@ def _cmd_report(
     no_validate: bool,
     jobs: int | str | None,
     faults: Any = None,
+    topology: Any = None,
+    algorithm: str | None = None,
 ) -> int:
     from . import obs
     from .errors import BenchmarkError
@@ -725,7 +810,12 @@ def _cmd_report(
         out = f"report_{experiment_id}.html"
     try:
         report = obs.collect_report(
-            experiment_id, jobs=jobs, validate=not no_validate, faults=faults
+            experiment_id,
+            jobs=jobs,
+            validate=not no_validate,
+            faults=faults,
+            topology=topology,
+            algorithm=algorithm,
         )
     except BenchmarkError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -755,6 +845,8 @@ def _cmd_explain(
     top: int,
     jobs: int | str | None,
     faults: Any = None,
+    topology: Any = None,
+    algorithm: str | None = None,
     json_out: str | None = None,
 ) -> int:
     from . import obs
@@ -765,7 +857,13 @@ def _cmd_explain(
         return 2
     try:
         text = obs.explain_artifact(
-            experiment_id, span_id=span_id, jobs=jobs, top=top, faults=faults
+            experiment_id,
+            span_id=span_id,
+            jobs=jobs,
+            top=top,
+            faults=faults,
+            topology=topology,
+            algorithm=algorithm,
         )
     except BenchmarkError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -873,12 +971,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         scenario, error = _load_fault_scenario(args)
         if error is not None:
             return error
+        topology, error = _load_topology_arg(args)
+        if error is not None:
+            return error
     if args.command == "run":
         return _cmd_run(
             args.artifacts,
             args.output_dir,
             args.plot,
-            runner=_make_runner(args, faults=scenario),
+            runner=_make_runner(args, faults=scenario, topology=topology),
             cache_stats=args.cache_stats,
             show_metrics=args.metrics,
             json_out=args.json_out,
@@ -886,13 +987,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "methodology":
         return _cmd_methodology(
             args.steps,
-            runner=_make_runner(args, faults=scenario),
+            runner=_make_runner(args, faults=scenario, topology=topology),
             cache_stats=args.cache_stats,
             show_metrics=args.metrics,
             json_out=args.json_out,
         )
     if args.command == "topology":
-        return _cmd_topology()
+        return _cmd_topology(args.spec)
     if args.command == "calibration":
         return _cmd_calibration()
     if args.command == "scenarios":
@@ -905,7 +1006,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "validate":
         return _cmd_validate(
             args.scenario,
-            runner=_make_runner(args, faults=scenario),
+            runner=_make_runner(args, faults=scenario, topology=topology),
             cache_stats=args.cache_stats,
             show_metrics=args.metrics,
             json_out=args.json_out,
@@ -918,6 +1019,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         scenario, error = _load_fault_scenario(args)
         if error is not None:
             return error
+        topology, error = _load_topology_arg(args)
+        if error is not None:
+            return error
         return _cmd_report(
             args.artifact,
             args.out,
@@ -925,9 +1029,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.no_validate,
             args.jobs,
             faults=scenario,
+            topology=topology,
+            algorithm=args.algorithm,
         )
     if args.command == "explain":
         scenario, error = _load_fault_scenario(args)
+        if error is not None:
+            return error
+        topology, error = _load_topology_arg(args)
         if error is not None:
             return error
         return _cmd_explain(
@@ -936,6 +1045,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.top,
             args.jobs,
             faults=scenario,
+            topology=topology,
+            algorithm=args.algorithm,
             json_out=args.json_out,
         )
     if args.command == "inject":
@@ -951,7 +1062,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             scenario,
             args.explain,
             args.top,
-            runner=_make_runner(args, faults=scenario),
+            runner=_make_runner(args, faults=scenario, topology=topology),
             json_out=args.json_out,
         )
     if args.command == "perf":

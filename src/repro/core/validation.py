@@ -22,7 +22,7 @@ from typing import Callable, Sequence
 from ..runner import SimPoint, SweepRunner, execute_points
 from ..topology.link import LinkTier
 from ..topology.node import NodeTopology
-from ..topology.presets import frontier_node
+from ..topology.context import resolve_default as resolve_default_topology
 from ..units import GiB, MiB, to_gbps, to_us
 from .calibration import CalibrationProfile, DEFAULT_CALIBRATION
 
@@ -115,8 +115,7 @@ def validation_points(
     H2D interfaces, the multi-GCD scaling probes, three probes per
     GCD0 neighbor (SDMA, kernel zero-copy, latency), then local HBM.
     """
-    if topology is None:
-        topology = frontier_node()
+    topology = resolve_default_topology(topology)
     if calibration is None:
         calibration = DEFAULT_CALIBRATION
     points = [
@@ -236,8 +235,7 @@ def validate_node(
     ``runner``, the probes fan out through its cache/worker pool and
     the report is assembled from outputs in probe order.
     """
-    if topology is None:
-        topology = frontier_node()
+    topology = resolve_default_topology(topology)
     if calibration is None:
         calibration = DEFAULT_CALIBRATION
     points = validation_points(

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from ..core.experiment import ExperimentResult
 from ..topology.link import LinkTier
-from ..topology.presets import frontier_node
+from ..topology.context import resolve_default as resolve_default_topology
 
 TITLE = "Multi-GPU node topology (Figure 1)"
 ARTIFACT = "Figure 1"
@@ -18,7 +18,7 @@ ARTIFACT = "Figure 1"
 
 def run() -> ExperimentResult:
     """Run the reproduction; returns its :class:`ExperimentResult`."""
-    topology = frontier_node()
+    topology = resolve_default_topology()
     result = ExperimentResult("fig01", TITLE)
     census = topology.link_census()
     for tier in (LinkTier.QUAD, LinkTier.DUAL, LinkTier.SINGLE, LinkTier.CPU):

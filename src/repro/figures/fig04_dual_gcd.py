@@ -10,7 +10,7 @@ from ..core.experiment import ExperimentResult
 from ..core.report import bar_table
 from ..core.sweep import MULTI_GPU_STREAM_BYTES
 from ..runner import SimPoint
-from ..topology.presets import frontier_node
+from ..topology.context import resolve_default as resolve_default_topology
 
 TITLE = "CPU-GPU STREAM: one vs two GCDs (Figure 4)"
 ARTIFACT = "Figure 4"
@@ -40,7 +40,7 @@ def run(size: int = MULTI_GPU_STREAM_BYTES) -> ExperimentResult:
 
 def report(result: ExperimentResult) -> str:
     """Paper-style text rendering of a result."""
-    topology = frontier_node()
+    topology = resolve_default_topology()
     rows = []
     reference = {}
     for m in result.measurements:

@@ -10,7 +10,7 @@ from ..core.experiment import ExperimentResult
 from ..core.report import bar_table
 from ..core.sweep import MULTI_GPU_STREAM_BYTES, SCALING_GCD_COUNTS
 from ..runner import SimPoint
-from ..topology.presets import frontier_node
+from ..topology.context import resolve_default as resolve_default_topology
 
 TITLE = "CPU-GPU STREAM scaling, spread placement (Figure 5)"
 ARTIFACT = "Figure 5"
@@ -47,7 +47,7 @@ def run(
 
 def report(result: ExperimentResult) -> str:
     """Paper-style text rendering of a result."""
-    topology = frontier_node()
+    topology = resolve_default_topology()
     rows = []
     reference = {}
     for m in result.measurements:

@@ -8,7 +8,7 @@ from ..bench_suites.comm_scope import peer_points, peer_result
 from ..core.experiment import ExperimentResult
 from ..core.report import peak_summary, series_table
 from ..runner import SimPoint
-from ..topology.presets import frontier_node
+from ..topology.context import resolve_default as resolve_default_topology
 
 TITLE = "hipMemcpyPeer bandwidth from GCD0 to adjacent GCDs (Figure 7)"
 ARTIFACT = "Figure 7"
@@ -31,7 +31,7 @@ def merge_outputs(
     """Assemble the figure result from point outputs (in order)."""
     result = peer_result(points, outputs, src_gcd=0)
     result.title = TITLE
-    topology = frontier_node()
+    topology = resolve_default_topology()
     for dst in dst_gcds:
         tier = topology.peer_tier(0, dst)
         if tier is not None:

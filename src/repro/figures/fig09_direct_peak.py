@@ -11,7 +11,7 @@ from typing import Sequence
 from ..core.experiment import ExperimentResult
 from ..core.report import bar_table
 from ..runner import SimPoint
-from ..topology.presets import frontier_node
+from ..topology.context import resolve_default as resolve_default_topology
 from ..units import GiB
 
 TITLE = "Peak bidirectional direct-access bandwidth (Figure 9)"
@@ -42,7 +42,7 @@ def merge_outputs(
     size: int = 4 * GiB,
 ) -> ExperimentResult:
     """Assemble the figure result from point outputs (in order)."""
-    topology = frontier_node()
+    topology = resolve_default_topology()
     result = ExperimentResult("fig09", TITLE)
     for point, bandwidth in zip(points, outputs):
         data_gcd = point.kwargs["data_gcd"]

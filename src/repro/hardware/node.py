@@ -51,6 +51,14 @@ class HardwareNode:
         faults: "object | None" = None,
         backend: str | None = None,
     ) -> None:
+        # Topology: explicit argument wins; otherwise an ambient
+        # topology.context.install() (entered by `--topology FILE` runs
+        # and sweep workers) donates its file-defined topology, falling
+        # back to the paper's Fig. 1 node.
+        if topology is None:
+            from ..topology.context import active as active_topology
+
+            topology = active_topology()
         self.topology = topology if topology is not None else frontier_node()
         self.calibration = (
             calibration if calibration is not None else DEFAULT_CALIBRATION

@@ -17,7 +17,7 @@ import warnings
 from typing import Any, Generator, Optional
 
 from ..config import SimEnvironment
-from ..errors import InvalidDeviceError
+from ..errors import ConfigurationError, InvalidDeviceError
 from ..hardware.node import HardwareNode
 from ..memory.allocator import AddressSpace
 from ..memory.buffer import Buffer
@@ -85,7 +85,11 @@ class HipRuntime:
             logical = self._current_device
         try:
             return self.env.map_logical_device(logical, self.node.num_gcds)
-        except Exception as exc:
+        except ConfigurationError as exc:
+            # Only the runtime's own "bad ordinal / not visible"
+            # rejection maps to hipErrorInvalidDevice; unexpected
+            # failures (e.g. AttributeError from a malformed
+            # environment) must propagate unmasked.
             raise InvalidDeviceError(str(exc)) from exc
 
     def set_device(self, logical: int) -> None:

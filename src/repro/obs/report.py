@@ -46,6 +46,8 @@ def collect_report(
     validate: bool = True,
     params: Mapping[str, Any] | None = None,
     faults: Any = None,
+    topology: Any = None,
+    algorithm: str | None = None,
 ) -> dict[str, Any]:
     """Run one artifact with span capture and assemble the report data.
 
@@ -64,7 +66,12 @@ def collect_report(
     experiment_id = figures.canonical_id(artifact)
     experiment = figures.SUITE.get(experiment_id)
     runner = SweepRunner(
-        jobs, use_cache=False, capture_spans=True, faults=faults
+        jobs,
+        use_cache=False,
+        capture_spans=True,
+        faults=faults,
+        topology=topology,
+        algorithm=algorithm,
     )
     result = runner.run_experiment(experiment_id, **dict(params or {}))
     spans = runner.stats.spans or []
@@ -120,6 +127,8 @@ def explain_artifact(
     jobs: int | str | None = 1,
     top: int = 10,
     faults: Any = None,
+    topology: Any = None,
+    algorithm: str | None = None,
 ) -> str:
     """``repro explain``: run one artifact and narrate its critical path.
 
@@ -133,7 +142,12 @@ def explain_artifact(
 
     experiment_id = figures.canonical_id(artifact)
     runner = SweepRunner(
-        jobs, use_cache=False, capture_spans=True, faults=faults
+        jobs,
+        use_cache=False,
+        capture_spans=True,
+        faults=faults,
+        topology=topology,
+        algorithm=algorithm,
     )
     runner.run_experiment(experiment_id)
     spans = runner.stats.spans or []

@@ -17,11 +17,25 @@ participate (Fig. 12's 7→8-thread drop).
   one rank per GCD.
 - :mod:`repro.rccl.collectives` — Reduce / Broadcast / AllReduce /
   ReduceScatter / AllGather as ring pipelines on the simulated fabric.
+- :mod:`repro.rccl.algorithms` — the collective-algorithm zoo: the
+  registry (ring / tree / double binary tree / hierarchical ring), the
+  RCCL-style topology-aware selector, and the ambient default used by
+  ``--algorithm`` sweeps.
+- :mod:`repro.rccl.tree` / :mod:`repro.rccl.hierarchical` — the
+  non-ring allreduce patterns.
 """
 
 from .ring import Ring, RingSegment, build_greedy_ring, build_optimal_ring
 from .communicator import RcclCommunicator
 from .collectives import RCCL_COLLECTIVES
+from .algorithms import (
+    RCCL_ALGORITHMS,
+    active_algorithm,
+    check_algorithm,
+    install_algorithm,
+    select_algorithm,
+    xgmi_islands,
+)
 
 __all__ = [
     "Ring",
@@ -30,4 +44,10 @@ __all__ = [
     "build_optimal_ring",
     "RcclCommunicator",
     "RCCL_COLLECTIVES",
+    "RCCL_ALGORITHMS",
+    "active_algorithm",
+    "check_algorithm",
+    "install_algorithm",
+    "select_algorithm",
+    "xgmi_islands",
 ]

@@ -29,6 +29,7 @@ class RcclCommunicator:
         env: SimEnvironment | None = None,
         ring_builder: Callable[..., Ring] = build_greedy_ring,
         retry: RetryPolicy | None = None,
+        algorithm: str | None = None,
     ) -> None:
         if node is None:
             warnings.warn(
@@ -45,6 +46,19 @@ class RcclCommunicator:
             raise RcclError("communicator needs at least one GCD")
         self.gcds = tuple(gcds)
         self.retry = retry if retry is not None else NO_RETRY
+        # Algorithm resolution: explicit argument beats the ambient
+        # default (installed by --algorithm sweeps), which beats the
+        # paper-faithful ring.  "auto" runs the RCCL-style selector at
+        # init time, like RCCL's tuner fixing its pattern per
+        # communicator.
+        from .algorithms import active_algorithm, check_algorithm, select_algorithm
+
+        if algorithm is None:
+            algorithm = active_algorithm()
+        resolved = check_algorithm(algorithm) if algorithm is not None else "ring"
+        if resolved == "auto":
+            resolved = select_algorithm(self.node.topology, self.gcds)
+        self.algorithm = resolved
         self._ring_builder = ring_builder
         self.ring_rebuilds = 0
         if len(self.gcds) >= 2:
@@ -120,18 +134,36 @@ class RcclCommunicator:
         if self.ring is None:
             return f"RcclCommunicator(single GCD {self.gcds[0]})"
         return (
-            f"RcclCommunicator({self.size} GCDs, ring {self.ring.describe()}, "
+            f"RcclCommunicator({self.size} GCDs, {self.algorithm}, "
+            f"ring {self.ring.describe()}, "
             f"{self.ring.num_relayed} relayed segment(s), bottleneck "
             f"{self.ring.bottleneck_capacity / 1e9:.0f} GB/s)"
         )
 
-    # Collective entry points are attached from .collectives to keep
-    # algorithm code in one place.
-    def allreduce(self, nbytes: int):
-        """Ring allreduce (see :mod:`repro.rccl.collectives`)."""
+    # Collective entry points are attached from .collectives (and the
+    # tree/hierarchical modules) to keep algorithm code in one place.
+    def allreduce(self, nbytes: int, sendbufs=None, recvbufs=None):
+        """Allreduce via the communicator's selected algorithm.
+
+        ``"ring"`` (paper default) → :mod:`repro.rccl.collectives`;
+        ``"tree"``/``"double_binary_tree"`` → :mod:`repro.rccl.tree`;
+        ``"hierarchical_ring"`` → :mod:`repro.rccl.hierarchical`.
+        """
+        if self.algorithm == "tree":
+            from .tree import tree_allreduce
+
+            return tree_allreduce(self, nbytes, sendbufs, recvbufs)
+        if self.algorithm == "double_binary_tree":
+            from .tree import double_binary_tree_allreduce
+
+            return double_binary_tree_allreduce(self, nbytes, sendbufs, recvbufs)
+        if self.algorithm == "hierarchical_ring":
+            from .hierarchical import hierarchical_allreduce
+
+            return hierarchical_allreduce(self, nbytes, sendbufs, recvbufs)
         from .collectives import allreduce
 
-        return allreduce(self, nbytes)
+        return allreduce(self, nbytes, sendbufs, recvbufs)
 
     def reduce(self, nbytes: int, root: int = 0):
         """Ring reduce toward ``root``."""
@@ -139,11 +171,20 @@ class RcclCommunicator:
 
         return reduce(self, nbytes, root)
 
-    def broadcast(self, nbytes: int, root: int = 0):
-        """LL-protocol pipelined ring broadcast from ``root``."""
+    def broadcast(self, nbytes: int, root: int = 0, buffers=None):
+        """Broadcast from ``root``.
+
+        The tree algorithms use the binary-tree down-pass; the ring
+        algorithms use the LL-protocol pipelined ring the paper
+        measures.
+        """
+        if self.algorithm in ("tree", "double_binary_tree"):
+            from .tree import tree_broadcast
+
+            return tree_broadcast(self, nbytes, root, buffers)
         from .collectives import broadcast
 
-        return broadcast(self, nbytes, root)
+        return broadcast(self, nbytes, root, buffers)
 
     def reduce_scatter(self, nbytes: int):
         """Single-pass ring reduce-scatter."""

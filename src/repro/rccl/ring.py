@@ -21,7 +21,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Sequence
 
-from ..errors import RcclError
+from ..errors import RcclError, RoutingError, TopologyError
 from ..topology.node import NodeTopology
 from ..topology.routing import Route, bandwidth_maximizing_path
 
@@ -99,9 +99,19 @@ def _segments_for_order(
     segments = []
     for i, src in enumerate(order):
         dst = order[(i + 1) % len(order)]
-        route = bandwidth_maximizing_path(
-            topology, src, dst, avoid=avoid_links
-        )
+        try:
+            route = bandwidth_maximizing_path(
+                topology, src, dst, avoid=avoid_links
+            )
+        except RoutingError as exc:
+            # The avoid set (failed links) exhausted every path between
+            # two adjacent members: surface a communicator-level error
+            # rather than a raw routing failure from deep inside the
+            # builder — callers handle RcclError, not RoutingError.
+            raise RcclError(
+                f"no usable path between ring members {src} and {dst}: "
+                f"{exc}"
+            ) from exc
         segments.append(RingSegment(src, dst, route))
     return tuple(segments)
 
@@ -115,7 +125,11 @@ def _validate_members(topology: NodeTopology, members: Sequence[int]) -> list[in
     for member in members:
         try:
             topology.gcd(member)
-        except Exception as exc:
+        except TopologyError as exc:
+            # Only the "no such GCD" lookup failure becomes an
+            # RcclError; anything else (e.g. AttributeError from a
+            # malformed topology object) is a programming error and
+            # must propagate unmasked.
             raise RcclError(f"GCD {member} not in topology: {exc}") from exc
     return members
 

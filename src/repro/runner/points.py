@@ -123,24 +123,49 @@ def execute_point_spanned(
     return value, ctx.metrics.snapshot(), ctx.spans.as_dicts()
 
 
-def execute_point_with_faults(
-    point: SimPoint, scenario: Any = None, mode: str = "plain"
+def execute_point_in_context(
+    point: SimPoint,
+    scenario: Any = None,
+    topology: Any = None,
+    algorithm: Any = None,
+    mode: str = "plain",
 ) -> Any:
-    """Run a point under an ambient fault-injection context.
+    """Run a point under ambient fault / topology / algorithm contexts.
 
-    ``scenario`` is a :class:`~repro.faults.FaultScenario`; every node
-    the measurement function builds inside this call adopts it (timed
-    link failures, SDMA stalls, ...).  ``mode`` selects the capture
-    wrapper: ``"plain"``, ``"metrics"`` or ``"spans"``, with the same
-    return shapes as the matching bare trampolines.  Module-level and
-    driven by :func:`functools.partial` so pool workers can unpickle
-    it; the scenario rides along as a pickled frozen dataclass.
+    ``scenario`` is a :class:`~repro.faults.FaultScenario`; ``topology``
+    a :class:`~repro.topology.node.NodeTopology` (e.g. loaded from a
+    ``--topology`` file) every node built inside the point adopts;
+    ``algorithm`` a collective-algorithm name every communicator built
+    inside the point adopts.  ``mode`` selects the capture wrapper:
+    ``"plain"``, ``"metrics"`` or ``"spans"``, with the same return
+    shapes as the matching bare trampolines.  Module-level and driven
+    by :func:`functools.partial` so pool workers can unpickle it; the
+    contexts ride along as pickled data.
     """
-    from ..faults.context import install
+    from contextlib import ExitStack
 
-    with install(scenario):
+    with ExitStack() as stack:
+        if scenario is not None:
+            from ..faults.context import install as install_faults
+
+            stack.enter_context(install_faults(scenario))
+        if topology is not None:
+            from ..topology.context import install as install_topology
+
+            stack.enter_context(install_topology(topology))
+        if algorithm is not None:
+            from ..rccl.algorithms import install_algorithm
+
+            stack.enter_context(install_algorithm(algorithm))
         if mode == "spans":
             return execute_point_spanned(point)
         if mode == "metrics":
             return execute_point_observed(point)
         return execute_point(point)
+
+
+def execute_point_with_faults(
+    point: SimPoint, scenario: Any = None, mode: str = "plain"
+) -> Any:
+    """Back-compat alias: faults-only contextual execution."""
+    return execute_point_in_context(point, scenario=scenario, mode=mode)

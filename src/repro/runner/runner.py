@@ -25,6 +25,7 @@ from .cache import ResultCache
 from .points import (
     SimPoint,
     execute_point,
+    execute_point_in_context,
     execute_point_observed,
     execute_point_spanned,
     execute_point_with_faults,
@@ -113,6 +114,17 @@ class SweepRunner:
         scenario's fingerprint is folded into each point's cache key,
         so faulted and healthy results never collide and two sweeps
         under the same scenario share the cache.
+    topology:
+        Optional :class:`~repro.topology.node.NodeTopology` every node
+        built inside the sweep adopts (``--topology FILE`` runs).  Its
+        structural fingerprint is folded into each point's cache key,
+        so a file-defined topology keys the cache exactly like the
+        fingerprint-identical code preset.
+    algorithm:
+        Optional collective-algorithm name (see
+        :data:`~repro.rccl.algorithms.RCCL_ALGORITHMS`, or ``"auto"``)
+        every communicator built inside the sweep adopts; folded into
+        the cache key as a plain string.
     """
 
     def __init__(
@@ -125,6 +137,8 @@ class SweepRunner:
         capture_metrics: bool = False,
         capture_spans: bool = False,
         faults: Any = None,
+        topology: Any = None,
+        algorithm: str | None = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         if cache is None and use_cache:
@@ -138,6 +152,12 @@ class SweepRunner:
         # An empty scenario injects nothing, so it is equivalent to
         # (and cache-compatible with) no scenario at all.
         self.faults = faults if faults else None
+        self.topology = topology
+        if algorithm is not None:
+            from ..rccl.algorithms import check_algorithm
+
+            check_algorithm(algorithm)
+        self.algorithm = algorithm
         self.stats = RunnerStats(jobs=self.jobs)
         # (label, span dicts) per executed point, in point order, across
         # all run_points calls — remerged after each batch so span ids
@@ -145,7 +165,14 @@ class SweepRunner:
         self._span_points: list[tuple[str, list[dict[str, Any]]]] = []
 
     @classmethod
-    def from_config(cls, config: Any, *, faults: Any = None) -> "SweepRunner":
+    def from_config(
+        cls,
+        config: Any,
+        *,
+        faults: Any = None,
+        topology: Any = None,
+        algorithm: str | None = None,
+    ) -> "SweepRunner":
         """Build a runner from a :class:`~repro.configs.RunnerConfig`."""
         return cls(
             config.jobs,
@@ -154,6 +181,8 @@ class SweepRunner:
             capture_metrics=config.capture_metrics,
             capture_spans=config.capture_spans,
             faults=faults,
+            topology=topology,
+            algorithm=algorithm,
         )
 
     # -- point execution ------------------------------------------------
@@ -204,20 +233,29 @@ class SweepRunner:
         return outputs
 
     def _keyed_point(self, point: SimPoint) -> SimPoint:
-        """The point as cached: params plus the fault-scenario key.
+        """The point as cached: params plus the ambient-context keys.
 
-        The scenario is appended to ``params`` for *keying only* (the
-        executed point is untouched — faults reach the measurement via
-        the ambient context, not kwargs); ``canonical_token`` folds it
-        in through ``FaultScenario.fingerprint()``.
+        The fault scenario, topology and algorithm are appended to
+        ``params`` for *keying only* (the executed point is untouched —
+        the contexts reach the measurement via ambient installs, not
+        kwargs); ``canonical_token`` folds scenario and topology in
+        through their ``fingerprint()``, so a topology loaded from a
+        file keys identically to the fingerprint-equal code preset.
         """
-        if self.faults is None:
+        extra: tuple[tuple[str, Any], ...] = ()
+        if self.faults is not None:
+            extra += (("__faults__", self.faults),)
+        if self.topology is not None:
+            extra += (("__topology__", self.topology),)
+        if self.algorithm is not None:
+            extra += (("__algorithm__", self.algorithm),)
+        if not extra:
             return point
         return SimPoint(
             point.experiment_id,
             point.label,
             point.fn,
-            point.params + (("__faults__", self.faults),),
+            point.params + extra,
         )
 
     def _execute(self, points: list[SimPoint]) -> list[Any]:
@@ -227,7 +265,11 @@ class SweepRunner:
             trampoline = execute_point_observed
         else:
             trampoline = execute_point
-        if self.faults is not None:
+        if (
+            self.faults is not None
+            or self.topology is not None
+            or self.algorithm is not None
+        ):
             from functools import partial
 
             mode = (
@@ -236,7 +278,11 @@ class SweepRunner:
                 else "metrics" if self.capture_metrics else "plain"
             )
             trampoline = partial(
-                execute_point_with_faults, scenario=self.faults, mode=mode
+                execute_point_in_context,
+                scenario=self.faults,
+                topology=self.topology,
+                algorithm=self.algorithm,
+                mode=mode,
             )
         if self.jobs > 1 and len(points) > 1:
             try:
@@ -280,14 +326,39 @@ class SweepRunner:
 
     # -- experiment-level API -------------------------------------------
 
+    def _ambient(self):
+        """Parent-process ambient installs for topology/algorithm.
+
+        Point execution re-installs the contexts inside each worker,
+        but point *decomposition* and output *merging* run in the
+        parent; any node they build (e.g. a figure driver probing the
+        topology while laying out its grid) must see the same ambient
+        state the workers do.
+        """
+        from contextlib import ExitStack
+
+        stack = ExitStack()
+        if self.topology is not None:
+            from ..topology.context import install as install_topology
+
+            stack.enter_context(install_topology(self.topology))
+        if self.algorithm is not None:
+            from ..rccl.algorithms import install_algorithm
+
+            stack.enter_context(install_algorithm(self.algorithm))
+        return stack
+
     def run_experiment(self, experiment_id: str, **params: Any):
         """Run one artifact through its sweep decomposition."""
         from .. import figures
 
         started = time.perf_counter()
-        points = figures.sweep_points(experiment_id, **params)
-        outputs = self.run_points(points)
-        result = figures.merge_outputs(experiment_id, points, outputs, **params)
+        with self._ambient():
+            points = figures.sweep_points(experiment_id, **params)
+            outputs = self.run_points(points)
+            result = figures.merge_outputs(
+                experiment_id, points, outputs, **params
+            )
         result.wall_seconds = time.perf_counter() - started
         return result
 
@@ -306,22 +377,23 @@ class SweepRunner:
 
         started = time.perf_counter()
         ids = list(dict.fromkeys(experiment_ids))
-        decompositions = {
-            eid: figures.sweep_points(eid, **params) for eid in ids
-        }
-        flat: list[SimPoint] = []
-        for eid in ids:
-            flat.extend(decompositions[eid])
-        outputs = self.run_points(flat)
-        elapsed = time.perf_counter() - started
-        total = max(1, len(flat))
-        results: dict[str, Any] = {}
-        cursor = 0
-        for eid in ids:
-            points = decompositions[eid]
-            chunk = outputs[cursor : cursor + len(points)]
-            cursor += len(points)
-            result = figures.merge_outputs(eid, points, chunk, **params)
-            result.wall_seconds = elapsed * len(points) / total
-            results[eid] = result
+        with self._ambient():
+            decompositions = {
+                eid: figures.sweep_points(eid, **params) for eid in ids
+            }
+            flat: list[SimPoint] = []
+            for eid in ids:
+                flat.extend(decompositions[eid])
+            outputs = self.run_points(flat)
+            elapsed = time.perf_counter() - started
+            total = max(1, len(flat))
+            results: dict[str, Any] = {}
+            cursor = 0
+            for eid in ids:
+                points = decompositions[eid]
+                chunk = outputs[cursor : cursor + len(points)]
+                cursor += len(points)
+                result = figures.merge_outputs(eid, points, chunk, **params)
+                result.wall_seconds = elapsed * len(points) / total
+                results[eid] = result
         return results

@@ -62,21 +62,48 @@ TOPOLOGY_PRESETS: dict[str, Callable[[], NodeTopology]] = {
 #: cluster (``mi250x-cluster-16`` → 128 GCDs).
 _CLUSTER_PREFIX = "mi250x-cluster-"
 
+#: File extensions that mark a topology string as a file path rather
+#: than a preset name (``repro-topology/1`` documents).
+_TOPOLOGY_FILE_SUFFIXES = (".json", ".yaml", ".yml")
 
-def resolve_topology(topology: str | NodeTopology | None) -> NodeTopology:
-    """Turn a preset name (or ``None`` → paper default) into a topology."""
+
+def _looks_like_topology_file(spec: str) -> bool:
+    import os
+
+    if spec.lower().endswith(_TOPOLOGY_FILE_SUFFIXES):
+        return True
+    return os.sep in spec or (os.altsep is not None and os.altsep in spec)
+
+
+def resolve_topology(topology: "str | NodeTopology | None") -> NodeTopology:
+    """Turn a topology spec into a :class:`NodeTopology`.
+
+    Accepts a preset name (``"mi250x"``, ``"mi250x-cluster-<N>"``), a
+    path to a ``repro-topology/1`` file (anything ending in
+    ``.json``/``.yaml``/``.yml`` or containing a path separator), an
+    already-built :class:`NodeTopology`, or ``None`` — which adopts an
+    ambient :func:`repro.topology.context.install` topology when one is
+    active and otherwise builds the paper's Fig. 1 node.
+    """
     if topology is None:
-        return frontier_node()
+        from .topology.context import active as active_topology
+
+        ambient = active_topology()
+        return ambient if ambient is not None else frontier_node()
     if isinstance(topology, NodeTopology):
         return topology
     if isinstance(topology, str):
+        if _looks_like_topology_file(topology):
+            from .topology.schema import load_topology
+
+            return load_topology(topology)
         key = topology.strip().lower()
         if key.startswith(_CLUSTER_PREFIX):
             suffix = key[len(_CLUSTER_PREFIX):]
-            if not suffix.isdigit() or int(suffix) < 1:
+            if not suffix.isdigit() or int(suffix) < 2:
                 raise ConfigurationError(
                     f"bad cluster preset {topology!r}: expected "
-                    f"{_CLUSTER_PREFIX}<nodes> with nodes >= 1"
+                    f"{_CLUSTER_PREFIX}<nodes> with nodes >= 2"
                 )
             return mi250x_cluster(nodes=int(suffix))
         factory = TOPOLOGY_PRESETS.get(key)
@@ -84,11 +111,14 @@ def resolve_topology(topology: str | NodeTopology | None) -> NodeTopology:
             known = ", ".join(sorted(TOPOLOGY_PRESETS))
             raise ConfigurationError(
                 f"unknown topology preset {topology!r} "
-                f"(known: {known}, plus {_CLUSTER_PREFIX}<nodes>)"
+                f"(known: {known}, plus {_CLUSTER_PREFIX}<nodes> "
+                f"and topology files ending in "
+                f"{'/'.join(_TOPOLOGY_FILE_SUFFIXES)})"
             )
         return factory()
     raise ConfigurationError(
-        f"topology must be a preset name or NodeTopology, got {topology!r}"
+        f"topology must be a preset name, file path or NodeTopology, "
+        f"got {topology!r}"
     )
 
 
@@ -179,6 +209,13 @@ class Session:
         ambient :func:`repro.faults.install` context if one is active;
         pass an *empty* scenario to shield a session from the ambient
         one.
+    rccl_algorithm:
+        Default collective algorithm for communicators built via
+        :meth:`rccl_communicator` — ``"ring"``, ``"tree"``,
+        ``"double_binary_tree"``, ``"hierarchical_ring"`` or ``"auto"``
+        (topology-aware selection).  ``None`` (the default) defers to
+        an ambient :func:`repro.rccl.install_algorithm` context, then
+        to the paper-faithful ring.
     trace, trace_capacity, metrics, metrics_capacity, spans:
         .. deprecated:: 0.7
             The pre-v1 flat spellings of ``obs=ObsConfig(...)``.
@@ -197,6 +234,7 @@ class Session:
         runner: RunnerConfig | None = None,
         coherence: CoherencePolicy | None = None,
         faults: Any = None,
+        rccl_algorithm: str | None = None,
         trace: bool | None = None,
         trace_capacity: int | None = None,
         metrics: Any = None,
@@ -219,6 +257,11 @@ class Session:
         )
         self.obs = obs
         self.runner_config = runner if runner is not None else RunnerConfig()
+        if rccl_algorithm is not None:
+            from .rccl.algorithms import check_algorithm
+
+            check_algorithm(rccl_algorithm)
+        self.rccl_algorithm = rccl_algorithm
         self.topology = resolve_topology(topology)
         if env is None:
             try:
@@ -333,10 +376,14 @@ class Session:
         """An RCCL communicator over (a subset of) this node's GCDs.
 
         Accepts ``retry=`` (a :class:`~repro.faults.RetryPolicy`) to
-        rebuild the ring and retry steps when a link fails mid-collective.
+        rebuild the ring and retry steps when a link fails
+        mid-collective, and ``algorithm=`` to pick a collective
+        algorithm (defaults to the session's ``rccl_algorithm``).
         """
         from .rccl.communicator import RcclCommunicator
 
+        if "algorithm" not in kwargs and self.rccl_algorithm is not None:
+            kwargs["algorithm"] = self.rccl_algorithm
         return RcclCommunicator(self.node, gcds, env=self.env, **kwargs)
 
     def runner(
@@ -346,6 +393,8 @@ class Session:
         use_cache: bool | None = None,
         cache_dir: str | None = None,
         faults: Any = None,
+        topology: "str | NodeTopology | None" = None,
+        algorithm: str | None = None,
     ):
         """A :class:`~repro.runner.SweepRunner` for fan-out sweeps.
 
@@ -356,7 +405,10 @@ class Session:
         factory hanging off the front-door object, not a view of this
         session's node.  Pass ``faults=`` (a
         :class:`~repro.faults.FaultScenario`) for a fault-sensitivity
-        sweep; this session's own scenario does not propagate
+        sweep, ``topology=`` (a preset name, topology file path or
+        :class:`NodeTopology`) to drive every point on that topology,
+        or ``algorithm=`` to select the points' collective algorithm;
+        this session's own scenario/topology do not propagate
         automatically.
         """
         from .runner import SweepRunner
@@ -375,6 +427,8 @@ class Session:
             capture_metrics=config.capture_metrics,
             capture_spans=config.capture_spans,
             faults=faults,
+            topology=resolve_topology(topology) if topology is not None else None,
+            algorithm=algorithm,
         )
 
     # -- introspection ----------------------------------------------------------

@@ -39,6 +39,15 @@ from .routing import (
     route_between,
 )
 from .numa import NumaMap, numa_distance_matrix
+from .schema import (
+    TOPOLOGY_SCHEMA,
+    dump_topology,
+    export_preset_files,
+    load_topology,
+    topology_from_json,
+    topology_to_json,
+)
+from .context import active as active_topology, install as install_topology
 
 __all__ = [
     "Link",
@@ -62,4 +71,12 @@ __all__ = [
     "route_between",
     "NumaMap",
     "numa_distance_matrix",
+    "TOPOLOGY_SCHEMA",
+    "load_topology",
+    "dump_topology",
+    "topology_from_json",
+    "topology_to_json",
+    "export_preset_files",
+    "active_topology",
+    "install_topology",
 ]

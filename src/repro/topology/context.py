@@ -1,0 +1,64 @@
+"""Ambient default-topology context.
+
+Mirrors :mod:`repro.faults.context`: a module-level slot holds the
+topology sessions should build on when no explicit ``topology=``
+argument was given.  This is what lets ``repro run fig11 --topology
+mi250x_node.json`` reach the sessions that measurement functions build
+*internally* (fig06's P2P matrix, fig11's per-collective sessions)
+without threading a parameter through every signature.
+
+The context is per-process.  Sweep workers re-install it via
+:func:`repro.runner.points.execute_point_in_context`, so parallel
+sweeps over a file-defined topology behave identically to serial ones;
+the topology's fingerprint is folded into each point's cache key by
+:class:`~repro.runner.SweepRunner`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from .node import NodeTopology
+
+_ACTIVE: "NodeTopology | None" = None
+
+
+def active() -> "NodeTopology | None":
+    """The ambient topology new sessions should build on, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def install(topology: "NodeTopology | None") -> Iterator["NodeTopology | None"]:
+    """Make ``topology`` the ambient default for the duration of the block.
+
+    Nests: the previous topology (usually ``None``) is restored on
+    exit.  Installing ``None`` explicitly shields inner code from an
+    outer context.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = topology
+    try:
+        yield topology
+    finally:
+        _ACTIVE = previous
+
+
+def resolve_default(topology: "NodeTopology | None" = None) -> NodeTopology:
+    """``topology`` if given, else the ambient one, else the Fig. 1 node.
+
+    The standard default-resolution used by measurement functions and
+    figure drivers: an explicit argument always wins, an installed
+    ambient topology (``--topology`` runs) comes next, and the paper's
+    MI250X node is the fallback — so every paper artifact is unchanged
+    unless a topology was asked for.
+    """
+    if topology is not None:
+        return topology
+    if _ACTIVE is not None:
+        return _ACTIVE
+    from .presets import frontier_node
+
+    return frontier_node()

@@ -108,8 +108,14 @@ def mi250x_cluster(nodes: int = 4, *, name: str | None = None) -> NodeTopology:
     fairshare component, which is exactly the regime where dirty-set
     re-leveling has to beat the full component re-solve.
     """
-    if nodes < 1:
-        raise TopologyError("need at least one node")
+    # nodes=1 would thread through the ``nodes - 1`` NIC-census special
+    # case below and build a degenerate zero-NIC "cluster" that is just
+    # a mislabelled frontier node; fail loudly instead.
+    if nodes < 2:
+        raise TopologyError(
+            f"a cluster needs at least two nodes, got {nodes}; "
+            "use frontier_node() for a single MI250X node"
+        )
     if name is None:
         name = f"mi250x-cluster-{nodes}"
     builder = NodeTopologyBuilder(name)
@@ -154,8 +160,9 @@ def _check_cluster_invariants(topology: NodeTopology, nodes: int) -> None:
         LinkTier.SINGLE: 6 * nodes,
         LinkTier.CPU: 8 * nodes,
     }
-    if nodes > 1:
-        expected[LinkTier.NIC] = 4 * (nodes if nodes > 2 else nodes - 1)
+    # Two-node rings collapse to one edge per rail (the duplicate-edge
+    # fix); three nodes and up close the ring.
+    expected[LinkTier.NIC] = 4 * (nodes if nodes > 2 else nodes - 1)
     for tier, count in expected.items():
         if census.get(tier) != count:
             raise TopologyError(

@@ -1,0 +1,357 @@
+"""Declarative topologies: the ``repro-topology/1`` file schema.
+
+The paper's results hinge on the exact MI250X link topology, but a
+topology that only exists as a Python preset cannot express the
+machines *around* the paper — MI300A inter-APU systems (Schieffer et
+al. 2025), Pearson's bandwidth-heterogeneous MI250X nodes, MGSim-style
+multi-GPU boxes.  This module makes topologies data: a versioned
+JSON/YAML document that round-trips through
+:class:`~repro.topology.node.NodeTopology` with a stable
+:meth:`~repro.topology.node.NodeTopology.fingerprint`, so file-defined
+topologies key the result cache exactly like preset-defined ones.
+
+JSON schema (``load_topology``/``dump_topology``)::
+
+    {
+      "schema": "repro-topology/1",
+      "name": "mi250x-node",
+      "gcds": [
+        {"index": 0, "gpu_package": 0, "numa_domain": 0,
+         "hbm_bytes": 64000000000, "hbm_peak_bw": 1.6e12,
+         "l2_bytes": 8388608, "compute_units": 110,
+         "sdma_engines": 2}
+      ],
+      "numa_domains": [
+        {"index": 0, "dram_bytes": 128000000000,
+         "dram_peak_bw": 51.2e9, "dram_latency": 9.6e-08}
+      ],
+      "links": [
+        {"a": "gcd0", "b": "gcd1", "tier": "quad",
+         "capacity_per_direction": 200.0e9},
+        {"a": "gcd0", "b": "numa0", "tier": "cpu"},
+        {"a": "numa0", "b": "numa4", "tier": "nic"}
+      ]
+    }
+
+Endpoints are spelled like :class:`~repro.topology.link.LinkEndpoint`
+strings (``"gcd3"``, ``"numa2"``); tiers are the lowercase
+:class:`~repro.topology.link.LinkTier` names (``single``/``dual``/
+``quad``/``cpu``/``nic``).  Every per-GCD and per-NUMA hardware field
+is optional and defaults to the MI250X values; the dumper writes all
+of them so committed files are self-describing.  Two *informative*
+fields are validated against the model rather than stored:
+``capacity_per_direction`` on a link must match its tier's peak
+(capacities are a property of the tier in ``repro-topology/1``), and
+``sdma_engines`` on a GCD must be 2 (the in/out engine pair the
+hardware model implements).  Unknown keys anywhere are an error — a
+typo must not silently change a machine description.
+
+Files ending in ``.yaml``/``.yml`` are parsed with PyYAML when it is
+installed; JSON is the portable interchange format and needs nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from ..errors import TopologyError
+from .link import Link, LinkEndpoint, LinkTier
+from .node import GcdInfo, NodeTopology, NumaDomainInfo
+
+#: Bumped when the canonical topology encoding itself changes.
+TOPOLOGY_SCHEMA = "repro-topology/1"
+
+#: SDMA engines per GCD the hardware model implements (one in/out pair).
+SDMA_ENGINES_PER_GCD = 2
+
+_ENDPOINT_RE = re.compile(r"^(gcd|numa)(0|[1-9][0-9]*)$")
+
+_GCD_FIELDS = {
+    "index",
+    "gpu_package",
+    "numa_domain",
+    "hbm_bytes",
+    "hbm_peak_bw",
+    "l2_bytes",
+    "compute_units",
+    "sdma_engines",
+}
+_NUMA_FIELDS = {"index", "dram_bytes", "dram_peak_bw", "dram_latency"}
+_LINK_FIELDS = {"a", "b", "tier", "capacity_per_direction"}
+_TOP_FIELDS = {"schema", "name", "gcds", "numa_domains", "links"}
+
+
+def _require_mapping(value: Any, what: str) -> Mapping[str, Any]:
+    if not isinstance(value, Mapping):
+        raise TopologyError(f"{what} must be an object, got {value!r}")
+    return value
+
+
+def _reject_unknown(entry: Mapping[str, Any], allowed: set, what: str) -> None:
+    unknown = set(entry) - allowed
+    if unknown:
+        raise TopologyError(f"{what} has unknown fields {sorted(unknown)}")
+
+
+def _require_int(entry: Mapping[str, Any], key: str, what: str) -> int:
+    value = entry[key]
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise TopologyError(f"{what} field {key!r} must be an integer, got {value!r}")
+    return value
+
+
+def parse_endpoint(spec: str) -> LinkEndpoint:
+    """Parse an endpoint string (``"gcd0"``, ``"numa2"``)."""
+    if not isinstance(spec, str):
+        raise TopologyError(f"endpoint must be a string, got {spec!r}")
+    match = _ENDPOINT_RE.match(spec.strip())
+    if match is None:
+        raise TopologyError(
+            f"bad endpoint {spec!r}: expected 'gcd<N>' or 'numa<N>'"
+        )
+    return LinkEndpoint(match.group(1), int(match.group(2)))
+
+
+def _gcd_from_json(entry: Any) -> GcdInfo:
+    entry = _require_mapping(entry, "gcd entry")
+    _reject_unknown(entry, _GCD_FIELDS, "gcd entry")
+    for required in ("index", "gpu_package", "numa_domain"):
+        if required not in entry:
+            raise TopologyError(f"gcd entry is missing {required!r}: {dict(entry)!r}")
+    engines = entry.get("sdma_engines", SDMA_ENGINES_PER_GCD)
+    if engines != SDMA_ENGINES_PER_GCD:
+        raise TopologyError(
+            f"gcd {entry['index']}: sdma_engines must be "
+            f"{SDMA_ENGINES_PER_GCD} (the in/out engine pair the hardware "
+            f"model implements), got {engines!r}"
+        )
+    kwargs: dict[str, Any] = {
+        "index": _require_int(entry, "index", "gcd entry"),
+        "gpu_package": _require_int(entry, "gpu_package", "gcd entry"),
+        "numa_domain": _require_int(entry, "numa_domain", "gcd entry"),
+    }
+    for optional in ("hbm_bytes", "l2_bytes", "compute_units"):
+        if optional in entry:
+            kwargs[optional] = _require_int(entry, optional, "gcd entry")
+    if "hbm_peak_bw" in entry:
+        kwargs["hbm_peak_bw"] = float(entry["hbm_peak_bw"])
+    return GcdInfo(**kwargs)
+
+
+def _numa_from_json(entry: Any) -> NumaDomainInfo:
+    entry = _require_mapping(entry, "numa_domain entry")
+    _reject_unknown(entry, _NUMA_FIELDS, "numa_domain entry")
+    if "index" not in entry:
+        raise TopologyError(f"numa_domain entry is missing 'index': {dict(entry)!r}")
+    kwargs: dict[str, Any] = {
+        "index": _require_int(entry, "index", "numa_domain entry")
+    }
+    if "dram_bytes" in entry:
+        kwargs["dram_bytes"] = _require_int(entry, "dram_bytes", "numa_domain entry")
+    for optional in ("dram_peak_bw", "dram_latency"):
+        if optional in entry:
+            kwargs[optional] = float(entry[optional])
+    return NumaDomainInfo(**kwargs)
+
+
+def _link_from_json(entry: Any) -> Link:
+    entry = _require_mapping(entry, "link entry")
+    _reject_unknown(entry, _LINK_FIELDS, "link entry")
+    for required in ("a", "b", "tier"):
+        if required not in entry:
+            raise TopologyError(f"link entry is missing {required!r}: {dict(entry)!r}")
+    tier_name = entry["tier"]
+    if not isinstance(tier_name, str):
+        raise TopologyError(f"link tier must be a string, got {tier_name!r}")
+    try:
+        tier = LinkTier[tier_name.strip().upper()]
+    except KeyError:
+        known = ", ".join(t.name.lower() for t in LinkTier)
+        raise TopologyError(
+            f"unknown link tier {tier_name!r} (known: {known})"
+        ) from None
+    link = Link(parse_endpoint(entry["a"]), parse_endpoint(entry["b"]), tier)
+    if "capacity_per_direction" in entry:
+        declared = float(entry["capacity_per_direction"])
+        if declared != tier.peak_unidirectional:
+            raise TopologyError(
+                f"link {link.name}: capacity_per_direction {declared!r} "
+                f"disagrees with the {tier.name.lower()} tier "
+                f"({tier.peak_unidirectional!r} bytes/s); capacities are a "
+                f"property of the tier in {TOPOLOGY_SCHEMA}"
+            )
+    return link
+
+
+def topology_from_json(
+    payload: Mapping[str, Any], *, name: str | None = None
+) -> NodeTopology:
+    """Parse a ``repro-topology/1`` document; raises :class:`TopologyError`.
+
+    ``name`` overrides the document's display name (used by
+    :func:`load_topology` to default to the file stem).
+    """
+    payload = _require_mapping(payload, "topology document")
+    _reject_unknown(payload, _TOP_FIELDS, "topology document")
+    schema = payload.get("schema")
+    if schema != TOPOLOGY_SCHEMA:
+        raise TopologyError(
+            f"unsupported topology schema {schema!r} "
+            f"(this build reads {TOPOLOGY_SCHEMA!r})"
+        )
+    for section in ("gcds", "numa_domains", "links"):
+        if section not in payload:
+            raise TopologyError(f"topology document is missing {section!r}")
+        if not isinstance(payload[section], Sequence) or isinstance(
+            payload[section], (str, bytes)
+        ):
+            raise TopologyError(f"topology {section!r} must be a list")
+    if name is None:
+        name = payload.get("name", "custom")
+    if not isinstance(name, str) or not name:
+        raise TopologyError(f"topology name must be a non-empty string, got {name!r}")
+    gcds = [_gcd_from_json(entry) for entry in payload["gcds"]]
+    numa_domains = [_numa_from_json(entry) for entry in payload["numa_domains"]]
+    links = [_link_from_json(entry) for entry in payload["links"]]
+    return NodeTopology(gcds, numa_domains, links, name=name)
+
+
+def topology_to_json(topology: NodeTopology) -> dict[str, Any]:
+    """Render a topology as a ``repro-topology/1`` document.
+
+    Writes every hardware field explicitly (self-describing files) and
+    the informative ``capacity_per_direction``/``sdma_engines`` values,
+    in deterministic order, so ``dump → load → dump`` is a fixpoint.
+    """
+    return {
+        "schema": TOPOLOGY_SCHEMA,
+        "name": topology.name,
+        "gcds": [
+            {
+                "index": gcd.index,
+                "gpu_package": gcd.gpu_package,
+                "numa_domain": gcd.numa_domain,
+                "hbm_bytes": gcd.hbm_bytes,
+                "hbm_peak_bw": gcd.hbm_peak_bw,
+                "l2_bytes": gcd.l2_bytes,
+                "compute_units": gcd.compute_units,
+                "sdma_engines": SDMA_ENGINES_PER_GCD,
+            }
+            for gcd in topology.gcds()
+        ],
+        "numa_domains": [
+            {
+                "index": numa.index,
+                "dram_bytes": numa.dram_bytes,
+                "dram_peak_bw": numa.dram_peak_bw,
+                "dram_latency": numa.dram_latency,
+            }
+            for numa in topology.numa_domains()
+        ],
+        "links": [
+            {
+                "a": str(min(link.a, link.b)),
+                "b": str(max(link.a, link.b)),
+                "tier": link.tier.name.lower(),
+                "capacity_per_direction": link.capacity_per_direction,
+            }
+            for link in topology.links()
+        ],
+    }
+
+
+def _is_yaml_path(path: Path) -> bool:
+    return path.suffix.lower() in (".yaml", ".yml")
+
+
+def _yaml_module():
+    try:
+        import yaml
+    except ImportError:
+        raise TopologyError(
+            "YAML topology files need PyYAML, which is not installed; "
+            "use the JSON form instead"
+        ) from None
+    return yaml
+
+
+def load_topology(path: "str | Path") -> NodeTopology:
+    """Read a topology from a JSON (or, with PyYAML, YAML) file.
+
+    The display name defaults to the file stem when the document does
+    not carry one; the name never enters the fingerprint, so renaming a
+    file cannot invalidate cached results.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise TopologyError(f"cannot read topology {path}: {exc}") from None
+    if _is_yaml_path(path):
+        try:
+            payload = _yaml_module().safe_load(text)
+        except Exception as exc:  # yaml.YAMLError, but PyYAML may be stubbed
+            raise TopologyError(f"topology {path} is not valid YAML: {exc}") from None
+    else:
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise TopologyError(f"topology {path} is not valid JSON: {exc}") from None
+    document = _require_mapping(payload, f"topology document {path}")
+    name = document.get("name", path.stem)
+    return topology_from_json(document, name=name)
+
+
+def dump_topology(topology: NodeTopology, path: "str | Path") -> None:
+    """Write a topology file (format chosen by the extension)."""
+    path = Path(path)
+    payload = topology_to_json(topology)
+    if _is_yaml_path(path):
+        text = _yaml_module().safe_dump(payload, sort_keys=False)
+    else:
+        text = json.dumps(payload, indent=2) + "\n"
+    path.write_text(text)
+
+
+#: Preset factories exported to ``benchmarks/topologies/`` (file stem →
+#: zero-argument factory).  ``mi250x_node`` is the paper's Fig. 1 node
+#: under its interchange name; the committed files are regenerated with
+#: :func:`export_preset_files` and round-trip-checked in CI.
+PRESET_EXPORTS: "dict[str, Any]" = {}
+
+
+def _register_preset_exports() -> None:
+    from .presets import frontier_node, mi250x_cluster, single_gpu_node
+
+    PRESET_EXPORTS.update(
+        {
+            "mi250x_node": frontier_node,
+            "single_mi250x": single_gpu_node,
+            "mi250x_cluster_2": lambda: mi250x_cluster(nodes=2),
+            "mi250x_cluster_4": lambda: mi250x_cluster(nodes=4),
+        }
+    )
+
+
+_register_preset_exports()
+
+
+def export_preset_files(directory: "str | Path") -> "list[Path]":
+    """Write every :data:`PRESET_EXPORTS` preset under ``directory``.
+
+    Returns the written paths.  Used to (re)generate the committed
+    ``benchmarks/topologies/*.json`` files; the round-trip (load →
+    fingerprint equality with the code preset) is enforced by CI's
+    ``benchmarks/ci/check_topologies.py``.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for stem, factory in sorted(PRESET_EXPORTS.items()):
+        path = directory / f"{stem}.json"
+        dump_topology(factory(), path)
+        written.append(path)
+    return written

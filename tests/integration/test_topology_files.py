@@ -1,0 +1,107 @@
+"""File-defined topologies reproduce the paper artifacts bit-identically.
+
+The acceptance test of the topology-as-data schema: running every
+figure against the committed ``benchmarks/topologies/mi250x_node.json``
+must produce the same canonical artifact — and the same span-blame
+ranking — as the built-in code preset, because the file round-trips to
+a fingerprint-identical topology.  The fingerprint equality also means
+both runs share one cache identity, pinned here by a hits-only replay.
+"""
+
+import pathlib
+
+import pytest
+
+from repro import figures
+from repro.faults import FaultScenario, LinkDegrade
+from repro.obs import blame_ranking
+from repro.runner import SimPoint, SweepRunner
+from repro.topology import frontier_node, load_topology
+from repro.units import MiB
+
+TOPOLOGY_DIR = (
+    pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "topologies"
+)
+NODE_FILE = TOPOLOGY_DIR / "mi250x_node.json"
+
+ALL_IDS = figures.all_ids()
+
+
+@pytest.fixture(scope="module")
+def file_topology():
+    return load_topology(NODE_FILE)
+
+
+class TestFileTopologyGoldens:
+    def test_file_is_fingerprint_identical_to_preset(self, file_topology):
+        assert file_topology.fingerprint() == frontier_node().fingerprint()
+
+    @pytest.mark.parametrize("experiment_id", ALL_IDS)
+    def test_artifact_is_bit_identical(self, experiment_id, file_topology):
+        preset = SweepRunner(use_cache=False).run_experiment(experiment_id)
+        from_file = SweepRunner(
+            use_cache=False, topology=file_topology
+        ).run_experiment(experiment_id)
+        assert from_file.canonical() == preset.canonical()
+
+    def test_span_blame_is_topology_source_invariant(self, file_topology):
+        def spans_and_blame(topology):
+            runner = SweepRunner(
+                use_cache=False, capture_spans=True, topology=topology
+            )
+            runner.run_experiment("fig06")
+            return runner.stats.spans, blame_ranking(runner.stats.spans)
+
+        preset_spans, preset_blame = spans_and_blame(None)
+        file_spans, file_blame = spans_and_blame(file_topology)
+        assert file_blame == preset_blame
+        assert file_spans == preset_spans
+
+
+class TestFileTopologyCacheIdentity:
+    def test_file_and_preset_runs_share_cache_entries(
+        self, file_topology, tmp_path
+    ):
+        # A run keyed by the code preset must be replayable from cache
+        # by a run keyed by the fingerprint-equal file topology: the
+        # cache key folds the topology in via its fingerprint, not its
+        # Python identity or provenance.
+        warm = SweepRunner(cache_dir=tmp_path, topology=frontier_node())
+        warm.run_experiment("fig04")
+        assert warm.stats.cache_misses > 0
+
+        replay = SweepRunner(cache_dir=tmp_path, topology=file_topology)
+        replay.run_experiment("fig04")
+        assert replay.stats.cache_misses == 0
+        assert replay.stats.cache_hits > 0
+
+
+class TestFaultsAgainstFileTopology:
+    def test_link_degrade_resolves_against_file_topology(self, file_topology):
+        # Fault scenarios name links symbolically; they must resolve
+        # against whatever topology the run was given — including one
+        # loaded from a file, whose link names match the preset's.
+        scenario = FaultScenario(
+            events=(LinkDegrade(link="gcd1-gcd3:single", factor=0.5, at=0.0),),
+            name="file-topology-degrade",
+        )
+        points = [
+            SimPoint.make(
+                "fig06",
+                f"bw/1->3/{size}",
+                "repro.bench_suites.p2p_matrix:measure_pair_bandwidth",
+                src_gcd=1,
+                dst_gcd=3,
+                size=size,
+            )
+            for size in (16 * MiB, 32 * MiB)
+        ]
+        healthy = SweepRunner(use_cache=False, topology=file_topology)
+        degraded = SweepRunner(
+            use_cache=False, topology=file_topology, faults=scenario
+        )
+        baseline = healthy.run_points(points)
+        faulted = degraded.run_points(points)
+        # With the 1-3 single link halved, the link itself becomes the
+        # binding constraint; measured bandwidth must drop.
+        assert all(f < b for f, b in zip(faulted, baseline))

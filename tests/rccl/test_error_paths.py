@@ -1,0 +1,122 @@
+"""Regression tests for narrowed exception handling and ring exhaustion.
+
+Two ``except Exception`` blocks used to mask programming errors:
+``ring._validate_members`` swallowed *any* failure of the GCD lookup
+into an RcclError, and ``HipRuntime._physical`` turned *any* failure of
+the visibility mapping into ``hipErrorInvalidDevice``.  Both now catch
+only the specific expected error; these tests pin the narrowed
+behaviour from both sides.
+
+The exhaustion tests pin the other bugfix: a fully-failed avoid set
+must surface a clean :class:`RcclError`, not a raw
+:class:`RoutingError` from deep inside the path search.
+"""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    InvalidDeviceError,
+    RcclError,
+    RoutingError,
+    TopologyError,
+)
+from repro.hip.runtime import HipRuntime
+from repro.rccl.ring import build_greedy_ring
+from repro.session import Session
+from repro.topology.presets import frontier_node, single_gpu_node
+
+
+class TestValidateMembersNarrowing:
+    def test_unknown_gcd_becomes_rccl_error(self):
+        with pytest.raises(RcclError, match="GCD 99 not in topology"):
+            build_greedy_ring(frontier_node(), [0, 99])
+
+    def test_cause_is_the_topology_error(self):
+        with pytest.raises(RcclError) as excinfo:
+            build_greedy_ring(frontier_node(), [0, 99])
+        assert isinstance(excinfo.value.__cause__, TopologyError)
+
+    def test_malformed_topology_propagates_unmasked(self):
+        # A topology object whose gcd() lookup blows up with something
+        # other than TopologyError is a programming error; the old
+        # ``except Exception`` would have dressed it up as "GCD not in
+        # topology" and sent callers chasing the wrong bug.
+        class BrokenTopology:
+            def gcd(self, index):
+                raise AttributeError("no gcd table")
+
+        with pytest.raises(AttributeError, match="no gcd table"):
+            build_greedy_ring(BrokenTopology(), [0, 1])
+
+
+class TestHipPhysicalNarrowing:
+    def test_bad_ordinal_is_invalid_device(self):
+        runtime = Session().hip
+        with pytest.raises(InvalidDeviceError):
+            runtime.set_device(99)
+
+    def test_cause_is_the_configuration_error(self):
+        runtime = Session().hip
+        with pytest.raises(InvalidDeviceError) as excinfo:
+            runtime.physical_device(99)
+        assert isinstance(excinfo.value.__cause__, ConfigurationError)
+
+    def test_broken_environment_propagates_unmasked(self):
+        # An environment whose mapping raises something other than
+        # ConfigurationError must not be reported as an invalid device.
+        session = Session()
+        runtime = HipRuntime(session.node, session.env)
+
+        class BrokenEnv:
+            def map_logical_device(self, logical, num_physical):
+                raise AttributeError("no visibility table")
+
+        runtime.env = BrokenEnv()
+        with pytest.raises(AttributeError, match="no visibility table"):
+            runtime.physical_device(0)
+
+
+class TestRingExhaustion:
+    def test_exhausted_paths_raise_clean_rccl_error(self):
+        # Kill every link of the two-GCD node: no direct hop, no CPU
+        # relay — the path search has nothing left.
+        topology = single_gpu_node()
+        avoid = {link.name for link in topology.links()}
+        with pytest.raises(RcclError, match="no usable path"):
+            build_greedy_ring(topology, [0, 1], avoid_links=avoid)
+
+    def test_exhaustion_chains_the_routing_error(self):
+        topology = single_gpu_node()
+        avoid = {link.name for link in topology.links()}
+        with pytest.raises(RcclError) as excinfo:
+            build_greedy_ring(topology, [0, 1], avoid_links=avoid)
+        assert isinstance(excinfo.value.__cause__, RoutingError)
+
+    def test_partial_avoid_still_builds_a_detour_ring(self):
+        # Failing only the direct quad link must NOT raise: the builder
+        # detours over the CPU links instead.
+        topology = single_gpu_node()
+        quad = topology.require_link(0, 1)
+        ring = build_greedy_ring(topology, [0, 1], avoid_links={quad.name})
+        assert ring.order == (0, 1)
+        for segment in ring.segments:
+            assert all(quad.name != link.name for link in segment.route.links)
+
+    def test_rebuild_ring_on_partitioned_node_raises_rccl_error(self):
+        session = Session("single")
+        comm = session.rccl_communicator([0, 1])
+        for link in session.node.topology.links():
+            session.node.mark_link_failed(link.name)
+        with pytest.raises(RcclError, match="no usable path"):
+            comm.rebuild_ring()
+
+    def test_rebuild_ring_around_one_failure_succeeds(self):
+        session = Session("single")
+        comm = session.rccl_communicator([0, 1])
+        session.node.mark_link_failed(
+            session.node.topology.require_link(0, 1).name
+        )
+        ring = comm.rebuild_ring()
+        assert ring.order == (0, 1)
+        assert comm.ring_rebuilds == 1

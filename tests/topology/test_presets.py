@@ -93,15 +93,36 @@ class TestOtherPresets:
 
 
 class TestClusterPreset:
-    def test_single_node_matches_frontier(self):
+    def test_single_node_cluster_rejected(self):
+        # Regression: nodes=1 used to thread through the ``nodes - 1``
+        # NIC-census special case and silently build a zero-NIC
+        # "cluster" that was just a mislabelled frontier node.
+        from repro.errors import TopologyError
         from repro.topology.presets import mi250x_cluster
 
-        cluster = mi250x_cluster(nodes=1)
-        frontier = frontier_node()
-        assert cluster.num_gcds == 8
-        assert sum(1 for _ in cluster.nic_links()) == 0
-        # Same structure, different cosmetic name → same fingerprint.
-        assert cluster.fingerprint() == frontier.fingerprint()
+        with pytest.raises(TopologyError, match="at least two nodes"):
+            mi250x_cluster(nodes=1)
+
+    def test_two_node_census_regression(self):
+        # Pin the nodes=2 duplicate-edge fix with the full link census:
+        # each rail collapses to ONE edge (numa_d — numa_{4+d}), so the
+        # census must show exactly 4 NIC links — 8 would mean the ring
+        # wrapped around and double-connected every rail.
+        from repro.topology.presets import mi250x_cluster
+
+        cluster = mi250x_cluster(nodes=2)
+        census = cluster.link_census()
+        assert census == {
+            LinkTier.QUAD: 8,
+            LinkTier.DUAL: 4,
+            LinkTier.SINGLE: 12,
+            LinkTier.CPU: 16,
+            LinkTier.NIC: 4,
+        }
+        rails = {
+            frozenset((l.a.index, l.b.index)) for l in cluster.nic_links()
+        }
+        assert rails == {frozenset((d, 4 + d)) for d in range(4)}
 
     def test_each_node_replicates_fig1(self):
         from repro.topology.presets import mi250x_cluster
@@ -148,5 +169,7 @@ class TestClusterPreset:
 
         with pytest.raises(ConfigurationError):
             resolve_topology("mi250x-cluster-0")
+        with pytest.raises(ConfigurationError):
+            resolve_topology("mi250x-cluster-1")
         with pytest.raises(ConfigurationError):
             resolve_topology("mi250x-cluster-many")

@@ -1,0 +1,163 @@
+"""Tests for the repro-topology/1 schema (repro.topology.schema)."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (
+    TOPOLOGY_SCHEMA,
+    dump_topology,
+    frontier_node,
+    load_topology,
+    mi250x_cluster,
+    single_gpu_node,
+    topology_from_json,
+    topology_to_json,
+)
+from repro.topology.schema import PRESET_EXPORTS, parse_endpoint
+
+TOPOLOGY_DIR = pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "topologies"
+COMMITTED = sorted(TOPOLOGY_DIR.glob("*.json"))
+
+
+class TestEndpoints:
+    def test_parse(self):
+        assert str(parse_endpoint("gcd0")) == "gcd0"
+        assert str(parse_endpoint("numa12")) == "numa12"
+
+    @pytest.mark.parametrize("bad", ["gcd", "numa-1", "gcd01x", "cpu0", "", "gcd00"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(TopologyError, match="endpoint"):
+            parse_endpoint(bad)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "factory", [frontier_node, single_gpu_node, lambda: mi250x_cluster(2)]
+    )
+    def test_json_round_trip_is_fingerprint_identical(self, factory):
+        original = factory()
+        rebuilt = topology_from_json(topology_to_json(original))
+        assert rebuilt.fingerprint() == original.fingerprint()
+        assert rebuilt.link_census() == original.link_census()
+
+    def test_dump_load_dump_is_a_fixpoint(self, tmp_path):
+        path = tmp_path / "node.json"
+        dump_topology(frontier_node(), path)
+        first = path.read_text()
+        dump_topology(load_topology(path), path)
+        assert path.read_text() == first
+
+    def test_name_defaults_to_file_stem_without_entering_fingerprint(
+        self, tmp_path
+    ):
+        payload = topology_to_json(frontier_node())
+        del payload["name"]
+        path = tmp_path / "my_machine.json"
+        path.write_text(json.dumps(payload))
+        loaded = load_topology(path)
+        assert loaded.name == "my_machine"
+        assert loaded.fingerprint() == frontier_node().fingerprint()
+
+    def test_yaml_round_trip(self, tmp_path):
+        yaml = pytest.importorskip("yaml")
+        del yaml
+        path = tmp_path / "node.yaml"
+        dump_topology(frontier_node(), path)
+        assert load_topology(path).fingerprint() == frontier_node().fingerprint()
+
+
+class TestCommittedFiles:
+    def test_every_preset_export_is_committed(self):
+        stems = {path.stem for path in COMMITTED}
+        assert set(PRESET_EXPORTS) <= stems
+
+    @pytest.mark.parametrize("path", COMMITTED, ids=lambda p: p.stem)
+    def test_committed_file_is_valid_and_round_trips(self, path, tmp_path):
+        topology = load_topology(path)
+        rebuilt = topology_from_json(topology_to_json(topology))
+        assert rebuilt.fingerprint() == topology.fingerprint()
+
+    @pytest.mark.parametrize("stem", sorted(PRESET_EXPORTS))
+    def test_committed_file_matches_code_preset(self, stem):
+        preset = PRESET_EXPORTS[stem]()
+        loaded = load_topology(TOPOLOGY_DIR / f"{stem}.json")
+        assert loaded.fingerprint() == preset.fingerprint()
+
+    def test_mi300a_example_shape(self):
+        topology = load_topology(TOPOLOGY_DIR / "mi300a_quad_apu.json")
+        assert topology.num_gcds == 4
+        assert topology.num_numa_domains == 4
+        from repro.topology.link import LinkTier
+
+        assert topology.link_census() == {LinkTier.DUAL: 6, LinkTier.CPU: 4}
+
+
+class TestStrictValidation:
+    def _payload(self):
+        return topology_to_json(single_gpu_node())
+
+    def test_rejects_wrong_schema(self):
+        payload = self._payload()
+        payload["schema"] = "repro-topology/9"
+        with pytest.raises(TopologyError, match="unsupported topology schema"):
+            topology_from_json(payload)
+
+    def test_rejects_unknown_top_level_key(self):
+        payload = self._payload()
+        payload["nodes"] = 2
+        with pytest.raises(TopologyError, match="unknown fields"):
+            topology_from_json(payload)
+
+    def test_rejects_unknown_gcd_key(self):
+        payload = self._payload()
+        payload["gcds"][0]["xgmi_ports"] = 7
+        with pytest.raises(TopologyError, match="unknown fields"):
+            topology_from_json(payload)
+
+    def test_rejects_wrong_sdma_engine_count(self):
+        payload = self._payload()
+        payload["gcds"][0]["sdma_engines"] = 4
+        with pytest.raises(TopologyError, match="sdma_engines"):
+            topology_from_json(payload)
+
+    def test_rejects_capacity_tier_mismatch(self):
+        payload = self._payload()
+        quad = next(l for l in payload["links"] if l["tier"] == "quad")
+        quad["capacity_per_direction"] = 123e9
+        with pytest.raises(TopologyError, match="capacity_per_direction"):
+            topology_from_json(payload)
+
+    def test_rejects_unknown_tier(self):
+        payload = self._payload()
+        payload["links"][0]["tier"] = "octo"
+        with pytest.raises(TopologyError, match="unknown link tier"):
+            topology_from_json(payload)
+
+    def test_rejects_missing_section(self):
+        payload = self._payload()
+        del payload["links"]
+        with pytest.raises(TopologyError, match="missing 'links'"):
+            topology_from_json(payload)
+
+    def test_rejects_non_integer_index(self):
+        payload = self._payload()
+        payload["gcds"][0]["index"] = "zero"
+        with pytest.raises(TopologyError, match="must be an integer"):
+            topology_from_json(payload)
+
+    def test_load_reports_bad_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(TopologyError, match="not valid JSON"):
+            load_topology(path)
+
+    def test_load_reports_missing_file(self, tmp_path):
+        with pytest.raises(TopologyError, match="cannot read"):
+            load_topology(tmp_path / "absent.json")
+
+    def test_schema_constant(self):
+        assert TOPOLOGY_SCHEMA == "repro-topology/1"
+        assert topology_to_json(frontier_node())["schema"] == TOPOLOGY_SCHEMA
