@@ -1,0 +1,117 @@
+"""CI guard: every committed telemetry file is valid and replayable.
+
+The ``repro-telemetry/1`` streams under ``benchmarks/telemetry/`` are
+worked examples (and the shadow-mode smoke fixture), synthesized from
+figure artifacts under the default calibration.  Three things can rot
+silently: a file stops parsing against the strict schema, a file stops
+round-tripping (``dumps(load(f)) != f``, i.e. the dumper and loader
+disagree), or the model drifts away from the committed stream (a
+calibration or simulator change alters the predicted durations, so the
+"zero drift by construction" guarantee breaks and the file needs a
+re-export).  This guard fails CI on all three.
+
+Usage::
+
+    python benchmarks/ci/check_telemetry.py [DIR]
+
+Checks every ``*.jsonl`` under the given directory (default
+``benchmarks/telemetry``):
+
+1. it loads under the strict ``repro-telemetry/1`` validators;
+2. ``dumps(load(file))`` is byte-identical to the file;
+3. files named in ``SYNTHETIC_EXPORTS`` shadow-replay under the
+   default calibration with max |drift| below ``DRIFT_GATE`` — the
+   round-trip guarantee that makes them usable as zero-drift fixtures;
+4. every ``SYNTHETIC_EXPORTS`` entry has a committed file.
+
+Exit 1 with a per-file report on any failure.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.errors import ReproError  # noqa: E402
+from repro.twin import load_telemetry, shadow_replay  # noqa: E402
+
+#: file stem -> artifact it was synthesized from (under the default
+#: calibration).  These must replay drift-free; see ``DRIFT_GATE``.
+SYNTHETIC_EXPORTS = {
+    "fig06_example": "fig06",
+}
+
+#: Max per-record |relative drift| tolerated for synthetic exports.
+#: Synthesis and replay share the same float expressions, so the true
+#: round-trip error is exactly 0.0; the gate only leaves headroom for
+#: a future serialisation change, not for model drift.
+DRIFT_GATE = 1e-9
+
+
+def check_directory(directory: pathlib.Path) -> list[str]:
+    problems: list[str] = []
+    files = sorted(directory.glob("*.jsonl"))
+    if not files:
+        return [f"{directory}: no telemetry files found"]
+
+    stems = set()
+    for path in files:
+        rel = path.relative_to(REPO_ROOT)
+        try:
+            stream = load_telemetry(path)
+        except ReproError as exc:
+            problems.append(f"{rel}: does not load: {exc}")
+            continue
+        stems.add(path.stem)
+
+        if stream.dumps() != path.read_text():
+            problems.append(
+                f"{rel}: not serialisation-canonical; re-export with "
+                f"repro.twin.synthesize_telemetry(...).dump()"
+            )
+
+        if path.stem in SYNTHETIC_EXPORTS:
+            artifact = SYNTHETIC_EXPORTS[path.stem]
+            report = shadow_replay(stream)
+            if report.max_abs_drift > DRIFT_GATE:
+                problems.append(
+                    f"{rel}: max |drift| {report.max_abs_drift:.3e} > "
+                    f"{DRIFT_GATE:.0e} against the default calibration — "
+                    f"the model moved away from this stream; re-export it "
+                    f"from {artifact!r}"
+                )
+            else:
+                print(
+                    f"ok {rel}: {len(stream.records)} record(s), "
+                    f"max |drift| {report.max_abs_drift:.3e}"
+                )
+
+    for stem in sorted(set(SYNTHETIC_EXPORTS) - stems):
+        problems.append(
+            f"{directory}/{stem}.jsonl: synthetic export missing from "
+            f"the committed set"
+        )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    directory = (
+        pathlib.Path(argv[1])
+        if len(argv) > 1
+        else REPO_ROOT / "benchmarks" / "telemetry"
+    )
+    problems = check_directory(directory)
+    if problems:
+        print(f"{len(problems)} telemetry file problem(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"telemetry files ok under {directory}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -42,6 +42,11 @@ Fails (exit 1) when a headline number regresses below its threshold:
   (or compiled) interval integrator must beat the scalar python
   backend on the mixed long/short-flow workload, else the NumPy
   arrays are pure overhead.
+- ``shadow_replay_windows_per_second`` must reach
+  ``REPRO_MIN_SHADOW_WINDOWS`` (default 5): the digital-twin shadow
+  replayer re-simulates telemetry windows through the sweep runner;
+  falling below the floor means replaying a day of telemetry would
+  take longer than recording it.
 
 With ``--baseline`` (a previously committed report), throughput
 headlines may not regress by more than ``REPRO_MAX_PERF_REGRESSION``
@@ -71,6 +76,7 @@ BASELINE_KEYS = (
     "capacity_changes_per_second",
     "epoch_events_per_second",
     "churn_large_flows_per_second",
+    "shadow_replay_windows_per_second",
 )
 
 
@@ -229,6 +235,24 @@ def check(report: dict) -> list[str]:
         print(
             f"ok: flow_integration_speedup {integration:.2f} >= "
             f"{min_integration:.2f}"
+        )
+
+    min_shadow = float(os.environ.get("REPRO_MIN_SHADOW_WINDOWS", "5"))
+    shadow_rate = headline.get("shadow_replay_windows_per_second")
+    if shadow_rate is None:
+        print(
+            "skip: shadow_replay_windows_per_second not in report "
+            "(old schema)"
+        )
+    elif shadow_rate < min_shadow:
+        failures.append(
+            f"shadow_replay_windows_per_second {shadow_rate:,.1f} < "
+            f"{min_shadow:,.1f}"
+        )
+    else:
+        print(
+            f"ok: shadow_replay_windows_per_second {shadow_rate:,.1f} >= "
+            f"{min_shadow:,.1f}"
         )
 
     return failures

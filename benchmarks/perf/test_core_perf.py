@@ -16,7 +16,7 @@ from repro.perf.core import format_report, run_suite, write_report
 def test_smoke_suite_shape_and_sanity(tmp_path):
     report = run_suite(smoke=True)
 
-    assert report["schema"] == "repro-bench-core/6"
+    assert report["schema"] == "repro-bench-core/7"
     assert report["smoke"] is True
     results = report["results"]
     assert results["engine_events"]["events_per_second"] > 0
@@ -67,6 +67,15 @@ def test_smoke_suite_shape_and_sanity(tmp_path):
     assert results["figure_sweep"]["measurements"] > 0
     assert report["headline"]["churn_speedup_vs_batch_resolve"] == churn["speedup"]
 
+    shadow = results["shadow_replay"]
+    assert shadow["records"] > 0
+    assert shadow["windows"] > 1
+    assert shadow["shadow_replay_windows_per_second"] > 0
+    assert (
+        report["headline"]["shadow_replay_windows_per_second"]
+        == shadow["shadow_replay_windows_per_second"]
+    )
+
     capacity = results["set_capacity"]
     assert capacity["changes"] > 0
     assert capacity["capacity_changes_per_second"] > 0
@@ -77,7 +86,7 @@ def test_smoke_suite_shape_and_sanity(tmp_path):
 
     path = tmp_path / "BENCH_core.json"
     write_report(str(path), report)
-    assert json.loads(path.read_text())["schema"] == "repro-bench-core/6"
+    assert json.loads(path.read_text())["schema"] == "repro-bench-core/7"
 
     text = format_report(report)
     assert "flow churn" in text and "events/s" in text
@@ -86,6 +95,7 @@ def test_smoke_suite_shape_and_sanity(tmp_path):
     assert "capacity churn" in text
     assert "epoch dispatch" in text
     assert "flow integration" in text
+    assert "shadow replay" in text
 
 
 def test_smoke_suite_sweep_benchmarks():

@@ -34,7 +34,12 @@ fronts the whole stack.
 from . import config, errors, units
 from .config import SimEnvironment
 from .configs import ObsConfig, RunnerConfig
-from .core.calibration import CalibrationProfile, DEFAULT_CALIBRATION
+from .core.calibration import (
+    CalibrationProfile,
+    DEFAULT_CALIBRATION,
+    dump_profile,
+    load_profile,
+)
 from .faults import (
     FaultScenario,
     LinkDegrade,
@@ -60,8 +65,15 @@ from .topology.presets import (
     mi250x_cluster,
     single_gpu_node,
 )
+from .twin import (
+    TelemetryStream,
+    fit_calibration,
+    load_telemetry,
+    shadow_replay,
+    synthesize_telemetry,
+)
 
-__version__ = "0.9.0"
+__version__ = "0.10.0"
 
 __all__ = [
     # The blessed surface.
@@ -83,6 +95,11 @@ __all__ = [
     "SdmaStall",
     "PageMigrationStorm",
     "RetryPolicy",
+    "TelemetryStream",
+    "load_telemetry",
+    "shadow_replay",
+    "fit_calibration",
+    "synthesize_telemetry",
     "TOPOLOGY_PRESETS",
     "resolve_topology",
     "frontier_node",
@@ -96,6 +113,8 @@ __all__ = [
     "SimEnvironment",
     "CalibrationProfile",
     "DEFAULT_CALIBRATION",
+    "dump_profile",
+    "load_profile",
     "HardwareNode",
     "frontier_hardware",
     "HipRuntime",

@@ -39,6 +39,14 @@ fingerprint-identical with the code presets), :func:`install_topology`
 (artifact reports), :func:`build_chrome_trace` /
 :func:`write_chrome_trace` (Perfetto export).
 
+**Digital twin** — :func:`load_telemetry` / :class:`TelemetryStream`
+(the versioned ``repro-telemetry/1`` JSONL schema),
+:func:`shadow_replay` (windowed replay with a per-link drift ledger),
+:func:`fit_calibration` (the auto-calibrator),
+:func:`synthesize_telemetry` (hardware-free streams from any figure
+artifact), :func:`load_profile` / :func:`dump_profile` (fitted
+``repro-calibration/1`` profiles with provenance).
+
 **Backends** — :func:`resolve_backend` / :func:`compiled_available`
 (the flow-integration hot-loop implementations; all bit-identical).
 
@@ -54,7 +62,12 @@ from __future__ import annotations
 
 from ..config import SimEnvironment
 from ..configs import ObsConfig, RunnerConfig
-from ..core.calibration import CalibrationProfile, DEFAULT_CALIBRATION
+from ..core.calibration import (
+    CalibrationProfile,
+    DEFAULT_CALIBRATION,
+    dump_profile,
+    load_profile,
+)
 from ..faults import (
     FaultScenario,
     LinkDegrade,
@@ -93,6 +106,13 @@ from ..topology import (
     load_topology,
     topology_from_json,
     topology_to_json,
+)
+from ..twin import (
+    TelemetryStream,
+    fit_calibration,
+    load_telemetry,
+    shadow_replay,
+    synthesize_telemetry,
 )
 
 #: The version of this surface (bumped only on breaking changes).
@@ -145,6 +165,14 @@ __all__ = [
     "write_report",
     "build_chrome_trace",
     "write_chrome_trace",
+    # digital twin
+    "TelemetryStream",
+    "load_telemetry",
+    "shadow_replay",
+    "fit_calibration",
+    "synthesize_telemetry",
+    "load_profile",
+    "dump_profile",
     # backends
     "resolve_backend",
     "compiled_available",

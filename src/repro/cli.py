@@ -39,6 +39,16 @@ Commands
     and prints the blame table, where injected faults appear as
     ``fault:*`` buckets.
 
+``shadow --telemetry FILE [--window SECONDS] [--json]``
+    Digital-twin shadow mode: replay a ``repro-telemetry/1`` stream
+    through the simulator and report per-link/per-tier/per-interface
+    drift (predicted vs measured).  Exits non-zero when any ledger
+    dimension drifts past ``--alert-threshold``.
+``calibrate --telemetry FILE [--out profile.json]``
+    Fit the calibration profile's efficiency constants to a telemetry
+    stream (deterministic coordinate descent) and optionally write the
+    fitted ``repro-calibration/1`` profile with provenance.
+
 Artifact commands accept either registry ids (``fig11``) or driver
 module names (``fig11_collectives``).
 
@@ -179,6 +189,35 @@ def _topology_options() -> argparse.ArgumentParser:
             "collective algorithm every communicator uses (default: the "
             "paper-faithful ring; 'auto' = RCCL-style topology-aware "
             "selection)"
+        ),
+    )
+    return parent
+
+
+def _telemetry_options() -> argparse.ArgumentParser:
+    """``--telemetry FILE`` parent parser (digital-twin commands)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="FILE",
+        dest="telemetry_path",
+        help="repro-telemetry/1 JSONL stream (see repro.twin / docs §16)",
+    )
+    return parent
+
+
+def _calibration_options() -> argparse.ArgumentParser:
+    """``--calibration FILE`` parent parser (profile-as-data)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--calibration",
+        default=None,
+        metavar="FILE",
+        dest="calibration_path",
+        help=(
+            "repro-calibration/1 profile JSON (e.g. written by "
+            "'repro calibrate --out'); default: the built-in MI250X profile"
         ),
     )
     return parent
@@ -335,7 +374,14 @@ def _build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser(
         "report",
         help="run one artifact with spans on and write a run report",
-        parents=sweep_parents,
+        parents=sweep_parents + [_telemetry_options(), _calibration_options()],
+    )
+    report.add_argument(
+        "--window",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="event-time window for the --telemetry drift section",
     )
     report.add_argument(
         "artifact",
@@ -358,7 +404,7 @@ def _build_parser() -> argparse.ArgumentParser:
     explain = sub.add_parser(
         "explain",
         help="run one artifact with spans on and print critical-path blame",
-        parents=sweep_parents,
+        parents=sweep_parents + [_calibration_options()],
     )
     explain.add_argument(
         "artifact",
@@ -406,6 +452,74 @@ def _build_parser() -> argparse.ArgumentParser:
         default=10,
         metavar="N",
         help="blame entries to show with --explain (default: 10)",
+    )
+
+    shadow = sub.add_parser(
+        "shadow",
+        help="replay a telemetry stream and report per-link model drift",
+        parents=[
+            _runner_options(),
+            _backend_options(),
+            _topology_options(),
+            _telemetry_options(),
+            _calibration_options(),
+            _json_options(),
+        ],
+    )
+    shadow.add_argument(
+        "--window",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="replay in event-time windows of this length (default: one window)",
+    )
+    shadow.add_argument(
+        "--alert-threshold",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="per-dimension |drift| that raises an alert (default: 0.05)",
+    )
+    shadow.add_argument(
+        "--top",
+        type=int,
+        default=8,
+        metavar="N",
+        help="per-link rows to print (default: 8)",
+    )
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="fit calibration efficiency constants to a telemetry stream",
+        parents=[
+            _topology_options(),
+            _telemetry_options(),
+            _calibration_options(),
+            _json_options(),
+        ],
+    )
+    calibrate.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the fitted repro-calibration/1 profile JSON here",
+    )
+    calibrate.add_argument(
+        "--fields",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help=(
+            "fit only this efficiency field (repeatable; default: every "
+            "field the stream is sensitive to)"
+        ),
+    )
+    calibrate.add_argument(
+        "--max-passes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="coordinate-descent passes over the fields (default: 4)",
     )
 
     perf = sub.add_parser(
@@ -506,6 +620,43 @@ def _load_fault_scenario(args: argparse.Namespace):
         return FaultScenario.load(path), None
     except (OSError, ConfigurationError, ValueError) as exc:
         print(f"error: cannot load scenario: {exc}", file=sys.stderr)
+        return None, 2
+
+
+def _load_telemetry_arg(args: argparse.Namespace, *, required: bool = False):
+    """Load ``--telemetry FILE`` if given; ``(stream, exit_code)``."""
+    path = getattr(args, "telemetry_path", None)
+    if path is None:
+        if required:
+            print(
+                f"error: {args.command} requires --telemetry FILE",
+                file=sys.stderr,
+            )
+            return None, 2
+        return None, None
+    from .errors import TelemetryError
+    from .twin.schema import load_telemetry
+
+    try:
+        return load_telemetry(path), None
+    except (OSError, TelemetryError, ValueError) as exc:
+        print(f"error: cannot load telemetry: {exc}", file=sys.stderr)
+        return None, 2
+
+
+def _load_calibration_arg(args: argparse.Namespace):
+    """Load ``--calibration FILE`` if given; ``(profile, exit_code)``."""
+    path = getattr(args, "calibration_path", None)
+    if path is None:
+        return None, None
+    from .core.calibration import load_profile
+    from .errors import CalibrationError
+
+    try:
+        profile, _provenance = load_profile(path)
+        return profile, None
+    except (OSError, CalibrationError, ValueError) as exc:
+        print(f"error: cannot load calibration: {exc}", file=sys.stderr)
         return None, 2
 
 
@@ -799,6 +950,9 @@ def _cmd_report(
     faults: Any = None,
     topology: Any = None,
     algorithm: str | None = None,
+    calibration_path: str | None = None,
+    telemetry: Any = None,
+    window: float | None = None,
 ) -> int:
     from . import obs
     from .errors import BenchmarkError
@@ -816,6 +970,11 @@ def _cmd_report(
             faults=faults,
             topology=topology,
             algorithm=algorithm,
+            # The path (not the loaded profile) keeps the file's
+            # provenance block in the report's calibration section.
+            calibration=calibration_path,
+            telemetry=telemetry,
+            window=window,
         )
     except BenchmarkError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -828,6 +987,23 @@ def _cmd_report(
         print(f"wrote {path}")
     print()
     print(report["explain"])
+    cal = report.get("calibration") or {}
+    line = (
+        f"calibration: {cal.get('source', 'default')} "
+        f"({str(cal.get('fingerprint', ''))[:12]})"
+    )
+    if "final_rms" in cal:
+        line += f", residual RMS {float(cal['final_rms']):.3%}"
+    print(line)
+    drift = report.get("drift")
+    if drift:
+        overall = drift.get("overall") or {}
+        print(
+            f"shadow drift vs {drift.get('telemetry')!r}: "
+            f"mean |e| {float(overall.get('mean_abs_drift', 0.0)):.3%}, "
+            f"max |e| {float(drift.get('max_abs_drift', 0.0)):.3%}, "
+            f"{len(drift.get('alerts') or [])} alert(s)"
+        )
     validation = report.get("validation")
     if validation is not None and not validation["passed"]:
         print(
@@ -848,9 +1024,11 @@ def _cmd_explain(
     topology: Any = None,
     algorithm: str | None = None,
     json_out: str | None = None,
+    calibration_path: str | None = None,
 ) -> int:
     from . import obs
     from .errors import BenchmarkError
+    from .obs.report import calibration_block
 
     experiment_id = _check_artifact(artifact)
     if experiment_id is None:
@@ -871,14 +1049,27 @@ def _cmd_explain(
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    cal = calibration_block(calibration_path)
+    cal_line = (
+        f"calibration: {cal.get('source', 'default')} "
+        f"({str(cal.get('fingerprint', ''))[:12]})"
+    )
+    if "final_rms" in cal:
+        cal_line += f", residual RMS {float(cal['final_rms']):.3%}"
     if json_out is not None:
         _emit_json(
-            {"artifact": experiment_id, "span": span_id, "explain": text},
+            {
+                "artifact": experiment_id,
+                "span": span_id,
+                "explain": text,
+                "calibration": cal,
+            },
             json_out,
         )
         if json_out == "-":
             return 0
     print(text)
+    print(cal_line)
     return 0
 
 
@@ -939,6 +1130,80 @@ def _cmd_inject(
                     experiment_id, jobs=runner.jobs, top=top, faults=scenario
                 )
             )
+    return 0
+
+
+def _cmd_shadow(
+    telemetry: Any,
+    calibration: Any,
+    topology: Any,
+    window: float | None,
+    alert_threshold: float | None,
+    top: int,
+    runner,
+    cache_stats: bool = False,
+    json_out: str | None = None,
+) -> int:
+    from .errors import TelemetryError
+    from .twin.replay import DEFAULT_ALERT_THRESHOLD, shadow_replay
+
+    try:
+        report = shadow_replay(
+            telemetry,
+            topology=topology,
+            calibration=calibration,
+            window=window,
+            alert_threshold=(
+                alert_threshold
+                if alert_threshold is not None
+                else DEFAULT_ALERT_THRESHOLD
+            ),
+            runner=runner,
+        )
+    except TelemetryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if json_out is not None:
+        _emit_json(report.to_json(), json_out)
+    if json_out != "-":
+        print(report.describe(top=top))
+    if cache_stats and runner is not None:
+        print(runner.stats.describe())
+    # Drift above threshold is the condition shadow mode exists to
+    # surface — make it the exit status so CI can gate on it.
+    return 1 if report.alerts else 0
+
+
+def _cmd_calibrate(
+    telemetry: Any,
+    base: Any,
+    topology: Any,
+    fields: list[str] | None,
+    max_passes: int | None,
+    out: str | None,
+    json_out: str | None = None,
+) -> int:
+    from .core.calibration import dump_profile
+    from .errors import CalibrationError, TelemetryError
+    from .twin.calibrate import fit_calibration
+
+    kwargs: dict[str, Any] = {}
+    if max_passes is not None:
+        kwargs["max_passes"] = max_passes
+    try:
+        fit = fit_calibration(
+            telemetry, topology=topology, base=base, fields=fields, **kwargs
+        )
+    except (CalibrationError, TelemetryError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if json_out is not None:
+        _emit_json(fit.to_json(), json_out)
+    if json_out != "-":
+        print(fit.describe())
+    if out is not None:
+        dump_profile(fit.profile, out, provenance=fit.provenance())
+        print(f"wrote {out}")
     return 0
 
 
@@ -1022,6 +1287,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         topology, error = _load_topology_arg(args)
         if error is not None:
             return error
+        telemetry, error = _load_telemetry_arg(args)
+        if error is not None:
+            return error
+        _, error = _load_calibration_arg(args)  # validate the file early
+        if error is not None:
+            return error
         return _cmd_report(
             args.artifact,
             args.out,
@@ -1031,12 +1302,18 @@ def main(argv: Sequence[str] | None = None) -> int:
             faults=scenario,
             topology=topology,
             algorithm=args.algorithm,
+            calibration_path=args.calibration_path,
+            telemetry=telemetry,
+            window=args.window,
         )
     if args.command == "explain":
         scenario, error = _load_fault_scenario(args)
         if error is not None:
             return error
         topology, error = _load_topology_arg(args)
+        if error is not None:
+            return error
+        _, error = _load_calibration_arg(args)  # validate the file early
         if error is not None:
             return error
         return _cmd_explain(
@@ -1048,6 +1325,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             topology=topology,
             algorithm=args.algorithm,
             json_out=args.json_out,
+            calibration_path=args.calibration_path,
         )
     if args.command == "inject":
         if scenario is None:
@@ -1063,6 +1341,49 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.explain,
             args.top,
             runner=_make_runner(args, faults=scenario, topology=topology),
+            json_out=args.json_out,
+        )
+    if args.command == "shadow":
+        telemetry, error = _load_telemetry_arg(args, required=True)
+        if error is not None:
+            return error
+        calibration, error = _load_calibration_arg(args)
+        if error is not None:
+            return error
+        topology, error = _load_topology_arg(args)
+        if error is not None:
+            return error
+        from .runner import SweepRunner
+
+        runner = SweepRunner(args.jobs, use_cache=not args.no_cache)
+        return _cmd_shadow(
+            telemetry,
+            calibration,
+            topology,
+            args.window,
+            args.alert_threshold,
+            args.top,
+            runner,
+            cache_stats=args.cache_stats,
+            json_out=args.json_out,
+        )
+    if args.command == "calibrate":
+        telemetry, error = _load_telemetry_arg(args, required=True)
+        if error is not None:
+            return error
+        base, error = _load_calibration_arg(args)
+        if error is not None:
+            return error
+        topology, error = _load_topology_arg(args)
+        if error is not None:
+            return error
+        return _cmd_calibrate(
+            telemetry,
+            base,
+            topology,
+            args.fields,
+            args.max_passes,
+            args.out,
             json_out=args.json_out,
         )
     if args.command == "perf":

@@ -389,3 +389,136 @@ class CalibrationProfile:
 
 #: Shared default profile.  Immutable, so sharing is safe.
 DEFAULT_CALIBRATION = CalibrationProfile.default()
+
+
+# -- profile serialization --------------------------------------------------
+
+#: Schema tag of serialized calibration profiles.
+CALIBRATION_SCHEMA = "repro-calibration/1"
+
+_PROFILE_FIELDS = {"schema", "fingerprint", "provenance", "constants"}
+_PROVENANCE_FIELDS = {
+    "source",
+    "telemetry",
+    "telemetry_fingerprint",
+    "fitted_fields",
+    "initial_rms",
+    "final_rms",
+    "evaluations",
+}
+
+
+def profile_to_json(
+    profile: CalibrationProfile,
+    *,
+    provenance: Mapping[str, object] | None = None,
+) -> dict:
+    """Serialize a profile (every constant) plus optional provenance.
+
+    ``provenance`` records where the constants came from — ``source``
+    is ``"default"`` for the built-in MI250X profile or
+    ``"fitted-from-telemetry"`` for an auto-calibrated one, in which
+    case the telemetry fingerprint and residual summary ride along so
+    reports can show *why* the model predicts what it predicts.
+    """
+    import dataclasses
+
+    constants: dict[str, object] = {}
+    for field_ in dataclasses.fields(profile):
+        value = getattr(profile, field_.name)
+        if isinstance(value, Mapping):
+            value = {key: value[key] for key in sorted(value)}
+        constants[field_.name] = value
+    entry: dict[str, object] = {
+        "schema": CALIBRATION_SCHEMA,
+        "fingerprint": profile.fingerprint(),
+        "constants": constants,
+    }
+    if provenance is not None:
+        unknown = set(provenance) - _PROVENANCE_FIELDS
+        if unknown:
+            raise CalibrationError(
+                f"unknown provenance field(s): {', '.join(sorted(unknown))}"
+            )
+        entry["provenance"] = dict(provenance)
+    return entry
+
+
+def profile_from_json(entry: object) -> tuple[CalibrationProfile, dict]:
+    """Parse a serialized profile; returns ``(profile, provenance)``.
+
+    Validation is strict (unknown keys rejected, schema tag required)
+    and the stored fingerprint must match the reconstructed profile's,
+    so a hand-edited constant that forgot to drop the fingerprint is
+    caught instead of silently keying the result cache wrong.
+    """
+    import dataclasses
+
+    if not isinstance(entry, Mapping):
+        raise CalibrationError(
+            f"calibration profile must be a JSON object, got {type(entry).__name__}"
+        )
+    unknown = set(entry) - _PROFILE_FIELDS
+    if unknown:
+        raise CalibrationError(
+            f"unknown calibration profile field(s): {', '.join(sorted(unknown))}"
+        )
+    schema = entry.get("schema")
+    if schema != CALIBRATION_SCHEMA:
+        raise CalibrationError(
+            f"unsupported calibration schema {schema!r} "
+            f"(expected {CALIBRATION_SCHEMA!r})"
+        )
+    constants = entry.get("constants")
+    if not isinstance(constants, Mapping):
+        raise CalibrationError("calibration profile needs a 'constants' object")
+    known = {field_.name for field_ in dataclasses.fields(CalibrationProfile)}
+    unknown = set(constants) - known
+    if unknown:
+        raise CalibrationError(
+            f"unknown calibration constant(s): {', '.join(sorted(unknown))}"
+        )
+    profile = CalibrationProfile(**dict(constants))
+    declared = entry.get("fingerprint")
+    if declared is not None and declared != profile.fingerprint():
+        raise CalibrationError(
+            "calibration fingerprint mismatch: profile constants were "
+            "edited without refreshing (or removing) the stored fingerprint"
+        )
+    provenance = entry.get("provenance", {})
+    if not isinstance(provenance, Mapping):
+        raise CalibrationError("calibration provenance must be a JSON object")
+    unknown = set(provenance) - _PROVENANCE_FIELDS
+    if unknown:
+        raise CalibrationError(
+            f"unknown provenance field(s): {', '.join(sorted(unknown))}"
+        )
+    return profile, dict(provenance)
+
+
+def dump_profile(
+    profile: CalibrationProfile,
+    path: object,
+    *,
+    provenance: Mapping[str, object] | None = None,
+) -> None:
+    """Write a profile as pretty-printed JSON to ``path``."""
+    import json
+    import pathlib
+
+    text = json.dumps(
+        profile_to_json(profile, provenance=provenance), indent=2, sort_keys=True
+    )
+    pathlib.Path(path).write_text(text + "\n", encoding="utf-8")
+
+
+def load_profile(path: object) -> tuple[CalibrationProfile, dict]:
+    """Load a profile written by :func:`dump_profile`."""
+    import json
+    import pathlib
+
+    try:
+        entry = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise CalibrationError(f"calibration profile is not valid JSON: {exc}")
+    return profile_from_json(entry)

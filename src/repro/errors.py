@@ -123,3 +123,7 @@ class BenchmarkError(ReproError):
 
 class CalibrationError(ReproError):
     """A calibration profile is incomplete or out of its valid range."""
+
+
+class TelemetryError(ReproError):
+    """A telemetry stream is malformed or cannot be replayed."""

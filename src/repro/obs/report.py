@@ -38,6 +38,53 @@ from .perfetto import build_provenance
 _TABLE_ROWS = 20
 
 
+def _resolve_calibration_arg(calibration: Any) -> tuple[Any, dict[str, Any]]:
+    """``(profile, provenance)`` from a profile object or a JSON path."""
+    from ..core.calibration import CalibrationProfile, load_profile
+
+    if isinstance(calibration, CalibrationProfile):
+        return calibration, {}
+    return load_profile(calibration)
+
+
+def calibration_block(
+    calibration: Any = None,
+) -> dict[str, Any]:
+    """The report's calibration provenance section.
+
+    ``source`` is ``"default"`` for the built-in MI250X constants,
+    ``"fitted-from-telemetry"`` (with the telemetry fingerprint and
+    residual summary) for a profile written by ``repro calibrate``,
+    and ``"custom"`` for any other profile.
+    """
+    from ..core.calibration import DEFAULT_CALIBRATION
+
+    if calibration is None:
+        return {
+            "source": "default",
+            "fingerprint": DEFAULT_CALIBRATION.fingerprint(),
+        }
+    profile, provenance = _resolve_calibration_arg(calibration)
+    block: dict[str, Any] = {
+        "source": provenance.get(
+            "source",
+            "default" if profile == DEFAULT_CALIBRATION else "custom",
+        ),
+        "fingerprint": profile.fingerprint(),
+    }
+    for key in (
+        "telemetry",
+        "telemetry_fingerprint",
+        "fitted_fields",
+        "initial_rms",
+        "final_rms",
+        "evaluations",
+    ):
+        if key in provenance:
+            block[key] = provenance[key]
+    return block
+
+
 def collect_report(
     artifact: str,
     *,
@@ -48,6 +95,9 @@ def collect_report(
     faults: Any = None,
     topology: Any = None,
     algorithm: str | None = None,
+    calibration: Any = None,
+    telemetry: Any = None,
+    window: float | None = None,
 ) -> dict[str, Any]:
     """Run one artifact with span capture and assemble the report data.
 
@@ -58,6 +108,11 @@ def collect_report(
     fault injection — ``repro inject`` — and stamps the scenario into
     the report; the validation battery still runs healthy, it checks
     the simulator, not the scenario.
+
+    ``calibration`` (a profile or a ``repro-calibration/1`` JSON path)
+    stamps the calibration block; ``telemetry`` (a stream or JSONL
+    path) additionally shadow-replays the stream under that profile —
+    windowed by ``window`` seconds — and attaches the drift ledger.
     """
     from .. import figures
     from ..core.validation import validate_node
@@ -84,6 +139,24 @@ def collect_report(
     if validate:
         validation = validate_node(runner=SweepRunner(jobs)).as_dict()
 
+    profile = None
+    if calibration is not None:
+        profile, _ = _resolve_calibration_arg(calibration)
+
+    drift: dict[str, Any] | None = None
+    if telemetry is not None:
+        from ..twin.replay import shadow_replay
+        from ..twin.schema import TelemetryStream, load_telemetry
+
+        stream = (
+            telemetry
+            if isinstance(telemetry, TelemetryStream)
+            else load_telemetry(telemetry)
+        )
+        drift = shadow_replay(
+            stream, topology=topology, calibration=profile, window=window
+        ).to_json()
+
     report: dict[str, Any] = {
         "artifact": experiment_id,
         "paper_artifact": experiment.paper_artifact,
@@ -100,7 +173,11 @@ def collect_report(
         "explain": path.format(top=top),
         "channels": channels,
         "validation": validation,
-        "provenance": build_provenance(extra={"artifact": experiment_id}),
+        "calibration": calibration_block(calibration),
+        "drift": drift,
+        "provenance": build_provenance(
+            calibration=profile, extra={"artifact": experiment_id}
+        ),
         "faults": (
             {
                 "name": faults.name,
@@ -302,6 +379,69 @@ def render_html(report: Mapping[str, Any]) -> str:
         out.append("</table>")
     else:
         out.append("<p>validation skipped.</p>")
+
+    cal = report.get("calibration")
+    if cal:
+        out.append("<h2>Calibration</h2>")
+        bits = [
+            f"source: <b>{e(str(cal.get('source', 'default')))}</b>",
+            f"fingerprint: <code>{e(str(cal.get('fingerprint', ''))[:16])}</code>",
+        ]
+        if "final_rms" in cal:
+            bits.append(
+                f"residual RMS {float(cal.get('initial_rms', 0.0)) * 100:.2f}%"
+                f" &rarr; {float(cal['final_rms']) * 100:.2f}%"
+            )
+        if "telemetry" in cal:
+            bits.append(f"fitted from <code>{e(str(cal['telemetry']))}</code>")
+        out.append(f"<p>{' · '.join(bits)}</p>")
+
+    drift = report.get("drift")
+    if drift:
+        out.append("<h2>Digital-twin drift</h2>")
+        overall = drift.get("overall") or {}
+        out.append(
+            f"<p>telemetry <code>{e(str(drift.get('telemetry', '')))}</code>: "
+            f"{int(drift.get('record_count', 0))} record(s), "
+            f"{len(drift.get('windows', []))} window(s); "
+            f"mean |drift| {float(overall.get('mean_abs_drift', 0.0)) * 100:.2f}%, "
+            f"max {float(drift.get('max_abs_drift', 0.0)) * 100:.2f}%.</p>"
+        )
+        by_link = drift.get("by_link") or {}
+        if by_link:
+            ranked = sorted(
+                by_link.items(),
+                key=lambda item: -float(item[1].get("max_abs_drift", 0.0)),
+            )
+            threshold = float(drift.get("alert_threshold", 0.0))
+            out.append(
+                "<table><tr><th>link</th><th class='num'>records</th>"
+                "<th class='num'>mean |drift|</th>"
+                "<th class='num'>max |drift|</th><th></th></tr>"
+            )
+            for name, stat in ranked[:_TABLE_ROWS]:
+                worst = float(stat.get("max_abs_drift", 0.0))
+                flag = (
+                    "<span class='fail'>ALERT</span>"
+                    if threshold and worst > threshold
+                    else ""
+                )
+                out.append(
+                    f"<tr><td><code>{e(str(name))}</code></td>"
+                    f"<td class='num'>{int(stat.get('count', 0))}</td>"
+                    f"<td class='num'>"
+                    f"{float(stat.get('mean_abs_drift', 0.0)) * 100:.2f}%</td>"
+                    f"<td class='num'>{worst * 100:.2f}%</td>"
+                    f"<td>{flag}</td></tr>"
+                )
+            out.append("</table>")
+        alerts = drift.get("alerts") or []
+        if alerts:
+            out.append(
+                f"<p class='fail'>{len(alerts)} drift alert(s) above the "
+                f"{float(drift.get('alert_threshold', 0.0)) * 100:.1f}% "
+                "threshold.</p>"
+            )
 
     out.append("<h2>Artifact report</h2>")
     out.append(f"<pre>{e(str(report.get('report_text', '')))}</pre>")

@@ -253,12 +253,13 @@ def _run_cluster_churn(
 
 
 def bench_solver_scaling(
-    node_counts: tuple[int, ...] = (1, 4, 16, 64), *, repeats: int = REPEATS
+    node_counts: tuple[int, ...] = (2, 4, 16, 64), *, repeats: int = REPEATS
 ) -> dict[str, Any]:
     """Dirty-set vs full-component re-level across cluster sizes.
 
-    Sweeps :func:`~repro.topology.presets.mi250x_cluster` from 8 to
-    512 GCDs (``node_counts`` × 8) and reports per-size churn
+    Sweeps :func:`~repro.topology.presets.mi250x_cluster` from 16 to
+    512 GCDs (``node_counts`` × 8; the preset refuses single-node
+    "clusters") and reports per-size churn
     throughput under both solver strategies.  ``rows[-1]`` (the largest
     cluster) is surfaced as the ``flow_churn_large`` headline; its
     ``speedup`` is the acceptance number — the dirty-set path must stay
@@ -706,6 +707,44 @@ def bench_sweep_parallel(*, jobs: int | None = None) -> dict[str, Any]:
     }
 
 
+def bench_shadow_replay(
+    *, smoke: bool = False, repeats: int = REPEATS
+) -> dict[str, Any]:
+    """Windowed digital-twin replay throughput (``repro shadow``).
+
+    Synthesizes fig06 telemetry once (outside the timed region), then
+    replays it in event-time windows measuring end-to-end ledger
+    assembly: record→point mapping, re-simulation, drift attribution
+    along routed paths.  ``shadow_replay_windows_per_second`` is the
+    acceptance number — shadow mode must keep up with a telemetry
+    feed, not lag it.
+    """
+    from ..twin.replay import shadow_replay
+    from ..twin.synthesize import synthesize_telemetry
+
+    stream = synthesize_telemetry("fig06")
+    window_count = 4 if smoke else 16
+    window = stream.span / window_count
+    windows = len(stream.windows(window))
+
+    def run() -> float:
+        t0 = time.perf_counter()
+        report = shadow_replay(stream, window=window)
+        elapsed = time.perf_counter() - t0
+        assert report.max_abs_drift == 0.0  # synthetic round trip is exact
+        return elapsed
+
+    elapsed = _best_of(run, repeats)
+    return {
+        "records": len(stream),
+        "windows": windows,
+        "window_seconds": window,
+        "wall_seconds": elapsed,
+        "records_per_second": len(stream) / elapsed,
+        "shadow_replay_windows_per_second": windows / elapsed,
+    }
+
+
 def bench_cache_hit(*, smoke: bool = False) -> dict[str, Any]:
     """Cold vs warm sweep against a throwaway result cache."""
     from ..runner import ResultCache, SweepRunner
@@ -763,6 +802,11 @@ _HEADLINE_SPEC: tuple[tuple[str, str, str], ...] = (
     ("figure_sweep_seconds", "figure_sweep", "wall_seconds"),
     ("sweep_parallel_speedup", "sweep_parallel", "speedup"),
     ("cache_hit_speedup", "cache_hit", "speedup"),
+    (
+        "shadow_replay_windows_per_second",
+        "shadow_replay",
+        "shadow_replay_windows_per_second",
+    ),
 )
 
 
@@ -803,11 +847,14 @@ def suite_sections(
         # sweeps to 512 GCDs (the acceptance point for dirty-set
         # re-leveling).
         "solver_scaling": lambda: bench_solver_scaling(
-            (1, 16) if smoke else (1, 4, 16, 64), repeats=repeats
+            (2, 16) if smoke else (2, 4, 16, 64), repeats=repeats
         ),
         "figure_sweep": lambda: bench_figure_sweep(smoke=smoke),
         "sweep_parallel": lambda: bench_sweep_parallel(),
         "cache_hit": lambda: bench_cache_hit(smoke=smoke),
+        "shadow_replay": lambda: bench_shadow_replay(
+            smoke=smoke, repeats=repeats
+        ),
     }
 
 
@@ -937,6 +984,11 @@ def format_report(report: dict[str, Any]) -> str:
             "cache_hit",
             lambda r: f"  cache hit        {r['speedup']:>12.2f} x "
             f"(warm over cold, {r['points']} points)",
+        ),
+        (
+            "shadow_replay",
+            lambda r: f"  shadow replay    {r['shadow_replay_windows_per_second']:>12,.1f} windows/s "
+            f"({r['records']} records, {r['windows']} windows)",
         ),
     )
     lines = [

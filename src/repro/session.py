@@ -171,6 +171,22 @@ def _fold_flat_obs_kwargs(
     )
 
 
+def _resolve_telemetry(telemetry: Any):
+    """Coerce ``Session(telemetry=...)`` into a TelemetryStream."""
+    if telemetry is None:
+        return None
+    from .twin.schema import TelemetryStream, load_telemetry
+
+    if isinstance(telemetry, TelemetryStream):
+        return telemetry
+    if isinstance(telemetry, (str, bytes)) or hasattr(telemetry, "__fspath__"):
+        return load_telemetry(telemetry)
+    raise ConfigurationError(
+        f"telemetry must be a TelemetryStream or a JSONL file path, "
+        f"got {telemetry!r}"
+    )
+
+
 class Session:
     """One fully-wired simulated machine plus its software stack.
 
@@ -216,6 +232,12 @@ class Session:
         (topology-aware selection).  ``None`` (the default) defers to
         an ambient :func:`repro.rccl.install_algorithm` context, then
         to the paper-faithful ring.
+    telemetry:
+        A machine telemetry stream for digital-twin shadow mode — a
+        :class:`~repro.twin.TelemetryStream` or the path of a
+        ``repro-telemetry/1`` JSONL file.  Stored for :meth:`shadow`
+        and :meth:`calibrate`; it does not change how the session
+        simulates.
     trace, trace_capacity, metrics, metrics_capacity, spans:
         .. deprecated:: 0.7
             The pre-v1 flat spellings of ``obs=ObsConfig(...)``.
@@ -235,6 +257,7 @@ class Session:
         coherence: CoherencePolicy | None = None,
         faults: Any = None,
         rccl_algorithm: str | None = None,
+        telemetry: Any = None,
         trace: bool | None = None,
         trace_capacity: int | None = None,
         metrics: Any = None,
@@ -262,6 +285,7 @@ class Session:
 
             check_algorithm(rccl_algorithm)
         self.rccl_algorithm = rccl_algorithm
+        self.telemetry = _resolve_telemetry(telemetry)
         self.topology = resolve_topology(topology)
         if env is None:
             try:
@@ -429,6 +453,73 @@ class Session:
             faults=faults,
             topology=resolve_topology(topology) if topology is not None else None,
             algorithm=algorithm,
+        )
+
+    # -- digital twin -----------------------------------------------------------
+
+    def _twin_stream(self, telemetry: Any):
+        stream = (
+            _resolve_telemetry(telemetry) if telemetry is not None else self.telemetry
+        )
+        if stream is None:
+            raise ConfigurationError(
+                "no telemetry: pass telemetry= here or at Session construction"
+            )
+        return stream
+
+    def shadow(
+        self,
+        telemetry: Any = None,
+        *,
+        window: float | None = None,
+        alert_threshold: float | None = None,
+        runner: Any = None,
+        metrics: Any = None,
+    ):
+        """Shadow-replay telemetry against this session's configuration.
+
+        Re-simulates the stream (the session's own from
+        ``telemetry=`` at construction, or the one passed here) under
+        this session's topology and calibration, and returns the
+        :class:`~repro.twin.ShadowReport` drift ledger.  ``window``
+        partitions the replay into event-time windows; ``runner``
+        routes the per-window grids through a
+        :class:`~repro.runner.SweepRunner` (caching, spans, faults);
+        ``metrics`` receives per-link/tier/interface ``drift/...``
+        time series.
+        """
+        from .twin.replay import DEFAULT_ALERT_THRESHOLD, shadow_replay
+
+        return shadow_replay(
+            self._twin_stream(telemetry),
+            topology=self.topology,
+            calibration=self.node.calibration,
+            window=window,
+            alert_threshold=(
+                alert_threshold
+                if alert_threshold is not None
+                else DEFAULT_ALERT_THRESHOLD
+            ),
+            runner=runner,
+            metrics=metrics,
+        )
+
+    def calibrate(self, telemetry: Any = None, **kwargs: Any):
+        """Fit calibration constants to telemetry on this topology.
+
+        Starts from this session's profile and returns the
+        :class:`~repro.twin.CalibrationFit`; keyword arguments flow
+        through to :func:`repro.twin.fit_calibration` (``fields=``,
+        ``max_passes=``, …).  The session itself is unchanged — build
+        a new one with ``calibration=fit.profile`` to adopt the fit.
+        """
+        from .twin.calibrate import fit_calibration
+
+        return fit_calibration(
+            self._twin_stream(telemetry),
+            topology=self.topology,
+            base=self.node.calibration,
+            **kwargs,
         )
 
     # -- introspection ----------------------------------------------------------

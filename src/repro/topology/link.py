@@ -123,15 +123,31 @@ class Link:
     Fabric link are independent 50 GB/s (or 36 GB/s) channels, which is
     why the paper reports "50+50 GB/s".  The simulator therefore tracks
     flow occupancy per direction (see :mod:`repro.sim.fairshare`).
+
+    ``capacity_override`` replaces the tier's peak per-direction
+    bandwidth (bytes/s) for this one edge.  Real MI250X nodes show
+    per-link heterogeneity the fixed tier table cannot express
+    (Pearson 2023); an override lets a measured or calibrated capacity
+    be carried as data while the tier keeps describing the physical
+    bundle (width, endpoint rules, routing preferences).
     """
 
     a: LinkEndpoint
     b: LinkEndpoint
     tier: LinkTier
+    capacity_override: float | None = None
 
     def __post_init__(self) -> None:
         if self.a == self.b:
             raise TopologyError(f"self-link at {self.a}")
+        if self.capacity_override is not None:
+            override = float(self.capacity_override)
+            if not override > 0.0 or override != override or override == float("inf"):
+                raise TopologyError(
+                    f"link capacity override must be a positive finite "
+                    f"bytes/s value, got {self.capacity_override!r}"
+                )
+            object.__setattr__(self, "capacity_override", override)
         if self.tier is LinkTier.CPU:
             kinds = {self.a.kind, self.b.kind}
             if kinds != {"gcd", "numa"}:
@@ -156,13 +172,15 @@ class Link:
 
     @property
     def capacity_per_direction(self) -> float:
-        """Peak bytes/s in one direction."""
+        """Peak bytes/s in one direction (override, else tier peak)."""
+        if self.capacity_override is not None:
+            return self.capacity_override
         return self.tier.peak_unidirectional
 
     @property
     def capacity_bidirectional(self) -> float:
         """Peak bytes/s summed over both directions."""
-        return self.tier.peak_bidirectional
+        return 2.0 * self.capacity_per_direction
 
     @property
     def is_cpu_link(self) -> bool:

@@ -326,7 +326,12 @@ class NodeTopology:
         edges = []
         for link in self.links():
             a, b = sorted((link.a, link.b))
-            edges.append(f"link:{a}:{b}:{link.tier.name}")
+            part = f"link:{a}:{b}:{link.tier.name}"
+            # Appended only when set so every pre-override fingerprint
+            # (and thus every cached result) stays stable.
+            if link.capacity_override is not None:
+                part += f":{float(link.capacity_override).hex()}"
+            edges.append(part)
         parts.extend(sorted(edges))
         return hashlib.sha256("\n".join(parts).encode()).hexdigest()
 
@@ -350,10 +355,29 @@ class NodeTopologyBuilder:
         self._numa.append(info)
         return self
 
-    def connect_gcds(self, a: int, b: int, width: int) -> "NodeTopologyBuilder":
-        """Add a GCD-GCD bundle of ``width`` xGMI links."""
+    def connect_gcds(
+        self,
+        a: int,
+        b: int,
+        width: int,
+        *,
+        capacity_gbps: float | None = None,
+    ) -> "NodeTopologyBuilder":
+        """Add a GCD-GCD bundle of ``width`` xGMI links.
+
+        ``capacity_gbps`` overrides the tier's per-direction peak for
+        this one edge (Pearson-style bandwidth heterogeneity).
+        """
         tier = LinkTier.from_width(width)
-        self._links.append(Link(LinkEndpoint.gcd(a), LinkEndpoint.gcd(b), tier))
+        override = None if capacity_gbps is None else float(capacity_gbps) * 1e9
+        self._links.append(
+            Link(
+                LinkEndpoint.gcd(a),
+                LinkEndpoint.gcd(b),
+                tier,
+                capacity_override=override,
+            )
+        )
         return self
 
     def connect_cpu(self, gcd: int, numa: int) -> "NodeTopologyBuilder":

@@ -28,6 +28,8 @@ JSON schema (``load_topology``/``dump_topology``)::
       "links": [
         {"a": "gcd0", "b": "gcd1", "tier": "quad",
          "capacity_per_direction": 200.0e9},
+        {"a": "gcd2", "b": "gcd3", "tier": "quad",
+         "capacity_gbps": 168.0},
         {"a": "gcd0", "b": "numa0", "tier": "cpu"},
         {"a": "numa0", "b": "numa4", "tier": "nic"}
       ]
@@ -38,10 +40,13 @@ strings (``"gcd3"``, ``"numa2"``); tiers are the lowercase
 :class:`~repro.topology.link.LinkTier` names (``single``/``dual``/
 ``quad``/``cpu``/``nic``).  Every per-GCD and per-NUMA hardware field
 is optional and defaults to the MI250X values; the dumper writes all
-of them so committed files are self-describing.  Two *informative*
-fields are validated against the model rather than stored:
-``capacity_per_direction`` on a link must match its tier's peak
-(capacities are a property of the tier in ``repro-topology/1``), and
+of them so committed files are self-describing.  A link may carry an
+optional ``capacity_gbps`` override (GB/s per direction) replacing its
+tier's peak for that one edge — how Pearson-style bandwidth
+heterogeneity is expressed as data.  Two *informative* fields are
+validated against the model rather than stored:
+``capacity_per_direction`` on a link must match its effective capacity
+(the tier's peak, or the ``capacity_gbps`` override when present), and
 ``sdma_engines`` on a GCD must be 2 (the in/out engine pair the
 hardware model implements).  Unknown keys anywhere are an error — a
 typo must not silently change a machine description.
@@ -80,7 +85,7 @@ _GCD_FIELDS = {
     "sdma_engines",
 }
 _NUMA_FIELDS = {"index", "dram_bytes", "dram_peak_bw", "dram_latency"}
-_LINK_FIELDS = {"a", "b", "tier", "capacity_per_direction"}
+_LINK_FIELDS = {"a", "b", "tier", "capacity_per_direction", "capacity_gbps"}
 _TOP_FIELDS = {"schema", "name", "gcds", "numa_domains", "links"}
 
 
@@ -173,15 +178,35 @@ def _link_from_json(entry: Any) -> Link:
         raise TopologyError(
             f"unknown link tier {tier_name!r} (known: {known})"
         ) from None
-    link = Link(parse_endpoint(entry["a"]), parse_endpoint(entry["b"]), tier)
+    override = None
+    if "capacity_gbps" in entry:
+        declared_gbps = entry["capacity_gbps"]
+        if isinstance(declared_gbps, bool) or not isinstance(
+            declared_gbps, (int, float)
+        ):
+            raise TopologyError(
+                f"link capacity_gbps must be a number, got {declared_gbps!r}"
+            )
+        if not float(declared_gbps) > 0.0:
+            raise TopologyError(
+                f"link capacity_gbps must be positive, got {declared_gbps!r}"
+            )
+        override = float(declared_gbps) * 1e9
+    link = Link(
+        parse_endpoint(entry["a"]),
+        parse_endpoint(entry["b"]),
+        tier,
+        capacity_override=override,
+    )
     if "capacity_per_direction" in entry:
         declared = float(entry["capacity_per_direction"])
-        if declared != tier.peak_unidirectional:
+        if declared != link.capacity_per_direction:
             raise TopologyError(
                 f"link {link.name}: capacity_per_direction {declared!r} "
-                f"disagrees with the {tier.name.lower()} tier "
-                f"({tier.peak_unidirectional!r} bytes/s); capacities are a "
-                f"property of the tier in {TOPOLOGY_SCHEMA}"
+                f"disagrees with the effective capacity "
+                f"({link.capacity_per_direction!r} bytes/s); it is an "
+                f"informative field derived from the tier (or the "
+                f"capacity_gbps override) in {TOPOLOGY_SCHEMA}"
             )
     return link
 
@@ -251,16 +276,22 @@ def topology_to_json(topology: NodeTopology) -> dict[str, Any]:
             }
             for numa in topology.numa_domains()
         ],
-        "links": [
-            {
-                "a": str(min(link.a, link.b)),
-                "b": str(max(link.a, link.b)),
-                "tier": link.tier.name.lower(),
-                "capacity_per_direction": link.capacity_per_direction,
-            }
-            for link in topology.links()
-        ],
+        "links": [_link_to_json(link) for link in topology.links()],
     }
+
+
+def _link_to_json(link: Link) -> dict[str, Any]:
+    entry: dict[str, Any] = {
+        "a": str(min(link.a, link.b)),
+        "b": str(max(link.a, link.b)),
+        "tier": link.tier.name.lower(),
+    }
+    if link.capacity_override is not None:
+        # Written before the informative capacity so readers see the
+        # override next to the tier it replaces.
+        entry["capacity_gbps"] = link.capacity_override / 1e9
+    entry["capacity_per_direction"] = link.capacity_per_direction
+    return entry
 
 
 def _is_yaml_path(path: Path) -> bool:

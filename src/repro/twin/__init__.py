@@ -1,0 +1,60 @@
+"""Digital-twin shadow mode.
+
+Replays machine telemetry through the simulator and measures *drift* —
+the relative error between what the model predicts and what the
+machine reported — per link, per tier and per interface; and fits the
+calibration profile's efficiency constants to minimize it.
+
+Three layers:
+
+- :mod:`repro.twin.schema` — the ``repro-telemetry/1`` JSONL record
+  format with strict validation;
+- :mod:`repro.twin.replay` — the windowed shadow replayer and its
+  drift ledger;
+- :mod:`repro.twin.calibrate` — the deterministic auto-calibrator.
+
+:mod:`repro.twin.synthesize` closes the loop without hardware: it
+turns any registered figure artifact into a synthetic stream whose
+round trip (synthesize → replay → calibrate) is exact.
+"""
+
+from .calibrate import FIT_BOUNDS, CalibrationFit, fit_calibration
+from .replay import (
+    DEFAULT_ALERT_THRESHOLD,
+    DriftStat,
+    ShadowReplayer,
+    ShadowReport,
+    shadow_replay,
+)
+from .schema import (
+    LATENCY_RECORD_BYTES,
+    TELEMETRY_SCHEMA,
+    TelemetryRecord,
+    TelemetryStream,
+    TelemetryWindow,
+    load_telemetry,
+    loads_telemetry,
+    stream_from_records,
+)
+from .synthesize import perturbed_profile, synthesize_telemetry
+
+__all__ = [
+    "TELEMETRY_SCHEMA",
+    "LATENCY_RECORD_BYTES",
+    "DEFAULT_ALERT_THRESHOLD",
+    "FIT_BOUNDS",
+    "TelemetryRecord",
+    "TelemetryStream",
+    "TelemetryWindow",
+    "load_telemetry",
+    "loads_telemetry",
+    "stream_from_records",
+    "DriftStat",
+    "ShadowReport",
+    "ShadowReplayer",
+    "shadow_replay",
+    "CalibrationFit",
+    "fit_calibration",
+    "perturbed_profile",
+    "synthesize_telemetry",
+]

@@ -1,0 +1,465 @@
+"""Telemetry streams: the ``repro-telemetry/1`` JSONL record schema.
+
+A telemetry stream is what a real machine would log about its data
+movement — timestamped transfers and collectives with measured
+durations — and what the digital twin replays through the simulator to
+measure *drift* (predicted vs actual).  The file format is JSON Lines:
+a header object followed by one record object per line::
+
+    {"schema": "repro-telemetry/1", "name": "frontier-node-telemetry"}
+    {"t": 0.0, "kind": "transfer", "src": 0, "dst": 4,
+     "bytes": 268435456, "duration": 0.00716, "bandwidth": 3.75e10}
+    {"t": 0.008, "kind": "collective", "library": "rccl",
+     "collective": "allreduce", "ranks": 8, "bytes": 1048576,
+     "duration": 6.1e-05}
+
+Record kinds map 1:1 onto the bench-suite measurement functions the
+replayer re-simulates (see :mod:`repro.twin.replay`):
+
+=============  ====================================================
+kind           required fields (beyond ``t``/``duration``)
+=============  ====================================================
+``transfer``   ``src``, ``dst``, ``bytes`` (+ optional
+               ``peer_access``, default true)
+``latency``    ``src``, ``dst``, ``repetitions`` (16 B ping)
+``h2d``        ``interface``, ``gcd``, ``bytes``
+``stream``     ``executor``, ``data``, ``bytes`` (zero-copy kernel;
+               ``executor == data`` means local HBM STREAM)
+``host_stream``  ``gcds`` (list), ``bytes`` (Listing-1 kernels)
+``collective``   ``library`` (``rccl``/``mpi``), ``collective``,
+               ``ranks``, ``bytes``
+``mpi``        ``src``, ``dst``, ``bytes`` (+ optional ``sdma``,
+               default true)
+=============  ====================================================
+
+``bandwidth`` (bytes/s) is optional and informative: when present it
+must agree with the kind's duration↔bandwidth inversion to within one
+part in 10⁶.  Validation is strict in the :mod:`repro.topology.schema`
+style — unknown fields, wrong types and impossible values are all
+:class:`~repro.errors.TelemetryError`, because a typo must not
+silently change what a record claims the machine did.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from ..errors import TelemetryError
+
+#: Bumped when the record encoding itself changes.
+TELEMETRY_SCHEMA = "repro-telemetry/1"
+
+#: Transfer size of a ``latency`` record (the paper's 16 B ping).
+LATENCY_RECORD_BYTES = 16
+
+#: Allowed relative disagreement of the informative ``bandwidth``
+#: field with the duration-derived value.
+BANDWIDTH_CONSISTENCY_RTOL = 1e-6
+
+_HEADER_FIELDS = {"schema", "name", "generator"}
+
+#: Per-kind required / optional record fields (beyond t, kind,
+#: duration, bandwidth which every record carries).
+_KIND_FIELDS: dict[str, tuple[set, set]] = {
+    "transfer": ({"src", "dst", "bytes"}, {"peer_access"}),
+    "latency": ({"src", "dst", "repetitions"}, set()),
+    "h2d": ({"interface", "gcd", "bytes"}, set()),
+    "stream": ({"executor", "data", "bytes"}, set()),
+    "host_stream": ({"gcds", "bytes"}, set()),
+    "collective": ({"library", "collective", "ranks", "bytes"}, set()),
+    "mpi": ({"src", "dst", "bytes"}, {"sdma"}),
+}
+
+_COMMON_FIELDS = {"t", "kind", "duration", "bandwidth"}
+
+_H2D_INTERFACES = (
+    "pageable_memcpy",
+    "pinned_memcpy",
+    "managed_zerocopy",
+    "managed_migration",
+)
+
+_COLLECTIVE_LIBRARIES = ("rccl", "mpi")
+
+
+def _require_number(entry: Mapping[str, Any], key: str, what: str) -> float:
+    value = entry[key]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TelemetryError(f"{what} field {key!r} must be a number, got {value!r}")
+    return float(value)
+
+
+def _require_int(entry: Mapping[str, Any], key: str, what: str) -> int:
+    value = entry[key]
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise TelemetryError(f"{what} field {key!r} must be an integer, got {value!r}")
+    return value
+
+
+def _require_str(entry: Mapping[str, Any], key: str, what: str) -> str:
+    value = entry[key]
+    if not isinstance(value, str) or not value:
+        raise TelemetryError(
+            f"{what} field {key!r} must be a non-empty string, got {value!r}"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class TelemetryRecord:
+    """One measured operation of a telemetry stream.
+
+    ``t`` is the event time (seconds since the stream's epoch) at which
+    the operation started; ``duration`` is the measured wall time of
+    the operation; ``fields`` holds the kind-specific payload as a
+    sorted tuple of ``(name, value)`` pairs so records are hashable and
+    canonical.
+    """
+
+    t: float
+    kind: str
+    duration: float
+    bandwidth: float | None = None
+    fields: tuple[tuple[str, Any], ...] = field(default_factory=tuple)
+
+    @property
+    def kwargs(self) -> dict[str, Any]:
+        """Kind-specific payload as a plain dict."""
+        return dict(self.fields)
+
+    @property
+    def end(self) -> float:
+        """Event time at which the operation finished."""
+        return self.t + self.duration
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """One kind-specific field (``default`` when absent)."""
+        return self.kwargs.get(name, default)
+
+    def to_json(self) -> dict[str, Any]:
+        """The record's JSON object (one line of the stream)."""
+        payload: dict[str, Any] = {"t": self.t, "kind": self.kind}
+        for name, value in self.fields:
+            payload[name] = list(value) if isinstance(value, tuple) else value
+        payload["duration"] = self.duration
+        if self.bandwidth is not None:
+            payload["bandwidth"] = self.bandwidth
+        return payload
+
+
+def implied_bandwidth(record: TelemetryRecord) -> float | None:
+    """Bytes/s the record's duration implies under its kind's convention.
+
+    ``stream``/``host_stream`` kinds count read+write traffic (the
+    STREAM convention, 2·S per kernel); ``latency`` and ``collective``
+    records have no meaningful bandwidth and return ``None``.
+    """
+    kwargs = record.kwargs
+    if record.duration <= 0:
+        return None
+    if record.kind in ("transfer", "mpi", "h2d"):
+        return kwargs["bytes"] / record.duration
+    if record.kind == "stream":
+        return 2.0 * kwargs["bytes"] / record.duration
+    if record.kind == "host_stream":
+        return len(kwargs["gcds"]) * 2.0 * kwargs["bytes"] / record.duration
+    return None
+
+
+def record_from_json(entry: Any, *, line: int | None = None) -> TelemetryRecord:
+    """Parse one record object; raises :class:`TelemetryError`."""
+    where = f"telemetry record (line {line})" if line else "telemetry record"
+    if not isinstance(entry, Mapping):
+        raise TelemetryError(f"{where} must be an object, got {entry!r}")
+    kind = entry.get("kind")
+    if not isinstance(kind, str):
+        raise TelemetryError(f"{where} is missing a string 'kind': {dict(entry)!r}")
+    try:
+        required, optional = _KIND_FIELDS[kind]
+    except KeyError:
+        known = ", ".join(sorted(_KIND_FIELDS))
+        raise TelemetryError(
+            f"{where}: unknown kind {kind!r} (known: {known})"
+        ) from None
+    allowed = _COMMON_FIELDS | required | optional
+    unknown = set(entry) - allowed
+    if unknown:
+        raise TelemetryError(f"{where} ({kind}) has unknown fields {sorted(unknown)}")
+    for name in ("t", "duration"):
+        if name not in entry:
+            raise TelemetryError(f"{where} ({kind}) is missing {name!r}")
+    missing = required - set(entry)
+    if missing:
+        raise TelemetryError(f"{where} ({kind}) is missing {sorted(missing)}")
+
+    t = _require_number(entry, "t", where)
+    if t < 0:
+        raise TelemetryError(f"{where}: t must be non-negative, got {t!r}")
+    duration = _require_number(entry, "duration", where)
+    if duration <= 0:
+        raise TelemetryError(f"{where}: duration must be positive, got {duration!r}")
+
+    fields: dict[str, Any] = {}
+    for name in ("src", "dst", "gcd", "executor", "data", "ranks", "repetitions"):
+        if name in entry:
+            value = _require_int(entry, name, where)
+            if value < 0 or (name in ("ranks", "repetitions") and value < 1):
+                raise TelemetryError(f"{where}: {name}={value!r} out of range")
+            fields[name] = value
+    if "bytes" in entry:
+        size = _require_int(entry, "bytes", where)
+        if size <= 0:
+            raise TelemetryError(f"{where}: bytes must be positive, got {size!r}")
+        fields["bytes"] = size
+    if "gcds" in entry:
+        gcds = entry["gcds"]
+        if (
+            not isinstance(gcds, (list, tuple))
+            or not gcds
+            or any(isinstance(g, bool) or not isinstance(g, int) or g < 0 for g in gcds)
+        ):
+            raise TelemetryError(
+                f"{where}: gcds must be a non-empty list of GCD indices, "
+                f"got {gcds!r}"
+            )
+        if len(set(gcds)) != len(gcds):
+            raise TelemetryError(f"{where}: gcds has duplicates: {gcds!r}")
+        fields["gcds"] = tuple(gcds)
+    if "interface" in entry:
+        interface = _require_str(entry, "interface", where)
+        if interface not in _H2D_INTERFACES:
+            raise TelemetryError(
+                f"{where}: unknown h2d interface {interface!r} "
+                f"(known: {', '.join(_H2D_INTERFACES)})"
+            )
+        fields["interface"] = interface
+    if "library" in entry:
+        library = _require_str(entry, "library", where)
+        if library not in _COLLECTIVE_LIBRARIES:
+            raise TelemetryError(
+                f"{where}: unknown collective library {library!r} "
+                f"(known: {', '.join(_COLLECTIVE_LIBRARIES)})"
+            )
+        fields["library"] = library
+    if "collective" in entry:
+        fields["collective"] = _require_str(entry, "collective", where)
+    for name in ("peer_access", "sdma"):
+        if name in entry:
+            if not isinstance(entry[name], bool):
+                raise TelemetryError(
+                    f"{where}: {name} must be a boolean, got {entry[name]!r}"
+                )
+            fields[name] = entry[name]
+    if kind in ("transfer", "latency", "mpi") and fields["src"] == fields["dst"]:
+        raise TelemetryError(f"{where}: src and dst must differ for kind {kind!r}")
+
+    bandwidth = None
+    if "bandwidth" in entry:
+        bandwidth = _require_number(entry, "bandwidth", where)
+        if bandwidth <= 0:
+            raise TelemetryError(
+                f"{where}: bandwidth must be positive, got {bandwidth!r}"
+            )
+
+    record = TelemetryRecord(
+        t=t,
+        kind=kind,
+        duration=duration,
+        bandwidth=bandwidth,
+        fields=tuple(sorted(fields.items())),
+    )
+    if bandwidth is not None:
+        implied = implied_bandwidth(record)
+        if implied is not None and abs(bandwidth - implied) > (
+            BANDWIDTH_CONSISTENCY_RTOL * implied
+        ):
+            raise TelemetryError(
+                f"{where}: bandwidth {bandwidth!r} disagrees with the "
+                f"duration-implied value {implied!r} (informative field; "
+                f"drop it or fix the duration)"
+            )
+    return record
+
+
+@dataclass(frozen=True)
+class TelemetryStream:
+    """An ordered, validated sequence of telemetry records."""
+
+    records: tuple[TelemetryRecord, ...]
+    name: str = "telemetry"
+    generator: str | None = None
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.records, key=lambda r: (r.t, r.fields)))
+        object.__setattr__(self, "records", ordered)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def span(self) -> float:
+        """Event-time extent (first start to last end), 0 when empty."""
+        if not self.records:
+            return 0.0
+        return max(r.end for r in self.records) - self.records[0].t
+
+    def fingerprint(self) -> str:
+        """Stable content hash over the records.
+
+        Excludes the display ``name`` and ``generator`` (renaming a
+        file must not change what the stream claims was measured), so
+        it can key caches and provenance blocks the way topology and
+        calibration fingerprints do.
+        """
+        payload = json.dumps(
+            [TELEMETRY_SCHEMA, [r.to_json() for r in self.records]],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def windows(self, window_seconds: float | None = None) -> "list[TelemetryWindow]":
+        """Partition the stream into event-time windows.
+
+        Window *i* covers ``[i·W, (i+1)·W)`` by record start time;
+        empty windows are skipped.  ``None`` yields one window spanning
+        the whole stream — the degenerate batch replay.
+        """
+        if not self.records:
+            return []
+        if window_seconds is None:
+            return [
+                TelemetryWindow(
+                    index=0,
+                    start=self.records[0].t,
+                    end=max(r.end for r in self.records),
+                    records=self.records,
+                )
+            ]
+        if window_seconds <= 0:
+            raise TelemetryError(
+                f"window must be positive seconds, got {window_seconds!r}"
+            )
+        buckets: dict[int, list[TelemetryRecord]] = {}
+        for record in self.records:
+            buckets.setdefault(int(record.t // window_seconds), []).append(record)
+        return [
+            TelemetryWindow(
+                index=index,
+                start=index * window_seconds,
+                end=(index + 1) * window_seconds,
+                records=tuple(buckets[index]),
+            )
+            for index in sorted(buckets)
+        ]
+
+    # -- serialization ---------------------------------------------------
+
+    def dumps(self) -> str:
+        """Render the stream as ``repro-telemetry/1`` JSON Lines."""
+        header: dict[str, Any] = {"schema": TELEMETRY_SCHEMA, "name": self.name}
+        if self.generator is not None:
+            header["generator"] = self.generator
+        lines = [json.dumps(header, sort_keys=True)]
+        lines.extend(
+            json.dumps(record.to_json(), sort_keys=True) for record in self.records
+        )
+        return "\n".join(lines) + "\n"
+
+    def dump(self, path: "str | Path") -> None:
+        """Write the stream to a ``.jsonl`` file."""
+        Path(path).write_text(self.dumps())
+
+    def describe(self) -> str:
+        """One-paragraph human summary."""
+        kinds: dict[str, int] = {}
+        for record in self.records:
+            kinds[record.kind] = kinds.get(record.kind, 0) + 1
+        by_kind = ", ".join(f"{n}× {k}" for k, n in sorted(kinds.items()))
+        return (
+            f"Telemetry {self.name!r}: {len(self.records)} record(s) over "
+            f"{self.span:.6f} s ({by_kind or 'empty'}); "
+            f"fingerprint {self.fingerprint()[:12]}"
+        )
+
+
+@dataclass(frozen=True)
+class TelemetryWindow:
+    """One event-time window of a stream."""
+
+    index: int
+    start: float
+    end: float
+    records: tuple[TelemetryRecord, ...]
+
+
+def stream_from_records(
+    records: Iterable[TelemetryRecord],
+    *,
+    name: str = "telemetry",
+    generator: str | None = None,
+) -> TelemetryStream:
+    """Build a validated stream from already-constructed records."""
+    return TelemetryStream(tuple(records), name=name, generator=generator)
+
+
+def loads_telemetry(
+    text: str, *, default_name: str = "telemetry"
+) -> TelemetryStream:
+    """Parse a ``repro-telemetry/1`` JSONL document from a string."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise TelemetryError("telemetry stream is empty (no header line)")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise TelemetryError(f"telemetry header is not valid JSON: {exc}") from None
+    if not isinstance(header, Mapping):
+        raise TelemetryError(f"telemetry header must be an object, got {header!r}")
+    unknown = set(header) - _HEADER_FIELDS
+    if unknown:
+        raise TelemetryError(f"telemetry header has unknown fields {sorted(unknown)}")
+    schema = header.get("schema")
+    if schema != TELEMETRY_SCHEMA:
+        raise TelemetryError(
+            f"unsupported telemetry schema {schema!r} "
+            f"(this build reads {TELEMETRY_SCHEMA!r})"
+        )
+    name = header.get("name", default_name)
+    if not isinstance(name, str) or not name:
+        raise TelemetryError(f"telemetry name must be a non-empty string, got {name!r}")
+    generator = header.get("generator")
+    if generator is not None and not isinstance(generator, str):
+        raise TelemetryError(f"telemetry generator must be a string, got {generator!r}")
+
+    records = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TelemetryError(
+                f"telemetry line {lineno} is not valid JSON: {exc}"
+            ) from None
+        records.append(record_from_json(entry, line=lineno))
+    return TelemetryStream(tuple(records), name=name, generator=generator)
+
+
+def load_telemetry(path: "str | Path") -> TelemetryStream:
+    """Read a telemetry stream from a JSONL file.
+
+    The display name defaults to the file stem when the header does not
+    carry one; the name never enters the fingerprint.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise TelemetryError(f"cannot read telemetry {path}: {exc}") from None
+    return loads_telemetry(text, default_name=path.stem)

@@ -1,0 +1,253 @@
+"""Synthetic telemetry: turn a figure artifact into a measured stream.
+
+Real Infinity Fabric telemetry needs an MI250X node; the test bed and
+the CI smoke jobs don't have one.  What they do have is the simulator
+itself: running an artifact's sweep points under a *generator* profile
+produces exactly the durations a machine behaving like that profile
+would report.  :func:`synthesize_telemetry` does that — it decomposes
+any of the registered figure artifacts into sim points, re-executes
+each mappable point under the generator profile, and emits a
+``repro-telemetry/1`` stream with deterministic timestamps.
+
+This closes the round trip the twin is tested by:
+
+- *unperturbed* synthesis replays with zero drift under the default
+  profile (the replayer runs the identical simulations, and JSON
+  floats round-trip exactly);
+- synthesis under a *perturbed* profile (``perturb={"field": factor}``)
+  yields a stream whose replay drift localizes to the perturbed
+  links/interfaces, and whose auto-calibration recovers the perturbed
+  constants.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Mapping
+
+from .. import figures
+from ..core.calibration import CalibrationProfile, DEFAULT_CALIBRATION
+from ..errors import TelemetryError
+from ..runner import SimPoint
+from ..topology.node import NodeTopology
+from .schema import TelemetryRecord, TelemetryStream, stream_from_records
+
+#: Idle gap inserted between consecutive synthetic records, seconds.
+DEFAULT_RECORD_GAP = 1e-4
+
+
+def _transfer_fields(kwargs: dict[str, Any]) -> dict[str, Any] | None:
+    return {
+        "src": kwargs["src_gcd"],
+        "dst": kwargs["dst_gcd"],
+        "bytes": kwargs["size"],
+    }
+
+
+def _peer_copy_fields(kwargs: dict[str, Any]) -> dict[str, Any] | None:
+    return {
+        "src": kwargs["src_gcd"],
+        "dst": kwargs["dst_gcd"],
+        "bytes": kwargs["size"],
+        "peer_access": False,
+    }
+
+
+def _latency_fields(kwargs: dict[str, Any]) -> dict[str, Any] | None:
+    return {
+        "src": kwargs["src_gcd"],
+        "dst": kwargs["dst_gcd"],
+        "repetitions": kwargs.get("repetitions", 1),
+    }
+
+
+def _h2d_fields(kwargs: dict[str, Any]) -> dict[str, Any] | None:
+    return {
+        "interface": kwargs["interface"],
+        "gcd": kwargs.get("gcd", 0),
+        "bytes": kwargs["size"],
+    }
+
+
+def _local_stream_fields(kwargs: dict[str, Any]) -> dict[str, Any] | None:
+    gcd = kwargs.get("gcd", 0)
+    return {"executor": gcd, "data": gcd, "bytes": kwargs["size"]}
+
+
+def _remote_stream_fields(kwargs: dict[str, Any]) -> dict[str, Any] | None:
+    return {
+        "executor": kwargs["executor_gcd"],
+        "data": kwargs["data_gcd"],
+        "bytes": kwargs["size"],
+    }
+
+
+def _host_stream_fields(kwargs: dict[str, Any]) -> dict[str, Any] | None:
+    gcds = tuple(kwargs["placement"])
+    if len(set(gcds)) != len(gcds):
+        return None  # duplicate placements have no telemetry encoding
+    return {"gcds": gcds, "bytes": kwargs["size"]}
+
+
+def _rccl_fields(kwargs: dict[str, Any]) -> dict[str, Any] | None:
+    return {
+        "library": "rccl",
+        "collective": kwargs["collective"],
+        "ranks": kwargs["num_threads"],
+        "bytes": kwargs["message_bytes"],
+    }
+
+
+def _osu_collective_fields(kwargs: dict[str, Any]) -> dict[str, Any] | None:
+    return {
+        "library": "mpi",
+        "collective": kwargs["collective"],
+        "ranks": kwargs["num_partners"],
+        "bytes": kwargs["message_bytes"],
+    }
+
+
+def _osu_bw_fields(kwargs: dict[str, Any]) -> dict[str, Any] | None:
+    return {
+        "src": kwargs["src_gcd"],
+        "dst": kwargs["dst_gcd"],
+        "bytes": kwargs["message_bytes"],
+        "sdma": kwargs.get("sdma_enabled", True),
+    }
+
+
+#: fn path -> (record kind, kwargs translator).  The inverse of
+#: :func:`repro.twin.replay.record_point`: a point whose fn appears
+#: here maps losslessly onto a telemetry record that replays through
+#: the very same function.
+_POINT_KINDS: dict[str, tuple[str, Callable[[dict[str, Any]], dict[str, Any] | None]]] = {
+    "repro.bench_suites.p2p_matrix:measure_pair_bandwidth": ("transfer", _transfer_fields),
+    "repro.bench_suites.comm_scope:measure_peer_copy": ("transfer", _peer_copy_fields),
+    "repro.bench_suites.p2p_matrix:measure_pair_latency": ("latency", _latency_fields),
+    "repro.bench_suites.comm_scope:measure_h2d": ("h2d", _h2d_fields),
+    "repro.bench_suites.stream:local_stream_copy": ("stream", _local_stream_fields),
+    "repro.bench_suites.stream:remote_stream_copy": ("stream", _remote_stream_fields),
+    "repro.bench_suites.stream:multi_gpu_cpu_stream": ("host_stream", _host_stream_fields),
+    "repro.bench_suites.rccl_tests:rccl_collective_latency": ("collective", _rccl_fields),
+    "repro.bench_suites.osu:osu_collective_latency": ("collective", _osu_collective_fields),
+    "repro.bench_suites.osu:osu_bw": ("mpi", _osu_bw_fields),
+}
+
+
+def perturbed_profile(
+    base: CalibrationProfile, perturb: Mapping[str, float] | None
+) -> CalibrationProfile:
+    """Apply multiplicative factors to profile fields.
+
+    ``perturb={"sdma_xgmi_efficiency": 1.1}`` scales that constant by
+    10 % — the shape used to emulate a machine whose fabric behaves a
+    calibrated amount better or worse than the paper's testbed.
+    """
+    if not perturb:
+        return base
+    changes: dict[str, object] = {}
+    for name, factor in perturb.items():
+        if not hasattr(base, name):
+            raise TelemetryError(f"unknown calibration field {name!r} in perturb")
+        value = getattr(base, name)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise TelemetryError(
+                f"calibration field {name!r} is not a scalar, cannot perturb"
+            )
+        changes[name] = type(value)(value * factor)
+    return base.with_(**changes)
+
+
+def _duration_from_output(kind: str, fields: dict[str, Any], output: float) -> float:
+    if output <= 0:
+        raise TelemetryError(
+            f"synthesized {kind} point produced a non-positive output {output!r}"
+        )
+    if kind in ("transfer", "mpi", "h2d"):
+        return fields["bytes"] / output
+    if kind == "stream":
+        return 2.0 * fields["bytes"] / output
+    if kind == "host_stream":
+        return len(fields["gcds"]) * 2.0 * fields["bytes"] / output
+    return output
+
+
+def synthesize_telemetry(
+    artifact_id: str,
+    *,
+    perturb: Mapping[str, float] | None = None,
+    calibration: CalibrationProfile | None = None,
+    topology: NodeTopology | None = None,
+    start: float = 0.0,
+    gap: float = DEFAULT_RECORD_GAP,
+    **params: Any,
+) -> TelemetryStream:
+    """Synthesize a telemetry stream from a figure artifact's points.
+
+    Every sweep point of ``artifact_id`` whose measurement function
+    has a telemetry encoding is re-executed under the (optionally
+    perturbed) generator profile; its output becomes the record's
+    measured duration and bandwidth.  Timestamps are deterministic:
+    records run back to back from ``start`` with ``gap`` seconds of
+    idle between them.  Extra ``params`` flow into the artifact's
+    sweep decomposition (sizes, subsets, …).
+    """
+    if gap < 0:
+        raise TelemetryError(f"record gap must be >= 0, got {gap!r}")
+    if start < 0:
+        raise TelemetryError(f"start time must be >= 0, got {start!r}")
+    eid = figures.canonical_id(artifact_id)
+    base = calibration if calibration is not None else DEFAULT_CALIBRATION
+    profile = perturbed_profile(base, perturb)
+    records: list[TelemetryRecord] = []
+    t = float(start)
+    skipped = 0
+    for point in figures.sweep_points(eid, **params):
+        entry = _POINT_KINDS.get(point.fn)
+        if entry is None:
+            skipped += 1
+            continue
+        kind, translate = entry
+        fields = translate(point.kwargs)
+        if fields is None:
+            skipped += 1
+            continue
+        # Rebuild rather than mutate: figure decompositions may not
+        # accept a calibration parameter themselves (fig06's doesn't),
+        # but every measurement function does.
+        shadow = SimPoint.make(
+            point.experiment_id,
+            point.label,
+            point.fn,
+            **{**point.kwargs, "topology": topology, "calibration": profile},
+        )
+        output = float(shadow.execute())
+        duration = _duration_from_output(kind, fields, output)
+        bandwidth = output if kind in ("transfer", "mpi", "h2d", "stream", "host_stream") else None
+        records.append(
+            TelemetryRecord(
+                t=t,
+                kind=kind,
+                duration=duration,
+                bandwidth=bandwidth,
+                fields=tuple(sorted(fields.items(), key=lambda kv: kv[0])),
+            )
+        )
+        t += duration + gap
+    if not records:
+        raise TelemetryError(
+            f"artifact {eid!r} decomposes into no telemetry-mappable points "
+            f"({skipped} point(s) skipped)"
+        )
+    generator = json.dumps(
+        {
+            "artifact": eid,
+            "calibration_fingerprint": profile.fingerprint(),
+            "perturb": dict(perturb) if perturb else None,
+            "skipped_points": skipped,
+        },
+        sort_keys=True,
+    )
+    return stream_from_records(
+        records, name=f"synthetic/{eid}", generator=generator
+    )

@@ -112,3 +112,106 @@ class TestDescribe:
         text = calibration.describe()
         assert "50 GB/s" in text
         assert "2.80 GB/s" in text or "2.8" in text
+
+
+class TestProfileSerialization:
+    """The repro-calibration/1 profile file format."""
+
+    def test_round_trip_is_fingerprint_identical(self, tmp_path):
+        from repro.core.calibration import dump_profile, load_profile
+
+        path = tmp_path / "profile.json"
+        dump_profile(DEFAULT_CALIBRATION, path)
+        loaded, provenance = load_profile(path)
+        assert loaded.fingerprint() == DEFAULT_CALIBRATION.fingerprint()
+        assert provenance == {}
+
+    def test_provenance_round_trips(self, tmp_path):
+        from repro.core.calibration import dump_profile, load_profile
+
+        path = tmp_path / "profile.json"
+        dump_profile(
+            DEFAULT_CALIBRATION.with_(sdma_xgmi_efficiency=0.7),
+            path,
+            provenance={
+                "source": "fitted-from-telemetry",
+                "telemetry": "machine",
+                "fitted_fields": ["sdma_xgmi_efficiency"],
+            },
+        )
+        profile, provenance = load_profile(path)
+        assert profile.sdma_xgmi_efficiency == 0.7
+        assert provenance["source"] == "fitted-from-telemetry"
+        assert provenance["fitted_fields"] == ["sdma_xgmi_efficiency"]
+
+    def test_dump_load_dump_is_a_fixpoint(self, tmp_path):
+        from repro.core.calibration import dump_profile, load_profile
+
+        path = tmp_path / "profile.json"
+        dump_profile(DEFAULT_CALIBRATION, path)
+        first = path.read_text()
+        profile, _ = load_profile(path)
+        dump_profile(profile, path)
+        assert path.read_text() == first
+
+    def test_rejects_edited_constants_with_stale_fingerprint(self, tmp_path):
+        import json
+
+        from repro.core.calibration import load_profile, profile_to_json
+
+        entry = profile_to_json(DEFAULT_CALIBRATION)
+        entry["constants"]["sdma_xgmi_efficiency"] = 0.5
+        path = tmp_path / "edited.json"
+        path.write_text(json.dumps(entry))
+        with pytest.raises(CalibrationError, match="fingerprint mismatch"):
+            load_profile(path)
+
+    def test_rejects_unknown_top_level_key(self):
+        from repro.core.calibration import profile_from_json, profile_to_json
+
+        entry = profile_to_json(DEFAULT_CALIBRATION)
+        entry["notes"] = "hand-tuned"
+        with pytest.raises(CalibrationError, match="unknown calibration profile"):
+            profile_from_json(entry)
+
+    def test_rejects_unknown_constant(self):
+        from repro.core.calibration import profile_from_json, profile_to_json
+
+        entry = profile_to_json(DEFAULT_CALIBRATION)
+        entry["constants"]["warp_speed"] = 1.0
+        del entry["fingerprint"]
+        with pytest.raises(CalibrationError, match="unknown calibration constant"):
+            profile_from_json(entry)
+
+    def test_rejects_unknown_provenance_field(self):
+        from repro.core.calibration import profile_from_json, profile_to_json
+
+        entry = profile_to_json(DEFAULT_CALIBRATION)
+        entry["provenance"] = {"author": "me"}
+        with pytest.raises(CalibrationError, match="unknown provenance"):
+            profile_from_json(entry)
+
+    def test_rejects_wrong_schema(self):
+        from repro.core.calibration import profile_from_json, profile_to_json
+
+        entry = profile_to_json(DEFAULT_CALIBRATION)
+        entry["schema"] = "repro-calibration/9"
+        with pytest.raises(CalibrationError, match="unsupported calibration schema"):
+            profile_from_json(entry)
+
+    def test_load_reports_bad_json(self, tmp_path):
+        from repro.core.calibration import load_profile
+
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(CalibrationError, match="not valid JSON"):
+            load_profile(path)
+
+    def test_out_of_bounds_constant_fails_profile_validation(self):
+        from repro.core.calibration import profile_from_json, profile_to_json
+
+        entry = profile_to_json(DEFAULT_CALIBRATION)
+        entry["constants"]["sdma_xgmi_efficiency"] = 1.5
+        del entry["fingerprint"]
+        with pytest.raises(CalibrationError, match="outside"):
+            profile_from_json(entry)

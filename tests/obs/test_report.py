@@ -119,3 +119,61 @@ class TestExplainArtifact:
         root_id = runner.stats.spans[0]["id"]
         text = explain_artifact("fig05", span_id=root_id)
         assert f"span {root_id}" in text
+
+
+class TestCalibrationSection:
+    def test_default_block(self):
+        from repro.core.calibration import DEFAULT_CALIBRATION
+        from repro.obs.report import calibration_block
+
+        block = calibration_block()
+        assert block["source"] == "default"
+        assert block["fingerprint"] == DEFAULT_CALIBRATION.fingerprint()
+
+    def test_fitted_profile_block_carries_provenance(self, tmp_path):
+        from repro.core.calibration import DEFAULT_CALIBRATION, dump_profile
+        from repro.obs.report import calibration_block
+
+        path = tmp_path / "profile.json"
+        fitted = DEFAULT_CALIBRATION.with_(sdma_xgmi_efficiency=0.7)
+        dump_profile(
+            fitted,
+            path,
+            provenance={
+                "source": "fitted-from-telemetry",
+                "telemetry": "machine",
+                "telemetry_fingerprint": "abc123",
+                "fitted_fields": ["sdma_xgmi_efficiency"],
+                "initial_rms": 0.08,
+                "final_rms": 0.001,
+            },
+        )
+        block = calibration_block(path)
+        assert block["source"] == "fitted-from-telemetry"
+        assert block["fingerprint"] == fitted.fingerprint()
+        assert block["telemetry"] == "machine"
+        assert block["final_rms"] == 0.001
+
+    def test_report_defaults_have_no_drift_section(self):
+        report = collect_report("fig05", validate=False)
+        assert report["calibration"]["source"] == "default"
+        assert report["drift"] is None
+
+    def test_report_with_telemetry_gains_drift_section(self):
+        from repro.twin import synthesize_telemetry
+
+        stream = synthesize_telemetry("fig09")
+        report = collect_report("fig09", validate=False, telemetry=stream)
+        assert report["drift"]["schema"] == "repro-shadow/1"
+        assert report["drift"]["overall"]["max_abs_drift"] == 0.0
+        json.dumps(report)
+
+    def test_html_renders_calibration_and_drift(self):
+        from repro.twin import synthesize_telemetry
+
+        stream = synthesize_telemetry("fig09")
+        report = collect_report("fig09", validate=False, telemetry=stream)
+        doc = render_html(report)
+        assert "Calibration" in doc
+        assert "Digital-twin drift" in doc
+        assert "http://" not in doc and "<script" not in doc

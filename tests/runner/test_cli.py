@@ -239,3 +239,151 @@ class TestTraceCommand:
         assert any(
             slice_["args"]["trace_dropped"] > 0 for slice_ in point_slices
         )
+
+
+@pytest.fixture
+def fig09_telemetry(tmp_path):
+    from repro.twin import synthesize_telemetry
+
+    path = tmp_path / "fig09.jsonl"
+    synthesize_telemetry("fig09").dump(path)
+    return path
+
+
+@pytest.fixture
+def drifted_telemetry(tmp_path):
+    from repro.twin import synthesize_telemetry
+
+    path = tmp_path / "fig09_drifted.jsonl"
+    synthesize_telemetry(
+        "fig09", perturb={"kernel_xgmi_bidir_efficiency": 0.85}
+    ).dump(path)
+    return path
+
+
+class TestShadowCommand:
+    def test_zero_drift_replay_exits_0(self, fig09_telemetry, capsys):
+        assert main(["shadow", "--telemetry", str(fig09_telemetry)]) == 0
+        out = capsys.readouterr().out
+        assert "Shadow replay" in out
+        assert "no drift above" in out
+
+    def test_alerts_exit_1(self, drifted_telemetry, capsys):
+        assert main(["shadow", "--telemetry", str(drifted_telemetry)]) == 1
+        assert "alert(s) above" in capsys.readouterr().out
+
+    def test_json_payload(self, fig09_telemetry, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "shadow.json"
+        code = main(
+            [
+                "shadow",
+                "--telemetry",
+                str(fig09_telemetry),
+                "--window",
+                "0.1",
+                "--json",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro-shadow/1"
+        assert payload["overall"]["max_abs_drift"] == 0.0
+
+    def test_requires_telemetry(self, capsys):
+        assert main(["shadow"]) == 2
+        assert "requires --telemetry" in capsys.readouterr().err
+
+    def test_rejects_bad_telemetry_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"schema": "repro-telemetry/9"}\n')
+        assert main(["shadow", "--telemetry", str(bad)]) == 2
+        assert "cannot load telemetry" in capsys.readouterr().err
+
+    def test_alert_threshold_flag(self, drifted_telemetry, capsys):
+        code = main(
+            [
+                "shadow",
+                "--telemetry",
+                str(drifted_telemetry),
+                "--alert-threshold",
+                "0.9",
+            ]
+        )
+        assert code == 0
+
+
+class TestCalibrateCommand:
+    def test_fit_writes_profile_with_provenance(
+        self, drifted_telemetry, tmp_path, capsys
+    ):
+        from repro.core.calibration import DEFAULT_CALIBRATION, load_profile
+
+        out = tmp_path / "profile.json"
+        code = main(
+            [
+                "calibrate",
+                "--telemetry",
+                str(drifted_telemetry),
+                "--fields",
+                "kernel_xgmi_bidir_efficiency",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert "residual RMS" in capsys.readouterr().out
+        profile, provenance = load_profile(out)
+        truth = DEFAULT_CALIBRATION.kernel_xgmi_bidir_efficiency * 0.85
+        assert abs(profile.kernel_xgmi_bidir_efficiency - truth) / truth < 0.01
+        assert provenance["source"] == "fitted-from-telemetry"
+
+    def test_fitted_profile_feeds_shadow(
+        self, drifted_telemetry, tmp_path, capsys
+    ):
+        out = tmp_path / "profile.json"
+        assert (
+            main(
+                [
+                    "calibrate",
+                    "--telemetry",
+                    str(drifted_telemetry),
+                    "--fields",
+                    "kernel_xgmi_bidir_efficiency",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "shadow",
+                "--telemetry",
+                str(drifted_telemetry),
+                "--calibration",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert "no drift above" in capsys.readouterr().out
+
+    def test_requires_telemetry(self, capsys):
+        assert main(["calibrate"]) == 2
+        assert "requires --telemetry" in capsys.readouterr().err
+
+    def test_rejects_unknown_field(self, fig09_telemetry, capsys):
+        code = main(
+            [
+                "calibrate",
+                "--telemetry",
+                str(fig09_telemetry),
+                "--fields",
+                "warp_speed",
+            ]
+        )
+        assert code == 2
+        assert "not fittable" in capsys.readouterr().err

@@ -128,3 +128,50 @@ class TestNicTier:
         assert (
             peak_bandwidth_of_channel_name("link/numa0-numa4:nic/fwd") == 25e9
         )
+
+
+class TestCapacityOverride:
+    def test_override_replaces_tier_peak(self):
+        link = Link(
+            LinkEndpoint.gcd(0),
+            LinkEndpoint.gcd(1),
+            LinkTier.SINGLE,
+            capacity_override=42e9,
+        )
+        assert link.capacity_per_direction == 42e9
+        assert link.capacity_bidirectional == 84e9
+
+    def test_no_override_keeps_tier_peak(self):
+        link = Link(LinkEndpoint.gcd(0), LinkEndpoint.gcd(1), LinkTier.SINGLE)
+        assert link.capacity_override is None
+        assert link.capacity_per_direction == LinkTier.SINGLE.peak_unidirectional
+
+    def test_name_is_unchanged_by_override(self):
+        plain = Link(LinkEndpoint.gcd(0), LinkEndpoint.gcd(1), LinkTier.SINGLE)
+        tuned = Link(
+            LinkEndpoint.gcd(0),
+            LinkEndpoint.gcd(1),
+            LinkTier.SINGLE,
+            capacity_override=42e9,
+        )
+        assert plain.name == tuned.name
+
+    @pytest.mark.parametrize("bad", [0.0, -1e9, float("inf"), float("nan")])
+    def test_rejects_non_positive_or_non_finite(self, bad):
+        with pytest.raises(TopologyError, match="capacity override"):
+            Link(
+                LinkEndpoint.gcd(0),
+                LinkEndpoint.gcd(1),
+                LinkTier.SINGLE,
+                capacity_override=bad,
+            )
+
+    def test_integer_override_is_coerced_to_float(self):
+        link = Link(
+            LinkEndpoint.gcd(0),
+            LinkEndpoint.gcd(1),
+            LinkTier.SINGLE,
+            capacity_override=42_000_000_000,
+        )
+        assert link.capacity_override == 42e9
+        assert isinstance(link.capacity_override, float)

@@ -161,3 +161,69 @@ class TestStrictValidation:
     def test_schema_constant(self):
         assert TOPOLOGY_SCHEMA == "repro-topology/1"
         assert topology_to_json(frontier_node())["schema"] == TOPOLOGY_SCHEMA
+
+
+class TestCapacityOverride:
+    @staticmethod
+    def _build(**kwargs):
+        from repro.topology.node import (
+            GcdInfo,
+            NodeTopologyBuilder,
+            NumaDomainInfo,
+        )
+
+        builder = NodeTopologyBuilder("tuned")
+        builder.add_numa_domain(NumaDomainInfo(index=0))
+        for gcd in range(2):
+            builder.add_gcd(GcdInfo(index=gcd, gpu_package=0, numa_domain=0))
+            builder.connect_cpu(gcd, 0)
+        builder.connect_gcds(0, 1, 4, **kwargs)
+        return builder.build()
+
+    def _node_with_override(self):
+        return self._build(capacity_gbps=168.0)
+
+    def test_override_round_trips_through_json(self):
+        original = self._node_with_override()
+        payload = topology_to_json(original)
+        entry = next(l for l in payload["links"] if l["tier"] == "quad")
+        assert entry["capacity_gbps"] == pytest.approx(168.0)
+        rebuilt = topology_from_json(payload)
+        assert rebuilt.fingerprint() == original.fingerprint()
+        link = next(l for l in rebuilt.links() if l.tier.name == "QUAD")
+        assert link.capacity_per_direction == pytest.approx(168e9)
+
+    def test_override_changes_the_fingerprint(self):
+        assert (
+            self._build().fingerprint()
+            != self._build(capacity_gbps=168.0).fingerprint()
+        )
+
+    def test_dump_load_dump_is_a_fixpoint(self, tmp_path):
+        path = tmp_path / "tuned.json"
+        dump_topology(self._node_with_override(), path)
+        first = path.read_text()
+        dump_topology(load_topology(path), path)
+        assert path.read_text() == first
+
+    def test_rejects_non_positive_override(self):
+        payload = topology_to_json(self._node_with_override())
+        entry = next(l for l in payload["links"] if l["tier"] == "quad")
+        entry["capacity_gbps"] = -1.0
+        with pytest.raises(TopologyError, match="capacity_gbps must be positive"):
+            topology_from_json(payload)
+
+    def test_rejects_boolean_override(self):
+        payload = topology_to_json(self._node_with_override())
+        entry = next(l for l in payload["links"] if l["tier"] == "quad")
+        entry["capacity_gbps"] = True
+        with pytest.raises(TopologyError, match="capacity_gbps must be a number"):
+            topology_from_json(payload)
+
+    def test_informative_capacity_checks_against_override(self):
+        payload = topology_to_json(self._node_with_override())
+        entry = next(l for l in payload["links"] if l["tier"] == "quad")
+        assert entry["capacity_per_direction"] == pytest.approx(168e9)
+        entry["capacity_per_direction"] = 200e9
+        with pytest.raises(TopologyError, match="disagrees"):
+            topology_from_json(payload)

@@ -1,0 +1,150 @@
+"""Tests for the auto-calibrator (repro.twin.calibrate).
+
+The headline property: synthesize telemetry from a machine whose
+efficiency constant drifted by up to ±10%, fit it back, and the
+recovered constant lands within 1% of the truth — deterministically,
+every run.  fig09 (three remote-stream kernels) keeps the property
+cheap; fig06 exercises the full SDMA path once.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.calibration import DEFAULT_CALIBRATION
+from repro.errors import CalibrationError, TelemetryError
+from repro.session import Session
+from repro.twin import (
+    FIT_BOUNDS,
+    fit_calibration,
+    shadow_replay,
+    stream_from_records,
+    synthesize_telemetry,
+)
+from repro.twin.synthesize import perturbed_profile
+
+
+@pytest.fixture(scope="module")
+def fig09_stream():
+    return synthesize_telemetry("fig09")
+
+
+class TestRecovery:
+    @settings(max_examples=8, deadline=None)
+    @given(factor=st.floats(0.9, 1.1))
+    def test_recovers_kernel_efficiency_within_one_percent(self, factor):
+        truth = DEFAULT_CALIBRATION.kernel_xgmi_bidir_efficiency * factor
+        stream = synthesize_telemetry(
+            "fig09", perturb={"kernel_xgmi_bidir_efficiency": factor}
+        )
+        fit = fit_calibration(
+            stream, fields=["kernel_xgmi_bidir_efficiency"]
+        )
+        recovered = fit.profile.kernel_xgmi_bidir_efficiency
+        assert abs(recovered - truth) / truth < 0.01
+        assert fit.final_rms <= fit.initial_rms
+
+    def test_recovers_sdma_efficiency_from_fig06(self):
+        truth = DEFAULT_CALIBRATION.sdma_xgmi_efficiency * 0.9
+        stream = synthesize_telemetry(
+            "fig06", perturb={"sdma_xgmi_efficiency": 0.9}
+        )
+        fit = fit_calibration(stream, fields=["sdma_xgmi_efficiency"])
+        recovered = fit.profile.sdma_xgmi_efficiency
+        assert abs(recovered - truth) / truth < 0.01
+        # Replaying under the fitted profile closes the loop.
+        refit = shadow_replay(stream, calibration=fit.profile)
+        assert refit.max_abs_drift < 1e-3
+
+    def test_unperturbed_fit_keeps_the_base_profile(self, fig09_stream):
+        fit = fit_calibration(
+            fig09_stream, fields=["kernel_xgmi_bidir_efficiency"]
+        )
+        assert fit.profile.fingerprint() == DEFAULT_CALIBRATION.fingerprint()
+        assert fit.initial_rms == 0.0
+
+    def test_fit_is_deterministic(self, fig09_stream):
+        stream = synthesize_telemetry(
+            "fig09", perturb={"kernel_xgmi_bidir_efficiency": 1.05}
+        )
+        first = fit_calibration(stream, fields=["kernel_xgmi_bidir_efficiency"])
+        second = fit_calibration(stream, fields=["kernel_xgmi_bidir_efficiency"])
+        assert first.profile.fingerprint() == second.profile.fingerprint()
+        assert first.evaluations == second.evaluations
+
+
+class TestSensitivity:
+    def test_invisible_constants_are_skipped(self, fig09_stream):
+        # fig09's remote-stream kernels never touch the SDMA engines or
+        # host-pageable staging: the probe must drop those fields
+        # instead of letting the line search wander.
+        fit = fit_calibration(
+            fig09_stream,
+            fields=["kernel_xgmi_bidir_efficiency", "pageable_efficiency"],
+        )
+        assert "pageable_efficiency" in fit.skipped_fields
+        assert (
+            fit.profile.pageable_efficiency
+            == DEFAULT_CALIBRATION.pageable_efficiency
+        )
+
+    def test_default_field_set_is_the_fit_bounds(self, fig09_stream):
+        fit = fit_calibration(fig09_stream)
+        assert set(fit.fitted_fields) | set(fit.skipped_fields) == set(
+            FIT_BOUNDS
+        )
+
+
+class TestValidation:
+    def test_empty_stream_is_an_error(self):
+        with pytest.raises(TelemetryError, match="empty telemetry"):
+            fit_calibration(stream_from_records([]))
+
+    def test_unknown_field_is_an_error(self, fig09_stream):
+        with pytest.raises(CalibrationError, match="not fittable"):
+            fit_calibration(fig09_stream, fields=["warp_speed"])
+
+    def test_unfittable_field_is_an_error(self, fig09_stream):
+        # A real constant, but not an efficiency the fitter owns.
+        with pytest.raises(CalibrationError, match="not fittable"):
+            fit_calibration(fig09_stream, fields=["page_size"])
+
+    def test_perturb_rejects_unknown_field(self):
+        with pytest.raises(TelemetryError, match="unknown"):
+            perturbed_profile(DEFAULT_CALIBRATION, {"warp_speed": 1.1})
+
+
+class TestFitPayload:
+    def test_provenance_names_the_stream(self):
+        stream = synthesize_telemetry(
+            "fig09", perturb={"kernel_xgmi_bidir_efficiency": 0.95}
+        )
+        fit = fit_calibration(stream, fields=["kernel_xgmi_bidir_efficiency"])
+        provenance = fit.provenance()
+        assert provenance["source"] == "fitted-from-telemetry"
+        assert provenance["telemetry"] == stream.name
+        assert provenance["telemetry_fingerprint"] == stream.fingerprint()
+        assert provenance["fitted_fields"] == ["kernel_xgmi_bidir_efficiency"]
+        assert provenance["final_rms"] < provenance["initial_rms"]
+
+    def test_json_and_describe(self, fig09_stream):
+        fit = fit_calibration(
+            fig09_stream, fields=["kernel_xgmi_bidir_efficiency"]
+        )
+        payload = fit.to_json()
+        assert payload["schema"] == "repro-calibration-fit/1"
+        assert payload["record_count"] == len(fig09_stream.records)
+        assert "residual RMS" in fit.describe()
+
+
+class TestSessionIntegration:
+    def test_session_calibrate_starts_from_session_profile(self):
+        stream = synthesize_telemetry(
+            "fig09", perturb={"kernel_xgmi_bidir_efficiency": 1.08}
+        )
+        with Session(telemetry=stream) as session:
+            fit = session.calibrate(fields=["kernel_xgmi_bidir_efficiency"])
+        assert fit.base_fingerprint == DEFAULT_CALIBRATION.fingerprint()
+        truth = DEFAULT_CALIBRATION.kernel_xgmi_bidir_efficiency * 1.08
+        recovered = fit.profile.kernel_xgmi_bidir_efficiency
+        assert abs(recovered - truth) / truth < 0.01

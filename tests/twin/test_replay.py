@@ -1,0 +1,254 @@
+"""Tests for the shadow replayer (repro.twin.replay).
+
+The load-bearing property is the round trip: a stream synthesized from
+a figure artifact under a profile replays under the *same* profile with
+drift of exactly 0.0 — synthesis and replay share the duration↔output
+expressions, so any nonzero drift is a real divergence, not float
+noise.  Everything else (attribution, windowing, alerts, metrics)
+builds on that baseline.
+"""
+
+import pytest
+
+from repro.core.calibration import DEFAULT_CALIBRATION
+from repro.obs.metrics import MetricsRegistry
+from repro.session import Session
+from repro.topology.presets import frontier_node
+from repro.twin import (
+    DEFAULT_ALERT_THRESHOLD,
+    shadow_replay,
+    synthesize_telemetry,
+)
+from repro.twin.replay import attribute_record, record_point, predicted_duration
+from repro.twin.schema import record_from_json
+from repro.twin.synthesize import perturbed_profile
+
+
+@pytest.fixture(scope="module")
+def fig09_stream():
+    return synthesize_telemetry("fig09")
+
+
+@pytest.fixture(scope="module")
+def fig06_stream():
+    return synthesize_telemetry("fig06")
+
+
+class TestRoundTrip:
+    def test_fig09_replays_drift_free(self, fig09_stream):
+        report = shadow_replay(fig09_stream)
+        assert report.max_abs_drift == 0.0
+        assert report.max_link_drift == 0.0
+        assert not report.alerts
+
+    def test_fig06_replays_drift_free_per_link(self, fig06_stream):
+        report = shadow_replay(fig06_stream)
+        assert report.overall.count == len(fig06_stream.records)
+        # The acceptance gate: every link's drift under 1e-9.
+        assert report.max_link_drift < 1e-9
+        assert report.max_abs_drift < 1e-9
+
+    def test_report_carries_fingerprints(self, fig09_stream):
+        report = shadow_replay(fig09_stream)
+        assert report.telemetry_fingerprint == fig09_stream.fingerprint()
+        assert (
+            report.calibration_fingerprint == DEFAULT_CALIBRATION.fingerprint()
+        )
+
+    def test_windowing_does_not_change_drift(self, fig06_stream):
+        whole = shadow_replay(fig06_stream)
+        windowed = shadow_replay(fig06_stream, window=fig06_stream.span / 7)
+        assert len(windowed.windows) > 1
+        assert windowed.overall.count == whole.overall.count
+        assert windowed.max_abs_drift == whole.max_abs_drift == 0.0
+
+
+class TestDriftDetection:
+    def test_perturbed_profile_raises_alerts(self, fig06_stream):
+        degraded = perturbed_profile(
+            DEFAULT_CALIBRATION, {"sdma_xgmi_efficiency": 0.9}
+        )
+        report = shadow_replay(fig06_stream, calibration=degraded)
+        assert report.max_abs_drift > 0.05
+        assert report.alerts
+        dimensions = {alert["dimension"] for alert in report.alerts}
+        assert "link" in dimensions
+        # Latency pings are not SDMA-rate-bound: that interface stays
+        # quiet while memcpy_peer lights up.
+        assert report.by_interface["memcpy_peer"].max_abs > 0.05
+        assert report.by_interface["memcpy_peer_latency"].max_abs < 0.01
+
+    def test_alert_threshold_is_tunable(self, fig06_stream):
+        degraded = perturbed_profile(
+            DEFAULT_CALIBRATION, {"sdma_xgmi_efficiency": 0.9}
+        )
+        quiet = shadow_replay(
+            fig06_stream, calibration=degraded, alert_threshold=0.5
+        )
+        assert not quiet.alerts
+
+    def test_drift_is_signed(self, fig09_stream):
+        # A *faster* model than the machine predicts shorter durations:
+        # negative drift.
+        slow_machine = perturbed_profile(
+            DEFAULT_CALIBRATION, {"kernel_xgmi_bidir_efficiency": 0.9}
+        )
+        stream = synthesize_telemetry("fig09", calibration=slow_machine)
+        report = shadow_replay(stream)
+        assert report.overall.mean_signed < 0
+
+
+class TestMetricsPublication:
+    def test_drift_timeseries_published(self, fig09_stream):
+        registry = MetricsRegistry()
+        shadow_replay(fig09_stream, metrics=registry)
+        names = [
+            name
+            for name in registry.snapshot().get("timeseries", {})
+            if name.startswith("drift/")
+        ]
+        assert any(name.startswith("drift/interface/") for name in names)
+
+    def test_metrics_off_by_default(self, fig09_stream):
+        report = shadow_replay(fig09_stream)
+        assert report.max_abs_drift == 0.0
+
+
+class TestReportPayload:
+    def test_json_schema_and_shape(self, fig09_stream):
+        payload = shadow_replay(fig09_stream, window=0.1).to_json()
+        assert payload["schema"] == "repro-shadow/1"
+        assert payload["record_count"] == len(fig09_stream.records)
+        assert payload["overall"]["max_abs_drift"] == 0.0
+        assert payload["by_link"] and payload["by_interface"]
+        assert payload["records"] and payload["windows"]
+        assert payload["runner"] is None
+
+    def test_describe_mentions_alert_state(self, fig09_stream):
+        text = shadow_replay(fig09_stream).describe()
+        assert "no drift above" in text
+
+
+class TestAttribution:
+    def test_transfer_blames_bottleneck_link(self):
+        record = record_from_json(
+            {
+                "t": 0.0,
+                "kind": "transfer",
+                "src": 0,
+                "dst": 2,
+                "bytes": 1 << 20,
+                "duration": 1e-4,
+            }
+        )
+        link, tier, interface = attribute_record(record, frontier_node())
+        assert link == "gcd0-gcd2:single"
+        assert tier == "single"
+        assert interface == "memcpy_peer"
+
+    def test_local_stream_has_no_link(self):
+        record = record_from_json(
+            {
+                "t": 0.0,
+                "kind": "stream",
+                "executor": 3,
+                "data": 3,
+                "bytes": 1 << 20,
+                "duration": 1e-4,
+            }
+        )
+        link, tier, interface = attribute_record(record, frontier_node())
+        assert link is None and tier is None
+        assert interface == "hbm_stream"
+
+    def test_h2d_blames_cpu_link(self):
+        record = record_from_json(
+            {
+                "t": 0.0,
+                "kind": "h2d",
+                "interface": "pinned_memcpy",
+                "gcd": 5,
+                "bytes": 1 << 20,
+                "duration": 1e-4,
+            }
+        )
+        link, tier, interface = attribute_record(record, frontier_node())
+        assert link is not None and tier == "cpu"
+        assert interface == "h2d/pinned_memcpy"
+
+
+class TestRecordPoints:
+    def test_transfer_maps_to_pair_bandwidth(self):
+        record = record_from_json(
+            {
+                "t": 0.0,
+                "kind": "transfer",
+                "src": 0,
+                "dst": 4,
+                "bytes": 1 << 20,
+                "duration": 1e-4,
+            }
+        )
+        point = record_point(record)
+        assert point.fn.endswith(":measure_pair_bandwidth")
+        output = point.execute()
+        assert predicted_duration(record, output) == pytest.approx(
+            (1 << 20) / output
+        )
+
+    def test_peer_access_false_maps_to_peer_copy(self):
+        record = record_from_json(
+            {
+                "t": 0.0,
+                "kind": "transfer",
+                "src": 0,
+                "dst": 4,
+                "bytes": 1 << 20,
+                "duration": 1e-4,
+                "peer_access": False,
+            }
+        )
+        assert record_point(record).fn.endswith(":measure_peer_copy")
+
+    def test_latency_duration_passes_through(self):
+        record = record_from_json(
+            {
+                "t": 0.0,
+                "kind": "latency",
+                "src": 0,
+                "dst": 1,
+                "repetitions": 3,
+                "duration": 1e-5,
+            }
+        )
+        point = record_point(record)
+        assert point.fn.endswith(":measure_pair_latency")
+        output = point.execute()
+        assert predicted_duration(record, output) == output
+
+
+class TestSessionIntegration:
+    def test_session_shadow_uses_session_calibration(self, fig09_stream):
+        degraded = perturbed_profile(
+            DEFAULT_CALIBRATION, {"kernel_xgmi_bidir_efficiency": 0.9}
+        )
+        with Session(calibration=degraded, telemetry=fig09_stream) as session:
+            report = session.shadow()
+        assert report.calibration_fingerprint == degraded.fingerprint()
+        assert report.max_abs_drift > 0.0
+
+    def test_session_shadow_without_telemetry_is_an_error(self):
+        from repro.errors import ConfigurationError
+
+        with Session() as session:
+            with pytest.raises(ConfigurationError, match="no telemetry"):
+                session.shadow()
+
+    def test_session_accepts_telemetry_path(self, tmp_path, fig09_stream):
+        path = tmp_path / "machine.jsonl"
+        fig09_stream.dump(path)
+        with Session(telemetry=path) as session:
+            report = session.shadow(
+                alert_threshold=DEFAULT_ALERT_THRESHOLD
+            )
+        assert report.max_abs_drift == 0.0

@@ -1,0 +1,295 @@
+"""Tests for the repro-telemetry/1 schema (repro.twin.schema)."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.twin import (
+    TELEMETRY_SCHEMA,
+    TelemetryRecord,
+    TelemetryStream,
+    load_telemetry,
+    loads_telemetry,
+    stream_from_records,
+)
+from repro.twin.schema import implied_bandwidth, record_from_json
+
+TELEMETRY_DIR = (
+    pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "telemetry"
+)
+COMMITTED = sorted(TELEMETRY_DIR.glob("*.jsonl"))
+
+
+def _transfer(t=0.0, src=0, dst=4, size=1 << 20, duration=1e-4, **extra):
+    entry = {
+        "t": t,
+        "kind": "transfer",
+        "src": src,
+        "dst": dst,
+        "bytes": size,
+        "duration": duration,
+    }
+    entry.update(extra)
+    return entry
+
+
+def _stream(records):
+    lines = [json.dumps({"schema": TELEMETRY_SCHEMA, "name": "test"})]
+    lines.extend(json.dumps(entry) for entry in records)
+    return "\n".join(lines) + "\n"
+
+
+class TestRecordParsing:
+    def test_transfer_round_trips(self):
+        record = record_from_json(_transfer())
+        assert record.kind == "transfer"
+        assert record.get("bytes") == 1 << 20
+        assert record_from_json(record.to_json()) == record
+
+    def test_fields_are_sorted_and_hashable(self):
+        record = record_from_json(_transfer())
+        assert record.fields == tuple(sorted(record.fields))
+        hash(record)
+
+    def test_gcds_list_becomes_tuple(self):
+        record = record_from_json(
+            {
+                "t": 0.0,
+                "kind": "host_stream",
+                "gcds": [0, 1],
+                "bytes": 4096,
+                "duration": 1e-5,
+            }
+        )
+        assert record.get("gcds") == (0, 1)
+        hash(record)
+        # ...and serializes back to a JSON list.
+        assert record.to_json()["gcds"] == [0, 1]
+
+    def test_consistent_bandwidth_accepted(self):
+        size, duration = 1 << 20, 1e-4
+        record = record_from_json(
+            _transfer(size=size, duration=duration, bandwidth=size / duration)
+        )
+        assert record.bandwidth == pytest.approx(size / duration)
+        assert implied_bandwidth(record) == pytest.approx(size / duration)
+
+    def test_latency_has_no_implied_bandwidth(self):
+        record = record_from_json(
+            {
+                "t": 0.0,
+                "kind": "latency",
+                "src": 0,
+                "dst": 1,
+                "repetitions": 3,
+                "duration": 1e-5,
+            }
+        )
+        assert implied_bandwidth(record) is None
+
+
+class TestStrictValidation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(TelemetryError, match="unknown kind"):
+            record_from_json({"t": 0.0, "kind": "teleport", "duration": 1e-4})
+
+    def test_rejects_unknown_field(self):
+        with pytest.raises(TelemetryError, match="unknown fields"):
+            record_from_json(_transfer(hops=3))
+
+    def test_rejects_missing_required_field(self):
+        entry = _transfer()
+        del entry["bytes"]
+        with pytest.raises(TelemetryError, match="missing \\['bytes'\\]"):
+            record_from_json(entry)
+
+    def test_rejects_missing_duration(self):
+        entry = _transfer()
+        del entry["duration"]
+        with pytest.raises(TelemetryError, match="missing 'duration'"):
+            record_from_json(entry)
+
+    @pytest.mark.parametrize("duration", [0, -1e-4])
+    def test_rejects_non_positive_duration(self, duration):
+        with pytest.raises(TelemetryError, match="duration must be positive"):
+            record_from_json(_transfer(duration=duration))
+
+    def test_rejects_negative_t(self):
+        with pytest.raises(TelemetryError, match="t must be non-negative"):
+            record_from_json(_transfer(t=-1.0))
+
+    def test_rejects_boolean_posing_as_number(self):
+        with pytest.raises(TelemetryError, match="must be a number"):
+            record_from_json(_transfer(t=True))
+
+    def test_rejects_non_integer_endpoint(self):
+        with pytest.raises(TelemetryError, match="must be an integer"):
+            record_from_json(_transfer(src="gcd0"))
+
+    def test_rejects_src_equal_dst(self):
+        with pytest.raises(TelemetryError, match="src and dst must differ"):
+            record_from_json(_transfer(src=2, dst=2))
+
+    def test_rejects_inconsistent_bandwidth(self):
+        with pytest.raises(TelemetryError, match="disagrees"):
+            record_from_json(_transfer(bandwidth=1.0))
+
+    def test_rejects_unknown_h2d_interface(self):
+        with pytest.raises(TelemetryError, match="unknown h2d interface"):
+            record_from_json(
+                {
+                    "t": 0.0,
+                    "kind": "h2d",
+                    "interface": "quantum",
+                    "gcd": 0,
+                    "bytes": 4096,
+                    "duration": 1e-5,
+                }
+            )
+
+    def test_rejects_unknown_collective_library(self):
+        with pytest.raises(TelemetryError, match="unknown collective library"):
+            record_from_json(
+                {
+                    "t": 0.0,
+                    "kind": "collective",
+                    "library": "nccl2",
+                    "collective": "allreduce",
+                    "ranks": 8,
+                    "bytes": 4096,
+                    "duration": 1e-5,
+                }
+            )
+
+    def test_rejects_duplicate_gcds(self):
+        with pytest.raises(TelemetryError, match="duplicates"):
+            record_from_json(
+                {
+                    "t": 0.0,
+                    "kind": "host_stream",
+                    "gcds": [0, 0],
+                    "bytes": 4096,
+                    "duration": 1e-5,
+                }
+            )
+
+    def test_rejects_non_boolean_peer_access(self):
+        with pytest.raises(TelemetryError, match="must be a boolean"):
+            record_from_json(_transfer(peer_access=1))
+
+    def test_error_names_the_line(self):
+        text = _stream([_transfer(), _transfer(src=1, dst=1)])
+        with pytest.raises(TelemetryError, match="line 3"):
+            loads_telemetry(text)
+
+
+class TestStreamParsing:
+    def test_rejects_empty_document(self):
+        with pytest.raises(TelemetryError, match="empty"):
+            loads_telemetry("")
+
+    def test_rejects_wrong_schema(self):
+        text = json.dumps({"schema": "repro-telemetry/9"}) + "\n"
+        with pytest.raises(TelemetryError, match="unsupported telemetry schema"):
+            loads_telemetry(text)
+
+    def test_rejects_unknown_header_field(self):
+        text = json.dumps({"schema": TELEMETRY_SCHEMA, "machine": "frontier"})
+        with pytest.raises(TelemetryError, match="unknown fields"):
+            loads_telemetry(text)
+
+    def test_rejects_bad_json_line(self):
+        text = _stream([]) + "{not json\n"
+        with pytest.raises(TelemetryError, match="line 2 is not valid JSON"):
+            loads_telemetry(text)
+
+    def test_load_reports_missing_file(self, tmp_path):
+        with pytest.raises(TelemetryError, match="cannot read"):
+            load_telemetry(tmp_path / "absent.jsonl")
+
+    def test_name_defaults_to_file_stem(self, tmp_path):
+        path = tmp_path / "my_machine.jsonl"
+        path.write_text(
+            json.dumps({"schema": TELEMETRY_SCHEMA})
+            + "\n"
+            + json.dumps(_transfer())
+            + "\n"
+        )
+        assert load_telemetry(path).name == "my_machine"
+
+    def test_schema_constant(self):
+        assert TELEMETRY_SCHEMA == "repro-telemetry/1"
+
+
+class TestStreamBehaviour:
+    def test_records_sort_by_event_time(self):
+        late = record_from_json(_transfer(t=2.0))
+        early = record_from_json(_transfer(t=1.0))
+        stream = stream_from_records([late, early])
+        assert [r.t for r in stream] == [1.0, 2.0]
+
+    def test_fingerprint_ignores_name_and_generator(self):
+        records = (record_from_json(_transfer()),)
+        a = TelemetryStream(records, name="a")
+        b = TelemetryStream(records, name="b", generator="synthesized")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_tracks_records(self):
+        a = stream_from_records([record_from_json(_transfer())])
+        b = stream_from_records([record_from_json(_transfer(size=2 << 20))])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_dumps_load_dumps_is_a_fixpoint(self, tmp_path):
+        stream = stream_from_records(
+            [record_from_json(_transfer(t=i * 1e-3)) for i in range(3)],
+            name="fixpoint",
+        )
+        path = tmp_path / "stream.jsonl"
+        stream.dump(path)
+        first = path.read_text()
+        load_telemetry(path).dump(path)
+        assert path.read_text() == first
+
+    def test_windows_partition_by_start_time(self):
+        stream = stream_from_records(
+            [record_from_json(_transfer(t=t)) for t in (0.0, 0.4, 1.1, 3.0)]
+        )
+        windows = stream.windows(1.0)
+        assert [w.index for w in windows] == [0, 1, 3]
+        assert len(windows[0].records) == 2
+        assert windows[2].start == 3.0 and windows[2].end == 4.0
+
+    def test_windows_none_is_one_window(self):
+        stream = stream_from_records(
+            [record_from_json(_transfer(t=t)) for t in (0.0, 5.0)]
+        )
+        windows = stream.windows(None)
+        assert len(windows) == 1
+        assert len(windows[0].records) == 2
+
+    def test_windows_reject_non_positive_width(self):
+        stream = stream_from_records([record_from_json(_transfer())])
+        with pytest.raises(TelemetryError, match="window must be positive"):
+            stream.windows(0.0)
+
+    def test_span_covers_first_start_to_last_end(self):
+        stream = stream_from_records(
+            [
+                record_from_json(_transfer(t=1.0, duration=1e-3)),
+                record_from_json(_transfer(t=2.0, duration=5e-3)),
+            ]
+        )
+        assert stream.span == pytest.approx(1.005)
+
+
+class TestCommittedFiles:
+    def test_example_stream_is_committed(self):
+        assert "fig06_example" in {path.stem for path in COMMITTED}
+
+    @pytest.mark.parametrize("path", COMMITTED, ids=lambda p: p.stem)
+    def test_committed_file_is_valid_and_canonical(self, path):
+        stream = load_telemetry(path)
+        assert stream.records
+        assert stream.dumps() == path.read_text()
