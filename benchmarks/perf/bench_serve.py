@@ -1,0 +1,88 @@
+"""Standalone load-test harness for ``repro serve``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_serve.py \
+        [--clients 200] [--tenants 8] [--workers 4] [--smoke] \
+        [-o SERVE_REPORT.json]
+
+Stands up a real service on an ephemeral port and runs the three-phase
+load test from :mod:`repro.serve.loadtest`: a barrier-released cold
+wave of concurrent what-if submissions, the identical warm wave (which
+must be served entirely from the shared result store, bit-identically),
+and an over-quota burst (which must be throttled with 429 +
+``Retry-After``).  Prints the latency/throughput summary and exits
+non-zero if any acceptance property fails.
+
+The same numbers land in ``BENCH_core.json`` via ``repro perf`` (the
+``serve`` section); this harness exists for iterating on the service
+without re-running the whole suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=200)
+    parser.add_argument("--tenants", type=int, default=8)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--quota-rate", type=float, default=50.0)
+    parser.add_argument("--quota-burst", type=float, default=64.0)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="scaled-down run (48 clients) for CI smoke",
+    )
+    parser.add_argument("-o", "--output", help="write the JSON report here")
+    args = parser.parse_args(argv)
+
+    from repro.errors import BenchmarkError
+    from repro.serve.loadtest import run_load_test
+
+    clients = 48 if args.smoke else args.clients
+    try:
+        report = run_load_test(
+            clients=clients,
+            tenants=args.tenants,
+            workers=args.workers,
+            quota_rate=args.quota_rate,
+            quota_burst=args.quota_burst,
+        )
+    except BenchmarkError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+
+    for phase in ("cold", "warm"):
+        block = report[phase]
+        print(
+            f"{phase:>5}: {block['requests_per_second']:>8.1f} req/s  "
+            f"p50 {block['p50_ms']:>8.1f} ms  "
+            f"p95 {block['p95_ms']:>8.1f} ms  "
+            f"p99 {block['p99_ms']:>8.1f} ms  "
+            f"({clients} clients / {report['tenants']} tenants)"
+        )
+    burst = report["burst"]
+    print(
+        f"burst: {burst['rejected']}/{burst['sent']} rejected with 429 "
+        f"(retry-after seen: {burst['retry_after_seen']})"
+    )
+    print(
+        f"store: {report['store_entries']} entries; warm misses "
+        f"{report['warm_cache_misses']}, identical "
+        f"{report['warm_identical']}"
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -47,6 +47,12 @@ Fails (exit 1) when a headline number regresses below its threshold:
   replayer re-simulates telemetry windows through the sweep runner;
   falling below the floor means replaying a day of telemetry would
   take longer than recording it.
+- ``serve_requests_per_second`` must reach ``REPRO_MIN_SERVE_RPS``
+  (default 5) and ``serve_whatif_p99_ms`` must stay at or below
+  ``REPRO_MAX_SERVE_P99_MS`` (default 60000): the warm wave of the
+  serve load test is pure shared-store dedup, so its sustained rate
+  collapsing (or its p99 blowing past a minute) means the service is
+  re-simulating, serializing on a lock, or starving its job queue.
 
 With ``--baseline`` (a previously committed report), throughput
 headlines may not regress by more than ``REPRO_MAX_PERF_REGRESSION``
@@ -253,6 +259,35 @@ def check(report: dict) -> list[str]:
         print(
             f"ok: shadow_replay_windows_per_second {shadow_rate:,.1f} >= "
             f"{min_shadow:,.1f}"
+        )
+
+    min_serve_rps = float(os.environ.get("REPRO_MIN_SERVE_RPS", "5"))
+    serve_rps = headline.get("serve_requests_per_second")
+    if serve_rps is None:
+        print("skip: serve_requests_per_second not in report (old schema)")
+    elif serve_rps < min_serve_rps:
+        failures.append(
+            f"serve_requests_per_second {serve_rps:,.1f} < "
+            f"{min_serve_rps:,.1f}"
+        )
+    else:
+        print(
+            f"ok: serve_requests_per_second {serve_rps:,.1f} >= "
+            f"{min_serve_rps:,.1f}"
+        )
+
+    max_serve_p99 = float(os.environ.get("REPRO_MAX_SERVE_P99_MS", "60000"))
+    serve_p99 = headline.get("serve_whatif_p99_ms")
+    if serve_p99 is None:
+        print("skip: serve_whatif_p99_ms not in report (old schema)")
+    elif serve_p99 > max_serve_p99:
+        failures.append(
+            f"serve_whatif_p99_ms {serve_p99:,.0f} > {max_serve_p99:,.0f}"
+        )
+    else:
+        print(
+            f"ok: serve_whatif_p99_ms {serve_p99:,.0f} <= "
+            f"{max_serve_p99:,.0f}"
         )
 
     return failures

@@ -16,7 +16,7 @@ from repro.perf.core import format_report, run_suite, write_report
 def test_smoke_suite_shape_and_sanity(tmp_path):
     report = run_suite(smoke=True)
 
-    assert report["schema"] == "repro-bench-core/7"
+    assert report["schema"] == "repro-bench-core/8"
     assert report["smoke"] is True
     results = report["results"]
     assert results["engine_events"]["events_per_second"] > 0
@@ -76,6 +76,14 @@ def test_smoke_suite_shape_and_sanity(tmp_path):
         == shadow["shadow_replay_windows_per_second"]
     )
 
+    serve = results["serve"]
+    assert serve["warm_cache_misses"] == 0
+    assert serve["warm_identical"] is True
+    assert serve["burst"]["rejected"] > 0
+    assert serve["burst"]["retry_after_seen"] is True
+    assert report["headline"]["serve_requests_per_second"] == serve["serve_requests_per_second"]
+    assert report["headline"]["serve_whatif_p99_ms"] == serve["serve_whatif_p99_ms"]
+
     capacity = results["set_capacity"]
     assert capacity["changes"] > 0
     assert capacity["capacity_changes_per_second"] > 0
@@ -86,7 +94,7 @@ def test_smoke_suite_shape_and_sanity(tmp_path):
 
     path = tmp_path / "BENCH_core.json"
     write_report(str(path), report)
-    assert json.loads(path.read_text())["schema"] == "repro-bench-core/7"
+    assert json.loads(path.read_text())["schema"] == "repro-bench-core/8"
 
     text = format_report(report)
     assert "flow churn" in text and "events/s" in text
@@ -96,6 +104,7 @@ def test_smoke_suite_shape_and_sanity(tmp_path):
     assert "epoch dispatch" in text
     assert "flow integration" in text
     assert "shadow replay" in text
+    assert "serve (warm)" in text
 
 
 def test_smoke_suite_sweep_benchmarks():
@@ -223,6 +232,16 @@ class TestCheckBenchBaseline:
         }
         failures = check_bench.check(report)
         assert any("flow_integration_speedup" in f for f in failures)
+
+    def test_serve_floor_guards_in_main_check(self):
+        import check_bench
+
+        report = _guard_report()
+        report["headline"]["serve_requests_per_second"] = 0.5
+        report["headline"]["serve_whatif_p99_ms"] = 10_000_000.0
+        failures = check_bench.check(report)
+        assert any("serve_requests_per_second" in f for f in failures)
+        assert any("serve_whatif_p99_ms" in f for f in failures)
 
     def test_integration_guard_skips_python_only_runs(self):
         import check_bench

@@ -73,7 +73,7 @@ from .twin import (
     synthesize_telemetry,
 )
 
-__version__ = "0.10.0"
+__version__ = "0.11.0"
 
 __all__ = [
     # The blessed surface.

@@ -522,6 +522,160 @@ def _build_parser() -> argparse.ArgumentParser:
         help="coordinate-descent passes over the fields (default: 4)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived HTTP simulation service",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8042,
+        help="bind port (default: 8042; 0 = ephemeral, printed on start)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=_jobs_arg,
+        default=4,
+        metavar="N",
+        help="job-queue worker threads (0 or 'auto' = schedulable CPUs)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=256,
+        metavar="N",
+        help="bounded-queue admission limit (backpressure beyond it)",
+    )
+    serve.add_argument(
+        "--quota-rate",
+        type=float,
+        default=50.0,
+        metavar="PER_SECOND",
+        help="per-tenant sustained submissions per second (default: 50)",
+    )
+    serve.add_argument(
+        "--quota-burst",
+        type=float,
+        default=100.0,
+        metavar="N",
+        help="per-tenant burst allowance (token-bucket size, default: 100)",
+    )
+    serve.add_argument(
+        "--runner-jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes per job's sweep (default: 1 — jobs "
+        "already run concurrently on service threads)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="shared result store (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro)",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the shared result store (every job recomputes)",
+    )
+    serve.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log every HTTP request to stderr",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a job to a running 'repro serve' and await it",
+        parents=[_json_options()],
+    )
+    submit.add_argument(
+        "kind",
+        choices=("run", "sweep", "whatif", "shadow"),
+        help="endpoint to submit to (POST /v1/<kind>)",
+    )
+    submit.add_argument(
+        "targets",
+        nargs="*",
+        metavar="ARTIFACT",
+        help="artifact id(s): one for run / whatif, several for sweep",
+    )
+    submit.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help="service base URL (default: $REPRO_SERVE_URL or "
+        "http://127.0.0.1:8042)",
+    )
+    submit.add_argument(
+        "--tenant",
+        default=None,
+        metavar="NAME",
+        help="tenant the submission is charged to (X-Repro-Tenant)",
+    )
+    submit.add_argument(
+        "--param",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        dest="params",
+        help="experiment parameter override (repeatable; VALUE parsed "
+        "as JSON when possible)",
+    )
+    submit.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        dest="whatif_scenario",
+        help="what-if scenario name (whatif submissions)",
+    )
+    submit.add_argument(
+        "--algorithm",
+        default=None,
+        metavar="NAME",
+        help="collective algorithm override (whatif submissions)",
+    )
+    submit.add_argument(
+        "--topology",
+        default=None,
+        metavar="SPEC",
+        dest="topology_spec",
+        help="topology preset name or file (whatif submissions)",
+    )
+    submit.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="FILE",
+        dest="telemetry_path",
+        help="repro-telemetry/1 JSONL file (shadow submissions)",
+    )
+    submit.add_argument(
+        "--window",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="event-time replay window (shadow submissions)",
+    )
+    submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the job id and return without polling",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="how long to await completion (default: 600)",
+    )
+
     perf = sub.add_parser(
         "perf",
         help="benchmark the simulation core (events/sec, flow churn)",
@@ -1219,9 +1373,215 @@ def _cmd_cache(action: str, cache_dir: str | None = None) -> int:
     return 0
 
 
+#: Default service URL the ``submit`` verb talks to.
+SERVE_URL_ENV = "REPRO_SERVE_URL"
+DEFAULT_SERVE_URL = "http://127.0.0.1:8042"
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServiceConfig, SimService, create_server, serve_forever
+
+    config = ServiceConfig(
+        workers=args.workers,
+        queue_capacity=args.queue_limit,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        runner_jobs=args.runner_jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+    try:
+        service = SimService(config)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        server = create_server(service, host=args.host, port=args.port)
+    except OSError as exc:
+        print(
+            f"error: cannot bind {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        service.close()
+        return 2
+    server.verbose = args.verbose
+    host, port = server.server_address[:2]
+    print(
+        f"repro serve: listening on http://{host}:{port} "
+        f"({service.queue.capacity} queue slots, "
+        f"{len(service.queue._threads)} worker(s), store "
+        f"{'disabled' if args.no_cache else 'shared'}); "
+        f"SIGTERM drains gracefully",
+        flush=True,
+    )
+    serve_forever(server)
+    print("repro serve: drained, bye")
+    return 0
+
+
+def _parse_param_overrides(pairs: "Sequence[str] | None") -> dict:
+    """``--param key=value`` pairs (values parsed as JSON, else str)."""
+    import json
+
+    params: dict = {}
+    for pair in pairs or ():
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(
+                f"--param expects KEY=VALUE, got {pair!r}"
+            )
+        try:
+            params[key] = json.loads(value)
+        except json.JSONDecodeError:
+            params[key] = value
+    return params
+
+
+def _submit_payload(args: argparse.Namespace) -> dict:
+    """Build the POST body for one ``repro submit`` invocation."""
+    params = _parse_param_overrides(args.params)
+    if args.kind == "run":
+        if len(args.targets) != 1:
+            raise ValueError("submit run takes exactly one artifact id")
+        return {"artifact": args.targets[0], "params": params}
+    if args.kind == "sweep":
+        if not args.targets:
+            raise ValueError("submit sweep takes one or more artifact ids")
+        return {"artifacts": list(args.targets), "params": params}
+    if args.kind == "whatif":
+        payload: dict = {}
+        if args.whatif_scenario is not None:
+            payload["scenario"] = args.whatif_scenario
+        if args.targets:
+            if len(args.targets) != 1:
+                raise ValueError("submit whatif takes at most one artifact")
+            payload["artifact"] = args.targets[0]
+            payload["params"] = params
+            if args.topology_spec is not None:
+                payload["topology"] = args.topology_spec
+            if args.algorithm is not None:
+                payload["algorithm"] = args.algorithm
+        if not payload:
+            raise ValueError(
+                "submit whatif needs --scenario NAME or an artifact id"
+            )
+        return payload
+    # shadow
+    if args.telemetry_path is None:
+        raise ValueError("submit shadow requires --telemetry FILE")
+    with open(args.telemetry_path) as handle:
+        text = handle.read()
+    payload = {"telemetry": text}
+    if args.window is not None:
+        payload["window"] = args.window
+    return payload
+
+
+def _print_submit_result(kind: str, record: dict) -> None:
+    """Human-readable rendering of a finished job."""
+    result = record.get("result") or {}
+    if kind in ("run", "whatif") and "report" in result:
+        print(result["report"])
+    elif kind == "sweep":
+        for artifact_id in result.get("artifacts", ()):
+            entry = result["results"][artifact_id]
+            print(entry["report"])
+            print()
+    elif kind == "whatif" and "validation" in result:
+        status = "PASS" if result.get("passed") else "FAIL"
+        print(
+            f"what-if {result.get('scenario')!r}: {status} — "
+            f"{result.get('description', '')}"
+        )
+    elif kind == "shadow":
+        shadow = result.get("shadow", {})
+        overall = shadow.get("overall", {})
+        print(
+            f"shadow replay: {overall.get('count', 0)} record(s), "
+            f"max |drift| {overall.get('max_abs_drift', 0.0):.3e}, "
+            f"{len(shadow.get('alerts', []))} alert(s)"
+        )
+    latency = record.get("latency_seconds")
+    if latency is not None:
+        print(f"[job {record['id']}: {record['state']} in {latency:.3f}s]")
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .errors import BenchmarkError
+    from .serve import JobFailedError, ServeClient, ServeError
+
+    url = args.url or os.environ.get(SERVE_URL_ENV) or DEFAULT_SERVE_URL
+    try:
+        payload = _submit_payload(args)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    client = ServeClient(url, tenant=args.tenant, timeout=args.timeout)
+    try:
+        job_id = client.submit(args.kind, payload)
+        if args.no_wait:
+            print(f"{job_id} queued at {url}/v1/jobs/{job_id}")
+            return 0
+        record = client.wait(job_id, timeout=args.timeout)
+    except ServeError as exc:
+        hint = (
+            f" (retry in {exc.retry_after:.0f}s)"
+            if exc.status == 429 and exc.retry_after
+            else ""
+        )
+        print(f"error: {exc}{hint}", file=sys.stderr)
+        return 3 if exc.status == 429 else 2
+    except JobFailedError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BenchmarkError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json_out is not None:
+        _emit_json(record, args.json_out)
+    if args.json_out != "-":
+        _print_submit_result(args.kind, record)
+    return 0
+
+
+#: Exit status for a write onto a closed pipe (``repro ... | head``):
+#: 128 + SIGPIPE, the shell convention for "terminated by the reader",
+#: chosen over a traceback-and-1 so pipelines behave like any other
+#: Unix tool's.
+SIGPIPE_EXIT = 128 + 13
+
+
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit status."""
-    args = _build_parser().parse_args(argv)
+    """CLI entry point; returns the process exit status.
+
+    Every verb writes to stdout, and any of them can be piped to a
+    reader that stops early (``repro run all --json - | head``).
+    Python turns the resulting ``SIGPIPE`` into a ``BrokenPipeError``
+    on write; without handling it the CLI dies with a traceback *and*
+    a second exception from the interpreter's stdout flush at exit.
+    Catch it once here for all verbs: swallow the error, point stdout
+    at devnull so shutdown flushes cannot re-raise, and exit with the
+    conventional ``128 + SIGPIPE`` status.
+    """
+    try:
+        code = _dispatch(_build_parser().parse_args(argv))
+        # Flush inside the try so a buffered write onto a closed pipe
+        # surfaces here, not in the interpreter's exit machinery.
+        sys.stdout.flush()
+        return code
+    except BrokenPipeError:
+        try:
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, sys.stdout.fileno())
+        except (OSError, ValueError, AttributeError):
+            # stdout may be a pytest capture or StringIO without a
+            # real fd; there is nothing to redirect then.
+            pass
+        return SIGPIPE_EXIT
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Route parsed arguments to their command implementation."""
     # --backend travels via the environment so sweep workers (fresh
     # processes) inherit it; results are bit-identical across backends,
     # so the choice never enters cache keys.
@@ -1396,6 +1756,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
     if args.command == "cache":
         return _cmd_cache(args.action, args.cache_dir)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -8,7 +8,10 @@ sessions that measurement functions build *internally* (fig06's P2P
 matrix, fig11's per-collective sessions) without threading a parameter
 through every signature.
 
-The context is per-process.  Sweep workers re-install it via
+The context is a :class:`contextvars.ContextVar`, isolated per thread
+(and asyncio task) so concurrent ``repro serve`` sessions can inject
+different scenarios side by side.  Sweep workers (separate processes)
+re-install it via
 :func:`repro.runner.points.execute_point_with_faults`, so parallel
 faulted sweeps behave identically to serial ones.
 """
@@ -16,16 +19,19 @@ faulted sweeps behave identically to serial ones.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Iterator
 
 from .scenario import FaultScenario
 
-_ACTIVE: "FaultScenario | None" = None
+_ACTIVE: "ContextVar[FaultScenario | None]" = ContextVar(
+    "repro_ambient_faults", default=None
+)
 
 
 def active() -> "FaultScenario | None":
     """The ambient scenario new nodes should inject, if any."""
-    return _ACTIVE
+    return _ACTIVE.get()
 
 
 @contextmanager
@@ -36,10 +42,8 @@ def install(scenario: "FaultScenario | None") -> Iterator["FaultScenario | None"
     exit.  Installing ``None`` explicitly shields inner code from an
     outer scenario.
     """
-    global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = scenario
+    token = _ACTIVE.set(scenario)
     try:
         yield scenario
     finally:
-        _ACTIVE = previous
+        _ACTIVE.reset(token)

@@ -20,8 +20,11 @@ from all sessions built inside the ``with`` block accumulate in one
 place.  Explicit arguments always win — a caller that asked for its
 own registry keeps it.
 
-The context is per-process state (a plain module global, matching the
-single-threaded CLI); pool workers never see it, which is why
+The context is a :class:`contextvars.ContextVar` — isolated per
+thread (and asyncio task), so every concurrent ``repro serve`` session
+observes only its own simulations; single-threaded CLI runs behave
+exactly as a module global would.  Pool workers (separate processes)
+never see it, which is why
 :func:`repro.runner.points.execute_point_observed` re-creates a
 context inside the worker instead.
 """
@@ -29,13 +32,16 @@ context inside the worker instead.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Iterator
 
 from ..sim.trace import Tracer
 from .metrics import DEFAULT_SAMPLE_CAPACITY, MetricsRegistry
 from .spans import SpanRecorder
 
-_ACTIVE: "ObservationContext | None" = None
+_ACTIVE: "ContextVar[ObservationContext | None]" = ContextVar(
+    "repro_ambient_observation", default=None
+)
 
 
 class ObservationContext:
@@ -64,7 +70,7 @@ class ObservationContext:
 
 def active() -> ObservationContext | None:
     """The currently-installed context, or ``None``."""
-    return _ACTIVE
+    return _ACTIVE.get()
 
 
 @contextmanager
@@ -83,7 +89,6 @@ def capture(
     below is what keeps pool workers from leaking a registry into the
     next point).
     """
-    global _ACTIVE
     context = ObservationContext(
         metrics=metrics,
         trace=trace,
@@ -91,9 +96,8 @@ def capture(
         metrics_capacity=metrics_capacity,
         spans=spans,
     )
-    previous = _ACTIVE
-    _ACTIVE = context
+    token = _ACTIVE.set(context)
     try:
         yield context
     finally:
-        _ACTIVE = previous
+        _ACTIVE.reset(token)

@@ -745,6 +745,23 @@ def bench_shadow_replay(
     }
 
 
+def bench_serve(*, smoke: bool = False) -> dict[str, Any]:
+    """Concurrent what-if load against a live ``repro serve`` instance.
+
+    Delegates to :func:`repro.serve.loadtest.run_load_test`: a real
+    ``ThreadingHTTPServer`` on an ephemeral port takes a barrier-released
+    wave of concurrent what-if submissions (200 clients in the full
+    suite — the acceptance scale — 48 under ``--smoke``), then the same
+    wave again warm, then an over-quota burst.  The harness itself
+    asserts the service properties (zero warm misses, bit-identical
+    warm results, 429+Retry-After under burst); the suite records the
+    warm wave's sustained request rate and p99 latency as headlines.
+    """
+    from ..serve.loadtest import run_load_test
+
+    return run_load_test(clients=48 if smoke else 200)
+
+
 def bench_cache_hit(*, smoke: bool = False) -> dict[str, Any]:
     """Cold vs warm sweep against a throwaway result cache."""
     from ..runner import ResultCache, SweepRunner
@@ -807,6 +824,8 @@ _HEADLINE_SPEC: tuple[tuple[str, str, str], ...] = (
         "shadow_replay",
         "shadow_replay_windows_per_second",
     ),
+    ("serve_requests_per_second", "serve", "serve_requests_per_second"),
+    ("serve_whatif_p99_ms", "serve", "serve_whatif_p99_ms"),
 )
 
 
@@ -855,6 +874,7 @@ def suite_sections(
         "shadow_replay": lambda: bench_shadow_replay(
             smoke=smoke, repeats=repeats
         ),
+        "serve": lambda: bench_serve(smoke=smoke),
     }
 
 
@@ -899,7 +919,7 @@ def run_suite(
         if section in results
     }
     report = {
-        "schema": "repro-bench-core/7",
+        "schema": "repro-bench-core/8",
         "version": __version__,
         "git_sha": _git_sha(),
         "python": sys.version.split()[0],
@@ -989,6 +1009,12 @@ def format_report(report: dict[str, Any]) -> str:
             "shadow_replay",
             lambda r: f"  shadow replay    {r['shadow_replay_windows_per_second']:>12,.1f} windows/s "
             f"({r['records']} records, {r['windows']} windows)",
+        ),
+        (
+            "serve",
+            lambda r: f"  serve (warm)     {r['serve_requests_per_second']:>12,.1f} req/s "
+            f"(p99 {r['serve_whatif_p99_ms']:,.0f} ms, {r['clients']} clients; "
+            f"{r['burst']['rejected']}/{r['burst']['sent']} burst 429s)",
         ),
     )
     lines = [

@@ -28,6 +28,7 @@ adopt the selection without signature changes.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from contextvars import ContextVar
 from itertools import combinations
 from typing import Iterator, Sequence
 
@@ -51,12 +52,17 @@ def check_algorithm(name: str) -> str:
     raise RcclError(f"unknown collective algorithm {name!r} (known: {known})")
 
 
-_ACTIVE: "str | None" = None
+# Per-thread (ContextVar) so concurrent serve sessions can steer
+# different algorithms without interfering; single-threaded runs see
+# plain module-global behavior.
+_ACTIVE: "ContextVar[str | None]" = ContextVar(
+    "repro_ambient_algorithm", default=None
+)
 
 
 def active_algorithm() -> "str | None":
     """The ambient algorithm new communicators should adopt, if any."""
-    return _ACTIVE
+    return _ACTIVE.get()
 
 
 @contextmanager
@@ -69,13 +75,11 @@ def install_algorithm(name: "str | None") -> Iterator["str | None"]:
     """
     if name is not None:
         check_algorithm(name)
-    global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = name
+    token = _ACTIVE.set(name)
     try:
         yield name
     finally:
-        _ACTIVE = previous
+        _ACTIVE.reset(token)
 
 
 def xgmi_islands(

@@ -16,6 +16,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
@@ -25,6 +26,11 @@ from .points import SimPoint
 
 #: Environment variable overriding the cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Age (seconds) past which an abandoned ``.tmp-*`` file is considered
+#: dead and swept by :meth:`ResultCache.clear`.  Younger temporaries
+#: may belong to an in-flight store on another thread or process.
+STALE_TMP_SECONDS = 3600.0
 
 
 def default_cache_dir() -> Path:
@@ -144,6 +150,16 @@ class ResultCache:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(payload)
             os.replace(tmp_name, path)
+        except FileNotFoundError:
+            # A concurrent clear() swept our temp between write and
+            # publish.  The cache only promises recomputability, so a
+            # lost store is harmless — never crash the runner for it.
+            self.stats.errors += 1
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            return
         except BaseException:
             try:
                 os.unlink(tmp_name)
@@ -198,8 +214,12 @@ class ResultCache:
 
         Also sweeps stale ``.tmp-*`` files abandoned by writers that
         died between ``mkstemp`` and ``os.replace`` (they are not
-        counted in the return value).  Files already removed by a
-        concurrent clear are skipped silently.
+        counted in the return value).  Only temporaries older than
+        :data:`STALE_TMP_SECONDS` are swept — a younger one probably
+        belongs to an *in-flight* store on another thread/process, and
+        deleting it from under the writer would turn its publish into
+        an error.  Files already removed by a concurrent clear are
+        skipped silently.
         """
         removed = 0
         for path in self.entries():
@@ -214,9 +234,11 @@ class ResultCache:
                 stale = list(objects.glob("*/.tmp-*"))
             except OSError:
                 stale = []
+            cutoff = time.time() - STALE_TMP_SECONDS
             for path in stale:
                 try:
-                    path.unlink()
+                    if path.stat().st_mtime < cutoff:
+                        path.unlink()
                 except OSError:
                     pass
         return removed

@@ -32,12 +32,33 @@ from .points import (
 )
 
 
+def available_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the *machine*, not the cgroup/affinity
+    mask — in a container pinned to 2 of 64 cores it answers 64, and
+    ``jobs="auto"`` would oversubscribe 32× (exactly the environment a
+    long-lived ``repro serve`` runs in).  ``os.sched_getaffinity(0)``
+    reports the schedulable set; fall back to ``cpu_count`` on
+    platforms without it (macOS, Windows).
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            mask = getaffinity(0)
+        except OSError:  # pragma: no cover - exotic kernels
+            mask = None
+        if mask:
+            return len(mask)
+    return os.cpu_count() or 1
+
+
 def resolve_jobs(jobs: int | str | None) -> int:
     """Normalize a ``--jobs`` value: ``None``→1, ``0``/"auto"→cores."""
     if jobs is None:
         return 1
     if jobs == "auto" or jobs == 0:
-        return os.cpu_count() or 1
+        return available_cpus()
     jobs = int(jobs)
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -65,6 +86,7 @@ class RunnerStats:
     uncacheable: int = 0
     jobs: int = 1
     parallel_fallbacks: int = 0
+    pool_crashes: int = 0
     wall_seconds: float = 0.0
     metrics: dict[str, Any] | None = None
     spans: list[dict[str, Any]] | None = None
@@ -79,6 +101,7 @@ class RunnerStats:
             "uncacheable": self.uncacheable,
             "jobs": self.jobs,
             "parallel_fallbacks": self.parallel_fallbacks,
+            "pool_crashes": self.pool_crashes,
             "wall_seconds": self.wall_seconds,
         }
         if self.metrics is not None:
@@ -317,12 +340,32 @@ class SweepRunner:
         self, points: list[SimPoint], trampoline: Any = execute_point
     ) -> list[Any]:
         from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
 
         workers = min(self.jobs, len(points))
         chunksize = max(1, len(points) // (workers * 4))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            # ``map`` preserves submission order, which is point order.
-            return list(pool.map(trampoline, points, chunksize=chunksize))
+        results: list[Any] = []
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                # ``map`` preserves submission order, which is point
+                # order; consuming it incrementally keeps every result
+                # that completed before a worker crash.
+                for value in pool.map(
+                    trampoline, points, chunksize=chunksize
+                ):
+                    results.append(value)
+        except BrokenProcessPool:
+            # A worker died mid-sweep (OOM kill, segfault in a native
+            # extension, container eviction).  The pool is poisoned,
+            # but the unfinished points are still perfectly runnable —
+            # finish them serially instead of surfacing a raw
+            # BrokenProcessPool for the whole sweep.  If serial
+            # execution fails too, *that* exception propagates.
+            self.stats.pool_crashes += 1
+            results.extend(
+                trampoline(point) for point in points[len(results):]
+            )
+        return results
 
     # -- experiment-level API -------------------------------------------
 

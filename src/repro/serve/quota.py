@@ -1,0 +1,88 @@
+"""Per-tenant token-bucket admission quotas.
+
+Every tenant of a :class:`~repro.serve.service.SimService` owns one
+:class:`TokenBucket`: a submission spends a token, tokens refill at
+``rate`` per second up to a ``burst`` ceiling.  An empty bucket means
+the request is rejected *before* it touches the job queue, with a
+``retry_after`` hint of how long until the next token accrues — the
+HTTP layer turns that into ``429`` + ``Retry-After``.
+
+The policy is deliberately tiny and deterministic: a pluggable
+``clock`` (defaults to ``time.monotonic``) makes quota behavior unit
+testable without sleeping, and all state lives behind one lock so the
+threaded HTTP frontend can consult it concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+
+class TokenBucket:
+    """One tenant's refillable submission allowance."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float, *, now: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"quota rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"quota burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated = now
+
+    def try_acquire(self, now: float) -> float:
+        """Spend one token; ``0.0`` on success, else seconds to retry.
+
+        Refills lazily from the elapsed time since the last call, so
+        an idle tenant recovers its full burst without any background
+        timer.
+        """
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class QuotaPolicy:
+    """Per-tenant token buckets with shared rate/burst defaults."""
+
+    def __init__(
+        self,
+        rate: float = 50.0,
+        burst: float = 100.0,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def admit(self, tenant: str) -> float:
+        """Charge one submission to ``tenant``.
+
+        Returns ``0.0`` when admitted, or the suggested retry delay in
+        seconds when the tenant's bucket is empty.
+        """
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    self.rate, self.burst, now=now
+                )
+            return bucket.try_acquire(now)
+
+    def tenants(self) -> list[str]:
+        """Tenants that have submitted at least once (sorted)."""
+        with self._lock:
+            return sorted(self._buckets)

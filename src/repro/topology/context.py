@@ -7,7 +7,11 @@ mi250x_node.json`` reach the sessions that measurement functions build
 *internally* (fig06's P2P matrix, fig11's per-collective sessions)
 without threading a parameter through every signature.
 
-The context is per-process.  Sweep workers re-install it via
+The context is a :class:`contextvars.ContextVar`, so it is isolated
+per thread (and per asyncio task): every ``repro serve`` job thread
+can run under its own topology without clobbering its neighbours,
+while single-threaded CLI runs behave exactly as a module global
+would.  Sweep workers (separate *processes*) re-install it via
 :func:`repro.runner.points.execute_point_in_context`, so parallel
 sweeps over a file-defined topology behave identically to serial ones;
 the topology's fingerprint is folded into each point's cache key by
@@ -17,16 +21,19 @@ the topology's fingerprint is folded into each point's cache key by
 from __future__ import annotations
 
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Iterator
 
 from .node import NodeTopology
 
-_ACTIVE: "NodeTopology | None" = None
+_ACTIVE: "ContextVar[NodeTopology | None]" = ContextVar(
+    "repro_ambient_topology", default=None
+)
 
 
 def active() -> "NodeTopology | None":
     """The ambient topology new sessions should build on, if any."""
-    return _ACTIVE
+    return _ACTIVE.get()
 
 
 @contextmanager
@@ -37,13 +44,11 @@ def install(topology: "NodeTopology | None") -> Iterator["NodeTopology | None"]:
     exit.  Installing ``None`` explicitly shields inner code from an
     outer context.
     """
-    global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = topology
+    token = _ACTIVE.set(topology)
     try:
         yield topology
     finally:
-        _ACTIVE = previous
+        _ACTIVE.reset(token)
 
 
 def resolve_default(topology: "NodeTopology | None" = None) -> NodeTopology:
@@ -57,8 +62,9 @@ def resolve_default(topology: "NodeTopology | None" = None) -> NodeTopology:
     """
     if topology is not None:
         return topology
-    if _ACTIVE is not None:
-        return _ACTIVE
+    ambient = _ACTIVE.get()
+    if ambient is not None:
+        return ambient
     from .presets import frontier_node
 
     return frontier_node()

@@ -78,12 +78,22 @@ class TestResultCache:
         assert cache.total_bytes() == committed
 
     def test_clear_sweeps_stale_temp_files_uncounted(self, tmp_path):
+        import os
+
+        from repro.runner.cache import STALE_TMP_SECONDS
+
         cache = ResultCache(tmp_path, version="1")
         cache.store(cache.key_for(_point()), 1.0)
         bucket = next(cache.entries()).parent
-        (bucket / ".tmp-abandoned.pkl").write_bytes(b"x")
+        stale = bucket / ".tmp-abandoned.pkl"
+        stale.write_bytes(b"x")
+        # Only temps older than the stale threshold are swept — a fresh
+        # one may belong to an in-flight writer (see
+        # test_cache_concurrency).
+        old = os.path.getmtime(stale) - STALE_TMP_SECONDS - 60
+        os.utime(stale, (old, old))
         assert cache.clear() == 1  # temp sweep not counted as an entry
-        assert not (bucket / ".tmp-abandoned.pkl").exists()
+        assert not stale.exists()
 
     def test_total_bytes_tolerates_concurrent_clear(self, tmp_path):
         """Regression: a file deleted between the directory listing and

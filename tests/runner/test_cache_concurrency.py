@@ -1,0 +1,207 @@
+"""Multi-tenant ResultCache hammer: threads + processes on one store.
+
+``repro serve`` promotes the cache to a shared result store — many
+job threads (and sweep worker processes) hit one directory with mixed
+``store``/``load``/``clear`` traffic.  These tests pin the properties
+that make that safe:
+
+- a reader never observes a torn entry (atomic tempfile +
+  ``os.replace`` publication);
+- ``load`` answers either a clean miss or the *complete* value, even
+  racing ``clear``;
+- stale ``.tmp-*`` files from killed writers are invisible to
+  ``entries()`` and swept by ``clear()``.
+"""
+
+import multiprocessing
+import os
+import pickle
+import threading
+
+import pytest
+
+from repro.runner import ResultCache
+
+KEYS = [f"{i:02x}{'ab' * 31}" for i in range(16)]  # 16 two-char shards
+
+
+def _value_for(key: str) -> dict:
+    # Big enough that a torn read cannot masquerade as a valid pickle.
+    return {"key": key, "payload": [key] * 2000}
+
+
+def _hammer_store_load(directory: str, seed: int) -> int:
+    """One process's worth of mixed traffic; returns observed errors."""
+    cache = ResultCache(directory, version="1")
+    for round_no in range(20):
+        key = KEYS[(seed + round_no) % len(KEYS)]
+        cache.store(key, _value_for(key))
+        hit, value = cache.load(key)
+        if hit and value != _value_for(key):
+            raise AssertionError(f"torn read for {key}")
+        if (seed + round_no) % 7 == 0:
+            cache.clear()
+    return cache.stats.errors
+
+
+class TestThreadHammer:
+    def test_store_load_clear_race_is_clean(self, tmp_path):
+        cache_dir = str(tmp_path)
+        failures = []
+        barrier = threading.Barrier(8)
+
+        def worker(seed):
+            try:
+                barrier.wait(timeout=60)
+                _hammer_store_load(cache_dir, seed)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if failures:
+            raise failures[0]
+        # Every surviving committed entry is complete and loadable.
+        survivor = ResultCache(cache_dir, version="1")
+        for path in survivor.entries():
+            key = path.stem
+            hit, value = survivor.load(key)
+            assert hit and value == _value_for(key)
+        assert survivor.stats.errors == 0
+
+    def test_concurrent_same_key_store_keeps_one_full_copy(self, tmp_path):
+        """N writers racing on ONE key must leave exactly one complete
+        entry (last ``os.replace`` wins) and no droppings."""
+        cache_dir = str(tmp_path)
+        key = KEYS[0]
+        barrier = threading.Barrier(12)
+
+        def writer(tag):
+            cache = ResultCache(cache_dir, version="1")
+            barrier.wait(timeout=60)
+            for _ in range(25):
+                cache.store(key, _value_for(key))
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(12)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        cache = ResultCache(cache_dir, version="1")
+        assert cache.entry_count() == 1
+        hit, value = cache.load(key)
+        assert hit and value == _value_for(key)
+        # No abandoned temporaries: every mkstemp was replaced/unlinked.
+        shard = (tmp_path / "objects" / key[:2])
+        assert not list(shard.glob(".tmp-*"))
+
+
+class TestProcessHammer:
+    def test_cross_process_traffic(self, tmp_path):
+        """Separate processes (real serve workers / sweep pools) share
+        the store without corruption."""
+        try:
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(4) as pool:
+                errors = pool.starmap(
+                    _hammer_store_load, [(str(tmp_path), i) for i in range(4)]
+                )
+        except (OSError, NotImplementedError):
+            pytest.skip("no multiprocessing in this sandbox")
+        assert errors == [0, 0, 0, 0]
+        survivor = ResultCache(tmp_path, version="1")
+        for path in survivor.entries():
+            hit, value = survivor.load(path.stem)
+            assert hit and value == _value_for(path.stem)
+
+
+class TestStaleTemporaries:
+    def test_tmp_files_hidden_from_entries_and_swept_by_clear(self, tmp_path):
+        from repro.runner.cache import STALE_TMP_SECONDS
+
+        cache = ResultCache(tmp_path, version="1")
+        cache.store(KEYS[0], _value_for(KEYS[0]))
+        shard = tmp_path / "objects" / KEYS[0][:2]
+        # Simulate a writer killed between mkstemp and os.replace, long
+        # ago (backdated past the stale threshold)...
+        stale = shard / ".tmp-dead12.pkl"
+        stale.write_bytes(b"\x80\x05 truncated garbage")
+        long_ago = os.path.getmtime(stale) - STALE_TMP_SECONDS - 60
+        os.utime(stale, (long_ago, long_ago))
+        # ...and one that is in-flight right now.
+        fresh = shard / ".tmp-live34.pkl"
+        fresh.write_bytes(b"\x80\x05 in flight")
+        assert cache.entry_count() == 1  # temps are not entries
+        assert [p.name for p in cache.entries()] == [f"{KEYS[0]}.pkl"]
+        removed = cache.clear()
+        assert removed == 1  # temps are swept but not counted
+        assert not stale.exists()  # dead writer's droppings gone
+        assert fresh.exists()  # live writer's temp untouched
+        assert cache.entry_count() == 0
+
+    def test_store_racing_clear_never_raises(self, tmp_path):
+        """Regression: clear() swept a temp belonging to an in-flight
+        store, whose os.replace then crashed with FileNotFoundError."""
+        cache = ResultCache(tmp_path, version="1")
+        key = KEYS[3]
+        real_replace = os.replace
+
+        def sweep_then_replace(src, dst):
+            # A concurrent clear() wins the race and deletes the temp.
+            os.unlink(src)
+            return real_replace(src, dst)
+
+        cache.store(key, _value_for(key))  # healthy path first
+        try:
+            os.replace = sweep_then_replace
+            cache.store(key, _value_for(key))  # must not raise
+        finally:
+            os.replace = real_replace
+        assert cache.stats.errors == 1
+        assert cache.stats.stores == 1  # the lost store is not counted
+        hit, value = cache.load(key)  # first copy still intact
+        assert hit and value == _value_for(key)
+
+    def test_torn_entry_is_dropped_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path, version="1")
+        cache.store(KEYS[1], _value_for(KEYS[1]))
+        path = tmp_path / "objects" / KEYS[1][:2] / f"{KEYS[1]}.pkl"
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])  # truncate mid-pickle
+        hit, value = cache.load(KEYS[1])
+        assert not hit and value is None
+        assert cache.stats.errors == 1
+        assert not path.exists()  # corrupt entry deleted, not retried
+
+    def test_atomic_publication_never_exposes_partial(self, tmp_path):
+        """A reader polling while a writer stores sees miss → full
+        value, never a partial pickle (pins the os.replace path)."""
+        cache_dir = str(tmp_path)
+        key = KEYS[2]
+        stop = threading.Event()
+        bad = []
+
+        def reader():
+            cache = ResultCache(cache_dir, version="1")
+            while not stop.is_set():
+                hit, value = cache.load(key)
+                if hit and value != _value_for(key):
+                    bad.append(value)
+            if cache.stats.errors:
+                bad.append(f"{cache.stats.errors} corrupt reads")
+
+        poller = threading.Thread(target=reader)
+        poller.start()
+        writer = ResultCache(cache_dir, version="1")
+        for _ in range(200):
+            writer.store(key, _value_for(key))
+        stop.set()
+        poller.join()
+        assert not bad

@@ -387,3 +387,51 @@ class TestCalibrateCommand:
         )
         assert code == 2
         assert "not fittable" in capsys.readouterr().err
+
+
+class TestSigpipeHandling:
+    """``repro ... | head`` must not die with a BrokenPipeError traceback."""
+
+    class _ClosedPipe:
+        """A stdout whose reader has gone away: every write EPIPEs."""
+
+        def write(self, text):
+            raise BrokenPipeError(32, "Broken pipe")
+
+        def flush(self):
+            raise BrokenPipeError(32, "Broken pipe")
+
+    def test_broken_pipe_exits_141(self, monkeypatch):
+        import sys as _sys
+
+        from repro.cli import SIGPIPE_EXIT
+
+        monkeypatch.setattr(_sys, "stdout", self._ClosedPipe())
+        assert main(["list"]) == SIGPIPE_EXIT == 141
+
+    def test_broken_pipe_on_json_emit_exits_141(self, cache_dir, monkeypatch):
+        import sys as _sys
+
+        from repro.cli import SIGPIPE_EXIT
+
+        monkeypatch.setattr(_sys, "stdout", self._ClosedPipe())
+        assert main(["run", "fig04", "--json", "-"]) == SIGPIPE_EXIT
+
+    def test_real_pipe_closed_reader(self, tmp_path):
+        """End-to-end: reader closes first, CLI exits 141 quietly."""
+        import os as _os
+        import subprocess
+        import sys as _sys
+
+        env = {**_os.environ, "PYTHONPATH": "src", "REPRO_CACHE_DIR": str(tmp_path)}
+        proc = subprocess.Popen(
+            [_sys.executable, "-m", "repro.cli", "run", "fig01", "--json", "-"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+        )
+        proc.stdout.close()  # reader hangs up before the CLI writes
+        _, err = proc.communicate(timeout=120)
+        assert proc.returncode == 141, err.decode()
+        assert b"Traceback" not in err
+        assert b"BrokenPipeError" not in err

@@ -1,10 +1,12 @@
 """SweepRunner mechanics: job resolution, caching, fallback, ordering."""
 
+import multiprocessing
 import os
 
 import pytest
 
 from repro.runner import ResultCache, SimPoint, SweepRunner, resolve_jobs
+from repro.runner.runner import available_cpus
 from repro.units import MiB
 
 
@@ -26,13 +28,30 @@ class TestResolveJobs:
         assert resolve_jobs(None) == 1
         assert resolve_jobs(3) == 3
         assert resolve_jobs("2") == 2
-        cores = os.cpu_count() or 1
+        cores = available_cpus()
         assert resolve_jobs(0) == cores
         assert resolve_jobs("auto") == cores
 
     def test_rejects_non_positive(self):
         with pytest.raises(ValueError):
             resolve_jobs(-1)
+
+    def test_auto_respects_affinity_mask(self, monkeypatch):
+        """Regression: ``auto`` used ``os.cpu_count()``, which reports
+        the machine, not the cgroup/affinity mask — a container pinned
+        to 2 of 64 cores got 64 workers."""
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 3}, raising=False)
+        assert available_cpus() == 2
+        assert resolve_jobs("auto") == 2
+        assert resolve_jobs(0) == 2
+
+    def test_falls_back_to_cpu_count_without_affinity(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        assert available_cpus() == (os.cpu_count() or 1)
+
+    def test_empty_affinity_mask_falls_back(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: set(), raising=False)
+        assert available_cpus() == (os.cpu_count() or 1)
 
 
 class TestRunPoints:
@@ -79,6 +98,48 @@ class TestRunPoints:
         points = _grid()
         assert runner.run_points(points) == [p.execute() for p in points]
         assert runner.stats.parallel_fallbacks == 1
+
+
+def _die_in_worker(point):
+    """Trampoline that kills pool workers but works in the parent.
+
+    ``os._exit`` from inside a worker is what an OOM kill or a native
+    segfault looks like to the executor: the pool turns into a
+    ``BrokenProcessPool``.  Run serially (in the parent) it behaves.
+    """
+    if multiprocessing.parent_process() is not None:
+        os._exit(13)
+    return point.execute()
+
+
+def _die_everywhere(point):
+    if multiprocessing.parent_process() is not None:
+        os._exit(13)
+    raise RuntimeError("serial retry is broken too")
+
+
+class TestPoolCrashFallback:
+    def test_worker_crash_finishes_serially(self):
+        """Regression: a worker dying mid-sweep surfaced a raw
+        ``BrokenProcessPool`` to the caller even though the remaining
+        points were perfectly runnable."""
+        runner = SweepRunner(2, use_cache=False)
+        points = _grid()
+        results = runner._execute_parallel(points, _die_in_worker)
+        assert results == [p.execute() for p in points]
+        assert runner.stats.pool_crashes == 1
+
+    def test_serial_failure_after_crash_propagates(self):
+        runner = SweepRunner(2, use_cache=False)
+        with pytest.raises(RuntimeError, match="serial retry"):
+            runner._execute_parallel(_grid(), _die_everywhere)
+        assert runner.stats.pool_crashes == 1
+
+    def test_healthy_pool_counts_no_crashes(self, tmp_path):
+        runner = SweepRunner(2, use_cache=False)
+        points = _grid()
+        assert runner.run_points(points) == [p.execute() for p in points]
+        assert runner.stats.pool_crashes == 0
 
 
 class TestPerRunCacheStats:

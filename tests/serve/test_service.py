@@ -1,0 +1,273 @@
+"""SimService unit tests: quotas, admission, validation, lifecycle, drain.
+
+Everything here exercises the HTTP-free core — no sockets — so the
+admission and execution semantics are pinned independently of the
+frontend (which ``test_http.py`` covers over a real port).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import (
+    BadRequestError,
+    JobState,
+    QueueFullError,
+    QuotaExceededError,
+    QuotaPolicy,
+    ServiceConfig,
+    ServiceDrainingError,
+    SimService,
+    TokenBucket,
+)
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = SimService(
+        ServiceConfig(workers=2, cache_dir=str(tmp_path / "store"))
+    )
+    yield svc
+    svc.close()
+
+
+class TestTokenBucket:
+    def test_burst_then_throttle_then_refill(self):
+        bucket = TokenBucket(rate=2.0, burst=3.0, now=0.0)
+        assert [bucket.try_acquire(0.0) for _ in range(3)] == [0.0] * 3
+        retry = bucket.try_acquire(0.0)
+        assert retry == pytest.approx(0.5)  # 1 token / 2 per second
+        assert bucket.try_acquire(0.5) == 0.0  # refilled exactly enough
+        assert bucket.try_acquire(0.5) > 0.0
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0, now=0.0)
+        bucket.try_acquire(0.0)
+        # A long idle period must not bank more than `burst` tokens.
+        assert bucket.try_acquire(1000.0) == 0.0
+        assert bucket.try_acquire(1000.0) == 0.0
+        assert bucket.try_acquire(1000.0) > 0.0
+
+
+class TestQuotaPolicy:
+    def test_buckets_are_per_tenant(self):
+        clock = [0.0]
+        policy = QuotaPolicy(rate=1.0, burst=1.0, clock=lambda: clock[0])
+        assert policy.admit("alice") == 0.0
+        assert policy.admit("alice") > 0.0  # alice exhausted her bucket
+        assert policy.admit("bob") == 0.0  # bob is unaffected
+        assert sorted(policy.tenants()) == ["alice", "bob"]
+
+    def test_thread_safety_never_overadmits(self):
+        clock = [0.0]
+        policy = QuotaPolicy(rate=0.0001, burst=50.0, clock=lambda: clock[0])
+        admitted = []
+        barrier = threading.Barrier(10)
+
+        def worker():
+            barrier.wait(timeout=30)
+            for _ in range(20):
+                if policy.admit("shared") == 0.0:
+                    admitted.append(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(10)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(admitted) == 50  # exactly the burst, not one more
+
+
+class TestValidation:
+    def test_unknown_kind(self, service):
+        with pytest.raises(BadRequestError, match="unknown request kind"):
+            service.submit("teleport", {})
+
+    def test_run_requires_known_artifact(self, service):
+        with pytest.raises(BadRequestError, match="unknown artifact"):
+            service.submit("run", {"artifact": "fig99"})
+        with pytest.raises(BadRequestError, match="'artifact'"):
+            service.submit("run", {})
+
+    def test_sweep_rejects_unknown_ids(self, service):
+        with pytest.raises(BadRequestError, match="unknown artifact"):
+            service.submit("sweep", {"artifacts": ["fig01", "nope"]})
+        with pytest.raises(BadRequestError, match="non-empty"):
+            service.submit("sweep", {"artifacts": []})
+
+    def test_whatif_scenario_xor_artifact(self, service):
+        with pytest.raises(BadRequestError, match="not both"):
+            service.submit(
+                "whatif", {"scenario": "baseline", "artifact": "fig01"}
+            )
+        with pytest.raises(BadRequestError, match="unknown scenario"):
+            service.submit("whatif", {"scenario": "warp-drive"})
+        with pytest.raises(BadRequestError, match="requires"):
+            service.submit("whatif", {})
+
+    def test_whatif_rejects_bad_algorithm(self, service):
+        with pytest.raises(BadRequestError):
+            service.submit(
+                "whatif", {"artifact": "fig11", "algorithm": "gossip"}
+            )
+
+    def test_shadow_requires_exactly_one_source(self, service):
+        with pytest.raises(BadRequestError, match="exactly one"):
+            service.submit("shadow", {})
+        with pytest.raises(BadRequestError, match="exactly one"):
+            service.submit("shadow", {"telemetry": "", "records": []})
+        with pytest.raises(BadRequestError, match="bad telemetry"):
+            service.submit("shadow", {"telemetry": "not json lines"})
+
+    def test_tenant_name_rules(self, service):
+        with pytest.raises(BadRequestError, match="tenant"):
+            service.submit("run", {"artifact": "fig01"}, tenant="  ")
+        with pytest.raises(BadRequestError, match="tenant"):
+            service.submit("run", {"artifact": "fig01"}, tenant="x" * 65)
+
+    def test_rejected_requests_create_no_job(self, service):
+        try:
+            service.submit("run", {"artifact": "fig99"})
+        except BadRequestError:
+            pass
+        assert service.jobs() == []
+
+
+class TestJobLifecycle:
+    def test_run_job_completes_with_result(self, service):
+        job = service.submit("run", {"artifact": "fig01"})
+        assert job.wait(timeout=120)
+        assert job.state == JobState.DONE
+        record = job.as_dict()
+        assert record["result"]["artifact"] == "fig01"
+        assert "Topology" in record["result"]["report"]
+        assert record["latency_seconds"] > 0
+        events = [e["event"] for e in job.events_since(0)]
+        assert events == ["queued", "running", "done"]
+
+    def test_failed_job_reports_error_without_result(self, service, monkeypatch):
+        # The queue captured the bound executor at construction time, so
+        # patch the queue's reference, not the class method.
+        monkeypatch.setattr(
+            service.queue,
+            "_executor",
+            lambda job: (_ for _ in ()).throw(RuntimeError("boom")),
+        )
+        job = service.submit("run", {"artifact": "fig01"})
+        assert job.wait(timeout=30)
+        assert job.state == JobState.FAILED
+        record = job.as_dict()
+        assert "boom" in record["error"]
+        assert "result" not in record
+        assert [e["event"] for e in job.events_since(0)][-1] == "failed"
+
+    def test_whatif_scenario_runs_validation(self, service):
+        job = service.submit("whatif", {"scenario": "baseline"})
+        assert job.wait(timeout=300)
+        assert job.state == JobState.DONE
+        assert job.result["passed"] is True
+        assert job.result["scenario"] == "baseline"
+
+    def test_jobs_lookup(self, service):
+        job = service.submit("run", {"artifact": "fig01"})
+        assert service.job(job.id) is job
+        assert service.job("j999999") is None
+        assert job in service.jobs()
+        job.wait(timeout=120)
+
+
+class TestSharedStoreDedup:
+    def test_second_submission_hits_cache(self, service):
+        first = service.submit("run", {"artifact": "fig04"}, tenant="alice")
+        assert first.wait(timeout=300)
+        second = service.submit("run", {"artifact": "fig04"}, tenant="bob")
+        assert second.wait(timeout=300)
+        assert second.result["runner"]["cache_misses"] == 0
+        assert second.result["runner"]["cache_hits"] > 0
+        assert second.result["canonical"] == first.result["canonical"]
+
+    def test_stats_report_store(self, service):
+        job = service.submit("run", {"artifact": "fig04"})
+        assert job.wait(timeout=300)
+        stats = service.stats()
+        assert stats["store"]["entries"] > 0
+        assert stats["jobs"].get("done", 0) >= 1
+        assert stats["latency"]["run"]["count"] >= 1
+
+
+class TestAdmissionControl:
+    def test_quota_exhaustion_raises_with_retry_after(self, tmp_path):
+        svc = SimService(
+            ServiceConfig(
+                workers=1,
+                quota_rate=0.001,
+                quota_burst=2.0,
+                cache_dir=str(tmp_path),
+            )
+        )
+        try:
+            svc.submit("run", {"artifact": "fig01"}, tenant="greedy")
+            svc.submit("run", {"artifact": "fig01"}, tenant="greedy")
+            with pytest.raises(QuotaExceededError) as excinfo:
+                svc.submit("run", {"artifact": "fig01"}, tenant="greedy")
+            assert excinfo.value.retry_after > 0
+            assert excinfo.value.tenant == "greedy"
+            # Another tenant still gets in.
+            svc.submit("run", {"artifact": "fig01"}, tenant="patient")
+            snapshot = svc.metrics.snapshot()
+            assert snapshot["counters"]["serve/rejected/quota"] == 1
+        finally:
+            svc.close()
+
+    def test_full_queue_raises_and_forgets_job(self, tmp_path):
+        svc = SimService(
+            ServiceConfig(workers=1, queue_capacity=1, cache_dir=str(tmp_path))
+        )
+        gate = threading.Event()
+        original = SimService._execute
+        svc.queue._executor = lambda job: (gate.wait(timeout=60), original(svc, job))[1]
+        try:
+            blocker = svc.submit("run", {"artifact": "fig01"})
+            deadline = time.monotonic() + 10
+            while svc.queue.in_flight < 1 and time.monotonic() < deadline:
+                time.sleep(0.01)  # wait for the worker to pick it up
+            queued = svc.submit("run", {"artifact": "fig01"})
+            with pytest.raises(QueueFullError):
+                svc.submit("run", {"artifact": "fig01"})
+            before = {j.id for j in svc.jobs()}
+            assert len(before) == 2  # the rejected one was removed
+            gate.set()
+            assert blocker.wait(timeout=120) and queued.wait(timeout=120)
+            snapshot = svc.metrics.snapshot()
+            assert snapshot["counters"]["serve/rejected/queue"] == 1
+        finally:
+            gate.set()
+            svc.close()
+
+
+class TestDrain:
+    def test_drain_finishes_queued_then_refuses(self, tmp_path):
+        svc = SimService(ServiceConfig(workers=2, cache_dir=str(tmp_path)))
+        jobs = [svc.submit("run", {"artifact": "fig01"}) for _ in range(4)]
+        svc.drain()
+        assert all(j.state == JobState.DONE for j in jobs)
+        with pytest.raises(ServiceDrainingError):
+            svc.submit("run", {"artifact": "fig01"})
+        assert svc.draining
+
+    def test_close_drops_queued(self, tmp_path):
+        svc = SimService(ServiceConfig(workers=1, cache_dir=str(tmp_path)))
+        gate = threading.Event()
+        original = SimService._execute
+        svc.queue._executor = lambda job: (gate.wait(timeout=60), original(svc, job))[1]
+        running = svc.submit("run", {"artifact": "fig01"})
+        deadline = time.monotonic() + 10
+        while svc.queue.in_flight < 1 and time.monotonic() < deadline:
+            time.sleep(0.01)  # in-flight jobs always finish
+        dropped = svc.submit("run", {"artifact": "fig01"})
+        gate.set()
+        svc.close()
+        assert running.wait(timeout=120)
+        assert running.state == JobState.DONE
+        assert dropped.state == JobState.QUEUED  # dropped, never ran

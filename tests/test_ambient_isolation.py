@@ -1,0 +1,126 @@
+"""Per-thread isolation of the ambient contexts.
+
+Regression for the ``repro serve`` concurrency bug: the ambient
+topology/faults/algorithm/observation slots were plain module globals,
+so two service threads installing different contexts clobbered each
+other mid-job.  They are now :class:`contextvars.ContextVar` slots —
+each thread (and asyncio task) sees only its own installs, while
+single-threaded code behaves exactly as the old globals did.
+"""
+
+import threading
+
+from repro.faults.context import active as active_faults, install as install_faults
+from repro.faults.scenario import FaultScenario, LinkDegrade
+from repro.obs.capture import ObservationContext, active as active_obs, capture
+from repro.rccl.algorithms import active_algorithm, install_algorithm
+from repro.topology.context import active as active_topology, install
+from repro.topology.presets import dense_hive_node, frontier_node
+
+THREADS = 8
+ROUNDS = 25
+
+
+def _hammer(worker, threads=THREADS):
+    """Run ``worker(index)`` in lockstep threads; re-raise any failure."""
+    barrier = threading.Barrier(threads)
+    failures = []
+
+    def run(index):
+        try:
+            worker(index, barrier)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            failures.append(exc)
+
+    pool = [threading.Thread(target=run, args=(i,)) for i in range(threads)]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    if failures:
+        raise failures[0]
+
+
+class TestTopologyContextIsolation:
+    def test_threads_see_their_own_install(self):
+        choices = (frontier_node(), dense_hive_node(), None)
+
+        def worker(index, barrier):
+            mine = choices[index % len(choices)]
+            barrier.wait(timeout=30)
+            for _ in range(ROUNDS):
+                with install(mine):
+                    assert active_topology() is mine
+
+        _hammer(worker)
+        assert active_topology() is None  # main thread untouched
+
+    def test_nesting_still_restores(self):
+        outer, inner = frontier_node(), dense_hive_node()
+        with install(outer):
+            with install(inner):
+                assert active_topology() is inner
+            assert active_topology() is outer
+        assert active_topology() is None
+
+
+class TestAlgorithmContextIsolation:
+    def test_threads_see_their_own_algorithm(self):
+        choices = ("ring", "tree", "double_binary_tree", None)
+
+        def worker(index, barrier):
+            mine = choices[index % len(choices)]
+            barrier.wait(timeout=30)
+            for _ in range(ROUNDS):
+                if mine is None:
+                    assert active_algorithm() is None
+                else:
+                    with install_algorithm(mine):
+                        assert active_algorithm() == mine
+
+        _hammer(worker)
+        assert active_algorithm() is None
+
+
+class TestFaultContextIsolation:
+    def test_threads_see_their_own_scenario(self):
+        scenarios = [
+            FaultScenario(
+                events=[LinkDegrade(link="0-1", factor=0.5, at=float(i))],
+                name=f"deg-{i}",
+            )
+            for i in range(THREADS)
+        ]
+
+        def worker(index, barrier):
+            mine = scenarios[index]
+            barrier.wait(timeout=30)
+            for _ in range(ROUNDS):
+                with install_faults(mine):
+                    assert active_faults() is mine
+
+        _hammer(worker)
+        assert active_faults() is None
+
+
+class TestObservationContextIsolation:
+    def test_threads_capture_independently(self):
+        def worker(index, barrier):
+            barrier.wait(timeout=30)
+            for _ in range(ROUNDS):
+                with capture() as ctx:
+                    assert active_obs() is ctx
+                    ctx.metrics.counter(f"iso/thread{index}").inc()
+                snapshot = ctx.metrics.snapshot()
+                counters = snapshot["counters"]
+                assert counters == {f"iso/thread{index}": 1}
+
+        _hammer(worker)
+        assert active_obs() is None
+
+    def test_capture_restores_previous_context(self):
+        with capture() as outer:
+            with capture() as inner:
+                assert active_obs() is inner
+            assert active_obs() is outer
+        assert active_obs() is None
